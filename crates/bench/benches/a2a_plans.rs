@@ -1,0 +1,53 @@
+//! Criterion: A2A plan compilation + discrete-event simulation speed.
+//!
+//! The Fig. 8 sweep simulates thousands of plans; this bench tracks the
+//! cost of one compile+simulate cycle per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemoe_cluster::{HardwareProfile, Topology};
+use schemoe_collectives::{AllToAll, NcclA2A, OneDimHierA2A, PipeA2A, TwoDimHierA2A};
+
+fn bench_simulate(c: &mut Criterion) {
+    let topo = Topology::paper_testbed();
+    let hw = HardwareProfile::paper_testbed();
+    let algs: Vec<(&str, Box<dyn AllToAll>)> = vec![
+        ("nccl", Box::new(NcclA2A)),
+        ("1dh", Box::new(OneDimHierA2A)),
+        ("2dh", Box::new(TwoDimHierA2A)),
+        ("pipe", Box::new(PipeA2A::new())),
+    ];
+    let mut group = c.benchmark_group("a2a_plan_simulate");
+    group.sample_size(30);
+    for (name, alg) in &algs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), alg, |b, alg| {
+            b.iter(|| {
+                let plan = alg.plan(&topo, std::hint::black_box(64_000_000));
+                plan.simulate(&topo, &hw).unwrap().makespan()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_sizes(c: &mut Criterion) {
+    // Simulation cost scales with op count = P² for flat algorithms.
+    let hw = HardwareProfile::paper_testbed();
+    let mut group = c.benchmark_group("a2a_sim_vs_world_size");
+    group.sample_size(20);
+    for nodes in [2usize, 4, 8, 16] {
+        let topo = Topology::new(nodes, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes * 4), &topo, |b, topo| {
+            b.iter(|| {
+                NcclA2A
+                    .plan(topo, 64_000_000)
+                    .simulate(topo, &hw)
+                    .unwrap()
+                    .makespan()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_plan_sizes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: compressor encode/decode throughput per codec.
+//!
+//! Backs the `AbsCompressor` cost models: the simulator charges
+//! compression at a fixed bytes/second, and this bench measures what the
+//! actual from-scratch codecs achieve on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schemoe_compression::{
+    Compressor, Fp16Compressor, Int8Compressor, NoCompression, ZfpCompressor,
+};
+
+fn codecs() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(NoCompression),
+        Box::new(Fp16Compressor),
+        Box::new(Int8Compressor),
+        Box::new(ZfpCompressor::default()),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data: Vec<f32> = (0..262_144).map(|i| ((i * 31 % 997) as f32 - 500.0) * 0.01).collect();
+    let bytes = (data.len() * 4) as u64;
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(20);
+    for codec in codecs() {
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &data, |b, d| {
+            b.iter(|| codec.compress(std::hint::black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data: Vec<f32> = (0..262_144).map(|i| ((i * 31 % 997) as f32 - 500.0) * 0.01).collect();
+    let bytes = (data.len() * 4) as u64;
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(20);
+    for codec in codecs() {
+        let wire = codec.compress(&data);
+        let n = data.len();
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &wire, |b, w| {
+            b.iter(|| codec.decompress(std::hint::black_box(w), n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

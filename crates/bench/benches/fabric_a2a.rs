@@ -1,0 +1,39 @@
+//! Criterion: functional all-to-all over the in-process fabric.
+//!
+//! Measures the real data-movement path (thread spawn, channel send/recv,
+//! tag matching) for each algorithm on a small topology.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemoe_cluster::{Fabric, Topology};
+use schemoe_collectives::{AllToAll, NcclA2A, OneDimHierA2A, PipeA2A, TwoDimHierA2A};
+
+fn run_once(alg: &dyn AllToAll, topo: Topology, payload: usize) {
+    Fabric::run(topo, |mut h| {
+        let chunks: Vec<Bytes> = (0..h.world_size())
+            .map(|_| Bytes::from(vec![0u8; payload]))
+            .collect();
+        alg.all_to_all(&mut h, chunks, 0).unwrap()
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let topo = Topology::new(2, 2);
+    let algs: Vec<(&str, Box<dyn AllToAll>)> = vec![
+        ("nccl", Box::new(NcclA2A)),
+        ("1dh", Box::new(OneDimHierA2A)),
+        ("2dh", Box::new(TwoDimHierA2A)),
+        ("pipe", Box::new(PipeA2A::new())),
+    ];
+    let mut group = c.benchmark_group("fabric_a2a_2x2_16KiB");
+    group.sample_size(20);
+    for (name, alg) in &algs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), alg, |b, alg| {
+            b.iter(|| run_once(alg.as_ref(), topo, 16 * 1024))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

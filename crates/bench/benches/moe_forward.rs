@@ -1,0 +1,54 @@
+//! Criterion: gating and MoE-layer forward/backward on the functional
+//! substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemoe_moe::{MoeLayer, TopKGate};
+use schemoe_tensor::nn::Module;
+use schemoe_tensor::rng::{self, seeded};
+
+fn bench_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_forward");
+    group.sample_size(30);
+    for tokens in [64usize, 256, 1024] {
+        let mut gate = TopKGate::new(64, 16, 2, 1.25, &mut seeded(1));
+        let x = rng::uniform(&[tokens, 64], 1.0, &mut seeded(2));
+        group.bench_with_input(BenchmarkId::from_parameter(tokens), &x, |b, x| {
+            b.iter(|| gate.forward(std::hint::black_box(x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_moe_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moe_layer");
+    group.sample_size(20);
+    let mut layer = MoeLayer::new(64, 128, 8, 2, 1.25, &mut seeded(3));
+    let x = rng::uniform(&[256, 64], 1.0, &mut seeded(4));
+    group.bench_function("forward", |b| {
+        b.iter(|| layer.forward(std::hint::black_box(&x)))
+    });
+    group.bench_function("forward_backward", |b| {
+        b.iter(|| {
+            let y = layer.forward(std::hint::black_box(&x));
+            layer.backward(&y)
+        })
+    });
+    group.finish();
+}
+
+fn bench_expert_gemm(c: &mut Criterion) {
+    // The core matmul the expert cost model prices.
+    let mut group = c.benchmark_group("expert_gemm");
+    group.sample_size(20);
+    for m in [64usize, 128, 256] {
+        let a = rng::uniform(&[256, m], 1.0, &mut seeded(5));
+        let w = rng::uniform(&[m, m * 2], 1.0, &mut seeded(6));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &(a, w), |b, (a, w)| {
+            b.iter(|| a.matmul(std::hint::black_box(w)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate, bench_moe_layer, bench_expert_gemm);
+criterion_main!(benches);

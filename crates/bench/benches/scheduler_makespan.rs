@@ -1,0 +1,43 @@
+//! Criterion: schedule makespan evaluation and the brute-force oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemoe_netsim::SimTime;
+use schemoe_scheduler::schedules::brute_force_best;
+use schemoe_scheduler::{optsche, TaskSet};
+
+fn tasks(r: usize) -> TaskSet {
+    TaskSet::uniform(
+        r,
+        SimTime::from_ms(1.0),
+        SimTime::from_ms(9.0),
+        SimTime::from_ms(1.5),
+        SimTime::from_ms(6.0),
+    )
+}
+
+fn bench_makespan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optsche_makespan");
+    group.sample_size(50);
+    for r in [2usize, 4, 8, 16] {
+        let ts = tasks(r);
+        let s = optsche(r);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &ts, |b, ts| {
+            b.iter(|| s.makespan(std::hint::black_box(ts)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    // 252 schedules at r=2: the Theorem 1 verification cost.
+    let ts = tasks(2);
+    let mut group = c.benchmark_group("brute_force_r2");
+    group.sample_size(10);
+    group.bench_function("252_orders", |b| {
+        b.iter(|| brute_force_best(std::hint::black_box(&ts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_makespan, bench_brute_force);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation: when does A2A compression pay for its compute?
+//!
+//! §7 "Performance of data compression": the reduced communication must
+//! cover the compression kernels' cost, which fails on fast interconnects.
+//! This sweep runs the full scheduled layer with and without ZFP across
+//! hardware profiles and payload sizes, locating the break-even frontier.
+
+use schemoe::prelude::*;
+
+fn layer_ms(
+    shape: &LayerShape,
+    topo: &Topology,
+    hw: &HardwareProfile,
+    ratio: f64,
+) -> f64 {
+    let costs = shape.costs(ratio);
+    let mut best = f64::INFINITY;
+    for r in [1usize, 2, 4, 8] {
+        let tasks = costs.task_set(topo, hw, &PipeA2A::new(), r);
+        best = best.min(optsche(r).makespan(&tasks).expect("valid").as_ms());
+    }
+    best
+}
+
+fn main() {
+    let topo = Topology::paper_testbed();
+    let profiles =
+        [HardwareProfile::paper_testbed(), HardwareProfile::nvlink_dgx(), HardwareProfile::ethernet_cluster()];
+
+    println!("ZFP(4x) gain over uncompressed, full scheduled layer (OptSche + Pipe-A2A)\n");
+    print!("{:>22}", "tokens/GPU (M=H=4096)");
+    for hw in &profiles {
+        print!(" {:>24}", hw.name);
+    }
+    println!();
+    for tokens in [512usize, 2048, 8192, 32768] {
+        let shape = LayerShape {
+            tokens_per_gpu: tokens,
+            model_dim: 4096,
+            hidden_dim: 4096,
+            experts: 32,
+            k: 2,
+            capacity_factor: 1.2,
+        };
+        print!("{tokens:>22}");
+        for hw in &profiles {
+            let plain = layer_ms(&shape, &topo, hw, 1.0);
+            let zfp = layer_ms(&shape, &topo, hw, 4.0);
+            let gain = (plain / zfp - 1.0) * 100.0;
+            print!(" {:>24}", format!("{plain:.0} -> {zfp:.0} ms ({gain:+.0}%)"));
+        }
+        println!();
+    }
+    // The §7 failure case: a single NVLink node, where every exchange rides
+    // a 200 GB/s fabric and the codec kernels cannot pay for themselves.
+    println!();
+    println!("Single NVLink node (8 GPUs, all traffic intra-node at 200 GB/s):");
+    let one_node = Topology::new(1, 8);
+    let hw = HardwareProfile::nvlink_dgx();
+    for tokens in [8192usize, 32768] {
+        let shape = LayerShape {
+            tokens_per_gpu: tokens,
+            model_dim: 4096,
+            hidden_dim: 4096,
+            experts: 32,
+            k: 2,
+            capacity_factor: 1.2,
+        };
+        let plain = layer_ms(&shape, &one_node, &hw, 1.0);
+        let zfp = layer_ms(&shape, &one_node, &hw, 4.0);
+        let gain = (plain / zfp - 1.0) * 100.0;
+        println!("  {tokens:>6} tokens/GPU: {plain:.1} -> {zfp:.1} ms ({gain:+.0}%)");
+    }
+    println!();
+    println!(
+        "On the PCIe testbed and slow Ethernet, compression wins at every size;\n\
+         on the multi-node NVLink profile the (slow) inter-node links still\n\
+         dominate so it wins there too. But inside a single NVLink node the\n\
+         links outrun the codec and ZFP *costs* time — the paper's §7 warning\n\
+         that 'in some hardware environments (e.g., communication is fast on\n\
+         NVLink), data compression may sacrifice the time performance'."
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation: dynamic routing imbalance and its straggler cost.
+//!
+//! §2.1's "dynamic workloads": the gating function may route wildly
+//! unequal token counts to experts, and every rank's A2A then waits for
+//! the hottest destination. This study quantifies the straggler factor
+//! across skew levels and shows the capacity factor (Eq. 1) restoring it —
+//! the systems-level reason every capacity-bounded system survives
+//! BERT-Large-MoE while Faster-MoE's uncapped buffers do not (Table 8).
+
+use schemoe::prelude::*;
+use schemoe_collectives::{straggler_factor, TrafficMatrix};
+use schemoe_tensor::rng::seeded;
+
+fn main() {
+    let topo = Topology::paper_testbed();
+    let hw = HardwareProfile::paper_testbed();
+    let total = 64_000_000u64; // per-rank A2A payload
+
+    println!("Straggler factor of a 64 MB/GPU all-to-all under routing skew");
+    println!("(hot expert receives `share` of every rank's traffic)\n");
+    println!(
+        "{:>8} {:>11} {:>12} {:>14} {:>14}",
+        "share", "imbalance", "straggler", "capped f=1.2", "capped f=2.0"
+    );
+    for share in [0.0f64, 0.1, 0.25, 0.5, 0.75] {
+        let m = TrafficMatrix::hot_expert(32, total, 7, share);
+        let raw = straggler_factor(&m, &topo, &hw);
+        let capped_12 = straggler_factor(&m.with_capacity((1.2 * total as f64) as u64), &topo, &hw);
+        let capped_20 = straggler_factor(&m.with_capacity(2 * total), &topo, &hw);
+        println!(
+            "{:>8.2} {:>10.2}x {:>11.2}x {:>13.2}x {:>13.2}x",
+            share,
+            m.imbalance(),
+            raw,
+            capped_12,
+            capped_20
+        );
+    }
+
+    println!();
+    println!("Random heavy-tailed routing (power-law weights), 5 draws per skew:");
+    println!("{:>8} {:>14} {:>14}", "power", "mean imbalance", "mean straggler");
+    for power in [1.0f64, 3.0, 6.0] {
+        let mut imb = 0.0;
+        let mut strag = 0.0;
+        for seed in 0..5u64 {
+            let m = TrafficMatrix::random_skewed(32, total, power, &mut seeded(40 + seed));
+            imb += m.imbalance();
+            strag += straggler_factor(&m, &topo, &hw);
+        }
+        println!("{:>8.1} {:>13.2}x {:>13.2}x", power, imb / 5.0, strag / 5.0);
+    }
+
+    println!();
+    println!(
+        "The capacity factor trades dropped tokens for a hard straggler bound —\n\
+         f=1.2 keeps the collective within ~1.2x of balanced even under extreme\n\
+         skew, which is why Eq. 1 exists and why the uncapped alternative needs\n\
+         worst-case buffers (Table 8's OOM)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Ablation: routing strategy vs load balance and buffer pressure.
+//!
+//! §8's algorithmic direction: balanced routing (BASE, expert-choice,
+//! stochastic) attacks the same imbalance that capacity factors and
+//! Faster-MoE's uncapped buffers wrestle with at the systems level. This
+//! harness routes identical (skew-controlled) traffic through each
+//! strategy and reports the imbalance, drop rate, and the worst-case
+//! dispatch-buffer requirement each would impose.
+
+use schemoe_moe::{balance_stats, ExpertChoiceRouter, RandomRouter, Router, TokenChoiceRouter};
+use schemoe_tensor::rng::{self, seeded};
+use schemoe_tensor::Tensor;
+
+/// Scores with a controllable hot-expert skew: `skew` of the probability
+/// mass prefers expert 0.
+fn scores(n: usize, e: usize, skew: f32, seed: u64) -> Tensor {
+    let mut s = rng::uniform(&[n, e], 0.3, &mut seeded(seed));
+    for t in 0..n {
+        s.row_mut(t)[0] += skew * 3.0;
+    }
+    s.softmax_rows().expect("rank-2")
+}
+
+fn main() {
+    let (n, e, k) = (4096usize, 32usize, 2usize);
+    println!("Routing 4096 tokens to 32 experts (k=2, f=1.25) under increasing skew\n");
+    println!(
+        "{:>6} {:>15} {:>11} {:>10} {:>9} {:>16}",
+        "skew", "router", "imbalance", "load CV", "drops", "buffer need"
+    );
+    for skew in [0.0f32, 0.15, 0.4] {
+        let sc = scores(n, e, skew, 11);
+        let mut routers: Vec<(&str, Box<dyn Router>)> = vec![
+            ("token-choice", Box::new(TokenChoiceRouter::new(k, 1.25))),
+            // An uncapped token-choice is what Faster-MoE effectively
+            // provisions for: watch its buffer column under skew.
+            ("tc-uncapped", Box::new(TokenChoiceRouter::new(k, 1e9))),
+            ("expert-choice", Box::new(ExpertChoiceRouter::new(k, 1.25))),
+            ("stochastic", Box::new(RandomRouter::new(k, 1.25, seeded(12)))),
+        ];
+        for (label, router) in routers.iter_mut() {
+            let d = router.route(&sc);
+            let stats = balance_stats(&d, k);
+            // Worst-case dispatch buffer an uncapped system (Faster-MoE
+            // style) would need: max expert load x token bytes (M=1024).
+            let max_load = d.expert_loads().iter().copied().max().unwrap_or(0);
+            let buffer_mb = (max_load * 1024 * 4) as f64 / 1e6;
+            println!(
+                "{:>6.2} {:>15} {:>10.2}x {:>10.2} {:>8.1}% {:>13.1} MB",
+                skew,
+                label,
+                stats.imbalance,
+                stats.load_cv,
+                stats.drop_rate * 100.0,
+                buffer_mb,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Token-choice keeps the semantics the model trained with but drops\n\
+         tokens under skew; expert-choice is perfectly balanced by\n\
+         construction (flat buffer need — the property that would have saved\n\
+         Faster-MoE's BERT run); stochastic routing balances in expectation.\n\
+         ScheMoE composes with all three: the scheduler only sees task sizes."
+    );
+}

@@ -1,0 +1,81 @@
+//! Regenerates **Fig. 9**: A2A algorithm comparison over message sizes.
+//!
+//! Three panels: small [1 KB, 1 MB], median [1 MB, 200 MB], large
+//! [200 MB, 2 GB] total input per GPU on the 8×4 testbed. Paper shapes:
+//! Pipe-A2A ≥ everything everywhere; ≈3–5% over NCCL/2DH at small and
+//! median; ≈1.4× over NCCL and ≈2× over 2DH at large; 1DH slow at small
+//! and median and OOM at large.
+
+use schemoe::prelude::*;
+use schemoe_collectives::{a2a_fits_memory, a2a_time};
+
+fn main() {
+    let topo = Topology::paper_testbed();
+    let hw = HardwareProfile::paper_testbed();
+    let algs: Vec<(&str, Box<dyn AllToAll>)> = vec![
+        ("NCCL-A2A", Box::new(NcclA2A)),
+        ("1DH-A2A", Box::new(OneDimHierA2A)),
+        ("2DH-A2A", Box::new(TwoDimHierA2A)),
+        ("Pipe-A2A", Box::new(PipeA2A::new())),
+    ];
+
+    let panels: [(&str, Vec<u64>); 3] = [
+        ("(a) small [1K, 1M]", vec![1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]),
+        (
+            "(b) median [1M, 200M]",
+            vec![1 << 20, 4 << 20, 16 << 20, 50 << 20, 100 << 20, 200 << 20],
+        ),
+        (
+            "(c) large [200M, 2G]",
+            vec![200 << 20, 400 << 20, 800 << 20, 1200 << 20, 1600 << 20, 2000 << 20],
+        ),
+    ];
+
+    for (title, sizes) in &panels {
+        println!("Fig. 9 {title} — A2A time (ms) vs message size");
+        print!("{:>10}", "size");
+        for (name, _) in &algs {
+            print!(" {name:>10}");
+        }
+        println!("  | Pipe vs NCCL | Pipe vs 2DH");
+        for &s in sizes {
+            print!("{:>10}", schemoe_bench::fmt_bytes(s));
+            let mut times = Vec::new();
+            for (_, alg) in &algs {
+                // The reserve models the benchmark's own tensors resident
+                // alongside the collective.
+                if !a2a_fits_memory(alg.as_ref(), &topo, &hw, s, 1 << 30) {
+                    print!(" {:>10}", "OOM");
+                    times.push(f64::NAN);
+                    continue;
+                }
+                let t = a2a_time(alg.as_ref(), &topo, &hw, s).expect("valid plan").as_ms();
+                print!(" {t:>10.2}");
+                times.push(t);
+            }
+            let vs = |i: usize| {
+                if times[i].is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}x", times[i] / times[3])
+                }
+            };
+            println!("  | {:>12} | {:>11}", vs(0), vs(2));
+        }
+        println!();
+    }
+
+    println!("Eq. 18 analytical max speedup of Pipe-A2A over sequential execution:");
+    for &s in &[1u64 << 20, 200 << 20, 2000 << 20] {
+        println!(
+            "  {:>8}: {:.2}x (paper testbed), {:.2}x (NVLink what-if)",
+            schemoe_bench::fmt_bytes(s),
+            schemoe_collectives::analysis::max_speedup(&topo, &hw, s),
+            schemoe_collectives::analysis::max_speedup(
+                &topo,
+                &HardwareProfile::nvlink_dgx(),
+                s
+            ),
+        );
+    }
+}

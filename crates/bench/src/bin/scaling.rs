@@ -1,0 +1,53 @@
+//! Scaling study: ScheMoE vs baselines as the cluster grows.
+//!
+//! The paper evaluates one 32-GPU cluster and leaves larger machines as
+//! future work ("we plan to evaluate our algorithm on other supercomputers
+//! and public cloud GPU clusters"). The simulator has no such constraint:
+//! this sweep holds the per-GPU workload fixed (weak scaling, E = P) and
+//! grows the cluster from 1 to 32 nodes.
+
+use schemoe::prelude::*;
+use schemoe_collectives::{a2a_time, analysis};
+
+fn main() {
+    let hw = HardwareProfile::paper_testbed();
+    let per_gpu_tokens = 8 * 1024;
+    println!("Weak scaling: per-GPU work fixed (8K tokens, M=H=4096, E=P, k=2, f=1.2)\n");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "nodes", "GPUs", "naive (ms)", "tutel (ms)", "schemoe", "speedup", "pipe max"
+    );
+    for nodes in [1usize, 2, 4, 8, 16, 32] {
+        let topo = Topology::new(nodes, 4);
+        let shape = LayerShape {
+            tokens_per_gpu: per_gpu_tokens,
+            model_dim: 4096,
+            hidden_dim: 4096,
+            experts: topo.world_size(),
+            k: 2,
+            capacity_factor: 1.2,
+        };
+        let naive = NaiveSystem::new().layer_time(&shape, &topo, &hw);
+        let tutel = TutelEmu::new().layer_time(&shape, &topo, &hw);
+        let schemoe = ScheMoeSystem::default_config().layer_time(&shape, &topo, &hw);
+        let s = (shape.a2a_bytes() as f64 / 4.0) as u64;
+        let _ = a2a_time(&PipeA2A::new(), &topo, &hw, s);
+        println!(
+            "{:>6} {:>6} {:>12.1} {:>12.1} {:>9.1}ms {:>8.2}x {:>9.2}x",
+            nodes,
+            topo.world_size(),
+            naive.as_ms(),
+            tutel.as_ms(),
+            schemoe.as_ms(),
+            tutel / schemoe,
+            analysis::max_speedup(&topo, &hw, shape.a2a_bytes()),
+        );
+    }
+    println!();
+    println!(
+        "With E = P the all-to-all volume per GPU is constant but the message\n\
+         count grows with P, so per-message latency erodes everyone at scale;\n\
+         ScheMoE's advantage persists because compression and intra/inter\n\
+         overlap attack the bandwidth term that still dominates."
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Table 7**: CT-MoE-x step time under three systems.
+//!
+//! Paper values (ms, mean ± std over 3 runs):
+//!
+//! | system | x=12 | x=16 | x=20 | x=24 |
+//! |---|---|---|---|---|
+//! | Tutel | 497±9 | 623±2 | 769±3 | 864±3 |
+//! | Faster-MoE | 506±7 | 640±8 | 845±10 | 1003±16 |
+//! | ScheMoE | 454±4 | 552±1 | 658±1 | 774±8 |
+//!
+//! Note: per the ablation analysis (EXPERIMENTS.md), Table 7's ScheMoE is
+//! run with scheduling + Pipe-A2A (no ZFP); compression is isolated in
+//! Table 10.
+
+use schemoe::prelude::*;
+use schemoe_bench::step_ms_3runs;
+
+fn main() {
+    let topo = Topology::paper_testbed();
+    let hw = HardwareProfile::paper_testbed();
+    let systems: Vec<(&str, Box<dyn MoeSystem>)> = vec![
+        ("Tutel", Box::new(TutelEmu::new())),
+        ("Faster-MoE", Box::new(FasterMoeEmu::new())),
+        ("ScheMoE", Box::new(ScheMoeSystem::without_compression())),
+    ];
+
+    println!("Table 7: step time (mean±std ms) in CT-MoE-x (simulated, 3 jittered runs)");
+    print!("{:>12}", "System");
+    for x in [12, 16, 20, 24] {
+        print!(" {:>13}", format!("x={x}"));
+    }
+    println!();
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (name, sys) in &systems {
+        print!("{name:>12}");
+        let mut means = Vec::new();
+        for x in [12usize, 16, 20, 24] {
+            let model = MoeModelConfig::ct_moe(x);
+            match step_ms_3runs(sys.as_ref(), &model, &topo, &hw) {
+                Some((mean, std)) => {
+                    print!(" {:>13}", format!("{mean:.0}±{std:.0}"));
+                    means.push(mean);
+                }
+                None => print!(" {:>13}", "OOM"),
+            }
+        }
+        println!();
+        rows.push((name.to_string(), means));
+    }
+
+    println!();
+    println!("Speedups over Tutel (paper: ScheMoE 1.09-1.17x, Faster-MoE slower than Tutel):");
+    let tutel = rows[0].1.clone();
+    for (name, means) in &rows[1..] {
+        let sp: Vec<String> = tutel
+            .iter()
+            .zip(means.iter())
+            .map(|(t, m)| format!("{:.2}x", t / m))
+            .collect();
+        println!("  {name:>12}: {}", sp.join("  "));
+    }
+}

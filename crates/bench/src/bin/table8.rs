@@ -1,0 +1,68 @@
+//! Regenerates **Table 8**: end-to-end BERT-Large-MoE (~6.4 B params).
+//!
+//! Paper: Tutel 783.3±11.8 ms, ScheMoE 672.9±28.4 ms (1.16×); Faster-MoE
+//! runs out of memory. ZFP contributes ~70% and scheduling ~30% of the
+//! improvement; Pipe-A2A does not help at this (median) message size.
+
+use schemoe::prelude::*;
+use schemoe_bench::step_ms_3runs;
+
+fn main() {
+    let topo = Topology::paper_testbed();
+    let hw = HardwareProfile::paper_testbed();
+    let model = MoeModelConfig::bert_large_moe();
+
+    println!(
+        "Table 8: BERT-Large-MoE ({:.1} B params), per-peer A2A message {} bytes",
+        model.total_params() as f64 / 1e9,
+        model.a2a_bytes() / topo.world_size() as u64,
+    );
+    println!("{:>12} {:>16} {:>9}   (paper)", "System", "Time (ms)", "Speedup");
+
+    let tutel = step_ms_3runs(&TutelEmu::new(), &model, &topo, &hw)
+        .expect("Tutel fits BERT-Large-MoE");
+    println!(
+        "{:>12} {:>16} {:>9}   (783.3±11.8, 1.0x)",
+        "Tutel",
+        format!("{:.1}±{:.1}", tutel.0, tutel.1),
+        "1.00x"
+    );
+
+    match step_ms_3runs(&FasterMoeEmu::new(), &model, &topo, &hw) {
+        None => {
+            println!("{:>12} {:>16} {:>9}   (OOM)", "Faster-MoE", "OOM", "-");
+            // Show why.
+            if let Err(StepTimeError::OutOfMemory { budget }) =
+                model_step_time(&FasterMoeEmu::new(), &model, &topo, &hw)
+            {
+                println!("  Faster-MoE memory breakdown (uncapped dispatch buffers):");
+                for line in format!("{budget}").lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+        Some(_) => println!("{:>12} unexpectedly fits", "Faster-MoE"),
+    }
+
+    let schemoe = step_ms_3runs(&ScheMoeSystem::default_config(), &model, &topo, &hw)
+        .expect("ScheMoE fits BERT-Large-MoE");
+    println!(
+        "{:>12} {:>16} {:>9}   (672.9±28.4, 1.16x)",
+        "ScheMoE",
+        format!("{:.1}±{:.1}", schemoe.0, schemoe.1),
+        format!("{:.2}x", tutel.0 / schemoe.0)
+    );
+
+    // Attribute the improvement: compression-only vs scheduling-only.
+    let sched_only = step_ms_3runs(&ScheMoeSystem::without_compression(), &model, &topo, &hw)
+        .expect("fits");
+    let total_gain = tutel.0 - schemoe.0;
+    let sched_gain = tutel.0 - sched_only.0;
+    let zfp_gain = (total_gain - sched_gain).max(0.0);
+    println!();
+    println!(
+        "Improvement attribution: ZFP {:.0}%, scheduling+Pipe-A2A {:.0}%  (paper: ~70% / ~30%)",
+        100.0 * zfp_gain / total_gain.max(1e-9),
+        100.0 * sched_gain / total_gain.max(1e-9),
+    );
+}

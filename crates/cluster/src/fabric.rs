@@ -1,0 +1,280 @@
+//! In-process message-passing fabric: ranks are threads, links are channels.
+//!
+//! The fabric is the *functional* interconnect of ScheMoE-RS. Every rank of
+//! a [`Topology`] runs as a thread holding a [`RankHandle`]; point-to-point
+//! messages are [`Bytes`] payloads over unbounded crossbeam channels, one
+//! per ordered pair of ranks, so sends never block and any tag-matched
+//! receive order is safe. Collectives and the distributed MoE layer are
+//! built purely from [`RankHandle::send`] / [`RankHandle::recv`] /
+//! [`RankHandle::barrier`], mirroring how the real system builds A2A out of
+//! NCCL send/recv pairs.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Barrier};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::topology::{Rank, Topology};
+
+/// Errors surfaced by fabric communication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The peer's thread exited (its channel endpoints were dropped).
+    Disconnected {
+        /// The unreachable peer.
+        peer: Rank,
+    },
+    /// A rank index was outside the topology.
+    InvalidRank {
+        /// The offending rank.
+        rank: Rank,
+        /// The world size it had to be below.
+        world_size: usize,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            FabricError::InvalidRank { rank, world_size } => {
+                write!(f, "rank {rank} out of range for world size {world_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+struct Msg {
+    tag: u64,
+    payload: Bytes,
+}
+
+/// A rank's endpoint into the fabric.
+pub struct RankHandle {
+    rank: Rank,
+    topology: Topology,
+    senders: Vec<Sender<Msg>>,
+    receivers: Vec<Receiver<Msg>>,
+    /// Out-of-order messages parked until a matching tag is requested.
+    pending: HashMap<(Rank, u64), Vec<Bytes>>,
+    barrier: Arc<Barrier>,
+}
+
+impl RankHandle {
+    /// This handle's global rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// World size shortcut.
+    pub fn world_size(&self) -> usize {
+        self.topology.world_size()
+    }
+
+    /// Sends `payload` to `to` under `tag`. Never blocks.
+    pub fn send(&self, to: Rank, tag: u64, payload: Bytes) -> Result<(), FabricError> {
+        let ws = self.world_size();
+        if to >= ws {
+            return Err(FabricError::InvalidRank { rank: to, world_size: ws });
+        }
+        self.senders[to]
+            .send(Msg { tag, payload })
+            .map_err(|_| FabricError::Disconnected { peer: to })
+    }
+
+    /// Receives the next message from `from` with the given `tag`, blocking.
+    ///
+    /// Messages from the same peer with other tags are parked and delivered
+    /// to later `recv` calls, so receive order across tags is free while
+    /// order *within* a `(peer, tag)` pair is preserved.
+    pub fn recv(&mut self, from: Rank, tag: u64) -> Result<Bytes, FabricError> {
+        let ws = self.world_size();
+        if from >= ws {
+            return Err(FabricError::InvalidRank { rank: from, world_size: ws });
+        }
+        if let Some(queue) = self.pending.get_mut(&(from, tag)) {
+            if !queue.is_empty() {
+                return Ok(queue.remove(0));
+            }
+        }
+        loop {
+            let msg = self.receivers[from]
+                .recv()
+                .map_err(|_| FabricError::Disconnected { peer: from })?;
+            if msg.tag == tag {
+                return Ok(msg.payload);
+            }
+            self.pending.entry((from, msg.tag)).or_default().push(msg.payload);
+        }
+    }
+
+    /// Blocks until every rank has reached the same barrier call.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Factory for fabric runs.
+pub struct Fabric;
+
+impl Fabric {
+    /// Runs `f` once per rank on its own thread and collects the results in
+    /// rank order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any rank's closure after all threads join.
+    pub fn run<T, F>(topology: Topology, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankHandle) -> T + Sync,
+    {
+        let p = topology.world_size();
+        // channel[i][j]: endpoint pair carrying messages from i to j.
+        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect::<Vec<_>>())
+            .collect();
+        for i in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for j in 0..p {
+                let (tx, rx) = unbounded();
+                row.push(Some(tx));
+                receivers[j][i] = Some(rx);
+            }
+            senders.push(row);
+        }
+        let barrier = Arc::new(Barrier::new(p));
+        let mut handles: Vec<RankHandle> = Vec::with_capacity(p);
+        for (rank, (sender_row, receiver_row)) in
+            senders.into_iter().zip(receivers).enumerate()
+        {
+            handles.push(RankHandle {
+                rank,
+                topology,
+                senders: sender_row.into_iter().map(|s| s.expect("filled")).collect(),
+                receivers: receiver_row.into_iter().map(|r| r.expect("filled")).collect(),
+                pending: HashMap::new(),
+                barrier: Arc::clone(&barrier),
+            });
+        }
+
+        let f = &f;
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| scope.spawn(move || f(h)))
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates_rank_sum() {
+        let topo = Topology::new(2, 2);
+        let results = Fabric::run(topo, |mut h| {
+            let p = h.world_size();
+            let next = (h.rank() + 1) % p;
+            let prev = (h.rank() + p - 1) % p;
+            let mut acc = h.rank() as u64;
+            let mut carry = acc;
+            for _ in 0..p - 1 {
+                h.send(next, 0, Bytes::copy_from_slice(&carry.to_le_bytes())).unwrap();
+                let got = h.recv(prev, 0).unwrap();
+                carry = u64::from_le_bytes(got.as_ref().try_into().unwrap());
+                acc += carry;
+            }
+            acc
+        });
+        // Every rank ends with 0+1+2+3 = 6.
+        assert_eq!(results, vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order_sends() {
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run(topo, |mut h| {
+            if h.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                h.send(1, 2, Bytes::from_static(b"second")).unwrap();
+                h.send(1, 1, Bytes::from_static(b"first")).unwrap();
+                Vec::new()
+            } else {
+                // Receive in tag order 1 then 2 despite arrival order.
+                let a = h.recv(0, 1).unwrap();
+                let b = h.recv(0, 2).unwrap();
+                vec![a, b]
+            }
+        });
+        assert_eq!(results[1][0].as_ref(), b"first");
+        assert_eq!(results[1][1].as_ref(), b"second");
+    }
+
+    #[test]
+    fn per_tag_fifo_order_is_preserved() {
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run(topo, |mut h| {
+            if h.rank() == 0 {
+                for i in 0u8..10 {
+                    h.send(1, 7, Bytes::copy_from_slice(&[i])).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| h.recv(0, 7).unwrap()[0]).collect()
+            }
+        });
+        assert_eq!(results[1], (0u8..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let topo = Topology::new(1, 4);
+        let counter = AtomicUsize::new(0);
+        Fabric::run(topo, |h| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            h.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let topo = Topology::new(1, 2);
+        Fabric::run(topo, |mut h| {
+            assert!(matches!(
+                h.send(5, 0, Bytes::new()),
+                Err(FabricError::InvalidRank { .. })
+            ));
+            assert!(matches!(h.recv(9, 0), Err(FabricError::InvalidRank { .. })));
+        });
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let topo = Topology::new(1, 1);
+        let results = Fabric::run(topo, |mut h| {
+            h.send(0, 3, Bytes::from_static(b"me")).unwrap();
+            h.recv(0, 3).unwrap()
+        });
+        assert_eq!(results[0].as_ref(), b"me");
+    }
+}

@@ -1,0 +1,208 @@
+//! Hardware cost-model profiles for simulated clusters.
+
+use schemoe_netsim::cost::{ComputeModel, LinkModel};
+use schemoe_netsim::SimTime;
+
+/// The cost-model constants of one concrete cluster.
+///
+/// A profile captures *effective* (not peak) rates under the contention
+/// pattern of an all-to-all: every GPU of a node is sending concurrently,
+/// so per-GPU link rates already include the sharing penalty. The paper's
+/// analytical model (§7, Eq. 16–17) makes the same simplification: an
+/// intra-node send/recv pair costs `t1`, an inter-node pair costs `t2`,
+/// and an algorithm's time is determined by how those pairs serialize or
+/// overlap.
+#[derive(Clone, Debug)]
+pub struct HardwareProfile {
+    /// Human-readable profile name.
+    pub name: String,
+    /// Intra-node GPU↔GPU link while inter-node traffic is also in flight
+    /// (PCIe shared with the NIC), per concurrently active pair.
+    pub intra_link: LinkModel,
+    /// Intra-node GPU↔GPU link during an intra-only phase (no NIC traffic
+    /// competing for the PCIe root complex). Hierarchical algorithms that
+    /// serialize their phases (1DH, 2DH) enjoy this faster rate.
+    pub intra_link_exclusive: LinkModel,
+    /// Inter-node per-GPU link (effective share of the node NIC).
+    pub inter_link: LinkModel,
+    /// Device-local copy performed by the self pair `SR(i, i)`.
+    pub local_copy: LinkModel,
+    /// Per-phase synchronization overhead of hierarchical algorithms
+    /// (stream syncs, staging-kernel launches across the node).
+    pub phase_sync: SimTime,
+    /// Dense-GEMM compute model (expert fflayers, attention projections).
+    pub gemm: ComputeModel,
+    /// Compression kernel throughput in bytes/second of *input* data.
+    pub compress_bps: f64,
+    /// Decompression kernel throughput in bytes/second of *output* data.
+    pub decompress_bps: f64,
+    /// Usable GPU memory in bytes.
+    pub gpu_mem_bytes: u64,
+    /// Fixed per-layer, per-direction framework overhead (gating, layout
+    /// kernels, Python/driver time) observed on the testbed.
+    pub layer_overhead: SimTime,
+}
+
+impl HardwareProfile {
+    /// The ScheMoE paper's testbed (Table 3): 8 nodes × 4 RTX 2080 Ti,
+    /// PCIe 3.0 x16 intra-node, 100 Gb/s InfiniBand inter-node.
+    ///
+    /// Calibration targets (asserted by `calibration` tests in the bench
+    /// crate within tolerance):
+    ///
+    /// * Table 1, row 1 — CT-MoE-12 A2A time ≈ 252.6 ms, step ≈ 497 ms.
+    /// * Fig. 9(c) — Pipe-A2A ≈ 1.4× NCCL-A2A and ≈ 2× 2DH-A2A at ≥200 MB.
+    /// * Table 10 — Naive ≈ 2.4 s on the B=8, f=1.2, L=2048, H=M=8192
+    ///   layer; ZFP compression alone ≈ 1.9× faster.
+    ///
+    /// Per-message latency terms are large (60–100 µs) because they fold in
+    /// protocol overhead *and* the bandwidth lost before a message saturates
+    /// its link; in an α–β model a half-saturation size is algebraically
+    /// identical to extra latency.
+    ///
+    /// Note the effective *per-pair* intra-node bandwidth (0.55 GB/s) is
+    /// lower than the per-GPU share of the NIC (2.0 GB/s): four GPUs doing
+    /// P2P through one PCIe root complex without NVLink contend badly,
+    /// which is exactly why Pipe-A2A's intra/inter overlap pays off on this
+    /// hardware (total intra time ≈ 0.4× total inter time, Eq. 18).
+    pub fn paper_testbed() -> Self {
+        HardwareProfile {
+            name: "rtx2080ti-8x4-pcie3-ib100".to_string(),
+            intra_link: LinkModel::new(60e-6, 0.55e9),
+            intra_link_exclusive: LinkModel::new(100e-6, 1.8e9),
+            inter_link: LinkModel::new(30e-6, 2.0e9),
+            local_copy: LinkModel::new(5e-6, 300e9),
+            phase_sync: SimTime::from_ms(1.0),
+            gemm: ComputeModel::new(10e-6, 12.0e12),
+            compress_bps: 45e9,
+            decompress_bps: 50e9,
+            gpu_mem_bytes: 11 * 1024 * 1024 * 1024,
+            layer_overhead: SimTime::from_ms(9.0),
+        }
+    }
+
+    /// A DGX-class what-if profile: NVLink intra-node (much faster than the
+    /// NIC), used to exercise the paper's §7 discussion that Pipe-A2A's
+    /// gain vanishes when `t_intra ≪ t_inter`.
+    pub fn nvlink_dgx() -> Self {
+        HardwareProfile {
+            name: "a100-nvlink-ib200".to_string(),
+            intra_link: LinkModel::new(8e-6, 200e9),
+            intra_link_exclusive: LinkModel::new(8e-6, 250e9),
+            inter_link: LinkModel::new(20e-6, 6e9),
+            local_copy: LinkModel::new(3e-6, 1200e9),
+            phase_sync: SimTime::from_us(80.0),
+            gemm: ComputeModel::new(6e-6, 120e12),
+            compress_bps: 200e9,
+            decompress_bps: 220e9,
+            gpu_mem_bytes: 80 * 1024 * 1024 * 1024,
+            layer_overhead: SimTime::from_ms(3.0),
+        }
+    }
+
+    /// A commodity-Ethernet what-if profile: slow inter-node links make
+    /// communication dominate and compression pay off maximally.
+    pub fn ethernet_cluster() -> Self {
+        HardwareProfile {
+            name: "rtx2080ti-eth25".to_string(),
+            intra_link: LinkModel::new(60e-6, 0.55e9),
+            intra_link_exclusive: LinkModel::new(100e-6, 1.8e9),
+            inter_link: LinkModel::new(150e-6, 0.7e9),
+            local_copy: LinkModel::new(5e-6, 300e9),
+            phase_sync: SimTime::from_ms(1.0),
+            gemm: ComputeModel::new(10e-6, 12.0e12),
+            compress_bps: 45e9,
+            decompress_bps: 50e9,
+            gpu_mem_bytes: 11 * 1024 * 1024 * 1024,
+            layer_overhead: SimTime::from_ms(9.0),
+        }
+    }
+
+    /// Time for one intra-node send/recv pair of `bytes` (the paper's `t1`).
+    pub fn intra_sr(&self, bytes: u64) -> SimTime {
+        self.intra_link.time(bytes)
+    }
+
+    /// Time for an intra-node pair during an intra-only phase.
+    pub fn intra_sr_exclusive(&self, bytes: u64) -> SimTime {
+        self.intra_link_exclusive.time(bytes)
+    }
+
+    /// Time for one inter-node send/recv pair of `bytes` (the paper's `t2`).
+    pub fn inter_sr(&self, bytes: u64) -> SimTime {
+        self.inter_link.time(bytes)
+    }
+
+    /// Time for the in-place self copy `SR(i, i)`.
+    pub fn self_copy(&self, bytes: u64) -> SimTime {
+        self.local_copy.time(bytes)
+    }
+
+    /// Time to compress `bytes` of input.
+    pub fn compress_time(&self, bytes: u64) -> SimTime {
+        self.gemm.memory_bound_time(bytes, self.compress_bps)
+    }
+
+    /// Time to decompress back into `bytes` of output.
+    pub fn decompress_time(&self, bytes: u64) -> SimTime {
+        self.gemm.memory_bound_time(bytes, self.decompress_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_intra_is_slower_than_inter_per_pair() {
+        // On PCIe3-without-NVLink testbeds, effective pairwise intra-node
+        // bandwidth under contention is below the per-GPU NIC share; the
+        // Pipe-A2A analysis depends on their *totals* being comparable.
+        let hw = HardwareProfile::paper_testbed();
+        let bytes = 50_000_000;
+        assert!(hw.intra_sr(bytes) > hw.inter_sr(bytes));
+    }
+
+    #[test]
+    fn nvlink_profile_reverses_the_relation() {
+        let hw = HardwareProfile::nvlink_dgx();
+        let bytes = 50_000_000;
+        assert!(hw.intra_sr(bytes) < hw.inter_sr(bytes));
+    }
+
+    #[test]
+    fn self_copy_is_cheapest() {
+        let hw = HardwareProfile::paper_testbed();
+        let bytes = 10_000_000;
+        assert!(hw.self_copy(bytes) < hw.intra_sr(bytes));
+        assert!(hw.self_copy(bytes) < hw.inter_sr(bytes));
+    }
+
+    #[test]
+    fn compression_time_scales_linearly() {
+        let hw = HardwareProfile::paper_testbed();
+        let t1 = hw.compress_time(100_000_000).as_secs();
+        let t2 = hw.compress_time(200_000_000).as_secs();
+        assert!((t2 / t1 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn table1_anchor_a2a_time_is_close() {
+        // CT-MoE-12 (Table 5): per-GPU A2A payload S = B·L·M·4 bytes with
+        // B=136, L=31, M=512, k=1, f=1.0 → 8.63 MB; sequential (NCCL-style)
+        // A2A time = 3·t1(S/32) + 28·t2(S/32); 4 A2A per layer per step
+        // (2 forward + 2 backward), 12 layers ⇒ ≈ 252.6 ms (Table 1).
+        let hw = HardwareProfile::paper_testbed();
+        let s: u64 = 136 * 31 * 512 * 4;
+        let per_peer = s / 32;
+        let one_a2a = hw.intra_sr(per_peer) * 3.0
+            + hw.inter_sr(per_peer) * 28.0
+            + hw.self_copy(per_peer);
+        let total_ms = one_a2a.as_ms() * 4.0 * 12.0;
+        let paper = 252.6;
+        assert!(
+            (total_ms - paper).abs() / paper < 0.25,
+            "model {total_ms:.1} ms vs paper {paper} ms"
+        );
+    }
+}

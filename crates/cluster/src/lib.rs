@@ -1,0 +1,30 @@
+//! Cluster topology, hardware profiles, memory accounting, and the
+//! in-process rank fabric.
+//!
+//! This crate describes *where* things run:
+//!
+//! * [`Topology`] — an `N`-node cluster with `M` GPUs per node and the
+//!   rank arithmetic (which ranks share a node) that every hierarchical
+//!   all-to-all algorithm needs.
+//! * [`HardwareProfile`] — the cost-model constants of a concrete testbed.
+//!   [`HardwareProfile::paper_testbed`] reproduces the ScheMoE paper's
+//!   8-node × 4× RTX 2080 Ti cluster (PCIe 3.0 x16 intra-node, shared
+//!   100 Gb/s InfiniBand inter-node), calibrated against the paper's own
+//!   published measurements.
+//! * [`MemoryBudget`] — GPU memory accounting used to predict the
+//!   out-of-memory cases the paper reports (Faster-MoE on BERT-Large-MoE,
+//!   1DH-A2A at large message sizes, and the OOM-excluded sweep configs).
+//! * [`fabric`] — a real message-passing fabric: every rank is a thread,
+//!   channels are the interconnect. The functional all-to-all and
+//!   distributed MoE layers run on it, so collective correctness is tested
+//!   with real data movement rather than mocks.
+
+pub mod fabric;
+pub mod hardware;
+pub mod memory;
+pub mod topology;
+
+pub use fabric::{Fabric, FabricError, RankHandle};
+pub use hardware::HardwareProfile;
+pub use memory::MemoryBudget;
+pub use topology::{Rank, Topology};

@@ -1,0 +1,90 @@
+//! Closed-form performance analysis of Pipe-A2A (paper §7, Eq. 16–18).
+
+use schemoe_cluster::{HardwareProfile, Topology};
+use schemoe_netsim::SimTime;
+
+/// Total intra-node communication time `M · t1` for one rank's exchange of
+/// `input_bytes` (per-peer message = `input_bytes / P`).
+pub fn t_intra(topo: &Topology, hw: &HardwareProfile, input_bytes: u64) -> SimTime {
+    let per_peer = input_bytes / topo.world_size() as u64;
+    let m = topo.gpus_per_node();
+    hw.self_copy(per_peer) + hw.intra_sr(per_peer) * (m - 1) as f64
+}
+
+/// Total inter-node communication time `(P − M) · t2` for one rank.
+pub fn t_inter(topo: &Topology, hw: &HardwareProfile, input_bytes: u64) -> SimTime {
+    let per_peer = input_bytes / topo.world_size() as u64;
+    let pm = topo.world_size() - topo.gpus_per_node();
+    hw.inter_sr(per_peer) * pm as f64
+}
+
+/// Eq. 17: the sequential (NCCL-style) time `M·t1 + (P−M)·t2`.
+pub fn t_nccl_a2a(topo: &Topology, hw: &HardwareProfile, input_bytes: u64) -> SimTime {
+    t_intra(topo, hw, input_bytes) + t_inter(topo, hw, input_bytes)
+}
+
+/// Eq. 16: the pipelined time `max(M·t1, (P−M)·t2)`.
+pub fn t_pipe_a2a(topo: &Topology, hw: &HardwareProfile, input_bytes: u64) -> SimTime {
+    t_intra(topo, hw, input_bytes).max(t_inter(topo, hw, input_bytes))
+}
+
+/// Eq. 18: the theoretical maximum speedup of Pipe-A2A over the
+/// sequential execution, `(M·t1 + (P−M)·t2) / max(M·t1, (P−M)·t2)`.
+///
+/// Bounded by 2, approached when intra and inter totals are equal; near 1
+/// when one side dominates (the paper's NVLink discussion).
+pub fn max_speedup(topo: &Topology, hw: &HardwareProfile, input_bytes: u64) -> f64 {
+    t_nccl_a2a(topo, hw, input_bytes) / t_pipe_a2a(topo, hw, input_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_between_1_and_2() {
+        let topo = Topology::paper_testbed();
+        for hw in [
+            HardwareProfile::paper_testbed(),
+            HardwareProfile::nvlink_dgx(),
+            HardwareProfile::ethernet_cluster(),
+        ] {
+            for s in [1_000u64, 1_000_000, 1_000_000_000] {
+                let sp = max_speedup(&topo, &hw, s);
+                assert!((1.0..=2.0).contains(&sp), "{} at {s}: {sp}", hw.name);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_testbed_reaches_about_1_4x_at_large_sizes() {
+        let topo = Topology::paper_testbed();
+        let hw = HardwareProfile::paper_testbed();
+        let sp = max_speedup(&topo, &hw, 2_000_000_000);
+        assert!((1.3..1.6).contains(&sp), "Eq. 18 speedup {sp:.2}");
+    }
+
+    #[test]
+    fn nvlink_testbed_gains_almost_nothing() {
+        // §7: when t_intra ≪ t_inter the max speedup collapses toward 1.
+        let topo = Topology::paper_testbed();
+        let hw = HardwareProfile::nvlink_dgx();
+        let sp = max_speedup(&topo, &hw, 2_000_000_000);
+        assert!(sp < 1.1, "NVLink speedup should be marginal, got {sp:.3}");
+    }
+
+    #[test]
+    fn closed_form_matches_simulated_plan() {
+        use crate::{a2a_time, AllToAll, NcclA2A, PipeA2A};
+        let topo = Topology::paper_testbed();
+        let hw = HardwareProfile::paper_testbed();
+        let s = 640_000_000u64;
+        let nccl_sim = a2a_time(&NcclA2A, &topo, &hw, s).unwrap().as_secs();
+        let nccl_eq = t_nccl_a2a(&topo, &hw, s).as_secs();
+        assert!((nccl_sim - nccl_eq).abs() / nccl_eq < 1e-6);
+        let pipe_sim = a2a_time(&PipeA2A::new(), &topo, &hw, s).unwrap().as_secs();
+        let pipe_eq = t_pipe_a2a(&topo, &hw, s).as_secs()
+            + PipeA2A::new().plan(&topo, s).join_overhead().as_secs();
+        assert!((pipe_sim - pipe_eq).abs() / pipe_eq < 1e-6);
+    }
+}

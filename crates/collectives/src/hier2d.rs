@@ -1,0 +1,220 @@
+//! 2D-hierarchical all-to-all (Tutel / DeepSpeed-MoE style).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use schemoe_cluster::{FabricError, Rank, RankHandle, Topology};
+
+use crate::plan::{A2aPlan, SrOp, StreamAssignment};
+use crate::AllToAll;
+
+/// 2D-hierarchical all-to-all: an intra-node phase regroups every rank's
+/// payload by destination *local index*, then an inter-node phase
+/// exchanges along same-local-index "rails".
+///
+/// Message counts drop from `P−1` to `(M−1) + (N−1)` per rank, which wins
+/// when latency dominates; but the intra phase moves `(M−1)/M` of the full
+/// payload over the intra-node links and the two phases serialize, which
+/// is why Pipe-A2A overtakes it decisively at large sizes (Fig. 9c).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoDimHierA2A;
+
+impl AllToAll for TwoDimHierA2A {
+    fn name(&self) -> &'static str {
+        "2dh-a2a"
+    }
+
+    fn all_to_all(
+        &self,
+        handle: &mut RankHandle,
+        chunks: Vec<Bytes>,
+        tag_base: u64,
+    ) -> Result<Vec<Bytes>, FabricError> {
+        let topo = handle.topology();
+        let p = topo.world_size();
+        assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+        let me = handle.rank();
+        let my_node = topo.node_of(me);
+        let my_local = topo.local_rank(me);
+        // Tags: phase 1 = tag_base + dst_global; phase 2 = tag_base + P + src_global.
+        let t1 = |dst: usize| tag_base + dst as u64;
+        let t2 = |src: usize| tag_base + p as u64 + src as u64;
+
+        // Phase 1 (intra): route each chunk to the local rank whose local
+        // index matches the chunk's destination local index.
+        let mut staged: HashMap<(Rank, Rank), Bytes> = HashMap::new();
+        for (dst, chunk) in chunks.into_iter().enumerate() {
+            let via = topo.rank_of(my_node, topo.local_rank(dst));
+            if via == me {
+                staged.insert((me, dst), chunk);
+            } else {
+                handle.send(via, t1(dst), chunk)?;
+            }
+        }
+        for src in topo.node_ranks(my_node) {
+            if src == me {
+                continue;
+            }
+            // From each local peer: one chunk per node, destined to the
+            // rank with my local index on that node.
+            for dst_node in 0..topo.nodes() {
+                let dst = topo.rank_of(dst_node, my_local);
+                let chunk = handle.recv(src, t1(dst))?;
+                staged.insert((src, dst), chunk);
+            }
+        }
+
+        // Phase 2 (inter): exchange along the rail of my local index.
+        let mut out: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
+        for dst_node in 0..topo.nodes() {
+            let dst = topo.rank_of(dst_node, my_local);
+            for src in topo.node_ranks(my_node) {
+                let chunk = staged.remove(&(src, dst)).expect("phase 1 complete");
+                if dst == me {
+                    out[src] = Some(chunk);
+                } else {
+                    handle.send(dst, t2(src), chunk)?;
+                }
+            }
+        }
+        for src_node in 0..topo.nodes() {
+            if src_node == my_node {
+                continue;
+            }
+            for src in topo.node_ranks(src_node) {
+                let chunk = handle.recv(topo.rank_of(src_node, my_local), t2(src))?;
+                out[src] = Some(chunk);
+            }
+        }
+        Ok(out.into_iter().map(|o| o.expect("complete output")).collect())
+    }
+
+    fn plan(&self, topo: &Topology, input_bytes: u64) -> A2aPlan {
+        let p = topo.world_size();
+        let m = topo.gpus_per_node();
+        let n = topo.nodes();
+        let per_peer = input_bytes / p as u64;
+
+        // Phase 1 (intra): M−1 messages of N·per_peer plus a local keep.
+        let intra_msg = per_peer * n as u64;
+        let mut intra = Vec::new();
+        for src in topo.ranks() {
+            let node = topo.node_of(src);
+            for step in 0..m {
+                let dst = topo.rank_of(node, (topo.local_rank(src) + step) % m);
+                intra.push(SrOp {
+                    owner: src,
+                    src,
+                    dst,
+                    bytes: intra_msg,
+                    stream: StreamAssignment::Main,
+                    exclusive_intra: true,
+                });
+            }
+        }
+
+        // Phase 2 (inter): N−1 messages of M·per_peer along the rail.
+        let inter_msg = per_peer * m as u64;
+        let mut inter = Vec::new();
+        for src in topo.ranks() {
+            let (node, local) = (topo.node_of(src), topo.local_rank(src));
+            for step in 0..n {
+                let dst = topo.rank_of((node + step) % n, local);
+                inter.push(SrOp {
+                    owner: src,
+                    src,
+                    dst,
+                    bytes: inter_msg,
+                    stream: StreamAssignment::Main,
+                    exclusive_intra: false,
+                });
+            }
+        }
+
+        // Staging: the full regrouped payload between phases.
+        A2aPlan::new(self.name(), vec![intra, inter]).with_staging_bytes(input_bytes)
+    }
+
+    fn staging_bytes(&self, _topo: &Topology, input_bytes: u64) -> u64 {
+        input_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{a2a_time, NcclA2A, PipeA2A};
+    use schemoe_cluster::{Fabric, HardwareProfile};
+
+    #[test]
+    fn functional_exchange_matches_reference() {
+        let topo = Topology::new(2, 2);
+        let results = Fabric::run(topo, |mut h| {
+            let me = h.rank() as u8;
+            let chunks: Vec<Bytes> = (0..h.world_size())
+                .map(|j| Bytes::copy_from_slice(&[me, j as u8]))
+                .collect();
+            TwoDimHierA2A.all_to_all(&mut h, chunks, 0).unwrap()
+        });
+        for (me, got) in results.iter().enumerate() {
+            for (j, payload) in got.iter().enumerate() {
+                assert_eq!(payload.as_ref(), &[j as u8, me as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn functional_exchange_on_asymmetric_topology() {
+        let topo = Topology::new(3, 4);
+        let results = Fabric::run(topo, |mut h| {
+            let me = h.rank() as u8;
+            let chunks: Vec<Bytes> = (0..h.world_size())
+                .map(|j| Bytes::copy_from_slice(&[me, j as u8, 0x5A]))
+                .collect();
+            TwoDimHierA2A.all_to_all(&mut h, chunks, 7 * crate::TAG_STRIDE).unwrap()
+        });
+        for (me, got) in results.iter().enumerate() {
+            for (j, payload) in got.iter().enumerate() {
+                assert_eq!(payload.as_ref(), &[j as u8, me as u8, 0x5A]);
+            }
+        }
+    }
+
+    #[test]
+    fn comparable_to_nccl_at_median_and_worse_at_large() {
+        let topo = Topology::paper_testbed();
+        let hw = HardwareProfile::paper_testbed();
+        // Small (Fig. 9a): 2DH's fewer messages keep it within range of
+        // NCCL (our calibration puts the 2DH/NCCL crossover earlier in the
+        // median band than the paper's figure; see EXPERIMENTS.md).
+        let s = 1_000_000u64;
+        let two = a2a_time(&TwoDimHierA2A, &topo, &hw, s).unwrap();
+        let nccl = a2a_time(&NcclA2A, &topo, &hw, s).unwrap();
+        let ratio = two / nccl;
+        assert!((0.5..1.5).contains(&ratio), "small ratio {ratio:.2}");
+        // Median: at most ~NCCL × the large-regime constant.
+        let s = 100_000_000u64;
+        let two = a2a_time(&TwoDimHierA2A, &topo, &hw, s).unwrap();
+        let nccl = a2a_time(&NcclA2A, &topo, &hw, s).unwrap();
+        let ratio = two / nccl;
+        assert!((0.8..1.6).contains(&ratio), "upper-median ratio {ratio:.2}");
+        // Large (Fig. 9c): Pipe-A2A wins by ≈2×.
+        let s = 2_000_000_000u64;
+        let two = a2a_time(&TwoDimHierA2A, &topo, &hw, s).unwrap();
+        let pipe = a2a_time(&PipeA2A::new(), &topo, &hw, s).unwrap();
+        let speedup = two / pipe;
+        assert!(
+            (1.6..2.5).contains(&speedup),
+            "Pipe over 2DH at 2 GB should be ≈2×, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn fewer_messages_than_nccl() {
+        let topo = Topology::paper_testbed();
+        let plan2d = TwoDimHierA2A.plan(&topo, 32_000_000);
+        let plan_nccl = NcclA2A.plan(&topo, 32_000_000);
+        let count = |p: &crate::A2aPlan| p.phases().iter().map(Vec::len).sum::<usize>();
+        assert!(count(&plan2d) < count(&plan_nccl));
+    }
+}

@@ -1,0 +1,159 @@
+//! All-to-all collective algorithms (the paper's `AbsAlltoAll`).
+//!
+//! Four algorithms are implemented, matching §5 and the Fig. 9 evaluation:
+//!
+//! * [`NcclA2A`] — the NCCL-style baseline: every rank performs its `P`
+//!   send/recv pairs sequentially on one stream (paper Eq. 17).
+//! * [`OneDimHierA2A`] — Hetu's 1D-hierarchical algorithm: gather onto a
+//!   node leader, leader-to-leader exchange, scatter. Few inter-node
+//!   messages, but the leader stages `M×` the data (the OOM mechanism of
+//!   Fig. 9c).
+//! * [`TwoDimHierA2A`] — Tutel/DeepSpeed-MoE's 2D-hierarchical algorithm:
+//!   an intra-node phase regroups data by destination local index, then an
+//!   inter-node phase exchanges along same-local-index "rails".
+//! * [`PipeA2A`] — the paper's contribution: intra-node pairs are issued on
+//!   one stream and inter-node pairs on another, so the two kinds of link
+//!   are busy *simultaneously* (paper Eq. 16, Fig. 7).
+//!
+//! Every algorithm exists in two coupled forms behind the one [`AllToAll`]
+//! trait: a **functional** implementation moving real bytes over the
+//! in-process [`schemoe_cluster::fabric`] (tested for exact equivalence
+//! against the direct exchange), and a **plan** ([`A2aPlan`]) of
+//! send/recv pairs on streams that the discrete-event simulator times
+//! against a [`HardwareProfile`]. The plan is derived from the same phase
+//! structure the functional code executes, so what we time is what we
+//! tested.
+
+pub mod allreduce;
+pub mod analysis;
+pub mod imbalance;
+mod hier1d;
+mod hier2d;
+mod nccl;
+mod pipe;
+pub mod plan;
+pub mod primitives;
+
+pub use allreduce::{AllReduce, NaiveAllReduce, RingAllReduce};
+pub use imbalance::{straggler_factor, TrafficMatrix};
+pub use hier1d::OneDimHierA2A;
+pub use hier2d::TwoDimHierA2A;
+pub use nccl::NcclA2A;
+pub use pipe::PipeA2A;
+pub use plan::{A2aPlan, SrOp, StreamAssignment};
+
+use bytes::Bytes;
+use schemoe_cluster::{FabricError, HardwareProfile, RankHandle, Topology};
+use schemoe_netsim::{SimError, SimTime};
+
+/// Tag-space stride reserved per collective invocation.
+///
+/// Callers that issue several all-to-alls on the same fabric must step
+/// their `tag_base` by at least this much between invocations.
+pub const TAG_STRIDE: u64 = 1 << 24;
+
+/// The `AbsAlltoAll` abstraction: a complete exchange where rank `i`'s
+/// `chunks[j]` ends up at rank `j` as `received[i]`.
+pub trait AllToAll: Send + Sync {
+    /// Stable algorithm name used in reports and registries.
+    fn name(&self) -> &'static str;
+
+    /// Executes the exchange on the functional fabric.
+    ///
+    /// `chunks[j]` is this rank's payload for rank `j` (length must be the
+    /// world size); the result's element `j` is the payload rank `j` sent
+    /// to this rank. `tag_base` namespaces this invocation's messages; use
+    /// multiples of [`TAG_STRIDE`].
+    fn all_to_all(
+        &self,
+        handle: &mut RankHandle,
+        chunks: Vec<Bytes>,
+        tag_base: u64,
+    ) -> Result<Vec<Bytes>, FabricError>;
+
+    /// Compiles the algorithm into a simulatable plan for a uniform
+    /// exchange of `input_bytes` total per rank.
+    fn plan(&self, topo: &Topology, input_bytes: u64) -> A2aPlan;
+
+    /// Peak per-GPU staging-buffer requirement for the exchange, beyond
+    /// the caller's own input and output tensors.
+    fn staging_bytes(&self, _topo: &Topology, _input_bytes: u64) -> u64 {
+        0
+    }
+}
+
+/// Simulated wall time of one exchange of `input_bytes` per rank.
+///
+/// Convenience wrapper: compile the plan and run it against `hw`.
+pub fn a2a_time(
+    alg: &dyn AllToAll,
+    topo: &Topology,
+    hw: &HardwareProfile,
+    input_bytes: u64,
+) -> Result<SimTime, SimError> {
+    let plan = alg.plan(topo, input_bytes);
+    Ok(plan.simulate(topo, hw)?.makespan() + plan.join_overhead())
+}
+
+/// Whether an exchange of `input_bytes` fits in device memory.
+///
+/// Accounts for the caller's input and output tensors plus the algorithm's
+/// staging buffers against the profile's capacity, leaving `reserved` bytes
+/// for the rest of the application.
+pub fn a2a_fits_memory(
+    alg: &dyn AllToAll,
+    topo: &Topology,
+    hw: &HardwareProfile,
+    input_bytes: u64,
+    reserved: u64,
+) -> bool {
+    let mut budget = schemoe_cluster::MemoryBudget::new(hw.gpu_mem_bytes);
+    budget
+        .add("a2a input", input_bytes)
+        .add("a2a output", input_bytes)
+        .add("staging", alg.staging_bytes(topo, input_bytes))
+        .add("reserved", reserved);
+    budget.fits()
+}
+
+/// Reference all-to-all used as the correctness oracle in tests: a direct
+/// tagged exchange with no algorithmic structure.
+pub fn reference_all_to_all(
+    handle: &mut RankHandle,
+    chunks: Vec<Bytes>,
+    tag_base: u64,
+) -> Result<Vec<Bytes>, FabricError> {
+    let p = handle.world_size();
+    assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+    for (j, chunk) in chunks.into_iter().enumerate() {
+        handle.send(j, tag_base, chunk)?;
+    }
+    let mut out = Vec::with_capacity(p);
+    for j in 0..p {
+        out.push(handle.recv(j, tag_base)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemoe_cluster::Fabric;
+
+    #[test]
+    fn reference_exchange_routes_correctly() {
+        let topo = Topology::new(2, 2);
+        let results = Fabric::run(topo, |mut h| {
+            let me = h.rank() as u8;
+            let chunks: Vec<Bytes> = (0..h.world_size())
+                .map(|j| Bytes::copy_from_slice(&[me, j as u8]))
+                .collect();
+            reference_all_to_all(&mut h, chunks, 0).unwrap()
+        });
+        for (me, got) in results.iter().enumerate() {
+            for (j, payload) in got.iter().enumerate() {
+                assert_eq!(payload.as_ref(), &[j as u8, me as u8]);
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Simulatable all-to-all plans: phases of send/recv pairs on streams.
+
+use schemoe_cluster::{HardwareProfile, Rank, Topology};
+use schemoe_netsim::{SimError, SimTime, StreamSim, Trace};
+
+/// Which of a rank's two communication streams an operation is issued on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamAssignment {
+    /// The rank's primary stream (stream 0). Sequential algorithms put
+    /// everything here.
+    Main,
+    /// The rank's secondary stream (stream 1). Pipe-A2A issues inter-node
+    /// pairs here so they overlap with intra-node pairs on [`Self::Main`].
+    Secondary,
+}
+
+/// One send/recv pair `SR(src, dst)` within a plan.
+#[derive(Clone, Copy, Debug)]
+pub struct SrOp {
+    /// The rank whose stream executes (and is occupied by) this pair.
+    /// Usually the sender; gather patterns charge the receiver instead,
+    /// because its ingress link is the serializing resource.
+    pub owner: Rank,
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Stream assignment on the owner.
+    pub stream: StreamAssignment,
+    /// `true` when the op runs in a phase with no concurrent inter-node
+    /// traffic, earning the faster exclusive intra-node rate.
+    pub exclusive_intra: bool,
+}
+
+impl SrOp {
+    /// Simulated duration of this pair under `hw`.
+    pub fn duration(&self, topo: &Topology, hw: &HardwareProfile) -> SimTime {
+        if self.src == self.dst {
+            hw.self_copy(self.bytes)
+        } else if topo.same_node(self.src, self.dst) {
+            if self.exclusive_intra {
+                hw.intra_sr_exclusive(self.bytes)
+            } else {
+                hw.intra_sr(self.bytes)
+            }
+        } else {
+            hw.inter_sr(self.bytes)
+        }
+    }
+
+    /// Whether the pair crosses nodes.
+    pub fn is_inter_node(&self, topo: &Topology) -> bool {
+        !topo.same_node(self.src, self.dst)
+    }
+}
+
+/// A compiled all-to-all: phases of [`SrOp`]s plus memory metadata.
+///
+/// Within a phase, each rank's ops execute in listed order on their
+/// assigned streams; a synchronization barrier (costing
+/// [`HardwareProfile::phase_sync`]) separates consecutive phases, which is
+/// how hierarchical algorithms serialize their stages.
+#[derive(Clone, Debug)]
+pub struct A2aPlan {
+    name: String,
+    phases: Vec<Vec<SrOp>>,
+    staging_bytes: u64,
+    join_overhead: SimTime,
+}
+
+impl A2aPlan {
+    /// Creates a plan.
+    pub fn new(name: impl Into<String>, phases: Vec<Vec<SrOp>>) -> Self {
+        A2aPlan {
+            name: name.into(),
+            phases,
+            staging_bytes: 0,
+            join_overhead: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the per-GPU staging-buffer requirement, builder style.
+    pub fn with_staging_bytes(mut self, bytes: u64) -> Self {
+        self.staging_bytes = bytes;
+        self
+    }
+
+    /// Sets a fixed end-of-collective overhead (e.g. multi-stream join),
+    /// builder style.
+    pub fn with_join_overhead(mut self, overhead: SimTime) -> Self {
+        self.join_overhead = overhead;
+        self
+    }
+
+    /// Algorithm name this plan was compiled from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The phase-major operation list.
+    pub fn phases(&self) -> &[Vec<SrOp>] {
+        &self.phases
+    }
+
+    /// Per-GPU staging-buffer bytes beyond input and output tensors.
+    pub fn staging_bytes(&self) -> u64 {
+        self.staging_bytes
+    }
+
+    /// Fixed end-of-collective overhead to add to the simulated makespan.
+    pub fn join_overhead(&self) -> SimTime {
+        self.join_overhead
+    }
+
+    /// Total bytes crossing node boundaries (one direction counted once).
+    pub fn inter_node_bytes(&self, topo: &Topology) -> u64 {
+        self.phases
+            .iter()
+            .flatten()
+            .filter(|op| op.is_inter_node(topo))
+            .map(|op| op.bytes)
+            .sum()
+    }
+
+    /// Runs the plan against a hardware profile.
+    ///
+    /// Each rank gets two streams; phase barriers are modelled as a
+    /// `phase_sync`-long op on a dedicated sync stream that every
+    /// next-phase op waits on.
+    pub fn simulate(&self, topo: &Topology, hw: &HardwareProfile) -> Result<Trace, SimError> {
+        let p = topo.world_size();
+        let mut sim = StreamSim::new();
+        let mut main = Vec::with_capacity(p);
+        let mut secondary = Vec::with_capacity(p);
+        for r in 0..p {
+            main.push(sim.stream(format!("gpu{r}.main")));
+            secondary.push(sim.stream(format!("gpu{r}.aux")));
+        }
+        let sync_stream = sim.stream("sync");
+
+        let mut prev_barrier = None;
+        for (pi, phase) in self.phases.iter().enumerate() {
+            let mut phase_ops = Vec::with_capacity(phase.len());
+            for op in phase {
+                let stream = match op.stream {
+                    StreamAssignment::Main => main[op.owner],
+                    StreamAssignment::Secondary => secondary[op.owner],
+                };
+                let deps: &[schemoe_netsim::OpId] = match &prev_barrier {
+                    Some(b) => std::slice::from_ref(b),
+                    None => &[],
+                };
+                let id = sim.push(
+                    stream,
+                    op.duration(topo, hw),
+                    deps,
+                    format!("p{pi}:sr({},{})", op.src, op.dst),
+                );
+                phase_ops.push(id);
+            }
+            if pi + 1 < self.phases.len() {
+                prev_barrier = Some(sim.push(
+                    sync_stream,
+                    hw.phase_sync,
+                    &phase_ops,
+                    format!("sync{pi}"),
+                ));
+            }
+        }
+        sim.run()
+    }
+}
+
+/// Splits `total` bytes evenly across `parts`, assigning the remainder to
+/// the earliest parts so sizes never differ by more than one byte.
+pub fn split_bytes(total: u64, parts: usize) -> Vec<u64> {
+    let parts = parts.max(1) as u64;
+    let base = total / parts;
+    let rem = total % parts;
+    (0..parts).map(|i| base + u64::from(i < rem)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareProfile {
+        HardwareProfile::paper_testbed()
+    }
+
+    #[test]
+    fn single_phase_plan_runs_per_rank_sequentially() {
+        let topo = Topology::new(1, 2);
+        // Rank 0 does two intra pairs on Main: they serialize.
+        let ops = vec![
+            SrOp {
+                owner: 0,
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                stream: StreamAssignment::Main,
+                exclusive_intra: false,
+            },
+            SrOp {
+                owner: 0,
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                stream: StreamAssignment::Main,
+                exclusive_intra: false,
+            },
+        ];
+        let plan = A2aPlan::new("test", vec![ops]);
+        let trace = plan.simulate(&topo, &hw()).unwrap();
+        let one = hw().intra_sr(1_000_000);
+        assert!((trace.makespan().as_secs() - 2.0 * one.as_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn secondary_stream_overlaps_with_main() {
+        let topo = Topology::new(2, 2);
+        let mk = |stream, dst| SrOp {
+            owner: 0,
+            src: 0,
+            dst,
+            bytes: 10_000_000,
+            stream,
+            exclusive_intra: false,
+        };
+        let plan = A2aPlan::new(
+            "test",
+            vec![vec![mk(StreamAssignment::Main, 1), mk(StreamAssignment::Secondary, 2)]],
+        );
+        let trace = plan.simulate(&topo, &hw()).unwrap();
+        let intra = hw().intra_sr(10_000_000);
+        let inter = hw().inter_sr(10_000_000);
+        assert!(
+            (trace.makespan().as_secs() - intra.max(inter).as_secs()).abs() < 1e-9,
+            "streams must overlap"
+        );
+    }
+
+    #[test]
+    fn phase_barrier_serializes_and_costs_sync() {
+        let topo = Topology::new(1, 2);
+        let op = SrOp {
+            owner: 0,
+            src: 0,
+            dst: 1,
+            bytes: 1_000_000,
+            stream: StreamAssignment::Main,
+            exclusive_intra: true,
+        };
+        let plan = A2aPlan::new("test", vec![vec![op], vec![op]]);
+        let trace = plan.simulate(&topo, &hw()).unwrap();
+        let one = hw().intra_sr_exclusive(1_000_000);
+        let expected = one.as_secs() * 2.0 + hw().phase_sync.as_secs();
+        assert!((trace.makespan().as_secs() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusive_intra_rate_is_faster() {
+        let topo = Topology::new(1, 2);
+        let base = SrOp {
+            owner: 0,
+            src: 0,
+            dst: 1,
+            bytes: 100_000_000,
+            stream: StreamAssignment::Main,
+            exclusive_intra: false,
+        };
+        let shared = base.duration(&topo, &hw());
+        let exclusive = SrOp { exclusive_intra: true, ..base }.duration(&topo, &hw());
+        assert!(exclusive < shared);
+    }
+
+    #[test]
+    fn split_bytes_is_balanced_and_complete() {
+        let parts = split_bytes(10, 3);
+        assert_eq!(parts.iter().sum::<u64>(), 10);
+        assert_eq!(parts, vec![4, 3, 3]);
+        assert_eq!(split_bytes(9, 3), vec![3, 3, 3]);
+        assert_eq!(split_bytes(0, 4), vec![0, 0, 0, 0]);
+    }
+}

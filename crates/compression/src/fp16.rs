@@ -1,0 +1,202 @@
+//! IEEE 754 half-precision codec, implemented from scratch.
+
+use bytes::Bytes;
+
+use crate::{CompressionError, Compressor};
+
+/// Converts an `f32` to IEEE 754 binary16 bits with round-to-nearest-even.
+///
+/// Handles normals, subnormals, overflow to infinity, and NaN (quieted).
+pub fn f32_to_f16_bits(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN.
+        return if mant == 0 { sign | 0x7c00 } else { sign | 0x7e00 };
+    }
+    // Re-bias: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow to infinity.
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normalized half. Round mantissa from 23 to 10 bits, ties to even.
+        let mut m = mant >> 13;
+        let rest = mant & 0x1fff;
+        if rest > 0x1000 || (rest == 0x1000 && (m & 1) == 1) {
+            m += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if m == 0x400 {
+            // Mantissa rounding overflowed into the exponent.
+            m = 0;
+            e += 1;
+            if e >= 0x1f {
+                return sign | 0x7c00;
+            }
+        }
+        return sign | ((e as u16) << 10) | (m as u16);
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let shift = (-14 - unbiased) as u32; // 1..=10
+        let full = mant | 0x0080_0000; // implicit leading 1
+        let total_shift = 13 + shift;
+        let mut m = full >> total_shift;
+        let rest = full & ((1 << total_shift) - 1);
+        let half = 1u32 << (total_shift - 1);
+        if rest > half || (rest == half && (m & 1) == 1) {
+            m += 1;
+        }
+        return sign | (m as u16);
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Converts IEEE 754 binary16 bits to an `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x3ff) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: normalize.
+            let mut e = -1i32;
+            let mut m = m;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x3ff;
+            sign | (((127 - 15 + e + 1) as u32) << 23) | (m << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Half-precision codec: 2 bytes per value, 2× ratio.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fp16Compressor;
+
+impl Compressor for Fp16Compressor {
+    fn name(&self) -> &'static str {
+        "fp16"
+    }
+
+    fn compress(&self, data: &[f32]) -> Bytes {
+        let mut out = Vec::with_capacity(data.len() * 2);
+        for &v in data {
+            out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
+        }
+        Bytes::from(out)
+    }
+
+    fn decompress(&self, payload: &[u8], n_elems: usize) -> Result<Vec<f32>, CompressionError> {
+        if payload.len() != n_elems * 2 {
+            return Err(CompressionError::CorruptPayload {
+                codec: "fp16",
+                expected: n_elems * 2,
+                actual: payload.len(),
+            });
+        }
+        Ok(payload
+            .chunks_exact(2)
+            .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
+            .collect())
+    }
+
+    fn compressed_len(&self, n_elems: usize) -> usize {
+        n_elems * 2
+    }
+
+    fn is_lossless(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_halves_round_trip_losslessly() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, 6.1035156e-5] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            assert_eq!(back, v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_within_half_epsilon() {
+        // Half has 11 significand bits: relative error ≤ 2^-11.
+        for i in 1..2000 {
+            let v = i as f32 * 0.137;
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            let rel = (back - v).abs() / v.abs();
+            assert!(rel <= 1.0 / 2048.0 + 1e-7, "v={v} back={back} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e10)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e10)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn tiny_values_flush_toward_zero_range() {
+        // Below the half subnormal range, values become ±0.
+        let tiny = 1e-10f32;
+        let back = f16_bits_to_f32(f32_to_f16_bits(tiny));
+        assert_eq!(back, 0.0);
+        let back = f16_bits_to_f32(f32_to_f16_bits(-tiny));
+        assert_eq!(back, -0.0);
+    }
+
+    #[test]
+    fn subnormal_halves_round_trip() {
+        // 2^-24 is the smallest positive half subnormal.
+        let v = 5.9604645e-8f32;
+        let back = f16_bits_to_f32(f32_to_f16_bits(v));
+        assert!((back - v).abs() <= v, "v={v} back={back}");
+        assert!(back > 0.0);
+    }
+
+    #[test]
+    fn codec_roundtrip_shapes() {
+        let data: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.31).collect();
+        let c = Fp16Compressor;
+        let wire = c.compress(&data);
+        assert_eq!(wire.len(), 200);
+        let back = c.decompress(&wire, 100).unwrap();
+        for (a, b) in data.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 0.02, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly between two halves; must round to even (1.0).
+        let v = 1.0f32 + 1.0 / 2048.0;
+        let back = f16_bits_to_f32(f32_to_f16_bits(v));
+        assert_eq!(back, 1.0);
+        // 1.0 + 3*2^-11 is between 1+2^-10 and 1+2^-9; rounds to even (1+2^-9).
+        let v = 1.0f32 + 3.0 / 2048.0;
+        let back = f16_bits_to_f32(f32_to_f16_bits(v));
+        assert_eq!(back, 1.0 + 2.0 / 1024.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The lossless pass-through codec (plain little-endian `f32`).
+
+use bytes::Bytes;
+
+use crate::{CompressionError, Compressor};
+
+/// No compression: values are shipped as little-endian `f32` bytes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCompression;
+
+impl Compressor for NoCompression {
+    fn name(&self) -> &'static str {
+        "fp32"
+    }
+
+    fn compress(&self, data: &[f32]) -> Bytes {
+        let mut out = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Bytes::from(out)
+    }
+
+    fn decompress(&self, payload: &[u8], n_elems: usize) -> Result<Vec<f32>, CompressionError> {
+        if payload.len() != n_elems * 4 {
+            return Err(CompressionError::CorruptPayload {
+                codec: "fp32",
+                expected: n_elems * 4,
+                actual: payload.len(),
+            });
+        }
+        Ok(payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn compressed_len(&self, n_elems: usize) -> usize {
+        n_elems * 4
+    }
+
+    fn is_lossless(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let data = [1.5f32, -2.25, 0.0, f32::MIN_POSITIVE, 3.4e38];
+        let wire = NoCompression.compress(&data);
+        assert_eq!(wire.len(), 20);
+        let back = NoCompression.decompress(&wire, 5).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let err = NoCompression.decompress(&[0u8; 7], 2).unwrap_err();
+        assert!(matches!(err, CompressionError::CorruptPayload { .. }));
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let wire = NoCompression.compress(&[]);
+        assert!(wire.is_empty());
+        assert!(NoCompression.decompress(&wire, 0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Linear INT8 quantization with a per-tensor scale.
+
+use bytes::Bytes;
+
+use crate::{CompressionError, Compressor};
+
+/// INT8 codec: one global absmax scale, then 8-bit signed quantization.
+///
+/// The per-*tensor* scale is what makes this codec coarse: a single outlier
+/// stretches the quantization step for every value, which is the mechanism
+/// behind the convergence degradation the paper reports for `MoE w/INT8`
+/// (Table 6). Contrast with [`crate::ZfpCompressor`], which scales per
+/// small block.
+///
+/// Wire format: 4-byte little-endian `f32` scale, then one `i8` per value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Int8Compressor;
+
+impl Compressor for Int8Compressor {
+    fn name(&self) -> &'static str {
+        "int8"
+    }
+
+    fn compress(&self, data: &[f32]) -> Bytes {
+        let absmax = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
+        let mut out = Vec::with_capacity(4 + data.len());
+        out.extend_from_slice(&scale.to_le_bytes());
+        for &v in data {
+            let q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+            out.push(q as u8);
+        }
+        Bytes::from(out)
+    }
+
+    fn decompress(&self, payload: &[u8], n_elems: usize) -> Result<Vec<f32>, CompressionError> {
+        if payload.len() != 4 + n_elems {
+            return Err(CompressionError::CorruptPayload {
+                codec: "int8",
+                expected: 4 + n_elems,
+                actual: payload.len(),
+            });
+        }
+        let scale = f32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        Ok(payload[4..].iter().map(|&b| (b as i8) as f32 * scale).collect())
+    }
+
+    fn compressed_len(&self, n_elems: usize) -> usize {
+        4 + n_elems
+    }
+
+    fn is_lossless(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roundtrip_max_error;
+
+    #[test]
+    fn uniform_data_error_is_bounded_by_half_step() {
+        let data: Vec<f32> = (0..256).map(|i| (i as f32 / 255.0) * 2.0 - 1.0).collect();
+        let err = roundtrip_max_error(&Int8Compressor, &data);
+        // Step = absmax/127; max error = step/2.
+        assert!(err <= 0.5 / 127.0 + 1e-6, "err {err}");
+    }
+
+    #[test]
+    fn outlier_destroys_precision_of_small_values() {
+        // This is the Table 6 failure mode: one large value makes the
+        // quantization step coarser than the small values themselves.
+        let mut data = vec![0.01f32; 100];
+        data[0] = 100.0;
+        let wire = Int8Compressor.compress(&data);
+        let back = Int8Compressor.decompress(&wire, data.len()).unwrap();
+        // Small values collapse to zero.
+        assert_eq!(back[1], 0.0);
+        // But the outlier survives.
+        assert!((back[0] - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn all_zero_tensor_round_trips() {
+        let data = vec![0.0f32; 16];
+        let err = roundtrip_max_error(&Int8Compressor, &data);
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn signs_are_preserved() {
+        let data = [-1.0f32, 1.0, -0.5, 0.5];
+        let wire = Int8Compressor.compress(&data);
+        let back = Int8Compressor.decompress(&wire, 4).unwrap();
+        for (a, b) in data.iter().zip(back.iter()) {
+            assert_eq!(a.signum(), b.signum());
+        }
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let err = Int8Compressor.decompress(&[0u8; 10], 20).unwrap_err();
+        assert!(matches!(err, CompressionError::CorruptPayload { .. }));
+    }
+}

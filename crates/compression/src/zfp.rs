@@ -1,0 +1,269 @@
+//! Fixed-rate block floating-point codec in the spirit of ZFP.
+
+use bytes::Bytes;
+
+use crate::{CompressionError, Compressor};
+
+/// Values per block sharing one exponent.
+const BLOCK: usize = 8;
+
+/// A fixed-rate lossy codec: blocks of 8 values share one exponent byte and
+/// keep `mantissa_bits`-bit signed mantissas.
+///
+/// With the default 7-bit mantissas a block costs `1 + 7` bytes for 8
+/// values — exactly 8 bits/value, the 4× rate the paper measures for ZFP
+/// (§6.2). The error bound is *per block*: for every value `v` in a block
+/// whose largest magnitude is `m`,
+///
+/// ```text
+/// |decode(encode(v)) - v| ≤ m / (2^(mantissa_bits - 1) - 1)
+/// ```
+///
+/// so quantization noise scales with the local neighbourhood, not with the
+/// whole tensor. That locality is what preserves convergence where the
+/// per-tensor-scaled [`crate::Int8Compressor`] fails (Table 6).
+///
+/// Wire format per block: one exponent byte `e + 127` (0 ⇒ the encoder's
+/// chosen exponent was −127, which also covers the all-zero block), then
+/// `mantissa_bits` bytes of bit-packed two's-complement mantissas.
+#[derive(Clone, Copy, Debug)]
+pub struct ZfpCompressor {
+    mantissa_bits: u32,
+}
+
+impl ZfpCompressor {
+    /// Creates a codec with the given mantissa width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `4 ≤ mantissa_bits ≤ 16`.
+    pub fn new(mantissa_bits: u32) -> Self {
+        assert!(
+            (4..=16).contains(&mantissa_bits),
+            "mantissa_bits {mantissa_bits} outside 4..=16"
+        );
+        ZfpCompressor { mantissa_bits }
+    }
+
+    /// Mantissa width in bits.
+    pub fn mantissa_bits(&self) -> u32 {
+        self.mantissa_bits
+    }
+
+    /// Largest representable mantissa magnitude.
+    fn qmax(&self) -> i32 {
+        (1 << (self.mantissa_bits - 1)) - 1
+    }
+
+    fn block_bytes(&self) -> usize {
+        1 + self.mantissa_bits as usize
+    }
+}
+
+impl Default for ZfpCompressor {
+    /// The paper's operating point: 8 bits/value, 4× compression.
+    fn default() -> Self {
+        ZfpCompressor::new(7)
+    }
+}
+
+impl Compressor for ZfpCompressor {
+    fn name(&self) -> &'static str {
+        "zfp"
+    }
+
+    fn compress(&self, data: &[f32]) -> Bytes {
+        let qmax = self.qmax();
+        let mb = self.mantissa_bits;
+        let mut out = Vec::with_capacity(self.compressed_len(data.len()));
+        for chunk in data.chunks(BLOCK) {
+            let absmax = chunk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            // Exponent e such that step = 2^e ≥ absmax / qmax.
+            let e = if absmax > 0.0 {
+                ((absmax / qmax as f32).log2().ceil() as i32).clamp(-127, 127)
+            } else {
+                -127
+            };
+            out.push((e + 127) as u8);
+            let step = (e as f32).exp2();
+            // Bit-pack `mb`-bit two's-complement mantissas, LSB-first.
+            let mut acc: u64 = 0;
+            let mut nbits: u32 = 0;
+            let mask = (1u64 << mb) - 1;
+            for i in 0..BLOCK {
+                let v = chunk.get(i).copied().unwrap_or(0.0);
+                let q = (v / step).round().clamp(-(qmax as f32), qmax as f32) as i32;
+                acc |= ((q as u64) & mask) << nbits;
+                nbits += mb;
+                while nbits >= 8 {
+                    out.push((acc & 0xff) as u8);
+                    acc >>= 8;
+                    nbits -= 8;
+                }
+            }
+            debug_assert_eq!(nbits, 0, "8 values x {mb} bits is byte aligned");
+        }
+        Bytes::from(out)
+    }
+
+    fn decompress(&self, payload: &[u8], n_elems: usize) -> Result<Vec<f32>, CompressionError> {
+        let expected = self.compressed_len(n_elems);
+        if payload.len() != expected {
+            return Err(CompressionError::CorruptPayload {
+                codec: "zfp",
+                expected,
+                actual: payload.len(),
+            });
+        }
+        let mb = self.mantissa_bits;
+        let sign_bit = 1u64 << (mb - 1);
+        let mask = (1u64 << mb) - 1;
+        let mut out = Vec::with_capacity(n_elems);
+        for (bi, block) in payload.chunks(self.block_bytes()).enumerate() {
+            let e = block[0] as i32 - 127;
+            let step = (e as f32).exp2();
+            let mut acc: u64 = 0;
+            let mut nbits: u32 = 0;
+            let mut next_byte = 1usize;
+            for i in 0..BLOCK {
+                if bi * BLOCK + i >= n_elems {
+                    break;
+                }
+                while nbits < mb {
+                    acc |= (block[next_byte] as u64) << nbits;
+                    next_byte += 1;
+                    nbits += 8;
+                }
+                let raw = acc & mask;
+                acc >>= mb;
+                nbits -= mb;
+                // Sign-extend.
+                let q = if raw & sign_bit != 0 {
+                    (raw as i64 - (1i64 << mb)) as i32
+                } else {
+                    raw as i32
+                };
+                out.push(q as f32 * step);
+            }
+        }
+        Ok(out)
+    }
+
+    fn compressed_len(&self, n_elems: usize) -> usize {
+        n_elems.div_ceil(BLOCK) * self.block_bytes()
+    }
+
+    fn is_lossless(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roundtrip_max_error;
+
+    #[test]
+    fn default_rate_is_4x() {
+        let z = ZfpCompressor::default();
+        assert_eq!(z.compressed_len(8), 8);
+        assert_eq!(z.compressed_len(4096), 4096);
+    }
+
+    #[test]
+    fn per_block_error_bound_holds() {
+        let z = ZfpCompressor::default();
+        let data: Vec<f32> = (0..64)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.173)
+            .collect();
+        let wire = z.compress(&data);
+        let back = z.decompress(&wire, data.len()).unwrap();
+        for (block_idx, chunk) in data.chunks(8).enumerate() {
+            let m = chunk.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+            let bound = m / 63.0 + 1e-7;
+            for (i, v) in chunk.iter().enumerate() {
+                let got = back[block_idx * 8 + i];
+                assert!(
+                    (got - v).abs() <= bound,
+                    "block {block_idx} elem {i}: {v} -> {got}, bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_only_hurts_its_own_block() {
+        // The INT8 failure case from Table 6 does not apply here: small
+        // values in *other* blocks keep full relative precision.
+        let z = ZfpCompressor::default();
+        let mut data = vec![0.01f32; 64];
+        data[0] = 100.0;
+        let wire = z.compress(&data);
+        let back = z.decompress(&wire, 64).unwrap();
+        // Values in the outlier's block are coarse...
+        assert!((back[1] - 0.01).abs() > 1e-4);
+        // ...but every other block retains ~1.6% relative accuracy.
+        for i in 8..64 {
+            assert!(
+                (back[i] - 0.01).abs() <= 0.01 / 63.0 + 1e-7,
+                "elem {i}: {}",
+                back[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_blocks_are_exact() {
+        let z = ZfpCompressor::default();
+        assert_eq!(roundtrip_max_error(&z, &[0.0f32; 32]), 0.0);
+    }
+
+    #[test]
+    fn partial_final_block_round_trips() {
+        let z = ZfpCompressor::default();
+        let data = [1.0f32, -2.0, 3.0]; // 3 of 8 slots used.
+        let wire = z.compress(&data);
+        assert_eq!(wire.len(), z.compressed_len(3));
+        let back = z.decompress(&wire, 3).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in data.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= 3.0 / 63.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn higher_rate_is_more_accurate() {
+        let data: Vec<f32> = (0..128).map(|i| (i as f32 * 0.77).sin()).collect();
+        let coarse = roundtrip_max_error(&ZfpCompressor::new(5), &data);
+        let medium = roundtrip_max_error(&ZfpCompressor::new(7), &data);
+        let fine = roundtrip_max_error(&ZfpCompressor::new(12), &data);
+        assert!(fine < medium && medium < coarse, "{fine} < {medium} < {coarse}");
+    }
+
+    #[test]
+    fn huge_and_tiny_magnitudes_survive() {
+        let z = ZfpCompressor::default();
+        let data = [1e30f32, -1e30, 1e-30, -1e-30, 0.0, 1e30, 1e-30, 0.5];
+        let wire = z.compress(&data);
+        let back = z.decompress(&wire, 8).unwrap();
+        // All in one block: bound is 1e30/63.
+        for (a, b) in data.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= 1e30 / 63.0 * 1.01);
+        }
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let z = ZfpCompressor::default();
+        assert!(matches!(
+            z.decompress(&[0u8; 3], 8),
+            Err(CompressionError::CorruptPayload { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 4..=16")]
+    fn silly_rates_are_rejected() {
+        ZfpCompressor::new(2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests shared by every codec.
+
+use proptest::prelude::*;
+use schemoe_compression::{
+    Compressor, Fp16Compressor, Int8Compressor, NoCompression, ZfpCompressor,
+};
+
+fn codecs() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(NoCompression),
+        Box::new(Fp16Compressor),
+        Box::new(Int8Compressor),
+        Box::new(ZfpCompressor::default()),
+        Box::new(ZfpCompressor::new(12)),
+    ]
+}
+
+proptest! {
+    /// Every codec's wire size matches its `compressed_len` contract and
+    /// decoding returns exactly the requested element count.
+    #[test]
+    fn sizes_and_counts_are_exact(data in proptest::collection::vec(-100.0f32..100.0, 0..200)) {
+        for codec in codecs() {
+            let wire = codec.compress(&data);
+            prop_assert_eq!(
+                wire.len(),
+                codec.compressed_len(data.len()),
+                "codec {}",
+                codec.name()
+            );
+            let back = codec.decompress(&wire, data.len()).unwrap();
+            prop_assert_eq!(back.len(), data.len());
+        }
+    }
+
+    /// Lossy error never exceeds each codec's documented bound.
+    #[test]
+    fn error_bounds_hold(data in proptest::collection::vec(-1000.0f32..1000.0, 1..128)) {
+        let absmax = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+
+        // fp32: exact.
+        let wire = NoCompression.compress(&data);
+        prop_assert_eq!(NoCompression.decompress(&wire, data.len()).unwrap(), data.clone());
+
+        // fp16: relative error ≤ 2^-11 per value (plus subnormal flushing,
+        // irrelevant at these magnitudes).
+        let wire = Fp16Compressor.compress(&data);
+        let back = Fp16Compressor.decompress(&wire, data.len()).unwrap();
+        for (a, b) in data.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() <= a.abs() / 2048.0 + 1e-4);
+        }
+
+        // int8: error ≤ half a quantization step of the tensor absmax.
+        let int8 = Int8Compressor;
+        let wire = int8.compress(&data);
+        let back = int8.decompress(&wire, data.len()).unwrap();
+        for (a, b) in data.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() <= absmax / 127.0 / 2.0 + 1e-5);
+        }
+
+        // zfp: error ≤ blockmax / qmax per block.
+        let zfp = ZfpCompressor::default();
+        let wire = zfp.compress(&data);
+        let back = zfp.decompress(&wire, data.len()).unwrap();
+        for (block_idx, chunk) in data.chunks(8).enumerate() {
+            let m = chunk.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+            for (i, v) in chunk.iter().enumerate() {
+                let got = back[block_idx * 8 + i];
+                prop_assert!(
+                    (got - v).abs() <= m / 63.0 * 1.001 + 1e-7,
+                    "codec zfp block {} elem {}: {} -> {}",
+                    block_idx, i, v, got
+                );
+            }
+        }
+    }
+
+    /// Compressing twice produces identical bytes (codecs are pure).
+    #[test]
+    fn compression_is_deterministic(data in proptest::collection::vec(-10.0f32..10.0, 0..64)) {
+        for codec in codecs() {
+            prop_assert_eq!(codec.compress(&data), codec.compress(&data));
+        }
+    }
+
+    /// A second round trip is a fixed point: decode(encode(decode(encode(x))))
+    /// equals decode(encode(x)) for every codec (idempotent quantization).
+    #[test]
+    fn requantization_is_idempotent(data in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        for codec in codecs() {
+            let once = codec.decompress(&codec.compress(&data), data.len()).unwrap();
+            let twice = codec.decompress(&codec.compress(&once), once.len()).unwrap();
+            for (a, b) in once.iter().zip(twice.iter()) {
+                prop_assert!(
+                    (a - b).abs() <= a.abs() * 1e-3 + 1e-6,
+                    "codec {} not idempotent: {} vs {}",
+                    codec.name(), a, b
+                );
+            }
+        }
+    }
+}

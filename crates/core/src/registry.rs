@@ -1,0 +1,213 @@
+//! Extension registries: the Listing 1–2 customization surface.
+//!
+//! The paper's headline extensibility claim is that users can drop in new
+//! compressors, A2A algorithms, and schedules without touching the
+//! training logic. In Rust the drop-in point is a name → factory registry;
+//! the built-ins pre-register themselves and user code adds more:
+//!
+//! ```
+//! use schemoe::CompressorRegistry;
+//! use schemoe_compression::{Compressor, NoCompression};
+//!
+//! let mut reg = CompressorRegistry::with_builtins();
+//! reg.register("mine", || Box::new(NoCompression));
+//! assert!(reg.create("mine").is_some());
+//! assert!(reg.create("zfp").is_some());
+//! ```
+
+use std::collections::HashMap;
+
+use schemoe_collectives::{AllToAll, NcclA2A, OneDimHierA2A, PipeA2A, TwoDimHierA2A};
+use schemoe_compression::{
+    Compressor, Fp16Compressor, Int8Compressor, NoCompression, ZfpCompressor,
+};
+use schemoe_scheduler::schedules::{optsche, stage_major};
+use schemoe_scheduler::Schedule;
+
+/// Factory signature stored by [`CompressorRegistry`].
+type CompressorFactory = Box<dyn Fn() -> Box<dyn Compressor> + Send + Sync>;
+/// Factory signature stored by [`A2aRegistry`].
+type A2aFactory = Box<dyn Fn() -> Box<dyn AllToAll> + Send + Sync>;
+/// Factory signature stored by [`ScheduleRegistry`].
+type ScheduleFactory = Box<dyn Fn(usize) -> Schedule + Send + Sync>;
+
+/// Name → factory registry for [`Compressor`] implementations.
+#[derive(Default)]
+pub struct CompressorRegistry {
+    factories: HashMap<String, CompressorFactory>,
+}
+
+impl CompressorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with `fp32`, `fp16`, `int8`, and `zfp`.
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        reg.register("fp32", || Box::new(NoCompression));
+        reg.register("fp16", || Box::new(Fp16Compressor));
+        reg.register("int8", || Box::new(Int8Compressor));
+        reg.register("zfp", || Box::new(ZfpCompressor::default()));
+        reg
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Compressor> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Instantiates the codec registered under `name`.
+    pub fn create(&self, name: &str) -> Option<Box<dyn Compressor>> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Name → factory registry for [`AllToAll`] algorithms.
+#[derive(Default)]
+pub struct A2aRegistry {
+    factories: HashMap<String, A2aFactory>,
+}
+
+impl A2aRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with `nccl`, `1dh`, `2dh`, and `pipe`.
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        reg.register("nccl", || Box::new(NcclA2A));
+        reg.register("1dh", || Box::new(OneDimHierA2A));
+        reg.register("2dh", || Box::new(TwoDimHierA2A));
+        reg.register("pipe", || Box::new(PipeA2A::new()));
+        reg
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn AllToAll> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Instantiates the algorithm registered under `name`.
+    pub fn create(&self, name: &str) -> Option<Box<dyn AllToAll>> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Name → factory registry for schedules (degree-parameterized).
+#[derive(Default)]
+pub struct ScheduleRegistry {
+    factories: HashMap<String, ScheduleFactory>,
+}
+
+impl ScheduleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with `optsche` and `stage-major`.
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        reg.register("optsche", optsche);
+        reg.register("stage-major", stage_major);
+        reg
+    }
+
+    /// Registers (or replaces) a schedule family under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(usize) -> Schedule + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Builds the schedule `name` at partition degree `r`.
+    pub fn create(&self, name: &str, r: usize) -> Option<Schedule> {
+        self.factories.get(name).map(|f| f(r))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_present() {
+        assert_eq!(
+            CompressorRegistry::with_builtins().names(),
+            vec!["fp16", "fp32", "int8", "zfp"]
+        );
+        assert_eq!(A2aRegistry::with_builtins().names(), vec!["1dh", "2dh", "nccl", "pipe"]);
+        assert_eq!(
+            ScheduleRegistry::with_builtins().names(),
+            vec!["optsche", "stage-major"]
+        );
+    }
+
+    #[test]
+    fn custom_compressor_registration_works() {
+        let mut reg = CompressorRegistry::with_builtins();
+        reg.register("zfp-hi", || Box::new(ZfpCompressor::new(12)));
+        let codec = reg.create("zfp-hi").unwrap();
+        assert_eq!(codec.name(), "zfp");
+        assert!(codec.ratio() < 4.0, "12-bit mantissas compress less than 4x");
+        assert!(reg.create("nonexistent").is_none());
+    }
+
+    #[test]
+    fn custom_schedule_registration_works() {
+        let mut reg = ScheduleRegistry::with_builtins();
+        // A user schedule: reversed-chunk OptSche.
+        reg.register("optsche-rev", |r| {
+            let mut s = optsche(r);
+            s.comp_order.reverse();
+            s
+        });
+        let s = reg.create("optsche-rev", 2).unwrap();
+        assert_eq!(s.comp_order.len(), 10);
+    }
+
+    #[test]
+    fn created_a2a_instances_have_expected_names() {
+        let reg = A2aRegistry::with_builtins();
+        for (key, name) in
+            [("nccl", "nccl-a2a"), ("1dh", "1dh-a2a"), ("2dh", "2dh-a2a"), ("pipe", "pipe-a2a")]
+        {
+            assert_eq!(reg.create(key).unwrap().name(), name);
+        }
+    }
+}

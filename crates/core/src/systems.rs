@@ -1,0 +1,341 @@
+//! The system zoo: ScheMoE and the baselines it is evaluated against.
+
+use schemoe_cluster::{HardwareProfile, Topology};
+use schemoe_collectives::{AllToAll, NcclA2A, PipeA2A};
+use schemoe_netsim::SimTime;
+use schemoe_scheduler::backward::backward_task_set;
+use schemoe_scheduler::schedules::{naive_makespan, optsche};
+use schemoe_scheduler::Schedule;
+
+use crate::config::LayerShape;
+
+/// A complete MoE execution strategy: codec + A2A algorithm + schedule.
+///
+/// Implementations answer two questions the benchmarks need: how long does
+/// one MoE layer pass take on given hardware, and how much GPU memory do
+/// its communication buffers pin. The `expert_flops_scale` parameter
+/// distinguishes forward (1×) from backward (2×: dW and dX GEMMs) passes.
+pub trait MoeSystem: Send + Sync {
+    /// System name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Compression ratio applied to A2A payloads (1.0 = none).
+    fn compression_ratio(&self) -> f64 {
+        1.0
+    }
+
+    /// The A2A algorithm the system uses.
+    fn a2a(&self) -> Box<dyn AllToAll>;
+
+    /// The input-partition degree and schedule used for a layer.
+    fn schedule(&self, shape: &LayerShape, topo: &Topology, hw: &HardwareProfile)
+        -> Option<(usize, Schedule)>;
+
+    /// Simulated time of one MoE layer pass.
+    ///
+    /// With no schedule (`None`) tasks run with zero overlap (Eq. 10).
+    fn layer_time_scaled(
+        &self,
+        shape: &LayerShape,
+        topo: &Topology,
+        hw: &HardwareProfile,
+        expert_flops_scale: f64,
+    ) -> SimTime {
+        let costs = shape.costs(self.compression_ratio());
+        let a2a = self.a2a();
+        // A scale of 2.0 is the backward pass: same wire volume, doubled
+        // expert GEMMs, reversed dependencies (which OptSche handles
+        // unchanged; see `schemoe_scheduler::backward`).
+        match self.schedule(shape, topo, hw) {
+            Some((r, schedule)) => {
+                let fwd = costs.task_set(topo, hw, a2a.as_ref(), r);
+                let tasks = backward_task_set(&fwd, expert_flops_scale);
+                schedule
+                    .makespan(&tasks)
+                    .expect("system schedules are dependency-valid")
+            }
+            None => {
+                let fwd = costs.task_set(topo, hw, a2a.as_ref(), 1);
+                naive_makespan(&backward_task_set(&fwd, expert_flops_scale))
+            }
+        }
+    }
+
+    /// Forward-pass layer time.
+    fn layer_time(&self, shape: &LayerShape, topo: &Topology, hw: &HardwareProfile) -> SimTime {
+        self.layer_time_scaled(shape, topo, hw, 1.0)
+    }
+
+    /// Per-GPU bytes of dispatch/combine buffers pinned per MoE layer
+    /// (held for the backward pass, so they accumulate across layers).
+    fn layer_buffer_bytes(&self, shape: &LayerShape, _topo: &Topology) -> u64 {
+        // Capacity-limited systems buffer exactly the padded payload, in
+        // and out.
+        2 * shape.a2a_bytes()
+    }
+}
+
+/// The no-optimization baseline: fp32, NCCL A2A, zero overlap.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveSystem;
+
+impl NaiveSystem {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        NaiveSystem
+    }
+}
+
+impl MoeSystem for NaiveSystem {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn a2a(&self) -> Box<dyn AllToAll> {
+        Box::new(NcclA2A)
+    }
+
+    fn schedule(&self, _: &LayerShape, _: &Topology, _: &HardwareProfile)
+        -> Option<(usize, Schedule)> {
+        None
+    }
+}
+
+/// Emulation of Tutel's execution strategy: fp32 payloads, NCCL all-to-all
+/// (Tutel's default collective at this scale — its 2DH algorithm is the
+/// opt-in large-scale path benchmarked separately in Fig. 9), and the
+/// Fig. 3(b) chunk pipeline with a heuristically chosen degree (Tutel
+/// searches a small `r` space; paper §8 notes the search "may be
+/// sub-optimal"). With no compression tasks the chunk pipeline's order
+/// coincides with OptSche's middle section, so the baseline is not
+/// handicapped by a strawman schedule — its deficit comes from fp32
+/// payloads and the sequential A2A, exactly as in the ablation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TutelEmu;
+
+impl TutelEmu {
+    /// Creates the emulation.
+    pub fn new() -> Self {
+        TutelEmu
+    }
+}
+
+impl MoeSystem for TutelEmu {
+    fn name(&self) -> &'static str {
+        "Tutel"
+    }
+
+    fn a2a(&self) -> Box<dyn AllToAll> {
+        Box::new(NcclA2A)
+    }
+
+    fn schedule(&self, shape: &LayerShape, topo: &Topology, hw: &HardwareProfile)
+        -> Option<(usize, Schedule)> {
+        // Heuristic degree search over {1, 2, 4, 8} with the chunk
+        // pipeline, minimizing predicted makespan.
+        let costs = shape.costs(1.0);
+        let a2a = self.a2a();
+        let mut best: Option<(usize, SimTime)> = None;
+        for r in [1usize, 2, 4, 8] {
+            let tasks = costs.task_set(topo, hw, a2a.as_ref(), r);
+            let m = optsche(r).makespan(&tasks).expect("valid");
+            if best.is_none_or(|(_, bm)| m < bm) {
+                best = Some((r, m));
+            }
+        }
+        let (r, _) = best.expect("searched at least one degree");
+        Some((r, optsche(r)))
+    }
+}
+
+/// Emulation of Faster-MoE: fp32 payloads, NCCL A2A, fixed pipeline degree
+/// 2 (paper §8: "Faster-MoE only allows a pipeline degree of 2"), and no
+/// capacity limit on dispatch buffers — the mechanism behind its
+/// BERT-Large-MoE OOM (Table 8, "improper handling of imbalanced tokens").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FasterMoeEmu;
+
+impl FasterMoeEmu {
+    /// Creates the emulation.
+    pub fn new() -> Self {
+        FasterMoeEmu
+    }
+}
+
+impl MoeSystem for FasterMoeEmu {
+    fn name(&self) -> &'static str {
+        "Faster-MoE"
+    }
+
+    fn a2a(&self) -> Box<dyn AllToAll> {
+        Box::new(NcclA2A)
+    }
+
+    fn schedule(&self, _: &LayerShape, _: &Topology, _: &HardwareProfile)
+        -> Option<(usize, Schedule)> {
+        Some((2, optsche(2)))
+    }
+
+    fn layer_buffer_bytes(&self, shape: &LayerShape, _topo: &Topology) -> u64 {
+        // Without a capacity cap, receive buffers grow with the worst
+        // observed imbalance instead of the f-bounded padding; a 4×
+        // headroom reproduces the reported behaviour (fits CT-MoE-24,
+        // fails BERT-Large-MoE).
+        const IMBALANCE_HEADROOM: u64 = 4;
+        2 * shape.tokens_per_gpu as u64
+            * shape.k as u64
+            * shape.model_dim as u64
+            * 4
+            * IMBALANCE_HEADROOM
+    }
+}
+
+/// The full ScheMoE system: ZFP-compressed payloads, Pipe-A2A, and the
+/// OptSche schedule with an adaptive partition degree.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheMoeSystem {
+    compression_ratio: f64,
+    /// Candidate partition degrees for the adaptive search. Degree 1 is
+    /// included: on latency-bound payloads chunking costs more than the
+    /// overlap it buys, and the adaptive profiler is what notices.
+    degrees: [usize; 4],
+}
+
+impl ScheMoeSystem {
+    /// The paper's configuration: ZFP at 4×, degrees {1, 2, 4, 8}.
+    pub fn default_config() -> Self {
+        ScheMoeSystem { compression_ratio: 4.0, degrees: [1, 2, 4, 8] }
+    }
+
+    /// ScheMoE without compression (the `w/o ZFP` ablation arm).
+    pub fn without_compression() -> Self {
+        ScheMoeSystem { compression_ratio: 1.0, degrees: [1, 2, 4, 8] }
+    }
+
+    /// Overrides the compression ratio.
+    pub fn with_compression_ratio(mut self, ratio: f64) -> Self {
+        self.compression_ratio = ratio;
+        self
+    }
+}
+
+impl MoeSystem for ScheMoeSystem {
+    fn name(&self) -> &'static str {
+        "ScheMoE"
+    }
+
+    fn compression_ratio(&self) -> f64 {
+        self.compression_ratio
+    }
+
+    fn a2a(&self) -> Box<dyn AllToAll> {
+        Box::new(PipeA2A::new())
+    }
+
+    fn schedule(&self, shape: &LayerShape, topo: &Topology, hw: &HardwareProfile)
+        -> Option<(usize, Schedule)> {
+        // OptSche gives the optimal order for any fixed r (Theorem 1);
+        // choosing r is the orthogonal problem the paper defers to
+        // profiling — here: pick the degree with the best predicted time.
+        let costs = shape.costs(self.compression_ratio);
+        let a2a = self.a2a();
+        let mut best: Option<(usize, SimTime)> = None;
+        for &r in &self.degrees {
+            let tasks = costs.task_set(topo, hw, a2a.as_ref(), r);
+            let m = optsche(r).makespan(&tasks).expect("valid");
+            if best.is_none_or(|(_, bm)| m < bm) {
+                best = Some((r, m));
+            }
+        }
+        let (r, _) = best.expect("searched at least one degree");
+        Some((r, optsche(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ablation_shape() -> LayerShape {
+        // Table 10: B=8, f=1.2, L=2048, H=M=8192, k=2, E=32.
+        LayerShape {
+            tokens_per_gpu: 8 * 2048,
+            model_dim: 8192,
+            hidden_dim: 8192,
+            experts: 32,
+            k: 2,
+            capacity_factor: 1.2,
+        }
+    }
+
+    fn env() -> (Topology, HardwareProfile) {
+        (Topology::paper_testbed(), HardwareProfile::paper_testbed())
+    }
+
+    #[test]
+    fn schemoe_beats_every_baseline_on_the_ablation_layer() {
+        let (topo, hw) = env();
+        let shape = ablation_shape();
+        let schemoe = ScheMoeSystem::default_config().layer_time(&shape, &topo, &hw);
+        for sys in [&NaiveSystem as &dyn MoeSystem, &TutelEmu, &FasterMoeEmu] {
+            let t = sys.layer_time(&shape, &topo, &hw);
+            assert!(
+                schemoe < t,
+                "ScheMoE {schemoe} must beat {} {t}",
+                sys.name()
+            );
+        }
+    }
+
+    #[test]
+    fn naive_time_matches_table10_scale() {
+        // Table 10: Naive ≈ 2401 ms (forward pass of the ablation layer).
+        let (topo, hw) = env();
+        let t = NaiveSystem.layer_time(&ablation_shape(), &topo, &hw).as_ms();
+        assert!(
+            (1400.0..3400.0).contains(&t),
+            "Naive ablation-layer time {t:.0} ms should be near 2.4 s"
+        );
+    }
+
+    #[test]
+    fn ablation_speedup_is_about_2_4x() {
+        let (topo, hw) = env();
+        let shape = ablation_shape();
+        let naive = NaiveSystem.layer_time(&shape, &topo, &hw);
+        let schemoe = ScheMoeSystem::default_config().layer_time(&shape, &topo, &hw);
+        let speedup = naive / schemoe;
+        assert!(
+            (1.9..3.1).contains(&speedup),
+            "full-system speedup should be ≈2.4×, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn backward_pass_is_slower_than_forward() {
+        let (topo, hw) = env();
+        let shape = ablation_shape();
+        let sys = ScheMoeSystem::default_config();
+        let fwd = sys.layer_time_scaled(&shape, &topo, &hw, 1.0);
+        let bwd = sys.layer_time_scaled(&shape, &topo, &hw, 2.0);
+        assert!(bwd > fwd);
+    }
+
+    #[test]
+    fn fastermoe_buffers_blow_up_without_capacity() {
+        let (topo, _) = env();
+        let shape = ablation_shape();
+        let capped = TutelEmu.layer_buffer_bytes(&shape, &topo);
+        let uncapped = FasterMoeEmu.layer_buffer_bytes(&shape, &topo);
+        // Headroom provisioning is 4/f ≈ 3.3× larger.
+        assert!(uncapped > 2 * capped, "uncapped {uncapped} vs capped {capped}");
+    }
+
+    #[test]
+    fn tutel_degree_search_prefers_pipelining() {
+        let (topo, hw) = env();
+        let shape = ablation_shape();
+        let (r, _) = TutelEmu.schedule(&shape, &topo, &hw).unwrap();
+        assert!(r >= 2, "on a comm-heavy layer Tutel should pipeline, chose r={r}");
+    }
+}

@@ -1,0 +1,597 @@
+//! Expert-parallel MoE execution over the rank fabric.
+
+use bytes::{Bytes, BytesMut};
+use schemoe_cluster::{FabricError, RankHandle};
+use schemoe_collectives::{AllToAll, TAG_STRIDE};
+use schemoe_compression::Compressor;
+use schemoe_tensor::nn::Param;
+use schemoe_tensor::Tensor;
+
+use crate::expert::Expert;
+use crate::gating::{GateDecision, TopKGate};
+
+/// An expert-parallel MoE layer: every rank owns `experts_per_rank`
+/// experts and a gate replica, tokens travel through two all-to-alls.
+///
+/// Forward (paper §2.2, Fig. 2): the gate routes local tokens to *global*
+/// experts; per-destination payloads are serialized, compressed with the
+/// configured [`Compressor`], exchanged through the configured
+/// [`AllToAll`], decompressed, pushed through the owning rank's experts,
+/// and shipped back the same way for the weighted combine. Backward
+/// reverses the exchanges (gradients travel uncompressed, matching the
+/// paper's §7 caution about compressing backpropagation).
+pub struct DistributedMoeLayer {
+    gate: TopKGate,
+    local_experts: Vec<Box<dyn Expert>>,
+    experts_per_rank: usize,
+    compressor: Box<dyn Compressor>,
+    a2a: Box<dyn AllToAll>,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    decision: GateDecision,
+    /// Per local expert, per src rank: row count received.
+    recv_counts: Vec<Vec<usize>>,
+    /// Per global expert this rank dispatched to: the returned output rows
+    /// in this rank's slot order.
+    returned_outputs: Vec<Tensor>,
+    n: usize,
+    tag_base: u64,
+}
+
+impl DistributedMoeLayer {
+    /// Creates the layer from its parts.
+    ///
+    /// The gate must route over `world_size × experts_per_rank` experts;
+    /// `local_experts.len()` must equal `experts_per_rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on count mismatches.
+    pub fn new(
+        gate: TopKGate,
+        local_experts: Vec<Box<dyn Expert>>,
+        compressor: Box<dyn Compressor>,
+        a2a: Box<dyn AllToAll>,
+    ) -> Self {
+        let experts_per_rank = local_experts.len();
+        assert!(experts_per_rank > 0, "at least one local expert required");
+        DistributedMoeLayer {
+            gate,
+            local_experts,
+            experts_per_rank,
+            compressor,
+            a2a,
+            cache: None,
+        }
+    }
+
+    /// Number of experts on this rank.
+    pub fn experts_per_rank(&self) -> usize {
+        self.experts_per_rank
+    }
+
+    /// The gate replica.
+    pub fn gate(&self) -> &TopKGate {
+        &self.gate
+    }
+
+    /// The rank owning global expert `e`.
+    fn owner_of(&self, e: usize) -> usize {
+        e / self.experts_per_rank
+    }
+
+    /// Serializes rows destined for one rank: a count header per local
+    /// expert followed by the compressed concatenation of all rows.
+    fn encode_chunk(&self, per_expert_rows: &[Tensor], m: usize) -> Bytes {
+        let mut header = BytesMut::with_capacity(4 * per_expert_rows.len());
+        let mut flat: Vec<f32> = Vec::new();
+        for rows in per_expert_rows {
+            let count = rows.dims()[0] as u32;
+            header.extend_from_slice(&count.to_le_bytes());
+            flat.extend_from_slice(rows.data());
+        }
+        let _ = m;
+        let payload = self.compressor.compress(&flat);
+        header.extend_from_slice(&payload);
+        header.freeze()
+    }
+
+    /// Decodes a chunk into per-local-expert row tensors.
+    fn decode_chunk(&self, chunk: &Bytes, experts: usize, m: usize) -> Vec<Tensor> {
+        let mut counts = Vec::with_capacity(experts);
+        for i in 0..experts {
+            let b = &chunk[i * 4..(i + 1) * 4];
+            counts.push(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize);
+        }
+        let total: usize = counts.iter().sum();
+        let payload = &chunk[experts * 4..];
+        let flat = self
+            .compressor
+            .decompress(payload, total * m)
+            .expect("peer encodes with the same codec");
+        let mut out = Vec::with_capacity(experts);
+        let mut off = 0usize;
+        for &c in &counts {
+            let rows = Tensor::from_vec(flat[off * m..(off + c) * m].to_vec(), &[c, m])
+                .expect("framing consistent");
+            off += c;
+            out.push(rows);
+        }
+        out
+    }
+
+    /// Raw (uncompressed) encode used for gradient exchanges.
+    fn encode_raw(per_expert_rows: &[Tensor]) -> Bytes {
+        let mut buf = BytesMut::new();
+        for rows in per_expert_rows {
+            buf.extend_from_slice(&(rows.dims()[0] as u32).to_le_bytes());
+            for &v in rows.data() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buf.freeze()
+    }
+
+    fn decode_raw(chunk: &Bytes, experts: usize, m: usize) -> Vec<Tensor> {
+        let mut out = Vec::with_capacity(experts);
+        let mut off = 0usize;
+        for _ in 0..experts {
+            let b = &chunk[off..off + 4];
+            let count = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+            off += 4;
+            let mut data = Vec::with_capacity(count * m);
+            for _ in 0..count * m {
+                let b = &chunk[off..off + 4];
+                data.push(f32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                off += 4;
+            }
+            out.push(Tensor::from_vec(data, &[count, m]).expect("framing consistent"));
+        }
+        out
+    }
+
+    /// Expert-parallel forward over the fabric.
+    ///
+    /// `tag_base` namespaces this invocation; step it by [`TAG_STRIDE`]
+    /// between layer invocations on the same fabric.
+    pub fn forward(
+        &mut self,
+        h: &mut RankHandle,
+        x: &Tensor,
+        tag_base: u64,
+    ) -> Result<Tensor, FabricError> {
+        let p = h.world_size();
+        let m = x.dims()[1];
+        let n = x.dims()[0];
+        let epr = self.experts_per_rank;
+        let decision = self.gate.forward(x);
+
+        // Build one chunk per destination rank: this rank's admitted rows
+        // for each of the destination's local experts.
+        let mut chunks = Vec::with_capacity(p);
+        for dst in 0..p {
+            let mut per_expert = Vec::with_capacity(epr);
+            for le in 0..epr {
+                let e = dst * epr + le;
+                let slots = &decision.expert_slots[e];
+                let mut rows = Tensor::zeros(&[slots.len(), m]);
+                for (s, &(t, _)) in slots.iter().enumerate() {
+                    rows.row_mut(s).copy_from_slice(x.row(t));
+                }
+                per_expert.push(rows);
+            }
+            chunks.push(self.encode_chunk(&per_expert, m));
+        }
+        let dispatch_tag = tag_base;
+        let received = self.a2a.all_to_all(h, chunks, dispatch_tag)?;
+
+        // Decode: concatenate per local expert, src-major.
+        let mut expert_inputs = Vec::with_capacity(epr);
+        let mut recv_counts = vec![Vec::with_capacity(p); epr];
+        let decoded: Vec<Vec<Tensor>> = received
+            .iter()
+            .map(|c| self.decode_chunk(c, epr, m))
+            .collect();
+        for le in 0..epr {
+            let total: usize = decoded.iter().map(|d| d[le].dims()[0]).sum();
+            let mut input = Tensor::zeros(&[total, m]);
+            let mut off = 0;
+            for src_rows in decoded.iter().map(|d| &d[le]) {
+                let c = src_rows.dims()[0];
+                for r in 0..c {
+                    input.row_mut(off + r).copy_from_slice(src_rows.row(r));
+                }
+                off += c;
+            }
+            for d in &decoded {
+                recv_counts[le].push(d[le].dims()[0]);
+            }
+            expert_inputs.push(input);
+        }
+
+        // Local expert computation.
+        let expert_outputs: Vec<Tensor> = expert_inputs
+            .iter()
+            .enumerate()
+            .map(|(le, input)| self.local_experts[le].forward(input))
+            .collect();
+
+        // Ship outputs back: chunk for src rank = its slice of each local
+        // expert's output.
+        let mut back_chunks = Vec::with_capacity(p);
+        for src in 0..p {
+            let mut per_expert = Vec::with_capacity(epr);
+            for le in 0..epr {
+                let before: usize = recv_counts[le][..src].iter().sum();
+                let count = recv_counts[le][src];
+                let mut rows = Tensor::zeros(&[count, m]);
+                for r in 0..count {
+                    rows.row_mut(r).copy_from_slice(expert_outputs[le].row(before + r));
+                }
+                per_expert.push(rows);
+            }
+            back_chunks.push(self.encode_chunk(&per_expert, m));
+        }
+        let combine_tag = tag_base + TAG_STRIDE / 4;
+        let returned = self.a2a.all_to_all(h, back_chunks, combine_tag)?;
+
+        // Combine: the chunk from rank r holds outputs for the experts r
+        // owns, in this rank's slot order.
+        let mut y = Tensor::zeros(&[n, m]);
+        let mut returned_outputs: Vec<Tensor> = Vec::with_capacity(p * epr);
+        for owner in 0..p {
+            let outs = self.decode_chunk(&returned[owner], epr, m);
+            for (le, rows) in outs.into_iter().enumerate() {
+                let e = owner * epr + le;
+                let slots = &decision.expert_slots[e];
+                assert_eq!(rows.dims()[0], slots.len(), "combine framing mismatch");
+                for (s, &(t, w)) in slots.iter().enumerate() {
+                    let orow = rows.row(s);
+                    let yrow = y.row_mut(t);
+                    for (yj, &oj) in yrow.iter_mut().zip(orow.iter()) {
+                        *yj += w * oj;
+                    }
+                }
+                returned_outputs.push(rows);
+            }
+        }
+        self.cache = Some(Cache {
+            decision,
+            recv_counts,
+            returned_outputs,
+            n,
+            tag_base,
+        });
+        Ok(y)
+    }
+
+    /// Expert-parallel backward: two more (gradient) all-to-alls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a cached forward.
+    pub fn backward(
+        &mut self,
+        h: &mut RankHandle,
+        dy: &Tensor,
+    ) -> Result<Tensor, FabricError> {
+        let cache = self.cache.take().expect("distributed backward without forward");
+        let p = h.world_size();
+        let m = dy.dims()[1];
+        let epr = self.experts_per_rank;
+        assert_eq!(dy.dims()[0], cache.n, "gradient row count mismatch");
+
+        // Combine backward: per admitted slot, grad of the expert output
+        // and of the combine weight.
+        let mut d_weights: Vec<Vec<f32>> = vec![Vec::new(); cache.n];
+        let mut grad_chunks = Vec::with_capacity(p);
+        for owner in 0..p {
+            let mut per_expert = Vec::with_capacity(epr);
+            for le in 0..epr {
+                let e = owner * epr + le;
+                let slots = &cache.decision.expert_slots[e];
+                let mut rows = Tensor::zeros(&[slots.len(), m]);
+                for (s, &(t, w)) in slots.iter().enumerate() {
+                    let dyrow = dy.row(t);
+                    let drow = rows.row_mut(s);
+                    for j in 0..m {
+                        drow[j] = w * dyrow[j];
+                    }
+                }
+                per_expert.push(rows);
+            }
+            grad_chunks.push(Self::encode_raw(&per_expert));
+        }
+        // Weight grads in per-token assignment order.
+        for (t, assigns) in cache.decision.assignments.iter().enumerate() {
+            for &(e, _) in assigns {
+                let s = cache.decision.expert_slots[e]
+                    .iter()
+                    .position(|&(tt, _)| tt == t)
+                    .expect("assignment implies slot");
+                let owner = self.owner_of(e);
+                let le = e % epr;
+                let rows = &cache.returned_outputs[owner * epr + le];
+                let dyrow = dy.row(t);
+                let orow = rows.row(s);
+                d_weights[t].push(dyrow.iter().zip(orow.iter()).map(|(a, b)| a * b).sum());
+            }
+        }
+
+        let bwd1_tag = cache.tag_base + TAG_STRIDE / 2;
+        let received = self.a2a.all_to_all(h, grad_chunks, bwd1_tag)?;
+
+        // Expert backward on concatenated output grads.
+        let mut din_per_expert = Vec::with_capacity(epr);
+        let decoded: Vec<Vec<Tensor>> =
+            received.iter().map(|c| Self::decode_raw(c, epr, m)).collect();
+        for le in 0..epr {
+            let total: usize = cache.recv_counts[le].iter().sum();
+            let mut dout = Tensor::zeros(&[total, m]);
+            let mut off = 0;
+            for d in &decoded {
+                let rows = &d[le];
+                for r in 0..rows.dims()[0] {
+                    dout.row_mut(off + r).copy_from_slice(rows.row(r));
+                }
+                off += rows.dims()[0];
+            }
+            din_per_expert.push(self.local_experts[le].backward(&dout));
+        }
+
+        // Ship input grads back to the token owners.
+        let mut back = Vec::with_capacity(p);
+        for src in 0..p {
+            let mut per_expert = Vec::with_capacity(epr);
+            for le in 0..epr {
+                let before: usize = cache.recv_counts[le][..src].iter().sum();
+                let count = cache.recv_counts[le][src];
+                let mut rows = Tensor::zeros(&[count, m]);
+                for r in 0..count {
+                    rows.row_mut(r).copy_from_slice(din_per_expert[le].row(before + r));
+                }
+                per_expert.push(rows);
+            }
+            back.push(Self::encode_raw(&per_expert));
+        }
+        let bwd2_tag = cache.tag_base + 3 * TAG_STRIDE / 4;
+        let returned = self.a2a.all_to_all(h, back, bwd2_tag)?;
+
+        // Dispatch backward: scatter token gradients.
+        let mut dx = Tensor::zeros(&[cache.n, m]);
+        for owner in 0..p {
+            let outs = Self::decode_raw(&returned[owner], epr, m);
+            for (le, rows) in outs.into_iter().enumerate() {
+                let e = owner * epr + le;
+                let slots = &cache.decision.expert_slots[e];
+                for (s, &(t, _)) in slots.iter().enumerate() {
+                    let drow = rows.row(s);
+                    let xrow = dx.row_mut(t);
+                    for j in 0..m {
+                        xrow[j] += drow[j];
+                    }
+                }
+            }
+        }
+        let dx_gate = self.gate.backward(&d_weights);
+        dx.add_assign(&dx_gate).expect("same shape");
+        Ok(dx)
+    }
+
+    /// Visits the gate's and local experts' parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.gate.visit_params(f);
+        for e in &mut self.local_experts {
+            e.visit_params(f);
+        }
+    }
+}
+
+/// Sums `values` elementwise across all ranks in place (naive allreduce:
+/// gather on rank 0, reduce, broadcast).
+///
+/// Used to keep replicated parameters (the gate) synchronized in
+/// data-parallel training.
+pub fn allreduce_inplace(
+    h: &mut RankHandle,
+    values: &mut [f32],
+    tag: u64,
+) -> Result<(), FabricError> {
+    let p = h.world_size();
+    if p == 1 {
+        return Ok(());
+    }
+    let me = h.rank();
+    let encode = |v: &[f32]| {
+        let mut buf = BytesMut::with_capacity(v.len() * 4);
+        for &x in v {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        buf.freeze()
+    };
+    if me == 0 {
+        for src in 1..p {
+            let chunk = h.recv(src, tag)?;
+            for (i, b) in chunk.chunks_exact(4).enumerate() {
+                values[i] += f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            }
+        }
+        let summed = encode(values);
+        for dst in 1..p {
+            h.send(dst, tag + 1, summed.clone())?;
+        }
+    } else {
+        h.send(0, tag, encode(values))?;
+        let summed = h.recv(0, tag + 1)?;
+        for (i, b) in summed.chunks_exact(4).enumerate() {
+            values[i] = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::FfExpert;
+    use crate::layer::MoeLayer;
+    use schemoe_cluster::{Fabric, Topology};
+    use schemoe_collectives::NcclA2A;
+    use schemoe_compression::NoCompression;
+    use schemoe_tensor::nn::Module;
+    use schemoe_tensor::rng::{self, seeded};
+
+    const M: usize = 6;
+    const H: usize = 10;
+
+    /// Experts and gate built from fixed seeds so every construction site
+    /// produces identical parameters.
+    fn make_expert(e: usize) -> Box<dyn Expert> {
+        Box::new(FfExpert::new(M, H, &mut seeded(1000 + e as u64)))
+    }
+
+    fn make_gate(experts: usize, k: usize, f: f64) -> TopKGate {
+        TopKGate::new(M, experts, k, f, &mut seeded(555))
+    }
+
+    #[test]
+    fn matches_single_process_layer() {
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        let n_local = 5;
+        // Global batch, split contiguously across ranks.
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(7));
+
+        // Distributed forward.
+        let dist_out = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            let gate = make_gate(p, 2, 8.0); // big capacity: no drops
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            );
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            layer.forward(&mut h, &x, 0).unwrap()
+        });
+
+        // Single-process references, one per rank's shard (capacity is per
+        // shard in expert-parallel training, so compare shard by shard).
+        for me in 0..p {
+            let gate = make_gate(p, 2, 8.0);
+            let experts: Vec<Box<dyn Expert>> = (0..p).map(make_expert).collect();
+            let mut reference = MoeLayer::from_parts(gate, experts);
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let want = reference.forward(&x);
+            let diff = dist_out[me].max_abs_diff(&want).unwrap();
+            assert!(diff < 1e-5, "rank {me} diverged from reference by {diff}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_single_process_layer() {
+        let topo = Topology::new(1, 2);
+        let p = topo.world_size();
+        let n_local = 4;
+        let x_global = rng::uniform(&[n_local * p, M], 0.7, &mut seeded(8));
+
+        let dist = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            let gate = make_gate(p, 1, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            );
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = layer.forward(&mut h, &x, 0).unwrap();
+            let dx = layer.backward(&mut h, &y).unwrap();
+            // Also return the gate gradient for cross-checking.
+            let mut gate_grad = Vec::new();
+            layer.visit_params(&mut |prm| {
+                if prm.name == "gate.wg" {
+                    gate_grad = prm.grad.data().to_vec();
+                }
+            });
+            (dx, gate_grad)
+        });
+
+        for me in 0..p {
+            let gate = make_gate(p, 1, 8.0);
+            let experts: Vec<Box<dyn Expert>> = (0..p).map(make_expert).collect();
+            let mut reference = MoeLayer::from_parts(gate, experts);
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = reference.forward(&x);
+            let dx_want = reference.backward(&y);
+            let diff = dist[me].0.max_abs_diff(&dx_want).unwrap();
+            assert!(diff < 1e-4, "rank {me} dx diverged by {diff}");
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let topo = Topology::new(2, 2);
+        let results = Fabric::run(topo, |mut h| {
+            let mut v = vec![h.rank() as f32, 1.0];
+            allreduce_inplace(&mut h, &mut v, 42).unwrap();
+            v
+        });
+        for v in results {
+            assert_eq!(v, vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn multiple_experts_per_rank() {
+        let topo = Topology::new(1, 2);
+        let p = topo.world_size();
+        let epr = 2;
+        let n_local = 6;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(9));
+        let outs = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            let gate = make_gate(p * epr, 2, 8.0);
+            let experts: Vec<Box<dyn Expert>> =
+                (0..epr).map(|le| make_expert(me * epr + le)).collect();
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                experts,
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            );
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            layer.forward(&mut h, &x, 0).unwrap()
+        });
+        for me in 0..p {
+            let gate = make_gate(p * epr, 2, 8.0);
+            let experts: Vec<Box<dyn Expert>> = (0..p * epr).map(make_expert).collect();
+            let mut reference = MoeLayer::from_parts(gate, experts);
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let want = reference.forward(&x);
+            let diff = outs[me].max_abs_diff(&want).unwrap();
+            assert!(diff < 1e-5, "rank {me} diverged by {diff}");
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! The learnable top-k gating function.
+
+use rand::rngs::SmallRng;
+use schemoe_tensor::nn::Param;
+use schemoe_tensor::{rng, Tensor};
+
+/// The routing decision for one batch of tokens.
+#[derive(Clone, Debug)]
+pub struct GateDecision {
+    /// Per token: the `(expert, combine_weight)` pairs that were admitted
+    /// (at most `k`; fewer if capacity dropped some).
+    pub assignments: Vec<Vec<(usize, f32)>>,
+    /// Per expert: admitted `(token_index, combine_weight)` in slot order.
+    pub expert_slots: Vec<Vec<(usize, f32)>>,
+    /// The per-expert capacity that was enforced.
+    pub capacity: usize,
+    /// Number of `(token, expert)` assignments dropped by capacity.
+    pub dropped: usize,
+}
+
+impl GateDecision {
+    /// Fraction of assignments dropped by the capacity limit.
+    pub fn drop_rate(&self, k: usize) -> f64 {
+        let total = self.assignments.len() * k;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+
+    /// Tokens routed to each expert (admitted only).
+    pub fn expert_loads(&self) -> Vec<usize> {
+        self.expert_slots.iter().map(Vec::len).collect()
+    }
+}
+
+/// What happens to an assignment whose chosen expert is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Drop the assignment (GShard/Switch default; the residual connection
+    /// carries the token).
+    #[default]
+    Drop,
+    /// Reroute to the next-best expert with free capacity (GShard's
+    /// secondary routing, generalized down the preference list).
+    NextBest,
+}
+
+/// A learnable linear router with softmax probabilities and top-k routing.
+///
+/// Follows GShard/Switch: logits are `x · Wg`, probabilities are a row
+/// softmax, each token picks its top-`k` experts, and tokens beyond an
+/// expert's capacity (Eq. 1) are handled by the configured
+/// [`OverflowPolicy`]. The combine weight of an admitted `(token, expert)`
+/// pair is the softmax probability; gradients flow back through the
+/// selected probabilities into `Wg` and the token embeddings, while
+/// dropped assignments contribute nothing.
+pub struct TopKGate {
+    wg: Param,
+    k: usize,
+    capacity_factor: f64,
+    overflow: OverflowPolicy,
+    /// Weight of the auxiliary load-balancing loss (0 disables it).
+    pub aux_loss_weight: f32,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    x: Tensor,
+    probs: Tensor,
+    decision: GateDecision,
+    aux_grad: Option<Tensor>,
+}
+
+impl TopKGate {
+    /// Creates a gate for `experts` experts over `model_dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the expert count.
+    pub fn new(
+        model_dim: usize,
+        experts: usize,
+        k: usize,
+        capacity_factor: f64,
+        rng_: &mut SmallRng,
+    ) -> Self {
+        assert!(k >= 1 && k <= experts, "need 1 <= k <= experts, got k={k}");
+        TopKGate {
+            wg: Param::new("gate.wg", rng::xavier(model_dim, experts, rng_)),
+            k,
+            capacity_factor,
+            overflow: OverflowPolicy::Drop,
+            aux_loss_weight: 0.0,
+            cache: None,
+        }
+    }
+
+    /// Sets the overflow policy, builder style.
+    pub fn with_overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// The configured overflow policy.
+    pub fn overflow_policy(&self) -> OverflowPolicy {
+        self.overflow
+    }
+
+    /// Top-k value.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of experts routed to.
+    pub fn num_experts(&self) -> usize {
+        self.wg.value.dims()[1]
+    }
+
+    /// Capacity factor `f`.
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// Routes a `[n, model_dim]` batch; returns the decision.
+    ///
+    /// Tokens are admitted to an expert in token order until its capacity
+    /// fills, which matches the deterministic GShard dispatch.
+    pub fn forward(&mut self, x: &Tensor) -> GateDecision {
+        let n = x.dims()[0];
+        let e = self.num_experts();
+        let logits = x.matmul(&self.wg.value).expect("gate input shape");
+        let probs = logits.softmax_rows().expect("rank-2 logits");
+        let capacity = crate::expert_capacity(self.capacity_factor, self.k, n, e);
+
+        let mut assignments: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n];
+        let mut expert_slots: Vec<Vec<(usize, f32)>> = vec![Vec::new(); e];
+        let mut dropped = 0usize;
+        for t in 0..n {
+            let row = probs.row(t);
+            // Expert preference order by probability (E is small).
+            let mut order: Vec<usize> = (0..e).collect();
+            order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probs"));
+            let mut admitted = 0usize;
+            let mut cursor = 0usize;
+            while admitted < self.k && cursor < e {
+                let ex = order[cursor];
+                cursor += 1;
+                if expert_slots[ex].len() < capacity {
+                    let w = row[ex];
+                    expert_slots[ex].push((t, w));
+                    assignments[t].push((ex, w));
+                    admitted += 1;
+                } else {
+                    match self.overflow {
+                        // Drop: this preference slot is lost.
+                        OverflowPolicy::Drop => {
+                            dropped += 1;
+                            admitted += 1;
+                        }
+                        // NextBest: keep scanning down the preference list.
+                        OverflowPolicy::NextBest => {}
+                    }
+                }
+            }
+            // NextBest may exhaust every expert; account the shortfall.
+            if cursor >= e {
+                dropped += self.k - admitted.min(self.k);
+            }
+        }
+        let decision = GateDecision { assignments, expert_slots, capacity, dropped };
+        let aux_grad = if self.aux_loss_weight > 0.0 {
+            Some(self.aux_loss_grad(&probs, &decision))
+        } else {
+            None
+        };
+        self.cache = Some(Cache { x: x.clone(), probs, decision: decision.clone(), aux_grad });
+        decision
+    }
+
+    /// The Switch auxiliary loss value for the most recent forward:
+    /// `E · Σ_e f_e · p̄_e`, where `f_e` is the admitted token fraction and
+    /// `p̄_e` the mean router probability of expert `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a cached forward.
+    pub fn aux_loss(&self) -> f32 {
+        let cache = self.cache.as_ref().expect("aux_loss requires a forward");
+        let n = cache.probs.dims()[0] as f32;
+        let e = self.num_experts();
+        let mut loss = 0.0f32;
+        for ex in 0..e {
+            let f_e = cache.decision.expert_slots[ex].len() as f32 / n.max(1.0);
+            let mut p_mean = 0.0f32;
+            for t in 0..cache.probs.dims()[0] {
+                p_mean += cache.probs.row(t)[ex];
+            }
+            p_mean /= n.max(1.0);
+            loss += f_e * p_mean;
+        }
+        loss * e as f32
+    }
+
+    /// Gradient of the auxiliary loss with respect to the probabilities,
+    /// treating the discrete token fractions as constants (Switch-style).
+    fn aux_loss_grad(&self, probs: &Tensor, decision: &GateDecision) -> Tensor {
+        let (n, e) = (probs.dims()[0], probs.dims()[1]);
+        let mut g = Tensor::zeros(&[n, e]);
+        for ex in 0..e {
+            let f_e = decision.expert_slots[ex].len() as f32 / n.max(1) as f32;
+            let coeff = self.aux_loss_weight * e as f32 * f_e / n.max(1) as f32;
+            for t in 0..n {
+                g.row_mut(t)[ex] = coeff;
+            }
+        }
+        g
+    }
+
+    /// Backward pass given the gradient of the loss with respect to each
+    /// admitted assignment's combine weight.
+    ///
+    /// `d_weights[t]` holds one entry per admitted assignment of token `t`,
+    /// in the same order as `GateDecision::assignments[t]`. Returns the
+    /// gradient with respect to the input tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a cached forward or with a ragged
+    /// `d_weights` that disagrees with the cached decision.
+    pub fn backward(&mut self, d_weights: &[Vec<f32>]) -> Tensor {
+        let cache = self.cache.take().expect("gate backward without forward");
+        let (n, e) = (cache.probs.dims()[0], cache.probs.dims()[1]);
+        assert_eq!(d_weights.len(), n, "one weight-grad list per token");
+        // dL/dprobs: scatter the admitted weight grads, plus the aux term.
+        let mut dprobs = cache.aux_grad.unwrap_or_else(|| Tensor::zeros(&[n, e]));
+        for t in 0..n {
+            let assigns = &cache.decision.assignments[t];
+            assert_eq!(
+                d_weights[t].len(),
+                assigns.len(),
+                "token {t}: weight-grad arity mismatch"
+            );
+            for (&(ex, _), &dw) in assigns.iter().zip(d_weights[t].iter()) {
+                dprobs.row_mut(t)[ex] += dw;
+            }
+        }
+        // Softmax backward per row: dlogit = p ⊙ (dp − Σ p·dp).
+        let mut dlogits = Tensor::zeros(&[n, e]);
+        for t in 0..n {
+            let p = cache.probs.row(t);
+            let dp = dprobs.row(t);
+            let dot: f32 = p.iter().zip(dp.iter()).map(|(a, b)| a * b).sum();
+            let out = dlogits.row_mut(t);
+            for j in 0..e {
+                out[j] = p[j] * (dp[j] - dot);
+            }
+        }
+        // Linear backward: dWg += x^T·dlogits ; dx = dlogits·Wg^T.
+        let dwg = cache.x.t_matmul(&dlogits).expect("shapes agree");
+        self.wg.grad.add_assign(&dwg).expect("dWg shape");
+        dlogits.matmul_t(&self.wg.value).expect("dx shape")
+    }
+
+    /// Visits the gate's learnable parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wg);
+    }
+
+    /// Read-only access to the router weight.
+    pub fn weight(&self) -> &Param {
+        &self.wg
+    }
+
+    /// Replaces the router weight (used to replicate gates across ranks).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn set_weight(&mut self, w: Tensor) {
+        assert_eq!(w.dims(), self.wg.value.dims(), "router weight shape mismatch");
+        self.wg = Param::new("gate.wg", w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemoe_tensor::rng::seeded;
+
+    fn gate(k: usize, f: f64) -> TopKGate {
+        TopKGate::new(8, 4, k, f, &mut seeded(77))
+    }
+
+    #[test]
+    fn every_token_gets_up_to_k_assignments() {
+        let mut g = gate(2, 10.0); // huge capacity: nothing drops
+        let x = rng::uniform(&[16, 8], 1.0, &mut seeded(1));
+        let d = g.forward(&x);
+        assert_eq!(d.dropped, 0);
+        for a in &d.assignments {
+            assert_eq!(a.len(), 2);
+            // Distinct experts per token.
+            assert_ne!(a[0].0, a[1].0);
+        }
+    }
+
+    #[test]
+    fn capacity_limits_and_drops() {
+        let mut g = gate(1, 0.5); // half capacity: some tokens must drop
+        let x = rng::uniform(&[32, 8], 1.0, &mut seeded(2));
+        let d = g.forward(&x);
+        assert!(d.expert_loads().iter().all(|&l| l <= d.capacity));
+        // With f=0.5 and any imbalance, something must drop.
+        assert!(d.dropped > 0, "expected drops with tight capacity");
+        assert!(d.drop_rate(1) > 0.0 && d.drop_rate(1) < 1.0);
+    }
+
+    #[test]
+    fn weights_are_softmax_probabilities() {
+        let mut g = gate(2, 10.0);
+        let x = rng::uniform(&[4, 8], 1.0, &mut seeded(3));
+        let d = g.forward(&x);
+        for a in &d.assignments {
+            for &(_, w) in a {
+                assert!(w > 0.0 && w <= 1.0);
+            }
+            // Top-1 weight >= top-2 weight.
+            assert!(a[0].1 >= a[1].1);
+        }
+    }
+
+    #[test]
+    fn slot_order_is_token_order() {
+        let mut g = gate(1, 10.0);
+        let x = rng::uniform(&[10, 8], 1.0, &mut seeded(4));
+        let d = g.forward(&x);
+        for slots in &d.expert_slots {
+            let tokens: Vec<usize> = slots.iter().map(|s| s.0).collect();
+            let mut sorted = tokens.clone();
+            sorted.sort_unstable();
+            assert_eq!(tokens, sorted, "slots must fill in token order");
+        }
+    }
+
+    #[test]
+    fn gate_gradients_match_finite_differences() {
+        // Probe loss: sum over admitted assignments of weight * c(t, slot).
+        let mut g = gate(2, 10.0);
+        let x = rng::uniform(&[5, 8], 0.5, &mut seeded(5));
+        let coeff = |t: usize, i: usize| 0.3 + 0.1 * ((t * 2 + i) % 5) as f32;
+
+        let d = g.forward(&x);
+        let d_weights: Vec<Vec<f32>> = (0..5)
+            .map(|t| (0..d.assignments[t].len()).map(|i| coeff(t, i)).collect())
+            .collect();
+        let dx = g.backward(&d_weights);
+
+        // Finite differences on Wg (routing is locally stable for small eps).
+        let probe = |g: &mut TopKGate, x: &Tensor| -> f32 {
+            let d = g.forward(x);
+            let mut s = 0.0f32;
+            for (t, a) in d.assignments.iter().enumerate() {
+                for (i, &(_, w)) in a.iter().enumerate() {
+                    s += w * coeff(t, i);
+                }
+            }
+            s
+        };
+        let eps = 1e-3;
+        let mut analytic = Tensor::zeros(&[8, 4]);
+        g.visit_params(&mut |p| analytic = p.grad.clone());
+        for i in 0..8 {
+            for j in 0..4 {
+                g.visit_params(&mut |p| p.value.row_mut(i)[j] += eps);
+                let fp = probe(&mut g, &x);
+                g.visit_params(&mut |p| p.value.row_mut(i)[j] -= 2.0 * eps);
+                let fm = probe(&mut g, &x);
+                g.visit_params(&mut |p| p.value.row_mut(i)[j] += eps);
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (analytic.row(i)[j] - fd).abs() < 2e-2,
+                    "dWg[{i},{j}]: analytic {} vs fd {}",
+                    analytic.row(i)[j],
+                    fd
+                );
+            }
+        }
+
+        // Finite differences on x.
+        for t in 0..5 {
+            for j in 0..8 {
+                let mut xp = x.clone();
+                xp.row_mut(t)[j] += eps;
+                let mut xm = x.clone();
+                xm.row_mut(t)[j] -= eps;
+                let fp = probe(&mut g, &xp);
+                let fm = probe(&mut g, &xm);
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (dx.row(t)[j] - fd).abs() < 2e-2,
+                    "dx[{t},{j}]: analytic {} vs fd {}",
+                    dx.row(t)[j],
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aux_loss_penalizes_imbalance() {
+        let mut g = gate(1, 10.0);
+        g.aux_loss_weight = 1.0;
+        // A batch the router sends mostly to one expert has higher aux loss
+        // than a perfectly balanced batch would (lower bound is 1.0).
+        let x = rng::uniform(&[32, 8], 1.0, &mut seeded(6));
+        g.forward(&x);
+        let loss = g.aux_loss();
+        assert!(loss >= 1.0 - 1e-3, "aux loss {loss} below balanced optimum");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= experts")]
+    fn k_larger_than_experts_is_rejected() {
+        TopKGate::new(4, 2, 3, 1.0, &mut seeded(1));
+    }
+
+    #[test]
+    fn next_best_overflow_reroutes_instead_of_dropping() {
+        // Tight capacity: Drop loses assignments, NextBest finds room.
+        let x = rng::uniform(&[32, 8], 1.0, &mut seeded(21));
+        let mut drop_gate = TopKGate::new(8, 4, 1, 0.5, &mut seeded(77));
+        let d_drop = drop_gate.forward(&x);
+        assert!(d_drop.dropped > 0, "tight capacity must drop under Drop policy");
+        let mut reroute_gate = TopKGate::new(8, 4, 1, 0.5, &mut seeded(77))
+            .with_overflow(OverflowPolicy::NextBest);
+        let d_next = reroute_gate.forward(&x);
+        // Capacity 0.5·32/4 = 4 slots × 4 experts = 16 total; 32 tokens
+        // cannot all fit, but every slot fills before anything drops.
+        assert!(d_next.dropped < d_drop.dropped + 1);
+        let total: usize = d_next.expert_loads().iter().sum();
+        assert_eq!(total, 4 * d_next.capacity, "NextBest fills every slot");
+        assert!(d_next.expert_loads().iter().all(|&l| l <= d_next.capacity));
+    }
+
+    #[test]
+    fn next_best_with_ample_capacity_matches_drop_policy() {
+        let x = rng::uniform(&[16, 8], 1.0, &mut seeded(22));
+        let mut a = TopKGate::new(8, 4, 2, 8.0, &mut seeded(78));
+        let mut b = TopKGate::new(8, 4, 2, 8.0, &mut seeded(78))
+            .with_overflow(OverflowPolicy::NextBest);
+        let da = a.forward(&x);
+        let db = b.forward(&x);
+        // No overflow happens, so the decisions are identical.
+        assert_eq!(da.dropped, 0);
+        assert_eq!(db.dropped, 0);
+        for (x_, y_) in da.assignments.iter().zip(db.assignments.iter()) {
+            assert_eq!(x_, y_);
+        }
+    }
+
+    #[test]
+    fn gradients_still_correct_under_next_best() {
+        // The backward contract only depends on the decision structure, so
+        // rerouted assignments must flow gradients like any other.
+        let mut g = TopKGate::new(8, 4, 1, 0.5, &mut seeded(79))
+            .with_overflow(OverflowPolicy::NextBest);
+        let x = rng::uniform(&[16, 8], 0.5, &mut seeded(23));
+        let d = g.forward(&x);
+        let d_weights: Vec<Vec<f32>> =
+            d.assignments.iter().map(|a| vec![1.0; a.len()]).collect();
+        let dx = g.backward(&d_weights);
+        assert_eq!(dx.dims(), &[16, 8]);
+        assert!(dx.all_finite());
+    }
+}

@@ -1,0 +1,286 @@
+//! The single-process MoE layer: gate → dispatch → experts → combine.
+
+use rand::rngs::SmallRng;
+use schemoe_compression::Compressor;
+use schemoe_tensor::nn::{Module, Param};
+use schemoe_tensor::Tensor;
+
+use crate::expert::{Expert, FfExpert};
+use crate::gating::{GateDecision, TopKGate};
+
+/// A complete MoE layer with every expert local to the process.
+///
+/// Forward: the gate routes each token to its top-`k` experts (capacity
+/// limited), admitted tokens are gathered per expert, each expert runs its
+/// fflayer, and outputs are combined back per token weighted by the gate
+/// probabilities. Dropped tokens contribute zero (the standard GShard
+/// behaviour — the residual connection around the layer carries them).
+///
+/// An optional [`Compressor`] round-trips both the dispatched tokens and
+/// the expert outputs through the codec, reproducing bit-exactly the
+/// numeric effect of compressing the two all-to-alls in distributed
+/// training. This is how the convergence-under-compression study (Table 6)
+/// runs at single-process speed.
+pub struct MoeLayer {
+    gate: TopKGate,
+    experts: Vec<Box<dyn Expert>>,
+    compressor: Option<Box<dyn Compressor>>,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    decision: GateDecision,
+    /// Per expert: the (possibly compressed) outputs, in slot order.
+    /// (Expert *inputs* are cached inside each expert for its backward.)
+    expert_outputs: Vec<Tensor>,
+    n: usize,
+}
+
+impl MoeLayer {
+    /// Creates a layer with `experts` fresh [`FfExpert`]s.
+    pub fn new(
+        model_dim: usize,
+        hidden_dim: usize,
+        experts: usize,
+        k: usize,
+        capacity_factor: f64,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let gate = TopKGate::new(model_dim, experts, k, capacity_factor, rng);
+        let experts: Vec<Box<dyn Expert>> = (0..experts)
+            .map(|_| Box::new(FfExpert::new(model_dim, hidden_dim, rng)) as Box<dyn Expert>)
+            .collect();
+        MoeLayer { gate, experts, compressor: None, cache: None }
+    }
+
+    /// Builds a layer from an explicit gate and expert set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate's expert count differs from `experts.len()`.
+    pub fn from_parts(gate: TopKGate, experts: Vec<Box<dyn Expert>>) -> Self {
+        assert_eq!(gate.num_experts(), experts.len(), "gate/expert count mismatch");
+        MoeLayer { gate, experts, compressor: None, cache: None }
+    }
+
+    /// Round-trips dispatch and combine payloads through `codec`,
+    /// builder style.
+    pub fn with_compressor(mut self, codec: Box<dyn Compressor>) -> Self {
+        self.compressor = Some(codec);
+        self
+    }
+
+    /// Enables the auxiliary load-balancing loss with the given weight.
+    pub fn with_aux_loss(mut self, weight: f32) -> Self {
+        self.gate.aux_loss_weight = weight;
+        self
+    }
+
+    /// The gate.
+    pub fn gate(&self) -> &TopKGate {
+        &self.gate
+    }
+
+    /// Number of experts.
+    pub fn num_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// The routing decision of the most recent forward.
+    pub fn last_decision(&self) -> Option<&GateDecision> {
+        self.cache.as_ref().map(|c| &c.decision)
+    }
+
+    /// Applies the configured codec as a lossy identity, if any.
+    fn maybe_compress(&self, t: &Tensor) -> Tensor {
+        match &self.compressor {
+            Some(codec) => {
+                let wire = codec.compress(t.data());
+                let back = codec
+                    .decompress(&wire, t.numel())
+                    .expect("codec accepts its own output");
+                Tensor::from_vec(back, t.dims()).expect("shape preserved")
+            }
+            None => t.clone(),
+        }
+    }
+}
+
+impl Module for MoeLayer {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let n = x.dims()[0];
+        let m = x.dims()[1];
+        let decision = self.gate.forward(x);
+
+        // Dispatch: gather admitted rows per expert (the first A2A), with
+        // the codec applied to what would cross the wire.
+        let mut expert_inputs = Vec::with_capacity(self.experts.len());
+        for slots in &decision.expert_slots {
+            let mut rows = Tensor::zeros(&[slots.len(), m]);
+            for (s, &(t, _)) in slots.iter().enumerate() {
+                rows.row_mut(s).copy_from_slice(x.row(t));
+            }
+            expert_inputs.push(self.maybe_compress(&rows));
+        }
+
+        // Expert computation.
+        let mut expert_outputs = Vec::with_capacity(self.experts.len());
+        for (e, input) in expert_inputs.iter().enumerate() {
+            let out = self.experts[e].forward(input);
+            // The second A2A carries the outputs back.
+            expert_outputs.push(self.maybe_compress(&out));
+        }
+
+        // Combine: weighted scatter back to token positions.
+        let mut y = Tensor::zeros(&[n, m]);
+        for (e, slots) in decision.expert_slots.iter().enumerate() {
+            for (s, &(t, w)) in slots.iter().enumerate() {
+                let orow = expert_outputs[e].row(s);
+                let yrow = y.row_mut(t);
+                for (yj, &oj) in yrow.iter_mut().zip(orow.iter()) {
+                    *yj += w * oj;
+                }
+            }
+        }
+        self.cache = Some(Cache { decision, expert_outputs, n });
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("moe backward without forward");
+        let m = dy.dims()[1];
+        assert_eq!(dy.dims()[0], cache.n, "gradient row count mismatch");
+
+        // Combine backward: per admitted slot, d_out = w · dy[t] and the
+        // weight gradient is <dy[t], expert_out[slot]>.
+        let mut d_weights: Vec<Vec<f32>> = vec![Vec::new(); cache.n];
+        let mut dx = Tensor::zeros(&[cache.n, m]);
+        for (e, slots) in cache.decision.expert_slots.iter().enumerate() {
+            let mut d_out = Tensor::zeros(&[slots.len(), m]);
+            for (s, &(t, w)) in slots.iter().enumerate() {
+                let dyrow = dy.row(t);
+                let orow = cache.expert_outputs[e].row(s);
+                let dorow = d_out.row_mut(s);
+                for j in 0..m {
+                    dorow[j] = w * dyrow[j];
+                }
+                let _ = orow;
+            }
+            // Expert backward, then dispatch backward (scatter to tokens).
+            let d_in = self.experts[e].backward(&d_out);
+            for (s, &(t, _)) in slots.iter().enumerate() {
+                let drow = d_in.row(s);
+                let xrow = dx.row_mut(t);
+                for j in 0..m {
+                    xrow[j] += drow[j];
+                }
+            }
+        }
+        // Weight gradients need the expert outputs in per-token assignment
+        // order.
+        for (t, assigns) in cache.decision.assignments.iter().enumerate() {
+            for &(e, _) in assigns {
+                // Find this token's slot in expert e (token order = slot
+                // order, binary search is possible; linear is fine at our
+                // slot counts).
+                let s = cache.decision.expert_slots[e]
+                    .iter()
+                    .position(|&(tt, _)| tt == t)
+                    .expect("assignment implies a slot");
+                let dyrow = dy.row(t);
+                let orow = cache.expert_outputs[e].row(s);
+                let dw: f32 = dyrow.iter().zip(orow.iter()).map(|(a, b)| a * b).sum();
+                d_weights[t].push(dw);
+            }
+        }
+        let dx_gate = self.gate.backward(&d_weights);
+        dx.add_assign(&dx_gate).expect("same shape");
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.gate.visit_params(f);
+        for e in &mut self.experts {
+            e.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemoe_compression::{Fp16Compressor, ZfpCompressor};
+    use schemoe_tensor::grad_check::check_module_gradients;
+    use schemoe_tensor::rng::{self, seeded};
+
+    fn layer(k: usize, f: f64) -> MoeLayer {
+        MoeLayer::new(6, 12, 4, k, f, &mut seeded(91))
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let mut l = layer(2, 2.0);
+        let x = rng::uniform(&[10, 6], 1.0, &mut seeded(92));
+        let y = l.forward(&x);
+        assert_eq!(y.dims(), &[10, 6]);
+        assert!(y.all_finite());
+        let d = l.last_decision().unwrap();
+        assert_eq!(d.assignments.len(), 10);
+    }
+
+    #[test]
+    fn dropped_tokens_produce_zero_output() {
+        // Capacity 1 slot per expert: most tokens drop entirely with k=1.
+        let mut l = MoeLayer::new(6, 12, 2, 1, 0.1, &mut seeded(93));
+        let x = rng::uniform(&[20, 6], 1.0, &mut seeded(94));
+        let y = l.forward(&x);
+        let d = l.last_decision().unwrap().clone();
+        for (t, assigns) in d.assignments.iter().enumerate() {
+            if assigns.is_empty() {
+                assert!(y.row(t).iter().all(|&v| v == 0.0), "dropped token {t} non-zero");
+            }
+        }
+        assert!(d.dropped > 0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Generous capacity keeps routing stable under the probe epsilon.
+        let mut l = MoeLayer::new(4, 6, 3, 2, 4.0, &mut seeded(95));
+        let x = rng::uniform(&[4, 4], 0.5, &mut seeded(96));
+        check_module_gradients(&mut l, &x, 5e-2);
+    }
+
+    #[test]
+    fn compressor_changes_output_within_bounds() {
+        let x = rng::uniform(&[8, 6], 1.0, &mut seeded(97));
+        let mut exact = layer(1, 4.0);
+        let y_exact = exact.forward(&x);
+        // Same parameters (same seed), with an FP16 round-trip.
+        let mut lossy = layer(1, 4.0).with_compressor(Box::new(Fp16Compressor));
+        let y_lossy = lossy.forward(&x);
+        let diff = y_exact.max_abs_diff(&y_lossy).unwrap();
+        assert!(diff > 0.0, "fp16 must perturb something");
+        assert!(diff < 1e-2, "fp16 perturbation too large: {diff}");
+        // ZFP: coarser but still bounded.
+        let mut zfp = layer(1, 4.0).with_compressor(Box::new(ZfpCompressor::default()));
+        let y_zfp = zfp.forward(&x);
+        let diff = y_exact.max_abs_diff(&y_zfp).unwrap();
+        assert!(diff < 0.2, "zfp perturbation too large: {diff}");
+    }
+
+    #[test]
+    fn param_count_covers_gate_and_experts() {
+        let mut l = layer(1, 1.0);
+        // Gate 6*4; each expert 6*12+12+12*6+6.
+        assert_eq!(l.num_params(), 6 * 4 + 4 * (6 * 12 + 12 + 12 * 6 + 6));
+    }
+
+    #[test]
+    fn aux_loss_is_exposed_through_gate() {
+        let mut l = layer(1, 2.0).with_aux_loss(0.01);
+        let x = rng::uniform(&[16, 6], 1.0, &mut seeded(98));
+        l.forward(&x);
+        assert!(l.gate().aux_loss() >= 1.0 - 1e-3);
+    }
+}

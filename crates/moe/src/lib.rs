@@ -1,0 +1,62 @@
+//! The mixture-of-experts layer: gating, dispatch/combine, experts.
+//!
+//! Implements the paper's §2.1 MoE structure end to end:
+//!
+//! * [`TopKGate`] — a learnable linear router with softmax probabilities,
+//!   top-`k` selection, and capacity-factor token dropping (Eq. 1), plus
+//!   the Switch-Transformer auxiliary load-balancing loss.
+//! * [`FfExpert`] — the expert abstraction (`AbsExpert`): a two-layer
+//!   feed-forward network with hand-written backward.
+//! * [`MoeLayer`] — a single-process MoE layer (all experts local) with a
+//!   full forward/backward. An optional [`Compressor`] round-trips the
+//!   dispatched tokens and expert outputs through the codec, reproducing
+//!   exactly the numeric effect of compressed all-to-alls — this is the
+//!   engine behind the Table 6 convergence study.
+//! * [`DistributedMoeLayer`] — the same layer executed across fabric ranks
+//!   with expert parallelism: tokens are really serialized, compressed,
+//!   exchanged through a pluggable [`AllToAll`] algorithm, decompressed,
+//!   computed by the owning rank's experts, and combined back. Tested for
+//!   equivalence against [`MoeLayer`].
+
+pub mod distributed;
+pub mod expert;
+pub mod gating;
+pub mod layer;
+pub mod routing;
+
+pub use distributed::{allreduce_inplace, DistributedMoeLayer};
+pub use expert::{Expert, FfExpert};
+pub use gating::{GateDecision, OverflowPolicy, TopKGate};
+pub use layer::MoeLayer;
+pub use routing::{
+    balance_stats, BalanceStats, ExpertChoiceRouter, RandomRouter, Router, TokenChoiceRouter,
+};
+
+/// Computes the expert capacity of Eq. 1: `C = ceil(f · k · tokens / E)`.
+///
+/// The ceiling keeps at least one slot per expert for any positive input.
+pub fn expert_capacity(capacity_factor: f64, k: usize, tokens: usize, experts: usize) -> usize {
+    assert!(experts > 0, "at least one expert required");
+    let c = (capacity_factor * k as f64 * tokens as f64 / experts as f64).ceil() as usize;
+    c.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_eq1() {
+        // f=1.0, k=1, 64 tokens, 8 experts -> 8 slots each.
+        assert_eq!(expert_capacity(1.0, 1, 64, 8), 8);
+        // f=1.25 adds headroom.
+        assert_eq!(expert_capacity(1.25, 1, 64, 8), 10);
+        // k=2 doubles assignments.
+        assert_eq!(expert_capacity(1.0, 2, 64, 8), 16);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        assert_eq!(expert_capacity(1.0, 1, 1, 64), 1);
+    }
+}

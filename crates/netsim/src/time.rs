@@ -1,0 +1,165 @@
+//! Simulated-time newtype.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or span of) simulated time, stored as seconds in `f64`.
+///
+/// `SimTime` is totally ordered; NaN durations are rejected at construction
+/// by the engine, so comparisons never observe NaN.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The time origin / zero duration.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time span from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    /// Creates a time span from milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime(ms / 1e3)
+    }
+
+    /// Creates a time span from microseconds.
+    pub fn from_us(us: f64) -> Self {
+        SimTime(us / 1e6)
+    }
+
+    /// The span in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The span in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The span in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Elementwise maximum.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Elementwise minimum.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Returns `true` when the value is finite and non-negative.
+    pub fn is_valid_duration(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    type Output = f64;
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3}s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else {
+            write!(f, "{:.1}us", self.as_us())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert_eq!(SimTime::from_ms(1500.0).as_secs(), 1.5);
+        assert_eq!(SimTime::from_secs(0.002).as_ms(), 2.0);
+        assert!((SimTime::from_us(7.0).as_secs() - 7e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = SimTime::from_ms(2.0);
+        let b = SimTime::from_ms(3.0);
+        assert_eq!(a + b, SimTime::from_ms(5.0));
+        assert_eq!(b - a, SimTime::from_ms(1.0));
+        assert_eq!(a * 2.0, SimTime::from_ms(4.0));
+        assert!((b / a - 1.5).abs() < 1e-12);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: SimTime = [1.0, 2.0, 3.0].iter().map(|&ms| SimTime::from_ms(ms)).sum();
+        assert_eq!(total, SimTime::from_ms(6.0));
+    }
+
+    #[test]
+    fn duration_validity() {
+        assert!(SimTime::from_ms(0.0).is_valid_duration());
+        assert!(!SimTime::from_secs(f64::NAN).is_valid_duration());
+        assert!(!SimTime::from_secs(-1.0).is_valid_duration());
+        assert!(!SimTime::from_secs(f64::INFINITY).is_valid_duration());
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::from_secs(2.5)), "2.500s");
+        assert_eq!(format!("{}", SimTime::from_ms(12.25)), "12.250ms");
+        assert_eq!(format!("{}", SimTime::from_us(3.0)), "3.0us");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the stream simulator's scheduling invariants.
+
+use proptest::prelude::*;
+use schemoe_netsim::{OpId, SimTime, StreamSim};
+
+/// A randomly generated workload: op i runs on `streams[i]` for
+/// `durations[i]` ms and may depend on any strict subset of earlier ops.
+#[derive(Debug, Clone)]
+struct Workload {
+    num_streams: usize,
+    durations: Vec<f64>,
+    streams: Vec<usize>,
+    deps: Vec<Vec<usize>>,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (1usize..4, 1usize..12).prop_flat_map(|(num_streams, num_ops)| {
+        let durations = proptest::collection::vec(0.1f64..10.0, num_ops);
+        let streams = proptest::collection::vec(0usize..num_streams, num_ops);
+        // deps[i] ⊆ {0..i}: keep edges pointing backwards so plans are
+        // acyclic in program order (the engine supports forward cross-stream
+        // edges too, but backward edges are guaranteed deadlock-free).
+        let deps = (0..num_ops)
+            .map(|i| proptest::collection::vec(0..i.max(1), 0..=i.min(3)))
+            .collect::<Vec<_>>();
+        (Just(num_streams), durations, streams, deps).prop_map(
+            |(num_streams, durations, streams, deps)| Workload {
+                num_streams,
+                durations,
+                streams,
+                deps,
+            },
+        )
+    })
+}
+
+fn build(w: &Workload) -> StreamSim {
+    let mut sim = StreamSim::new();
+    let streams: Vec<_> = (0..w.num_streams).map(|i| sim.stream(format!("s{i}"))).collect();
+    for i in 0..w.durations.len() {
+        let deps: Vec<OpId> = if i == 0 {
+            Vec::new()
+        } else {
+            w.deps[i].iter().map(|&d| OpId::from_raw(d)).collect()
+        };
+        sim.push(
+            streams[w.streams[i]],
+            SimTime::from_ms(w.durations[i]),
+            &deps,
+            format!("op{i}"),
+        );
+    }
+    sim
+}
+
+proptest! {
+    /// Backward-only dependency graphs never deadlock.
+    #[test]
+    fn backward_edges_always_complete(w in workload()) {
+        let sim = build(&w);
+        prop_assert!(sim.run().is_ok());
+    }
+
+    /// The makespan can never beat the busiest stream (work conservation).
+    #[test]
+    fn makespan_at_least_busiest_stream(w in workload()) {
+        let sim = build(&w);
+        let trace = sim.run().unwrap();
+        let mut per_stream = vec![0.0f64; w.num_streams];
+        for (i, &d) in w.durations.iter().enumerate() {
+            per_stream[w.streams[i]] += d;
+        }
+        let busiest = per_stream.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(
+            trace.makespan().as_ms() >= busiest - 1e-9,
+            "makespan {} < busiest stream {}",
+            trace.makespan().as_ms(),
+            busiest
+        );
+    }
+
+    /// The makespan can never beat the dependency critical path.
+    #[test]
+    fn makespan_at_least_critical_path(w in workload()) {
+        let sim = build(&w);
+        let trace = sim.run().unwrap();
+        // Longest path through explicit dependencies only.
+        let n = w.durations.len();
+        let mut longest = vec![0.0f64; n];
+        for i in 0..n {
+            let dep_max = if i == 0 {
+                0.0
+            } else {
+                w.deps[i].iter().map(|&d| longest[d]).fold(0.0, f64::max)
+            };
+            longest[i] = dep_max + w.durations[i];
+        }
+        let critical = longest.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(trace.makespan().as_ms() >= critical - 1e-9);
+    }
+
+    /// Every op respects its dependencies and its stream's program order.
+    #[test]
+    fn trace_respects_all_constraints(w in workload()) {
+        let sim = build(&w);
+        let trace = sim.run().unwrap();
+        let recs = trace.records();
+        for (i, r) in recs.iter().enumerate() {
+            if i > 0 {
+                for &d in &w.deps[i] {
+                    prop_assert!(recs[d].end <= r.start + SimTime::from_us(0.001));
+                }
+            }
+        }
+        // Program order within each stream.
+        for s in 0..w.num_streams {
+            let mut prev_end = SimTime::ZERO;
+            for (i, r) in recs.iter().enumerate() {
+                if w.streams[i] == s {
+                    prop_assert!(r.start >= prev_end - SimTime::from_us(0.001));
+                    prev_end = r.end;
+                }
+            }
+        }
+    }
+
+    /// Running the same workload twice yields identical traces.
+    #[test]
+    fn simulation_is_deterministic(w in workload()) {
+        let t1 = build(&w).run().unwrap();
+        let t2 = build(&w).run().unwrap();
+        prop_assert_eq!(t1.makespan(), t2.makespan());
+        for (a, b) in t1.records().iter().zip(t2.records().iter()) {
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.end, b.end);
+        }
+    }
+}

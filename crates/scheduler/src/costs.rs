@@ -1,0 +1,152 @@
+//! Builds a [`TaskSet`] for a concrete MoE layer on concrete hardware.
+
+use schemoe_cluster::{HardwareProfile, Topology};
+use schemoe_collectives::AllToAll;
+use schemoe_netsim::SimTime;
+
+use crate::task::TaskSet;
+
+/// The per-layer quantities that determine task durations.
+///
+/// `tokens` is the *assigned* token count per GPU after capacity padding
+/// (`f · k · B · L`), so the A2A payload is `tokens × model_dim × 4` bytes
+/// (paper Eq. 2) and the expert GEMM volume is `4 · tokens · M · H` FLOPs.
+#[derive(Clone, Copy, Debug)]
+pub struct MoeLayerCosts {
+    /// Assigned tokens per GPU (`f · k · B · L`).
+    pub tokens: usize,
+    /// Embedding size `M`.
+    pub model_dim: usize,
+    /// Expert hidden size `H`.
+    pub hidden_dim: usize,
+    /// Compression ratio of the configured codec (1.0 = none).
+    pub compression_ratio: f64,
+}
+
+impl MoeLayerCosts {
+    /// Uncompressed A2A payload per GPU in bytes (Eq. 2 with `b = 32`).
+    pub fn a2a_bytes(&self) -> u64 {
+        self.tokens as u64 * self.model_dim as u64 * 4
+    }
+
+    /// Compressed payload crossing the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.a2a_bytes() as f64 / self.compression_ratio) as u64
+    }
+
+    /// Forward expert FLOPs per GPU (two GEMMs).
+    pub fn expert_flops(&self) -> u64 {
+        4 * self.tokens as u64 * self.model_dim as u64 * self.hidden_dim as u64
+    }
+
+    /// Compiles the `7 × r` task durations for this layer.
+    ///
+    /// Each of the `r` chunks carries `1/r` of the tokens; compression and
+    /// decompression are skipped (zero duration) when the ratio is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn task_set(
+        &self,
+        topo: &Topology,
+        hw: &HardwareProfile,
+        a2a: &dyn AllToAll,
+        r: usize,
+    ) -> TaskSet {
+        assert!(r > 0, "at least one chunk required");
+        let chunk_bytes = self.a2a_bytes() / r as u64;
+        let chunk_wire = self.wire_bytes() / r as u64;
+        let chunk_flops = self.expert_flops() / r as u64;
+        let compress = if self.compression_ratio > 1.0 {
+            hw.compress_time(chunk_bytes)
+        } else {
+            SimTime::ZERO
+        };
+        let decompress = if self.compression_ratio > 1.0 {
+            hw.decompress_time(chunk_bytes)
+        } else {
+            SimTime::ZERO
+        };
+        let a2a_time = a2a
+            .plan(topo, chunk_wire)
+            .simulate(topo, hw)
+            .map(|t| t.makespan())
+            .expect("uniform A2A plans are valid")
+            + a2a.plan(topo, chunk_wire).join_overhead();
+        let expert = hw.gemm.time(chunk_flops);
+        TaskSet::uniform(r, compress, a2a_time, decompress, expert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedules::{naive_makespan, optsche};
+    use crate::task::TaskKind;
+    use schemoe_collectives::{NcclA2A, PipeA2A};
+
+    fn costs() -> MoeLayerCosts {
+        // The Table 10 ablation layer: B=8, f=1.2, L=2048, k=2, M=H=8192.
+        MoeLayerCosts {
+            tokens: (1.2 * 2.0 * 8.0 * 2048.0) as usize,
+            model_dim: 8192,
+            hidden_dim: 8192,
+            compression_ratio: 1.0,
+        }
+    }
+
+    #[test]
+    fn payload_matches_eq2() {
+        let c = costs();
+        // S = f·k·B·L·M·4 = 1.2·2·8·2048·8192·4 ≈ 1.29 GB.
+        assert_eq!(c.a2a_bytes(), 39321 * 8192 * 4);
+        assert!((c.a2a_bytes() as f64 - 1.29e9).abs() < 0.01e9);
+    }
+
+    #[test]
+    fn compression_shrinks_wire_but_not_flops() {
+        let mut c = costs();
+        c.compression_ratio = 4.0;
+        assert_eq!(c.wire_bytes(), c.a2a_bytes() / 4);
+        assert_eq!(c.expert_flops(), costs().expert_flops());
+    }
+
+    #[test]
+    fn task_set_durations_are_sane() {
+        let topo = Topology::paper_testbed();
+        let hw = HardwareProfile::paper_testbed();
+        let ts = costs().task_set(&topo, &hw, &NcclA2A, 2);
+        // No compression configured: C/D tasks are free.
+        assert_eq!(ts.duration(TaskKind::Compress1, 0), SimTime::ZERO);
+        // A2A of ~0.8 GB per chunk takes hundreds of ms.
+        let a2a = ts.duration(TaskKind::AllToAll1, 0);
+        assert!(a2a.as_ms() > 100.0 && a2a.as_ms() < 1000.0, "a2a {a2a}");
+        // Expert chunk is GEMM-bound.
+        let e = ts.duration(TaskKind::Expert, 0);
+        assert!(e.as_ms() > 100.0 && e.as_ms() < 2000.0, "expert {e}");
+    }
+
+    #[test]
+    fn table10_shape_holds_in_the_cost_model() {
+        // Naive (r=1, fp32, NCCL) vs +ZFP vs +Pipe vs +OptSche must improve
+        // monotonically, with compression the largest single win.
+        let topo = Topology::paper_testbed();
+        let hw = HardwareProfile::paper_testbed();
+        let naive = naive_makespan(&costs().task_set(&topo, &hw, &NcclA2A, 1));
+        let mut zc = costs();
+        zc.compression_ratio = 4.0;
+        let with_zfp = naive_makespan(&zc.task_set(&topo, &hw, &NcclA2A, 1));
+        let with_pipe = naive_makespan(&zc.task_set(&topo, &hw, &PipeA2A::new(), 1));
+        let sched_ts = zc.task_set(&topo, &hw, &PipeA2A::new(), 2);
+        let full = optsche(2).makespan(&sched_ts).unwrap();
+        assert!(with_zfp < naive, "zfp {with_zfp} < naive {naive}");
+        assert!(with_pipe < with_zfp, "pipe {with_pipe} < zfp {with_zfp}");
+        assert!(full < with_pipe, "sched {full} < pipe {with_pipe}");
+        let total_speedup = naive / full;
+        assert!(
+            (1.8..3.2).contains(&total_speedup),
+            "total ablation speedup should be ≈2.4×, got {total_speedup:.2}"
+        );
+    }
+}

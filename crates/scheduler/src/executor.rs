@@ -1,0 +1,144 @@
+//! A real two-worker overlap executor.
+//!
+//! The simulator predicts schedules; this executor *runs* them: computing
+//! closures execute on the caller thread (the "GPU") while communication
+//! closures execute on a dedicated thread (the "network"), with the same
+//! dependency discipline as [`crate::Schedule::makespan`]. It is how the
+//! functional ScheMoE pipeline gets genuine wall-clock comm/comp overlap.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Which worker a task runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Worker {
+    /// The caller's thread (computing tasks).
+    Compute,
+    /// The background thread (communication tasks).
+    Comm,
+}
+
+/// One executable task.
+pub struct ExecTask {
+    /// Worker assignment.
+    pub worker: Worker,
+    /// Indices of tasks (within the submitted vector) that must complete
+    /// first.
+    pub deps: Vec<usize>,
+    /// The work itself.
+    pub run: Box<dyn FnOnce() + Send>,
+}
+
+/// A task staged on one worker's queue: (index, deps, work).
+type Queued = (usize, Vec<usize>, Box<dyn FnOnce() + Send>);
+
+struct DoneBoard {
+    done: Mutex<Vec<bool>>,
+    cv: Condvar,
+}
+
+impl DoneBoard {
+    fn wait_for(&self, deps: &[usize]) {
+        let mut done = self.done.lock();
+        while !deps.iter().all(|&d| done[d]) {
+            self.cv.wait(&mut done);
+        }
+    }
+
+    fn mark(&self, idx: usize) {
+        let mut done = self.done.lock();
+        done[idx] = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Runs `tasks` to completion with real overlap.
+///
+/// Tasks assigned to the same worker run in submission order; a task
+/// blocks until its dependencies complete. The caller is responsible for
+/// submitting a deadlock-free order (e.g. one produced by
+/// [`crate::schedules::optsche`]); validating orders up front is the
+/// simulator's job.
+pub fn run_overlapped(tasks: Vec<ExecTask>) {
+    let n = tasks.len();
+    let board = Arc::new(DoneBoard { done: Mutex::new(vec![false; n]), cv: Condvar::new() });
+
+    let mut comp: Vec<Queued> = Vec::new();
+    let mut comm: Vec<Queued> = Vec::new();
+    for (i, t) in tasks.into_iter().enumerate() {
+        match t.worker {
+            Worker::Compute => comp.push((i, t.deps, t.run)),
+            Worker::Comm => comm.push((i, t.deps, t.run)),
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let comm_board = Arc::clone(&board);
+        scope.spawn(move || {
+            for (idx, deps, run) in comm {
+                comm_board.wait_for(&deps);
+                run();
+                comm_board.mark(idx);
+            }
+        });
+        for (idx, deps, run) in comp {
+            board.wait_for(&deps);
+            run();
+            board.mark(idx);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn overlap_saves_wall_clock_time() {
+        // Comp: 2 × 30 ms; comm: 2 × 30 ms, dependent on the matching comp
+        // task. Sequential would be 120 ms; overlapped ≈ 90 ms.
+        let mk = |d: u64| -> Box<dyn FnOnce() + Send> {
+            Box::new(move || std::thread::sleep(Duration::from_millis(d)))
+        };
+        let tasks = vec![
+            ExecTask { worker: Worker::Compute, deps: vec![], run: mk(30) },
+            ExecTask { worker: Worker::Comm, deps: vec![0], run: mk(30) },
+            ExecTask { worker: Worker::Compute, deps: vec![], run: mk(30) },
+            ExecTask { worker: Worker::Comm, deps: vec![2], run: mk(30) },
+        ];
+        let start = Instant::now();
+        run_overlapped(tasks);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(85), "too fast: {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(115), "no overlap: {elapsed:?}");
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mk = |id: usize, counter: &Arc<AtomicUsize>, order: &Arc<Mutex<Vec<usize>>>| {
+            let (c, o) = (Arc::clone(counter), Arc::clone(order));
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                o.lock().push(id);
+            }) as Box<dyn FnOnce() + Send>
+        };
+        let tasks = vec![
+            ExecTask { worker: Worker::Compute, deps: vec![], run: mk(0, &counter, &order) },
+            ExecTask { worker: Worker::Comm, deps: vec![0], run: mk(1, &counter, &order) },
+            ExecTask { worker: Worker::Compute, deps: vec![1], run: mk(2, &counter, &order) },
+        ];
+        run_overlapped(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_noop() {
+        run_overlapped(Vec::new());
+    }
+}

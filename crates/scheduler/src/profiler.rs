@@ -1,0 +1,103 @@
+//! The profiler: per-task-kind performance models (paper §3.2).
+
+use std::collections::HashMap;
+
+use schemoe_netsim::cost::LinearModel;
+use schemoe_netsim::SimTime;
+
+use crate::task::TaskKind;
+
+/// Records `(size, time)` samples per task kind and fits `t = a + b·size`
+/// models on demand.
+///
+/// "Size" is task-type specific: bytes for compression and A2A, FLOPs for
+/// experts. The scheduler only needs *predicted durations*, so the unit is
+/// opaque here as long as recording and prediction agree.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    samples: HashMap<TaskKind, Vec<(f64, f64)>>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Records one observation of a task of `kind` at `size` taking `t`.
+    pub fn record(&mut self, kind: TaskKind, size: f64, t: SimTime) {
+        self.samples.entry(kind).or_default().push((size, t.as_secs()));
+    }
+
+    /// Number of samples recorded for `kind`.
+    pub fn sample_count(&self, kind: TaskKind) -> usize {
+        self.samples.get(&kind).map_or(0, Vec::len)
+    }
+
+    /// Fits the linear model for `kind`; `None` until two distinct sizes
+    /// have been recorded.
+    pub fn model(&self, kind: TaskKind) -> Option<LinearModel> {
+        LinearModel::fit(self.samples.get(&kind)?)
+    }
+
+    /// Predicts the duration of a task of `kind` at `size`.
+    ///
+    /// Falls back to the mean of recorded samples when the model is
+    /// unidentifiable (all samples at one size), and to zero with no data.
+    pub fn predict(&self, kind: TaskKind, size: f64) -> SimTime {
+        if let Some(m) = self.model(kind) {
+            return m.predict(size);
+        }
+        match self.samples.get(&kind) {
+            Some(s) if !s.is_empty() => {
+                SimTime::from_secs(s.iter().map(|p| p.1).sum::<f64>() / s.len() as f64)
+            }
+            _ => SimTime::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_task_model() {
+        let mut p = Profiler::new();
+        for i in 1..=8u32 {
+            let size = i as f64 * 1e6;
+            p.record(TaskKind::AllToAll1, size, SimTime::from_secs(1e-4 + size * 1e-9));
+        }
+        assert_eq!(p.sample_count(TaskKind::AllToAll1), 8);
+        let m = p.model(TaskKind::AllToAll1).unwrap();
+        assert!((m.a - 1e-4).abs() < 1e-7);
+        assert!((m.b - 1e-9).abs() < 1e-12);
+        let pred = p.predict(TaskKind::AllToAll1, 20e6);
+        assert!((pred.as_secs() - (1e-4 + 0.02)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_size_falls_back_to_mean() {
+        let mut p = Profiler::new();
+        p.record(TaskKind::Expert, 100.0, SimTime::from_ms(2.0));
+        p.record(TaskKind::Expert, 100.0, SimTime::from_ms(4.0));
+        assert!(p.model(TaskKind::Expert).is_none());
+        assert_eq!(p.predict(TaskKind::Expert, 100.0), SimTime::from_ms(3.0));
+    }
+
+    #[test]
+    fn unknown_kind_predicts_zero() {
+        let p = Profiler::new();
+        assert_eq!(p.predict(TaskKind::Compress1, 1e6), SimTime::ZERO);
+    }
+
+    #[test]
+    fn kinds_are_modelled_independently() {
+        let mut p = Profiler::new();
+        p.record(TaskKind::Compress1, 1.0, SimTime::from_ms(1.0));
+        p.record(TaskKind::Compress1, 2.0, SimTime::from_ms(2.0));
+        p.record(TaskKind::Decompress1, 1.0, SimTime::from_ms(10.0));
+        p.record(TaskKind::Decompress1, 2.0, SimTime::from_ms(20.0));
+        assert!(p.predict(TaskKind::Decompress1, 3.0) > p.predict(TaskKind::Compress1, 3.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! Schedules and the two-stream makespan evaluator.
+
+use std::fmt;
+
+use schemoe_netsim::{OpId, SimError, SimTime, StreamSim};
+
+use crate::task::{TaskKind, TaskSet};
+
+/// Errors from evaluating a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The computing order is not a permutation of the task set's
+    /// computing tasks.
+    NotAPermutation,
+    /// The order violates the data dependencies (Eq. 4–9) and deadlocks.
+    Invalid(SimError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NotAPermutation => {
+                write!(f, "schedule is not a permutation of the computing tasks")
+            }
+            ScheduleError::Invalid(e) => write!(f, "schedule violates dependencies: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A schedule: a total order of the computing tasks.
+///
+/// Communication tasks are not ordered by the scheduler — they start as
+/// soon as their predecessor finishes, serialized on the network stream in
+/// canonical order `A1^1..A1^r, A2^1..A2^r` (paper Eq. 13–14).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// `(kind, chunk)` pairs covering every computing task exactly once.
+    pub comp_order: Vec<(TaskKind, usize)>,
+}
+
+impl Schedule {
+    /// Creates a schedule from an explicit order.
+    pub fn new(comp_order: Vec<(TaskKind, usize)>) -> Self {
+        Schedule { comp_order }
+    }
+
+    /// Renders the order as `C1^1 C1^2 D1^1 ...`.
+    pub fn describe(&self) -> String {
+        self.comp_order
+            .iter()
+            .map(|(k, c)| format!("{}^{}", k.label(), c + 1))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Checks the order covers each computing task exactly once for `r`
+    /// chunks.
+    pub fn is_permutation(&self, r: usize) -> bool {
+        if self.comp_order.len() != 5 * r {
+            return false;
+        }
+        let mut seen = vec![[false; 5]; r];
+        for &(kind, chunk) in &self.comp_order {
+            if kind.is_comm() || chunk >= r {
+                return false;
+            }
+            let pos = TaskKind::COMPUTE.iter().position(|&k| k == kind).expect("compute");
+            if seen[chunk][pos] {
+                return false;
+            }
+            seen[chunk][pos] = true;
+        }
+        true
+    }
+
+    /// Evaluates the schedule's makespan against a task set.
+    pub fn makespan(&self, tasks: &TaskSet) -> Result<SimTime, ScheduleError> {
+        Ok(self.trace(tasks)?.makespan())
+    }
+
+    /// Simulates the schedule and returns the full execution trace
+    /// (per-task intervals on the GPU and network streams) for inspection
+    /// or Gantt rendering.
+    ///
+    /// Compiles onto two streams — GPU (computing, in this schedule's
+    /// order) and network (communication, canonical order) — with the
+    /// Eq. (4)–(9) dependencies as cross-stream edges, then runs the
+    /// discrete-event engine.
+    pub fn trace(&self, tasks: &TaskSet) -> Result<schemoe_netsim::Trace, ScheduleError> {
+        let r = tasks.r();
+        if !self.is_permutation(r) {
+            return Err(ScheduleError::NotAPermutation);
+        }
+        let mut sim = StreamSim::new();
+        let comp = sim.stream("gpu");
+        let comm = sim.stream("network");
+
+        // Ids are assigned in push order, so they can be computed up front:
+        // compute ops take 0..5r in schedule order, comm ops 5r..7r in
+        // their own serialization order. Knowing ids in advance lets every
+        // Eq. (4)–(9) edge be expressed directly — including forward
+        // references, which the engine resolves (and reports genuinely
+        // dependency-violating orders as deadlocks).
+        let mut id_of = vec![[OpId::from_raw(usize::MAX); 5]; r];
+        for (i, &(kind, chunk)) in self.comp_order.iter().enumerate() {
+            let pos = TaskKind::COMPUTE.iter().position(|&k| k == kind).expect("compute");
+            id_of[chunk][pos] = OpId::from_raw(i);
+        }
+
+        // Communication serializes FCFS by *issue* order: each A2A becomes
+        // ready when its producing compute task finishes, so the network
+        // stream processes them ordered by the producer's position in the
+        // schedule. For OptSche (all C1s first, C2s in chunk order) this
+        // degenerates to exactly the paper's Eq. (13)–(14) serialization
+        // A1^1..A1^r, A2^1..A2^r.
+        let mut comm_order: Vec<(usize, TaskKind, usize)> = Vec::with_capacity(2 * r);
+        for (i, &(kind, chunk)) in self.comp_order.iter().enumerate() {
+            match kind {
+                TaskKind::Compress1 => comm_order.push((i, TaskKind::AllToAll1, chunk)),
+                TaskKind::Compress2 => comm_order.push((i, TaskKind::AllToAll2, chunk)),
+                _ => {}
+            }
+        }
+        comm_order.sort_by_key(|&(i, _, _)| i);
+        let comm_id = |kind: TaskKind, chunk: usize| {
+            let idx = comm_order
+                .iter()
+                .position(|&(_, k, c)| k == kind && c == chunk)
+                .expect("every chunk has both A2As");
+            OpId::from_raw(5 * r + idx)
+        };
+
+        for &(kind, chunk) in &self.comp_order {
+            let deps: Vec<OpId> = match kind {
+                TaskKind::Compress1 => vec![],
+                TaskKind::Decompress1 => vec![comm_id(TaskKind::AllToAll1, chunk)],
+                TaskKind::Expert => vec![id_of[chunk][1]],
+                TaskKind::Compress2 => vec![id_of[chunk][2]],
+                TaskKind::Decompress2 => vec![comm_id(TaskKind::AllToAll2, chunk)],
+                _ => unreachable!("comm kinds rejected by is_permutation"),
+            };
+            sim.push(
+                comp,
+                tasks.duration(kind, chunk),
+                &deps,
+                format!("{}^{}", kind.label(), chunk + 1),
+            );
+        }
+        for &(_, kind, chunk) in &comm_order {
+            let producer = if kind == TaskKind::AllToAll1 {
+                id_of[chunk][0]
+            } else {
+                id_of[chunk][3]
+            };
+            sim.push(
+                comm,
+                tasks.duration(kind, chunk),
+                &[producer],
+                format!("{}^{}", kind.label(), chunk + 1),
+            );
+        }
+        sim.run().map_err(ScheduleError::Invalid)
+    }
+
+    /// Hidden (overlapped) time relative to the no-overlap execution:
+    /// `Σ t(e) − makespan` (paper Eq. 11).
+    pub fn hidden_time(&self, tasks: &TaskSet) -> Result<SimTime, ScheduleError> {
+        Ok(tasks.total() - self.makespan(tasks)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedules::optsche;
+
+    fn ts(r: usize) -> TaskSet {
+        TaskSet::uniform(
+            r,
+            SimTime::from_ms(1.0),
+            SimTime::from_ms(8.0),
+            SimTime::from_ms(1.5),
+            SimTime::from_ms(4.0),
+        )
+    }
+
+    #[test]
+    fn r1_makespan_is_total() {
+        // With one chunk nothing can overlap (Fig. 5a).
+        let tasks = ts(1);
+        let s = optsche(1);
+        assert_eq!(s.makespan(&tasks).unwrap(), tasks.total());
+    }
+
+    #[test]
+    fn r2_overlaps_and_beats_total() {
+        let tasks = ts(2);
+        let s = optsche(2);
+        let m = s.makespan(&tasks).unwrap();
+        assert!(m < tasks.total(), "r=2 must hide some time");
+        // Makespan is at least the busier stream.
+        assert!(m >= tasks.comm_total());
+    }
+
+    #[test]
+    fn non_permutation_is_rejected() {
+        let tasks = ts(2);
+        let s = Schedule::new(vec![(TaskKind::Compress1, 0)]);
+        assert_eq!(s.makespan(&tasks).unwrap_err(), ScheduleError::NotAPermutation);
+        let s = Schedule::new(vec![
+            (TaskKind::Compress1, 0),
+            (TaskKind::Compress1, 0),
+            (TaskKind::Decompress1, 0),
+            (TaskKind::Expert, 0),
+            (TaskKind::Compress2, 0),
+            (TaskKind::Decompress2, 0),
+            (TaskKind::Compress1, 1),
+            (TaskKind::Decompress1, 1),
+            (TaskKind::Expert, 1),
+            (TaskKind::Compress2, 1),
+        ]);
+        assert_eq!(s.makespan(&tasks).unwrap_err(), ScheduleError::NotAPermutation);
+    }
+
+    #[test]
+    fn dependency_violating_order_deadlocks() {
+        // D1^1 scheduled before C1^1: A1^1 can never run.
+        let tasks = ts(1);
+        let s = Schedule::new(vec![
+            (TaskKind::Decompress1, 0),
+            (TaskKind::Compress1, 0),
+            (TaskKind::Expert, 0),
+            (TaskKind::Compress2, 0),
+            (TaskKind::Decompress2, 0),
+        ]);
+        assert!(matches!(s.makespan(&tasks), Err(ScheduleError::Invalid(_))));
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let s = optsche(2);
+        assert_eq!(
+            s.describe(),
+            "C1^1 C1^2 D1^1 E^1 C2^1 D1^2 E^2 C2^2 D2^1 D2^2"
+        );
+    }
+
+    #[test]
+    fn hidden_time_is_total_minus_makespan() {
+        let tasks = ts(2);
+        let s = optsche(2);
+        let h = s.hidden_time(&tasks).unwrap();
+        assert_eq!(h, tasks.total() - s.makespan(&tasks).unwrap());
+        assert!(h > SimTime::ZERO);
+    }
+}

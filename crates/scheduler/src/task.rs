@@ -1,0 +1,209 @@
+//! The MoE task taxonomy and per-chunk duration sets.
+
+use schemoe_netsim::SimTime;
+
+/// The seven task types of one MoE layer pass (paper Eq. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaskKind {
+    /// First data compression `C1` (before dispatch).
+    Compress1,
+    /// Dispatch all-to-all `A1`.
+    AllToAll1,
+    /// First decompression `D1` (after dispatch).
+    Decompress1,
+    /// Expert computation `E`.
+    Expert,
+    /// Second compression `C2` (before combine).
+    Compress2,
+    /// Combine all-to-all `A2`.
+    AllToAll2,
+    /// Second decompression `D2` (after combine).
+    Decompress2,
+}
+
+impl TaskKind {
+    /// All kinds in data-dependency order.
+    pub const ALL: [TaskKind; 7] = [
+        TaskKind::Compress1,
+        TaskKind::AllToAll1,
+        TaskKind::Decompress1,
+        TaskKind::Expert,
+        TaskKind::Compress2,
+        TaskKind::AllToAll2,
+        TaskKind::Decompress2,
+    ];
+
+    /// Computing-task kinds only, in dependency order.
+    pub const COMPUTE: [TaskKind; 5] = [
+        TaskKind::Compress1,
+        TaskKind::Decompress1,
+        TaskKind::Expert,
+        TaskKind::Compress2,
+        TaskKind::Decompress2,
+    ];
+
+    /// Whether the task occupies the network (a CommTask).
+    pub fn is_comm(self) -> bool {
+        matches!(self, TaskKind::AllToAll1 | TaskKind::AllToAll2)
+    }
+
+    /// The immediately preceding kind in the per-chunk dependency chain,
+    /// or `None` for `C1`.
+    pub fn predecessor(self) -> Option<TaskKind> {
+        let all = TaskKind::ALL;
+        let pos = all.iter().position(|&k| k == self).expect("kind in ALL");
+        if pos == 0 {
+            None
+        } else {
+            Some(all[pos - 1])
+        }
+    }
+
+    /// Short label (`C1`, `A1`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::Compress1 => "C1",
+            TaskKind::AllToAll1 => "A1",
+            TaskKind::Decompress1 => "D1",
+            TaskKind::Expert => "E",
+            TaskKind::Compress2 => "C2",
+            TaskKind::AllToAll2 => "A2",
+            TaskKind::Decompress2 => "D2",
+        }
+    }
+}
+
+/// Durations for the `7 × r` tasks of one MoE layer pass.
+///
+/// Chunks are equal-size partitions of the input (the paper's setting), so
+/// one duration per kind suffices; per-chunk overrides are available for
+/// experiments with non-uniform splits.
+#[derive(Clone, Debug)]
+pub struct TaskSet {
+    r: usize,
+    /// Duration per kind per chunk; `durations[kind_pos][chunk]`.
+    durations: Vec<Vec<SimTime>>,
+}
+
+impl TaskSet {
+    /// Creates a set with `r` chunks, every chunk of a kind equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn uniform(
+        r: usize,
+        compress: SimTime,
+        a2a: SimTime,
+        decompress: SimTime,
+        expert: SimTime,
+    ) -> Self {
+        assert!(r > 0, "at least one chunk required");
+        let per_kind = |t: SimTime| vec![t; r];
+        TaskSet {
+            r,
+            durations: vec![
+                per_kind(compress),
+                per_kind(a2a),
+                per_kind(decompress),
+                per_kind(expert),
+                per_kind(compress),
+                per_kind(a2a),
+                per_kind(decompress),
+            ],
+        }
+    }
+
+    /// Number of chunks `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Duration of `(kind, chunk)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk >= r`.
+    pub fn duration(&self, kind: TaskKind, chunk: usize) -> SimTime {
+        let pos = TaskKind::ALL.iter().position(|&k| k == kind).expect("kind");
+        self.durations[pos][chunk]
+    }
+
+    /// Overrides the duration of one `(kind, chunk)` task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk >= r`.
+    pub fn set_duration(&mut self, kind: TaskKind, chunk: usize, t: SimTime) {
+        let pos = TaskKind::ALL.iter().position(|&k| k == kind).expect("kind");
+        self.durations[pos][chunk] = t;
+    }
+
+    /// Sum of all task durations (the no-overlap time, Eq. 10).
+    pub fn total(&self) -> SimTime {
+        self.durations.iter().flatten().copied().sum()
+    }
+
+    /// Sum of communication durations only.
+    pub fn comm_total(&self) -> SimTime {
+        TaskKind::ALL
+            .iter()
+            .filter(|k| k.is_comm())
+            .flat_map(|&k| (0..self.r).map(move |c| self.duration(k, c)))
+            .sum()
+    }
+
+    /// Sum of computing durations only.
+    pub fn comp_total(&self) -> SimTime {
+        self.total() - self.comm_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_partition_into_comm_and_comp() {
+        let comm: Vec<_> = TaskKind::ALL.iter().filter(|k| k.is_comm()).collect();
+        assert_eq!(comm.len(), 2);
+        assert_eq!(TaskKind::COMPUTE.len(), 5);
+        assert!(TaskKind::COMPUTE.iter().all(|k| !k.is_comm()));
+    }
+
+    #[test]
+    fn predecessor_chain_is_the_pipeline() {
+        assert_eq!(TaskKind::Compress1.predecessor(), None);
+        assert_eq!(TaskKind::AllToAll1.predecessor(), Some(TaskKind::Compress1));
+        assert_eq!(TaskKind::Decompress2.predecessor(), Some(TaskKind::AllToAll2));
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let ts = TaskSet::uniform(
+            2,
+            SimTime::from_ms(1.0),
+            SimTime::from_ms(10.0),
+            SimTime::from_ms(2.0),
+            SimTime::from_ms(5.0),
+        );
+        // Per chunk: 1+10+2+5+1+10+2 = 31; ×2 chunks = 62.
+        assert!((ts.total().as_ms() - 62.0).abs() < 1e-9);
+        assert!((ts.comm_total().as_ms() - 40.0).abs() < 1e-9);
+        assert!((ts.comp_total().as_ms() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_chunk_override() {
+        let mut ts = TaskSet::uniform(
+            2,
+            SimTime::from_ms(1.0),
+            SimTime::from_ms(1.0),
+            SimTime::from_ms(1.0),
+            SimTime::from_ms(1.0),
+        );
+        ts.set_duration(TaskKind::Expert, 1, SimTime::from_ms(9.0));
+        assert_eq!(ts.duration(TaskKind::Expert, 0), SimTime::from_ms(1.0));
+        assert_eq!(ts.duration(TaskKind::Expert, 1), SimTime::from_ms(9.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based verification of Theorem 1: OptSche is optimal.
+
+use proptest::prelude::*;
+use schemoe_netsim::SimTime;
+use schemoe_scheduler::{brute_force_best, naive_makespan, optsche, stage_major, TaskSet};
+
+fn random_tasks(r: usize) -> impl Strategy<Value = TaskSet> {
+    (0.01f64..20.0, 0.01f64..50.0, 0.01f64..20.0, 0.01f64..50.0).prop_map(
+        move |(c, a, d, e)| {
+            TaskSet::uniform(
+                r,
+                SimTime::from_ms(c),
+                SimTime::from_ms(a),
+                SimTime::from_ms(d),
+                SimTime::from_ms(e),
+            )
+        },
+    )
+}
+
+proptest! {
+    /// Theorem 1 for r = 2: exhaustive search over all 252 valid orders
+    /// never beats the OptSche order, for arbitrary task durations.
+    #[test]
+    fn optsche_is_optimal_for_r2(tasks in random_tasks(2)) {
+        let (_, best) = brute_force_best(&tasks);
+        let opt = optsche(2).makespan(&tasks).unwrap();
+        prop_assert!(
+            opt.as_secs() <= best.as_secs() + 1e-12,
+            "optsche {} worse than brute-force {}",
+            opt, best
+        );
+    }
+
+    /// Theorem 1 for r = 3 (756k orders is too many to enumerate per case,
+    /// so this samples fewer cases).
+    #[test]
+    #[ignore = "slow: enumerates 756k schedules per case; run with --ignored"]
+    fn optsche_is_optimal_for_r3(tasks in random_tasks(3)) {
+        let (_, best) = brute_force_best(&tasks);
+        let opt = optsche(3).makespan(&tasks).unwrap();
+        prop_assert!(opt.as_secs() <= best.as_secs() + 1e-12);
+    }
+
+    /// Sanity ordering for all r: optimal ≤ stage-major ≤ naive, and the
+    /// makespan is bounded below by both stream totals.
+    #[test]
+    fn schedule_ordering_invariants(tasks in random_tasks(3)) {
+        let opt = optsche(3).makespan(&tasks).unwrap();
+        let stage = stage_major(3).makespan(&tasks).unwrap();
+        let naive = naive_makespan(&tasks);
+        prop_assert!(opt.as_secs() <= stage.as_secs() + 1e-12);
+        prop_assert!(stage.as_secs() <= naive.as_secs() + 1e-12);
+        prop_assert!(opt.as_secs() + 1e-12 >= tasks.comm_total().as_secs());
+        prop_assert!(opt.as_secs() + 1e-12 >= tasks.comp_total().as_secs());
+    }
+
+    /// Exchanging any two adjacent computing tasks in the OptSche order
+    /// (when still dependency-valid) never shortens the makespan — the
+    /// paper's local-optimality argument in the proof of Theorem 1.
+    #[test]
+    fn optsche_is_locally_unimprovable(tasks in random_tasks(2), i in 0usize..9) {
+        let base = optsche(2);
+        let opt = base.makespan(&tasks).unwrap();
+        let mut swapped = base.clone();
+        swapped.comp_order.swap(i, i + 1);
+        // An Err means the swap violated dependencies: not a valid rival.
+        if let Ok(m) = swapped.makespan(&tasks) {
+            prop_assert!(
+                m.as_secs() >= opt.as_secs() - 1e-12,
+                "swap at {} improved {} -> {}",
+                i, opt, m
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Finite-difference gradient checking for [`crate::nn`] modules.
+//!
+//! Every hand-written backward pass in this workspace is validated by
+//! comparing its analytic gradients (both input and parameter gradients)
+//! against central finite differences of a scalar probe loss.
+
+use crate::nn::Module;
+use crate::tensor::Tensor;
+
+/// The scalar probe loss: a fixed weighted sum of the output elements.
+///
+/// Using non-uniform weights ensures that a backward pass that, e.g.,
+/// transposes or permutes gradients is still caught.
+fn probe_loss(y: &Tensor) -> f32 {
+    y.data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v * (0.3 + 0.1 * (i % 7) as f32))
+        .sum()
+}
+
+/// Gradient of [`probe_loss`] with respect to the output.
+fn probe_grad(dims: &[usize]) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|i| 0.3 + 0.1 * (i % 7) as f32).collect();
+    Tensor::from_vec(data, dims).expect("generated buffer matches shape")
+}
+
+/// Checks a module's input and parameter gradients against finite
+/// differences.
+///
+/// `tol` is the maximum allowed absolute *or* relative error per element
+/// (whichever bound is looser), which tolerates f32 cancellation on large
+/// gradients while staying strict near zero.
+///
+/// # Panics
+///
+/// Panics (fails the test) if any gradient disagrees beyond `tol`.
+pub fn check_module_gradients<M: Module>(module: &mut M, x: &Tensor, tol: f32) {
+    let eps = 1e-2f32;
+
+    // Analytic pass.
+    module.zero_grad();
+    let y = module.forward(x);
+    let dy = probe_grad(y.dims());
+    let dx = module.backward(&dy);
+    assert_eq!(dx.dims(), x.dims(), "input gradient shape mismatch");
+
+    // Finite differences on the input.
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let fp = probe_loss(&module.forward(&xp));
+        let fm = probe_loss(&module.forward(&xm));
+        let fd = (fp - fm) / (2.0 * eps);
+        let an = dx.data()[i];
+        assert_close(an, fd, tol, &format!("d(input)[{i}]"));
+    }
+
+    // Finite differences on every parameter.
+    // We cannot hold two mutable borrows, so perturb by index via visit.
+    let mut param_shapes: Vec<(String, usize)> = Vec::new();
+    module.visit_params(&mut |p| param_shapes.push((p.name.clone(), p.numel())));
+    let mut analytic_grads: Vec<Vec<f32>> = Vec::new();
+    module.zero_grad();
+    module.forward(x);
+    module.backward(&dy);
+    module.visit_params(&mut |p| analytic_grads.push(p.grad.data().to_vec()));
+
+    for (pi, (name, numel)) in param_shapes.iter().enumerate() {
+        for ei in 0..*numel {
+            perturb_param(module, pi, ei, eps);
+            let fp = probe_loss(&module.forward(x));
+            perturb_param(module, pi, ei, -2.0 * eps);
+            let fm = probe_loss(&module.forward(x));
+            perturb_param(module, pi, ei, eps);
+            let fd = (fp - fm) / (2.0 * eps);
+            let an = analytic_grads[pi][ei];
+            assert_close(an, fd, tol, &format!("d({name})[{ei}]"));
+        }
+    }
+}
+
+fn perturb_param<M: Module>(module: &mut M, param_idx: usize, elem_idx: usize, delta: f32) {
+    let mut i = 0usize;
+    module.visit_params(&mut |p| {
+        if i == param_idx {
+            p.value.data_mut()[elem_idx] += delta;
+        }
+        i += 1;
+    });
+}
+
+fn assert_close(analytic: f32, fd: f32, tol: f32, what: &str) {
+    let abs = (analytic - fd).abs();
+    let rel = abs / fd.abs().max(analytic.abs()).max(1.0);
+    assert!(
+        abs < tol || rel < tol,
+        "{what}: analytic {analytic} vs finite-difference {fd} (abs {abs}, rel {rel})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{Module, Param};
+
+    /// A module with an intentionally wrong backward, to prove the checker
+    /// catches it.
+    struct BrokenScale {
+        p: Param,
+        cache: Option<Tensor>,
+    }
+
+    impl Module for BrokenScale {
+        fn forward(&mut self, x: &Tensor) -> Tensor {
+            self.cache = Some(x.clone());
+            x.scale(self.p.value.data()[0])
+        }
+
+        fn backward(&mut self, dy: &Tensor) -> Tensor {
+            let x = self.cache.take().unwrap();
+            // Wrong: forgets to scale dx by the parameter.
+            self.p.grad.data_mut()[0] +=
+                x.data().iter().zip(dy.data().iter()).map(|(a, b)| a * b).sum::<f32>();
+            dy.clone()
+        }
+
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d(input)")]
+    fn checker_catches_wrong_input_gradient() {
+        let mut m = BrokenScale {
+            p: Param::new("scale", Tensor::scalar(3.0)),
+            cache: None,
+        };
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[1, 3]).unwrap();
+        check_module_gradients(&mut m, &x, 1e-3);
+    }
+}

@@ -1,0 +1,239 @@
+//! Causal multi-head self-attention.
+
+use rand::rngs::SmallRng;
+
+use crate::nn::{Linear, Module, Param};
+use crate::tensor::Tensor;
+
+/// Causal multi-head self-attention over packed `[B*T, M]` inputs.
+///
+/// The layer is constructed with a fixed sequence length `T`; the forward
+/// input must hold an integral number of sequences of that length, packed
+/// row-major. Every head attends within its own sequence with a causal mask.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    seq_len: usize,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmax attention probabilities, one `[T, T]` tensor per (batch, head).
+    probs: Vec<Tensor>,
+    batch: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model_dim` is not divisible by `heads`.
+    pub fn new(model_dim: usize, heads: usize, seq_len: usize, rng: &mut SmallRng) -> Self {
+        assert!(
+            model_dim.is_multiple_of(heads),
+            "model_dim {model_dim} must be divisible by heads {heads}"
+        );
+        MultiHeadAttention {
+            wq: Linear::new(model_dim, model_dim, rng),
+            wk: Linear::new(model_dim, model_dim, rng),
+            wv: Linear::new(model_dim, model_dim, rng),
+            wo: Linear::new(model_dim, model_dim, rng),
+            heads,
+            seq_len,
+            cache: None,
+        }
+    }
+
+    /// Model dimension `M`.
+    pub fn model_dim(&self) -> usize {
+        self.wq.in_features()
+    }
+
+    /// Per-head dimension `M / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.model_dim() / self.heads
+    }
+
+    /// Extracts the `[T, head_dim]` block for `(batch b, head h)` from a
+    /// packed `[B*T, M]` tensor.
+    fn slice_head(&self, t: &Tensor, b: usize, h: usize) -> Tensor {
+        let (tl, dh) = (self.seq_len, self.head_dim());
+        let mut out = vec![0.0f32; tl * dh];
+        for i in 0..tl {
+            let row = t.row(b * tl + i);
+            out[i * dh..(i + 1) * dh].copy_from_slice(&row[h * dh..(h + 1) * dh]);
+        }
+        Tensor::from_vec(out, &[tl, dh]).expect("shape preserved")
+    }
+
+    /// Adds a `[T, head_dim]` block into the `(b, h)` position of a packed
+    /// `[B*T, M]` tensor.
+    fn scatter_head(&self, dst: &mut Tensor, src: &Tensor, b: usize, h: usize) {
+        let (tl, dh) = (self.seq_len, self.head_dim());
+        for i in 0..tl {
+            let srow = src.row(i);
+            let drow = dst.row_mut(b * tl + i);
+            for j in 0..dh {
+                drow[h * dh + j] += srow[j];
+            }
+        }
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let m = self.model_dim();
+        assert_eq!(x.dims()[1], m, "attention input feature dim mismatch");
+        let rows = x.dims()[0];
+        assert!(
+            rows.is_multiple_of(self.seq_len),
+            "input rows {rows} must be a multiple of seq_len {}",
+            self.seq_len
+        );
+        let batch = rows / self.seq_len;
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scale = 1.0 / (self.head_dim() as f32).sqrt();
+        let mut concat = Tensor::zeros(&[rows, m]);
+        let mut probs = Vec::with_capacity(batch * self.heads);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let qh = self.slice_head(&q, b, h);
+                let kh = self.slice_head(&k, b, h);
+                let vh = self.slice_head(&v, b, h);
+                let mut scores = qh.matmul_t(&kh).expect("q·k^T").scale(scale);
+                // Causal mask: position i may only attend to j <= i.
+                let t = self.seq_len;
+                for i in 0..t {
+                    for j in (i + 1)..t {
+                        scores.row_mut(i)[j] = f32::NEG_INFINITY;
+                    }
+                }
+                let p = scores.softmax_rows().expect("rank-2 scores");
+                let oh = p.matmul(&vh).expect("p·v");
+                self.scatter_head(&mut concat, &oh, b, h);
+                probs.push(p);
+            }
+        }
+        let out = self.wo.forward(&concat);
+        self.cache = Some(Cache { q, k, v, probs, batch });
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("attention backward called without a cached forward");
+        let m = self.model_dim();
+        let rows = dy.dims()[0];
+        let scale = 1.0 / (self.head_dim() as f32).sqrt();
+        let dconcat = self.wo.backward(dy);
+        let mut dq = Tensor::zeros(&[rows, m]);
+        let mut dk = Tensor::zeros(&[rows, m]);
+        let mut dv = Tensor::zeros(&[rows, m]);
+        for b in 0..cache.batch {
+            for h in 0..self.heads {
+                let p = &cache.probs[b * self.heads + h];
+                let doh = self.slice_head(&dconcat, b, h);
+                let qh = self.slice_head(&cache.q, b, h);
+                let kh = self.slice_head(&cache.k, b, h);
+                let vh = self.slice_head(&cache.v, b, h);
+                // dV = P^T · dO ; dP = dO · V^T.
+                let dvh = p.t_matmul(&doh).expect("p^T·do");
+                let dp = doh.matmul_t(&vh).expect("do·v^T");
+                // Softmax backward per row: dS = P ⊙ (dP - rowsum(dP ⊙ P)).
+                let t = self.seq_len;
+                let mut ds = Tensor::zeros(&[t, t]);
+                for i in 0..t {
+                    let prow = p.row(i);
+                    let dprow = dp.row(i);
+                    let dot: f32 = prow.iter().zip(dprow.iter()).map(|(a, b)| a * b).sum();
+                    let dsrow = ds.row_mut(i);
+                    for j in 0..t {
+                        dsrow[j] = prow[j] * (dprow[j] - dot);
+                    }
+                }
+                // dQ = dS · K * scale ; dK = dS^T · Q * scale.
+                let dqh = ds.matmul(&kh).expect("ds·k").scale(scale);
+                let dkh = ds.t_matmul(&qh).expect("ds^T·q").scale(scale);
+                self.scatter_head(&mut dq, &dqh, b, h);
+                self.scatter_head(&mut dk, &dkh, b, h);
+                self.scatter_head(&mut dv, &dvh, b, h);
+            }
+        }
+        let dx_q = self.wq.backward(&dq);
+        let dx_k = self.wk.backward(&dk);
+        let dx_v = self.wv.backward(&dv);
+        let mut dx = dx_q;
+        dx.add_assign(&dx_k).expect("same shape");
+        dx.add_assign(&dx_v).expect("same shape");
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_module_gradients;
+    use crate::rng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = rng::seeded(21);
+        let mut attn = MultiHeadAttention::new(8, 2, 4, &mut rng);
+        let x = rng::uniform(&[8, 8], 1.0, &mut rng); // 2 sequences of length 4.
+        let y = attn.forward(&x);
+        assert_eq!(y.dims(), &[8, 8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_tokens() {
+        let mut rng = rng::seeded(22);
+        let mut attn = MultiHeadAttention::new(4, 1, 3, &mut rng);
+        // Changing the last token must not change the first token's output.
+        let mut x = rng::uniform(&[3, 4], 1.0, &mut rng);
+        let y1 = attn.forward(&x);
+        for v in x.row_mut(2) {
+            *v += 5.0;
+        }
+        let y2 = attn.forward(&x);
+        for j in 0..4 {
+            assert!(
+                (y1.row(0)[j] - y2.row(0)[j]).abs() < 1e-6,
+                "future token leaked into position 0"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = rng::seeded(23);
+        let mut attn = MultiHeadAttention::new(4, 2, 3, &mut rng);
+        let x = rng::uniform(&[3, 4], 0.5, &mut rng);
+        check_module_gradients(&mut attn, &x, 5e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of seq_len")]
+    fn partial_sequence_is_rejected() {
+        let mut rng = rng::seeded(24);
+        let mut attn = MultiHeadAttention::new(4, 1, 4, &mut rng);
+        attn.forward(&Tensor::zeros(&[6, 4]));
+    }
+}

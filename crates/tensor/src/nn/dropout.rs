@@ -1,0 +1,132 @@
+//! Inverted dropout.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::nn::{Module, Param};
+use crate::tensor::Tensor;
+
+/// Inverted dropout: zeroes each activation with probability `p` during
+/// training and rescales survivors by `1/(1-p)`, so evaluation needs no
+/// correction.
+///
+/// The layer owns its mask RNG (seeded, reproducible) and a train/eval
+/// switch; in eval mode it is the identity.
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: SmallRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, rng: SmallRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0, 1)");
+        Dropout { p, training: true, rng, mask: None }
+    }
+
+    /// Switches between training (masking) and evaluation (identity).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether the layer is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.numel())
+            .map(|_| if self.rng.gen_range(0.0f32..1.0) < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.dims()).expect("shape preserved");
+        let y = x.mul(&mask).expect("same shape");
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match self.mask.take() {
+            Some(mask) => dy.mul(&mask).expect("same shape"),
+            // Eval mode (or p = 0): identity.
+            None => dy.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{self, seeded};
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, seeded(1));
+        d.set_training(false);
+        let x = rng::uniform(&[4, 4], 1.0, &mut seeded(2));
+        let y = d.forward(&x);
+        assert_eq!(y.data(), x.data());
+        let dx = d.backward(&x);
+        assert_eq!(dx.data(), x.data());
+    }
+
+    #[test]
+    fn training_zeroes_about_p_and_rescales() {
+        let mut d = Dropout::new(0.25, seeded(3));
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let rate = zeros as f32 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");
+        // Survivors carry the 1/(1-p) scale, preserving the expectation.
+        let survivor = y.data().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.75).abs() < 1e-6);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.03, "expectation drifted: {mean}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, seeded(4));
+        let x = Tensor::ones(&[8, 8]);
+        let y = d.forward(&x);
+        let dx = d.backward(&Tensor::ones(&[8, 8]));
+        // Gradient flows exactly where the forward survived.
+        for (yi, di) in y.data().iter().zip(dx.data().iter()) {
+            assert_eq!(*yi == 0.0, *di == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut d = Dropout::new(0.0, seeded(5));
+        let x = rng::uniform(&[5, 5], 1.0, &mut seeded(6));
+        assert_eq!(d.forward(&x).data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn p_of_one_is_rejected() {
+        Dropout::new(1.0, seeded(7));
+    }
+}

@@ -1,0 +1,121 @@
+//! Token embedding lookup table.
+
+use rand::rngs::SmallRng;
+
+use crate::nn::Param;
+use crate::rng;
+use crate::tensor::Tensor;
+
+/// A learnable `[vocab, dim]` embedding table with sparse-gradient backward.
+///
+/// `Embedding` does not implement [`crate::nn::Module`] because its input is
+/// a token-id slice rather than a tensor; models call
+/// [`Embedding::forward`] / [`Embedding::backward`] directly.
+pub struct Embedding {
+    table: Param,
+    cache_tokens: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates a table of `vocab` embeddings of size `dim`, normal-initialized.
+    pub fn new(vocab: usize, dim: usize, rng: &mut SmallRng) -> Self {
+        Embedding {
+            table: Param::new("embedding.table", rng::normal(&[vocab, dim], 0.0, 0.02, rng)),
+            cache_tokens: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.value.dims()[0]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value.dims()[1]
+    }
+
+    /// Looks up `tokens`, producing a `[tokens.len(), dim]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is out of the vocabulary.
+    pub fn forward(&mut self, tokens: &[usize]) -> Tensor {
+        let dim = self.dim();
+        let vocab = self.vocab();
+        let mut out = vec![0.0f32; tokens.len() * dim];
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < vocab, "token id {t} out of vocabulary {vocab}");
+            out[i * dim..(i + 1) * dim].copy_from_slice(self.table.value.row(t));
+        }
+        self.cache_tokens = Some(tokens.to_vec());
+        Tensor::from_vec(out, &[tokens.len(), dim]).expect("shape preserved")
+    }
+
+    /// Accumulates gradients for the most recent lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a cached forward or with a mismatched shape.
+    pub fn backward(&mut self, dy: &Tensor) {
+        let tokens = self
+            .cache_tokens
+            .take()
+            .expect("embedding backward called without a cached forward");
+        let dim = self.dim();
+        assert_eq!(dy.dims(), &[tokens.len(), dim], "gradient shape mismatch");
+        for (i, &t) in tokens.iter().enumerate() {
+            let grow = self.table.grad.row_mut(t);
+            for (g, &d) in grow.iter_mut().zip(dy.row(i).iter()) {
+                *g += d;
+            }
+        }
+    }
+
+    /// Visits the embedding table parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+
+    /// Read-only access to the table parameter.
+    pub fn table(&self) -> &Param {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_copies_rows() {
+        let mut rng = rng::seeded(9);
+        let mut emb = Embedding::new(10, 4, &mut rng);
+        let out = emb.forward(&[3, 3, 7]);
+        assert_eq!(out.dims(), &[3, 4]);
+        assert_eq!(out.row(0), emb.table().value.row(3));
+        assert_eq!(out.row(0), out.row(1));
+        assert_eq!(out.row(2), emb.table().value.row(7));
+    }
+
+    #[test]
+    fn backward_accumulates_per_token() {
+        let mut rng = rng::seeded(9);
+        let mut emb = Embedding::new(5, 2, &mut rng);
+        emb.forward(&[1, 1, 4]);
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        emb.backward(&dy);
+        // Token 1 appears twice: grads sum.
+        assert_eq!(emb.table().grad.row(1), &[4.0, 6.0]);
+        assert_eq!(emb.table().grad.row(4), &[5.0, 6.0]);
+        assert_eq!(emb.table().grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn out_of_vocab_token_panics() {
+        let mut rng = rng::seeded(9);
+        let mut emb = Embedding::new(5, 2, &mut rng);
+        emb.forward(&[5]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Two-layer feed-forward network — the "fflayer" / expert of the paper.
+
+use rand::rngs::SmallRng;
+
+use crate::nn::{Activation, ActivationKind, Linear, Module, Param};
+use crate::tensor::Tensor;
+
+/// A position-wise feed-forward block: `Linear(M→H) → act → Linear(H→M)`.
+///
+/// This is exactly the *expert* network of an MoE layer (paper §2.1): every
+/// expert is an independent `FeedForward` with its own parameters.
+pub struct FeedForward {
+    lin1: Linear,
+    act: Activation,
+    lin2: Linear,
+}
+
+impl FeedForward {
+    /// Creates a feed-forward block with model dim `m` and hidden dim `h`.
+    pub fn new(m: usize, h: usize, kind: ActivationKind, rng: &mut SmallRng) -> Self {
+        FeedForward {
+            lin1: Linear::new(m, h, rng),
+            act: Activation::new(kind),
+            lin2: Linear::new(h, m, rng),
+        }
+    }
+
+    /// Model (embedding) dimension `M`.
+    pub fn model_dim(&self) -> usize {
+        self.lin1.in_features()
+    }
+
+    /// Hidden dimension `H`.
+    pub fn hidden_dim(&self) -> usize {
+        self.lin1.out_features()
+    }
+
+    /// Approximate forward FLOPs for `n` input tokens (two GEMMs).
+    pub fn forward_flops(&self, n: usize) -> u64 {
+        let (m, h) = (self.model_dim() as u64, self.hidden_dim() as u64);
+        2 * n as u64 * m * h * 2
+    }
+}
+
+impl Module for FeedForward {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let h = self.lin1.forward(x);
+        let a = self.act.forward(&h);
+        self.lin2.forward(&a)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let da = self.lin2.backward(dy);
+        let dh = self.act.backward(&da);
+        self.lin1.backward(&dh)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_module_gradients;
+    use crate::rng;
+
+    #[test]
+    fn shapes_round_trip() {
+        let mut rng = rng::seeded(12);
+        let mut ff = FeedForward::new(8, 16, ActivationKind::Gelu, &mut rng);
+        let x = rng::uniform(&[3, 8], 1.0, &mut rng);
+        let y = ff.forward(&x);
+        assert_eq!(y.dims(), &[3, 8]);
+        let dx = ff.backward(&y);
+        assert_eq!(dx.dims(), &[3, 8]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = rng::seeded(13);
+        let mut ff = FeedForward::new(4, 6, ActivationKind::Gelu, &mut rng);
+        let x = rng::uniform(&[2, 4], 1.0, &mut rng);
+        check_module_gradients(&mut ff, &x, 3e-2);
+    }
+
+    #[test]
+    fn param_count_is_two_gemms_plus_biases() {
+        let mut rng = rng::seeded(14);
+        let mut ff = FeedForward::new(8, 32, ActivationKind::Relu, &mut rng);
+        assert_eq!(ff.num_params(), 8 * 32 + 32 + 32 * 8 + 8);
+    }
+
+    #[test]
+    fn flops_scale_with_tokens() {
+        let mut rng = rng::seeded(15);
+        let ff = FeedForward::new(16, 64, ActivationKind::Relu, &mut rng);
+        assert_eq!(ff.forward_flops(10), 2 * ff.forward_flops(5));
+    }
+}

@@ -1,0 +1,139 @@
+//! Layer normalization over the last dimension.
+
+use crate::nn::{Module, Param};
+use crate::tensor::Tensor;
+
+/// Layer normalization: per-row standardize, then scale and shift.
+///
+/// Given a rank-2 input `[n, d]`, every row is normalized to zero mean and
+/// unit variance (with an `eps` stabilizer) and transformed by learnable
+/// `gamma` and `beta` vectors of length `d`.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over feature dimension `d` with `eps = 1e-5`.
+    pub fn new(d: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new("ln.gamma", Tensor::ones(&[d])),
+            beta: Param::new("ln.beta", Tensor::zeros(&[d])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.dims()[0]
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "layer norm expects a rank-2 input");
+        let (n, d) = (x.dims()[0], x.dims()[1]);
+        assert_eq!(d, self.dim(), "layer norm feature dimension mismatch");
+        let mut out = vec![0.0f32; n * d];
+        let mut x_hat = vec![0.0f32; n * d];
+        let mut inv_std = vec![0.0f32; n];
+        for i in 0..n {
+            let row = x.row(i);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std[i] = is;
+            for j in 0..d {
+                let xh = (row[j] - mean) * is;
+                x_hat[i * d + j] = xh;
+                out[i * d + j] = xh * self.gamma.value.data()[j] + self.beta.value.data()[j];
+            }
+        }
+        self.cache = Some(Cache {
+            x_hat: Tensor::from_vec(x_hat, &[n, d]).expect("shape preserved"),
+            inv_std,
+        });
+        Tensor::from_vec(out, &[n, d]).expect("shape preserved")
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("layer norm backward called without a cached forward");
+        let (n, d) = (dy.dims()[0], dy.dims()[1]);
+        assert_eq!(cache.x_hat.dims(), dy.dims(), "gradient shape mismatch");
+        let gamma = self.gamma.value.data();
+        let mut dx = vec![0.0f32; n * d];
+        for i in 0..n {
+            let dyr = dy.row(i);
+            let xhr = cache.x_hat.row(i);
+            // dL/dx_hat_j = dy_j * gamma_j; standard layer-norm backward:
+            // dx = inv_std/d * (d*dxhat - sum(dxhat) - x_hat * sum(dxhat*x_hat)).
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for j in 0..d {
+                let dxh = dyr[j] * gamma[j];
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xhr[j];
+            }
+            let scale = cache.inv_std[i] / d as f32;
+            for j in 0..d {
+                let dxh = dyr[j] * gamma[j];
+                dx[i * d + j] =
+                    scale * (d as f32 * dxh - sum_dxhat - xhr[j] * sum_dxhat_xhat);
+            }
+            // Parameter gradients.
+            for j in 0..d {
+                self.gamma.grad.data_mut()[j] += dyr[j] * xhr[j];
+                self.beta.grad.data_mut()[j] += dyr[j];
+            }
+        }
+        Tensor::from_vec(dx, &[n, d]).expect("shape preserved")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_module_gradients;
+    use crate::rng;
+
+    #[test]
+    fn forward_standardizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap();
+        let y = ln.forward(&x);
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = rng::seeded(6);
+        let mut ln = LayerNorm::new(5);
+        // Move gamma/beta off their init so their gradients are generic.
+        ln.visit_params(&mut |p| {
+            for (i, v) in p.value.data_mut().iter_mut().enumerate() {
+                *v += 0.1 * ((i as f32).sin());
+            }
+        });
+        let x = rng::uniform(&[3, 5], 2.0, &mut rng);
+        check_module_gradients(&mut ln, &x, 3e-2);
+    }
+}

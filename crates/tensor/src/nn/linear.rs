@@ -1,0 +1,137 @@
+//! Fully connected (dense) layer.
+
+use rand::rngs::SmallRng;
+
+use crate::nn::{Module, Param};
+use crate::rng;
+use crate::tensor::Tensor;
+
+/// A dense layer computing `y = x · W + b` over rank-2 inputs `[n, in]`.
+pub struct Linear {
+    w: Param,
+    b: Param,
+    cache_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SmallRng) -> Self {
+        Linear {
+            w: Param::new("linear.w", rng::xavier(in_features, out_features, rng)),
+            b: Param::new("linear.b", Tensor::zeros(&[out_features])),
+            cache_x: None,
+        }
+    }
+
+    /// Creates a layer from explicit weight `[in, out]` and bias `[out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not rank-2 or the bias length differs from
+    /// the weight's output dimension.
+    pub fn from_parts(w: Tensor, b: Tensor) -> Self {
+        assert_eq!(w.rank(), 2, "weight must be rank-2");
+        assert_eq!(b.dims(), &[w.dims()[1]], "bias must match output features");
+        Linear {
+            w: Param::new("linear.w", w),
+            b: Param::new("linear.b", b),
+            cache_x: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.w.value.dims()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.w.value.dims()[1]
+    }
+
+    /// Read-only access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.w
+    }
+
+    /// Read-only access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.b
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = x
+            .matmul(&self.w.value)
+            .and_then(|xw| xw.add_row_broadcast(&self.b.value))
+            .expect("linear forward: input shape must be [n, in_features]");
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("linear backward called without a cached forward");
+        // dW += x^T · dy, db += sum over rows of dy, dx = dy · W^T.
+        let dw = x.t_matmul(dy).expect("linear backward: dy shape mismatch");
+        self.w.grad.add_assign(&dw).expect("dw shape matches W");
+        let db = dy.sum_rows().expect("dy must be rank-2");
+        self.b.grad.add_assign(&db).expect("db shape matches b");
+        dy.matmul_t(&self.w.value).expect("dx = dy · W^T")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_module_gradients;
+    use crate::rng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let mut lin = Linear::from_parts(w, b);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = lin.forward(&x);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = rng::seeded(11);
+        let mut lin = Linear::new(3, 4, &mut rng);
+        let x = rng::uniform(&[5, 3], 1.0, &mut rng);
+        check_module_gradients(&mut lin, &x, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a cached forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = rng::seeded(1);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    fn repeated_backward_accumulates_grads() {
+        let mut rng = rng::seeded(2);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        lin.forward(&x);
+        lin.backward(&Tensor::ones(&[1, 2]));
+        let g1 = lin.weight().grad.clone();
+        lin.forward(&x);
+        lin.backward(&Tensor::ones(&[1, 2]));
+        let g2 = lin.weight().grad.clone();
+        assert!(g2.max_abs_diff(&g1.scale(2.0)).unwrap() < 1e-6);
+    }
+}

@@ -1,0 +1,124 @@
+//! Softmax cross-entropy loss for token classification / language modelling.
+
+use crate::tensor::Tensor;
+
+/// Fused softmax + cross-entropy over `[n, vocab]` logits.
+///
+/// `forward` returns the mean negative log-likelihood of the target ids;
+/// `backward` returns the gradient with respect to the logits
+/// (`(softmax - onehot) / n`).
+pub struct SoftmaxCrossEntropy {
+    cache: Option<(Tensor, Vec<usize>)>,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss node.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy { cache: None }
+    }
+
+    /// Computes the mean cross-entropy of `logits` against `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank-2, `targets.len()` differs from the
+    /// number of rows, or any target id is out of range.
+    pub fn forward(&mut self, logits: &Tensor, targets: &[usize]) -> f32 {
+        assert_eq!(logits.rank(), 2, "logits must be [n, vocab]");
+        let (n, vocab) = (logits.dims()[0], logits.dims()[1]);
+        assert_eq!(targets.len(), n, "one target per logit row required");
+        let probs = logits.softmax_rows().expect("rank-2 logits");
+        let mut loss = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < vocab, "target id {t} out of vocab {vocab}");
+            // Clamp to avoid -inf on a fully confident wrong prediction.
+            loss -= probs.row(i)[t].max(1e-12).ln();
+        }
+        self.cache = Some((probs, targets.to_vec()));
+        loss / n as f32
+    }
+
+    /// Returns `d(loss)/d(logits)` for the most recent forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a cached forward.
+    pub fn backward(&mut self) -> Tensor {
+        let (probs, targets) = self
+            .cache
+            .take()
+            .expect("loss backward called without a cached forward");
+        let n = targets.len();
+        let mut grad = probs;
+        for (i, &t) in targets.iter().enumerate() {
+            grad.row_mut(i)[t] -= 1.0;
+        }
+        grad.scale_in_place(1.0 / n as f32);
+        grad
+    }
+
+    /// Perplexity corresponding to a mean cross-entropy value.
+    pub fn perplexity(mean_ce: f32) -> f32 {
+        mean_ce.exp()
+    }
+}
+
+impl Default for SoftmaxCrossEntropy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn uniform_logits_give_log_vocab_loss() {
+        let mut loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[4, 10]);
+        let l = loss.forward(&logits, &[0, 1, 2, 3]);
+        assert!((l - (10.0f32).ln()).abs() < 1e-5);
+        assert!((SoftmaxCrossEntropy::perplexity(l) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn perfect_prediction_gives_near_zero_loss() {
+        let mut loss = SoftmaxCrossEntropy::new();
+        let mut logits = Tensor::zeros(&[2, 3]);
+        logits.row_mut(0)[1] = 50.0;
+        logits.row_mut(1)[2] = 50.0;
+        let l = loss.forward(&logits, &[1, 2]);
+        assert!(l < 1e-4, "loss {l}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = rng::seeded(31);
+        let logits = rng::uniform(&[3, 5], 1.0, &mut rng);
+        let targets = [1usize, 0, 4];
+        let mut loss = SoftmaxCrossEntropy::new();
+        loss.forward(&logits, &targets);
+        let analytic = loss.backward();
+        let eps = 1e-2;
+        for i in 0..3 {
+            for j in 0..5 {
+                let mut lp = logits.clone();
+                lp.row_mut(i)[j] += eps;
+                let mut lm = logits.clone();
+                lm.row_mut(i)[j] -= eps;
+                let mut l = SoftmaxCrossEntropy::new();
+                let fp = l.forward(&lp, &targets);
+                let fm = l.forward(&lm, &targets);
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (analytic.row(i)[j] - fd).abs() < 1e-3,
+                    "({i},{j}): analytic {} vs fd {}",
+                    analytic.row(i)[j],
+                    fd
+                );
+            }
+        }
+    }
+}

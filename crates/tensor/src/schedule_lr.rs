@@ -1,0 +1,123 @@
+//! Learning-rate schedules.
+//!
+//! Pretraining runs (the paper trains 434k–500k iterations for Table 6)
+//! pair Adam with warmup + decay; this module provides the standard
+//! schedules as pure functions of the step, to be fed into
+//! [`crate::optim::Adam::set_lr`] each iteration.
+
+/// A learning-rate schedule: maps a 0-based step to a multiplier of the
+/// base rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Linear warmup over `warmup` steps, then cosine decay to
+    /// `min_frac` at `total` steps (and `min_frac` after).
+    WarmupCosine {
+        /// Warmup steps.
+        warmup: usize,
+        /// Total schedule length.
+        total: usize,
+        /// Final multiplier.
+        min_frac: f32,
+    },
+    /// Inverse-square-root decay after `warmup` linear-warmup steps (the
+    /// original Transformer schedule).
+    InverseSqrt {
+        /// Warmup steps.
+        warmup: usize,
+    },
+    /// Multiply by `factor` every `every` steps.
+    StepDecay {
+        /// Steps between decays.
+        every: usize,
+        /// Per-decay multiplier.
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::WarmupCosine { warmup, total, min_frac } => {
+                if warmup > 0 && step < warmup {
+                    (step + 1) as f32 / warmup as f32
+                } else if step >= total {
+                    min_frac
+                } else {
+                    let span = (total - warmup).max(1) as f32;
+                    let progress = (step - warmup) as f32 / span;
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                    min_frac + (1.0 - min_frac) * cos
+                }
+            }
+            LrSchedule::InverseSqrt { warmup } => {
+                let w = warmup.max(1) as f32;
+                if step < warmup {
+                    (step + 1) as f32 / w
+                } else {
+                    (w / (step + 1) as f32).sqrt()
+                }
+            }
+            LrSchedule::StepDecay { every, factor } => {
+                factor.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+
+    /// The absolute learning rate at `step` for a base rate.
+    pub fn lr_at(&self, step: usize, base: f32) -> f32 {
+        base * self.multiplier(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        for step in [0, 10, 10_000] {
+            assert_eq!(LrSchedule::Constant.multiplier(step), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_cosine_ramps_peaks_and_decays() {
+        let s = LrSchedule::WarmupCosine { warmup: 100, total: 1000, min_frac: 0.1 };
+        assert!(s.multiplier(0) < 0.02);
+        assert!((s.multiplier(99) - 1.0).abs() < 1e-6);
+        // Midpoint of the cosine span sits halfway between 1 and min.
+        let mid = s.multiplier(100 + 450);
+        assert!((mid - 0.55).abs() < 0.01, "mid {mid}");
+        assert!((s.multiplier(1000) - 0.1).abs() < 1e-6);
+        assert!((s.multiplier(5000) - 0.1).abs() < 1e-6);
+        // Monotone decay after warmup.
+        for w in (100..999).collect::<Vec<_>>().windows(2) {
+            assert!(s.multiplier(w[0]) >= s.multiplier(w[1]) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_sqrt_matches_the_transformer_formula() {
+        let s = LrSchedule::InverseSqrt { warmup: 4000 };
+        assert!((s.multiplier(3999) - 1.0).abs() < 1e-6);
+        assert!((s.multiplier(15999) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn step_decay_steps_down() {
+        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        assert_eq!(s.multiplier(9), 1.0);
+        assert_eq!(s.multiplier(10), 0.5);
+        assert_eq!(s.multiplier(29), 0.25);
+    }
+
+    #[test]
+    fn lr_at_scales_the_base() {
+        let s = LrSchedule::StepDecay { every: 5, factor: 0.1 };
+        assert!((s.lr_at(5, 3e-4) - 3e-5).abs() < 1e-9);
+    }
+}

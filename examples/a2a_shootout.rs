@@ -1,0 +1,53 @@
+//! All-to-all algorithm shootout across hardware profiles.
+//!
+//! ```bash
+//! cargo run --release --example a2a_shootout
+//! ```
+//!
+//! Complements the Fig. 9 harness: the same four algorithms on three
+//! *different* clusters — the paper's PCIe testbed, an NVLink DGX-class
+//! what-if, and a slow-Ethernet what-if — showing how the winning
+//! algorithm changes with the intra/inter bandwidth balance (the paper's
+//! §7 discussion of Eq. 18).
+
+use schemoe::prelude::*;
+use schemoe_collectives::{a2a_time, analysis};
+
+fn main() {
+    let topo = Topology::paper_testbed();
+    let profiles = [
+        HardwareProfile::paper_testbed(),
+        HardwareProfile::nvlink_dgx(),
+        HardwareProfile::ethernet_cluster(),
+    ];
+    let algs: Vec<(&str, Box<dyn AllToAll>)> = vec![
+        ("nccl", Box::new(NcclA2A)),
+        ("1dh", Box::new(OneDimHierA2A)),
+        ("2dh", Box::new(TwoDimHierA2A)),
+        ("pipe", Box::new(PipeA2A::new())),
+    ];
+    let size = 640_000_000u64; // the CT-MoE ablation-scale payload
+
+    for hw in &profiles {
+        println!("== {} ==  ({} exchange per GPU)", hw.name, size / 1_000_000 * 1_000_000);
+        let mut best: Option<(&str, SimTime)> = None;
+        for (name, alg) in &algs {
+            let t = a2a_time(alg.as_ref(), &topo, hw, size).expect("valid plan");
+            println!("  {name:>6}: {t}");
+            if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+                best = Some((name, t));
+            }
+        }
+        let (winner, _) = best.expect("at least one algorithm");
+        println!(
+            "  winner: {winner}   (Eq. 18 max pipelining speedup here: {:.2}x)\n",
+            analysis::max_speedup(&topo, hw, size)
+        );
+    }
+
+    println!(
+        "Takeaway: Pipe-A2A wins where intra- and inter-node totals are comparable\n\
+         (the PCIe testbed); with NVLink the intra phase is nearly free and the\n\
+         pipelining headroom (Eq. 18) collapses toward 1x, as §7 predicts."
+    );
+}

@@ -1,0 +1,168 @@
+//! Integration tests asserting the paper's headline claims end to end.
+
+use schemoe::prelude::*;
+use schemoe_collectives::{a2a_fits_memory, a2a_time, analysis};
+use schemoe_netsim::SimTime;
+use schemoe_scheduler::schedules::{brute_force_best, naive_makespan};
+use schemoe_scheduler::TaskSet;
+use schemoe_tensor::rng::seeded;
+
+use rand::Rng;
+
+fn env() -> (Topology, HardwareProfile) {
+    (Topology::paper_testbed(), HardwareProfile::paper_testbed())
+}
+
+/// §6.3 / Fig. 8: ScheMoE beats Tutel on every sampled sweep configuration.
+#[test]
+fn schemoe_always_beats_tutel_on_the_sweep_sample() {
+    let (topo, hw) = env();
+    let tutel = TutelEmu::new();
+    let schemoe = ScheMoeSystem::without_compression();
+    let mut rng = seeded(17);
+    for _ in 0..40 {
+        let shape = LayerShape {
+            tokens_per_gpu: [2, 4, 8][rng.gen_range(0..3)] * [512, 1024, 2048][rng.gen_range(0..3)],
+            model_dim: [512, 1024, 2048, 4096, 8192][rng.gen_range(0..5)],
+            hidden_dim: [512, 1024, 2048, 4096, 8192][rng.gen_range(0..5)],
+            experts: 32,
+            k: 2,
+            capacity_factor: [1.0, 1.1, 1.2][rng.gen_range(0..3)],
+        };
+        let t = tutel.layer_time(&shape, &topo, &hw);
+        let s = schemoe.layer_time(&shape, &topo, &hw);
+        assert!(s <= t, "{shape:?}: ScheMoE {s} lost to Tutel {t}");
+    }
+}
+
+/// Theorem 1 over the full pipeline: cost model → task set → OptSche equals
+/// the exhaustive optimum for real layer shapes, not just synthetic times.
+#[test]
+fn optsche_is_optimal_for_real_layer_costs() {
+    let (topo, hw) = env();
+    for (tokens, m, h, ratio) in
+        [(4096usize, 1024usize, 4096usize, 4.0f64), (16384, 8192, 8192, 4.0), (1024, 512, 512, 1.0)]
+    {
+        let costs = schemoe_scheduler::MoeLayerCosts {
+            tokens,
+            model_dim: m,
+            hidden_dim: h,
+            compression_ratio: ratio,
+        };
+        let tasks = costs.task_set(&topo, &hw, &PipeA2A::new(), 2);
+        let (_, best) = brute_force_best(&tasks);
+        let opt = optsche(2).makespan(&tasks).expect("valid");
+        assert!(
+            (opt.as_secs() - best.as_secs()).abs() < 1e-12,
+            "layer ({tokens},{m},{h}): optsche {opt} vs oracle {best}"
+        );
+    }
+}
+
+/// Eq. 16–18: the simulated plans agree with the closed forms, and the
+/// speedup never leaves [1, 2].
+#[test]
+fn pipe_a2a_analysis_brackets_hold() {
+    let (topo, hw) = env();
+    for s in [1u64 << 20, 64 << 20, 1 << 31] {
+        let eq16 = analysis::t_pipe_a2a(&topo, &hw, s);
+        let eq17 = analysis::t_nccl_a2a(&topo, &hw, s);
+        assert!(eq16 <= eq17);
+        let sp = analysis::max_speedup(&topo, &hw, s);
+        assert!((1.0..=2.0).contains(&sp), "speedup {sp} at {s} bytes");
+        // Simulated Pipe-A2A = Eq. 16 + join overhead.
+        let sim = a2a_time(&PipeA2A::new(), &topo, &hw, s).expect("valid");
+        assert!(sim >= eq16 && sim <= eq16 + SimTime::from_ms(1.0));
+    }
+}
+
+/// Fig. 9's orderings at the three size regimes.
+#[test]
+fn fig9_orderings_hold() {
+    let (topo, hw) = env();
+    let nccl = |s| a2a_time(&NcclA2A, &topo, &hw, s).expect("valid");
+    let pipe = |s| a2a_time(&PipeA2A::new(), &topo, &hw, s).expect("valid");
+    let two = |s| a2a_time(&TwoDimHierA2A, &topo, &hw, s).expect("valid");
+    let one = |s| a2a_time(&OneDimHierA2A, &topo, &hw, s).expect("valid");
+    // Pipe wins at every size.
+    for s in [1u64 << 10, 1 << 20, 64 << 20, 1 << 31] {
+        assert!(pipe(s) <= nccl(s), "pipe loses to nccl at {s}");
+        assert!(pipe(s) <= two(s).max(nccl(s)), "pipe loses at {s}");
+    }
+    // 1DH is the loser at median sizes and OOMs at 2 GB.
+    let s = 64 << 20;
+    assert!(one(s) > nccl(s) && one(s) > two(s) && one(s) > pipe(s));
+    assert!(!a2a_fits_memory(&OneDimHierA2A, &topo, &hw, 2 << 30, 1 << 30));
+    assert!(a2a_fits_memory(&PipeA2A::new(), &topo, &hw, 2 << 30, 1 << 30));
+    // Large-regime factors: ~1.4x over NCCL, ~2x over 2DH.
+    let s = 2_000_000_000u64;
+    let f_nccl = nccl(s) / pipe(s);
+    let f_two = two(s) / pipe(s);
+    assert!((1.25..1.55).contains(&f_nccl), "nccl factor {f_nccl:.2}");
+    assert!((1.7..2.3).contains(&f_two), "2dh factor {f_two:.2}");
+}
+
+/// Table 10's monotone ablation, end to end through the system layer.
+#[test]
+fn ablation_is_monotone() {
+    let (topo, hw) = env();
+    let shape = LayerShape {
+        tokens_per_gpu: 8 * 2048,
+        model_dim: 8192,
+        hidden_dim: 8192,
+        experts: 32,
+        k: 2,
+        capacity_factor: 1.2,
+    };
+    let naive = NaiveSystem::new().layer_time(&shape, &topo, &hw);
+    let full = ScheMoeSystem::default_config().layer_time(&shape, &topo, &hw);
+    let speedup = naive / full;
+    assert!((1.9..3.1).contains(&speedup), "ablation speedup {speedup:.2}");
+}
+
+/// The scheduling framework accepts every combination of codec ratio, A2A
+/// algorithm, and degree without producing invalid schedules.
+#[test]
+fn scheduling_matrix_is_total() {
+    let (topo, hw) = env();
+    let algs: Vec<Box<dyn AllToAll>> = vec![
+        Box::new(NcclA2A),
+        Box::new(PipeA2A::new()),
+        Box::new(TwoDimHierA2A),
+        Box::new(OneDimHierA2A),
+    ];
+    for alg in &algs {
+        for ratio in [1.0, 2.0, 4.0] {
+            for r in [1usize, 2, 4, 8] {
+                let costs = schemoe_scheduler::MoeLayerCosts {
+                    tokens: 4096,
+                    model_dim: 1024,
+                    hidden_dim: 2048,
+                    compression_ratio: ratio,
+                };
+                let tasks: TaskSet = costs.task_set(&topo, &hw, alg.as_ref(), r);
+                let m = optsche(r).makespan(&tasks).expect("always valid");
+                assert!(m <= naive_makespan(&tasks));
+                assert!(m >= tasks.comm_total().max(tasks.comp_total()) - SimTime::from_us(1.0));
+            }
+        }
+    }
+}
+
+/// Table 8's memory story: Faster-MoE OOMs on BERT-Large-MoE while the
+/// capacity-bounded systems fit, and everything fits CT-MoE.
+#[test]
+fn memory_story_matches_table8() {
+    let (topo, hw) = env();
+    let bert = MoeModelConfig::bert_large_moe();
+    assert!(matches!(
+        model_step_time(&FasterMoeEmu::new(), &bert, &topo, &hw),
+        Err(StepTimeError::OutOfMemory { .. })
+    ));
+    assert!(model_step_time(&TutelEmu::new(), &bert, &topo, &hw).is_ok());
+    assert!(model_step_time(&ScheMoeSystem::default_config(), &bert, &topo, &hw).is_ok());
+    for layers in [12, 16, 20, 24] {
+        let ct = MoeModelConfig::ct_moe(layers);
+        assert!(model_step_time(&FasterMoeEmu::new(), &ct, &topo, &hw).is_ok());
+    }
+}
