@@ -19,7 +19,9 @@ fn codecs() -> Vec<Box<dyn Compressor>> {
 }
 
 fn bench_compress(c: &mut Criterion) {
-    let data: Vec<f32> = (0..262_144).map(|i| ((i * 31 % 997) as f32 - 500.0) * 0.01).collect();
+    let data: Vec<f32> = (0..262_144)
+        .map(|i| ((i * 31 % 997) as f32 - 500.0) * 0.01)
+        .collect();
     let bytes = (data.len() * 4) as u64;
     let mut group = c.benchmark_group("compress");
     group.throughput(Throughput::Bytes(bytes));
@@ -33,7 +35,9 @@ fn bench_compress(c: &mut Criterion) {
 }
 
 fn bench_decompress(c: &mut Criterion) {
-    let data: Vec<f32> = (0..262_144).map(|i| ((i * 31 % 997) as f32 - 500.0) * 0.01).collect();
+    let data: Vec<f32> = (0..262_144)
+        .map(|i| ((i * 31 % 997) as f32 - 500.0) * 0.01)
+        .collect();
     let bytes = (data.len() * 4) as u64;
     let mut group = c.benchmark_group("decompress");
     group.throughput(Throughput::Bytes(bytes));

@@ -7,12 +7,7 @@
 
 use schemoe::prelude::*;
 
-fn layer_ms(
-    shape: &LayerShape,
-    topo: &Topology,
-    hw: &HardwareProfile,
-    ratio: f64,
-) -> f64 {
+fn layer_ms(shape: &LayerShape, topo: &Topology, hw: &HardwareProfile, ratio: f64) -> f64 {
     let costs = shape.costs(ratio);
     let mut best = f64::INFINITY;
     for r in [1usize, 2, 4, 8] {
@@ -24,8 +19,11 @@ fn layer_ms(
 
 fn main() {
     let topo = Topology::paper_testbed();
-    let profiles =
-        [HardwareProfile::paper_testbed(), HardwareProfile::nvlink_dgx(), HardwareProfile::ethernet_cluster()];
+    let profiles = [
+        HardwareProfile::paper_testbed(),
+        HardwareProfile::nvlink_dgx(),
+        HardwareProfile::ethernet_cluster(),
+    ];
 
     println!("ZFP(4x) gain over uncompressed, full scheduled layer (OptSche + Pipe-A2A)\n");
     print!("{:>22}", "tokens/GPU (M=H=4096)");
@@ -47,7 +45,10 @@ fn main() {
             let plain = layer_ms(&shape, &topo, hw, 1.0);
             let zfp = layer_ms(&shape, &topo, hw, 4.0);
             let gain = (plain / zfp - 1.0) * 100.0;
-            print!(" {:>24}", format!("{plain:.0} -> {zfp:.0} ms ({gain:+.0}%)"));
+            print!(
+                " {:>24}",
+                format!("{plain:.0} -> {zfp:.0} ms ({gain:+.0}%)")
+            );
         }
         println!();
     }

@@ -39,7 +39,10 @@ fn main() {
 
     println!();
     println!("Random heavy-tailed routing (power-law weights), 5 draws per skew:");
-    println!("{:>8} {:>14} {:>14}", "power", "mean imbalance", "mean straggler");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "power", "mean imbalance", "mean straggler"
+    );
     for power in [1.0f64, 3.0, 6.0] {
         let mut imb = 0.0;
         let mut strag = 0.0;

@@ -36,7 +36,10 @@ fn main() {
             // provisions for: watch its buffer column under skew.
             ("tc-uncapped", Box::new(TokenChoiceRouter::new(k, 1e9))),
             ("expert-choice", Box::new(ExpertChoiceRouter::new(k, 1.25))),
-            ("stochastic", Box::new(RandomRouter::new(k, 1.25, seeded(12)))),
+            (
+                "stochastic",
+                Box::new(RandomRouter::new(k, 1.25, seeded(12))),
+            ),
         ];
         for (label, router) in routers.iter_mut() {
             let d = router.route(&sc);

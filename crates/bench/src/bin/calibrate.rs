@@ -16,31 +16,56 @@ fn row(what: &str, model: f64, paper: f64, unit: &str) {
 fn main() {
     let topo = Topology::paper_testbed();
     let hw = HardwareProfile::paper_testbed();
-    println!("{:<52} {:>11} {:>11} {:>8}", "anchor", "model", "paper", "error");
+    println!(
+        "{:<52} {:>11} {:>11} {:>8}",
+        "anchor", "model", "paper", "error"
+    );
 
     // Table 1.
-    for (layers, a2a_ms, step_ms) in
-        [(12, 252.6, 497.1), (16, 324.8, 623.0), (20, 419.3, 768.9), (24, 507.4, 863.6)]
-    {
+    for (layers, a2a_ms, step_ms) in [
+        (12, 252.6, 497.1),
+        (16, 324.8, 623.0),
+        (20, 419.3, 768.9),
+        (24, 507.4, 863.6),
+    ] {
         let model = MoeModelConfig::ct_moe(layers);
         let est = model_step_time(&TutelEmu::new(), &model, &topo, &hw).expect("fits");
-        row(&format!("Table 1 CT-MoE-{layers} A2A time"), est.a2a.as_ms(), a2a_ms, "ms");
-        row(&format!("Table 1 CT-MoE-{layers} step time"), est.step.as_ms(), step_ms, "ms");
+        row(
+            &format!("Table 1 CT-MoE-{layers} A2A time"),
+            est.a2a.as_ms(),
+            a2a_ms,
+            "ms",
+        );
+        row(
+            &format!("Table 1 CT-MoE-{layers} step time"),
+            est.step.as_ms(),
+            step_ms,
+            "ms",
+        );
     }
 
     // Table 7 speedups.
     for (layers, paper_sp) in [(12, 497.0 / 454.0), (24, 864.0 / 774.0)] {
         let model = MoeModelConfig::ct_moe(layers);
-        let t = model_step_time(&TutelEmu::new(), &model, &topo, &hw).expect("fits").step;
+        let t = model_step_time(&TutelEmu::new(), &model, &topo, &hw)
+            .expect("fits")
+            .step;
         let s = model_step_time(&ScheMoeSystem::without_compression(), &model, &topo, &hw)
             .expect("fits")
             .step;
-        row(&format!("Table 7 CT-MoE-{layers} ScheMoE/Tutel speedup"), t / s, paper_sp, "x");
+        row(
+            &format!("Table 7 CT-MoE-{layers} ScheMoE/Tutel speedup"),
+            t / s,
+            paper_sp,
+            "x",
+        );
     }
 
     // Table 8.
     let bert = MoeModelConfig::bert_large_moe();
-    let t = model_step_time(&TutelEmu::new(), &bert, &topo, &hw).expect("fits").step;
+    let t = model_step_time(&TutelEmu::new(), &bert, &topo, &hw)
+        .expect("fits")
+        .step;
     let s = model_step_time(&ScheMoeSystem::default_config(), &bert, &topo, &hw)
         .expect("fits")
         .step;
@@ -50,13 +75,19 @@ fn main() {
     // Fig. 9 anchors at 2 GB.
     let s2g = 2_000_000_000u64;
     let nccl = a2a_time(&NcclA2A, &topo, &hw, s2g).expect("valid").as_ms();
-    let pipe = a2a_time(&PipeA2A::new(), &topo, &hw, s2g).expect("valid").as_ms();
-    let two = a2a_time(&TwoDimHierA2A, &topo, &hw, s2g).expect("valid").as_ms();
+    let pipe = a2a_time(&PipeA2A::new(), &topo, &hw, s2g)
+        .expect("valid")
+        .as_ms();
+    let two = a2a_time(&TwoDimHierA2A, &topo, &hw, s2g)
+        .expect("valid")
+        .as_ms();
     row("Fig. 9c Pipe vs NCCL at 2 GB", nccl / pipe, 1.4, "x");
     row("Fig. 9c Pipe vs 2DH at 2 GB", two / pipe, 2.0, "x");
     let s1m = 1_000_000u64;
     let nccl = a2a_time(&NcclA2A, &topo, &hw, s1m).expect("valid").as_ms();
-    let pipe = a2a_time(&PipeA2A::new(), &topo, &hw, s1m).expect("valid").as_ms();
+    let pipe = a2a_time(&PipeA2A::new(), &topo, &hw, s1m)
+        .expect("valid")
+        .as_ms();
     row("Fig. 9a Pipe vs NCCL at 1 MB", nccl / pipe, 1.04, "x");
 
     // Table 10 Naive absolute scale.

@@ -9,11 +9,7 @@ use schemoe_scheduler::Schedule;
 /// Summarizes a schedule: its order, makespan, and a two-stream Gantt.
 fn summary(schedule: &Schedule, tasks: &schemoe_scheduler::TaskSet) -> String {
     let trace = schedule.trace(tasks).expect("valid schedule");
-    format!(
-        "order: {}\n{}",
-        schedule.describe(),
-        trace.gantt(64)
-    )
+    format!("order: {}\n{}", schedule.describe(), trace.gantt(64))
 }
 
 fn main() {

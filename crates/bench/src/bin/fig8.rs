@@ -71,7 +71,11 @@ fn main() {
         if c == 0 {
             continue;
         }
-        let label = format!("[{:.1},{:.1})", lo + b as f64 * 0.1, lo + (b + 1) as f64 * 0.1);
+        let label = format!(
+            "[{:.1},{:.1})",
+            lo + b as f64 * 0.1,
+            lo + (b + 1) as f64 * 0.1
+        );
         let bar = "#".repeat((c * 50).div_ceil(max_count));
         println!("{label:>12} {c:>4} {bar}");
     }

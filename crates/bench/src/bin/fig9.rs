@@ -20,14 +20,24 @@ fn main() {
     ];
 
     let panels: [(&str, Vec<u64>); 3] = [
-        ("(a) small [1K, 1M]", vec![1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]),
+        (
+            "(a) small [1K, 1M]",
+            vec![1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20],
+        ),
         (
             "(b) median [1M, 200M]",
             vec![1 << 20, 4 << 20, 16 << 20, 50 << 20, 100 << 20, 200 << 20],
         ),
         (
             "(c) large [200M, 2G]",
-            vec![200 << 20, 400 << 20, 800 << 20, 1200 << 20, 1600 << 20, 2000 << 20],
+            vec![
+                200 << 20,
+                400 << 20,
+                800 << 20,
+                1200 << 20,
+                1600 << 20,
+                2000 << 20,
+            ],
         ),
     ];
 
@@ -49,7 +59,9 @@ fn main() {
                     times.push(f64::NAN);
                     continue;
                 }
-                let t = a2a_time(alg.as_ref(), &topo, &hw, s).expect("valid plan").as_ms();
+                let t = a2a_time(alg.as_ref(), &topo, &hw, s)
+                    .expect("valid plan")
+                    .as_ms();
                 print!(" {t:>10.2}");
                 times.push(t);
             }
@@ -71,11 +83,7 @@ fn main() {
             "  {:>8}: {:.2}x (paper testbed), {:.2}x (NVLink what-if)",
             schemoe_bench::fmt_bytes(s),
             schemoe_collectives::analysis::max_speedup(&topo, &hw, s),
-            schemoe_collectives::analysis::max_speedup(
-                &topo,
-                &HardwareProfile::nvlink_dgx(),
-                s
-            ),
+            schemoe_collectives::analysis::max_speedup(&topo, &HardwareProfile::nvlink_dgx(), s),
         );
     }
 }

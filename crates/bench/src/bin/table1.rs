@@ -19,13 +19,24 @@ fn main() {
     println!("Table 1: step time and A2A time, CT-MoE-x on Tutel (simulated)");
     println!(
         "{:>8} {:>12} {:>12} {:>12} {:>9} || {:>9} {:>9} {:>7}",
-        "# Layers", "# Params(M)", "A2A (ms)", "Step (ms)", "Ratio", "paperA2A", "paperStep", "paperR"
+        "# Layers",
+        "# Params(M)",
+        "A2A (ms)",
+        "Step (ms)",
+        "Ratio",
+        "paperA2A",
+        "paperStep",
+        "paperR"
     );
-    let paper = [(12, 252.6, 497.1, 50.8), (16, 324.8, 623.0, 52.1), (20, 419.3, 768.9, 54.5), (24, 507.4, 863.6, 58.8)];
+    let paper = [
+        (12, 252.6, 497.1, 50.8),
+        (16, 324.8, 623.0, 52.1),
+        (20, 419.3, 768.9, 54.5),
+        (24, 507.4, 863.6, 58.8),
+    ];
     for (layers, p_a2a, p_step, p_ratio) in paper {
         let model = MoeModelConfig::ct_moe(layers);
-        let est = model_step_time(&tutel, &model, &topo, &hw)
-            .expect("CT-MoE fits the testbed");
+        let est = model_step_time(&tutel, &model, &topo, &hw).expect("CT-MoE fits the testbed");
         println!(
             "{:>8} {:>12.0} {:>12.1} {:>12.1} {:>8.1}% || {:>9.1} {:>9.1} {:>6.1}%",
             layers,

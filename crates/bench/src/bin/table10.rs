@@ -26,7 +26,11 @@ fn arm_time(hw: &HardwareProfile, topo: &Topology, zfp: bool, pipe: bool, sched:
     };
     let ratio = if zfp { 4.0 } else { 1.0 };
     let costs = shape.costs(ratio);
-    let a2a: Box<dyn AllToAll> = if pipe { Box::new(PipeA2A::new()) } else { Box::new(NcclA2A) };
+    let a2a: Box<dyn AllToAll> = if pipe {
+        Box::new(PipeA2A::new())
+    } else {
+        Box::new(NcclA2A)
+    };
     if sched {
         // OptSche over the adaptive degree set.
         let mut best = f64::MAX;

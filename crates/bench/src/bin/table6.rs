@@ -69,7 +69,10 @@ fn main() {
         k: 2,
         capacity_factor: 2.0,
     };
-    let trainer = Trainer { steps, ..Default::default() };
+    let trainer = Trainer {
+        steps,
+        ..Default::default()
+    };
 
     let methods: [(&str, bool, Option<&str>); 5] = [
         ("Base", false, None),
@@ -97,7 +100,11 @@ fn main() {
         let mut acc = 0.0f32;
         for seed in 0..seeds {
             let mk = |cfg: &LmConfig| {
-                let cfg = if moe { cfg.clone().with_experts(8) } else { cfg.clone() };
+                let cfg = if moe {
+                    cfg.clone().with_experts(8)
+                } else {
+                    cfg.clone()
+                };
                 build_lm(&cfg, codec, 2024 + seed * 7919)
             };
             let mut lm1 = mk(&lm_cfg);
@@ -120,8 +127,10 @@ fn main() {
     }
 
     println!();
-    println!("Reference points: uniform perplexity = 24.0; Markov entropy floor ≈ {:.1};",
-        markov.entropy_floor().exp());
+    println!(
+        "Reference points: uniform perplexity = 24.0; Markov entropy floor ≈ {:.1};",
+        markov.entropy_floor().exp()
+    );
     println!("copy-translation chance accuracy = {:.3}.", 1.0 / 40.0);
     println!();
     println!("Paper shape: MoE > Base reproduces. At this toy scale the codec");

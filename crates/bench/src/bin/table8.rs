@@ -17,10 +17,13 @@ fn main() {
         model.total_params() as f64 / 1e9,
         model.a2a_bytes() / topo.world_size() as u64,
     );
-    println!("{:>12} {:>16} {:>9}   (paper)", "System", "Time (ms)", "Speedup");
+    println!(
+        "{:>12} {:>16} {:>9}   (paper)",
+        "System", "Time (ms)", "Speedup"
+    );
 
-    let tutel = step_ms_3runs(&TutelEmu::new(), &model, &topo, &hw)
-        .expect("Tutel fits BERT-Large-MoE");
+    let tutel =
+        step_ms_3runs(&TutelEmu::new(), &model, &topo, &hw).expect("Tutel fits BERT-Large-MoE");
     println!(
         "{:>12} {:>16} {:>9}   (783.3±11.8, 1.0x)",
         "Tutel",
@@ -54,8 +57,8 @@ fn main() {
     );
 
     // Attribute the improvement: compression-only vs scheduling-only.
-    let sched_only = step_ms_3runs(&ScheMoeSystem::without_compression(), &model, &topo, &hw)
-        .expect("fits");
+    let sched_only =
+        step_ms_3runs(&ScheMoeSystem::without_compression(), &model, &topo, &hw).expect("fits");
     let total_gain = tutel.0 - schemoe.0;
     let sched_gain = tutel.0 - sched_only.0;
     let zfp_gain = (total_gain - sched_gain).max(0.0);

@@ -129,7 +129,10 @@ pub fn table4_grid() -> Vec<LayerShape> {
 pub fn sweep_config_fits(shape: &LayerShape, topo: &Topology, hw: &HardwareProfile) -> bool {
     let mut budget = MemoryBudget::new(hw.gpu_mem_bytes);
     budget.add("expert state", shape.expert_state_bytes(topo.world_size()));
-    budget.add("activations", 4 * (shape.tokens_per_gpu * shape.model_dim * 4) as u64);
+    budget.add(
+        "activations",
+        4 * (shape.tokens_per_gpu * shape.model_dim * 4) as u64,
+    );
     budget.add("a2a buffers", 2 * shape.a2a_bytes());
     budget.add("framework reserve", 1 << 30);
     budget.fits()
@@ -170,7 +173,10 @@ mod tests {
         let topo = Topology::paper_testbed();
         let hw = HardwareProfile::paper_testbed();
         for shape in table4_grid() {
-            assert!(sweep_config_fits(&shape, &topo, &hw), "{shape:?} flagged OOM");
+            assert!(
+                sweep_config_fits(&shape, &topo, &hw),
+                "{shape:?} flagged OOM"
+            );
         }
         // ...while a hypothetical 6 GB device would drop the big corners.
         let mut small_hw = hw.clone();

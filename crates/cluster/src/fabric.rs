@@ -12,9 +12,10 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::topology::{Rank, Topology};
 
@@ -33,6 +34,17 @@ pub enum FabricError {
         /// The world size it had to be below.
         world_size: usize,
     },
+    /// A `recv_timeout` deadline expired with no matching message. The peer
+    /// thread is still alive (its channel is open) but silent — the failure
+    /// mode a plain `recv` would turn into an indefinite hang.
+    Timeout {
+        /// The peer that never delivered.
+        peer: Rank,
+        /// The tag that was awaited.
+        tag: u64,
+        /// How long the receiver waited.
+        waited: Duration,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -42,6 +54,10 @@ impl fmt::Display for FabricError {
             FabricError::InvalidRank { rank, world_size } => {
                 write!(f, "rank {rank} out of range for world size {world_size}")
             }
+            FabricError::Timeout { peer, tag, waited } => write!(
+                f,
+                "timed out after {waited:?} waiting for tag {tag} from live peer rank {peer}"
+            ),
         }
     }
 }
@@ -53,6 +69,29 @@ struct Msg {
     payload: Bytes,
 }
 
+/// A wall-clock cost model for cross-rank transfers.
+///
+/// When installed via [`Fabric::run_with_wire`], every send to a *different*
+/// rank blocks the sender for `latency + len / bytes_per_sec`, occupying the
+/// sending thread the way a real NIC engine is occupied during a transfer.
+/// Self-sends stay free. This makes communication/computation overlap
+/// observable in wall-clock time on an otherwise instantaneous in-process
+/// fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Fixed per-message latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl WireModel {
+    /// Time a message of `len` bytes occupies the wire.
+    pub fn transfer_time(&self, len: usize) -> Duration {
+        self.latency + Duration::from_secs_f64(len as f64 / self.bytes_per_sec)
+    }
+}
+
 /// A rank's endpoint into the fabric.
 pub struct RankHandle {
     rank: Rank,
@@ -62,6 +101,8 @@ pub struct RankHandle {
     /// Out-of-order messages parked until a matching tag is requested.
     pending: HashMap<(Rank, u64), Vec<Bytes>>,
     barrier: Arc<Barrier>,
+    /// Optional wall-clock charge applied to cross-rank sends.
+    wire: Option<WireModel>,
 }
 
 impl RankHandle {
@@ -80,11 +121,23 @@ impl RankHandle {
         self.topology.world_size()
     }
 
-    /// Sends `payload` to `to` under `tag`. Never blocks.
+    /// Sends `payload` to `to` under `tag`.
+    ///
+    /// Never blocks on the receiver (channels are unbounded); under a
+    /// [`WireModel`] a cross-rank send does block the *sender* for the
+    /// modeled transfer time.
     pub fn send(&self, to: Rank, tag: u64, payload: Bytes) -> Result<(), FabricError> {
         let ws = self.world_size();
         if to >= ws {
-            return Err(FabricError::InvalidRank { rank: to, world_size: ws });
+            return Err(FabricError::InvalidRank {
+                rank: to,
+                world_size: ws,
+            });
+        }
+        if let Some(wire) = self.wire {
+            if to != self.rank {
+                std::thread::sleep(wire.transfer_time(payload.len()));
+            }
         }
         self.senders[to]
             .send(Msg { tag, payload })
@@ -99,7 +152,10 @@ impl RankHandle {
     pub fn recv(&mut self, from: Rank, tag: u64) -> Result<Bytes, FabricError> {
         let ws = self.world_size();
         if from >= ws {
-            return Err(FabricError::InvalidRank { rank: from, world_size: ws });
+            return Err(FabricError::InvalidRank {
+                rank: from,
+                world_size: ws,
+            });
         }
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if !queue.is_empty() {
@@ -113,7 +169,68 @@ impl RankHandle {
             if msg.tag == tag {
                 return Ok(msg.payload);
             }
-            self.pending.entry((from, msg.tag)).or_default().push(msg.payload);
+            self.pending
+                .entry((from, msg.tag))
+                .or_default()
+                .push(msg.payload);
+        }
+    }
+
+    /// Like [`recv`](Self::recv), but gives up after `timeout` with
+    /// [`FabricError::Timeout`] if no matching message arrives.
+    ///
+    /// This is the liveness guard for the overlapped pipeline: a crashed
+    /// peer is caught by `Disconnected`, but a peer that is alive yet never
+    /// sends (deadlocked, wedged on a mismatched schedule) would hang a
+    /// plain `recv` forever. Non-matching tags that arrive while waiting are
+    /// parked exactly as in `recv`.
+    pub fn recv_timeout(
+        &mut self,
+        from: Rank,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Bytes, FabricError> {
+        let ws = self.world_size();
+        if from >= ws {
+            return Err(FabricError::InvalidRank {
+                rank: from,
+                world_size: ws,
+            });
+        }
+        if let Some(queue) = self.pending.get_mut(&(from, tag)) {
+            if !queue.is_empty() {
+                return Ok(queue.remove(0));
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(FabricError::Timeout {
+                    peer: from,
+                    tag,
+                    waited: timeout,
+                });
+            }
+            match self.receivers[from].recv_timeout(remaining) {
+                Ok(msg) if msg.tag == tag => return Ok(msg.payload),
+                Ok(msg) => {
+                    self.pending
+                        .entry((from, msg.tag))
+                        .or_default()
+                        .push(msg.payload);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(FabricError::Timeout {
+                        peer: from,
+                        tag,
+                        waited: timeout,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(FabricError::Disconnected { peer: from });
+                }
+            }
         }
     }
 
@@ -138,6 +255,26 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
+        Self::run_inner(topology, None, f)
+    }
+
+    /// Like [`run`](Self::run), but installs a [`WireModel`] so cross-rank
+    /// sends cost wall-clock time. Used by overlap benchmarks where an
+    /// instantaneous fabric would make serial and overlapped execution
+    /// indistinguishable.
+    pub fn run_with_wire<T, F>(topology: Topology, wire: WireModel, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankHandle) -> T + Sync,
+    {
+        Self::run_inner(topology, Some(wire), f)
+    }
+
+    fn run_inner<T, F>(topology: Topology, wire: Option<WireModel>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankHandle) -> T + Sync,
+    {
         let p = topology.world_size();
         // channel[i][j]: endpoint pair carrying messages from i to j.
         let mut senders: Vec<Vec<Option<Sender<Msg>>>> = Vec::with_capacity(p);
@@ -155,16 +292,18 @@ impl Fabric {
         }
         let barrier = Arc::new(Barrier::new(p));
         let mut handles: Vec<RankHandle> = Vec::with_capacity(p);
-        for (rank, (sender_row, receiver_row)) in
-            senders.into_iter().zip(receivers).enumerate()
-        {
+        for (rank, (sender_row, receiver_row)) in senders.into_iter().zip(receivers).enumerate() {
             handles.push(RankHandle {
                 rank,
                 topology,
                 senders: sender_row.into_iter().map(|s| s.expect("filled")).collect(),
-                receivers: receiver_row.into_iter().map(|r| r.expect("filled")).collect(),
+                receivers: receiver_row
+                    .into_iter()
+                    .map(|r| r.expect("filled"))
+                    .collect(),
                 pending: HashMap::new(),
                 barrier: Arc::clone(&barrier),
+                wire,
             });
         }
 
@@ -196,7 +335,8 @@ mod tests {
             let mut acc = h.rank() as u64;
             let mut carry = acc;
             for _ in 0..p - 1 {
-                h.send(next, 0, Bytes::copy_from_slice(&carry.to_le_bytes())).unwrap();
+                h.send(next, 0, Bytes::copy_from_slice(&carry.to_le_bytes()))
+                    .unwrap();
                 let got = h.recv(prev, 0).unwrap();
                 carry = u64::from_le_bytes(got.as_ref().try_into().unwrap());
                 acc += carry;
@@ -266,6 +406,98 @@ mod tests {
             ));
             assert!(matches!(h.recv(9, 0), Err(FabricError::InvalidRank { .. })));
         });
+    }
+
+    #[test]
+    fn recv_timeout_delivers_when_message_arrives() {
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run(topo, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 4, Bytes::from_static(b"ok")).unwrap();
+                Bytes::new()
+            } else {
+                h.recv_timeout(0, 4, Duration::from_secs(5)).unwrap()
+            }
+        });
+        assert_eq!(results[1].as_ref(), b"ok");
+    }
+
+    #[test]
+    fn recv_timeout_parks_mismatched_tags() {
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run(topo, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 9, Bytes::from_static(b"later")).unwrap();
+                h.send(1, 8, Bytes::from_static(b"now")).unwrap();
+                Vec::new()
+            } else {
+                let a = h.recv_timeout(0, 8, Duration::from_secs(5)).unwrap();
+                // Tag 9 was parked while waiting for tag 8.
+                let b = h.recv_timeout(0, 9, Duration::from_secs(5)).unwrap();
+                vec![a, b]
+            }
+        });
+        assert_eq!(results[1][0].as_ref(), b"now");
+        assert_eq!(results[1][1].as_ref(), b"later");
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_silent_peer() {
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run(topo, |mut h| {
+            if h.rank() == 0 {
+                // Stay alive until rank 1 finishes, but never send.
+                h.barrier();
+                None
+            } else {
+                let err = h.recv_timeout(0, 1, Duration::from_millis(50)).unwrap_err();
+                h.barrier();
+                Some(err)
+            }
+        });
+        assert!(matches!(
+            results[1],
+            Some(FabricError::Timeout {
+                peer: 0,
+                tag: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn wire_model_charges_transfer_time() {
+        let wire = WireModel {
+            latency: Duration::from_millis(10),
+            bytes_per_sec: 1000.0,
+        };
+        assert_eq!(wire.transfer_time(100), Duration::from_millis(110));
+
+        let topo = Topology::new(1, 2);
+        let start = Instant::now();
+        Fabric::run_with_wire(topo, wire, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 0, Bytes::copy_from_slice(&[0u8; 100])).unwrap();
+            } else {
+                h.recv(0, 0).unwrap();
+            }
+        });
+        assert!(start.elapsed() >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn wire_model_self_sends_are_free() {
+        let wire = WireModel {
+            latency: Duration::from_secs(60),
+            bytes_per_sec: 1.0,
+        };
+        let topo = Topology::new(1, 1);
+        let start = Instant::now();
+        Fabric::run_with_wire(topo, wire, |mut h| {
+            h.send(0, 0, Bytes::from_static(b"self")).unwrap();
+            h.recv(0, 0).unwrap()
+        });
+        assert!(start.elapsed() < Duration::from_secs(1));
     }
 
     #[test]

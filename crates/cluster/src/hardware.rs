@@ -195,9 +195,8 @@ mod tests {
         let hw = HardwareProfile::paper_testbed();
         let s: u64 = 136 * 31 * 512 * 4;
         let per_peer = s / 32;
-        let one_a2a = hw.intra_sr(per_peer) * 3.0
-            + hw.inter_sr(per_peer) * 28.0
-            + hw.self_copy(per_peer);
+        let one_a2a =
+            hw.intra_sr(per_peer) * 3.0 + hw.inter_sr(per_peer) * 28.0 + hw.self_copy(per_peer);
         let total_ms = one_a2a.as_ms() * 4.0 * 12.0;
         let paper = 252.6;
         assert!(

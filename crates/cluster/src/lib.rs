@@ -24,7 +24,7 @@ pub mod hardware;
 pub mod memory;
 pub mod topology;
 
-pub use fabric::{Fabric, FabricError, RankHandle};
+pub use fabric::{Fabric, FabricError, RankHandle, WireModel};
 pub use hardware::HardwareProfile;
 pub use memory::MemoryBudget;
 pub use topology::{Rank, Topology};

@@ -19,7 +19,10 @@ pub struct MemoryBudget {
 impl MemoryBudget {
     /// Creates a budget against `capacity` bytes of device memory.
     pub fn new(capacity: u64) -> Self {
-        MemoryBudget { capacity, components: Vec::new() }
+        MemoryBudget {
+            capacity,
+            components: Vec::new(),
+        }
     }
 
     /// Adds a named component of `bytes`.
@@ -64,7 +67,11 @@ impl fmt::Display for MemoryBudget {
             if self.fits() { "" } else { "  ** OOM **" }
         )?;
         for (label, bytes) in &self.components {
-            writeln!(f, "  {:>10.2} MiB  {label}", *bytes as f64 / (1 << 20) as f64)?;
+            writeln!(
+                f,
+                "  {:>10.2} MiB  {label}",
+                *bytes as f64 / (1 << 20) as f64
+            )?;
         }
         Ok(())
     }

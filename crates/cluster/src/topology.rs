@@ -25,7 +25,10 @@ impl Topology {
     pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
         assert!(nodes > 0, "at least one node required");
         assert!(gpus_per_node > 0, "at least one GPU per node required");
-        Topology { nodes, gpus_per_node }
+        Topology {
+            nodes,
+            gpus_per_node,
+        }
     }
 
     /// The paper's evaluation cluster: 8 nodes × 4 GPUs (§6.1, Table 3).
@@ -80,13 +83,18 @@ impl Topology {
     /// Panics if either coordinate is out of range.
     pub fn rank_of(&self, node: usize, local: usize) -> Rank {
         assert!(node < self.nodes, "node {node} out of range");
-        assert!(local < self.gpus_per_node, "local rank {local} out of range");
+        assert!(
+            local < self.gpus_per_node,
+            "local rank {local} out of range"
+        );
         node * self.gpus_per_node + local
     }
 
     /// All ranks on `node`, in local order.
     pub fn node_ranks(&self, node: usize) -> Vec<Rank> {
-        (0..self.gpus_per_node).map(|l| self.rank_of(node, l)).collect()
+        (0..self.gpus_per_node)
+            .map(|l| self.rank_of(node, l))
+            .collect()
     }
 
     /// Iterator over all ranks.
@@ -97,7 +105,10 @@ impl Topology {
     /// Ranks with the same local index on every node (a "rail"): the peer
     /// group that 2D-hierarchical A2A uses for its inter-node phase.
     pub fn rail_ranks(&self, local: usize) -> Vec<Rank> {
-        assert!(local < self.gpus_per_node, "local rank {local} out of range");
+        assert!(
+            local < self.gpus_per_node,
+            "local rank {local} out of range"
+        );
         (0..self.nodes).map(|n| self.rank_of(n, local)).collect()
     }
 }

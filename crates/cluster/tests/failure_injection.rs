@@ -3,7 +3,12 @@
 //! A production fabric must fail loudly, not hang: a peer that exits early
 //! must surface as [`FabricError::Disconnected`] to anyone still waiting
 //! on it, and messages sent before an orderly exit must still be
-//! deliverable (channels drain before they error).
+//! deliverable (channels drain before they error). A peer that stays
+//! *alive but silent* — the failure mode `Disconnected` cannot see — must
+//! surface as [`FabricError::Timeout`] via `recv_timeout` rather than
+//! wedging the receiver forever.
+
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use schemoe_cluster::{Fabric, FabricError, Topology};
@@ -102,4 +107,100 @@ fn tag_isolation_survives_peer_death() {
     });
     assert_eq!(results[1][0].as_ref(), b"nine");
     assert_eq!(results[1][1].as_ref(), b"five");
+}
+
+/// A rank that never sends while staying alive must produce `Timeout`
+/// within the deadline — not a hang, and not `Disconnected`.
+#[test]
+fn silent_live_rank_surfaces_timeout() {
+    let topo = Topology::new(1, 2);
+    let results = Fabric::run(topo, |mut h| {
+        if h.rank() == 0 {
+            // The faulty rank: alive (parked on the barrier) but silent on
+            // the tag rank 1 is waiting for.
+            h.barrier();
+            Ok(Bytes::new())
+        } else {
+            let started = Instant::now();
+            let r = h.recv_timeout(0, 42, Duration::from_millis(100));
+            let waited = started.elapsed();
+            // The receive must give up promptly — well before the minutes
+            // a hung test would take to be killed externally.
+            assert!(waited >= Duration::from_millis(100));
+            assert!(waited < Duration::from_secs(10));
+            h.barrier();
+            r
+        }
+    });
+    match &results[1] {
+        Err(FabricError::Timeout { peer, tag, waited }) => {
+            assert_eq!(*peer, 0);
+            assert_eq!(*tag, 42);
+            assert!(*waited >= Duration::from_millis(100));
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+/// `recv_timeout` distinguishes a dead peer from a silent one: channel
+/// endpoints dropped means `Disconnected`, never `Timeout`.
+#[test]
+fn recv_timeout_reports_crashed_rank_as_disconnected() {
+    let topo = Topology::new(1, 2);
+    let results = Fabric::run(topo, |mut h| {
+        if h.rank() == 0 {
+            // Exit immediately: all of rank 0's channel endpoints drop.
+            None
+        } else {
+            Some(h.recv_timeout(0, 7, Duration::from_secs(30)))
+        }
+    });
+    assert_eq!(
+        results[1].clone().expect("rank 1 result"),
+        Err(FabricError::Disconnected { peer: 0 })
+    );
+}
+
+/// Messages that arrive before the deadline are delivered, and unrelated
+/// tags arriving meanwhile are parked, not lost.
+#[test]
+fn late_but_in_deadline_message_is_delivered() {
+    let topo = Topology::new(1, 2);
+    let results = Fabric::run(topo, |mut h| {
+        if h.rank() == 0 {
+            // An unrelated tag first, then the awaited one after a delay.
+            h.send(1, 99, Bytes::from_static(b"noise")).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            h.send(1, 5, Bytes::from_static(b"payload")).unwrap();
+            Vec::new()
+        } else {
+            let wanted = h.recv_timeout(0, 5, Duration::from_secs(5)).unwrap();
+            // The parked noise tag is still retrievable afterwards.
+            let noise = h.recv_timeout(0, 99, Duration::from_secs(5)).unwrap();
+            vec![wanted, noise]
+        }
+    });
+    assert_eq!(results[1][0].as_ref(), b"payload");
+    assert_eq!(results[1][1].as_ref(), b"noise");
+}
+
+/// After a timeout the handle stays usable: a later send on the same
+/// `(peer, tag)` is received normally.
+#[test]
+fn handle_recovers_after_timeout() {
+    let topo = Topology::new(1, 2);
+    let results = Fabric::run(topo, |mut h| {
+        if h.rank() == 0 {
+            // Let rank 1 time out once, then supply the message.
+            h.barrier();
+            h.send(1, 3, Bytes::from_static(b"second-try")).unwrap();
+            Bytes::new()
+        } else {
+            let first = h.recv_timeout(0, 3, Duration::from_millis(50));
+            assert!(matches!(first, Err(FabricError::Timeout { .. })));
+            h.barrier();
+            h.recv_timeout(0, 3, Duration::from_secs(5)).unwrap()
+        }
+    });
+    assert_eq!(results[1].as_ref(), b"second-try");
 }

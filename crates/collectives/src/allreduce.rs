@@ -110,8 +110,7 @@ impl AllReduce for NaiveAllReduce {
                 exclusive_intra: false,
             });
         }
-        A2aPlan::new(self.name(), vec![gather, bcast])
-            .with_staging_bytes(input_bytes)
+        A2aPlan::new(self.name(), vec![gather, bcast]).with_staging_bytes(input_bytes)
     }
 }
 
@@ -217,8 +216,7 @@ mod tests {
         Fabric::run(topo, |mut h| {
             let me = h.rank();
             // Distinct, recomputable values per (rank, index).
-            let mut v: Vec<f32> =
-                (0..len).map(|i| (me * 1000 + i) as f32 * 0.25).collect();
+            let mut v: Vec<f32> = (0..len).map(|i| (me * 1000 + i) as f32 * 0.25).collect();
             alg.all_reduce(&mut h, &mut v, 0).unwrap();
             v
         })
@@ -274,9 +272,16 @@ mod tests {
         let topo = Topology::paper_testbed();
         let hw = HardwareProfile::paper_testbed();
         let bytes = 100_000_000u64;
-        let ring = RingAllReduce.plan(&topo, bytes).simulate(&topo, &hw).unwrap().makespan();
-        let naive =
-            NaiveAllReduce.plan(&topo, bytes).simulate(&topo, &hw).unwrap().makespan();
+        let ring = RingAllReduce
+            .plan(&topo, bytes)
+            .simulate(&topo, &hw)
+            .unwrap()
+            .makespan();
+        let naive = NaiveAllReduce
+            .plan(&topo, bytes)
+            .simulate(&topo, &hw)
+            .unwrap()
+            .makespan();
         assert!(
             ring < naive,
             "ring {ring} should beat the root bottleneck {naive} at 100 MB"

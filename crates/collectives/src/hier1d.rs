@@ -121,7 +121,10 @@ impl AllToAll for OneDimHierA2A {
                 }
             }
         }
-        Ok(my_out.into_iter().map(|o| o.expect("complete output")).collect())
+        Ok(my_out
+            .into_iter()
+            .map(|o| o.expect("complete output"))
+            .collect())
     }
 
     fn plan(&self, topo: &Topology, input_bytes: u64) -> A2aPlan {
@@ -188,8 +191,7 @@ impl AllToAll for OneDimHierA2A {
         // Leader staging: the gathered node payload plus the exchanged
         // inbound bundles, both ≈ M × the per-rank payload.
         let staging = 2 * input_bytes * m as u64;
-        A2aPlan::new(self.name(), vec![gather, exchange, scatter])
-            .with_staging_bytes(staging)
+        A2aPlan::new(self.name(), vec![gather, exchange, scatter]).with_staging_bytes(staging)
     }
 
     fn staging_bytes(&self, topo: &Topology, input_bytes: u64) -> u64 {
@@ -262,9 +264,27 @@ mod tests {
         let topo = Topology::paper_testbed();
         let hw = HardwareProfile::paper_testbed();
         // 200 MB fits; 2 GB does not (staging is 2·M·S = 16 GB).
-        assert!(a2a_fits_memory(&OneDimHierA2A, &topo, &hw, 200_000_000, 1 << 30));
-        assert!(!a2a_fits_memory(&OneDimHierA2A, &topo, &hw, 2_000_000_000, 1 << 30));
+        assert!(a2a_fits_memory(
+            &OneDimHierA2A,
+            &topo,
+            &hw,
+            200_000_000,
+            1 << 30
+        ));
+        assert!(!a2a_fits_memory(
+            &OneDimHierA2A,
+            &topo,
+            &hw,
+            2_000_000_000,
+            1 << 30
+        ));
         // NCCL at the same size is fine.
-        assert!(a2a_fits_memory(&NcclA2A, &topo, &hw, 2_000_000_000, 1 << 30));
+        assert!(a2a_fits_memory(
+            &NcclA2A,
+            &topo,
+            &hw,
+            2_000_000_000,
+            1 << 30
+        ));
     }
 }

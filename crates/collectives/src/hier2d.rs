@@ -86,7 +86,10 @@ impl AllToAll for TwoDimHierA2A {
                 out[src] = Some(chunk);
             }
         }
-        Ok(out.into_iter().map(|o| o.expect("complete output")).collect())
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("complete output"))
+            .collect())
     }
 
     fn plan(&self, topo: &Topology, input_bytes: u64) -> A2aPlan {
@@ -171,7 +174,9 @@ mod tests {
             let chunks: Vec<Bytes> = (0..h.world_size())
                 .map(|j| Bytes::copy_from_slice(&[me, j as u8, 0x5A]))
                 .collect();
-            TwoDimHierA2A.all_to_all(&mut h, chunks, 7 * crate::TAG_STRIDE).unwrap()
+            TwoDimHierA2A
+                .all_to_all(&mut h, chunks, 7 * crate::TAG_STRIDE)
+                .unwrap()
         });
         for (me, got) in results.iter().enumerate() {
             for (j, payload) in got.iter().enumerate() {

@@ -31,14 +31,19 @@ impl TrafficMatrix {
     /// Panics if the matrix is not square.
     pub fn new(bytes: Vec<Vec<u64>>) -> Self {
         let p = bytes.len();
-        assert!(bytes.iter().all(|row| row.len() == p), "matrix must be square");
+        assert!(
+            bytes.iter().all(|row| row.len() == p),
+            "matrix must be square"
+        );
         TrafficMatrix { bytes }
     }
 
     /// The uniform matrix: every pair carries `total_per_rank / P`.
     pub fn uniform(p: usize, total_per_rank: u64) -> Self {
         let per = total_per_rank / p as u64;
-        TrafficMatrix { bytes: vec![vec![per; p]; p] }
+        TrafficMatrix {
+            bytes: vec![vec![per; p]; p],
+        }
     }
 
     /// A hot-expert matrix: a fraction `hot_share` of every rank's traffic
@@ -69,8 +74,9 @@ impl TrafficMatrix {
     ) -> Self {
         let mut bytes = Vec::with_capacity(p);
         for _ in 0..p {
-            let weights: Vec<f64> =
-                (0..p).map(|_| rng.gen_range(0.0f64..1.0).powf(skew_power)).collect();
+            let weights: Vec<f64> = (0..p)
+                .map(|_| rng.gen_range(0.0f64..1.0).powf(skew_power))
+                .collect();
             let sum: f64 = weights.iter().sum();
             let row: Vec<u64> = weights
                 .iter()
@@ -186,16 +192,22 @@ impl TrafficMatrix {
 
 /// The straggler factor of a matrix under an algorithm: makespan divided
 /// by the makespan of the balanced matrix with the same total volume.
-pub fn straggler_factor(
-    matrix: &TrafficMatrix,
-    topo: &Topology,
-    hw: &HardwareProfile,
-) -> f64 {
+pub fn straggler_factor(matrix: &TrafficMatrix, topo: &Topology, hw: &HardwareProfile) -> f64 {
     let p = matrix.world_size() as u64;
-    let total: u64 = (0..matrix.world_size()).map(|d| matrix.received_by(d)).sum();
+    let total: u64 = (0..matrix.world_size())
+        .map(|d| matrix.received_by(d))
+        .sum();
     let uniform = TrafficMatrix::uniform(matrix.world_size(), total / p);
-    let skewed_t = matrix.nccl_plan(topo).simulate(topo, hw).expect("valid").makespan();
-    let uniform_t = uniform.nccl_plan(topo).simulate(topo, hw).expect("valid").makespan();
+    let skewed_t = matrix
+        .nccl_plan(topo)
+        .simulate(topo, hw)
+        .expect("valid")
+        .makespan();
+    let uniform_t = uniform
+        .nccl_plan(topo)
+        .simulate(topo, hw)
+        .expect("valid")
+        .makespan();
     skewed_t / uniform_t
 }
 
@@ -264,7 +276,10 @@ mod tests {
         // Capacity clamping (the paper's Eq. 1 defence) restores most of it.
         let cap = (1.2 * 64_000_000.0) as u64;
         let fixed = straggler_factor(&skewed.with_capacity(cap), &topo, &hw);
-        assert!(fixed < factor * 0.75, "capacity should tame stragglers: {fixed:.2}");
+        assert!(
+            fixed < factor * 0.75,
+            "capacity should tame stragglers: {fixed:.2}"
+        );
     }
 
     #[test]
@@ -295,8 +310,8 @@ mod tests {
         let (topo, hw) = env();
         let m = TrafficMatrix::hot_expert(32, 640_000_000, 3, 0.4);
         let nccl = m.nccl_plan(&topo).simulate(&topo, &hw).unwrap().makespan();
-        let pipe = m.pipe_plan(&topo).simulate(&topo, &hw).unwrap().makespan()
-            + SimTime::from_us(150.0);
+        let pipe =
+            m.pipe_plan(&topo).simulate(&topo, &hw).unwrap().makespan() + SimTime::from_us(150.0);
         assert!(pipe < nccl);
     }
 }

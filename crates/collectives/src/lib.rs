@@ -26,18 +26,18 @@
 
 pub mod allreduce;
 pub mod analysis;
-pub mod imbalance;
 mod hier1d;
 mod hier2d;
+pub mod imbalance;
 mod nccl;
 mod pipe;
 pub mod plan;
 pub mod primitives;
 
 pub use allreduce::{AllReduce, NaiveAllReduce, RingAllReduce};
-pub use imbalance::{straggler_factor, TrafficMatrix};
 pub use hier1d::OneDimHierA2A;
 pub use hier2d::TwoDimHierA2A;
+pub use imbalance::{straggler_factor, TrafficMatrix};
 pub use nccl::NcclA2A;
 pub use pipe::PipeA2A;
 pub use plan::{A2aPlan, SrOp, StreamAssignment};
@@ -51,6 +51,37 @@ use schemoe_netsim::{SimError, SimTime};
 /// Callers that issue several all-to-alls on the same fabric must step
 /// their `tag_base` by at least this much between invocations.
 pub const TAG_STRIDE: u64 = 1 << 24;
+
+/// Tag lanes carved out of one [`TAG_STRIDE`] window by the MoE layer.
+///
+/// A single MoE layer invocation owns `[tag_base, tag_base + TAG_STRIDE)`
+/// and quarters it into four lanes — one per logical exchange of the
+/// forward/backward pass. Within a lane, the overlapped pipeline offsets
+/// by the chunk index (see [`chunk_tag`]), so the `r` in-flight chunk
+/// exchanges of ScheMoE's pipelining never collide. The serial path is the
+/// degenerate `chunk = 0` case of the same scheme, which is what keeps the
+/// two paths wire-compatible.
+pub mod lanes {
+    use super::TAG_STRIDE;
+
+    /// Forward dispatch: tokens travel to their experts' owner ranks.
+    pub const LANE_DISPATCH: u64 = 0;
+    /// Forward combine: expert outputs travel back to the token owners.
+    pub const LANE_COMBINE: u64 = TAG_STRIDE / 4;
+    /// Backward: output gradients travel to the expert owner ranks.
+    pub const LANE_BWD_GRAD: u64 = TAG_STRIDE / 2;
+    /// Backward: input gradients travel back to the token owners.
+    pub const LANE_BWD_RETURN: u64 = 3 * (TAG_STRIDE / 4);
+}
+
+/// The tag for chunk `chunk` of the exchange in `lane`, under `tag_base`.
+///
+/// `chunk` must stay far below `TAG_STRIDE / 4` (the lane width); the
+/// pipeline degrees in use (≤ 64) are nowhere near it.
+pub fn chunk_tag(tag_base: u64, lane: u64, chunk: usize) -> u64 {
+    debug_assert!((chunk as u64) < TAG_STRIDE / 4, "chunk overflows its lane");
+    tag_base + lane + chunk as u64
+}
 
 /// The `AbsAlltoAll` abstraction: a complete exchange where rank `i`'s
 /// `chunks[j]` ends up at rank `j` as `received[i]`.
@@ -135,6 +166,31 @@ pub fn reference_all_to_all(
     Ok(out)
 }
 
+/// Direct tagged exchange with a liveness deadline on every receive.
+///
+/// Identical routing to [`reference_all_to_all`], but each receive gives up
+/// with [`FabricError::Timeout`] after `timeout` instead of hanging on a
+/// silent peer. This is the per-chunk exchange the overlapped MoE pipeline
+/// issues on its communication worker: with `r` chunks in flight the cost
+/// of a wedged peer is a loud error within one deadline, not a stuck job.
+pub fn reference_all_to_all_timeout(
+    handle: &mut RankHandle,
+    chunks: Vec<Bytes>,
+    tag: u64,
+    timeout: std::time::Duration,
+) -> Result<Vec<Bytes>, FabricError> {
+    let p = handle.world_size();
+    assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+    for (j, chunk) in chunks.into_iter().enumerate() {
+        handle.send(j, tag, chunk)?;
+    }
+    let mut out = Vec::with_capacity(p);
+    for j in 0..p {
+        out.push(handle.recv_timeout(j, tag, timeout)?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +209,49 @@ mod tests {
         for (me, got) in results.iter().enumerate() {
             for (j, payload) in got.iter().enumerate() {
                 assert_eq!(payload.as_ref(), &[j as u8, me as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_exchange_matches_reference() {
+        let topo = Topology::new(2, 2);
+        let results = Fabric::run(topo, |mut h| {
+            let me = h.rank() as u8;
+            let chunks: Vec<Bytes> = (0..h.world_size())
+                .map(|j| Bytes::copy_from_slice(&[me, j as u8]))
+                .collect();
+            reference_all_to_all_timeout(
+                &mut h,
+                chunks,
+                chunk_tag(0, lanes::LANE_DISPATCH, 3),
+                std::time::Duration::from_secs(10),
+            )
+            .unwrap()
+        });
+        for (me, got) in results.iter().enumerate() {
+            for (j, payload) in got.iter().enumerate() {
+                assert_eq!(payload.as_ref(), &[j as u8, me as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_tags_never_collide_across_lanes() {
+        // Every (lane, chunk) pair within one tag_base window is distinct,
+        // and windows themselves stay disjoint.
+        let lanes_all = [
+            lanes::LANE_DISPATCH,
+            lanes::LANE_COMBINE,
+            lanes::LANE_BWD_GRAD,
+            lanes::LANE_BWD_RETURN,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for base in [0, TAG_STRIDE, 7 * TAG_STRIDE] {
+            for lane in lanes_all {
+                for chunk in 0..64 {
+                    assert!(seen.insert(chunk_tag(base, lane, chunk)));
+                }
             }
         }
     }

@@ -47,7 +47,10 @@ impl AllToAll for NcclA2A {
                 out[peer] = Some(handle.recv(peer, tag_base)?);
             }
         }
-        Ok(out.into_iter().map(|o| o.expect("all peers received")).collect())
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("all peers received"))
+            .collect())
     }
 
     fn plan(&self, topo: &Topology, input_bytes: u64) -> A2aPlan {

@@ -24,7 +24,9 @@ pub struct PipeA2A {
 impl PipeA2A {
     /// Creates the algorithm with the default 150 µs dual-stream join cost.
     pub fn new() -> Self {
-        PipeA2A { join_overhead: SimTime::from_us(150.0) }
+        PipeA2A {
+            join_overhead: SimTime::from_us(150.0),
+        }
     }
 
     /// Overrides the dual-stream join overhead.
@@ -77,7 +79,10 @@ impl AllToAll for PipeA2A {
                 out[peer] = Some(handle.recv(peer, tag_base)?);
             }
         }
-        Ok(out.into_iter().map(|o| o.expect("all peers received")).collect())
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("all peers received"))
+            .collect())
     }
 
     fn plan(&self, topo: &Topology, input_bytes: u64) -> A2aPlan {
@@ -132,8 +137,7 @@ mod tests {
         let per = s / 32;
         let alg = PipeA2A::new();
         let t = crate::a2a_time(&alg, &topo, &hw, s).unwrap();
-        let intra =
-            hw.self_copy(per).as_secs() + 3.0 * hw.intra_sr(per).as_secs();
+        let intra = hw.self_copy(per).as_secs() + 3.0 * hw.intra_sr(per).as_secs();
         let inter = 28.0 * hw.inter_sr(per).as_secs();
         let expected = intra.max(inter) + alg.join_overhead.as_secs();
         assert!(

@@ -161,12 +161,8 @@ impl A2aPlan {
                 phase_ops.push(id);
             }
             if pi + 1 < self.phases.len() {
-                prev_barrier = Some(sim.push(
-                    sync_stream,
-                    hw.phase_sync,
-                    &phase_ops,
-                    format!("sync{pi}"),
-                ));
+                prev_barrier =
+                    Some(sim.push(sync_stream, hw.phase_sync, &phase_ops, format!("sync{pi}")));
             }
         }
         sim.run()
@@ -231,7 +227,10 @@ mod tests {
         };
         let plan = A2aPlan::new(
             "test",
-            vec![vec![mk(StreamAssignment::Main, 1), mk(StreamAssignment::Secondary, 2)]],
+            vec![vec![
+                mk(StreamAssignment::Main, 1),
+                mk(StreamAssignment::Secondary, 2),
+            ]],
         );
         let trace = plan.simulate(&topo, &hw()).unwrap();
         let intra = hw().intra_sr(10_000_000);
@@ -272,7 +271,11 @@ mod tests {
             exclusive_intra: false,
         };
         let shared = base.duration(&topo, &hw());
-        let exclusive = SrOp { exclusive_intra: true, ..base }.duration(&topo, &hw());
+        let exclusive = SrOp {
+            exclusive_intra: true,
+            ..base
+        }
+        .duration(&topo, &hw());
         assert!(exclusive < shared);
     }
 

@@ -75,7 +75,10 @@ pub fn all_gather(
         let origin = (me + p - 1 - step) % p;
         out[origin] = Some(carry.clone());
     }
-    Ok(out.into_iter().map(|o| o.expect("ring delivered all")).collect())
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("ring delivered all"))
+        .collect())
 }
 
 /// Reduce-scatter over f32 buffers: after the call, this rank's slice
@@ -172,8 +175,7 @@ mod tests {
             let topo = Topology::new(nodes, gpus);
             for root in [0usize, topo.world_size() - 1] {
                 let results = Fabric::run(topo, |mut h| {
-                    let payload = (h.rank() == root)
-                        .then(|| Bytes::from(format!("from-{root}")));
+                    let payload = (h.rank() == root).then(|| Bytes::from(format!("from-{root}")));
                     broadcast(&mut h, root, payload, 3).unwrap()
                 });
                 for (r, got) in results.iter().enumerate() {

@@ -9,8 +9,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use schemoe_cluster::{Fabric, Topology};
 use schemoe_collectives::{
-    reference_all_to_all, AllToAll, NcclA2A, OneDimHierA2A, PipeA2A, TwoDimHierA2A,
-    TAG_STRIDE,
+    reference_all_to_all, AllToAll, NcclA2A, OneDimHierA2A, PipeA2A, TwoDimHierA2A, TAG_STRIDE,
 };
 
 /// Deterministic payload for (src, dst) derived from a run seed.
@@ -25,8 +24,7 @@ fn payload(seed: u64, src: usize, dst: usize) -> Bytes {
 fn run_alg(alg: &dyn AllToAll, topo: Topology, seed: u64, tag: u64) -> Vec<Vec<Bytes>> {
     Fabric::run(topo, |mut h| {
         let me = h.rank();
-        let chunks: Vec<Bytes> =
-            (0..h.world_size()).map(|j| payload(seed, me, j)).collect();
+        let chunks: Vec<Bytes> = (0..h.world_size()).map(|j| payload(seed, me, j)).collect();
         alg.all_to_all(&mut h, chunks, tag).unwrap()
     })
 }

@@ -15,7 +15,11 @@ pub fn f32_to_f16_bits(v: f32) -> u16 {
 
     if exp == 0xff {
         // Inf or NaN.
-        return if mant == 0 { sign | 0x7c00 } else { sign | 0x7e00 };
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00
+        };
     }
     // Re-bias: f32 bias 127, f16 bias 15.
     let unbiased = exp - 127;
@@ -41,9 +45,11 @@ pub fn f32_to_f16_bits(v: f32) -> u16 {
         }
         return sign | ((e as u16) << 10) | (m as u16);
     }
-    if unbiased >= -24 {
-        // Subnormal half.
-        let shift = (-14 - unbiased) as u32; // 1..=10
+    if unbiased >= -25 {
+        // Subnormal half. Inputs with unbiased exponent -25 sit between
+        // zero and the smallest subnormal 2^-24; the same rounding picks
+        // the nearer of the two (ties to the even pattern, zero).
+        let shift = (-14 - unbiased) as u32; // 1..=11
         let full = mant | 0x0080_0000; // implicit leading 1
         let total_shift = 13 + shift;
         let mut m = full >> total_shift;
@@ -66,8 +72,10 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
     let bits = match (exp, mant) {
         (0, 0) => sign,
         (0, m) => {
-            // Subnormal: normalize.
-            let mut e = -1i32;
+            // Subnormal, value m·2^-24: normalize so that a mantissa
+            // whose highest set bit is j lands on unbiased exponent
+            // j - 24 (biased 103 + j).
+            let mut e = 0i32;
             let mut m = m;
             while m & 0x400 == 0 {
                 m <<= 1;
@@ -169,11 +177,31 @@ mod tests {
 
     #[test]
     fn subnormal_halves_round_trip() {
-        // 2^-24 is the smallest positive half subnormal.
-        let v = 5.9604645e-8f32;
+        // 2^-24 is the smallest positive half subnormal: pattern 0x0001.
+        let v = (-24f32).exp2();
+        assert_eq!(f32_to_f16_bits(v), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), v);
         let back = f16_bits_to_f32(f32_to_f16_bits(v));
-        assert!((back - v).abs() <= v, "v={v} back={back}");
-        assert!(back > 0.0);
+        assert_eq!(back, v, "v={v} back={back}");
+        // The largest subnormal, 1023·2^-24, is exact as well.
+        let big = 1023.0 * v;
+        assert_eq!(f32_to_f16_bits(big), 0x03ff);
+        assert_eq!(f16_bits_to_f32(0x03ff), big);
+    }
+
+    #[test]
+    fn values_just_below_min_subnormal_round_up_not_flush() {
+        // (2^-25, 2^-24) is nearer the smallest subnormal than zero.
+        let v = 1.5f32 * (-25f32).exp2();
+        assert_eq!(f32_to_f16_bits(v), 0x0001);
+        assert_eq!(f32_to_f16_bits(-v), 0x8001);
+        // Exactly 2^-25 is the midpoint: ties-to-even flushes to ±0.
+        let mid = (-25f32).exp2();
+        assert_eq!(f32_to_f16_bits(mid), 0x0000);
+        assert_eq!(f32_to_f16_bits(-mid), 0x8000);
+        // One ulp above the midpoint rounds up to the smallest subnormal.
+        let above = f32::from_bits(mid.to_bits() + 1);
+        assert_eq!(f32_to_f16_bits(above), 0x0001);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Compressor for Int8Compressor {
             });
         }
         let scale = f32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
-        Ok(payload[4..].iter().map(|&b| (b as i8) as f32 * scale).collect())
+        Ok(payload[4..]
+            .iter()
+            .map(|&b| (b as i8) as f32 * scale)
+            .collect())
     }
 
     fn compressed_len(&self, n_elems: usize) -> usize {

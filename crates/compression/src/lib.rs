@@ -53,10 +53,11 @@ pub enum CompressionError {
 impl fmt::Display for CompressionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CompressionError::CorruptPayload { codec, expected, actual } => write!(
-                f,
-                "{codec}: payload of {actual} bytes, expected {expected}"
-            ),
+            CompressionError::CorruptPayload {
+                codec,
+                expected,
+                actual,
+            } => write!(f, "{codec}: payload of {actual} bytes, expected {expected}"),
         }
     }
 }
@@ -105,7 +106,9 @@ pub trait Compressor: Send + Sync {
 /// Panics if the codec rejects its own output.
 pub fn roundtrip_max_error(codec: &dyn Compressor, data: &[f32]) -> f32 {
     let wire = codec.compress(data);
-    let back = codec.decompress(&wire, data.len()).expect("self round-trip");
+    let back = codec
+        .decompress(&wire, data.len())
+        .expect("self round-trip");
     data.iter()
         .zip(back.iter())
         .map(|(a, b)| (a - b).abs())
@@ -123,7 +126,11 @@ mod tests {
         let int8 = Int8Compressor;
         assert!(int8.ratio() > 3.5, "INT8 ratio {}", int8.ratio());
         let zfp = ZfpCompressor::default();
-        assert!((zfp.ratio() - 4.0).abs() < 0.05, "ZFP ratio {}", zfp.ratio());
+        assert!(
+            (zfp.ratio() - 4.0).abs() < 0.05,
+            "ZFP ratio {}",
+            zfp.ratio()
+        );
     }
 
     #[test]

@@ -237,7 +237,10 @@ mod tests {
         let coarse = roundtrip_max_error(&ZfpCompressor::new(5), &data);
         let medium = roundtrip_max_error(&ZfpCompressor::new(7), &data);
         let fine = roundtrip_max_error(&ZfpCompressor::new(12), &data);
-        assert!(fine < medium && medium < coarse, "{fine} < {medium} < {coarse}");
+        assert!(
+            fine < medium && medium < coarse,
+            "{fine} < {medium} < {coarse}"
+        );
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Property-based tests for the fp16 codec's edge cases, checked against
+//! an independent round-to-nearest-even reference built on the half grid.
+//!
+//! The reference encoder never mirrors the bit-twiddling of the
+//! implementation: it binary-searches the actual f16 value grid (bit
+//! patterns of non-negative finite halves are monotone in value) and
+//! compares against midpoints, which are exactly representable in f64, so
+//! every nearest/tie decision is exact.
+
+use proptest::prelude::*;
+use schemoe_compression::{f16_bits_to_f32, f32_to_f16_bits, Compressor, Fp16Compressor};
+
+const MAX_FINITE: u16 = 0x7bff; // 65504.0
+const QNAN: u16 = 0x7e00;
+
+/// Reference nearest-even encoder over the decoded half grid.
+fn reference_f32_to_f16_bits(v: f32) -> u16 {
+    let sign = if v.is_sign_negative() { 0x8000u16 } else { 0 };
+    if v.is_nan() {
+        return sign | QNAN;
+    }
+    let a = v.abs() as f64;
+    let val = |p: u16| f16_bits_to_f32(p) as f64;
+    let top = val(MAX_FINITE);
+    if a >= top {
+        // The grid point after 65504 would be 65536 (top-binade spacing
+        // 32); its midpoint 65520 is exact in f64. The tie goes to the
+        // even pattern, which is infinity (0x7c00).
+        let mid = top + 16.0;
+        return if a >= mid {
+            sign | 0x7c00
+        } else {
+            sign | MAX_FINITE
+        };
+    }
+    // Find lo with val(lo) <= a < val(lo + 1).
+    let (mut lo, mut hi) = (0u16, MAX_FINITE);
+    while hi - lo > 1 {
+        let m = lo + (hi - lo) / 2;
+        if val(m) <= a {
+            lo = m;
+        } else {
+            hi = m;
+        }
+    }
+    // Midpoints carry one extra significand bit over the grid, still
+    // exact in f64, so these comparisons decide rounding exactly.
+    let mid = (val(lo) + val(lo + 1)) / 2.0;
+    let pick = if a < mid {
+        lo
+    } else if a > mid {
+        lo + 1
+    } else if lo & 1 == 0 {
+        lo // tie: the even pattern
+    } else {
+        lo + 1
+    };
+    sign | pick
+}
+
+fn check_against_reference(v: f32) {
+    let got = f32_to_f16_bits(v);
+    let want = reference_f32_to_f16_bits(v);
+    assert_eq!(
+        got,
+        want,
+        "encode({v}) = {got:#06x}, reference says {want:#06x} (bits {:#010x})",
+        v.to_bits()
+    );
+}
+
+/// All 65536 half patterns decode/re-encode exactly (NaNs canonicalize).
+#[test]
+fn exhaustive_half_grid_round_trips() {
+    for h in 0..=u16::MAX {
+        let v = f16_bits_to_f32(h);
+        let back = f32_to_f16_bits(v);
+        let is_nan = (h >> 10) & 0x1f == 0x1f && h & 0x3ff != 0;
+        if is_nan {
+            assert!(v.is_nan(), "pattern {h:#06x} should decode to NaN");
+            assert_eq!(back, (h & 0x8000) | QNAN, "NaN {h:#06x} canonicalizes");
+        } else {
+            assert_eq!(back, h, "pattern {h:#06x} decoded to {v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary f32 bit patterns — including NaN payloads, infinities,
+    /// and f32 subnormals — encode exactly as the reference says.
+    #[test]
+    fn arbitrary_bits_match_reference(bits in 0u32..=u32::MAX) {
+        check_against_reference(f32::from_bits(bits));
+    }
+
+    /// The subnormal/underflow boundary: f32 exponents spanning below,
+    /// across, and above the half-subnormal range (unbiased -31..=-10),
+    /// with low mantissa bits forced onto and around tie patterns.
+    #[test]
+    fn subnormal_boundary_matches_reference(
+        sign in 0u32..2,
+        exp in 96u32..=117,
+        hi in 0u32..=0x3ff,
+        low_idx in 0usize..5,
+    ) {
+        let low = [0u32, 0x0fff, 0x1000, 0x1001, 0x1fff][low_idx];
+        let bits = (sign << 31) | (exp << 23) | (hi << 13) | low;
+        check_against_reference(f32::from_bits(bits));
+    }
+
+    /// Mantissa overflow into the exponent: near-all-ones mantissas that
+    /// round up and carry, across the whole half range including the
+    /// overflow-to-infinity edge at unbiased +15.
+    #[test]
+    fn mantissa_carry_matches_reference(
+        sign in 0u32..2,
+        exp in 96u32..=145,
+        mant in 0x7fc000u32..=0x7fffff,
+    ) {
+        let bits = (sign << 31) | (exp << 23) | mant;
+        check_against_reference(f32::from_bits(bits));
+    }
+
+    /// Ties-to-even: discarded bits exactly 0b1_0000_0000_0000 keep an
+    /// even retained mantissa and bump an odd one.
+    #[test]
+    fn exact_ties_round_to_even(
+        sign in 0u32..2,
+        exp in 113u32..=141,
+        hi in 0u32..=0x3ff,
+    ) {
+        let bits = (sign << 31) | (exp << 23) | (hi << 13) | 0x1000;
+        let v = f32::from_bits(bits);
+        check_against_reference(v);
+        // Independent of the reference: the retained mantissa is even.
+        let h = f32_to_f16_bits(v);
+        if (h >> 10) & 0x1f != 0x1f {
+            prop_assert_eq!(h & 1, 0, "tie {:e} kept odd mantissa {:#06x}", v, h);
+        }
+    }
+
+    /// Encoding is idempotent: re-encoding the decoded half reproduces it.
+    #[test]
+    fn encode_is_idempotent(bits in 0u32..=u32::MAX) {
+        let h = f32_to_f16_bits(f32::from_bits(bits));
+        prop_assert_eq!(f32_to_f16_bits(f16_bits_to_f32(h)), h);
+    }
+
+    /// Normal-range relative error stays within a half ulp, 2^-11.
+    #[test]
+    fn normal_range_relative_error_bound(
+        sign in 0u32..2,
+        exp in 113u32..=142,
+        mant in 0u32..=0x7fffff,
+    ) {
+        let v = f32::from_bits((sign << 31) | (exp << 23) | mant);
+        let back = f16_bits_to_f32(f32_to_f16_bits(v));
+        if back.is_finite() {
+            let rel = ((back as f64 - v as f64) / v as f64).abs();
+            prop_assert!(rel <= 1.0 / 2048.0, "v={} back={} rel={}", v, back, rel);
+        } else {
+            // Only the overflow tail of the top binade may saturate.
+            prop_assert!(v.abs() >= 65520.0, "v={} saturated early", v);
+        }
+    }
+
+    /// The streaming codec agrees elementwise with the scalar conversion.
+    #[test]
+    fn codec_matches_scalar_conversion(bits in proptest::collection::vec(0u32..=u32::MAX, 0..64)) {
+        let data: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let c = Fp16Compressor;
+        let back = c.decompress(&c.compress(&data), data.len()).unwrap();
+        for (i, (&v, &b)) in data.iter().zip(back.iter()).enumerate() {
+            let want = f16_bits_to_f32(f32_to_f16_bits(v));
+            if want.is_nan() {
+                prop_assert!(b.is_nan(), "elem {}: {} -> {}", i, v, b);
+            } else {
+                prop_assert_eq!(b.to_bits(), want.to_bits(), "elem {}: {}", i, v);
+            }
+        }
+    }
+}

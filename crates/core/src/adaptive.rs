@@ -148,12 +148,7 @@ impl AdaptiveScheMoe {
 
     /// Executes (simulates) the layer at the predicted-best degree and
     /// returns the realized time.
-    pub fn layer_time(
-        &self,
-        shape: &LayerShape,
-        topo: &Topology,
-        hw: &HardwareProfile,
-    ) -> SimTime {
+    pub fn layer_time(&self, shape: &LayerShape, topo: &Topology, hw: &HardwareProfile) -> SimTime {
         let r = self.choose_degree(shape);
         let costs = shape.costs(self.compression_ratio);
         let tasks = costs.task_set(topo, hw, &PipeA2A::new(), r);
@@ -254,8 +249,14 @@ mod tests {
         let mut sys = AdaptiveScheMoe::new();
         sys.calibrate(&topo, &hw);
         for kind in [TaskKind::Compress1, TaskKind::AllToAll1, TaskKind::Expert] {
-            assert!(sys.profiler().sample_count(kind) >= 4, "{kind:?} undersampled");
-            assert!(sys.profiler().model(kind).is_some(), "{kind:?} unidentifiable");
+            assert!(
+                sys.profiler().sample_count(kind) >= 4,
+                "{kind:?} undersampled"
+            );
+            assert!(
+                sys.profiler().model(kind).is_some(),
+                "{kind:?} unidentifiable"
+            );
         }
     }
 }

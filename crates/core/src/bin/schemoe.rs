@@ -91,7 +91,9 @@ fn flag_num<T: std::str::FromStr>(
     default: Option<T>,
 ) -> Result<T, String> {
     match flags.get(name) {
-        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse '{v}'")),
         None => default.ok_or_else(|| format!("missing required flag --{name}")),
     }
 }
@@ -123,8 +125,9 @@ fn model(name: &str) -> Result<MoeModelConfig, String> {
         "bert-large-moe" => Ok(MoeModelConfig::bert_large_moe()),
         other => {
             if let Some(layers) = other.strip_prefix("ct-moe-") {
-                let layers: usize =
-                    layers.parse().map_err(|_| format!("bad layer count in '{other}'"))?;
+                let layers: usize = layers
+                    .parse()
+                    .map_err(|_| format!("bad layer count in '{other}'"))?;
                 if layers == 0 {
                     return Err("ct-moe needs at least one layer".to_string());
                 }
@@ -168,9 +171,18 @@ fn cmd_info() -> Result<(), String> {
             m.a2a_bytes()
         );
     }
-    println!("\nregistered compressors: {:?}", CompressorRegistry::with_builtins().names());
-    println!("registered A2A algos:   {:?}", A2aRegistry::with_builtins().names());
-    println!("registered schedules:   {:?}", ScheduleRegistry::with_builtins().names());
+    println!(
+        "\nregistered compressors: {:?}",
+        CompressorRegistry::with_builtins().names()
+    );
+    println!(
+        "registered A2A algos:   {:?}",
+        A2aRegistry::with_builtins().names()
+    );
+    println!(
+        "registered schedules:   {:?}",
+        ScheduleRegistry::with_builtins().names()
+    );
     Ok(())
 }
 
@@ -191,7 +203,10 @@ fn cmd_estimate(flags: &HashMap<String, String>) -> Result<(), String> {
         m.total_params() as f64 / 1e6,
         m.a2a_bytes()
     );
-    println!("{:>12} {:>12} {:>12} {:>8} {:>12}", "system", "step", "a2a", "ratio", "memory");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8} {:>12}",
+        "system", "step", "a2a", "ratio", "memory"
+    );
     for name in system_names {
         let sys = system(name)?;
         match model_step_time(sys.as_ref(), &m, &topo, &hw) {
@@ -235,7 +250,10 @@ fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
         shape.a2a_bytes(),
         shape.expert_flops() / 1_000_000_000
     );
-    println!("{:>12} {:>14} {:>14} {:>9}", "system", "fwd", "fwd+bwd", "speedup");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "system", "fwd", "fwd+bwd", "speedup"
+    );
     let base = NaiveSystem::new().layer_time(&shape, &topo, &hw);
     for name in ["naive", "faster-moe", "tutel", "schemoe-nz", "schemoe"] {
         let sys = system(name)?;
@@ -257,7 +275,11 @@ fn cmd_a2a(flags: &HashMap<String, String>) -> Result<(), String> {
     let hw = profile(flags)?;
     let topo = Topology::paper_testbed();
     let reg = A2aRegistry::with_builtins();
-    println!("all-to-all of {bytes} bytes/GPU on {} ({} GPUs):", hw.name, topo.world_size());
+    println!(
+        "all-to-all of {bytes} bytes/GPU on {} ({} GPUs):",
+        hw.name,
+        topo.world_size()
+    );
     for name in reg.names() {
         let alg = reg.create(&name).expect("listed");
         if !schemoe_collectives::a2a_fits_memory(alg.as_ref(), &topo, &hw, bytes, 1 << 30) {
@@ -348,13 +370,18 @@ mod tests {
     use super::*;
 
     fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
     fn flag_parsing_accepts_pairs_and_rejects_garbage() {
-        let args: Vec<String> =
-            ["--model", "ct-moe-12", "--system", "schemoe"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--model", "ct-moe-12", "--system", "schemoe"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let f = parse_flags(&args).unwrap();
         assert_eq!(f.get("model").unwrap(), "ct-moe-12");
         assert!(parse_flags(&["stray".to_string()]).is_err());
@@ -378,7 +405,10 @@ mod tests {
         assert!(system("deepspeed").is_err());
         assert!(profile(&flags(&[("profile", "nvlink")])).is_ok());
         assert!(profile(&flags(&[("profile", "tpu")])).is_err());
-        assert_eq!(profile(&flags(&[])).unwrap().name, "rtx2080ti-8x4-pcie3-ib100");
+        assert_eq!(
+            profile(&flags(&[])).unwrap().name,
+            "rtx2080ti-8x4-pcie3-ib100"
+        );
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Layer shape descriptors shared by every system implementation.
 
+use std::time::Duration;
+
+use schemoe_compression::{Compressor, Fp16Compressor, NoCompression};
+use schemoe_moe::DistributedMoeLayer;
 use serde::{Deserialize, Serialize};
 
 /// The size parameters of one MoE layer on one GPU (paper Table 2).
@@ -55,6 +59,73 @@ impl LayerShape {
     }
 }
 
+/// Runtime configuration of the functional ScheMoE layer.
+///
+/// Bundles the execution knobs of [`DistributedMoeLayer`] — the paper's
+/// pipelining degree `r`, the liveness deadline that turns a silent peer
+/// into a loud [`schemoe_cluster::FabricError::Timeout`], and the wire
+/// codec — so systems, benches, and experiment manifests configure the
+/// layer through one serializable value.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheMoeConfig {
+    /// Token-pipeline partition degree `r`; 1 = serial execution.
+    pub partition_degree: usize,
+    /// Liveness deadline for pipelined receives, in milliseconds
+    /// (`None` = block indefinitely, as plain `recv` does).
+    pub recv_timeout_ms: Option<u64>,
+    /// Compress A2A payloads to fp16 on the wire.
+    pub fp16_wire: bool,
+}
+
+impl ScheMoeConfig {
+    /// Serial execution, no compression: the reference configuration.
+    pub fn serial() -> Self {
+        ScheMoeConfig {
+            partition_degree: 1,
+            recv_timeout_ms: None,
+            fp16_wire: false,
+        }
+    }
+
+    /// Pipelined execution at degree `r` with a 30 s liveness deadline.
+    pub fn overlapped(r: usize) -> Self {
+        ScheMoeConfig {
+            partition_degree: r,
+            recv_timeout_ms: Some(30_000),
+            fp16_wire: false,
+        }
+    }
+
+    /// Enables fp16 wire compression.
+    pub fn with_fp16_wire(mut self) -> Self {
+        self.fp16_wire = true;
+        self
+    }
+
+    /// The receive deadline as a [`Duration`].
+    pub fn recv_timeout(&self) -> Option<Duration> {
+        self.recv_timeout_ms.map(Duration::from_millis)
+    }
+
+    /// The wire codec this configuration selects.
+    pub fn compressor(&self) -> Box<dyn Compressor> {
+        if self.fp16_wire {
+            Box::new(Fp16Compressor)
+        } else {
+            Box::new(NoCompression)
+        }
+    }
+
+    /// Applies the execution knobs to a constructed layer.
+    pub fn configure(&self, layer: DistributedMoeLayer) -> DistributedMoeLayer {
+        let mut layer = layer.with_partition_degree(self.partition_degree);
+        if let Some(t) = self.recv_timeout() {
+            layer = layer.with_recv_timeout(t);
+        }
+        layer
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,7 +146,10 @@ mod tests {
         let s = shape();
         assert_eq!(s.assigned_tokens(), (1.25f64 * 2.0 * 4096.0) as usize);
         assert_eq!(s.a2a_bytes(), s.assigned_tokens() as u64 * 512 * 4);
-        assert_eq!(s.expert_flops(), 4 * s.assigned_tokens() as u64 * 512 * 1024);
+        assert_eq!(
+            s.expert_flops(),
+            4 * s.assigned_tokens() as u64 * 512 * 1024
+        );
     }
 
     #[test]
@@ -99,5 +173,35 @@ mod tests {
     /// `Serialize` impl is exercised through a debug formatter comparison.
     fn serde_json_like(s: &LayerShape) -> String {
         format!("{s:?}")
+    }
+
+    #[test]
+    fn schemoe_config_constructors() {
+        let serial = ScheMoeConfig::serial();
+        assert_eq!(serial.partition_degree, 1);
+        assert_eq!(serial.recv_timeout(), None);
+        assert_eq!(serial.compressor().name(), "fp32");
+
+        let over = ScheMoeConfig::overlapped(4).with_fp16_wire();
+        assert_eq!(over.partition_degree, 4);
+        assert_eq!(over.recv_timeout(), Some(Duration::from_secs(30)));
+        assert_eq!(over.compressor().name(), "fp16");
+    }
+
+    #[test]
+    fn schemoe_config_configures_a_layer() {
+        use schemoe_moe::{Expert, FfExpert, TopKGate};
+        use schemoe_tensor::rng::seeded;
+        let cfg = ScheMoeConfig::overlapped(4);
+        let gate = TopKGate::new(8, 2, 1, 2.0, &mut seeded(1));
+        let experts: Vec<Box<dyn Expert>> = vec![Box::new(FfExpert::new(8, 16, &mut seeded(2)))];
+        let layer = DistributedMoeLayer::new(
+            gate,
+            experts,
+            cfg.compressor(),
+            Box::new(schemoe_collectives::NcclA2A),
+        );
+        let layer = cfg.configure(layer);
+        assert_eq!(layer.partition_degree(), 4);
     }
 }

@@ -42,22 +42,18 @@ pub mod step_time;
 pub mod systems;
 
 pub use adaptive::AdaptiveScheMoe;
-pub use config::LayerShape;
+pub use config::{LayerShape, ScheMoeConfig};
 pub use registry::{A2aRegistry, CompressorRegistry, ScheduleRegistry};
 pub use step_time::{model_step_time, StepEstimate, StepTimeError};
 pub use systems::{FasterMoeEmu, MoeSystem, NaiveSystem, ScheMoeSystem, TutelEmu};
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
-    pub use crate::config::LayerShape;
+    pub use crate::config::{LayerShape, ScheMoeConfig};
     pub use crate::step_time::{model_step_time, StepEstimate, StepTimeError};
-    pub use crate::systems::{
-        FasterMoeEmu, MoeSystem, NaiveSystem, ScheMoeSystem, TutelEmu,
-    };
+    pub use crate::systems::{FasterMoeEmu, MoeSystem, NaiveSystem, ScheMoeSystem, TutelEmu};
     pub use schemoe_cluster::{Fabric, HardwareProfile, MemoryBudget, RankHandle, Topology};
-    pub use schemoe_collectives::{
-        AllToAll, NcclA2A, OneDimHierA2A, PipeA2A, TwoDimHierA2A,
-    };
+    pub use schemoe_collectives::{AllToAll, NcclA2A, OneDimHierA2A, PipeA2A, TwoDimHierA2A};
     pub use schemoe_compression::{
         Compressor, Fp16Compressor, Int8Compressor, NoCompression, ZfpCompressor,
     };

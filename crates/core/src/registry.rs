@@ -171,7 +171,10 @@ mod tests {
             CompressorRegistry::with_builtins().names(),
             vec!["fp16", "fp32", "int8", "zfp"]
         );
-        assert_eq!(A2aRegistry::with_builtins().names(), vec!["1dh", "2dh", "nccl", "pipe"]);
+        assert_eq!(
+            A2aRegistry::with_builtins().names(),
+            vec!["1dh", "2dh", "nccl", "pipe"]
+        );
         assert_eq!(
             ScheduleRegistry::with_builtins().names(),
             vec!["optsche", "stage-major"]
@@ -184,7 +187,10 @@ mod tests {
         reg.register("zfp-hi", || Box::new(ZfpCompressor::new(12)));
         let codec = reg.create("zfp-hi").unwrap();
         assert_eq!(codec.name(), "zfp");
-        assert!(codec.ratio() < 4.0, "12-bit mantissas compress less than 4x");
+        assert!(
+            codec.ratio() < 4.0,
+            "12-bit mantissas compress less than 4x"
+        );
         assert!(reg.create("nonexistent").is_none());
     }
 
@@ -204,9 +210,12 @@ mod tests {
     #[test]
     fn created_a2a_instances_have_expected_names() {
         let reg = A2aRegistry::with_builtins();
-        for (key, name) in
-            [("nccl", "nccl-a2a"), ("1dh", "1dh-a2a"), ("2dh", "2dh-a2a"), ("pipe", "pipe-a2a")]
-        {
+        for (key, name) in [
+            ("nccl", "nccl-a2a"),
+            ("1dh", "1dh-a2a"),
+            ("2dh", "2dh-a2a"),
+            ("pipe", "pipe-a2a"),
+        ] {
             assert_eq!(reg.create(key).unwrap().name(), name);
         }
     }

@@ -80,7 +80,10 @@ pub fn model_step_time(
 
     // Memory first: a model that does not fit produces no timing.
     let mut budget = MemoryBudget::new(hw.gpu_mem_bytes);
-    budget.add("model state (params+grads+Adam)", model.memory_per_gpu(topo.world_size()));
+    budget.add(
+        "model state (params+grads+Adam)",
+        model.memory_per_gpu(topo.world_size()),
+    );
     budget.add(
         "dispatch/combine buffers",
         model.layers as u64 * system.layer_buffer_bytes(&shape, topo),
@@ -107,7 +110,13 @@ pub fn model_step_time(
     let dense_fwd = hw.gemm.time(model.dense_flops());
     let dense = (dense_fwd * 3.0 + hw.layer_overhead * 2.0) * model.layers as f64;
 
-    Ok(StepEstimate { step: moe + dense, moe, a2a, dense, memory: budget })
+    Ok(StepEstimate {
+        step: moe + dense,
+        moe,
+        a2a,
+        dense,
+        memory: budget,
+    })
 }
 
 #[cfg(test)]
@@ -162,7 +171,9 @@ mod tests {
                 .unwrap()
                 .step;
             let t = model_step_time(&TutelEmu, &model, &topo, &hw).unwrap().step;
-            let f = model_step_time(&FasterMoeEmu, &model, &topo, &hw).unwrap().step;
+            let f = model_step_time(&FasterMoeEmu, &model, &topo, &hw)
+                .unwrap()
+                .step;
             assert!(s < t, "x={layers}: ScheMoE {s} !< Tutel {t}");
             assert!(t < f, "x={layers}: Tutel {t} !< Faster-MoE {f}");
             let speedup = t / s;

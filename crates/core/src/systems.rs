@@ -7,7 +7,7 @@ use schemoe_scheduler::backward::backward_task_set;
 use schemoe_scheduler::schedules::{naive_makespan, optsche};
 use schemoe_scheduler::Schedule;
 
-use crate::config::LayerShape;
+use crate::config::{LayerShape, ScheMoeConfig};
 
 /// A complete MoE execution strategy: codec + A2A algorithm + schedule.
 ///
@@ -28,8 +28,12 @@ pub trait MoeSystem: Send + Sync {
     fn a2a(&self) -> Box<dyn AllToAll>;
 
     /// The input-partition degree and schedule used for a layer.
-    fn schedule(&self, shape: &LayerShape, topo: &Topology, hw: &HardwareProfile)
-        -> Option<(usize, Schedule)>;
+    fn schedule(
+        &self,
+        shape: &LayerShape,
+        topo: &Topology,
+        hw: &HardwareProfile,
+    ) -> Option<(usize, Schedule)>;
 
     /// Simulated time of one MoE layer pass.
     ///
@@ -95,8 +99,12 @@ impl MoeSystem for NaiveSystem {
         Box::new(NcclA2A)
     }
 
-    fn schedule(&self, _: &LayerShape, _: &Topology, _: &HardwareProfile)
-        -> Option<(usize, Schedule)> {
+    fn schedule(
+        &self,
+        _: &LayerShape,
+        _: &Topology,
+        _: &HardwareProfile,
+    ) -> Option<(usize, Schedule)> {
         None
     }
 }
@@ -129,8 +137,12 @@ impl MoeSystem for TutelEmu {
         Box::new(NcclA2A)
     }
 
-    fn schedule(&self, shape: &LayerShape, topo: &Topology, hw: &HardwareProfile)
-        -> Option<(usize, Schedule)> {
+    fn schedule(
+        &self,
+        shape: &LayerShape,
+        topo: &Topology,
+        hw: &HardwareProfile,
+    ) -> Option<(usize, Schedule)> {
         // Heuristic degree search over {1, 2, 4, 8} with the chunk
         // pipeline, minimizing predicted makespan.
         let costs = shape.costs(1.0);
@@ -171,8 +183,12 @@ impl MoeSystem for FasterMoeEmu {
         Box::new(NcclA2A)
     }
 
-    fn schedule(&self, _: &LayerShape, _: &Topology, _: &HardwareProfile)
-        -> Option<(usize, Schedule)> {
+    fn schedule(
+        &self,
+        _: &LayerShape,
+        _: &Topology,
+        _: &HardwareProfile,
+    ) -> Option<(usize, Schedule)> {
         Some((2, optsche(2)))
     }
 
@@ -204,18 +220,48 @@ pub struct ScheMoeSystem {
 impl ScheMoeSystem {
     /// The paper's configuration: ZFP at 4×, degrees {1, 2, 4, 8}.
     pub fn default_config() -> Self {
-        ScheMoeSystem { compression_ratio: 4.0, degrees: [1, 2, 4, 8] }
+        ScheMoeSystem {
+            compression_ratio: 4.0,
+            degrees: [1, 2, 4, 8],
+        }
     }
 
     /// ScheMoE without compression (the `w/o ZFP` ablation arm).
     pub fn without_compression() -> Self {
-        ScheMoeSystem { compression_ratio: 1.0, degrees: [1, 2, 4, 8] }
+        ScheMoeSystem {
+            compression_ratio: 1.0,
+            degrees: [1, 2, 4, 8],
+        }
     }
 
     /// Overrides the compression ratio.
     pub fn with_compression_ratio(mut self, ratio: f64) -> Self {
         self.compression_ratio = ratio;
         self
+    }
+
+    /// The functional-layer configuration for `shape` on this cluster:
+    /// the partition degree the simulator search selects, a 30 s liveness
+    /// deadline, and fp16 wire compression whenever the system compresses.
+    ///
+    /// This is the bridge from the performance substrate to the functional
+    /// one — the degree that minimizes *predicted* layer time is the degree
+    /// the real [`schemoe_moe::DistributedMoeLayer`] pipeline runs at.
+    pub fn functional_config(
+        &self,
+        shape: &LayerShape,
+        topo: &Topology,
+        hw: &HardwareProfile,
+    ) -> ScheMoeConfig {
+        let (r, _) = self
+            .schedule(shape, topo, hw)
+            .expect("ScheMoE always schedules");
+        let cfg = ScheMoeConfig::overlapped(r);
+        if self.compression_ratio > 1.0 {
+            cfg.with_fp16_wire()
+        } else {
+            cfg
+        }
     }
 }
 
@@ -232,8 +278,12 @@ impl MoeSystem for ScheMoeSystem {
         Box::new(PipeA2A::new())
     }
 
-    fn schedule(&self, shape: &LayerShape, topo: &Topology, hw: &HardwareProfile)
-        -> Option<(usize, Schedule)> {
+    fn schedule(
+        &self,
+        shape: &LayerShape,
+        topo: &Topology,
+        hw: &HardwareProfile,
+    ) -> Option<(usize, Schedule)> {
         // OptSche gives the optimal order for any fixed r (Theorem 1);
         // choosing r is the orthogonal problem the paper defers to
         // profiling — here: pick the degree with the best predicted time.
@@ -273,6 +323,23 @@ mod tests {
     }
 
     #[test]
+    fn functional_config_mirrors_the_degree_search() {
+        let (topo, hw) = env();
+        let shape = ablation_shape();
+        let sys = ScheMoeSystem::default_config();
+        let (r, _) = sys.schedule(&shape, &topo, &hw).unwrap();
+        let cfg = sys.functional_config(&shape, &topo, &hw);
+        assert_eq!(cfg.partition_degree, r);
+        assert!(cfg.fp16_wire, "compressing system selects a wire codec");
+        assert!(
+            cfg.recv_timeout().is_some(),
+            "pipeline always has a deadline"
+        );
+        let plain = ScheMoeSystem::without_compression().functional_config(&shape, &topo, &hw);
+        assert!(!plain.fp16_wire);
+    }
+
+    #[test]
     fn schemoe_beats_every_baseline_on_the_ablation_layer() {
         let (topo, hw) = env();
         let shape = ablation_shape();
@@ -291,7 +358,9 @@ mod tests {
     fn naive_time_matches_table10_scale() {
         // Table 10: Naive ≈ 2401 ms (forward pass of the ablation layer).
         let (topo, hw) = env();
-        let t = NaiveSystem.layer_time(&ablation_shape(), &topo, &hw).as_ms();
+        let t = NaiveSystem
+            .layer_time(&ablation_shape(), &topo, &hw)
+            .as_ms();
         assert!(
             (1400.0..3400.0).contains(&t),
             "Naive ablation-layer time {t:.0} ms should be near 2.4 s"
@@ -328,7 +397,10 @@ mod tests {
         let capped = TutelEmu.layer_buffer_bytes(&shape, &topo);
         let uncapped = FasterMoeEmu.layer_buffer_bytes(&shape, &topo);
         // Headroom provisioning is 4/f ≈ 3.3× larger.
-        assert!(uncapped > 2 * capped, "uncapped {uncapped} vs capped {capped}");
+        assert!(
+            uncapped > 2 * capped,
+            "uncapped {uncapped} vs capped {capped}"
+        );
     }
 
     #[test]
@@ -336,6 +408,9 @@ mod tests {
         let (topo, hw) = env();
         let shape = ablation_shape();
         let (r, _) = TutelEmu.schedule(&shape, &topo, &hw).unwrap();
-        assert!(r >= 2, "on a comm-heavy layer Tutel should pipeline, chose r={r}");
+        assert!(
+            r >= 2,
+            "on a comm-heavy layer Tutel should pipeline, chose r={r}"
+        );
     }
 }

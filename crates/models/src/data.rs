@@ -109,7 +109,10 @@ impl RegimeMarkov {
         let mut rows = 0usize;
         for regime in &self.transitions {
             for row in regime {
-                h -= row.iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum::<f32>();
+                h -= row
+                    .iter()
+                    .map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 })
+                    .sum::<f32>();
                 rows += 1;
             }
         }
@@ -136,7 +139,11 @@ impl CopyTranslation {
             let j = rng.gen_range(0..=i);
             mapping.swap(i, j);
         }
-        CopyTranslation { vocab, src_len, mapping }
+        CopyTranslation {
+            vocab,
+            src_len,
+            mapping,
+        }
     }
 
     /// Content vocabulary size (the separator id is `vocab`).
@@ -162,7 +169,9 @@ impl CopyTranslation {
     /// Samples one `src SEP tgt` sequence.
     pub fn sample(&self, rng: &mut SmallRng) -> Vec<usize> {
         let mut seq = Vec::with_capacity(self.seq_len());
-        let src: Vec<usize> = (0..self.src_len).map(|_| rng.gen_range(0..self.vocab)).collect();
+        let src: Vec<usize> = (0..self.src_len)
+            .map(|_| rng.gen_range(0..self.vocab))
+            .collect();
         seq.extend(&src);
         seq.push(self.sep());
         seq.extend(src.iter().map(|&t| self.mapping[t]));
@@ -184,7 +193,11 @@ impl CopyTranslation {
     /// Only target-half positions (after the separator) count: the source
     /// half is unpredictable noise by construction.
     pub fn target_accuracy(&self, sequence: &[usize], predictions: &[usize]) -> f32 {
-        assert_eq!(predictions.len(), sequence.len() - 1, "one prediction per next token");
+        assert_eq!(
+            predictions.len(),
+            sequence.len() - 1,
+            "one prediction per next token"
+        );
         let first_target = self.src_len + 1; // position of the first target token
         let mut hit = 0usize;
         let mut total = 0usize;
@@ -240,7 +253,10 @@ mod tests {
             }
         }
         let rate = hits as f32 / (seq.len() - 1) as f32;
-        assert!(rate > 0.45, "peaked chain should repeat its mode: rate {rate}");
+        assert!(
+            rate > 0.45,
+            "peaked chain should repeat its mode: rate {rate}"
+        );
     }
 
     #[test]

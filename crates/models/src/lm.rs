@@ -2,9 +2,7 @@
 
 use rand::rngs::SmallRng;
 use schemoe_compression::Compressor;
-use schemoe_tensor::nn::{
-    Embedding, LayerNorm, Linear, Module, Param, SoftmaxCrossEntropy,
-};
+use schemoe_tensor::nn::{Embedding, LayerNorm, Linear, Module, Param, SoftmaxCrossEntropy};
 use schemoe_tensor::Tensor;
 
 use crate::block::{FfnKind, TransformerBlock};

@@ -37,7 +37,13 @@ pub struct Trainer {
 
 impl Default for Trainer {
     fn default() -> Self {
-        Trainer { lr: 3e-3, batch: 16, steps: 300, val_batch: 64, data_seed: 99 }
+        Trainer {
+            lr: 3e-3,
+            batch: 16,
+            steps: 300,
+            val_batch: 64,
+            data_seed: 99,
+        }
     }
 }
 
@@ -131,7 +137,10 @@ mod tests {
         let data = RegimeMarkov::new(16, 2, &mut seeded(50));
         let cfg = LmConfig::small(16, 12);
         let mut lm = TinyMoeLm::new(cfg, &mut seeded(51));
-        let trainer = Trainer { steps: 150, ..Default::default() };
+        let trainer = Trainer {
+            steps: 150,
+            ..Default::default()
+        };
         let report = trainer.run_markov(&mut lm, &data);
         let uniform_ppl = 16.0;
         assert!(
@@ -150,7 +159,10 @@ mod tests {
         let data = CopyTranslation::new(12, 5, &mut seeded(52));
         let cfg = LmConfig::small(data.total_vocab(), data.seq_len());
         let mut lm = TinyMoeLm::new(cfg, &mut seeded(53));
-        let trainer = Trainer { steps: 250, ..Default::default() };
+        let trainer = Trainer {
+            steps: 250,
+            ..Default::default()
+        };
         let report = trainer.run_translation(&mut lm, &data);
         let acc = report.bleu_proxy.unwrap();
         // Chance is 1/12 ≈ 0.083; the mapping is learnable well beyond it.

@@ -140,8 +140,7 @@ impl MoeModelConfig {
     /// Total MoE parameters across all layers and experts (plus gates).
     pub fn moe_params(&self) -> u64 {
         self.layers as u64
-            * (self.experts as u64 * self.expert_params()
-                + (self.model_dim * self.experts) as u64)
+            * (self.experts as u64 * self.expert_params() + (self.model_dim * self.experts) as u64)
     }
 
     /// Approximate dense (non-expert) parameters: embeddings, attention,
@@ -177,10 +176,7 @@ impl MoeModelConfig {
     /// with experts sharded across `world` GPUs.
     pub fn memory_per_gpu(&self, world: usize) -> u64 {
         let local_experts = self.experts.div_ceil(world);
-        let expert_state = self.layers as u64
-            * local_experts as u64
-            * self.expert_params()
-            * 16;
+        let expert_state = self.layers as u64 * local_experts as u64 * self.expert_params() * 16;
         let dense_state = self.dense_params() * 16;
         // Activations: a handful of `[tokens, M]` buffers per layer.
         let acts = self.layers as u64 * 8 * self.tokens_per_gpu as u64 * self.model_dim as u64 * 4;

@@ -1,9 +1,15 @@
 //! Expert-parallel MoE execution over the rank fabric.
 
+use std::time::Duration;
+
 use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
 use schemoe_cluster::{FabricError, RankHandle};
-use schemoe_collectives::{AllToAll, TAG_STRIDE};
+use schemoe_collectives::{
+    chunk_tag, lanes, reference_all_to_all, reference_all_to_all_timeout, AllToAll, TAG_STRIDE,
+};
 use schemoe_compression::Compressor;
+use schemoe_scheduler::executor::{run_overlapped, ExecTask, Worker};
 use schemoe_tensor::nn::Param;
 use schemoe_tensor::Tensor;
 
@@ -20,6 +26,16 @@ use crate::gating::{GateDecision, TopKGate};
 /// and shipped back the same way for the weighted combine. Backward
 /// reverses the exchanges (gradients travel uncompressed, matching the
 /// paper's §7 caution about compressing backpropagation).
+///
+/// With [`with_partition_degree`](Self::with_partition_degree) above 1 the
+/// forward runs ScheMoE's *pipelined* schedule instead: the batch's routed
+/// slots are split into `r` chunks and the per-chunk task chain
+/// `C1 → A2A1 → (D1·E·C2) → A2A2 → D2` executes on a two-worker overlap
+/// executor, so chunk `c`'s exchange overlaps chunk `c+1`'s compute (the
+/// paper's OptSche order). The overlapped output is bit-identical to the
+/// serial path: the gate runs once on the whole batch, expert bodies are
+/// row-wise, and the final combine reassembles chunks into exactly the
+/// serial slot order before accumulating.
 pub struct DistributedMoeLayer {
     gate: TopKGate,
     local_experts: Vec<Box<dyn Expert>>,
@@ -27,6 +43,10 @@ pub struct DistributedMoeLayer {
     compressor: Box<dyn Compressor>,
     a2a: Box<dyn AllToAll>,
     cache: Option<Cache>,
+    /// ScheMoE pipelining degree `r`; 1 = serial.
+    partition_degree: usize,
+    /// Liveness deadline for the overlapped path's receives.
+    recv_timeout: Option<Duration>,
 }
 
 struct Cache {
@@ -36,6 +56,10 @@ struct Cache {
     /// Per global expert this rank dispatched to: the returned output rows
     /// in this rank's slot order.
     returned_outputs: Vec<Tensor>,
+    /// Per local expert: the serial-order (src-major) input rows. Only set
+    /// by the overlapped forward, whose experts last saw a single chunk;
+    /// backward recomputes activations from these before differentiating.
+    expert_inputs: Option<Vec<Tensor>>,
     n: usize,
     tag_base: u64,
 }
@@ -64,7 +88,36 @@ impl DistributedMoeLayer {
             compressor,
             a2a,
             cache: None,
+            partition_degree: 1,
+            recv_timeout: None,
         }
+    }
+
+    /// Sets the pipelining degree `r` (the paper's token-chunk count).
+    ///
+    /// `1` keeps the serial forward; larger degrees run the overlapped
+    /// pipeline. Degrees above the batch size simply yield empty chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn with_partition_degree(mut self, degree: usize) -> Self {
+        assert!(degree >= 1, "partition degree must be at least 1");
+        self.partition_degree = degree;
+        self
+    }
+
+    /// Sets a liveness deadline for the overlapped pipeline's receives:
+    /// a live-but-silent peer surfaces as [`FabricError::Timeout`] instead
+    /// of hanging the pipeline.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
+    }
+
+    /// The configured pipelining degree.
+    pub fn partition_degree(&self) -> usize {
+        self.partition_degree
     }
 
     /// Number of experts on this rank.
@@ -84,7 +137,11 @@ impl DistributedMoeLayer {
 
     /// Serializes rows destined for one rank: a count header per local
     /// expert followed by the compressed concatenation of all rows.
-    fn encode_chunk(&self, per_expert_rows: &[Tensor], m: usize) -> Bytes {
+    ///
+    /// An associated function (not a method) so the overlapped pipeline can
+    /// encode on the compute worker while the expert list is mutably
+    /// borrowed elsewhere.
+    fn encode_chunk(compressor: &dyn Compressor, per_expert_rows: &[Tensor], m: usize) -> Bytes {
         let mut header = BytesMut::with_capacity(4 * per_expert_rows.len());
         let mut flat: Vec<f32> = Vec::new();
         for rows in per_expert_rows {
@@ -93,13 +150,18 @@ impl DistributedMoeLayer {
             flat.extend_from_slice(rows.data());
         }
         let _ = m;
-        let payload = self.compressor.compress(&flat);
+        let payload = compressor.compress(&flat);
         header.extend_from_slice(&payload);
         header.freeze()
     }
 
     /// Decodes a chunk into per-local-expert row tensors.
-    fn decode_chunk(&self, chunk: &Bytes, experts: usize, m: usize) -> Vec<Tensor> {
+    fn decode_chunk(
+        compressor: &dyn Compressor,
+        chunk: &Bytes,
+        experts: usize,
+        m: usize,
+    ) -> Vec<Tensor> {
         let mut counts = Vec::with_capacity(experts);
         for i in 0..experts {
             let b = &chunk[i * 4..(i + 1) * 4];
@@ -107,8 +169,7 @@ impl DistributedMoeLayer {
         }
         let total: usize = counts.iter().sum();
         let payload = &chunk[experts * 4..];
-        let flat = self
-            .compressor
+        let flat = compressor
             .decompress(payload, total * m)
             .expect("peer encodes with the same codec");
         let mut out = Vec::with_capacity(experts);
@@ -155,8 +216,26 @@ impl DistributedMoeLayer {
     /// Expert-parallel forward over the fabric.
     ///
     /// `tag_base` namespaces this invocation; step it by [`TAG_STRIDE`]
-    /// between layer invocations on the same fabric.
+    /// between layer invocations on the same fabric. Dispatches to the
+    /// serial or overlapped implementation per the configured
+    /// [`partition_degree`](Self::partition_degree); both produce
+    /// bit-identical outputs.
     pub fn forward(
+        &mut self,
+        h: &mut RankHandle,
+        x: &Tensor,
+        tag_base: u64,
+    ) -> Result<Tensor, FabricError> {
+        if self.partition_degree <= 1 {
+            self.forward_serial(h, x, tag_base)
+        } else {
+            self.forward_overlapped(h, x, tag_base)
+        }
+    }
+
+    /// The serial reference forward: one dispatch A2A, all experts, one
+    /// combine A2A, no overlap.
+    fn forward_serial(
         &mut self,
         h: &mut RankHandle,
         x: &Tensor,
@@ -182,7 +261,7 @@ impl DistributedMoeLayer {
                 }
                 per_expert.push(rows);
             }
-            chunks.push(self.encode_chunk(&per_expert, m));
+            chunks.push(Self::encode_chunk(self.compressor.as_ref(), &per_expert, m));
         }
         let dispatch_tag = tag_base;
         let received = self.a2a.all_to_all(h, chunks, dispatch_tag)?;
@@ -192,7 +271,7 @@ impl DistributedMoeLayer {
         let mut recv_counts = vec![Vec::with_capacity(p); epr];
         let decoded: Vec<Vec<Tensor>> = received
             .iter()
-            .map(|c| self.decode_chunk(c, epr, m))
+            .map(|c| Self::decode_chunk(self.compressor.as_ref(), c, epr, m))
             .collect();
         for le in 0..epr {
             let total: usize = decoded.iter().map(|d| d[le].dims()[0]).sum();
@@ -228,11 +307,12 @@ impl DistributedMoeLayer {
                 let count = recv_counts[le][src];
                 let mut rows = Tensor::zeros(&[count, m]);
                 for r in 0..count {
-                    rows.row_mut(r).copy_from_slice(expert_outputs[le].row(before + r));
+                    rows.row_mut(r)
+                        .copy_from_slice(expert_outputs[le].row(before + r));
                 }
                 per_expert.push(rows);
             }
-            back_chunks.push(self.encode_chunk(&per_expert, m));
+            back_chunks.push(Self::encode_chunk(self.compressor.as_ref(), &per_expert, m));
         }
         let combine_tag = tag_base + TAG_STRIDE / 4;
         let returned = self.a2a.all_to_all(h, back_chunks, combine_tag)?;
@@ -242,7 +322,7 @@ impl DistributedMoeLayer {
         let mut y = Tensor::zeros(&[n, m]);
         let mut returned_outputs: Vec<Tensor> = Vec::with_capacity(p * epr);
         for owner in 0..p {
-            let outs = self.decode_chunk(&returned[owner], epr, m);
+            let outs = Self::decode_chunk(self.compressor.as_ref(), &returned[owner], epr, m);
             for (le, rows) in outs.into_iter().enumerate() {
                 let e = owner * epr + le;
                 let slots = &decision.expert_slots[e];
@@ -261,6 +341,308 @@ impl DistributedMoeLayer {
             decision,
             recv_counts,
             returned_outputs,
+            expert_inputs: None,
+            n,
+            tag_base,
+        });
+        Ok(y)
+    }
+
+    /// Direct per-chunk exchange used by the overlapped pipeline, with an
+    /// optional liveness deadline on every receive.
+    fn exchange(
+        h: &mut RankHandle,
+        chunks: Vec<Bytes>,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<Bytes>, FabricError> {
+        match timeout {
+            Some(t) => reference_all_to_all_timeout(h, chunks, tag, t),
+            None => reference_all_to_all(h, chunks, tag),
+        }
+    }
+
+    /// ScheMoE's pipelined forward: `r = partition_degree` chunks run the
+    /// per-chunk chain `C1 → A2A1 → (D1·E·C2) → A2A2 → D2` on the
+    /// two-worker overlap executor, in the OptSche submission order
+    /// `(C1¹..C1ʳ)(D1·E·C2)¹..(D1·E·C2)ʳ(D2¹..D2ʳ)` on the compute worker
+    /// and `A2A1¹..A2A1ʳ A2A2¹..A2A2ʳ` on the comm worker.
+    ///
+    /// Bit-identity with the serial path comes from three invariants:
+    /// the gate runs once on the full batch (identical routing/capacity);
+    /// each expert slot list is split into `r` *contiguous* segments, and
+    /// expert bodies are row-wise, so per-row outputs do not depend on
+    /// batch composition; and the combine reassembles the returned
+    /// segments into full slot order before accumulating in exactly the
+    /// serial loop's owner-major order.
+    ///
+    /// The per-chunk exchanges are direct tagged sends at
+    /// `chunk_tag(tag_base, lane, c)` — with `r` exchanges in flight per
+    /// lane, structured A2A algorithms (which assume exclusive tag windows
+    /// and whole-layer payloads) do not apply.
+    fn forward_overlapped(
+        &mut self,
+        h: &mut RankHandle,
+        x: &Tensor,
+        tag_base: u64,
+    ) -> Result<Tensor, FabricError> {
+        let r = self.partition_degree;
+        let p = h.world_size();
+        let m = x.dims()[1];
+        let n = x.dims()[0];
+        let epr = self.experts_per_rank;
+        let timeout = self.recv_timeout;
+        let decision = self.gate.forward(x);
+        let decision_ref = &decision;
+
+        // Field split: pipeline closures share the compressor immutably
+        // while the expert list is handed to the compute stages mutably.
+        let compressor: &dyn Compressor = self.compressor.as_ref();
+        let experts = Mutex::new(&mut self.local_experts);
+        let handle = Mutex::new(h);
+
+        // Single-producer single-consumer mailboxes between stages, one
+        // per chunk; the executor's dependency edges order the accesses.
+        let mailbox = |count: usize| -> Vec<Mutex<Option<Vec<Bytes>>>> {
+            (0..count).map(|_| Mutex::new(None)).collect()
+        };
+        let to_dispatch = mailbox(r);
+        let dispatched = mailbox(r);
+        let to_combine = mailbox(r);
+        let combined = mailbox(r);
+        // Per chunk: decoded dispatch payloads `[src][le]` (kept for the
+        // backward's serial-order input reassembly) and decoded combine
+        // payloads `[owner][le]`.
+        let chunk_inputs: Vec<Mutex<Option<Vec<Vec<Tensor>>>>> =
+            (0..r).map(|_| Mutex::new(None)).collect();
+        let chunk_returned: Vec<Mutex<Option<Vec<Vec<Tensor>>>>> =
+            (0..r).map(|_| Mutex::new(None)).collect();
+        // First fabric error wins; later tasks short-circuit on it.
+        let error: Mutex<Option<FabricError>> = Mutex::new(None);
+
+        // Task indices: C1ᶜ = c, A2A1ᶜ = r+c, (D1·E·C2)ᶜ = 2r+c,
+        // A2A2ᶜ = 3r+c, D2ᶜ = 4r+c.
+        let mut tasks: Vec<ExecTask<'_>> = Vec::with_capacity(5 * r);
+        for c in 0..r {
+            let to_dispatch = &to_dispatch[c];
+            let error = &error;
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                run: Box::new(move || {
+                    if error.lock().is_some() {
+                        return;
+                    }
+                    let mut chunks = Vec::with_capacity(p);
+                    for dst in 0..p {
+                        let mut per_expert = Vec::with_capacity(epr);
+                        for le in 0..epr {
+                            let slots = &decision_ref.expert_slots[dst * epr + le];
+                            let seg = &slots[c * slots.len() / r..(c + 1) * slots.len() / r];
+                            let mut rows = Tensor::zeros(&[seg.len(), m]);
+                            for (s, &(t, _)) in seg.iter().enumerate() {
+                                rows.row_mut(s).copy_from_slice(x.row(t));
+                            }
+                            per_expert.push(rows);
+                        }
+                        chunks.push(Self::encode_chunk(compressor, &per_expert, m));
+                    }
+                    *to_dispatch.lock() = Some(chunks);
+                }),
+            });
+        }
+        for c in 0..r {
+            let to_dispatch = &to_dispatch[c];
+            let dispatched = &dispatched[c];
+            let handle = &handle;
+            let error = &error;
+            tasks.push(ExecTask {
+                worker: Worker::Comm,
+                deps: vec![c],
+                run: Box::new(move || {
+                    let Some(chunks) = to_dispatch.lock().take() else {
+                        return;
+                    };
+                    let tag = chunk_tag(tag_base, lanes::LANE_DISPATCH, c);
+                    match Self::exchange(&mut handle.lock(), chunks, tag, timeout) {
+                        Ok(got) => *dispatched.lock() = Some(got),
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                        }
+                    }
+                }),
+            });
+        }
+        for c in 0..r {
+            let dispatched = &dispatched[c];
+            let to_combine = &to_combine[c];
+            let chunk_inputs = &chunk_inputs[c];
+            let experts = &experts;
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: vec![r + c],
+                run: Box::new(move || {
+                    let Some(received) = dispatched.lock().take() else {
+                        return;
+                    };
+                    let decoded: Vec<Vec<Tensor>> = received
+                        .iter()
+                        .map(|ch| Self::decode_chunk(compressor, ch, epr, m))
+                        .collect();
+                    // Chunk expert input: src-major concat, the chunk-local
+                    // analogue of the serial layout.
+                    let mut experts_guard = experts.lock();
+                    let mut outputs = Vec::with_capacity(epr);
+                    for le in 0..epr {
+                        let total: usize = decoded.iter().map(|d| d[le].dims()[0]).sum();
+                        let mut input = Tensor::zeros(&[total, m]);
+                        let mut off = 0;
+                        for src_rows in decoded.iter().map(|d| &d[le]) {
+                            for row in 0..src_rows.dims()[0] {
+                                input.row_mut(off + row).copy_from_slice(src_rows.row(row));
+                            }
+                            off += src_rows.dims()[0];
+                        }
+                        outputs.push(experts_guard[le].forward(&input));
+                    }
+                    drop(experts_guard);
+                    let mut back = Vec::with_capacity(p);
+                    for src in 0..p {
+                        let mut per_expert = Vec::with_capacity(epr);
+                        for le in 0..epr {
+                            let before: usize =
+                                decoded[..src].iter().map(|d| d[le].dims()[0]).sum();
+                            let count = decoded[src][le].dims()[0];
+                            let mut rows = Tensor::zeros(&[count, m]);
+                            for row in 0..count {
+                                rows.row_mut(row)
+                                    .copy_from_slice(outputs[le].row(before + row));
+                            }
+                            per_expert.push(rows);
+                        }
+                        back.push(Self::encode_chunk(compressor, &per_expert, m));
+                    }
+                    *to_combine.lock() = Some(back);
+                    *chunk_inputs.lock() = Some(decoded);
+                }),
+            });
+        }
+        for c in 0..r {
+            let to_combine = &to_combine[c];
+            let combined = &combined[c];
+            let handle = &handle;
+            let error = &error;
+            tasks.push(ExecTask {
+                worker: Worker::Comm,
+                deps: vec![2 * r + c],
+                run: Box::new(move || {
+                    let Some(chunks) = to_combine.lock().take() else {
+                        return;
+                    };
+                    let tag = chunk_tag(tag_base, lanes::LANE_COMBINE, c);
+                    match Self::exchange(&mut handle.lock(), chunks, tag, timeout) {
+                        Ok(got) => *combined.lock() = Some(got),
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                        }
+                    }
+                }),
+            });
+        }
+        for c in 0..r {
+            let combined = &combined[c];
+            let chunk_returned = &chunk_returned[c];
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: vec![3 * r + c],
+                run: Box::new(move || {
+                    let Some(returned) = combined.lock().take() else {
+                        return;
+                    };
+                    let decoded: Vec<Vec<Tensor>> = returned
+                        .iter()
+                        .map(|ch| Self::decode_chunk(compressor, ch, epr, m))
+                        .collect();
+                    *chunk_returned.lock() = Some(decoded);
+                }),
+            });
+        }
+        run_overlapped(tasks);
+
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        let chunk_inputs: Vec<Vec<Vec<Tensor>>> = chunk_inputs
+            .into_iter()
+            .map(|mx| mx.into_inner().expect("pipeline completed"))
+            .collect();
+        let chunk_returned: Vec<Vec<Vec<Tensor>>> = chunk_returned
+            .into_iter()
+            .map(|mx| mx.into_inner().expect("pipeline completed"))
+            .collect();
+
+        // Reassemble serial-order state. Received row counts sum over
+        // chunks; serial expert input is src-major with each src's rows in
+        // slot order, i.e. its chunk segments concatenated in chunk order.
+        let mut recv_counts = vec![vec![0usize; p]; epr];
+        for inputs in &chunk_inputs {
+            for (src, per_le) in inputs.iter().enumerate() {
+                for le in 0..epr {
+                    recv_counts[le][src] += per_le[le].dims()[0];
+                }
+            }
+        }
+        let mut expert_inputs = Vec::with_capacity(epr);
+        for (le, counts) in recv_counts.iter().enumerate() {
+            let total: usize = counts.iter().sum();
+            let mut input = Tensor::zeros(&[total, m]);
+            let mut off = 0;
+            for src in 0..p {
+                for inputs in &chunk_inputs {
+                    let seg = &inputs[src][le];
+                    for row in 0..seg.dims()[0] {
+                        input.row_mut(off + row).copy_from_slice(seg.row(row));
+                    }
+                    off += seg.dims()[0];
+                }
+            }
+            expert_inputs.push(input);
+        }
+
+        // Combine, exactly as the serial loop: reassembling each expert's
+        // returned segments in chunk order restores full slot order, so the
+        // accumulation below is the serial computation verbatim.
+        let mut y = Tensor::zeros(&[n, m]);
+        let mut returned_outputs: Vec<Tensor> = Vec::with_capacity(p * epr);
+        for owner in 0..p {
+            for le in 0..epr {
+                let e = owner * epr + le;
+                let slots = &decision.expert_slots[e];
+                let mut rows = Tensor::zeros(&[slots.len(), m]);
+                let mut off = 0;
+                for returned in &chunk_returned {
+                    let seg = &returned[owner][le];
+                    for row in 0..seg.dims()[0] {
+                        rows.row_mut(off + row).copy_from_slice(seg.row(row));
+                    }
+                    off += seg.dims()[0];
+                }
+                assert_eq!(off, slots.len(), "combine framing mismatch");
+                for (s, &(t, w)) in slots.iter().enumerate() {
+                    let orow = rows.row(s);
+                    let yrow = y.row_mut(t);
+                    for (yj, &oj) in yrow.iter_mut().zip(orow.iter()) {
+                        *yj += w * oj;
+                    }
+                }
+                returned_outputs.push(rows);
+            }
+        }
+        self.cache = Some(Cache {
+            decision,
+            recv_counts,
+            returned_outputs,
+            expert_inputs: Some(expert_inputs),
             n,
             tag_base,
         });
@@ -272,12 +654,11 @@ impl DistributedMoeLayer {
     /// # Panics
     ///
     /// Panics if called without a cached forward.
-    pub fn backward(
-        &mut self,
-        h: &mut RankHandle,
-        dy: &Tensor,
-    ) -> Result<Tensor, FabricError> {
-        let cache = self.cache.take().expect("distributed backward without forward");
+    pub fn backward(&mut self, h: &mut RankHandle, dy: &Tensor) -> Result<Tensor, FabricError> {
+        let cache = self
+            .cache
+            .take()
+            .expect("distributed backward without forward");
         let p = h.world_size();
         let m = dy.dims()[1];
         let epr = self.experts_per_rank;
@@ -325,8 +706,10 @@ impl DistributedMoeLayer {
 
         // Expert backward on concatenated output grads.
         let mut din_per_expert = Vec::with_capacity(epr);
-        let decoded: Vec<Vec<Tensor>> =
-            received.iter().map(|c| Self::decode_raw(c, epr, m)).collect();
+        let decoded: Vec<Vec<Tensor>> = received
+            .iter()
+            .map(|c| Self::decode_raw(c, epr, m))
+            .collect();
         for le in 0..epr {
             let total: usize = cache.recv_counts[le].iter().sum();
             let mut dout = Tensor::zeros(&[total, m]);
@@ -337,6 +720,12 @@ impl DistributedMoeLayer {
                     dout.row_mut(off + r).copy_from_slice(rows.row(r));
                 }
                 off += rows.dims()[0];
+            }
+            if let Some(inputs) = &cache.expert_inputs {
+                // Overlapped forward: the expert's activation cache holds
+                // only its final chunk. Recompute on the serial-order batch
+                // so this backward differentiates the full forward.
+                let _ = self.local_experts[le].forward(&inputs[le]);
             }
             din_per_expert.push(self.local_experts[le].backward(&dout));
         }
@@ -350,7 +739,8 @@ impl DistributedMoeLayer {
                 let count = cache.recv_counts[le][src];
                 let mut rows = Tensor::zeros(&[count, m]);
                 for r in 0..count {
-                    rows.row_mut(r).copy_from_slice(din_per_expert[le].row(before + r));
+                    rows.row_mut(r)
+                        .copy_from_slice(din_per_expert[le].row(before + r));
                 }
                 per_expert.push(rows);
             }
@@ -544,6 +934,113 @@ mod tests {
         }
     }
 
+    /// Forward outputs per rank for a given constructor, so serial and
+    /// overlapped configurations can be compared bit-for-bit.
+    fn forward_outputs(
+        topo: Topology,
+        n_local: usize,
+        epr: usize,
+        k: usize,
+        x_global: &Tensor,
+        degree: usize,
+        compressor: fn() -> Box<dyn schemoe_compression::Compressor>,
+    ) -> Vec<Tensor> {
+        let p = topo.world_size();
+        Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            let gate = make_gate(p * epr, k, 8.0);
+            let experts: Vec<Box<dyn Expert>> =
+                (0..epr).map(|le| make_expert(me * epr + le)).collect();
+            let mut layer =
+                DistributedMoeLayer::new(gate, experts, compressor(), Box::new(NcclA2A))
+                    .with_partition_degree(degree)
+                    .with_recv_timeout(std::time::Duration::from_secs(30));
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            layer.forward(&mut h, &x, 0).unwrap()
+        })
+    }
+
+    #[test]
+    fn overlapped_forward_is_bit_identical_to_serial() {
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        let n_local = 7;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(21));
+        let serial = forward_outputs(topo, n_local, 1, 2, &x_global, 1, || {
+            Box::new(NoCompression)
+        });
+        // Degrees beyond the slot counts exercise empty chunks too.
+        for degree in [2, 3, 4, 16] {
+            let overlapped = forward_outputs(topo, n_local, 1, 2, &x_global, degree, || {
+                Box::new(NoCompression)
+            });
+            for me in 0..p {
+                let diff = overlapped[me].max_abs_diff(&serial[me]).unwrap();
+                assert_eq!(diff, 0.0, "degree {degree} rank {me} diverged by {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_forward_is_bit_identical_with_fp16_and_multi_experts() {
+        let topo = Topology::new(1, 2);
+        let p = topo.world_size();
+        let (epr, n_local) = (2, 6);
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(22));
+        let fp16 = || -> Box<dyn schemoe_compression::Compressor> {
+            Box::new(schemoe_compression::Fp16Compressor)
+        };
+        let serial = forward_outputs(topo, n_local, epr, 2, &x_global, 1, fp16);
+        let overlapped = forward_outputs(topo, n_local, epr, 2, &x_global, 4, fp16);
+        for me in 0..p {
+            let diff = overlapped[me].max_abs_diff(&serial[me]).unwrap();
+            assert_eq!(diff, 0.0, "rank {me} diverged by {diff}");
+        }
+    }
+
+    #[test]
+    fn overlapped_backward_is_bit_identical_to_serial() {
+        let topo = Topology::new(1, 2);
+        let p = topo.world_size();
+        let n_local = 5;
+        let x_global = rng::uniform(&[n_local * p, M], 0.7, &mut seeded(23));
+        let run = |degree: usize| {
+            Fabric::run(topo, |mut h| {
+                let me = h.rank();
+                let gate = make_gate(p, 2, 8.0);
+                let mut layer = DistributedMoeLayer::new(
+                    gate,
+                    vec![make_expert(me)],
+                    Box::new(NoCompression),
+                    Box::new(NcclA2A),
+                )
+                .with_partition_degree(degree);
+                let mut x = Tensor::zeros(&[n_local, M]);
+                for r in 0..n_local {
+                    x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+                }
+                let y = layer.forward(&mut h, &x, 0).unwrap();
+                let dx = layer.backward(&mut h, &y).unwrap();
+                let mut grads = Vec::new();
+                layer.visit_params(&mut |prm| grads.push(prm.grad.data().to_vec()));
+                (dx, grads)
+            })
+        };
+        let serial = run(1);
+        let overlapped = run(4);
+        for me in 0..p {
+            let diff = overlapped[me].0.max_abs_diff(&serial[me].0).unwrap();
+            assert_eq!(diff, 0.0, "rank {me} dx diverged by {diff}");
+            assert_eq!(
+                overlapped[me].1, serial[me].1,
+                "rank {me} param grads diverged"
+            );
+        }
+    }
+
     #[test]
     fn allreduce_sums_across_ranks() {
         let topo = Topology::new(2, 2);
@@ -569,12 +1066,8 @@ mod tests {
             let gate = make_gate(p * epr, 2, 8.0);
             let experts: Vec<Box<dyn Expert>> =
                 (0..epr).map(|le| make_expert(me * epr + le)).collect();
-            let mut layer = DistributedMoeLayer::new(
-                gate,
-                experts,
-                Box::new(NoCompression),
-                Box::new(NcclA2A),
-            );
+            let mut layer =
+                DistributedMoeLayer::new(gate, experts, Box::new(NoCompression), Box::new(NcclA2A));
             let mut x = Tensor::zeros(&[n_local, M]);
             for r in 0..n_local {
                 x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));

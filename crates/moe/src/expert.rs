@@ -34,7 +34,9 @@ pub struct FfExpert {
 impl FfExpert {
     /// Creates an expert with hidden dim `h` and GELU activation.
     pub fn new(m: usize, h: usize, rng: &mut SmallRng) -> Self {
-        FfExpert { ff: FeedForward::new(m, h, ActivationKind::Gelu, rng) }
+        FfExpert {
+            ff: FeedForward::new(m, h, ActivationKind::Gelu, rng),
+        }
     }
 
     /// Hidden dimension `H`.

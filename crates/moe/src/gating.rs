@@ -169,13 +169,23 @@ impl TopKGate {
                 dropped += self.k - admitted.min(self.k);
             }
         }
-        let decision = GateDecision { assignments, expert_slots, capacity, dropped };
+        let decision = GateDecision {
+            assignments,
+            expert_slots,
+            capacity,
+            dropped,
+        };
         let aux_grad = if self.aux_loss_weight > 0.0 {
             Some(self.aux_loss_grad(&probs, &decision))
         } else {
             None
         };
-        self.cache = Some(Cache { x: x.clone(), probs, decision: decision.clone(), aux_grad });
+        self.cache = Some(Cache {
+            x: x.clone(),
+            probs,
+            decision: decision.clone(),
+            aux_grad,
+        });
         decision
     }
 
@@ -279,7 +289,11 @@ impl TopKGate {
     ///
     /// Panics on a shape mismatch.
     pub fn set_weight(&mut self, w: Tensor) {
-        assert_eq!(w.dims(), self.wg.value.dims(), "router weight shape mismatch");
+        assert_eq!(
+            w.dims(),
+            self.wg.value.dims(),
+            "router weight shape mismatch"
+        );
         self.wg = Param::new("gate.wg", w);
     }
 }
@@ -432,9 +446,12 @@ mod tests {
         let x = rng::uniform(&[32, 8], 1.0, &mut seeded(21));
         let mut drop_gate = TopKGate::new(8, 4, 1, 0.5, &mut seeded(77));
         let d_drop = drop_gate.forward(&x);
-        assert!(d_drop.dropped > 0, "tight capacity must drop under Drop policy");
-        let mut reroute_gate = TopKGate::new(8, 4, 1, 0.5, &mut seeded(77))
-            .with_overflow(OverflowPolicy::NextBest);
+        assert!(
+            d_drop.dropped > 0,
+            "tight capacity must drop under Drop policy"
+        );
+        let mut reroute_gate =
+            TopKGate::new(8, 4, 1, 0.5, &mut seeded(77)).with_overflow(OverflowPolicy::NextBest);
         let d_next = reroute_gate.forward(&x);
         // Capacity 0.5·32/4 = 4 slots × 4 experts = 16 total; 32 tokens
         // cannot all fit, but every slot fills before anything drops.
@@ -448,8 +465,8 @@ mod tests {
     fn next_best_with_ample_capacity_matches_drop_policy() {
         let x = rng::uniform(&[16, 8], 1.0, &mut seeded(22));
         let mut a = TopKGate::new(8, 4, 2, 8.0, &mut seeded(78));
-        let mut b = TopKGate::new(8, 4, 2, 8.0, &mut seeded(78))
-            .with_overflow(OverflowPolicy::NextBest);
+        let mut b =
+            TopKGate::new(8, 4, 2, 8.0, &mut seeded(78)).with_overflow(OverflowPolicy::NextBest);
         let da = a.forward(&x);
         let db = b.forward(&x);
         // No overflow happens, so the decisions are identical.
@@ -464,12 +481,11 @@ mod tests {
     fn gradients_still_correct_under_next_best() {
         // The backward contract only depends on the decision structure, so
         // rerouted assignments must flow gradients like any other.
-        let mut g = TopKGate::new(8, 4, 1, 0.5, &mut seeded(79))
-            .with_overflow(OverflowPolicy::NextBest);
+        let mut g =
+            TopKGate::new(8, 4, 1, 0.5, &mut seeded(79)).with_overflow(OverflowPolicy::NextBest);
         let x = rng::uniform(&[16, 8], 0.5, &mut seeded(23));
         let d = g.forward(&x);
-        let d_weights: Vec<Vec<f32>> =
-            d.assignments.iter().map(|a| vec![1.0; a.len()]).collect();
+        let d_weights: Vec<Vec<f32>> = d.assignments.iter().map(|a| vec![1.0; a.len()]).collect();
         let dx = g.backward(&d_weights);
         assert_eq!(dx.dims(), &[16, 8]);
         assert!(dx.all_finite());

@@ -50,7 +50,12 @@ impl MoeLayer {
         let experts: Vec<Box<dyn Expert>> = (0..experts)
             .map(|_| Box::new(FfExpert::new(model_dim, hidden_dim, rng)) as Box<dyn Expert>)
             .collect();
-        MoeLayer { gate, experts, compressor: None, cache: None }
+        MoeLayer {
+            gate,
+            experts,
+            compressor: None,
+            cache: None,
+        }
     }
 
     /// Builds a layer from an explicit gate and expert set.
@@ -59,8 +64,17 @@ impl MoeLayer {
     ///
     /// Panics if the gate's expert count differs from `experts.len()`.
     pub fn from_parts(gate: TopKGate, experts: Vec<Box<dyn Expert>>) -> Self {
-        assert_eq!(gate.num_experts(), experts.len(), "gate/expert count mismatch");
-        MoeLayer { gate, experts, compressor: None, cache: None }
+        assert_eq!(
+            gate.num_experts(),
+            experts.len(),
+            "gate/expert count mismatch"
+        );
+        MoeLayer {
+            gate,
+            experts,
+            compressor: None,
+            cache: None,
+        }
     }
 
     /// Round-trips dispatch and combine payloads through `codec`,
@@ -142,7 +156,11 @@ impl Module for MoeLayer {
                 }
             }
         }
-        self.cache = Some(Cache { decision, expert_outputs, n });
+        self.cache = Some(Cache {
+            decision,
+            expert_outputs,
+            n,
+        });
         y
     }
 
@@ -237,7 +255,10 @@ mod tests {
         let d = l.last_decision().unwrap().clone();
         for (t, assigns) in d.assignments.iter().enumerate() {
             if assigns.is_empty() {
-                assert!(y.row(t).iter().all(|&v| v == 0.0), "dropped token {t} non-zero");
+                assert!(
+                    y.row(t).iter().all(|&v| v == 0.0),
+                    "dropped token {t} non-zero"
+                );
             }
         }
         assert!(d.dropped > 0);

@@ -64,7 +64,12 @@ impl Router for TokenChoiceRouter {
                 }
             }
         }
-        GateDecision { assignments, expert_slots, capacity, dropped }
+        GateDecision {
+            assignments,
+            expert_slots,
+            capacity,
+            dropped,
+        }
     }
 }
 
@@ -98,7 +103,9 @@ impl Router for ExpertChoiceRouter {
             // Expert ex picks its top-capacity tokens by score.
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
-                scores.row(b)[ex].partial_cmp(&scores.row(a)[ex]).expect("finite")
+                scores.row(b)[ex]
+                    .partial_cmp(&scores.row(a)[ex])
+                    .expect("finite")
             });
             let mut picked: Vec<usize> = order.into_iter().take(capacity).collect();
             // Slot order stays token order, as the dispatch format expects.
@@ -112,7 +119,12 @@ impl Router for ExpertChoiceRouter {
         // Expert-choice never "drops" (experts always fill), but tokens
         // may be unrouted; report those as drops for comparability.
         let dropped = assignments.iter().filter(|a| a.is_empty()).count();
-        GateDecision { assignments, expert_slots, capacity, dropped }
+        GateDecision {
+            assignments,
+            expert_slots,
+            capacity,
+            dropped,
+        }
     }
 }
 
@@ -128,7 +140,11 @@ pub struct RandomRouter {
 impl RandomRouter {
     /// Creates the router with its own routing RNG.
     pub fn new(k: usize, capacity_factor: f64, rng: SmallRng) -> Self {
-        RandomRouter { k, capacity_factor, rng }
+        RandomRouter {
+            k,
+            capacity_factor,
+            rng,
+        }
     }
 }
 
@@ -163,7 +179,12 @@ impl Router for RandomRouter {
                 }
             }
         }
-        GateDecision { assignments, expert_slots, capacity, dropped }
+        GateDecision {
+            assignments,
+            expert_slots,
+            capacity,
+            dropped,
+        }
     }
 }
 
@@ -186,7 +207,11 @@ pub fn balance_stats(decision: &GateDecision, k: usize) -> BalanceStats {
     let total: usize = loads.iter().sum();
     let mean = total as f64 / e;
     let max = loads.iter().copied().max().unwrap_or(0) as f64;
-    let var = loads.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / e;
+    let var = loads
+        .iter()
+        .map(|&l| (l as f64 - mean).powi(2))
+        .sum::<f64>()
+        / e;
     BalanceStats {
         imbalance: if mean > 0.0 { max / mean } else { 1.0 },
         drop_rate: decision.drop_rate(k),
@@ -241,7 +266,10 @@ mod tests {
         let mut rr = RandomRouter::new(1, 1.25, seeded(6));
         let d = rr.route(&scores);
         let stats = balance_stats(&d, 1);
-        assert!(stats.imbalance < 1.35, "random routing too skewed: {stats:?}");
+        assert!(
+            stats.imbalance < 1.35,
+            "random routing too skewed: {stats:?}"
+        );
         assert!(stats.drop_rate < 0.1);
     }
 
@@ -263,8 +291,9 @@ mod tests {
         // Expert-choice always fills E·C slots; token-choice admits at
         // most n·k. With balanced random scores and headroom both land on
         // the same total.
-        let scores =
-            rng::uniform(&[64, 8], 1.0, &mut seeded(9)).softmax_rows().expect("rank-2");
+        let scores = rng::uniform(&[64, 8], 1.0, &mut seeded(9))
+            .softmax_rows()
+            .expect("rank-2");
         let mut tc = TokenChoiceRouter::new(1, 8.0); // capacity never binds
         let tc_total: usize = tc.route(&scores).expert_loads().iter().sum();
         assert_eq!(tc_total, 64);

@@ -6,7 +6,6 @@
 //! written by hand (the event format needs only strings and numbers, and
 //! the workspace's dependency policy has no JSON crate).
 
-use crate::engine::StreamId;
 use crate::trace::Trace;
 
 /// Serializes a trace as Trace Event Format JSON.
@@ -34,7 +33,7 @@ pub fn to_chrome_trace(trace: &Trace, stream_names: &[&str]) -> String {
         first = false;
         out.push_str(&format!(
             "  {{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"ts\":{:.3},\"dur\":{:.3}}}",
-            stream_index(r.stream),
+            r.stream.index(),
             escape(&r.label),
             r.start.as_us(),
             (r.end - r.start).as_us(),
@@ -42,13 +41,6 @@ pub fn to_chrome_trace(trace: &Trace, stream_names: &[&str]) -> String {
     }
     out.push_str("\n]\n");
     out
-}
-
-fn stream_index(s: StreamId) -> usize {
-    // StreamId is an opaque index; expose it via its Debug form to avoid
-    // widening the engine API. Debug prints `StreamId(n)`.
-    let dbg = format!("{s:?}");
-    dbg.trim_start_matches("StreamId(").trim_end_matches(')').parse().unwrap_or(0)
 }
 
 fn escape(s: &str) -> String {

@@ -27,7 +27,10 @@ impl LinkModel {
     pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
         assert!(latency_s >= 0.0, "latency must be non-negative");
-        LinkModel { latency_s, bandwidth_bps }
+        LinkModel {
+            latency_s,
+            bandwidth_bps,
+        }
     }
 
     /// Time to move `bytes` over this link.
@@ -63,7 +66,10 @@ impl ComputeModel {
     /// Panics if `flops_per_s` is not strictly positive.
     pub fn new(launch_s: f64, flops_per_s: f64) -> Self {
         assert!(flops_per_s > 0.0, "throughput must be positive");
-        ComputeModel { launch_s, flops_per_s }
+        ComputeModel {
+            launch_s,
+            flops_per_s,
+        }
     }
 
     /// Time to execute `flops` floating-point operations.
@@ -163,8 +169,7 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_exact_line() {
-        let samples: Vec<(f64, f64)> =
-            (1..10).map(|i| (i as f64, 0.25 + 0.5 * i as f64)).collect();
+        let samples: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 0.25 + 0.5 * i as f64)).collect();
         let m = LinearModel::fit(&samples).unwrap();
         assert!((m.a - 0.25).abs() < 1e-9, "a = {}", m.a);
         assert!((m.b - 0.5).abs() < 1e-9, "b = {}", m.b);

@@ -10,6 +10,14 @@ use crate::trace::{OpRecord, Trace};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct StreamId(pub(crate) usize);
 
+impl StreamId {
+    /// The raw stream index (streams are numbered from 0 in creation
+    /// order within their [`StreamSim`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Identifies an operation pushed onto a [`StreamSim`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct OpId(pub(crate) usize);
@@ -55,7 +63,11 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { stuck_ops } => {
-                write!(f, "simulation deadlocked with {} ops never ready", stuck_ops.len())
+                write!(
+                    f,
+                    "simulation deadlocked with {} ops never ready",
+                    stuck_ops.len()
+                )
             }
             SimError::UnknownDependency { op, dep } => {
                 write!(f, "op {op:?} depends on unknown op {dep:?}")
@@ -94,7 +106,11 @@ pub struct StreamSim {
 impl StreamSim {
     /// Creates an empty simulator.
     pub fn new() -> Self {
-        StreamSim { ops: Vec::new(), streams: Vec::new(), queues: Vec::new() }
+        StreamSim {
+            ops: Vec::new(),
+            streams: Vec::new(),
+            queues: Vec::new(),
+        }
     }
 
     /// Registers a new stream and returns its id.
@@ -152,7 +168,10 @@ impl StreamSim {
             }
             for &d in &op.deps {
                 if d.0 >= self.ops.len() {
-                    return Err(SimError::UnknownDependency { op: OpId(i), dep: d });
+                    return Err(SimError::UnknownDependency {
+                        op: OpId(i),
+                        dep: d,
+                    });
                 }
             }
         }
@@ -304,7 +323,10 @@ mod tests {
         let mut sim = StreamSim::new();
         let s = sim.stream("s");
         sim.push(s, SimTime::from_ms(1.0), &[OpId(99)], "a");
-        assert!(matches!(sim.run().unwrap_err(), SimError::UnknownDependency { .. }));
+        assert!(matches!(
+            sim.run().unwrap_err(),
+            SimError::UnknownDependency { .. }
+        ));
     }
 
     #[test]
@@ -312,7 +334,10 @@ mod tests {
         let mut sim = StreamSim::new();
         let s = sim.stream("s");
         sim.push(s, SimTime::from_secs(f64::NAN), &[], "a");
-        assert!(matches!(sim.run().unwrap_err(), SimError::InvalidDuration { .. }));
+        assert!(matches!(
+            sim.run().unwrap_err(),
+            SimError::InvalidDuration { .. }
+        ));
     }
 
     #[test]

@@ -27,12 +27,18 @@ pub struct Trace {
 
 impl Trace {
     pub(crate) fn new(records: Vec<OpRecord>, stream_names: Vec<String>) -> Self {
-        Trace { records, stream_names }
+        Trace {
+            records,
+            stream_names,
+        }
     }
 
     /// Total simulated time from 0 to the last finish.
     pub fn makespan(&self) -> SimTime {
-        self.records.iter().map(|r| r.end).fold(SimTime::ZERO, SimTime::max)
+        self.records
+            .iter()
+            .map(|r| r.end)
+            .fold(SimTime::ZERO, SimTime::max)
     }
 
     /// Start time of an operation.

@@ -36,7 +36,9 @@ fn workload() -> impl Strategy<Value = Workload> {
 
 fn build(w: &Workload) -> StreamSim {
     let mut sim = StreamSim::new();
-    let streams: Vec<_> = (0..w.num_streams).map(|i| sim.stream(format!("s{i}"))).collect();
+    let streams: Vec<_> = (0..w.num_streams)
+        .map(|i| sim.stream(format!("s{i}")))
+        .collect();
     for i in 0..w.durations.len() {
         let deps: Vec<OpId> = if i == 0 {
             Vec::new()

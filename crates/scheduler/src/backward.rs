@@ -41,7 +41,11 @@ pub fn backward_task_set(forward: &TaskSet, expert_backward_scale: f64) -> TaskS
     // Preserve any per-chunk overrides.
     for chunk in 0..r {
         for kind in TaskKind::ALL {
-            let scale = if kind == TaskKind::Expert { expert_backward_scale } else { 1.0 };
+            let scale = if kind == TaskKind::Expert {
+                expert_backward_scale
+            } else {
+                1.0
+            };
             out.set_duration(kind, chunk, forward.duration(kind, chunk) * scale);
         }
     }
@@ -90,8 +94,14 @@ mod tests {
         let f = fwd(2);
         let b = backward_task_set(&f, 2.0);
         assert_eq!(b.duration(TaskKind::Expert, 0), SimTime::from_ms(10.0));
-        assert_eq!(b.duration(TaskKind::Compress1, 0), f.duration(TaskKind::Compress1, 0));
-        assert_eq!(b.duration(TaskKind::AllToAll1, 1), f.duration(TaskKind::AllToAll1, 1));
+        assert_eq!(
+            b.duration(TaskKind::Compress1, 0),
+            f.duration(TaskKind::Compress1, 0)
+        );
+        assert_eq!(
+            b.duration(TaskKind::AllToAll1, 1),
+            f.duration(TaskKind::AllToAll1, 1)
+        );
     }
 
     #[test]
@@ -118,6 +128,9 @@ mod tests {
         let total = layer_fwd_bwd_makespan(&f, 2.0);
         let fwd_only = optsche(2).makespan(&f).expect("valid");
         assert!(total > fwd_only);
-        assert!(total < fwd_only * 3.0, "backward should not triple the layer");
+        assert!(
+            total < fwd_only * 3.0,
+            "backward should not triple the layer"
+        );
     }
 }

@@ -20,18 +20,23 @@ pub enum Worker {
 }
 
 /// One executable task.
-pub struct ExecTask {
+///
+/// The `'a` lifetime lets task closures borrow from the submitting stack
+/// frame (tensors, rank handles), which is what the functional MoE pipeline
+/// needs; `run_overlapped` joins every worker before returning, so the
+/// borrows cannot escape.
+pub struct ExecTask<'a> {
     /// Worker assignment.
     pub worker: Worker,
     /// Indices of tasks (within the submitted vector) that must complete
     /// first.
     pub deps: Vec<usize>,
     /// The work itself.
-    pub run: Box<dyn FnOnce() + Send>,
+    pub run: Box<dyn FnOnce() + Send + 'a>,
 }
 
 /// A task staged on one worker's queue: (index, deps, work).
-type Queued = (usize, Vec<usize>, Box<dyn FnOnce() + Send>);
+type Queued<'a> = (usize, Vec<usize>, Box<dyn FnOnce() + Send + 'a>);
 
 struct DoneBoard {
     done: Mutex<Vec<bool>>,
@@ -60,12 +65,15 @@ impl DoneBoard {
 /// submitting a deadlock-free order (e.g. one produced by
 /// [`crate::schedules::optsche`]); validating orders up front is the
 /// simulator's job.
-pub fn run_overlapped(tasks: Vec<ExecTask>) {
+pub fn run_overlapped(tasks: Vec<ExecTask<'_>>) {
     let n = tasks.len();
-    let board = Arc::new(DoneBoard { done: Mutex::new(vec![false; n]), cv: Condvar::new() });
+    let board = Arc::new(DoneBoard {
+        done: Mutex::new(vec![false; n]),
+        cv: Condvar::new(),
+    });
 
-    let mut comp: Vec<Queued> = Vec::new();
-    let mut comm: Vec<Queued> = Vec::new();
+    let mut comp: Vec<Queued<'_>> = Vec::new();
+    let mut comm: Vec<Queued<'_>> = Vec::new();
     for (i, t) in tasks.into_iter().enumerate() {
         match t.worker {
             Worker::Compute => comp.push((i, t.deps, t.run)),
@@ -104,16 +112,38 @@ mod tests {
             Box::new(move || std::thread::sleep(Duration::from_millis(d)))
         };
         let tasks = vec![
-            ExecTask { worker: Worker::Compute, deps: vec![], run: mk(30) },
-            ExecTask { worker: Worker::Comm, deps: vec![0], run: mk(30) },
-            ExecTask { worker: Worker::Compute, deps: vec![], run: mk(30) },
-            ExecTask { worker: Worker::Comm, deps: vec![2], run: mk(30) },
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                run: mk(30),
+            },
+            ExecTask {
+                worker: Worker::Comm,
+                deps: vec![0],
+                run: mk(30),
+            },
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                run: mk(30),
+            },
+            ExecTask {
+                worker: Worker::Comm,
+                deps: vec![2],
+                run: mk(30),
+            },
         ];
         let start = Instant::now();
         run_overlapped(tasks);
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(85), "too fast: {elapsed:?}");
-        assert!(elapsed < Duration::from_millis(115), "no overlap: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(85),
+            "too fast: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(115),
+            "no overlap: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -128,9 +158,21 @@ mod tests {
             }) as Box<dyn FnOnce() + Send>
         };
         let tasks = vec![
-            ExecTask { worker: Worker::Compute, deps: vec![], run: mk(0, &counter, &order) },
-            ExecTask { worker: Worker::Comm, deps: vec![0], run: mk(1, &counter, &order) },
-            ExecTask { worker: Worker::Compute, deps: vec![1], run: mk(2, &counter, &order) },
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                run: mk(0, &counter, &order),
+            },
+            ExecTask {
+                worker: Worker::Comm,
+                deps: vec![0],
+                run: mk(1, &counter, &order),
+            },
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![1],
+                run: mk(2, &counter, &order),
+            },
         ];
         run_overlapped(tasks);
         assert_eq!(counter.load(Ordering::SeqCst), 3);

@@ -26,7 +26,10 @@ impl Profiler {
 
     /// Records one observation of a task of `kind` at `size` taking `t`.
     pub fn record(&mut self, kind: TaskKind, size: f64, t: SimTime) {
-        self.samples.entry(kind).or_default().push((size, t.as_secs()));
+        self.samples
+            .entry(kind)
+            .or_default()
+            .push((size, t.as_secs()));
     }
 
     /// Number of samples recorded for `kind`.
@@ -66,7 +69,11 @@ mod tests {
         let mut p = Profiler::new();
         for i in 1..=8u32 {
             let size = i as f64 * 1e6;
-            p.record(TaskKind::AllToAll1, size, SimTime::from_secs(1e-4 + size * 1e-9));
+            p.record(
+                TaskKind::AllToAll1,
+                size,
+                SimTime::from_secs(1e-4 + size * 1e-9),
+            );
         }
         assert_eq!(p.sample_count(TaskKind::AllToAll1), 8);
         let m = p.model(TaskKind::AllToAll1).unwrap();

@@ -66,7 +66,10 @@ impl Schedule {
             if kind.is_comm() || chunk >= r {
                 return false;
             }
-            let pos = TaskKind::COMPUTE.iter().position(|&k| k == kind).expect("compute");
+            let pos = TaskKind::COMPUTE
+                .iter()
+                .position(|&k| k == kind)
+                .expect("compute");
             if seen[chunk][pos] {
                 return false;
             }
@@ -105,7 +108,10 @@ impl Schedule {
         // dependency-violating orders as deadlocks).
         let mut id_of = vec![[OpId::from_raw(usize::MAX); 5]; r];
         for (i, &(kind, chunk)) in self.comp_order.iter().enumerate() {
-            let pos = TaskKind::COMPUTE.iter().position(|&k| k == kind).expect("compute");
+            let pos = TaskKind::COMPUTE
+                .iter()
+                .position(|&k| k == kind)
+                .expect("compute");
             id_of[chunk][pos] = OpId::from_raw(i);
         }
 
@@ -208,7 +214,10 @@ mod tests {
     fn non_permutation_is_rejected() {
         let tasks = ts(2);
         let s = Schedule::new(vec![(TaskKind::Compress1, 0)]);
-        assert_eq!(s.makespan(&tasks).unwrap_err(), ScheduleError::NotAPermutation);
+        assert_eq!(
+            s.makespan(&tasks).unwrap_err(),
+            ScheduleError::NotAPermutation
+        );
         let s = Schedule::new(vec![
             (TaskKind::Compress1, 0),
             (TaskKind::Compress1, 0),
@@ -221,7 +230,10 @@ mod tests {
             (TaskKind::Expert, 1),
             (TaskKind::Compress2, 1),
         ]);
-        assert_eq!(s.makespan(&tasks).unwrap_err(), ScheduleError::NotAPermutation);
+        assert_eq!(
+            s.makespan(&tasks).unwrap_err(),
+            ScheduleError::NotAPermutation
+        );
     }
 
     #[test]

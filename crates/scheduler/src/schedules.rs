@@ -76,7 +76,9 @@ pub fn brute_force_best(tasks: &TaskSet) -> (Schedule, SimTime) {
         let r = progress.len();
         if order.len() == 5 * r {
             let s = Schedule::new(order.clone());
-            let m = s.makespan(tasks).expect("chain-respecting orders are valid");
+            let m = s
+                .makespan(tasks)
+                .expect("chain-respecting orders are valid");
             if best.as_ref().is_none_or(|(_, bm)| m < *bm) {
                 *best = Some((s, m));
             }

@@ -175,7 +175,10 @@ mod tests {
     fn predecessor_chain_is_the_pipeline() {
         assert_eq!(TaskKind::Compress1.predecessor(), None);
         assert_eq!(TaskKind::AllToAll1.predecessor(), Some(TaskKind::Compress1));
-        assert_eq!(TaskKind::Decompress2.predecessor(), Some(TaskKind::AllToAll2));
+        assert_eq!(
+            TaskKind::Decompress2.predecessor(),
+            Some(TaskKind::AllToAll2)
+        );
     }
 
     #[test]

@@ -5,17 +5,15 @@ use schemoe_netsim::SimTime;
 use schemoe_scheduler::{brute_force_best, naive_makespan, optsche, stage_major, TaskSet};
 
 fn random_tasks(r: usize) -> impl Strategy<Value = TaskSet> {
-    (0.01f64..20.0, 0.01f64..50.0, 0.01f64..20.0, 0.01f64..50.0).prop_map(
-        move |(c, a, d, e)| {
-            TaskSet::uniform(
-                r,
-                SimTime::from_ms(c),
-                SimTime::from_ms(a),
-                SimTime::from_ms(d),
-                SimTime::from_ms(e),
-            )
-        },
-    )
+    (0.01f64..20.0, 0.01f64..50.0, 0.01f64..20.0, 0.01f64..50.0).prop_map(move |(c, a, d, e)| {
+        TaskSet::uniform(
+            r,
+            SimTime::from_ms(c),
+            SimTime::from_ms(a),
+            SimTime::from_ms(d),
+            SimTime::from_ms(e),
+        )
+    })
 }
 
 proptest! {

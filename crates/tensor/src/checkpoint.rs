@@ -17,6 +17,9 @@ use crate::tensor::Tensor;
 const MAGIC: &[u8; 4] = b"SMOE";
 const VERSION: u32 = 1;
 
+/// A parameter visitor: calls the given closure once per [`Param`].
+pub type ParamVisitor<'a> = dyn FnMut(&mut dyn FnMut(&mut Param)) + 'a;
+
 /// Errors from decoding a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
@@ -47,10 +50,14 @@ impl fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 /// Serializes every parameter yielded by `visit` into a checkpoint buffer.
-pub fn save(visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) -> Vec<u8> {
+pub fn save(visit: &mut ParamVisitor<'_>) -> Vec<u8> {
     let mut entries: Vec<(String, Vec<usize>, Vec<f32>)> = Vec::new();
     visit(&mut |p: &mut Param| {
-        entries.push((p.name.clone(), p.value.dims().to_vec(), p.value.data().to_vec()));
+        entries.push((
+            p.name.clone(),
+            p.value.dims().to_vec(),
+            p.value.data().to_vec(),
+        ));
     });
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
@@ -75,11 +82,11 @@ pub fn save(visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) -> Vec<u8> {
 /// Parameters must appear in the same order with the same names and shapes
 /// as at save time (visitor order is deterministic for every model in this
 /// workspace). Gradients are zeroed on restore.
-pub fn load(
-    payload: &[u8],
-    visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param)),
-) -> Result<(), CheckpointError> {
-    let mut cursor = Cursor { buf: payload, pos: 0 };
+pub fn load(payload: &[u8], visit: &mut ParamVisitor<'_>) -> Result<(), CheckpointError> {
+    let mut cursor = Cursor {
+        buf: payload,
+        pos: 0,
+    };
     if cursor.take(4)? != MAGIC {
         return Err(CheckpointError::BadHeader);
     }
@@ -137,7 +144,10 @@ pub fn load(
     }
     if idx != entries.len() {
         return Err(CheckpointError::Mismatch {
-            detail: format!("checkpoint has {} parameters, model consumed {idx}", entries.len()),
+            detail: format!(
+                "checkpoint has {} parameters, model consumed {idx}",
+                entries.len()
+            ),
         });
     }
     Ok(())

@@ -123,8 +123,12 @@ mod tests {
         fn backward(&mut self, dy: &Tensor) -> Tensor {
             let x = self.cache.take().unwrap();
             // Wrong: forgets to scale dx by the parameter.
-            self.p.grad.data_mut()[0] +=
-                x.data().iter().zip(dy.data().iter()).map(|(a, b)| a * b).sum::<f32>();
+            self.p.grad.data_mut()[0] += x
+                .data()
+                .iter()
+                .zip(dy.data().iter())
+                .map(|(a, b)| a * b)
+                .sum::<f32>();
             dy.clone()
         }
 

@@ -22,7 +22,10 @@ pub struct Activation {
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Activation { kind, cache_x: None }
+        Activation {
+            kind,
+            cache_x: None,
+        }
     }
 
     /// The activation kind.

@@ -124,7 +124,13 @@ impl Module for MultiHeadAttention {
             }
         }
         let out = self.wo.forward(&concat);
-        self.cache = Some(Cache { q, k, v, probs, batch });
+        self.cache = Some(Cache {
+            q,
+            k,
+            v,
+            probs,
+            batch,
+        });
         out
     }
 

@@ -26,8 +26,16 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, rng: SmallRng) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0, 1)");
-        Dropout { p, training: true, rng, mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} outside [0, 1)"
+        );
+        Dropout {
+            p,
+            training: true,
+            rng,
+            mask: None,
+        }
     }
 
     /// Switches between training (masking) and evaluation (identity).
@@ -55,7 +63,13 @@ impl Module for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask_data: Vec<f32> = (0..x.numel())
-            .map(|_| if self.rng.gen_range(0.0f32..1.0) < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen_range(0.0f32..1.0) < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(mask_data, x.dims()).expect("shape preserved");
         let y = x.mul(&mask).expect("same shape");

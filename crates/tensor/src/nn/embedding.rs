@@ -20,7 +20,10 @@ impl Embedding {
     /// Creates a table of `vocab` embeddings of size `dim`, normal-initialized.
     pub fn new(vocab: usize, dim: usize, rng: &mut SmallRng) -> Self {
         Embedding {
-            table: Param::new("embedding.table", rng::normal(&[vocab, dim], 0.0, 0.02, rng)),
+            table: Param::new(
+                "embedding.table",
+                rng::normal(&[vocab, dim], 0.0, 0.02, rng),
+            ),
             cache_tokens: None,
         }
     }

@@ -88,8 +88,7 @@ impl Module for LayerNorm {
             let scale = cache.inv_std[i] / d as f32;
             for j in 0..d {
                 let dxh = dyr[j] * gamma[j];
-                dx[i * d + j] =
-                    scale * (d as f32 * dxh - sum_dxhat - xhr[j] * sum_dxhat_xhat);
+                dx[i * d + j] = scale * (d as f32 * dxh - sum_dxhat - xhr[j] * sum_dxhat_xhat);
             }
             // Parameter gradients.
             for j in 0..d {
@@ -118,7 +117,12 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap();
         let y = ln.forward(&x);
         let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

@@ -41,7 +41,11 @@ impl Param {
     /// Wraps a value tensor as a parameter with a zeroed gradient.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.dims());
-        Param { name: name.into(), value, grad }
+        Param {
+            name: name.into(),
+            value,
+            grad,
+        }
     }
 
     /// Resets the accumulated gradient to zero.
@@ -182,9 +186,7 @@ mod tests {
         let y = net.forward(&x);
         net.backward(&y);
         let mut nonzero = 0;
-        net.visit_params(&mut |p| {
-            nonzero += p.grad.data().iter().filter(|&&g| g != 0.0).count()
-        });
+        net.visit_params(&mut |p| nonzero += p.grad.data().iter().filter(|&&g| g != 0.0).count());
         assert!(nonzero > 0);
         net.zero_grad();
         net.visit_params(&mut |p| assert!(p.grad.data().iter().all(|&g| g == 0.0)));

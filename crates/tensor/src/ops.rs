@@ -15,7 +15,11 @@ impl Tensor {
             return Err(TensorError::RankMismatch {
                 op: "matmul",
                 expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { rhs.rank() },
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    rhs.rank()
+                },
             });
         }
         if !self.shape().matmul_compatible(rhs.shape()) {
@@ -53,7 +57,11 @@ impl Tensor {
             return Err(TensorError::RankMismatch {
                 op: "matmul_t",
                 expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { rhs.rank() },
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    rhs.rank()
+                },
             });
         }
         if self.dims()[1] != rhs.dims()[1] {
@@ -91,7 +99,11 @@ impl Tensor {
             return Err(TensorError::RankMismatch {
                 op: "t_matmul",
                 expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { rhs.rank() },
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    rhs.rank()
+                },
             });
         }
         if self.dims()[0] != rhs.dims()[0] {
@@ -374,15 +386,25 @@ mod tests {
     fn matmul_rejects_bad_shapes() {
         let a = t2(&[1.0; 6], 2, 3);
         let b = t2(&[1.0; 4], 2, 2);
-        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
         let v = Tensor::arange(3);
-        assert!(matches!(v.matmul(&b), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            v.matmul(&b),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
     fn matmul_t_equals_matmul_with_transpose() {
         let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
-        let b = t2(&[1.0, 0.0, 2.0, -1.0, 0.5, 3.0, 1.0, 1.0, 2.0, 0.0, -2.0, 4.0], 4, 3);
+        let b = t2(
+            &[1.0, 0.0, 2.0, -1.0, 0.5, 3.0, 1.0, 1.0, 2.0, 0.0, -2.0, 4.0],
+            4,
+            3,
+        );
         let direct = a.matmul_t(&b).unwrap();
         let via_transpose = a.matmul(&b.transpose().unwrap()).unwrap();
         assert!(direct.max_abs_diff(&via_transpose).unwrap() < 1e-6);
@@ -458,7 +480,12 @@ mod tests {
         let a = Tensor::ones(&[2, 2]);
         let b = Tensor::ones(&[4]);
         assert!(a.add(&b).is_err());
-        assert!(a.mul(&Tensor::full(&[2, 2], 3.0)).unwrap().data().iter().all(|&v| v == 3.0));
+        assert!(a
+            .mul(&Tensor::full(&[2, 2], 3.0))
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| v == 3.0));
         assert_eq!(a.sub(&a).unwrap().sum(), 0.0);
     }
 }

@@ -19,7 +19,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, clip: None, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            clip: None,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adds heavy-ball momentum.
@@ -192,8 +197,9 @@ mod tests {
         let mut lin = Linear::new(4, 3, &mut rng);
         let x = rng::uniform(&[12, 4], 1.0, &mut rng);
         // Labels derived from a fixed rule so the problem is learnable.
-        let targets: Vec<usize> =
-            (0..12).map(|i| (x.row(i)[0] > 0.0) as usize + (x.row(i)[1] > 0.0) as usize).collect();
+        let targets: Vec<usize> = (0..12)
+            .map(|i| (x.row(i)[0] > 0.0) as usize + (x.row(i)[1] > 0.0) as usize)
+            .collect();
         let mut loss = SoftmaxCrossEntropy::new();
         let mut last = f32::MAX;
         for _ in 0..300 {

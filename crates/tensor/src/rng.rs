@@ -59,7 +59,11 @@ mod tests {
     fn normal_has_roughly_correct_moments() {
         let t = normal(&[10_000], 2.0, 0.5, &mut seeded(7));
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!((var - 0.25).abs() < 0.05, "var {var}");

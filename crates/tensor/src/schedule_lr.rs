@@ -41,7 +41,11 @@ impl LrSchedule {
     pub fn multiplier(&self, step: usize) -> f32 {
         match *self {
             LrSchedule::Constant => 1.0,
-            LrSchedule::WarmupCosine { warmup, total, min_frac } => {
+            LrSchedule::WarmupCosine {
+                warmup,
+                total,
+                min_frac,
+            } => {
                 if warmup > 0 && step < warmup {
                     (step + 1) as f32 / warmup as f32
                 } else if step >= total {
@@ -61,9 +65,7 @@ impl LrSchedule {
                     (w / (step + 1) as f32).sqrt()
                 }
             }
-            LrSchedule::StepDecay { every, factor } => {
-                factor.powi((step / every.max(1)) as i32)
-            }
+            LrSchedule::StepDecay { every, factor } => factor.powi((step / every.max(1)) as i32),
         }
     }
 
@@ -86,7 +88,11 @@ mod tests {
 
     #[test]
     fn warmup_cosine_ramps_peaks_and_decays() {
-        let s = LrSchedule::WarmupCosine { warmup: 100, total: 1000, min_frac: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            warmup: 100,
+            total: 1000,
+            min_frac: 0.1,
+        };
         assert!(s.multiplier(0) < 0.02);
         assert!((s.multiplier(99) - 1.0).abs() < 1e-6);
         // Midpoint of the cosine span sits halfway between 1 and min.
@@ -109,7 +115,10 @@ mod tests {
 
     #[test]
     fn step_decay_steps_down() {
-        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
         assert_eq!(s.multiplier(9), 1.0);
         assert_eq!(s.multiplier(10), 0.5);
         assert_eq!(s.multiplier(29), 0.25);
@@ -117,7 +126,10 @@ mod tests {
 
     #[test]
     fn lr_at_scales_the_base() {
-        let s = LrSchedule::StepDecay { every: 5, factor: 0.1 };
+        let s = LrSchedule::StepDecay {
+            every: 5,
+            factor: 0.1,
+        };
         assert!((s.lr_at(5, 3e-4) - 3e-5).abs() < 1e-9);
     }
 }

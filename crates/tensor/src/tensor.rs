@@ -45,12 +45,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer of {actual} elements cannot fill shape of {expected}")
+                write!(
+                    f,
+                    "buffer of {actual} elements cannot fill shape of {expected}"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
             }
-            TensorError::RankMismatch { op, expected, actual } => {
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "{op}: expected rank {expected}, got {actual}")
             }
             TensorError::IndexOutOfBounds { index, shape } => {
@@ -92,19 +99,28 @@ impl Tensor {
     /// Creates a zero-filled tensor of the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates a one-filled tensor of the given shape.
     pub fn ones(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![1.0; shape.numel()], shape }
+        Tensor {
+            data: vec![1.0; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -126,7 +142,10 @@ impl Tensor {
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::new(&[]) }
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(&[]),
+        }
     }
 
     /// Returns the tensor shape.
@@ -200,7 +219,10 @@ impl Tensor {
                 actual: self.numel(),
             });
         }
-        Ok(Tensor { data: self.data.clone(), shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
     }
 
     /// Reinterprets the tensor in place with a new shape.
@@ -283,7 +305,13 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(vec![1.0, 2.0], &[2]).is_ok());
         let err = Tensor::from_vec(vec![1.0, 2.0], &[3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 3, actual: 2 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 3,
+                actual: 2
+            }
+        );
     }
 
     #[test]

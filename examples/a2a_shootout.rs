@@ -29,7 +29,11 @@ fn main() {
     let size = 640_000_000u64; // the CT-MoE ablation-scale payload
 
     for hw in &profiles {
-        println!("== {} ==  ({} exchange per GPU)", hw.name, size / 1_000_000 * 1_000_000);
+        println!(
+            "== {} ==  ({} exchange per GPU)",
+            hw.name,
+            size / 1_000_000 * 1_000_000
+        );
         let mut best: Option<(&str, SimTime)> = None;
         for (name, alg) in &algs {
             let t = a2a_time(alg.as_ref(), &topo, hw, size).expect("valid plan");

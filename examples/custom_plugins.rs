@@ -65,7 +65,11 @@ impl Compressor for SignLog4 {
             let nib = (payload[i / 2] >> ((i % 2) * 4)) & 0xf;
             let sign = if nib & 8 != 0 { -1.0f32 } else { 1.0 };
             let mag = nib & 7;
-            let v = if mag == 0 { 0.0 } else { (mag as f32 - 5.0).exp2() };
+            let v = if mag == 0 {
+                0.0
+            } else {
+                (mag as f32 - 5.0).exp2()
+            };
             out.push(sign * v);
         }
         Ok(out)

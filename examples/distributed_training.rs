@@ -98,8 +98,7 @@ fn main() {
         println!("{:>6} {}", step, row.join("  "));
     }
     let first: f32 = losses.iter().map(|l| l[0].1).sum::<f32>() / losses.len() as f32;
-    let last: f32 =
-        losses.iter().map(|l| l[checkpoints - 1].1).sum::<f32>() / losses.len() as f32;
+    let last: f32 = losses.iter().map(|l| l[checkpoints - 1].1).sum::<f32>() / losses.len() as f32;
     println!("\nmean loss: {first:.4} -> {last:.4}");
     assert!(last < first, "training should reduce the loss");
 }

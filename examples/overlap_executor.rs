@@ -27,7 +27,7 @@ const CHUNK_ELEMS: usize = 1_500_000;
 const WIRE_MS: u64 = 60;
 
 /// Builds the 7×R task closures in the order a schedule dictates.
-fn build_tasks(schedule: &Schedule) -> Vec<ExecTask> {
+fn build_tasks(schedule: &Schedule) -> Vec<ExecTask<'_>> {
     let codec = Arc::new(ZfpCompressor::default());
     let data = Arc::new(rng::uniform(&[CHUNK_ELEMS], 1.0, &mut seeded(1)).into_vec());
 
@@ -107,7 +107,11 @@ fn build_tasks(schedule: &Schedule) -> Vec<ExecTask> {
             TaskKind::Expert => Box::new(expert.clone()),
             _ => unreachable!(),
         };
-        tasks.push(ExecTask { worker: Worker::Compute, deps, run });
+        tasks.push(ExecTask {
+            worker: Worker::Compute,
+            deps,
+            run,
+        });
     }
     for &(kind, chunk) in &comm_order {
         let producer = if kind == TaskKind::AllToAll1 {

@@ -26,7 +26,11 @@ fn fp16_compression_preserves_lm_convergence() {
         k: 2,
         capacity_factor: 2.0,
     };
-    let trainer = Trainer { steps: 120, batch: 12, ..Default::default() };
+    let trainer = Trainer {
+        steps: 120,
+        batch: 12,
+        ..Default::default()
+    };
 
     let mut exact = TinyMoeLm::new(cfg.clone(), &mut seeded(62));
     let exact_report = trainer.run_markov(&mut exact, &data);
@@ -72,8 +76,7 @@ fn distributed_moe_training_reduces_loss() {
                 let want = x.map(|v| v * 0.5 - 0.1);
                 let y = layer.forward(&mut h, &x, tag).expect("healthy");
                 let diff = y.sub(&want).expect("same shape");
-                let loss = diff.data().iter().map(|d| d * d).sum::<f32>()
-                    / diff.numel() as f32;
+                let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / diff.numel() as f32;
                 if step == 0 {
                     first = loss;
                 }
@@ -118,7 +121,9 @@ fn interleaved_collectives_are_isolated() {
         let me = h.rank() as u8;
         let p = h.world_size();
         let mk = |round: u8| -> Vec<Bytes> {
-            (0..p).map(|j| Bytes::from(vec![me, j as u8, round])).collect()
+            (0..p)
+                .map(|j| Bytes::from(vec![me, j as u8, round]))
+                .collect()
         };
         let algs: Vec<Box<dyn AllToAll>> = vec![
             Box::new(NcclA2A),
@@ -161,14 +166,14 @@ fn data_fidelity_through_the_stack() {
             .map(|j| rng::uniform(&[8, 4], 1.0, &mut seeded((me * p + j) as u64)))
             .collect();
         let codec = ZfpCompressor::default();
-        let chunks: Vec<Bytes> =
-            rows.iter().map(|t| codec.compress(t.data())).collect();
-        let got = PipeA2A::new().all_to_all(&mut h, chunks, 0).expect("healthy");
+        let chunks: Vec<Bytes> = rows.iter().map(|t| codec.compress(t.data())).collect();
+        let got = PipeA2A::new()
+            .all_to_all(&mut h, chunks, 0)
+            .expect("healthy");
         let decoded: Vec<Tensor> = got
             .iter()
             .map(|b| {
-                Tensor::from_vec(codec.decompress(b, 32).expect("valid"), &[8, 4])
-                    .expect("shape")
+                Tensor::from_vec(codec.decompress(b, 32).expect("valid"), &[8, 4]).expect("shape")
             })
             .collect();
         decoded
@@ -203,7 +208,11 @@ fn lm_checkpoint_round_trip() {
         capacity_factor: 4.0,
     };
     let mut lm = TinyMoeLm::new(cfg.clone(), &mut seeded(91));
-    let trainer = Trainer { steps: 30, batch: 8, ..Default::default() };
+    let trainer = Trainer {
+        steps: 30,
+        batch: 8,
+        ..Default::default()
+    };
     trainer.run_markov(&mut lm, &data);
     let probe = data.sample_batch(4, 8, &mut seeded(92));
     let logits_before = lm.logits(&probe);
@@ -213,7 +222,11 @@ fn lm_checkpoint_round_trip() {
     // is generous so routing decisions depend only on parameters.
     let mut restored = TinyMoeLm::new(cfg, &mut seeded(4242));
     assert!(
-        restored.logits(&probe).max_abs_diff(&logits_before).unwrap() > 1e-3,
+        restored
+            .logits(&probe)
+            .max_abs_diff(&logits_before)
+            .unwrap()
+            > 1e-3,
         "fresh model should differ"
     );
     checkpoint::load(&ckpt, &mut |f| restored.visit_params(f)).unwrap();

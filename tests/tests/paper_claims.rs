@@ -40,9 +40,11 @@ fn schemoe_always_beats_tutel_on_the_sweep_sample() {
 #[test]
 fn optsche_is_optimal_for_real_layer_costs() {
     let (topo, hw) = env();
-    for (tokens, m, h, ratio) in
-        [(4096usize, 1024usize, 4096usize, 4.0f64), (16384, 8192, 8192, 4.0), (1024, 512, 512, 1.0)]
-    {
+    for (tokens, m, h, ratio) in [
+        (4096usize, 1024usize, 4096usize, 4.0f64),
+        (16384, 8192, 8192, 4.0),
+        (1024, 512, 512, 1.0),
+    ] {
         let costs = schemoe_scheduler::MoeLayerCosts {
             tokens,
             model_dim: m,
@@ -92,8 +94,20 @@ fn fig9_orderings_hold() {
     // 1DH is the loser at median sizes and OOMs at 2 GB.
     let s = 64 << 20;
     assert!(one(s) > nccl(s) && one(s) > two(s) && one(s) > pipe(s));
-    assert!(!a2a_fits_memory(&OneDimHierA2A, &topo, &hw, 2 << 30, 1 << 30));
-    assert!(a2a_fits_memory(&PipeA2A::new(), &topo, &hw, 2 << 30, 1 << 30));
+    assert!(!a2a_fits_memory(
+        &OneDimHierA2A,
+        &topo,
+        &hw,
+        2 << 30,
+        1 << 30
+    ));
+    assert!(a2a_fits_memory(
+        &PipeA2A::new(),
+        &topo,
+        &hw,
+        2 << 30,
+        1 << 30
+    ));
     // Large-regime factors: ~1.4x over NCCL, ~2x over 2DH.
     let s = 2_000_000_000u64;
     let f_nccl = nccl(s) / pipe(s);
@@ -117,7 +131,10 @@ fn ablation_is_monotone() {
     let naive = NaiveSystem::new().layer_time(&shape, &topo, &hw);
     let full = ScheMoeSystem::default_config().layer_time(&shape, &topo, &hw);
     let speedup = naive / full;
-    assert!((1.9..3.1).contains(&speedup), "ablation speedup {speedup:.2}");
+    assert!(
+        (1.9..3.1).contains(&speedup),
+        "ablation speedup {speedup:.2}"
+    );
 }
 
 /// The scheduling framework accepts every combination of codec ratio, A2A

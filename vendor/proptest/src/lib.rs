@@ -1,0 +1,424 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, ranges
+//! and tuples and `Vec<S>` as strategies, [`collection::vec`],
+//! [`test_runner::ProptestConfig`], and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` macros. Cases are generated from a
+//! generator seeded by the test's module path and name, so runs are
+//! fully deterministic; there is no shrinking — a failing case reports
+//! its case index so it can be replayed by rerunning the test.
+
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-test seed: FNV-1a over the test's full name.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The case generator: SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the generator for one test case.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, span)` via Lemire reduction.
+        pub fn below(&mut self, span: u64) -> u64 {
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of an associated type.
+    pub trait Strategy {
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Derives a second strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+    macro_rules! float_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let u = (rng.unit_f64() * (1.0 + f64::EPSILON)) as $t;
+                    (start + (end - start) * u).min(end)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategies!(f64, f32);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for a `Vec` of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { .. }`
+/// item becomes a `#[test]`-attributed function running the body over
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed = $crate::test_runner::seed_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(
+                        __seed ^ (__case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat), &mut __rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, with optional format context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property, with optional format context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (1usize..5).prop_map(|n| n * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_sees_inner_value() {
+        let mut rng = TestRng::from_seed(2);
+        let s = (2usize..6).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0usize..n, n)).prop_map(|(n, v)| (n, v))
+        });
+        for _ in 0..100 {
+            let (n, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        let s = crate::collection::vec(0.0f32..1.0, 2..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: binds args, honours the config, and reruns
+        /// deterministically.
+        #[test]
+        fn macro_binds_arguments(a in 0usize..10, b in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_eq!(a, a, "reflexivity for {}", a);
+        }
+    }
+}

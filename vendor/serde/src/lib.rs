@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The traits are markers satisfied by every type (blanket impls), and
+//! the re-exported derive macros expand to nothing: the workspace only
+//! annotates types for intent and never drives an actual serializer.
+
+/// Marker for serializable types; trivially satisfied.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types; trivially satisfied.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for documentation of
+//! intent but never routes the types through a serializer (there is no
+//! `serde_json` in the dependency tree), so the derives expand to
+//! nothing. The marker traits in the `serde` stub have no methods, which
+//! keeps any future `T: Serialize` bound satisfiable via a blanket impl
+//! there rather than per-type codegen here.
+
+use proc_macro::TokenStream;
+
+/// No-op expansion of `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op expansion of `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
