@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use schemoe_obs as obs;
 
 use crate::topology::{Rank, Topology};
 
@@ -103,6 +104,8 @@ pub struct RankHandle {
     barrier: Arc<Barrier>,
     /// Optional wall-clock charge applied to cross-rank sends.
     wire: Option<WireModel>,
+    /// This rank's traffic counters (no-ops while the recorder is off).
+    counters: Arc<obs::RankCounters>,
 }
 
 impl RankHandle {
@@ -136,9 +139,14 @@ impl RankHandle {
         }
         if let Some(wire) = self.wire {
             if to != self.rank {
+                // The modeled transfer occupies the sending thread; record
+                // it as a span so traces show wire time where it is spent.
+                let _g = obs::enabled()
+                    .then(|| obs::span_sized("send", format!("send->{to}"), payload.len() as f64));
                 std::thread::sleep(wire.transfer_time(payload.len()));
             }
         }
+        self.counters.add_send(payload.len());
         self.senders[to]
             .send(Msg { tag, payload })
             .map_err(|_| FabricError::Disconnected { peer: to })
@@ -159,14 +167,21 @@ impl RankHandle {
         }
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if !queue.is_empty() {
-                return Ok(queue.remove(0));
+                let payload = queue.remove(0);
+                self.counters.add_recv(payload.len());
+                return Ok(payload);
             }
         }
+        let wait_start = obs::enabled().then(Instant::now);
         loop {
             let msg = self.receivers[from]
                 .recv()
                 .map_err(|_| FabricError::Disconnected { peer: from })?;
             if msg.tag == tag {
+                if let Some(t0) = wait_start {
+                    self.counters.add_recv_wait(t0.elapsed());
+                }
+                self.counters.add_recv(msg.payload.len());
                 return Ok(msg.payload);
             }
             self.pending
@@ -199,13 +214,17 @@ impl RankHandle {
         }
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if !queue.is_empty() {
-                return Ok(queue.remove(0));
+                let payload = queue.remove(0);
+                self.counters.add_recv(payload.len());
+                return Ok(payload);
             }
         }
+        let wait_start = obs::enabled().then(Instant::now);
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
+                self.counters.add_timeout();
                 return Err(FabricError::Timeout {
                     peer: from,
                     tag,
@@ -213,7 +232,13 @@ impl RankHandle {
                 });
             }
             match self.receivers[from].recv_timeout(remaining) {
-                Ok(msg) if msg.tag == tag => return Ok(msg.payload),
+                Ok(msg) if msg.tag == tag => {
+                    if let Some(t0) = wait_start {
+                        self.counters.add_recv_wait(t0.elapsed());
+                    }
+                    self.counters.add_recv(msg.payload.len());
+                    return Ok(msg.payload);
+                }
                 Ok(msg) => {
                     self.pending
                         .entry((from, msg.tag))
@@ -221,6 +246,7 @@ impl RankHandle {
                         .push(msg.payload);
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.counters.add_timeout();
                     return Err(FabricError::Timeout {
                         peer: from,
                         tag,
@@ -304,6 +330,7 @@ impl Fabric {
                 pending: HashMap::new(),
                 barrier: Arc::clone(&barrier),
                 wire,
+                counters: obs::counters_for_rank(rank),
             });
         }
 
@@ -311,7 +338,17 @@ impl Fabric {
         std::thread::scope(|scope| {
             let joins: Vec<_> = handles
                 .into_iter()
-                .map(|h| scope.spawn(move || f(h)))
+                .map(|h| {
+                    scope.spawn(move || {
+                        if obs::enabled() {
+                            // Attribute this thread's spans to its rank so
+                            // exported traces group by process = rank.
+                            obs::set_thread_rank(h.rank());
+                            obs::set_thread_name(format!("rank{}", h.rank()));
+                        }
+                        f(h)
+                    })
+                })
                 .collect();
             joins
                 .into_iter()
@@ -498,6 +535,37 @@ mod tests {
             h.recv(0, 0).unwrap()
         });
         assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn counters_track_traffic_waits_and_timeouts() {
+        // The recorder is process-global and other tests in this binary may
+        // run concurrently while it is enabled, so assert monotone deltas
+        // rather than exact totals.
+        let before: u64 = obs::counters_for_rank(0).snapshot().bytes_sent
+            + obs::counters_for_rank(1).snapshot().bytes_sent;
+        obs::enable();
+        let topo = Topology::new(1, 2);
+        Fabric::run(topo, |mut h| {
+            if h.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+                h.send(1, 0, Bytes::copy_from_slice(&[0u8; 64])).unwrap();
+                h.barrier();
+            } else {
+                // Blocks ~5 ms: recorded as queue wait.
+                h.recv(0, 0).unwrap();
+                // A silent peer: recorded as a timeout.
+                let _ = h.recv_timeout(0, 9, Duration::from_millis(10));
+                h.barrier();
+            }
+        });
+        obs::disable();
+        let r0 = obs::counters_for_rank(0).snapshot();
+        let r1 = obs::counters_for_rank(1).snapshot();
+        assert!(r0.bytes_sent + r1.bytes_sent >= before + 64);
+        assert!(r1.bytes_recv >= 64);
+        assert!(r1.recv_wait_ns >= 1_000_000, "no queue wait recorded");
+        assert!(r1.timeouts >= 1);
     }
 
     #[test]

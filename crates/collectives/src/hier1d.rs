@@ -41,6 +41,7 @@ impl AllToAll for OneDimHierA2A {
         let topo = handle.topology();
         let p = topo.world_size();
         assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+        let _span = crate::coll_span("1dh", tag_base, &chunks);
         let me = handle.rank();
         let my_node = topo.node_of(me);
         let leader = Self::leader_of(&topo, me);

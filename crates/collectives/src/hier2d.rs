@@ -33,6 +33,7 @@ impl AllToAll for TwoDimHierA2A {
         let topo = handle.topology();
         let p = topo.world_size();
         assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+        let _span = crate::coll_span("2dh", tag_base, &chunks);
         let me = handle.rank();
         let my_node = topo.node_of(me);
         let my_local = topo.local_rank(me);

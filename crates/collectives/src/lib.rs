@@ -72,6 +72,33 @@ pub mod lanes {
     pub const LANE_BWD_GRAD: u64 = TAG_STRIDE / 2;
     /// Backward: input gradients travel back to the token owners.
     pub const LANE_BWD_RETURN: u64 = 3 * (TAG_STRIDE / 4);
+
+    /// The lane a tag falls in, as a stable display name. Used to label
+    /// recorded collective spans per lane.
+    pub fn lane_name(tag: u64) -> &'static str {
+        match (tag % TAG_STRIDE) / (TAG_STRIDE / 4) {
+            0 => "dispatch",
+            1 => "combine",
+            2 => "bwd_grad",
+            _ => "bwd_return",
+        }
+    }
+}
+
+/// Opens the per-lane observability span every functional exchange records:
+/// category `"coll"`, name `"{algorithm}:{lane}"`, size = total payload
+/// bytes this rank contributes. No-op (and allocation-free) while the
+/// recorder is disabled.
+fn coll_span(alg: &str, tag: u64, chunks: &[Bytes]) -> schemoe_obs::SpanGuard {
+    if !schemoe_obs::enabled() {
+        return schemoe_obs::span("coll", String::new());
+    }
+    let bytes: usize = chunks.iter().map(Bytes::len).sum();
+    schemoe_obs::span_sized(
+        "coll",
+        format!("{alg}:{}", lanes::lane_name(tag)),
+        bytes as f64,
+    )
 }
 
 /// The tag for chunk `chunk` of the exchange in `lane`, under `tag_base`.
@@ -156,6 +183,7 @@ pub fn reference_all_to_all(
 ) -> Result<Vec<Bytes>, FabricError> {
     let p = handle.world_size();
     assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+    let _span = coll_span("ref", tag_base, &chunks);
     for (j, chunk) in chunks.into_iter().enumerate() {
         handle.send(j, tag_base, chunk)?;
     }
@@ -181,6 +209,7 @@ pub fn reference_all_to_all_timeout(
 ) -> Result<Vec<Bytes>, FabricError> {
     let p = handle.world_size();
     assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+    let _span = coll_span("ref", tag, &chunks);
     for (j, chunk) in chunks.into_iter().enumerate() {
         handle.send(j, tag, chunk)?;
     }

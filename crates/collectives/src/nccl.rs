@@ -28,6 +28,7 @@ impl AllToAll for NcclA2A {
     ) -> Result<Vec<Bytes>, FabricError> {
         let p = handle.world_size();
         assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+        let _span = crate::coll_span("nccl", tag_base, &chunks);
         let me = handle.rank();
         let mut out: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
         let mut chunks: Vec<Option<Bytes>> = chunks.into_iter().map(Some).collect();

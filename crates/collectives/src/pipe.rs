@@ -55,6 +55,7 @@ impl AllToAll for PipeA2A {
     ) -> Result<Vec<Bytes>, FabricError> {
         let p = handle.world_size();
         assert_eq!(chunks.len(), p, "one chunk per destination rank required");
+        let _span = crate::coll_span("pipe", tag_base, &chunks);
         let me = handle.rank();
         let topo = handle.topology();
         let mut out: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();

@@ -75,6 +75,11 @@ pub struct ScheMoeConfig {
     pub recv_timeout_ms: Option<u64>,
     /// Compress A2A payloads to fp16 on the wire.
     pub fp16_wire: bool,
+    /// Turn on the [`schemoe_obs`] span/counter recorder when the layer is
+    /// configured, so forwards produce a measured timeline ([`take`] it
+    /// with [`schemoe_obs::take`] and export via
+    /// [`FuncTrace::to_chrome_trace`](schemoe_obs::FuncTrace::to_chrome_trace)).
+    pub trace: bool,
 }
 
 impl ScheMoeConfig {
@@ -84,6 +89,7 @@ impl ScheMoeConfig {
             partition_degree: 1,
             recv_timeout_ms: None,
             fp16_wire: false,
+            trace: false,
         }
     }
 
@@ -93,12 +99,19 @@ impl ScheMoeConfig {
             partition_degree: r,
             recv_timeout_ms: Some(30_000),
             fp16_wire: false,
+            trace: false,
         }
     }
 
     /// Enables fp16 wire compression.
     pub fn with_fp16_wire(mut self) -> Self {
         self.fp16_wire = true;
+        self
+    }
+
+    /// Enables the span/counter recorder (see [`schemoe_obs`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -117,7 +130,14 @@ impl ScheMoeConfig {
     }
 
     /// Applies the execution knobs to a constructed layer.
+    ///
+    /// With [`trace`](Self::trace) set this also switches the process-wide
+    /// recorder on; it stays on (recording every configured layer) until
+    /// [`schemoe_obs::disable`] is called.
     pub fn configure(&self, layer: DistributedMoeLayer) -> DistributedMoeLayer {
+        if self.trace {
+            schemoe_obs::enable();
+        }
         let mut layer = layer.with_partition_degree(self.partition_degree);
         if let Some(t) = self.recv_timeout() {
             layer = layer.with_recv_timeout(t);

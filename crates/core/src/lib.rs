@@ -44,6 +44,9 @@ pub mod systems;
 pub use adaptive::AdaptiveScheMoe;
 pub use config::{LayerShape, ScheMoeConfig};
 pub use registry::{A2aRegistry, CompressorRegistry, ScheduleRegistry};
+/// Runtime observability: span recorder, per-rank fabric counters, and the
+/// shared Trace Event Format writer both substrates export through.
+pub use schemoe_obs as obs;
 pub use step_time::{model_step_time, StepEstimate, StepTimeError};
 pub use systems::{FasterMoeEmu, MoeSystem, NaiveSystem, ScheMoeSystem, TutelEmu};
 
@@ -60,5 +63,6 @@ pub mod prelude {
     pub use schemoe_models::{LmConfig, MoeModelConfig, TinyMoeLm, TrainReport, Trainer};
     pub use schemoe_moe::{DistributedMoeLayer, MoeLayer, TopKGate};
     pub use schemoe_netsim::SimTime;
+    pub use schemoe_obs::{FuncTrace, SpanRecord};
     pub use schemoe_scheduler::{optsche, MoeLayerCosts, Profiler, TaskSet};
 }

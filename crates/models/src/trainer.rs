@@ -1,6 +1,7 @@
 //! Training loops and metrics for the convergence experiments.
 
 use rand::rngs::SmallRng;
+use schemoe_obs as obs;
 use schemoe_tensor::optim::Adam;
 use schemoe_tensor::rng::seeded;
 
@@ -57,10 +58,20 @@ impl Trainer {
         let mut curve = Vec::new();
         let mut window = Vec::new();
         for step in 0..self.steps {
+            let _step_span = obs::span("step", format!("step{step}"));
             let tokens = data.sample_batch(self.batch, t, &mut rng);
-            let loss = lm.loss_on(&tokens);
-            lm.backward();
-            opt.step_params(&mut |f| lm.visit_params(f));
+            let loss = {
+                let _s = obs::span("forward", "forward");
+                lm.loss_on(&tokens)
+            };
+            {
+                let _s = obs::span("backward", "backward");
+                lm.backward();
+            }
+            {
+                let _s = obs::span("optimizer", "adam");
+                opt.step_params(&mut |f| lm.visit_params(f));
+            }
             window.push(loss);
             if (step + 1) % (self.steps / 10).max(1) == 0 {
                 curve.push(window.iter().sum::<f32>() / window.len() as f32);
@@ -94,10 +105,20 @@ impl Trainer {
         let mut curve = Vec::new();
         let mut window = Vec::new();
         for step in 0..self.steps {
+            let _step_span = obs::span("step", format!("step{step}"));
             let tokens = data.sample_batch(self.batch, &mut rng);
-            let loss = lm.loss_on(&tokens);
-            lm.backward();
-            opt.step_params(&mut |f| lm.visit_params(f));
+            let loss = {
+                let _s = obs::span("forward", "forward");
+                lm.loss_on(&tokens)
+            };
+            {
+                let _s = obs::span("backward", "backward");
+                lm.backward();
+            }
+            {
+                let _s = obs::span("optimizer", "adam");
+                opt.step_params(&mut |f| lm.visit_params(f));
+            }
             window.push(loss);
             if (step + 1) % (self.steps / 10).max(1) == 0 {
                 curve.push(window.iter().sum::<f32>() / window.len() as f32);

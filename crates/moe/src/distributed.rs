@@ -9,6 +9,7 @@ use schemoe_collectives::{
     chunk_tag, lanes, reference_all_to_all, reference_all_to_all_timeout, AllToAll, TAG_STRIDE,
 };
 use schemoe_compression::Compressor;
+use schemoe_obs as obs;
 use schemoe_scheduler::executor::{run_overlapped, ExecTask, Worker};
 use schemoe_tensor::nn::Param;
 use schemoe_tensor::Tensor;
@@ -245,28 +246,41 @@ impl DistributedMoeLayer {
         let m = x.dims()[1];
         let n = x.dims()[0];
         let epr = self.experts_per_rank;
-        let decision = self.gate.forward(x);
+        let decision = {
+            let _g = obs::span("gate", "gate");
+            self.gate.forward(x)
+        };
 
         // Build one chunk per destination rank: this rank's admitted rows
         // for each of the destination's local experts.
-        let mut chunks = Vec::with_capacity(p);
-        for dst in 0..p {
-            let mut per_expert = Vec::with_capacity(epr);
-            for le in 0..epr {
-                let e = dst * epr + le;
-                let slots = &decision.expert_slots[e];
-                let mut rows = Tensor::zeros(&[slots.len(), m]);
-                for (s, &(t, _)) in slots.iter().enumerate() {
-                    rows.row_mut(s).copy_from_slice(x.row(t));
+        let chunks = {
+            let _s = obs::span_sized("encode", "C1", (n * m * 4) as f64);
+            let mut chunks = Vec::with_capacity(p);
+            for dst in 0..p {
+                let mut per_expert = Vec::with_capacity(epr);
+                for le in 0..epr {
+                    let e = dst * epr + le;
+                    let slots = &decision.expert_slots[e];
+                    let mut rows = Tensor::zeros(&[slots.len(), m]);
+                    for (s, &(t, _)) in slots.iter().enumerate() {
+                        rows.row_mut(s).copy_from_slice(x.row(t));
+                    }
+                    per_expert.push(rows);
                 }
-                per_expert.push(rows);
+                chunks.push(Self::encode_chunk(self.compressor.as_ref(), &per_expert, m));
             }
-            chunks.push(Self::encode_chunk(self.compressor.as_ref(), &per_expert, m));
-        }
+            chunks
+        };
         let dispatch_tag = tag_base;
-        let received = self.a2a.all_to_all(h, chunks, dispatch_tag)?;
+        let sent_bytes: usize = chunks.iter().map(Bytes::len).sum();
+        let received = {
+            let _s = obs::span_sized("a2a", "A1", sent_bytes as f64);
+            self.a2a.all_to_all(h, chunks, dispatch_tag)?
+        };
+        let recv_bytes: usize = received.iter().map(Bytes::len).sum();
 
         // Decode: concatenate per local expert, src-major.
+        let d1 = obs::span_sized("decode", "D1", recv_bytes as f64);
         let mut expert_inputs = Vec::with_capacity(epr);
         let mut recv_counts = vec![Vec::with_capacity(p); epr];
         let decoded: Vec<Vec<Tensor>> = received
@@ -289,36 +303,54 @@ impl DistributedMoeLayer {
             }
             expert_inputs.push(input);
         }
+        drop(d1);
 
         // Local expert computation.
-        let expert_outputs: Vec<Tensor> = expert_inputs
-            .iter()
-            .enumerate()
-            .map(|(le, input)| self.local_experts[le].forward(input))
-            .collect();
+        let expert_rows: usize = expert_inputs.iter().map(|t| t.dims()[0]).sum();
+        let expert_outputs: Vec<Tensor> = {
+            let _s = obs::span_sized("expert", "E", expert_rows as f64);
+            expert_inputs
+                .iter()
+                .enumerate()
+                .map(|(le, input)| self.local_experts[le].forward(input))
+                .collect()
+        };
 
         // Ship outputs back: chunk for src rank = its slice of each local
         // expert's output.
-        let mut back_chunks = Vec::with_capacity(p);
-        for src in 0..p {
-            let mut per_expert = Vec::with_capacity(epr);
-            for le in 0..epr {
-                let before: usize = recv_counts[le][..src].iter().sum();
-                let count = recv_counts[le][src];
-                let mut rows = Tensor::zeros(&[count, m]);
-                for r in 0..count {
-                    rows.row_mut(r)
-                        .copy_from_slice(expert_outputs[le].row(before + r));
+        let back_chunks = {
+            let _s = obs::span_sized("encode", "C2", (expert_rows * m * 4) as f64);
+            let mut back_chunks = Vec::with_capacity(p);
+            for src in 0..p {
+                let mut per_expert = Vec::with_capacity(epr);
+                for le in 0..epr {
+                    let before: usize = recv_counts[le][..src].iter().sum();
+                    let count = recv_counts[le][src];
+                    let mut rows = Tensor::zeros(&[count, m]);
+                    for r in 0..count {
+                        rows.row_mut(r)
+                            .copy_from_slice(expert_outputs[le].row(before + r));
+                    }
+                    per_expert.push(rows);
                 }
-                per_expert.push(rows);
+                back_chunks.push(Self::encode_chunk(self.compressor.as_ref(), &per_expert, m));
             }
-            back_chunks.push(Self::encode_chunk(self.compressor.as_ref(), &per_expert, m));
-        }
+            back_chunks
+        };
         let combine_tag = tag_base + TAG_STRIDE / 4;
-        let returned = self.a2a.all_to_all(h, back_chunks, combine_tag)?;
+        let back_bytes: usize = back_chunks.iter().map(Bytes::len).sum();
+        let returned = {
+            let _s = obs::span_sized("a2a", "A2", back_bytes as f64);
+            self.a2a.all_to_all(h, back_chunks, combine_tag)?
+        };
 
         // Combine: the chunk from rank r holds outputs for the experts r
         // owns, in this rank's slot order.
+        let d2 = obs::span_sized(
+            "decode",
+            "D2",
+            returned.iter().map(Bytes::len).sum::<usize>() as f64,
+        );
         let mut y = Tensor::zeros(&[n, m]);
         let mut returned_outputs: Vec<Tensor> = Vec::with_capacity(p * epr);
         for owner in 0..p {
@@ -337,6 +369,7 @@ impl DistributedMoeLayer {
                 returned_outputs.push(rows);
             }
         }
+        drop(d2);
         self.cache = Some(Cache {
             decision,
             recv_counts,
@@ -392,7 +425,10 @@ impl DistributedMoeLayer {
         let n = x.dims()[0];
         let epr = self.experts_per_rank;
         let timeout = self.recv_timeout;
-        let decision = self.gate.forward(x);
+        let decision = {
+            let _g = obs::span("gate", "gate");
+            self.gate.forward(x)
+        };
         let decision_ref = &decision;
 
         // Field split: pipeline closures share the compressor immutably
@@ -429,6 +465,7 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Compute,
                 deps: vec![],
+                span: Some(("encode", format!("C1[c{c}]"))),
                 run: Box::new(move || {
                     if error.lock().is_some() {
                         return;
@@ -459,6 +496,7 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Comm,
                 deps: vec![c],
+                span: Some(("a2a", format!("A1[c{c}]"))),
                 run: Box::new(move || {
                     let Some(chunks) = to_dispatch.lock().take() else {
                         return;
@@ -481,17 +519,23 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Compute,
                 deps: vec![r + c],
+                span: Some(("pipe", format!("D1·E·C2[c{c}]"))),
                 run: Box::new(move || {
                     let Some(received) = dispatched.lock().take() else {
                         return;
                     };
+                    let recv_bytes: usize = received.iter().map(Bytes::len).sum();
+                    let d1 = obs::span_sized("decode", format!("D1[c{c}]"), recv_bytes as f64);
                     let decoded: Vec<Vec<Tensor>> = received
                         .iter()
                         .map(|ch| Self::decode_chunk(compressor, ch, epr, m))
                         .collect();
+                    drop(d1);
                     // Chunk expert input: src-major concat, the chunk-local
                     // analogue of the serial layout.
                     let mut experts_guard = experts.lock();
+                    let rows_total: usize = decoded.iter().flatten().map(|t| t.dims()[0]).sum();
+                    let e_span = obs::span_sized("expert", format!("E[c{c}]"), rows_total as f64);
                     let mut outputs = Vec::with_capacity(epr);
                     for le in 0..epr {
                         let total: usize = decoded.iter().map(|d| d[le].dims()[0]).sum();
@@ -505,7 +549,10 @@ impl DistributedMoeLayer {
                         }
                         outputs.push(experts_guard[le].forward(&input));
                     }
+                    drop(e_span);
                     drop(experts_guard);
+                    let c2 =
+                        obs::span_sized("encode", format!("C2[c{c}]"), (rows_total * m * 4) as f64);
                     let mut back = Vec::with_capacity(p);
                     for src in 0..p {
                         let mut per_expert = Vec::with_capacity(epr);
@@ -522,6 +569,7 @@ impl DistributedMoeLayer {
                         }
                         back.push(Self::encode_chunk(compressor, &per_expert, m));
                     }
+                    drop(c2);
                     *to_combine.lock() = Some(back);
                     *chunk_inputs.lock() = Some(decoded);
                 }),
@@ -535,6 +583,7 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Comm,
                 deps: vec![2 * r + c],
+                span: Some(("a2a", format!("A2[c{c}]"))),
                 run: Box::new(move || {
                     let Some(chunks) = to_combine.lock().take() else {
                         return;
@@ -555,6 +604,7 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Compute,
                 deps: vec![3 * r + c],
+                span: Some(("decode", format!("D2[c{c}]"))),
                 run: Box::new(move || {
                     let Some(returned) = combined.lock().take() else {
                         return;
@@ -665,7 +715,9 @@ impl DistributedMoeLayer {
         assert_eq!(dy.dims()[0], cache.n, "gradient row count mismatch");
 
         // Combine backward: per admitted slot, grad of the expert output
-        // and of the combine weight.
+        // and of the combine weight. Backward spans use `*b` names so the
+        // profiler's forward-stage models never ingest them.
+        let c1b = obs::span("encode", "C1b");
         let mut d_weights: Vec<Vec<f32>> = vec![Vec::new(); cache.n];
         let mut grad_chunks = Vec::with_capacity(p);
         for owner in 0..p {
@@ -701,10 +753,16 @@ impl DistributedMoeLayer {
             }
         }
 
+        drop(c1b);
         let bwd1_tag = cache.tag_base + TAG_STRIDE / 2;
-        let received = self.a2a.all_to_all(h, grad_chunks, bwd1_tag)?;
+        let grad_bytes: usize = grad_chunks.iter().map(Bytes::len).sum();
+        let received = {
+            let _s = obs::span_sized("a2a", "A1b", grad_bytes as f64);
+            self.a2a.all_to_all(h, grad_chunks, bwd1_tag)?
+        };
 
         // Expert backward on concatenated output grads.
+        let eb = obs::span("expert", "Eb");
         let mut din_per_expert = Vec::with_capacity(epr);
         let decoded: Vec<Vec<Tensor>> = received
             .iter()
@@ -730,7 +788,9 @@ impl DistributedMoeLayer {
             din_per_expert.push(self.local_experts[le].backward(&dout));
         }
 
+        drop(eb);
         // Ship input grads back to the token owners.
+        let c2b = obs::span("encode", "C2b");
         let mut back = Vec::with_capacity(p);
         for src in 0..p {
             let mut per_expert = Vec::with_capacity(epr);
@@ -746,10 +806,16 @@ impl DistributedMoeLayer {
             }
             back.push(Self::encode_raw(&per_expert));
         }
+        drop(c2b);
         let bwd2_tag = cache.tag_base + 3 * TAG_STRIDE / 4;
-        let returned = self.a2a.all_to_all(h, back, bwd2_tag)?;
+        let back_bytes: usize = back.iter().map(Bytes::len).sum();
+        let returned = {
+            let _s = obs::span_sized("a2a", "A2b", back_bytes as f64);
+            self.a2a.all_to_all(h, back, bwd2_tag)?
+        };
 
         // Dispatch backward: scatter token gradients.
+        let d2b = obs::span("decode", "D2b");
         let mut dx = Tensor::zeros(&[cache.n, m]);
         for owner in 0..p {
             let outs = Self::decode_raw(&returned[owner], epr, m);
@@ -765,7 +831,11 @@ impl DistributedMoeLayer {
                 }
             }
         }
-        let dx_gate = self.gate.backward(&d_weights);
+        drop(d2b);
+        let dx_gate = {
+            let _g = obs::span("gate", "gateb");
+            self.gate.backward(&d_weights)
+        };
         dx.add_assign(&dx_gate).expect("same shape");
         Ok(dx)
     }

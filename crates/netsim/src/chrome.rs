@@ -2,9 +2,12 @@
 //!
 //! Emits the Trace Event Format's JSON array of complete (`"ph": "X"`)
 //! events — one per simulated operation, with the stream as the thread id
-//! — so any Perfetto/Chrome tracing UI renders the schedule. JSON is
-//! written by hand (the event format needs only strings and numbers, and
-//! the workspace's dependency policy has no JSON crate).
+//! — so any Perfetto/Chrome tracing UI renders the schedule. The JSON is
+//! written through [`schemoe_obs::chrome::ChromeTraceBuilder`], the same
+//! writer the functional recorder exports through, so simulated and
+//! measured timelines share one schema and overlay cleanly in Perfetto.
+
+use schemoe_obs::chrome::ChromeTraceBuilder;
 
 use crate::trace::Trace;
 
@@ -16,43 +19,24 @@ use crate::trace::Trace;
 ///
 /// [Perfetto]: https://ui.perfetto.dev
 pub fn to_chrome_trace(trace: &Trace, stream_names: &[&str]) -> String {
-    let mut out = String::from("[\n");
+    let mut b = ChromeTraceBuilder::new();
+    b.process_name(1, "sim");
     // Thread-name metadata events make the UI readable.
     for (i, name) in stream_names.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"name\":\"thread_name\",\
-             \"args\":{{\"name\":\"{}\"}}}},\n",
-            escape(name)
-        ));
+        b.thread_name(1, i as u64, name);
     }
-    let mut first = true;
     for r in trace.records() {
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
-        out.push_str(&format!(
-            "  {{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"ts\":{:.3},\"dur\":{:.3}}}",
-            r.stream.index(),
-            escape(&r.label),
+        b.complete_event(
+            1,
+            r.stream.index() as u64,
+            &r.label,
+            Some("sim"),
             r.start.as_us(),
             (r.end - r.start).as_us(),
-        ));
+            &[],
+        );
     }
-    out.push_str("\n]\n");
-    out
-}
-
-fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
+    b.finish()
 }
 
 #[cfg(test)]
@@ -86,8 +70,8 @@ mod tests {
         let t = sample_trace();
         let json = to_chrome_trace(&t, &["gpu", "net"]);
         assert!(json.contains("C1\\\"quoted\\\""));
-        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(escape("\u{1}"), "\\u0001");
+        // The document as a whole is valid JSON despite the hostile label.
+        assert!(schemoe_obs::json::parse(&json).is_ok());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The shared Trace Event Format writer.
+//!
+//! Both trace producers — the discrete-event simulator
+//! (`schemoe_netsim::chrome`) and the functional recorder
+//! ([`crate::FuncTrace::to_chrome_trace`]) — serialize through this
+//! builder, so their outputs are structurally identical and can be
+//! overlaid in one Perfetto session. JSON is written by hand: the event
+//! format needs only strings and numbers, and the workspace's dependency
+//! policy admits no JSON crate.
+
+use std::fmt::Write as _;
+
+/// Incrementally builds a Trace Event Format JSON array.
+///
+/// Emit metadata (process/thread names) and complete events in any order;
+/// [`finish`](Self::finish) closes the document. Timestamps and durations
+/// are microseconds, matching `chrome://tracing`'s expectations.
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names process `pid` in the trace UI.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Names thread `tid` of process `pid` in the trace UI.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Adds one complete (`"ph":"X"`) event.
+    ///
+    /// `ts_us`/`dur_us` are microseconds; `cat` is the optional category
+    /// string; `args` become numeric members of the event's `args` object.
+    // The parameter list mirrors the event format's fields one-to-one;
+    // bundling them into a struct would just rename the same eight things.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_event(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: Option<&str>,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, f64)],
+    ) {
+        let mut e = format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{}\",\
+             \"ts\":{ts_us:.3},\"dur\":{dur_us:.3}",
+            escape(name)
+        );
+        if let Some(cat) = cat {
+            let _ = write!(e, ",\"cat\":\"{}\"", escape(cat));
+        }
+        if !args.is_empty() {
+            e.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    e.push(',');
+                }
+                let _ = write!(e, "\"{}\":{}", escape(k), fmt_num(*v));
+            }
+            e.push('}');
+        }
+        e.push('}');
+        self.events.push(e);
+    }
+
+    /// Closes and returns the JSON document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(e);
+            out.push_str(if i + 1 < self.events.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Formats a float as a JSON number (JSON has no NaN/Infinity; clamp to 0).
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_parseable_json() {
+        let mut b = ChromeTraceBuilder::new();
+        b.process_name(0, "rank0");
+        b.thread_name(0, 0, "main \"thread\"");
+        b.complete_event(0, 0, "E[c0]", Some("expert"), 10.5, 3.25, &[("size", 64.0)]);
+        b.complete_event(0, 0, "plain", None, 20.0, 1.0, &[]);
+        let json = b.finish();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let arr = v.as_array().expect("array");
+        assert_eq!(arr.len(), 4);
+        let x = &arr[2];
+        assert_eq!(x.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(x.get("ts").and_then(|t| t.as_f64()), Some(10.5));
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("size"))
+                .and_then(|s| s.as_f64()),
+            Some(64.0)
+        );
+    }
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_builder_is_an_empty_array() {
+        let json = ChromeTraceBuilder::new().finish();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        assert_eq!(v.as_array().map(Vec::len), Some(0));
+    }
+
+    #[test]
+    fn non_finite_args_are_clamped() {
+        assert_eq!(fmt_num(f64::NAN), "0");
+        assert_eq!(fmt_num(f64::INFINITY), "0");
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(3.5), "3.5");
+    }
+}

@@ -1,0 +1,167 @@
+//! Lock-free per-rank counters for fabric traffic.
+//!
+//! A rank's counter block is fetched once (one registry lock) when its
+//! fabric handle is built; every increment afterwards is a relaxed atomic
+//! add, and increments are no-ops while the recorder is disabled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+static REGISTRY: Mutex<Vec<Arc<RankCounters>>> = Mutex::new(Vec::new());
+
+/// The traffic counters of one rank.
+#[derive(Debug)]
+pub struct RankCounters {
+    rank: usize,
+    bytes_sent: AtomicU64,
+    msgs_sent: AtomicU64,
+    bytes_recv: AtomicU64,
+    recv_wait_ns: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl RankCounters {
+    /// Counts one outgoing message of `bytes`.
+    #[inline]
+    pub fn add_send(&self, bytes: usize) {
+        if crate::enabled() {
+            self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+            self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one delivered message of `bytes`.
+    #[inline]
+    pub fn add_recv(&self, bytes: usize) {
+        if crate::enabled() {
+            self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds time spent blocked waiting for a matching message.
+    #[inline]
+    pub fn add_recv_wait(&self, wait: Duration) {
+        if crate::enabled() {
+            self.recv_wait_ns
+                .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one expired receive deadline.
+    #[inline]
+    pub fn add_timeout(&self) {
+        if crate::enabled() {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the totals.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            rank: self.rank,
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            recv_wait_ns: self.recv_wait_ns.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.msgs_sent.store(0, Ordering::Relaxed);
+        self.bytes_recv.store(0, Ordering::Relaxed);
+        self.recv_wait_ns.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value copy of one rank's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// The rank the counters belong to.
+    pub rank: usize,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Total payload bytes received.
+    pub bytes_recv: u64,
+    /// Nanoseconds spent blocked in receives (queue wait).
+    pub recv_wait_ns: u64,
+    /// Receive deadlines that expired.
+    pub timeouts: u64,
+}
+
+/// The counter block for `rank`, creating it on first request.
+pub fn counters_for_rank(rank: usize) -> Arc<RankCounters> {
+    let mut reg = REGISTRY.lock().expect("counter registry poisoned");
+    if let Some(c) = reg.iter().find(|c| c.rank == rank) {
+        return Arc::clone(c);
+    }
+    let c = Arc::new(RankCounters {
+        rank,
+        bytes_sent: AtomicU64::new(0),
+        msgs_sent: AtomicU64::new(0),
+        bytes_recv: AtomicU64::new(0),
+        recv_wait_ns: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
+    });
+    reg.push(Arc::clone(&c));
+    c
+}
+
+/// Snapshots every rank's counters, sorted by rank.
+pub fn counter_snapshots() -> Vec<CounterSnapshot> {
+    let mut snaps: Vec<CounterSnapshot> = REGISTRY
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|c| c.snapshot())
+        .collect();
+    snaps.sort_by_key(|s| s.rank);
+    snaps
+}
+
+/// Zeroes every rank's counters (start of a measured interval).
+pub fn reset_counters() {
+    for c in REGISTRY.lock().expect("counter registry poisoned").iter() {
+        c.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_are_gated_on_the_recorder_switch() {
+        let c = counters_for_rank(901);
+        crate::disable();
+        c.add_send(100);
+        assert_eq!(c.snapshot().bytes_sent, 0);
+        crate::enable();
+        c.add_send(100);
+        c.add_recv(40);
+        c.add_recv_wait(Duration::from_micros(5));
+        c.add_timeout();
+        crate::disable();
+        let s = c.snapshot();
+        assert_eq!(s.bytes_sent, 100);
+        assert_eq!(s.msgs_sent, 1);
+        assert_eq!(s.bytes_recv, 40);
+        assert_eq!(s.recv_wait_ns, 5_000);
+        assert_eq!(s.timeouts, 1);
+        c.reset();
+        assert_eq!(c.snapshot().bytes_sent, 0);
+    }
+
+    #[test]
+    fn registry_returns_the_same_block_per_rank() {
+        let a = counters_for_rank(902);
+        let b = counters_for_rank(902);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(counter_snapshots().iter().any(|s| s.rank == 902));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the span recorder: arbitrary open/close sequences
+//! across threads must always produce a well-formed trace — every span is
+//! recorded exactly once, no duration is negative, and spans on one thread
+//! either nest or are disjoint (children inside parents), even when guards
+//! are dropped out of order.
+
+use proptest::prelude::*;
+use schemoe_obs::{disable, enable, set_thread_name, set_thread_rank, span, take, SpanGuard};
+
+/// One scripted action on a thread's span stack.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Open a span with the given category index.
+    Open(u8),
+    /// Drop the open guard at `index % open_guards.len()` — possibly a
+    /// parent of later guards, exercising out-of-order drops.
+    Close(u8),
+}
+
+/// The vendored proptest stand-in has no `prop_oneof!`; encode the choice
+/// as a `(selector, payload)` tuple instead (open twice as likely as
+/// close, so scripts build real nesting).
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..3, 0u8..=254).prop_map(|(sel, payload)| {
+        if sel < 2 {
+            Op::Open(payload)
+        } else {
+            Op::Close(payload)
+        }
+    })
+}
+
+const CATS: [&str; 4] = ["encode", "a2a", "expert", "decode"];
+
+/// Runs one thread's script, returning how many spans it opened.
+fn run_script(ops: &[Op]) -> usize {
+    let mut open: Vec<SpanGuard> = Vec::new();
+    let mut opened = 0;
+    for op in ops {
+        match op {
+            Op::Open(c) => {
+                open.push(span(CATS[*c as usize % CATS.len()], format!("s{opened}")));
+                opened += 1;
+            }
+            Op::Close(i) => {
+                if !open.is_empty() {
+                    let idx = *i as usize % open.len();
+                    drop(open.remove(idx));
+                }
+            }
+        }
+    }
+    // Remaining guards drop here, in reverse-open order per Vec drop.
+    opened
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_open_close_sequences_yield_well_formed_traces(
+        scripts in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..40), 1..4)
+    ) {
+        enable();
+        let opened: usize = std::thread::scope(|scope| {
+            scripts
+                .iter()
+                .enumerate()
+                .map(|(t, ops)| {
+                    scope.spawn(move || {
+                        set_thread_rank(t);
+                        set_thread_name(format!("script{t}"));
+                        run_script(ops)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().expect("script thread"))
+                .sum()
+        });
+        let trace = take();
+        disable();
+
+        // Every opened span is recorded exactly once.
+        prop_assert_eq!(trace.spans.len(), opened);
+
+        // No negative durations.
+        for s in &trace.spans {
+            prop_assert!(s.dur_us >= 0.0, "negative duration: {:?}", s);
+        }
+
+        // Per thread: any two spans nest or are disjoint — never a
+        // partial overlap.
+        for a in &trace.spans {
+            for b in &trace.spans {
+                if a.thread != b.thread {
+                    continue;
+                }
+                let (a0, a1) = (a.start_us, a.start_us + a.dur_us);
+                let (b0, b1) = (b.start_us, b.start_us + b.dur_us);
+                let partial = a0 < b0 && b0 < a1 && a1 < b1;
+                prop_assert!(!partial, "partial overlap: {:?} vs {:?}", a, b);
+            }
+        }
+
+        // Children inside parents: a depth-d span (d > 0) is contained in
+        // some depth-(d-1) span on its thread.
+        for child in trace.spans.iter().filter(|s| s.depth > 0) {
+            let contained = trace.spans.iter().any(|p| {
+                p.thread == child.thread
+                    && p.depth + 1 == child.depth
+                    && p.start_us <= child.start_us + 1e-9
+                    && p.start_us + p.dur_us >= child.start_us + child.dur_us - 1e-9
+            });
+            prop_assert!(contained, "uncontained child: {:?}", child);
+        }
+    }
+}

@@ -31,12 +31,30 @@ pub struct ExecTask<'a> {
     /// Indices of tasks (within the submitted vector) that must complete
     /// first.
     pub deps: Vec<usize>,
+    /// Observability label: `(category, name)` of the span the executor
+    /// records around `run` when the recorder is enabled. `None` runs
+    /// unrecorded.
+    pub span: Option<(&'static str, String)>,
     /// The work itself.
     pub run: Box<dyn FnOnce() + Send + 'a>,
 }
 
-/// A task staged on one worker's queue: (index, deps, work).
-type Queued<'a> = (usize, Vec<usize>, Box<dyn FnOnce() + Send + 'a>);
+/// A task staged on one worker's queue: (index, deps, span, work).
+type Queued<'a> = (
+    usize,
+    Vec<usize>,
+    Option<(&'static str, String)>,
+    Box<dyn FnOnce() + Send + 'a>,
+);
+
+/// Runs one queued task, recording its labeled span if the recorder is on.
+fn run_task(span: Option<(&'static str, String)>, run: Box<dyn FnOnce() + Send + '_>) {
+    let _span = match span {
+        Some((cat, name)) if schemoe_obs::enabled() => Some(schemoe_obs::span(cat, name)),
+        _ => None,
+    };
+    run();
+}
 
 struct DoneBoard {
     done: Mutex<Vec<bool>>,
@@ -76,23 +94,32 @@ pub fn run_overlapped(tasks: Vec<ExecTask<'_>>) {
     let mut comm: Vec<Queued<'_>> = Vec::new();
     for (i, t) in tasks.into_iter().enumerate() {
         match t.worker {
-            Worker::Compute => comp.push((i, t.deps, t.run)),
-            Worker::Comm => comm.push((i, t.deps, t.run)),
+            Worker::Compute => comp.push((i, t.deps, t.span, t.run)),
+            Worker::Comm => comm.push((i, t.deps, t.span, t.run)),
         }
     }
 
+    // The comm thread is a fresh OS thread with no recorder identity; hand
+    // it the submitting rank so its spans land on the right Perfetto track.
+    let rank = schemoe_obs::thread_rank();
     std::thread::scope(|scope| {
         let comm_board = Arc::clone(&board);
         scope.spawn(move || {
-            for (idx, deps, run) in comm {
+            if schemoe_obs::enabled() {
+                if let Some(r) = rank {
+                    schemoe_obs::set_thread_rank(r);
+                    schemoe_obs::set_thread_name(format!("rank{r}/comm"));
+                }
+            }
+            for (idx, deps, span, run) in comm {
                 comm_board.wait_for(&deps);
-                run();
+                run_task(span, run);
                 comm_board.mark(idx);
             }
         });
-        for (idx, deps, run) in comp {
+        for (idx, deps, span, run) in comp {
             board.wait_for(&deps);
-            run();
+            run_task(span, run);
             board.mark(idx);
         }
     });
@@ -115,21 +142,25 @@ mod tests {
             ExecTask {
                 worker: Worker::Compute,
                 deps: vec![],
+                span: None,
                 run: mk(30),
             },
             ExecTask {
                 worker: Worker::Comm,
                 deps: vec![0],
+                span: None,
                 run: mk(30),
             },
             ExecTask {
                 worker: Worker::Compute,
                 deps: vec![],
+                span: None,
                 run: mk(30),
             },
             ExecTask {
                 worker: Worker::Comm,
                 deps: vec![2],
+                span: None,
                 run: mk(30),
             },
         ];
@@ -161,16 +192,19 @@ mod tests {
             ExecTask {
                 worker: Worker::Compute,
                 deps: vec![],
+                span: None,
                 run: mk(0, &counter, &order),
             },
             ExecTask {
                 worker: Worker::Comm,
                 deps: vec![0],
+                span: None,
                 run: mk(1, &counter, &order),
             },
             ExecTask {
                 worker: Worker::Compute,
                 deps: vec![1],
+                span: None,
                 run: mk(2, &counter, &order),
             },
         ];

@@ -4,8 +4,29 @@ use std::collections::HashMap;
 
 use schemoe_netsim::cost::LinearModel;
 use schemoe_netsim::SimTime;
+use schemoe_obs::FuncTrace;
 
 use crate::task::TaskKind;
+
+/// The [`TaskKind`] a recorded span feeds, if any.
+///
+/// The MoE pipeline names its stage spans `"C1"`, `"A1[c3]"`, etc. — the
+/// stage mnemonic, optionally followed by a bracketed chunk index. The part
+/// before `'['` identifies the kind; backward-pass spans use distinct
+/// mnemonics (`"A1b"`) so they never feed the forward models.
+fn span_kind(name: &str) -> Option<TaskKind> {
+    let stem = name.split('[').next().unwrap_or(name);
+    match stem {
+        "C1" => Some(TaskKind::Compress1),
+        "A1" => Some(TaskKind::AllToAll1),
+        "D1" => Some(TaskKind::Decompress1),
+        "E" => Some(TaskKind::Expert),
+        "C2" => Some(TaskKind::Compress2),
+        "A2" => Some(TaskKind::AllToAll2),
+        "D2" => Some(TaskKind::Decompress2),
+        _ => None,
+    }
+}
 
 /// Records `(size, time)` samples per task kind and fits `t = a + b·size`
 /// models on demand.
@@ -35,6 +56,25 @@ impl Profiler {
     /// Number of samples recorded for `kind`.
     pub fn sample_count(&self, kind: TaskKind) -> usize {
         self.samples.get(&kind).map_or(0, Vec::len)
+    }
+
+    /// Feeds every stage span of a measured trace into the models.
+    ///
+    /// This is the measured-side closing of the paper's profiling loop: the
+    /// same spans the recorder captures for the Perfetto timeline become
+    /// `(size, time)` samples for [`TaskKind`] prediction, so OptSche plans
+    /// future steps from what the hardware actually did. Spans whose names
+    /// are not stage mnemonics (fabric sends, trainer phases, …) are
+    /// ignored. Returns the number of samples ingested.
+    pub fn ingest_trace(&mut self, trace: &FuncTrace) -> usize {
+        let mut n = 0;
+        for s in &trace.spans {
+            if let Some(kind) = span_kind(&s.name) {
+                self.record(kind, s.size, SimTime::from_secs(s.dur_us * 1e-6));
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Fits the linear model for `kind`; `None` until two distinct sizes
@@ -96,6 +136,38 @@ mod tests {
     fn unknown_kind_predicts_zero() {
         let p = Profiler::new();
         assert_eq!(p.predict(TaskKind::Compress1, 1e6), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ingests_stage_spans_and_skips_the_rest() {
+        let mk = |name: &str, size: f64, dur_us: f64| schemoe_obs::SpanRecord {
+            cat: "a2a",
+            name: name.to_string(),
+            rank: 0,
+            thread: "t".to_string(),
+            start_us: 0.0,
+            dur_us,
+            size,
+            depth: 0,
+        };
+        let trace = FuncTrace {
+            spans: vec![
+                mk("A1[c0]", 1e6, 1_000.0),
+                mk("A1[c1]", 2e6, 2_000.0),
+                mk("E[c0]", 5e5, 700.0),
+                // Not stage mnemonics: fabric send, backward A2A.
+                mk("send->3", 1e6, 50.0),
+                mk("A1b[c0]", 1e6, 900.0),
+            ],
+            counters: Vec::new(),
+        };
+        let mut p = Profiler::new();
+        assert_eq!(p.ingest_trace(&trace), 3);
+        assert_eq!(p.sample_count(TaskKind::AllToAll1), 2);
+        assert_eq!(p.sample_count(TaskKind::Expert), 1);
+        // Two distinct A1 sizes identify a model: 1 ms per MB, no offset.
+        let pred = p.predict(TaskKind::AllToAll1, 4e6);
+        assert!((pred.as_secs() - 4e-3).abs() < 1e-9, "{pred:?}");
     }
 
     #[test]

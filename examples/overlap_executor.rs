@@ -107,9 +107,15 @@ fn build_tasks(schedule: &Schedule) -> Vec<ExecTask<'_>> {
             TaskKind::Expert => Box::new(expert.clone()),
             _ => unreachable!(),
         };
+        let cat = match kind {
+            TaskKind::Compress1 | TaskKind::Compress2 => "encode",
+            TaskKind::Decompress1 | TaskKind::Decompress2 => "decode",
+            _ => "expert",
+        };
         tasks.push(ExecTask {
             worker: Worker::Compute,
             deps,
+            span: Some((cat, format!("{}[c{chunk}]", kind.label()))),
             run,
         });
     }
@@ -122,6 +128,7 @@ fn build_tasks(schedule: &Schedule) -> Vec<ExecTask<'_>> {
         tasks.push(ExecTask {
             worker: Worker::Comm,
             deps: vec![compute_index(producer, chunk)],
+            span: Some(("a2a", format!("{}[c{chunk}]", kind.label()))),
             run: Box::new(comm),
         });
     }

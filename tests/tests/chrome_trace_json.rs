@@ -1,0 +1,96 @@
+//! Property tests: every chrome-trace export is well-formed JSON.
+//!
+//! Both substrates serialize through `schemoe_obs::chrome`, and both are
+//! checked here against the workspace's own strict RFC 8259 parser — with
+//! labels chosen to be hostile to naive serialization (quotes, backslashes,
+//! control characters, multi-byte UTF-8) and sizes hostile to naive number
+//! formatting (NaN, infinities).
+
+use proptest::prelude::*;
+use schemoe_netsim::chrome::to_chrome_trace;
+use schemoe_netsim::{SimTime, StreamSim};
+use schemoe_obs::json;
+use schemoe_obs::{FuncTrace, SpanRecord};
+
+/// Characters that break naive JSON string emission.
+const HOSTILE: [char; 12] = [
+    '"', '\\', '\n', '\t', '\r', '\u{0}', '\u{1f}', 'a', '0', 'é', '→', '🦀',
+];
+
+/// A label built from the hostile palette, one char per input byte.
+fn label_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..=255, 0..12).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|b| HOSTILE[*b as usize % HOSTILE.len()])
+            .collect()
+    })
+}
+
+/// Span sizes including the values `fmt` must clamp rather than emit.
+fn size_strategy() -> impl Strategy<Value = f64> {
+    (0u8..5, 0u32..1_000_000).prop_map(|(sel, n)| match sel {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => n as f64,
+        _ => n as f64 + 0.25,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulator_traces_serialize_to_valid_json(
+        labels in proptest::collection::vec(label_strategy(), 1..8),
+        durs_us in proptest::collection::vec(1u32..1_000_000, 1..8),
+        stream_name in label_strategy(),
+    ) {
+        let mut sim = StreamSim::new();
+        let a = sim.stream("gpu");
+        let b = sim.stream("net");
+        let mut prev = None;
+        for (i, label) in labels.iter().enumerate() {
+            let dur = durs_us[i % durs_us.len()];
+            let stream = if i % 2 == 0 { a } else { b };
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(sim.push(stream, SimTime::from_us(dur as f64), &deps, label));
+        }
+        let trace = sim.run().expect("chain schedules");
+        let doc = to_chrome_trace(&trace, &[&stream_name, "net"]);
+        prop_assert!(
+            json::parse(&doc).is_ok(),
+            "simulator trace is not valid JSON: {doc}"
+        );
+    }
+
+    #[test]
+    fn functional_traces_serialize_to_valid_json(
+        names in proptest::collection::vec(label_strategy(), 0..10),
+        threads in proptest::collection::vec(label_strategy(), 1..4),
+        sizes in proptest::collection::vec(size_strategy(), 1..10),
+        starts in proptest::collection::vec(0u32..10_000_000, 1..10),
+    ) {
+        let spans: Vec<SpanRecord> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| SpanRecord {
+                cat: "a2a",
+                name: name.clone(),
+                rank: i % 3,
+                thread: threads[i % threads.len()].clone(),
+                start_us: starts[i % starts.len()] as f64,
+                dur_us: (i as f64) * 7.5,
+                size: sizes[i % sizes.len()],
+                depth: i % 4,
+            })
+            .collect();
+        let trace = FuncTrace { spans, counters: Vec::new() };
+        let doc = trace.to_chrome_trace();
+        prop_assert!(
+            json::parse(&doc).is_ok(),
+            "functional trace is not valid JSON: {doc}"
+        );
+    }
+}
