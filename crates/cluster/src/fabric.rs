@@ -9,6 +9,7 @@
 //! [`RankHandle::barrier`], mirroring how the real system builds A2A out of
 //! NCCL send/recv pairs.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Barrier};
@@ -18,6 +19,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use schemoe_obs as obs;
 
+use crate::faults::{self, FaultDecision, FaultPlan};
 use crate::topology::{Rank, Topology};
 
 /// Errors surfaced by fabric communication.
@@ -46,6 +48,21 @@ pub enum FabricError {
         /// How long the receiver waited.
         waited: Duration,
     },
+    /// A message arrived but failed its length/CRC32 wire frame (see
+    /// [`crate::faults`]): the payload was damaged in transit.
+    Corrupt {
+        /// The sender of the damaged frame.
+        peer: Rank,
+        /// The tag it arrived under.
+        tag: u64,
+    },
+    /// A pipeline worker thread died before its communication task could
+    /// record a fabric error (e.g. a panic on the compute lane). Carried so
+    /// executor failures still surface as one typed error family.
+    Worker {
+        /// Human-readable description of the worker failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -59,6 +76,10 @@ impl fmt::Display for FabricError {
                 f,
                 "timed out after {waited:?} waiting for tag {tag} from live peer rank {peer}"
             ),
+            FabricError::Corrupt { peer, tag } => {
+                write!(f, "corrupt frame (CRC mismatch) from rank {peer} tag {tag}")
+            }
+            FabricError::Worker { detail } => write!(f, "pipeline worker died: {detail}"),
         }
     }
 }
@@ -106,6 +127,17 @@ pub struct RankHandle {
     wire: Option<WireModel>,
     /// This rank's traffic counters (no-ops while the recorder is off).
     counters: Arc<obs::RankCounters>,
+    /// Installed fault plan; when present every payload is CRC-framed and
+    /// every send consults the plan.
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-destination message index, the replay key for fault decisions.
+    send_seq: Vec<Cell<u64>>,
+    /// Total sends this rank has completed (drives `kill_after`).
+    sends_total: Cell<u64>,
+    /// Set once a scheduled kill fires; all later traffic fails fast.
+    dead: Cell<bool>,
+    /// Default liveness deadline applied to plain `recv` calls.
+    deadline: Cell<Option<Duration>>,
 }
 
 impl RankHandle {
@@ -124,18 +156,76 @@ impl RankHandle {
         self.topology.world_size()
     }
 
+    /// True once a scheduled `kill_after` has fired on this rank: every
+    /// later send or receive fails with `Disconnected { peer: self.rank }`.
+    pub fn is_dead(&self) -> bool {
+        self.dead.get()
+    }
+
+    /// The default liveness deadline applied to plain [`recv`](Self::recv)
+    /// calls (installed by the fault plan, overridable per handle).
+    pub fn recv_deadline(&self) -> Option<Duration> {
+        self.deadline.get()
+    }
+
+    /// Overrides the default liveness deadline. `None` restores indefinite
+    /// blocking.
+    pub fn set_recv_deadline(&self, deadline: Option<Duration>) {
+        self.deadline.set(deadline);
+    }
+
+    /// Fails fast when this rank has been killed by the fault plan.
+    fn check_alive(&self) -> Result<(), FabricError> {
+        if self.dead.get() {
+            Err(FabricError::Disconnected { peer: self.rank })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Delivers a wire payload to the caller: strips and validates the CRC
+    /// frame when a fault plan is installed, and records receive counters.
+    fn unpack(&self, from: Rank, tag: u64, payload: Bytes) -> Result<Bytes, FabricError> {
+        if self.faults.is_none() {
+            self.counters.add_recv(payload.len());
+            return Ok(payload);
+        }
+        match faults::deframe(&payload) {
+            Some(p) => {
+                self.counters.add_recv(p.len());
+                Ok(p)
+            }
+            None => {
+                self.counters.add_corrupt_frame();
+                Err(FabricError::Corrupt { peer: from, tag })
+            }
+        }
+    }
+
     /// Sends `payload` to `to` under `tag`.
     ///
     /// Never blocks on the receiver (channels are unbounded); under a
     /// [`WireModel`] a cross-rank send does block the *sender* for the
     /// modeled transfer time.
     pub fn send(&self, to: Rank, tag: u64, payload: Bytes) -> Result<(), FabricError> {
+        self.check_alive()?;
         let ws = self.world_size();
         if to >= ws {
+            self.counters.add_invalid_rank();
             return Err(FabricError::InvalidRank {
                 rank: to,
                 world_size: ws,
             });
+        }
+        if let Some(plan) = &self.faults {
+            if let Some(limit) = plan.kill_threshold(self.rank) {
+                if self.sends_total.get() >= limit {
+                    self.dead.set(true);
+                    self.counters.add_fault_injected();
+                    return Err(FabricError::Disconnected { peer: self.rank });
+                }
+            }
+            self.sends_total.set(self.sends_total.get() + 1);
         }
         if let Some(wire) = self.wire {
             if to != self.rank {
@@ -147,6 +237,33 @@ impl RankHandle {
             }
         }
         self.counters.add_send(payload.len());
+        // Fault decisions apply uniformly to every link — self-sends
+        // included — so the fault counters stay consistent across paths.
+        let payload = match &self.faults {
+            None => payload,
+            Some(plan) => {
+                let idx = self.send_seq[to].get();
+                self.send_seq[to].set(idx + 1);
+                match plan.decide(self.rank, to, idx) {
+                    FaultDecision::Deliver => faults::frame(&payload),
+                    FaultDecision::Drop => {
+                        // The message silently vanishes; the receiver's
+                        // deadline turns the loss into a Timeout.
+                        self.counters.add_fault_injected();
+                        return Ok(());
+                    }
+                    FaultDecision::Delay(d) => {
+                        self.counters.add_fault_injected();
+                        std::thread::sleep(d);
+                        faults::frame(&payload)
+                    }
+                    FaultDecision::Corrupt => {
+                        self.counters.add_fault_injected();
+                        faults::frame_corrupted(&payload, idx)
+                    }
+                }
+            }
+        };
         self.senders[to]
             .send(Msg { tag, payload })
             .map_err(|_| FabricError::Disconnected { peer: to })
@@ -158,8 +275,16 @@ impl RankHandle {
     /// to later `recv` calls, so receive order across tags is free while
     /// order *within* a `(peer, tag)` pair is preserved.
     pub fn recv(&mut self, from: Rank, tag: u64) -> Result<Bytes, FabricError> {
+        // Under a fault plan (or an explicit handle deadline) every plain
+        // receive is deadline-aware: a lost message or dead peer surfaces
+        // as a typed Timeout instead of an indefinite hang.
+        if let Some(deadline) = self.deadline.get() {
+            return self.recv_timeout(from, tag, deadline);
+        }
+        self.check_alive()?;
         let ws = self.world_size();
         if from >= ws {
+            self.counters.add_invalid_rank();
             return Err(FabricError::InvalidRank {
                 rank: from,
                 world_size: ws,
@@ -168,8 +293,7 @@ impl RankHandle {
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if !queue.is_empty() {
                 let payload = queue.remove(0);
-                self.counters.add_recv(payload.len());
-                return Ok(payload);
+                return self.unpack(from, tag, payload);
             }
         }
         let wait_start = obs::enabled().then(Instant::now);
@@ -181,8 +305,7 @@ impl RankHandle {
                 if let Some(t0) = wait_start {
                     self.counters.add_recv_wait(t0.elapsed());
                 }
-                self.counters.add_recv(msg.payload.len());
-                return Ok(msg.payload);
+                return self.unpack(from, tag, msg.payload);
             }
             self.pending
                 .entry((from, msg.tag))
@@ -205,8 +328,10 @@ impl RankHandle {
         tag: u64,
         timeout: Duration,
     ) -> Result<Bytes, FabricError> {
+        self.check_alive()?;
         let ws = self.world_size();
         if from >= ws {
+            self.counters.add_invalid_rank();
             return Err(FabricError::InvalidRank {
                 rank: from,
                 world_size: ws,
@@ -215,8 +340,7 @@ impl RankHandle {
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if !queue.is_empty() {
                 let payload = queue.remove(0);
-                self.counters.add_recv(payload.len());
-                return Ok(payload);
+                return self.unpack(from, tag, payload);
             }
         }
         let wait_start = obs::enabled().then(Instant::now);
@@ -236,8 +360,7 @@ impl RankHandle {
                     if let Some(t0) = wait_start {
                         self.counters.add_recv_wait(t0.elapsed());
                     }
-                    self.counters.add_recv(msg.payload.len());
-                    return Ok(msg.payload);
+                    return self.unpack(from, tag, msg.payload);
                 }
                 Ok(msg) => {
                     self.pending
@@ -281,7 +404,7 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(topology, None, f)
+        Self::run_inner(topology, None, None, f)
     }
 
     /// Like [`run`](Self::run), but installs a [`WireModel`] so cross-rank
@@ -293,10 +416,28 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(topology, Some(wire), f)
+        Self::run_inner(topology, Some(wire), None, f)
     }
 
-    fn run_inner<T, F>(topology: Topology, wire: Option<WireModel>, f: F) -> Vec<T>
+    /// Like [`run`](Self::run), but installs a seeded [`FaultPlan`]: every
+    /// payload travels CRC-framed, sends consult the plan (drop / delay /
+    /// corrupt / kill), and plain receives inherit the plan's liveness
+    /// deadline. The same plan replays an identical fault sequence on every
+    /// run (see [`crate::faults`]).
+    pub fn run_with_faults<T, F>(topology: Topology, plan: FaultPlan, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankHandle) -> T + Sync,
+    {
+        Self::run_inner(topology, None, Some(Arc::new(plan)), f)
+    }
+
+    fn run_inner<T, F>(
+        topology: Topology,
+        wire: Option<WireModel>,
+        plan: Option<Arc<FaultPlan>>,
+        f: F,
+    ) -> Vec<T>
     where
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
@@ -331,6 +472,11 @@ impl Fabric {
                 barrier: Arc::clone(&barrier),
                 wire,
                 counters: obs::counters_for_rank(rank),
+                faults: plan.clone(),
+                send_seq: (0..p).map(|_| Cell::new(0)).collect(),
+                sends_total: Cell::new(0),
+                dead: Cell::new(false),
+                deadline: Cell::new(plan.as_ref().and_then(|pl| pl.recv_deadline())),
             });
         }
 
@@ -566,6 +712,164 @@ mod tests {
         assert!(r1.bytes_recv >= 64);
         assert!(r1.recv_wait_ns >= 1_000_000, "no queue wait recorded");
         assert!(r1.timeouts >= 1);
+    }
+
+    #[test]
+    fn fault_plan_framing_is_transparent_when_no_fault_fires() {
+        let plan = FaultPlan::seeded(11); // all probabilities zero
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_faults(topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 5, Bytes::from_static(b"framed")).unwrap();
+                Bytes::new()
+            } else {
+                h.recv(0, 5).unwrap()
+            }
+        });
+        assert_eq!(results[1].as_ref(), b"framed");
+    }
+
+    #[test]
+    fn dropped_message_surfaces_as_timeout_not_hang() {
+        // drop_prob = 1: every message vanishes; the plan's deadline makes
+        // the plain recv return Timeout.
+        let plan = FaultPlan::seeded(12)
+            .with_drop_prob(1.0)
+            .with_recv_deadline(Duration::from_millis(50));
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_faults(topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 1, Bytes::from_static(b"gone")).unwrap();
+                h.barrier();
+                None
+            } else {
+                let err = h.recv(0, 1).unwrap_err();
+                h.barrier();
+                Some(err)
+            }
+        });
+        assert!(matches!(
+            results[1],
+            Some(FabricError::Timeout {
+                peer: 0,
+                tag: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupted_message_surfaces_as_corrupt() {
+        let plan = FaultPlan::seeded(13).with_corrupt_prob(1.0);
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_faults(topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 2, Bytes::from_static(b"tensor row")).unwrap();
+                None
+            } else {
+                Some(h.recv(0, 2).unwrap_err())
+            }
+        });
+        assert_eq!(results[1], Some(FabricError::Corrupt { peer: 0, tag: 2 }));
+    }
+
+    #[test]
+    fn kill_after_fails_the_rank_and_its_peers_see_silence() {
+        // Rank 0 dies after 2 sends; its own third send errors, and rank 1
+        // times out waiting for the message that never left.
+        let plan = FaultPlan::seeded(14)
+            .kill_after(0, 2)
+            .with_recv_deadline(Duration::from_millis(50));
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_faults(topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 0, Bytes::from_static(b"a")).unwrap();
+                h.send(1, 1, Bytes::from_static(b"b")).unwrap();
+                let own = h.send(1, 2, Bytes::from_static(b"c")).unwrap_err();
+                assert!(h.is_dead());
+                // Dead ranks cannot receive either.
+                let recv_err = h.recv(1, 9).unwrap_err();
+                h.barrier();
+                vec![own, recv_err]
+            } else {
+                h.recv(0, 0).unwrap();
+                h.recv(0, 1).unwrap();
+                let err = h.recv(0, 2).unwrap_err();
+                h.barrier();
+                vec![err]
+            }
+        });
+        assert_eq!(results[0][0], FabricError::Disconnected { peer: 0 });
+        assert_eq!(results[0][1], FabricError::Disconnected { peer: 0 });
+        assert!(matches!(
+            results[1][0],
+            FabricError::Timeout {
+                peer: 0,
+                tag: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn delay_fault_stalls_the_sender_but_delivers() {
+        let plan = FaultPlan::seeded(15).with_delay(1.0, Duration::from_millis(30));
+        let topo = Topology::new(1, 2);
+        let start = Instant::now();
+        let results = Fabric::run_with_faults(topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 0, Bytes::from_static(b"slow")).unwrap();
+                Bytes::new()
+            } else {
+                h.recv(0, 0).unwrap()
+            }
+        });
+        assert_eq!(results[1].as_ref(), b"slow");
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn fault_counters_record_injections_on_every_path() {
+        obs::enable();
+        let before_faults = obs::counters_for_rank(0).snapshot().faults_injected;
+        let before_corrupt = obs::counters_for_rank(1).snapshot().corrupt_frames;
+        let before_invalid = obs::counters_for_rank(0).snapshot().invalid_ranks;
+        let plan = FaultPlan::seeded(16).with_corrupt_prob(1.0);
+        let topo = Topology::new(1, 2);
+        Fabric::run_with_faults(topo, plan, |mut h| {
+            if h.rank() == 0 {
+                // Self-sends roll fault decisions too: this one corrupts.
+                h.send(0, 7, Bytes::from_static(b"self")).unwrap();
+                let _ = h.recv(0, 7);
+                // InvalidRank paths count consistently with peer sends.
+                let _ = h.send(99, 0, Bytes::new());
+                let _ = h.recv(99, 0);
+                h.send(1, 8, Bytes::from_static(b"peer")).unwrap();
+                h.barrier();
+            } else {
+                let _ = h.recv(0, 8);
+                h.barrier();
+            }
+        });
+        obs::disable();
+        let r0 = obs::counters_for_rank(0).snapshot();
+        let r1 = obs::counters_for_rank(1).snapshot();
+        // Two corrupt injections (self + peer) on rank 0's send path.
+        assert!(r0.faults_injected >= before_faults + 2);
+        assert!(r1.corrupt_frames > before_corrupt);
+        assert!(r0.invalid_ranks >= before_invalid + 2);
+    }
+
+    #[test]
+    fn same_seed_replays_an_identical_fault_sequence() {
+        let decisions = |seed: u64| -> Vec<FaultDecision> {
+            let plan = FaultPlan::seeded(seed)
+                .with_drop_prob(0.3)
+                .with_corrupt_prob(0.2);
+            (0..128).map(|i| plan.decide(1, 0, i)).collect()
+        };
+        assert_eq!(decisions(77), decisions(77));
+        assert_ne!(decisions(77), decisions(78));
     }
 
     #[test]

@@ -18,13 +18,20 @@
 //!   channels are the interconnect. The functional all-to-all and
 //!   distributed MoE layers run on it, so collective correctness is tested
 //!   with real data movement rather than mocks.
+//! * [`faults`] — deterministic, seeded fault injection for the fabric:
+//!   per-link drop/delay/corrupt rates, per-rank kill points, and the
+//!   CRC32 wire framing that turns bit damage into typed
+//!   [`FabricError::Corrupt`] errors. Chaos runs replay bit-identically
+//!   from the seed alone.
 
 pub mod fabric;
+pub mod faults;
 pub mod hardware;
 pub mod memory;
 pub mod topology;
 
 pub use fabric::{Fabric, FabricError, RankHandle, WireModel};
+pub use faults::{FaultDecision, FaultPlan, LinkFaults};
 pub use hardware::HardwareProfile;
 pub use memory::MemoryBudget;
 pub use topology::{Rank, Topology};

@@ -2,7 +2,9 @@
 
 use std::time::Duration;
 
+use schemoe_cluster::FaultPlan;
 use schemoe_compression::{Compressor, Fp16Compressor, NoCompression};
+use schemoe_models::FtConfig;
 use schemoe_moe::DistributedMoeLayer;
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +61,133 @@ impl LayerShape {
     }
 }
 
+/// A serializable description of a deterministic fault-injection campaign.
+///
+/// This is the manifest form of [`schemoe_cluster::FaultPlan`]: a flat,
+/// `Copy`, serde-friendly record of uniform link faults and at most one
+/// rank kill, so chaos experiments can be specified in configuration
+/// files and replayed bit-identically from the same seed. Experiments
+/// needing per-link asymmetry build a [`FaultPlan`] directly with its
+/// builder API.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed of the fault lottery; same seed, same faults, any thread
+    /// interleaving.
+    pub seed: u64,
+    /// Probability that a message silently vanishes.
+    pub drop_prob: f64,
+    /// Probability that a message is stalled by `delay_ms`.
+    pub delay_prob: f64,
+    /// Stall duration for delayed messages, in milliseconds.
+    pub delay_ms: u64,
+    /// Probability that a payload bit is flipped in transit (caught by the
+    /// wire CRC as [`schemoe_cluster::FabricError::Corrupt`]).
+    pub corrupt_prob: f64,
+    /// Rank to kill, if any.
+    pub kill_rank: Option<usize>,
+    /// The kill fires once the victim has issued this many sends.
+    pub kill_after_sends: u64,
+    /// Default receive deadline installed on every handle, in
+    /// milliseconds — under faults a lost message must become a loud
+    /// `Timeout`, never a hang.
+    pub recv_deadline_ms: u64,
+}
+
+impl FaultSpec {
+    /// A fault-free campaign with the given seed and a 1 s deadline.
+    pub fn seeded(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            delay_ms: 0,
+            corrupt_prob: 0.0,
+            kill_rank: None,
+            kill_after_sends: 0,
+            recv_deadline_ms: 1_000,
+        }
+    }
+
+    /// Sets the uniform drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the uniform delay probability and duration.
+    pub fn with_delay(mut self, p: f64, ms: u64) -> Self {
+        self.delay_prob = p;
+        self.delay_ms = ms;
+        self
+    }
+
+    /// Sets the uniform corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Kills `rank` after it has issued `sends` sends.
+    pub fn with_kill(mut self, rank: usize, sends: u64) -> Self {
+        self.kill_rank = Some(rank);
+        self.kill_after_sends = sends;
+        self
+    }
+
+    /// Overrides the default receive deadline.
+    pub fn with_recv_deadline_ms(mut self, ms: u64) -> Self {
+        self.recv_deadline_ms = ms;
+        self
+    }
+
+    /// Materializes the runtime [`FaultPlan`] this spec describes.
+    pub fn to_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::seeded(self.seed)
+            .with_drop_prob(self.drop_prob)
+            .with_delay(self.delay_prob, Duration::from_millis(self.delay_ms))
+            .with_corrupt_prob(self.corrupt_prob)
+            .with_recv_deadline(Duration::from_millis(self.recv_deadline_ms));
+        if let Some(rank) = self.kill_rank {
+            plan = plan.kill_after(rank, self.kill_after_sends);
+        }
+        plan
+    }
+}
+
+/// Recovery policy of the fault-tolerant training loop
+/// (`schemoe_models::ft`): how patiently a step is retried and how often
+/// the model is checkpointed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySpec {
+    /// Transient-fault retries per step before a silent peer is presumed
+    /// dead.
+    pub retry_budget: u32,
+    /// Base backoff between retries, in milliseconds.
+    pub backoff_ms: u64,
+    /// Checkpoint cadence in committed steps.
+    pub checkpoint_every: usize,
+}
+
+impl Default for RecoverySpec {
+    fn default() -> Self {
+        RecoverySpec {
+            retry_budget: 3,
+            backoff_ms: 2,
+            checkpoint_every: 5,
+        }
+    }
+}
+
+impl RecoverySpec {
+    /// Applies this policy to a fault-tolerant trainer configuration.
+    pub fn apply(&self, mut cfg: FtConfig) -> FtConfig {
+        cfg.retry_budget = self.retry_budget;
+        cfg.backoff_ms = self.backoff_ms;
+        cfg.checkpoint_every = self.checkpoint_every;
+        cfg
+    }
+}
+
 /// Runtime configuration of the functional ScheMoE layer.
 ///
 /// Bundles the execution knobs of [`DistributedMoeLayer`] — the paper's
@@ -80,6 +209,11 @@ pub struct ScheMoeConfig {
     /// with [`schemoe_obs::take`] and export via
     /// [`FuncTrace::to_chrome_trace`](schemoe_obs::FuncTrace::to_chrome_trace)).
     pub trace: bool,
+    /// Deterministic fault-injection campaign to run the fabric under;
+    /// `None` (the default) leaves the wire untouched and costs nothing.
+    pub faults: Option<FaultSpec>,
+    /// Retry/backoff/checkpoint policy for fault-tolerant training.
+    pub recovery: RecoverySpec,
 }
 
 impl ScheMoeConfig {
@@ -90,6 +224,8 @@ impl ScheMoeConfig {
             recv_timeout_ms: None,
             fp16_wire: false,
             trace: false,
+            faults: None,
+            recovery: RecoverySpec::default(),
         }
     }
 
@@ -100,7 +236,26 @@ impl ScheMoeConfig {
             recv_timeout_ms: Some(30_000),
             fp16_wire: false,
             trace: false,
+            faults: None,
+            recovery: RecoverySpec::default(),
         }
+    }
+
+    /// Runs the fabric under the given fault campaign.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Overrides the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoverySpec) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The runtime fault plan, if a campaign is configured.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.map(|s| s.to_plan())
     }
 
     /// Enables fp16 wire compression.
@@ -206,6 +361,51 @@ mod tests {
         assert_eq!(over.partition_degree, 4);
         assert_eq!(over.recv_timeout(), Some(Duration::from_secs(30)));
         assert_eq!(over.compressor().name(), "fp16");
+    }
+
+    #[test]
+    fn fault_spec_materializes_an_equivalent_plan() {
+        let spec = FaultSpec::seeded(42)
+            .with_drop(0.25)
+            .with_corrupt(0.1)
+            .with_kill(2, 17)
+            .with_recv_deadline_ms(250);
+        let plan = spec.to_plan();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.kill_threshold(2), Some(17));
+        assert_eq!(plan.kill_threshold(0), None);
+        assert_eq!(plan.recv_deadline(), Some(Duration::from_millis(250)));
+        // The spec is the manifest of the plan: the same seed and probs
+        // must reproduce the exact same fault lottery.
+        let direct = schemoe_cluster::FaultPlan::seeded(42)
+            .with_drop_prob(0.25)
+            .with_corrupt_prob(0.1);
+        for idx in 0..256 {
+            assert_eq!(plan.decide(0, 1, idx), direct.decide(0, 1, idx));
+        }
+    }
+
+    #[test]
+    fn recovery_spec_applies_to_an_ft_config() {
+        let rec = RecoverySpec {
+            retry_budget: 7,
+            backoff_ms: 11,
+            checkpoint_every: 3,
+        };
+        let ft = rec.apply(schemoe_models::FtConfig::tiny(10));
+        assert_eq!(ft.retry_budget, 7);
+        assert_eq!(ft.backoff_ms, 11);
+        assert_eq!(ft.checkpoint_every, 3);
+        assert_eq!(ft.steps, 10, "non-recovery fields untouched");
+    }
+
+    #[test]
+    fn config_carries_an_optional_fault_campaign() {
+        let cfg = ScheMoeConfig::serial();
+        assert!(cfg.fault_plan().is_none(), "faults are opt-in");
+        let cfg = cfg.with_faults(FaultSpec::seeded(9).with_drop(0.5));
+        let plan = cfg.fault_plan().expect("campaign configured");
+        assert_eq!(plan.seed(), 9);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod step_time;
 pub mod systems;
 
 pub use adaptive::AdaptiveScheMoe;
-pub use config::{LayerShape, ScheMoeConfig};
+pub use config::{FaultSpec, LayerShape, RecoverySpec, ScheMoeConfig};
 pub use registry::{A2aRegistry, CompressorRegistry, ScheduleRegistry};
 /// Runtime observability: span recorder, per-rank fabric counters, and the
 /// shared Trace Event Format writer both substrates export through.
@@ -52,15 +52,19 @@ pub use systems::{FasterMoeEmu, MoeSystem, NaiveSystem, ScheMoeSystem, TutelEmu}
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
-    pub use crate::config::{LayerShape, ScheMoeConfig};
+    pub use crate::config::{FaultSpec, LayerShape, RecoverySpec, ScheMoeConfig};
     pub use crate::step_time::{model_step_time, StepEstimate, StepTimeError};
     pub use crate::systems::{FasterMoeEmu, MoeSystem, NaiveSystem, ScheMoeSystem, TutelEmu};
-    pub use schemoe_cluster::{Fabric, HardwareProfile, MemoryBudget, RankHandle, Topology};
+    pub use schemoe_cluster::{
+        Fabric, FabricError, FaultPlan, HardwareProfile, MemoryBudget, RankHandle, Topology,
+    };
     pub use schemoe_collectives::{AllToAll, NcclA2A, OneDimHierA2A, PipeA2A, TwoDimHierA2A};
     pub use schemoe_compression::{
         Compressor, Fp16Compressor, Int8Compressor, NoCompression, ZfpCompressor,
     };
-    pub use schemoe_models::{LmConfig, MoeModelConfig, TinyMoeLm, TrainReport, Trainer};
+    pub use schemoe_models::{
+        run_ft_rank, FtConfig, FtReport, LmConfig, MoeModelConfig, TinyMoeLm, TrainReport, Trainer,
+    };
     pub use schemoe_moe::{DistributedMoeLayer, MoeLayer, TopKGate};
     pub use schemoe_netsim::SimTime;
     pub use schemoe_obs::{FuncTrace, SpanRecord};

@@ -1,0 +1,599 @@
+//! Fault-tolerant distributed MoE training.
+//!
+//! [`run_ft_rank`] is the per-rank body of a distributed language-model
+//! training loop that survives the faults injected by
+//! [`schemoe_cluster::FaultPlan`]: dropped, delayed, and corrupted
+//! messages, and ranks killed mid-step. Run it on every rank of a
+//! [`Fabric`](schemoe_cluster::Fabric) (with or without a fault plan) and
+//! each survivor returns an [`FtReport`].
+//!
+//! The model is a tiny expert-parallel LM — embedding →
+//! [`DistributedMoeLayer`] → linear head → softmax cross-entropy — trained
+//! on next-token prediction over [`RegimeMarkov`] sequences. The
+//! embedding, gate, and head are replicated (grad-allreduced each step);
+//! each rank owns one expert.
+//!
+//! # Recovery state machine
+//!
+//! Every step runs as a sequence of *attempts*. One attempt is:
+//!
+//! 1. zero gradients, take a fresh tag window;
+//! 2. `try_step`: forward, backward, and a live-rank gradient allreduce —
+//!    any injected fault surfaces here as a typed
+//!    [`FabricError`](schemoe_cluster::FabricError);
+//! 3. a **vote round**: ranks exchange `(status, suspect-bitmask)`
+//!    messages (sent [`VOTE_COPIES`] times each to survive drops, two
+//!    gossip rounds so suspicions reach everyone) and derive a shared
+//!    verdict *without any barrier* — a killed rank must never be waited
+//!    on unconditionally;
+//! 4. verdict **commit**: every live rank applies the optimizer step and
+//!    advances; verdict **retry** (a transient `Timeout`/`Corrupt`/
+//!    `Worker` fault somewhere): every rank backs off and reruns the
+//!    attempt under fresh tags; verdict **death** (a peer is
+//!    `Disconnected` or unresponsive): survivors mark it dead in the MoE
+//!    layer (degraded routing), restore the last checkpoint, and rewind to
+//!    the checkpointed step.
+//!
+//! The optimizer step happens only *after* an all-OK verdict, so
+//! replicated parameters cannot diverge when one rank fails mid-attempt.
+//! Checkpoints are taken in memory every [`FtConfig::checkpoint_every`]
+//! committed steps; batches are a pure function of `(seed, step, rank)`,
+//! so rewinding the step counter replays identical data.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use schemoe_cluster::{FabricError, RankHandle};
+use schemoe_collectives::{NcclA2A, TAG_STRIDE};
+use schemoe_compression::NoCompression;
+use schemoe_moe::{allreduce_live, DistributedMoeLayer, Expert, FfExpert, TopKGate};
+use schemoe_tensor::checkpoint;
+use schemoe_tensor::nn::{Embedding, Linear, Module, Param, SoftmaxCrossEntropy};
+use schemoe_tensor::optim::Sgd;
+use schemoe_tensor::rng::seeded;
+
+use crate::data::RegimeMarkov;
+
+/// How many duplicates of each vote message are sent. A vote is lost only
+/// if every copy is dropped, so the loss probability is `drop_prob ^
+/// VOTE_COPIES` per (link, round).
+pub const VOTE_COPIES: u64 = 4;
+
+/// Tag offset (from the end of an attempt's tag window) of the gradient
+/// allreduce.
+const ALLREDUCE_LANE: u64 = TAG_STRIDE - 4096;
+
+/// Tag offset of the vote lane; round 2 adds [`VOTE_COPIES`].
+const VOTE_LANE: u64 = TAG_STRIDE - 256;
+
+/// Hyperparameters and recovery policy for [`run_ft_rank`].
+#[derive(Clone, Copy, Debug)]
+pub struct FtConfig {
+    /// Vocabulary size of the synthetic LM task.
+    pub vocab: usize,
+    /// Number of Markov regimes in the data generator.
+    pub regimes: usize,
+    /// Embedding size `M`.
+    pub model_dim: usize,
+    /// Expert hidden size `H`.
+    pub hidden_dim: usize,
+    /// Top-k routing.
+    pub k: usize,
+    /// Gate capacity factor.
+    pub capacity_factor: f64,
+    /// Sequences per rank per step.
+    pub seqs_per_rank: usize,
+    /// Tokens per sequence (the sampled sequence is one longer, shifted
+    /// for next-token targets).
+    pub seq_len: usize,
+    /// Training steps to commit.
+    pub steps: usize,
+    /// SGD learning rate (no momentum: optimizer state is not
+    /// checkpointed, so restores must not inherit stale velocity).
+    pub lr: f32,
+    /// Master seed: model init, data, and per-step batches all derive from
+    /// it, so two runs with the same seed see identical inputs.
+    pub seed: u64,
+    /// Transient-fault retries per step before a silent peer is escalated
+    /// to a death suspicion.
+    pub retry_budget: u32,
+    /// Base backoff between retries; multiplied by the attempt number.
+    pub backoff_ms: u64,
+    /// Checkpoint cadence in committed steps.
+    pub checkpoint_every: usize,
+    /// Per-message deadline inside the vote protocol.
+    pub vote_timeout_ms: u64,
+}
+
+impl FtConfig {
+    /// A small configuration that trains in well under a second per rank —
+    /// the shape used by the chaos tests.
+    pub fn tiny(steps: usize) -> Self {
+        FtConfig {
+            vocab: 16,
+            regimes: 2,
+            model_dim: 16,
+            hidden_dim: 32,
+            k: 2,
+            capacity_factor: 2.0,
+            seqs_per_rank: 4,
+            seq_len: 8,
+            steps,
+            lr: 0.1,
+            seed: 7,
+            retry_budget: 3,
+            backoff_ms: 1,
+            checkpoint_every: 5,
+            vote_timeout_ms: 500,
+        }
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What one rank experienced over a fault-tolerant training run.
+#[derive(Clone, Debug)]
+pub struct FtReport {
+    /// Loss of the last committed step (`NaN` if none committed).
+    pub final_loss: f32,
+    /// Per-step committed losses; entries past a death are `NaN`.
+    pub loss_curve: Vec<f32>,
+    /// `Some(step)` if this rank died (was killed, or excommunicated by
+    /// the cluster vote) while working on `step`.
+    pub died_at_step: Option<usize>,
+    /// Ranks this rank believes dead at the end of the run.
+    pub dead_ranks: Vec<usize>,
+    /// Step attempts rerun because of a transient fault verdict.
+    pub retries: u64,
+    /// Checkpoint restores performed after death verdicts.
+    pub restores: u64,
+}
+
+/// The outcome of one cluster-wide vote.
+struct Verdict {
+    /// Some rank (possibly this one) reported a fault this attempt.
+    any_error: bool,
+    /// Bitmask of ranks the cluster now considers dead.
+    suspects: u64,
+}
+
+/// Visits every parameter of the model triple in a fixed order (the order
+/// checkpoints and the optimizer rely on).
+fn visit_all(
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    f: &mut dyn FnMut(&mut Param),
+) {
+    embed.visit_params(f);
+    moe.visit_params(f);
+    head.visit_params(f);
+}
+
+/// Visits only the replicated parameters (embedding, gate, head) whose
+/// gradients must be averaged across live ranks. Expert parameters are
+/// rank-local and excluded.
+fn visit_replicated(
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    f: &mut dyn FnMut(&mut Param),
+) {
+    embed.visit_params(f);
+    moe.visit_params(&mut |p| {
+        if p.name.starts_with("gate.") {
+            f(p);
+        }
+    });
+    head.visit_params(f);
+}
+
+/// One forward/backward/grad-sync attempt. Any fabric fault aborts the
+/// attempt with a typed error; no parameter is updated here.
+#[allow(clippy::too_many_arguments)]
+fn try_step(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    markov: &RegimeMarkov,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    ce: &mut SoftmaxCrossEntropy,
+    live: &[bool],
+    step: usize,
+    tag: u64,
+) -> Result<f32, FabricError> {
+    let me = h.rank();
+    // The batch is a pure function of (seed, step, rank): a rewound step
+    // replays exactly the same tokens.
+    let mut rng = seeded(cfg.seed ^ 0x5EED_0000 ^ ((step as u64) << 8) ^ me as u64);
+    let l = cfg.seq_len;
+    let toks = markov.sample_batch(cfg.seqs_per_rank, l + 1, &mut rng);
+    let mut inputs = Vec::with_capacity(cfg.seqs_per_rank * l);
+    let mut targets = Vec::with_capacity(cfg.seqs_per_rank * l);
+    for s in 0..cfg.seqs_per_rank {
+        let row = &toks[s * (l + 1)..(s + 1) * (l + 1)];
+        inputs.extend_from_slice(&row[..l]);
+        targets.extend_from_slice(&row[1..]);
+    }
+
+    let x = embed.forward(&inputs);
+    let hid = moe.forward(h, &x, tag)?;
+    let logits = head.forward(&hid);
+    let loss = ce.forward(&logits, &targets);
+    let dlogits = ce.backward();
+    let dhid = head.backward(&dlogits);
+    let dx = moe.backward(h, &dhid)?;
+    embed.backward(&dx);
+
+    // Average the replicated gradients over the live ranks.
+    let mut flat: Vec<f32> = Vec::new();
+    visit_replicated(embed, moe, head, &mut |p| {
+        flat.extend_from_slice(p.grad.data());
+    });
+    allreduce_live(h, &mut flat, tag + ALLREDUCE_LANE, live)?;
+    let scale = 1.0 / live.iter().filter(|&&a| a).count() as f32;
+    let mut off = 0usize;
+    visit_replicated(embed, moe, head, &mut |p| {
+        let n = p.grad.numel();
+        for (g, &r) in p.grad.data_mut().iter_mut().zip(&flat[off..off + n]) {
+            *g = r * scale;
+        }
+        off += n;
+    });
+    Ok(loss)
+}
+
+/// One gossip round of the vote protocol: broadcast `(status, suspects)`
+/// to every live peer ([`VOTE_COPIES`] copies), then collect each peer's
+/// message under a deadline. A peer whose every copy is missing or
+/// damaged forces an error verdict; with `suspect_unresponsive` it is
+/// also added to the suspect set (reserved for attempts past the retry
+/// budget — a voter merely stalled in a receive-deadline chain must not
+/// get evicted). Returns the unioned view, or an error if *this* rank
+/// died mid-round.
+fn vote_round(
+    h: &mut RankHandle,
+    live: &[bool],
+    base: u64,
+    status: u8,
+    suspects: u64,
+    deadline: Duration,
+    suspect_unresponsive: bool,
+) -> Result<(bool, u64), FabricError> {
+    let me = h.rank();
+    let mut buf = [0u8; 9];
+    buf[0] = status;
+    buf[1..9].copy_from_slice(&suspects.to_le_bytes());
+    let msg = Bytes::copy_from_slice(&buf);
+    for (r, &alive) in live.iter().enumerate() {
+        if r == me || !alive {
+            continue;
+        }
+        for c in 0..VOTE_COPIES {
+            match h.send(r, base + c, msg.clone()) {
+                Ok(()) => {}
+                // Our own kill threshold fired: we are the dead rank.
+                Err(FabricError::Disconnected { peer }) if peer == me => {
+                    return Err(FabricError::Disconnected { peer })
+                }
+                // The link misbehaved; the peer's receive deadline and the
+                // remaining copies cover it.
+                Err(_) => {}
+            }
+        }
+    }
+    let mut any = status != 0;
+    let mut sus = suspects;
+    for (r, &alive) in live.iter().enumerate() {
+        if r == me || !alive {
+            continue;
+        }
+        let mut heard = None;
+        for c in 0..VOTE_COPIES {
+            match h.recv_timeout(r, base + c, deadline) {
+                Ok(payload) if payload.len() == 9 => {
+                    heard = Some(payload);
+                    break;
+                }
+                Ok(_) => {} // malformed: treat like a corrupt copy
+                Err(FabricError::Disconnected { peer }) if peer == me => {
+                    return Err(FabricError::Disconnected { peer })
+                }
+                Err(_) => {} // timeout / corrupt / peer gone: try the next copy
+            }
+        }
+        match heard {
+            Some(p) => {
+                any |= p[0] != 0;
+                sus |= u64::from_le_bytes(p[1..9].try_into().expect("9-byte vote"));
+            }
+            None => {
+                // Unresponsive across every copy: at minimum the attempt
+                // must be retried; past the retry budget, presume death.
+                any = true;
+                if suspect_unresponsive {
+                    sus |= 1u64 << r;
+                }
+            }
+        }
+    }
+    Ok((any, sus))
+}
+
+/// Two-round vote: round one spreads first-hand observations, round two
+/// confirms the union so every live rank lands on the same verdict.
+fn vote(
+    h: &mut RankHandle,
+    live: &[bool],
+    tag: u64,
+    status: u8,
+    suspects: u64,
+    deadline: Duration,
+    suspect_unresponsive: bool,
+) -> Result<Verdict, FabricError> {
+    let base = tag + VOTE_LANE;
+    let (a1, s1) = vote_round(
+        h,
+        live,
+        base,
+        status,
+        suspects,
+        deadline,
+        suspect_unresponsive,
+    )?;
+    let (a2, s2) = vote_round(
+        h,
+        live,
+        base + VOTE_COPIES,
+        u8::from(a1),
+        s1,
+        deadline,
+        suspect_unresponsive,
+    )?;
+    Ok(Verdict {
+        any_error: a2,
+        suspects: s2,
+    })
+}
+
+/// Runs the fault-tolerant training loop on one rank. See the module docs
+/// for the protocol; call inside `Fabric::run` or `Fabric::run_with_faults`.
+///
+/// # Panics
+///
+/// Panics if the world is larger than 64 ranks (the vote bitmask width) or
+/// if an in-memory checkpoint fails to restore (it was produced by this
+/// very process, so damage indicates a bug, not a fault).
+pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
+    let me = h.rank();
+    let p = h.world_size();
+    assert!(p <= 64, "vote bitmask supports at most 64 ranks");
+
+    // Replicated modules share one seed; the expert is per-rank.
+    let mut embed = Embedding::new(cfg.vocab, cfg.model_dim, &mut seeded(cfg.seed ^ 0xE3BED));
+    let gate = TopKGate::new(
+        cfg.model_dim,
+        p,
+        cfg.k,
+        cfg.capacity_factor,
+        &mut seeded(cfg.seed ^ 0x6A7E),
+    );
+    let expert: Box<dyn Expert> = Box::new(FfExpert::new(
+        cfg.model_dim,
+        cfg.hidden_dim,
+        &mut seeded(cfg.seed ^ 0xE8_0000 ^ me as u64),
+    ));
+    let mut moe = DistributedMoeLayer::new(
+        gate,
+        vec![expert],
+        Box::new(NoCompression),
+        Box::new(NcclA2A),
+    )
+    .with_recv_timeout(Duration::from_millis(cfg.vote_timeout_ms.max(100) * 4));
+    let mut head = Linear::new(cfg.model_dim, cfg.vocab, &mut seeded(cfg.seed ^ 0x4EAD));
+    let mut ce = SoftmaxCrossEntropy::new();
+    let markov = RegimeMarkov::new(cfg.vocab, cfg.regimes, &mut seeded(cfg.seed ^ 0xDA7A));
+    let mut opt = Sgd::new(cfg.lr);
+
+    let mut live = vec![true; p];
+    let mut tag: u64 = 0;
+    let mut step = 0usize;
+    let mut loss_curve = vec![f32::NAN; cfg.steps];
+    let mut retries = 0u64;
+    let mut restores = 0u64;
+    let vote_dl = Duration::from_millis(cfg.vote_timeout_ms);
+
+    let mut ckpt = checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
+    let mut ckpt_step = 0usize;
+
+    let report = |live: &[bool], curve: Vec<f32>, died: Option<usize>, retries, restores| {
+        let last = curve.iter().rev().find(|l| !l.is_nan()).copied();
+        FtReport {
+            final_loss: last.unwrap_or(f32::NAN),
+            loss_curve: curve,
+            died_at_step: died,
+            dead_ranks: (0..p).filter(|&r| !live[r]).collect(),
+            retries,
+            restores,
+        }
+    };
+
+    'train: while step < cfg.steps {
+        let mut attempt = 0u32;
+        loop {
+            if h.is_dead() {
+                return report(&live, loss_curve, Some(step), retries, restores);
+            }
+            visit_all(&mut embed, &mut moe, &mut head, &mut |prm| prm.zero_grad());
+            let step_tag = tag;
+            tag += TAG_STRIDE;
+
+            let outcome = try_step(
+                h, cfg, &markov, &mut embed, &mut moe, &mut head, &mut ce, &live, step, step_tag,
+            );
+            if h.is_dead() {
+                return report(&live, loss_curve, Some(step), retries, restores);
+            }
+            // First-hand evidence: a disconnected peer is dead; timeouts
+            // and corruption are transient until the retry budget is
+            // spent, after which a *silent* peer is presumed dead (a
+            // killed rank that never exits looks like a pure timeout).
+            // Corruption never escalates — it implicates the link, not
+            // the peer's liveness, and a flaky link must not get a live
+            // rank excommunicated.
+            let (status, mut suspects): (u8, u64) = match &outcome {
+                Ok(_) => (0, 0),
+                Err(FabricError::Disconnected { peer }) if *peer != me => (1, 1u64 << *peer),
+                Err(_) => (1, 0),
+            };
+            if attempt >= cfg.retry_budget {
+                if let Err(FabricError::Timeout { peer, .. }) = &outcome {
+                    suspects |= 1u64 << *peer;
+                }
+            }
+
+            let escalate = attempt >= cfg.retry_budget;
+            let verdict = match vote(h, &live, step_tag, status, suspects, vote_dl, escalate) {
+                Ok(v) => v,
+                // Only a self-death escapes the vote.
+                Err(_) => return report(&live, loss_curve, Some(step), retries, restores),
+            };
+
+            if verdict.suspects & (1u64 << me) != 0 {
+                // The cluster has given up on this rank (e.g. our outbound
+                // links are black holes). Exit rather than split-brain.
+                return report(&live, loss_curve, Some(step), retries, restores);
+            }
+            let newly_dead: Vec<usize> = (0..p)
+                .filter(|&r| live[r] && verdict.suspects & (1u64 << r) != 0)
+                .collect();
+            if !newly_dead.is_empty() {
+                let _span = schemoe_obs::enabled()
+                    .then(|| schemoe_obs::span("ft", format!("restore after {newly_dead:?} died")));
+                for &r in &newly_dead {
+                    live[r] = false;
+                    moe.mark_rank_dead(r);
+                }
+                checkpoint::load(&ckpt, &mut |f| {
+                    visit_all(&mut embed, &mut moe, &mut head, f)
+                })
+                .expect("in-memory checkpoint must restore");
+                restores += 1;
+                step = ckpt_step;
+                continue 'train;
+            }
+            if verdict.any_error {
+                retries += 1;
+                schemoe_obs::counters_for_rank(me).add_retry();
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(
+                    cfg.backoff_ms * u64::from(attempt.min(5)),
+                ));
+                continue;
+            }
+
+            // All-OK verdict: commit the step everywhere.
+            let loss = outcome.expect("all-OK verdict implies a local success");
+            opt.step_params(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
+            loss_curve[step] = loss;
+            step += 1;
+            if step.is_multiple_of(cfg.checkpoint_every) || step == cfg.steps {
+                ckpt = checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
+                ckpt_step = step;
+            }
+            break;
+        }
+    }
+
+    report(&live, loss_curve, None, retries, restores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemoe_cluster::{Fabric, FaultPlan, Topology};
+
+    fn mean_final_loss(reports: &[FtReport]) -> f32 {
+        let survivors: Vec<&FtReport> = reports
+            .iter()
+            .filter(|r| r.died_at_step.is_none())
+            .collect();
+        assert!(!survivors.is_empty(), "every rank died");
+        survivors.iter().map(|r| r.final_loss).sum::<f32>() / survivors.len() as f32
+    }
+
+    #[test]
+    fn fault_free_training_converges() {
+        let cfg = FtConfig::tiny(12);
+        let reports = Fabric::run(Topology::new(2, 2), |mut h| run_ft_rank(&mut h, &cfg));
+        for r in &reports {
+            assert_eq!(r.died_at_step, None);
+            assert_eq!(r.retries, 0);
+            assert_eq!(r.restores, 0);
+            assert!(r.dead_ranks.is_empty());
+            assert_eq!(r.loss_curve.len(), 12);
+            assert!(r.loss_curve.iter().all(|l| l.is_finite()));
+        }
+        // Replicated losses are identical across ranks only in expectation
+        // (data differs per rank); the mean must fall.
+        let first = reports.iter().map(|r| r.loss_curve[0]).sum::<f32>() / 4.0;
+        let last = mean_final_loss(&reports);
+        assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn training_survives_dropped_messages_via_retries() {
+        let cfg = FtConfig::tiny(6);
+        // A lossy but alive fabric: ~1% of payload messages vanish. The
+        // handle-level deadline turns each loss into a Timeout, the vote
+        // round turns it into a cluster-wide retry.
+        let plan = FaultPlan::seeded(11)
+            .with_drop_prob(0.01)
+            .with_recv_deadline(Duration::from_millis(300));
+        let reports =
+            Fabric::run_with_faults(Topology::new(2, 2), plan, |mut h| run_ft_rank(&mut h, &cfg));
+        for r in &reports {
+            assert_eq!(r.died_at_step, None, "no rank should die from drops");
+            assert!(r.final_loss.is_finite());
+        }
+        let total_retries: u64 = reports.iter().map(|r| r.retries).sum();
+        assert!(
+            total_retries > 0,
+            "1% drop over 6 steps should trigger a retry"
+        );
+    }
+
+    #[test]
+    fn a_killed_rank_is_detected_and_training_completes_degraded() {
+        let cfg = FtConfig::tiny(8);
+        // Rank 3 dies after 40 sends — mid-epoch, after the first
+        // checkpoint window.
+        let plan = FaultPlan::seeded(5)
+            .kill_after(3, 40)
+            .with_recv_deadline(Duration::from_millis(300));
+        let reports =
+            Fabric::run_with_faults(Topology::new(2, 2), plan, |mut h| run_ft_rank(&mut h, &cfg));
+        assert!(
+            reports[3].died_at_step.is_some(),
+            "rank 3 must observe its death"
+        );
+        for (r, rep) in reports.iter().enumerate() {
+            if r == 3 {
+                continue;
+            }
+            assert_eq!(rep.died_at_step, None, "rank {r} should survive");
+            assert_eq!(rep.dead_ranks, vec![3], "rank {r} should bury rank 3");
+            assert!(rep.restores >= 1, "rank {r} should restore a checkpoint");
+            assert!(rep.final_loss.is_finite());
+            assert!(
+                rep.loss_curve.iter().all(|l| l.is_finite()),
+                "every step must commit after recovery"
+            );
+        }
+    }
+}

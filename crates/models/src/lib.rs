@@ -18,12 +18,14 @@
 
 pub mod block;
 pub mod data;
+pub mod ft;
 pub mod lm;
 pub mod trainer;
 pub mod zoo;
 
 pub use block::{FfnKind, TransformerBlock};
 pub use data::{CopyTranslation, RegimeMarkov};
+pub use ft::{run_ft_rank, FtConfig, FtReport};
 pub use lm::{LmConfig, TinyMoeLm};
 pub use trainer::{TrainReport, Trainer};
 pub use zoo::MoeModelConfig;

@@ -1,5 +1,6 @@
 //! Expert-parallel MoE execution over the rank fabric.
 
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
@@ -48,6 +49,9 @@ pub struct DistributedMoeLayer {
     partition_degree: usize,
     /// Liveness deadline for the overlapped path's receives.
     recv_timeout: Option<Duration>,
+    /// Ranks declared dead mid-training: their experts are masked out of
+    /// routing and all exchanges skip them (degraded mode).
+    dead_ranks: BTreeSet<usize>,
 }
 
 struct Cache {
@@ -91,6 +95,7 @@ impl DistributedMoeLayer {
             cache: None,
             partition_degree: 1,
             recv_timeout: None,
+            dead_ranks: BTreeSet::new(),
         }
     }
 
@@ -134,6 +139,65 @@ impl DistributedMoeLayer {
     /// The rank owning global expert `e`.
     fn owner_of(&self, e: usize) -> usize {
         e / self.experts_per_rank
+    }
+
+    /// Declares `rank` dead: its experts leave the routing table (the gate
+    /// renormalizes over survivors) and every exchange skips it. The next
+    /// forward runs in degraded mode — serially, with a quality warning
+    /// recorded on the `degraded` span and counter — instead of hanging on
+    /// the dead peer.
+    pub fn mark_rank_dead(&mut self, rank: usize) {
+        self.dead_ranks.insert(rank);
+    }
+
+    /// The ranks currently declared dead, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.dead_ranks.iter().copied().collect()
+    }
+
+    /// True when any peer has been declared dead.
+    pub fn is_degraded(&self) -> bool {
+        !self.dead_ranks.is_empty()
+    }
+
+    /// The routing mask for the current dead set: `mask[e]` is true when
+    /// expert `e` lives on a dead rank.
+    fn dead_expert_mask(&self, world_size: usize) -> Vec<bool> {
+        (0..world_size * self.experts_per_rank)
+            .map(|e| self.dead_ranks.contains(&self.owner_of(e)))
+            .collect()
+    }
+
+    /// Direct exchange among live ranks only: sends go to live peers, dead
+    /// peers' inbound chunks are replaced by `placeholder` (an encoding of
+    /// zero rows), and receives — deadline-aware when the fabric has one —
+    /// touch live peers only, so a dead rank cannot hang the step.
+    fn exchange_live(
+        h: &mut RankHandle,
+        chunks: Vec<Bytes>,
+        tag: u64,
+        dead: &BTreeSet<usize>,
+        placeholder: &Bytes,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<Bytes>, FabricError> {
+        let p = h.world_size();
+        for (j, chunk) in chunks.into_iter().enumerate() {
+            if !dead.contains(&j) {
+                h.send(j, tag, chunk)?;
+            }
+        }
+        let mut out = Vec::with_capacity(p);
+        for j in 0..p {
+            if dead.contains(&j) {
+                out.push(placeholder.clone());
+            } else {
+                out.push(match timeout {
+                    Some(t) => h.recv_timeout(j, tag, t)?,
+                    None => h.recv(j, tag)?,
+                });
+            }
+        }
+        Ok(out)
     }
 
     /// Serializes rows destined for one rank: a count header per local
@@ -227,7 +291,9 @@ impl DistributedMoeLayer {
         x: &Tensor,
         tag_base: u64,
     ) -> Result<Tensor, FabricError> {
-        if self.partition_degree <= 1 {
+        if self.partition_degree <= 1 || self.is_degraded() {
+            // Degraded mode always runs serially: the overlapped pipeline's
+            // structured exchanges assume a full-world schedule.
             self.forward_serial(h, x, tag_base)
         } else {
             self.forward_overlapped(h, x, tag_base)
@@ -246,9 +312,23 @@ impl DistributedMoeLayer {
         let m = x.dims()[1];
         let n = x.dims()[0];
         let epr = self.experts_per_rank;
+        // Degraded mode: record the quality warning (span + counter) and
+        // route around the dead ranks' experts.
+        let _degraded_span = self.is_degraded().then(|| {
+            obs::counters_for_rank(h.rank()).add_degraded_step();
+            obs::span(
+                "degraded",
+                format!("degraded step ({} dead)", self.dead_ranks.len()),
+            )
+        });
         let decision = {
             let _g = obs::span("gate", "gate");
-            self.gate.forward(x)
+            if self.is_degraded() {
+                let mask = self.dead_expert_mask(p);
+                self.gate.forward_masked(x, Some(&mask))
+            } else {
+                self.gate.forward(x)
+            }
         };
 
         // Build one chunk per destination rank: this rank's admitted rows
@@ -275,7 +355,20 @@ impl DistributedMoeLayer {
         let sent_bytes: usize = chunks.iter().map(Bytes::len).sum();
         let received = {
             let _s = obs::span_sized("a2a", "A1", sent_bytes as f64);
-            self.a2a.all_to_all(h, chunks, dispatch_tag)?
+            if self.is_degraded() {
+                let empty = vec![Tensor::zeros(&[0, m]); epr];
+                let placeholder = Self::encode_chunk(self.compressor.as_ref(), &empty, m);
+                Self::exchange_live(
+                    h,
+                    chunks,
+                    dispatch_tag,
+                    &self.dead_ranks,
+                    &placeholder,
+                    self.recv_timeout,
+                )?
+            } else {
+                self.a2a.all_to_all(h, chunks, dispatch_tag)?
+            }
         };
         let recv_bytes: usize = received.iter().map(Bytes::len).sum();
 
@@ -341,7 +434,20 @@ impl DistributedMoeLayer {
         let back_bytes: usize = back_chunks.iter().map(Bytes::len).sum();
         let returned = {
             let _s = obs::span_sized("a2a", "A2", back_bytes as f64);
-            self.a2a.all_to_all(h, back_chunks, combine_tag)?
+            if self.is_degraded() {
+                let empty = vec![Tensor::zeros(&[0, m]); epr];
+                let placeholder = Self::encode_chunk(self.compressor.as_ref(), &empty, m);
+                Self::exchange_live(
+                    h,
+                    back_chunks,
+                    combine_tag,
+                    &self.dead_ranks,
+                    &placeholder,
+                    self.recv_timeout,
+                )?
+            } else {
+                self.a2a.all_to_all(h, back_chunks, combine_tag)?
+            }
         };
 
         // Combine: the chunk from rank r holds outputs for the experts r
@@ -617,10 +723,19 @@ impl DistributedMoeLayer {
                 }),
             });
         }
-        run_overlapped(tasks);
+        let exec_result = run_overlapped(tasks);
 
+        // A comm lane that failed records its typed error in the mailbox
+        // and the dependent tasks skip; prefer that over the executor's
+        // panic report when both exist (the panic is usually downstream
+        // fallout of the fabric failure).
         if let Some(e) = error.into_inner() {
             return Err(e);
+        }
+        if let Err(e) = exec_result {
+            return Err(FabricError::Worker {
+                detail: e.to_string(),
+            });
         }
         let chunk_inputs: Vec<Vec<Vec<Tensor>>> = chunk_inputs
             .into_iter()
@@ -758,7 +873,20 @@ impl DistributedMoeLayer {
         let grad_bytes: usize = grad_chunks.iter().map(Bytes::len).sum();
         let received = {
             let _s = obs::span_sized("a2a", "A1b", grad_bytes as f64);
-            self.a2a.all_to_all(h, grad_chunks, bwd1_tag)?
+            if self.is_degraded() {
+                let empty = vec![Tensor::zeros(&[0, m]); epr];
+                let placeholder = Self::encode_raw(&empty);
+                Self::exchange_live(
+                    h,
+                    grad_chunks,
+                    bwd1_tag,
+                    &self.dead_ranks,
+                    &placeholder,
+                    self.recv_timeout,
+                )?
+            } else {
+                self.a2a.all_to_all(h, grad_chunks, bwd1_tag)?
+            }
         };
 
         // Expert backward on concatenated output grads.
@@ -811,7 +939,20 @@ impl DistributedMoeLayer {
         let back_bytes: usize = back.iter().map(Bytes::len).sum();
         let returned = {
             let _s = obs::span_sized("a2a", "A2b", back_bytes as f64);
-            self.a2a.all_to_all(h, back, bwd2_tag)?
+            if self.is_degraded() {
+                let empty = vec![Tensor::zeros(&[0, m]); epr];
+                let placeholder = Self::encode_raw(&empty);
+                Self::exchange_live(
+                    h,
+                    back,
+                    bwd2_tag,
+                    &self.dead_ranks,
+                    &placeholder,
+                    self.recv_timeout,
+                )?
+            } else {
+                self.a2a.all_to_all(h, back, bwd2_tag)?
+            }
         };
 
         // Dispatch backward: scatter token gradients.
@@ -859,11 +1000,36 @@ pub fn allreduce_inplace(
     values: &mut [f32],
     tag: u64,
 ) -> Result<(), FabricError> {
+    let live = vec![true; h.world_size()];
+    allreduce_live(h, values, tag, &live)
+}
+
+/// [`allreduce_inplace`] restricted to the ranks marked `true` in `live`:
+/// the sum is gathered on the lowest live rank and broadcast back to the
+/// survivors only, so a dead rank (which can no longer participate) does
+/// not wedge the reduction. The caller must itself be live.
+///
+/// # Panics
+///
+/// Panics if `live` disagrees with the world size, marks no rank, or marks
+/// the caller dead.
+pub fn allreduce_live(
+    h: &mut RankHandle,
+    values: &mut [f32],
+    tag: u64,
+    live: &[bool],
+) -> Result<(), FabricError> {
     let p = h.world_size();
-    if p == 1 {
+    let me = h.rank();
+    assert_eq!(live.len(), p, "live mask must cover the world");
+    assert!(live[me], "a dead rank cannot join an allreduce");
+    let root = live
+        .iter()
+        .position(|&l| l)
+        .expect("at least one live rank");
+    if live.iter().filter(|&&l| l).count() <= 1 {
         return Ok(());
     }
-    let me = h.rank();
     let encode = |v: &[f32]| {
         let mut buf = BytesMut::with_capacity(v.len() * 4);
         for &x in v {
@@ -871,20 +1037,25 @@ pub fn allreduce_inplace(
         }
         buf.freeze()
     };
-    if me == 0 {
-        for src in 1..p {
+    if me == root {
+        for src in 0..p {
+            if src == root || !live[src] {
+                continue;
+            }
             let chunk = h.recv(src, tag)?;
             for (i, b) in chunk.chunks_exact(4).enumerate() {
                 values[i] += f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
             }
         }
         let summed = encode(values);
-        for dst in 1..p {
-            h.send(dst, tag + 1, summed.clone())?;
+        for dst in 0..p {
+            if dst != root && live[dst] {
+                h.send(dst, tag + 1, summed.clone())?;
+            }
         }
     } else {
-        h.send(0, tag, encode(values))?;
-        let summed = h.recv(0, tag + 1)?;
+        h.send(root, tag, encode(values))?;
+        let summed = h.recv(root, tag + 1)?;
         for (i, b) in summed.chunks_exact(4).enumerate() {
             values[i] = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
         }
@@ -1122,6 +1293,113 @@ mod tests {
         for v in results {
             assert_eq!(v, vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
         }
+    }
+
+    #[test]
+    fn allreduce_live_skips_dead_ranks() {
+        // Rank 2 is "dead": it never joins. Survivors reduce among
+        // themselves, rooted at the lowest live rank.
+        let topo = Topology::new(2, 2);
+        let results = Fabric::run(topo, |mut h| {
+            if h.rank() == 2 {
+                return Vec::new();
+            }
+            let live = [true, true, false, true];
+            let mut v = vec![h.rank() as f32, 1.0];
+            allreduce_live(&mut h, &mut v, 42, &live).unwrap();
+            v
+        });
+        for (r, v) in results.iter().enumerate() {
+            if r == 2 {
+                continue;
+            }
+            assert_eq!(v, &vec![0.0 + 1.0 + 3.0, 3.0], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn degraded_forward_and_backward_complete_without_the_dead_rank() {
+        // Rank 1 of 4 dies before the step. Survivors mark it dead,
+        // reroute its tokens, and complete forward + backward with finite
+        // outputs; the dead rank's experts receive nothing.
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        let n_local = 6;
+        let dead = 1usize;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(41));
+        let outs = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            if me == dead {
+                return None;
+            }
+            let gate = make_gate(p, 2, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            )
+            .with_recv_timeout(std::time::Duration::from_secs(20));
+            layer.mark_rank_dead(dead);
+            assert!(layer.is_degraded());
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = layer.forward(&mut h, &x, 0).unwrap();
+            let dx = layer.backward(&mut h, &y).unwrap();
+            Some((y, dx))
+        });
+        for (r, out) in outs.iter().enumerate() {
+            if r == dead {
+                assert!(out.is_none());
+                continue;
+            }
+            let (y, dx) = out.as_ref().unwrap();
+            assert_eq!(y.dims(), &[n_local, M]);
+            assert!(y.all_finite(), "rank {r} produced non-finite output");
+            assert!(dx.all_finite(), "rank {r} produced non-finite grads");
+            // Degraded combine still moves data: the output is not zero.
+            assert!(
+                y.data().iter().any(|&v| v.abs() > 1e-6),
+                "rank {r} output is all zeros"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_mode_forces_the_serial_path_and_still_completes() {
+        // A layer configured for overlapped execution falls back to the
+        // serial degraded path when a rank dies (the structured pipeline
+        // assumes a full world).
+        let topo = Topology::new(1, 2);
+        let n_local = 5;
+        let dead = 1usize;
+        let x_global = rng::uniform(&[n_local * 2, M], 1.0, &mut seeded(42));
+        let outs = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            if me == dead {
+                return None;
+            }
+            let gate = make_gate(2, 1, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            )
+            .with_partition_degree(4)
+            .with_recv_timeout(std::time::Duration::from_secs(20));
+            layer.mark_rank_dead(dead);
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            Some(layer.forward(&mut h, &x, 0).unwrap())
+        });
+        let y = outs[0].as_ref().unwrap();
+        assert!(y.all_finite());
+        assert!(y.data().iter().any(|&v| v.abs() > 1e-6));
     }
 
     #[test]

@@ -128,9 +128,41 @@ impl TopKGate {
     /// Tokens are admitted to an expert in token order until its capacity
     /// fills, which matches the deterministic GShard dispatch.
     pub fn forward(&mut self, x: &Tensor) -> GateDecision {
+        self.forward_masked(x, None)
+    }
+
+    /// Routes like [`forward`](Self::forward), but with an optional
+    /// liveness mask: experts whose `masked[e]` is `true` are removed from
+    /// routing *before* the softmax, so probabilities renormalize over the
+    /// surviving experts and their combine weights stay a proper
+    /// distribution. This is the degraded-mode router used when peer ranks
+    /// die mid-training: the masked experts' tokens reroute to live ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length disagrees with the expert count or if it
+    /// masks every expert.
+    pub fn forward_masked(&mut self, x: &Tensor, masked: Option<&[bool]>) -> GateDecision {
         let n = x.dims()[0];
         let e = self.num_experts();
-        let logits = x.matmul(&self.wg.value).expect("gate input shape");
+        if let Some(mask) = masked {
+            assert_eq!(mask.len(), e, "mask length must equal expert count");
+            assert!(!mask.iter().all(|&d| d), "cannot mask every expert");
+        }
+        let mut logits = x.matmul(&self.wg.value).expect("gate input shape");
+        if let Some(mask) = masked {
+            // A large negative logit (not -inf: keeps the softmax finite)
+            // drives a masked expert's probability to exactly 0 after the
+            // shift-by-max exponentiation.
+            for t in 0..n {
+                let row = logits.row_mut(t);
+                for (j, &dead) in mask.iter().enumerate() {
+                    if dead {
+                        row[j] = -1e30;
+                    }
+                }
+            }
+        }
         let probs = logits.softmax_rows().expect("rank-2 logits");
         let capacity = crate::expert_capacity(self.capacity_factor, self.k, n, e);
 
@@ -139,9 +171,11 @@ impl TopKGate {
         let mut dropped = 0usize;
         for t in 0..n {
             let row = probs.row(t);
-            // Expert preference order by probability (E is small).
-            let mut order: Vec<usize> = (0..e).collect();
+            // Expert preference order by probability (E is small); masked
+            // experts do not participate at all.
+            let mut order: Vec<usize> = (0..e).filter(|&j| masked.is_none_or(|m| !m[j])).collect();
             order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite probs"));
+            let e = order.len();
             let mut admitted = 0usize;
             let mut cursor = 0usize;
             while admitted < self.k && cursor < e {
@@ -438,6 +472,60 @@ mod tests {
     #[should_panic(expected = "1 <= k <= experts")]
     fn k_larger_than_experts_is_rejected() {
         TopKGate::new(4, 2, 3, 1.0, &mut seeded(1));
+    }
+
+    #[test]
+    fn masked_experts_receive_nothing_and_weights_renormalize() {
+        let mut g = gate(2, 10.0);
+        let x = rng::uniform(&[16, 8], 1.0, &mut seeded(31));
+        // Mask expert 1: nothing routes there, and every token's admitted
+        // weights are softmax probabilities over the 3 survivors.
+        let d = g.forward_masked(&x, Some(&[false, true, false, false]));
+        assert_eq!(d.expert_slots[1].len(), 0, "masked expert got tokens");
+        for a in &d.assignments {
+            assert_eq!(a.len(), 2);
+            for &(ex, w) in a {
+                assert_ne!(ex, 1);
+                assert!(w > 0.0 && w <= 1.0);
+            }
+        }
+        // Renormalization: a k = live-count decision sums to ~1.
+        let mut g3 = gate(3, 10.0);
+        let d3 = g3.forward_masked(&x, Some(&[false, true, false, false]));
+        for a in &d3.assignments {
+            let sum: f32 = a.iter().map(|&(_, w)| w).sum();
+            assert!((sum - 1.0).abs() < 1e-4, "weights sum to {sum}, not 1");
+        }
+    }
+
+    #[test]
+    fn masked_gradients_stay_finite() {
+        let mut g = gate(2, 10.0);
+        let x = rng::uniform(&[8, 8], 0.5, &mut seeded(32));
+        let d = g.forward_masked(&x, Some(&[false, false, true, false]));
+        let d_weights: Vec<Vec<f32>> = d.assignments.iter().map(|a| vec![1.0; a.len()]).collect();
+        let dx = g.backward(&d_weights);
+        assert!(dx.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mask every expert")]
+    fn masking_every_expert_is_rejected() {
+        let mut g = gate(1, 1.0);
+        let x = rng::uniform(&[2, 8], 1.0, &mut seeded(33));
+        g.forward_masked(&x, Some(&[true, true, true, true]));
+    }
+
+    #[test]
+    fn no_mask_matches_plain_forward() {
+        let x = rng::uniform(&[12, 8], 1.0, &mut seeded(34));
+        let mut a = gate(2, 4.0);
+        let mut b = gate(2, 4.0);
+        let da = a.forward(&x);
+        let db = b.forward_masked(&x, Some(&[false; 4]));
+        for (x_, y_) in da.assignments.iter().zip(db.assignments.iter()) {
+            assert_eq!(x_, y_);
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod gating;
 pub mod layer;
 pub mod routing;
 
-pub use distributed::{allreduce_inplace, DistributedMoeLayer};
+pub use distributed::{allreduce_inplace, allreduce_live, DistributedMoeLayer};
 pub use expert::{Expert, FfExpert};
 pub use gating::{GateDecision, OverflowPolicy, TopKGate};
 pub use layer::MoeLayer;

@@ -19,6 +19,11 @@ pub struct RankCounters {
     bytes_recv: AtomicU64,
     recv_wait_ns: AtomicU64,
     timeouts: AtomicU64,
+    faults_injected: AtomicU64,
+    corrupt_frames: AtomicU64,
+    retries: AtomicU64,
+    degraded_steps: AtomicU64,
+    invalid_ranks: AtomicU64,
 }
 
 impl RankCounters {
@@ -56,6 +61,47 @@ impl RankCounters {
         }
     }
 
+    /// Counts one fault the installed plan injected on this rank's send
+    /// path (drop, delay, corrupt, or kill).
+    #[inline]
+    pub fn add_fault_injected(&self) {
+        if crate::enabled() {
+            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one received frame that failed its CRC32 check.
+    #[inline]
+    pub fn add_corrupt_frame(&self) {
+        if crate::enabled() {
+            self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one retried training step (transient-fault recovery).
+    #[inline]
+    pub fn add_retry(&self) {
+        if crate::enabled() {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one step completed in degraded mode (dead peers rerouted).
+    #[inline]
+    pub fn add_degraded_step(&self) {
+        if crate::enabled() {
+            self.degraded_steps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one send or receive that named a rank outside the topology.
+    #[inline]
+    pub fn add_invalid_rank(&self) {
+        if crate::enabled() {
+            self.invalid_ranks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of the totals.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -65,6 +111,11 @@ impl RankCounters {
             bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
             recv_wait_ns: self.recv_wait_ns.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_steps: self.degraded_steps.load(Ordering::Relaxed),
+            invalid_ranks: self.invalid_ranks.load(Ordering::Relaxed),
         }
     }
 
@@ -74,6 +125,11 @@ impl RankCounters {
         self.bytes_recv.store(0, Ordering::Relaxed);
         self.recv_wait_ns.store(0, Ordering::Relaxed);
         self.timeouts.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.corrupt_frames.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.degraded_steps.store(0, Ordering::Relaxed);
+        self.invalid_ranks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -92,6 +148,16 @@ pub struct CounterSnapshot {
     pub recv_wait_ns: u64,
     /// Receive deadlines that expired.
     pub timeouts: u64,
+    /// Faults the installed plan injected on this rank's send path.
+    pub faults_injected: u64,
+    /// Received frames that failed their CRC32 check.
+    pub corrupt_frames: u64,
+    /// Training steps retried after a transient fault.
+    pub retries: u64,
+    /// Steps completed in degraded mode (dead peers rerouted).
+    pub degraded_steps: u64,
+    /// Sends/receives that named a rank outside the topology.
+    pub invalid_ranks: u64,
 }
 
 /// The counter block for `rank`, creating it on first request.
@@ -107,6 +173,11 @@ pub fn counters_for_rank(rank: usize) -> Arc<RankCounters> {
         bytes_recv: AtomicU64::new(0),
         recv_wait_ns: AtomicU64::new(0),
         timeouts: AtomicU64::new(0),
+        faults_injected: AtomicU64::new(0),
+        corrupt_frames: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        degraded_steps: AtomicU64::new(0),
+        invalid_ranks: AtomicU64::new(0),
     });
     reg.push(Arc::clone(&c));
     c
@@ -146,6 +217,11 @@ mod tests {
         c.add_recv(40);
         c.add_recv_wait(Duration::from_micros(5));
         c.add_timeout();
+        c.add_fault_injected();
+        c.add_corrupt_frame();
+        c.add_retry();
+        c.add_degraded_step();
+        c.add_invalid_rank();
         crate::disable();
         let s = c.snapshot();
         assert_eq!(s.bytes_sent, 100);
@@ -153,6 +229,11 @@ mod tests {
         assert_eq!(s.bytes_recv, 40);
         assert_eq!(s.recv_wait_ns, 5_000);
         assert_eq!(s.timeouts, 1);
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.corrupt_frames, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.degraded_steps, 1);
+        assert_eq!(s.invalid_ranks, 1);
         c.reset();
         assert_eq!(c.snapshot().bytes_sent, 0);
     }

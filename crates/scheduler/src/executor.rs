@@ -6,6 +6,8 @@
 //! dependency discipline as [`crate::Schedule::makespan`]. It is how the
 //! functional ScheMoE pipeline gets genuine wall-clock comm/comp overlap.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -17,6 +19,45 @@ pub enum Worker {
     Compute,
     /// The background thread (communication tasks).
     Comm,
+}
+
+/// A worker died mid-pipeline: one task panicked before it could record a
+/// typed error.
+///
+/// The executor converts the panic into this value instead of propagating
+/// it through `thread::scope` (which would abort the whole rank thread and
+/// poison nothing useful): remaining tasks are skipped but still marked
+/// complete, so the other worker drains and joins cleanly, and the caller
+/// gets the failure as a `Result` it can map onto its own error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// The worker whose task died.
+    pub worker: Worker,
+    /// Index of the dead task in the submitted vector.
+    pub task: usize,
+    /// The panic payload, stringified.
+    pub detail: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} worker died in task {}: {}",
+            self.worker, self.task, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Stringifies a panic payload (the common `&str` / `String` cases).
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
 /// One executable task.
@@ -83,12 +124,18 @@ impl DoneBoard {
 /// submitting a deadlock-free order (e.g. one produced by
 /// [`crate::schedules::optsche`]); validating orders up front is the
 /// simulator's job.
-pub fn run_overlapped(tasks: Vec<ExecTask<'_>>) {
+///
+/// A panicking task does not take the pipeline down: the first panic is
+/// captured as an [`ExecError`], every not-yet-run task is skipped (but
+/// still marked complete so neither worker blocks on a dependency), and
+/// the error is returned after both workers join.
+pub fn run_overlapped(tasks: Vec<ExecTask<'_>>) -> Result<(), ExecError> {
     let n = tasks.len();
     let board = Arc::new(DoneBoard {
         done: Mutex::new(vec![false; n]),
         cv: Condvar::new(),
     });
+    let failure: Arc<Mutex<Option<ExecError>>> = Arc::new(Mutex::new(None));
 
     let mut comp: Vec<Queued<'_>> = Vec::new();
     let mut comm: Vec<Queued<'_>> = Vec::new();
@@ -99,11 +146,30 @@ pub fn run_overlapped(tasks: Vec<ExecTask<'_>>) {
         }
     }
 
+    let drain = |worker: Worker, queue: Vec<Queued<'_>>| {
+        for (idx, deps, span, run) in queue {
+            board.wait_for(&deps);
+            if failure.lock().is_none() {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_task(span, run))) {
+                    let mut slot = failure.lock();
+                    if slot.is_none() {
+                        *slot = Some(ExecError {
+                            worker,
+                            task: idx,
+                            detail: panic_detail(payload),
+                        });
+                    }
+                }
+            }
+            board.mark(idx);
+        }
+    };
+
     // The comm thread is a fresh OS thread with no recorder identity; hand
     // it the submitting rank so its spans land on the right Perfetto track.
     let rank = schemoe_obs::thread_rank();
     std::thread::scope(|scope| {
-        let comm_board = Arc::clone(&board);
+        let drain = &drain;
         scope.spawn(move || {
             if schemoe_obs::enabled() {
                 if let Some(r) = rank {
@@ -111,18 +177,16 @@ pub fn run_overlapped(tasks: Vec<ExecTask<'_>>) {
                     schemoe_obs::set_thread_name(format!("rank{r}/comm"));
                 }
             }
-            for (idx, deps, span, run) in comm {
-                comm_board.wait_for(&deps);
-                run_task(span, run);
-                comm_board.mark(idx);
-            }
+            drain(Worker::Comm, comm);
         });
-        for (idx, deps, span, run) in comp {
-            board.wait_for(&deps);
-            run_task(span, run);
-            board.mark(idx);
-        }
+        drain(Worker::Compute, comp);
     });
+
+    let err = failure.lock().take();
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +229,7 @@ mod tests {
             },
         ];
         let start = Instant::now();
-        run_overlapped(tasks);
+        run_overlapped(tasks).unwrap();
         let elapsed = start.elapsed();
         assert!(
             elapsed >= Duration::from_millis(85),
@@ -208,13 +272,87 @@ mod tests {
                 run: mk(2, &counter, &order),
             },
         ];
-        run_overlapped(tasks);
+        run_overlapped(tasks).unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 3);
         assert_eq!(*order.lock(), vec![0, 1, 2]);
     }
 
     #[test]
     fn empty_task_list_is_a_noop() {
-        run_overlapped(Vec::new());
+        run_overlapped(Vec::new()).unwrap();
+    }
+
+    #[test]
+    fn comm_worker_panic_returns_a_typed_error_and_join_survives() {
+        let ran_after = Arc::new(AtomicUsize::new(0));
+        let tasks = vec![
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                span: None,
+                run: Box::new(|| {}),
+            },
+            ExecTask {
+                worker: Worker::Comm,
+                deps: vec![0],
+                span: None,
+                run: Box::new(|| panic!("lane 3 failed: peer rank 2 disconnected")),
+            },
+            // Depends on the dead task: must be skipped, not run, not hung.
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![1],
+                span: None,
+                run: {
+                    let c = Arc::clone(&ran_after);
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                },
+            },
+        ];
+        let err = run_overlapped(tasks).unwrap_err();
+        assert_eq!(err.worker, Worker::Comm);
+        assert_eq!(err.task, 1);
+        assert!(
+            err.detail.contains("disconnected"),
+            "detail: {}",
+            err.detail
+        );
+        assert_eq!(ran_after.load(Ordering::SeqCst), 0, "dependent task ran");
+    }
+
+    #[test]
+    fn compute_worker_panic_is_reported_too() {
+        let tasks = vec![ExecTask {
+            worker: Worker::Compute,
+            deps: vec![],
+            span: None,
+            run: Box::new(|| panic!("expert kernel died")),
+        }];
+        let err = run_overlapped(tasks).unwrap_err();
+        assert_eq!(err.worker, Worker::Compute);
+        assert!(err.detail.contains("expert kernel died"));
+    }
+
+    #[test]
+    fn first_failure_wins_and_the_rest_are_skipped() {
+        let tasks = vec![
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                span: None,
+                run: Box::new(|| panic!("first")),
+            },
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![0],
+                span: None,
+                run: Box::new(|| panic!("second")),
+            },
+        ];
+        let err = run_overlapped(tasks).unwrap_err();
+        assert_eq!(err.task, 0);
+        assert!(err.detail.contains("first"));
     }
 }

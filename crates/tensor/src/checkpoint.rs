@@ -6,8 +6,16 @@
 //!
 //! Format: `b"SMOE"` magic, a `u32` version, a `u32` parameter count, then
 //! per parameter: name length + UTF-8 name, rank + dims (`u32` each), and
-//! the `f32` little-endian values. Gradients and optimizer state are not
-//! saved — a checkpoint restores the *model*, not the training step.
+//! the `f32` little-endian values; the whole buffer is sealed by a
+//! trailing little-endian CRC32 (IEEE) of everything before it. Gradients
+//! and optimizer state are not saved — a checkpoint restores the *model*,
+//! not the training step.
+//!
+//! The CRC exists because checkpoints are the recovery path of
+//! fault-tolerant training (see `schemoe-models`' `ft` module): restoring
+//! silently-damaged parameters would be worse than crashing, so [`load`]
+//! refuses a payload whose checksum disagrees with its content with
+//! [`CheckpointError::Corrupt`].
 
 use std::fmt;
 
@@ -15,7 +23,7 @@ use crate::nn::Param;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"SMOE";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A parameter visitor: calls the given closure once per [`Param`].
 pub type ParamVisitor<'a> = dyn FnMut(&mut dyn FnMut(&mut Param)) + 'a;
@@ -33,6 +41,14 @@ pub enum CheckpointError {
         /// What went wrong, for diagnostics.
         detail: String,
     },
+    /// The trailing CRC32 disagrees with the payload: bytes were damaged
+    /// at rest or in transit.
+    Corrupt {
+        /// The checksum stored in the payload's last four bytes.
+        stored: u32,
+        /// The checksum recomputed over the content.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -42,6 +58,12 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Truncated => write!(f, "checkpoint payload truncated"),
             CheckpointError::Mismatch { detail } => {
                 write!(f, "checkpoint does not match the model: {detail}")
+            }
+            CheckpointError::Corrupt { stored, computed } => {
+                write!(
+                    f,
+                    "checkpoint corrupt: stored crc32 {stored:#010x}, content hashes to {computed:#010x}"
+                )
             }
         }
     }
@@ -74,6 +96,8 @@ pub fn save(visit: &mut ParamVisitor<'_>) -> Vec<u8> {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -83,10 +107,11 @@ pub fn save(visit: &mut ParamVisitor<'_>) -> Vec<u8> {
 /// as at save time (visitor order is deterministic for every model in this
 /// workspace). Gradients are zeroed on restore.
 pub fn load(payload: &[u8], visit: &mut ParamVisitor<'_>) -> Result<(), CheckpointError> {
-    let mut cursor = Cursor {
-        buf: payload,
-        pos: 0,
-    };
+    if payload.len() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, seal) = payload.split_at(payload.len() - 4);
+    let mut cursor = Cursor { buf: body, pos: 0 };
     if cursor.take(4)? != MAGIC {
         return Err(CheckpointError::BadHeader);
     }
@@ -111,6 +136,16 @@ pub fn load(payload: &[u8], visit: &mut ParamVisitor<'_>) -> Result<(), Checkpoi
             .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
             .collect();
         entries.push((name, dims, data));
+    }
+
+    // Verify the seal before any parameter is touched: a structurally
+    // parsable but bit-damaged payload must not reach the model. (A
+    // truncated payload usually fails the structural parse above first,
+    // which keeps `Truncated` the answer for short reads.)
+    let stored = u32::from_le_bytes([seal[0], seal[1], seal[2], seal[3]]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CheckpointError::Corrupt { stored, computed });
     }
 
     let mut idx = 0usize;
@@ -151,6 +186,42 @@ pub fn load(payload: &[u8], visit: &mut ParamVisitor<'_>) -> Result<(), Checkpoi
         });
     }
     Ok(())
+}
+
+/// CRC32 (IEEE 802.3, the zlib/PNG polynomial) over `data`.
+///
+/// `schemoe-cluster` carries its own copy for wire frames; the two crates
+/// are independent leaves of the workspace, so the ~20 lines are
+/// duplicated rather than creating a dependency between the tensor
+/// library and the communication fabric.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = build_crc_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
 }
 
 struct Cursor<'a> {
@@ -218,8 +289,14 @@ mod tests {
     #[test]
     fn garbage_and_truncation_are_rejected() {
         let mut m = Linear::new(2, 2, &mut seeded(6));
+        // Too short to even hold the magic plus the CRC seal.
         assert_eq!(
             load(b"nope", &mut |f| m.visit_params(f)).unwrap_err(),
+            CheckpointError::Truncated
+        );
+        // Long enough, but not our magic.
+        assert_eq!(
+            load(b"nope-nope-nope", &mut |f| m.visit_params(f)).unwrap_err(),
             CheckpointError::BadHeader
         );
         let mut ckpt = save(&mut |f| m.visit_params(f));
@@ -228,6 +305,65 @@ mod tests {
             load(&ckpt, &mut |f| m.visit_params(f)).unwrap_err(),
             CheckpointError::Truncated
         );
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_check_value() {
+        // The canonical IEEE CRC32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn a_single_bit_flip_anywhere_is_detected() {
+        let mut model = Linear::new(3, 2, &mut seeded(10));
+        let clean = save(&mut |f| model.visit_params(f));
+        // Flip one bit in every byte position in turn: header, names,
+        // dims, f32 data, and the seal itself must all be covered.
+        for pos in 0..clean.len() {
+            let mut damaged = clean.clone();
+            damaged[pos] ^= 0x10;
+            let err = load(&damaged, &mut |f| model.visit_params(f)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Corrupt { .. }
+                        | CheckpointError::BadHeader
+                        | CheckpointError::Truncated
+                ),
+                "flip at {pos} slipped through as {err:?}"
+            );
+        }
+        // And the clean payload still restores.
+        load(&clean, &mut |f| model.visit_params(f)).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_parameter_data_round_trips_to_corrupt() {
+        let mut model = Linear::new(4, 4, &mut seeded(11));
+        let clean = save(&mut |f| model.visit_params(f));
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            model.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+            v
+        };
+        // Damage an f32 in the middle of the data region (past the header
+        // and name, before the seal).
+        let mut damaged = clean.clone();
+        let mid = clean.len() - 12;
+        damaged[mid] ^= 0x01;
+        let err = load(&damaged, &mut |f| model.visit_params(f)).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt { .. }),
+            "got {err:?}"
+        );
+        // The failed load must not have modified the model.
+        let after: Vec<f32> = {
+            let mut v = Vec::new();
+            model.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+            v
+        };
+        assert_eq!(before, after, "a corrupt load must leave the model intact");
     }
 
     #[test]

@@ -138,7 +138,7 @@ fn build_tasks(schedule: &Schedule) -> Vec<ExecTask<'_>> {
 fn time_schedule(name: &str, schedule: &Schedule) -> f64 {
     let tasks = build_tasks(schedule);
     let start = Instant::now();
-    run_overlapped(tasks);
+    run_overlapped(tasks).expect("no faults are injected in this example");
     let ms = start.elapsed().as_secs_f64() * 1e3;
     println!("{name:>12}: {ms:6.1} ms   ({})", schedule.describe());
     ms

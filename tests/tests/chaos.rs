@@ -1,0 +1,217 @@
+//! Seeded chaos: kill a rank mid-epoch, finish training anyway, replay
+//! bit-identically.
+//!
+//! This is the end-to-end acceptance test of the fault-injection stack:
+//! an 8-rank fault-tolerant LM training run (`schemoe_models::ft`) under a
+//! [`FaultSpec`] campaign that kills one rank partway through the epoch.
+//! The survivors must detect the death, reroute its tokens through
+//! degraded gating, restore the last checkpoint, and finish every step —
+//! landing within 10% of the fault-free final loss. Running the *same*
+//! campaign twice must inject the exact same fault sequence, asserted on
+//! the per-rank observability counters and on bit-identical loss curves.
+//!
+//! The replay campaign is deliberately kill-only: a kill and a channel
+//! disconnect are *instant* faults, so the control flow they induce is a
+//! pure function of the seed. Frame corruption is exercised in a separate
+//! lossy phase — a corrupted receive stalls downstream peers against
+//! wall-clock deadlines, and which side of a deadline a vote lands on is
+//! inherently a property of the host scheduler, not of the seed. That
+//! phase asserts recovery and integrity counters, not bit-replay.
+//!
+//! Everything lives in ONE `#[test]`: the obs counter registry is
+//! process-global, so the runs (clean, chaos, replay, lossy) must not
+//! interleave with each other or with other tests in this binary.
+//!
+//! `CHAOS_SEED` selects the campaign seed (default 1); CI sweeps several.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use schemoe::prelude::*;
+use schemoe_models::{run_ft_rank, FtConfig, FtReport};
+use schemoe_obs as obs;
+
+const WORLD: usize = 8;
+const STEPS: usize = 20;
+const KILLED: usize = 5;
+/// Fires around halfway through the epoch (after the first checkpoint
+/// window, well before the last step).
+const KILL_AFTER_SENDS: u64 = 900;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn ft_config() -> FtConfig {
+    let mut cfg = FtConfig::tiny(STEPS).with_seed(40);
+    // Deadlines are orders of magnitude above in-process delivery time, so
+    // timing noise cannot change which receives expire (replay determinism
+    // depends on that): only messages that were *never sent* time out.
+    cfg.vote_timeout_ms = 400;
+    cfg
+}
+
+fn campaign() -> FaultSpec {
+    FaultSpec::seeded(chaos_seed())
+        .with_kill(KILLED, KILL_AFTER_SENDS)
+        .with_recv_deadline_ms(800)
+}
+
+fn run_world(cfg: FtConfig, spec: FaultSpec, topo: Topology) -> Vec<FtReport> {
+    let plan = ScheMoeConfig::serial()
+        .with_faults(spec)
+        .fault_plan()
+        .expect("campaign configured");
+    Fabric::run_with_faults(topo, plan, move |mut h| run_ft_rank(&mut h, &cfg))
+}
+
+fn survivor_mean_loss(reports: &[FtReport]) -> f32 {
+    let survivors: Vec<&FtReport> = reports
+        .iter()
+        .filter(|r| r.died_at_step.is_none())
+        .collect();
+    assert!(!survivors.is_empty(), "every rank died");
+    survivors.iter().map(|r| r.final_loss).sum::<f32>() / survivors.len() as f32
+}
+
+/// The deterministic slice of a rank's counters: pure functions of the
+/// fault lottery and the (deterministic) training control flow. Timing
+/// fields (`recv_wait_ns`, `timeouts`) are deliberately excluded.
+fn deterministic_counters(world: usize) -> Vec<(u64, u64, u64, u64)> {
+    (0..world)
+        .map(|r| {
+            let s = obs::counters_for_rank(r).snapshot();
+            (
+                s.faults_injected,
+                s.corrupt_frames,
+                s.retries,
+                s.degraded_steps,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn killed_rank_mid_epoch_recovers_and_replays_bit_identically() {
+    // The whole scenario under a watchdog: a hang (the one failure mode
+    // this PR exists to eliminate) must fail loudly, not wedge CI.
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        scenario();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(300)) {
+        Ok(()) => {}
+        Err(mpsc::RecvTimeoutError::Timeout) => panic!("chaos scenario hung past the watchdog"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => panic!("chaos scenario panicked"),
+    }
+}
+
+fn scenario() {
+    let cfg = ft_config();
+
+    // --- Run 1: fault-free baseline (counters off; nothing to count). ---
+    let clean = Fabric::run(Topology::new(2, 4), move |mut h| run_ft_rank(&mut h, &cfg));
+    assert!(clean.iter().all(|r| r.died_at_step.is_none()));
+    let clean_loss = survivor_mean_loss(&clean);
+
+    // --- Run 2: the chaos campaign. ---
+    obs::enable();
+    obs::reset_counters();
+    let chaos = run_world(cfg, campaign(), Topology::new(2, 4));
+    let first_counters = deterministic_counters(WORLD);
+    let _ = obs::take(); // drain recorded spans
+
+    let died_at = chaos[KILLED]
+        .died_at_step
+        .expect("the killed rank must observe its own death");
+    assert!(
+        died_at > 1 && died_at < STEPS - 1,
+        "kill should land mid-epoch, died at step {died_at}"
+    );
+    for (r, rep) in chaos.iter().enumerate() {
+        if r == KILLED {
+            continue;
+        }
+        assert_eq!(rep.died_at_step, None, "rank {r} must survive");
+        assert_eq!(
+            rep.dead_ranks,
+            vec![KILLED],
+            "rank {r} must bury rank {KILLED}"
+        );
+        assert!(rep.restores >= 1, "rank {r} must restore a checkpoint");
+        assert!(
+            rep.loss_curve.iter().all(|l| l.is_finite()),
+            "rank {r} must commit every step"
+        );
+    }
+    let total_faults: u64 = first_counters.iter().map(|c| c.0).sum();
+    assert!(total_faults >= 1, "the kill itself is an injected fault");
+    let total_degraded: u64 = first_counters.iter().map(|c| c.3).sum();
+    assert!(
+        total_degraded > 0,
+        "post-death steps must run in degraded mode"
+    );
+
+    // Degraded routing plus a checkpoint rewind must not derail learning.
+    let chaos_loss = survivor_mean_loss(&chaos);
+    assert!(
+        (chaos_loss - clean_loss).abs() <= 0.10 * clean_loss,
+        "chaos loss {chaos_loss} strays more than 10% from fault-free {clean_loss}"
+    );
+
+    // --- Run 3: identical campaign, identical world — the replay. ---
+    obs::reset_counters();
+    let replay = run_world(cfg, campaign(), Topology::new(2, 4));
+    let second_counters = deterministic_counters(WORLD);
+    let _ = obs::take();
+
+    assert_eq!(
+        first_counters, second_counters,
+        "the same seed must inject the same fault sequence"
+    );
+    for (r, (a, b)) in chaos.iter().zip(replay.iter()).enumerate() {
+        assert_eq!(
+            a.died_at_step, b.died_at_step,
+            "rank {r} death step differs"
+        );
+        assert_eq!(a.retries, b.retries, "rank {r} retry count differs");
+        assert_eq!(a.restores, b.restores, "rank {r} restore count differs");
+        let bits_a: Vec<u32> = a.loss_curve.iter().map(|l| l.to_bits()).collect();
+        let bits_b: Vec<u32> = b.loss_curve.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "rank {r} loss curve is not bit-identical");
+    }
+
+    // --- Run 4: lossy links — corrupted frames force retries, everyone
+    // --- lives. No bit-replay assertion here (see module docs).
+    obs::reset_counters();
+    let mut lossy_cfg = FtConfig::tiny(8).with_seed(41);
+    lossy_cfg.vote_timeout_ms = 400;
+    lossy_cfg.retry_budget = 6; // a live rank must never be evicted for lag
+    let lossy_spec = FaultSpec::seeded(chaos_seed() ^ 0xC0_FFEE)
+        .with_corrupt(0.002)
+        .with_recv_deadline_ms(800);
+    let lossy = run_world(lossy_cfg, lossy_spec, Topology::new(2, 2));
+    let lossy_counters = deterministic_counters(4);
+    let _ = obs::take();
+    obs::disable();
+
+    for (r, rep) in lossy.iter().enumerate() {
+        assert_eq!(rep.died_at_step, None, "lossy rank {r} must survive");
+        assert!(
+            rep.loss_curve.iter().all(|l| l.is_finite()),
+            "lossy rank {r} must commit every step"
+        );
+    }
+    let corrupt_frames: u64 = lossy_counters.iter().map(|c| c.1).sum();
+    let retries: u64 = lossy_counters.iter().map(|c| c.2).sum();
+    assert!(corrupt_frames >= 1, "corruption campaign never fired");
+    assert!(
+        retries >= 1,
+        "corrupted frames must surface as step retries"
+    );
+}
