@@ -1,0 +1,140 @@
+//! Elastic-membership recovery benchmark: kill a rank mid-epoch, revive
+//! it, and measure how fast the cluster returns to full capacity.
+//!
+//! Runs the same 8-rank fault-tolerant campaign as the chaos integration
+//! test — kill rank 5 after 900 send attempts, reopen its pipe 200
+//! attempts later — and reports, per rank, how the membership evolved.
+//! Emits machine-readable `BENCH_*` lines and a `BENCH_recovery.json`
+//! report (steps the cluster spent below capacity, bytes of state moved
+//! by the donor and applied by the rejoiner, epoch transitions) that CI
+//! archives next to the overlap report.
+//!
+//! `CHAOS_SEED` (or the first CLI argument) selects the campaign seed.
+
+use schemoe::prelude::*;
+use schemoe_models::{run_ft_rank, FtConfig, FtReport};
+
+const WORLD: usize = 8;
+const STEPS: usize = 20;
+const KILLED: usize = 5;
+const KILL_AFTER_SENDS: u64 = 900;
+const REVIVE_DELTA: u64 = 200;
+
+fn seed() -> u64 {
+    std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("CHAOS_SEED").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn run_world(cfg: FtConfig, spec: Option<FaultSpec>) -> Vec<FtReport> {
+    let topo = Topology::new(2, 4);
+    match spec {
+        Some(spec) => {
+            let plan = ScheMoeConfig::serial()
+                .with_faults(spec)
+                .fault_plan()
+                .expect("campaign configured");
+            Fabric::run_with_faults(topo, plan, move |mut h| run_ft_rank(&mut h, &cfg))
+        }
+        None => Fabric::run(topo, move |mut h| run_ft_rank(&mut h, &cfg)),
+    }
+}
+
+fn mean_loss(reports: &[FtReport]) -> f32 {
+    let alive: Vec<&FtReport> = reports
+        .iter()
+        .filter(|r| r.died_at_step.is_none())
+        .collect();
+    assert!(!alive.is_empty(), "every rank died");
+    alive.iter().map(|r| r.final_loss).sum::<f32>() / alive.len() as f32
+}
+
+fn main() {
+    let seed = seed();
+    let mut cfg = FtConfig::tiny(STEPS).with_seed(40);
+    cfg.vote_timeout_ms = 400;
+
+    println!(
+        "recovery: {WORLD} ranks, {STEPS} steps, kill rank {KILLED} after \
+         {KILL_AFTER_SENDS} sends, revive +{REVIVE_DELTA}, seed {seed}\n"
+    );
+
+    let clean = run_world(cfg, None);
+    let clean_loss = mean_loss(&clean);
+    println!("fault-free mean final loss: {clean_loss:.4}");
+
+    let spec = FaultSpec::seeded(seed)
+        .with_kill(KILLED, KILL_AFTER_SENDS)
+        .with_revive(KILLED, KILL_AFTER_SENDS + REVIVE_DELTA)
+        .with_recv_deadline_ms(800);
+    let revived = run_world(cfg, Some(spec));
+
+    println!(
+        "\n{:>4} {:>6} {:>10} {:>6} {:>8} {:>10} {:>18}",
+        "rank", "died", "dead_ranks", "epoch", "rejoins", "xfer_bytes", "epoch_transitions"
+    );
+    for (r, rep) in revived.iter().enumerate() {
+        println!(
+            "{r:>4} {:>6} {:>10} {:>6} {:>8} {:>10} {:>18}",
+            rep.died_at_step.map_or("-".into(), |s| s.to_string()),
+            format!("{:?}", rep.dead_ranks),
+            rep.final_epoch,
+            rep.rejoins,
+            rep.transfer_bytes,
+            format!("{:?}", rep.epoch_transitions),
+        );
+    }
+
+    // How long the cluster ran below capacity: the rejoiner's loss curve
+    // holds NaN exactly for the steps it missed while dead.
+    let rejoiner = &revived[KILLED];
+    let degraded_steps = rejoiner
+        .loss_curve
+        .iter()
+        .filter(|l| !l.is_finite())
+        .count();
+    let rejoiner_bytes = rejoiner.transfer_bytes;
+    let donor_bytes: u64 = revived
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| *r != KILLED)
+        .map(|(_, rep)| rep.transfer_bytes)
+        .sum();
+    let all_alive = revived.iter().all(|r| r.died_at_step.is_none());
+    let converged = revived
+        .iter()
+        .all(|r| r.final_epoch == revived[0].final_epoch && r.dead_ranks.is_empty());
+    let revive_loss = mean_loss(&revived);
+    let loss_gap = (revive_loss - clean_loss).abs() / clean_loss;
+
+    println!("\nsteps below full capacity: {degraded_steps}/{STEPS}");
+    println!("state transferred: donor {donor_bytes} B, rejoiner applied {rejoiner_bytes} B");
+    println!(
+        "revive mean final loss: {revive_loss:.4} ({:.2}% from fault-free)",
+        loss_gap * 100.0
+    );
+    println!("BENCH_RECOVERY_DEGRADED_STEPS={degraded_steps}");
+    println!("BENCH_RECOVERY_TRANSFER_BYTES={donor_bytes}");
+    println!("BENCH_RECOVERY_LOSS_GAP={loss_gap:.4}");
+
+    assert!(all_alive, "every rank must end the run alive");
+    assert!(converged, "membership must converge to full capacity");
+    assert_eq!(rejoiner.rejoins, 1, "the victim must rejoin exactly once");
+
+    let report = format!(
+        "{{\"bench\":\"recovery\",\"seed\":{seed},\"ranks\":{WORLD},\"steps\":{STEPS},\
+         \"killed_rank\":{KILLED},\"kill_after_sends\":{KILL_AFTER_SENDS},\
+         \"revive_delta\":{REVIVE_DELTA},\
+         \"steps_below_capacity\":{degraded_steps},\
+         \"transfer_bytes\":{{\"donor\":{donor_bytes},\"rejoiner\":{rejoiner_bytes}}},\
+         \"final_epoch\":{},\"rejoins\":{},\
+         \"clean_loss\":{clean_loss:.6},\"revive_loss\":{revive_loss:.6},\
+         \"loss_gap\":{loss_gap:.6}}}\n",
+        revived[0].final_epoch, rejoiner.rejoins,
+    );
+    let path = "BENCH_recovery.json";
+    std::fs::write(path, &report).expect("write BENCH_recovery.json");
+    println!("BENCH_JSON={path}");
+}

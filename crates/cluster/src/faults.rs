@@ -19,12 +19,20 @@
 //! # Wire framing
 //!
 //! While a plan is installed every payload travels inside a
-//! length + CRC32 frame (`[len u32-le][crc32 u32-le][payload]`). A corrupt
-//! injection flips one payload bit *after* the checksum is computed, so the
-//! receiver detects the damage and surfaces
-//! [`FabricError::Corrupt`](crate::FabricError::Corrupt) — exactly how a
-//! real transport turns link-level bit errors into typed failures. With no
-//! plan installed the frame (and its cost) does not exist.
+//! length + epoch + CRC32 frame
+//! (`[len u32-le][epoch u32-le][crc32 u32-le][payload]`). The CRC covers
+//! the epoch *and* the payload, so a flipped epoch is indistinguishable
+//! from a flipped payload bit — both surface as
+//! [`FabricError::Corrupt`](crate::FabricError::Corrupt). The epoch is the
+//! membership epoch of the sender at send time; receivers reject frames
+//! whose epoch is *older* than their own as
+//! [`FabricError::StaleEpoch`](crate::FabricError::StaleEpoch), closing
+//! the split-brain window where a rank buried by the gossip vote keeps
+//! talking as if nothing happened. Frames stamped [`EPOCH_ANY`] bypass the
+//! staleness check — that is the stamp control-plane traffic (rejoin
+//! invites and acknowledgements) uses, because by definition it crosses an
+//! epoch boundary. With no plan installed the frame (and its cost) does
+//! not exist.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -71,6 +79,7 @@ pub struct FaultPlan {
     default_link: LinkFaults,
     links: HashMap<(Rank, Rank), LinkFaults>,
     kills: HashMap<Rank, u64>,
+    revives: HashMap<Rank, u64>,
     recv_deadline: Option<Duration>,
 }
 
@@ -122,6 +131,16 @@ impl FaultPlan {
         self
     }
 
+    /// Revives `rank` once it has *attempted* `n_sends` sends in total
+    /// (denied sends while dead count too, so the revival point is a pure
+    /// function of the rank's own control flow, not of wall clock).
+    /// Requires a matching [`kill_after`](Self::kill_after) with a smaller
+    /// threshold; a revive without a kill is inert.
+    pub fn revive_after(mut self, rank: Rank, n_sends: u64) -> Self {
+        self.revives.insert(rank, n_sends);
+        self
+    }
+
     /// Default liveness deadline applied to every plain `recv` while this
     /// plan is installed, so dropped messages and dead peers surface as
     /// [`Timeout`](crate::FabricError::Timeout) instead of hanging.
@@ -138,6 +157,27 @@ impl FaultPlan {
     /// The send count after which `rank` dies, if a kill is scheduled.
     pub fn kill_threshold(&self, rank: Rank) -> Option<u64> {
         self.kills.get(&rank).copied()
+    }
+
+    /// The attempted-send count after which `rank` revives, if scheduled.
+    pub fn revive_threshold(&self, rank: Rank) -> Option<u64> {
+        self.revives.get(&rank).copied()
+    }
+
+    /// Whether `rank` is alive after `attempts` attempted sends: dead in
+    /// the window `[kill, revive)` and alive everywhere else. Pure in
+    /// `(plan, rank, attempts)` — liveness replays bit-identically because
+    /// it depends only on the rank's own send counter.
+    pub fn rank_alive(&self, rank: Rank, attempts: u64) -> bool {
+        match self.kill_threshold(rank) {
+            None => true,
+            Some(kill) => {
+                attempts < kill
+                    || self
+                        .revive_threshold(rank)
+                        .is_some_and(|revive| attempts >= revive.max(kill))
+            }
+        }
     }
 
     /// The fault rates of the directed link `src -> dst`.
@@ -190,12 +230,18 @@ fn splitmix64(mut z: u64) -> u64 {
 
 /// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(0xFFFF_FFFF, data)
+}
+
+/// Feeds `data` into an in-progress CRC32 (state starts at `0xFFFF_FFFF`,
+/// finalize by bitwise NOT). Lets the frame checksum cover the epoch and
+/// the payload without concatenating them.
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
     static TABLE: [u32; 256] = build_crc_table();
-    let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
-    !crc
+    crc
 }
 
 const fn build_crc_table() -> [u32; 256] {
@@ -218,14 +264,24 @@ const fn build_crc_table() -> [u32; 256] {
     table
 }
 
-/// Byte length of the frame header (`len` + `crc32`).
-pub const FRAME_HEADER: usize = 8;
+/// Byte length of the frame header (`len` + `epoch` + `crc32`).
+pub const FRAME_HEADER: usize = 12;
 
-/// Wraps `payload` in a `[len][crc32][payload]` frame.
-pub fn frame(payload: &[u8]) -> Bytes {
+/// Epoch stamp that bypasses the receiver's staleness check.
+///
+/// Control-plane traffic (rejoin invites, acknowledgements, state-transfer
+/// chunks) crosses an epoch boundary by construction, so it travels with
+/// this wildcard stamp instead of a concrete epoch.
+pub const EPOCH_ANY: u32 = u32::MAX;
+
+/// Wraps `payload` in a `[len][epoch][crc32][payload]` frame. The CRC
+/// covers the epoch and the payload.
+pub fn frame(payload: &[u8], epoch: u32) -> Bytes {
     let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    let crc = !crc32_update(crc32_update(0xFFFF_FFFF, &epoch.to_le_bytes()), payload);
+    out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(payload);
     Bytes::from(out)
 }
@@ -235,10 +291,10 @@ pub fn frame(payload: &[u8]) -> Bytes {
 /// The flipped bit is in the payload when there is one (keyed by
 /// `msg_index` so different corruptions hit different bits), and in the
 /// checksum itself for empty payloads.
-pub fn frame_corrupted(payload: &[u8], msg_index: u64) -> Bytes {
-    let mut out = frame(payload).to_vec();
+pub fn frame_corrupted(payload: &[u8], epoch: u32, msg_index: u64) -> Bytes {
+    let mut out = frame(payload, epoch).to_vec();
     let target = if payload.is_empty() {
-        4 // first checksum byte
+        8 // first checksum byte
     } else {
         FRAME_HEADER + (splitmix64(msg_index) as usize % payload.len())
     };
@@ -246,25 +302,31 @@ pub fn frame_corrupted(payload: &[u8], msg_index: u64) -> Bytes {
     Bytes::from(out)
 }
 
-/// Validates and strips a `[len][crc32][payload]` frame.
+/// Validates and strips a `[len][epoch][crc32][payload]` frame.
 ///
 /// Returns `None` on a short frame, a length mismatch, or a checksum
 /// mismatch — the caller maps this to
-/// [`FabricError::Corrupt`](crate::FabricError::Corrupt).
-pub fn deframe(framed: &Bytes) -> Option<Bytes> {
+/// [`FabricError::Corrupt`](crate::FabricError::Corrupt). On success
+/// returns the sender's epoch stamp alongside the payload; comparing it
+/// against the local epoch (and surfacing
+/// [`FabricError::StaleEpoch`](crate::FabricError::StaleEpoch)) is the
+/// caller's job — this layer only guarantees the stamp is undamaged.
+pub fn deframe(framed: &Bytes) -> Option<(u32, Bytes)> {
     if framed.len() < FRAME_HEADER {
         return None;
     }
     let len = u32::from_le_bytes(framed[0..4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(framed[4..8].try_into().expect("4 bytes"));
+    let epoch = u32::from_le_bytes(framed[4..8].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(framed[8..12].try_into().expect("4 bytes"));
     if framed.len() - FRAME_HEADER != len {
         return None;
     }
     let payload = framed.slice(FRAME_HEADER..framed.len());
-    if crc32(&payload) != crc {
+    let computed = !crc32_update(crc32_update(0xFFFF_FFFF, &epoch.to_le_bytes()), &payload);
+    if computed != crc {
         return None;
     }
-    Some(payload)
+    Some((epoch, payload))
 }
 
 #[cfg(test)]
@@ -281,26 +343,37 @@ mod tests {
     #[test]
     fn frame_round_trips() {
         let payload = b"hello fabric".as_slice();
-        let framed = frame(payload);
+        let framed = frame(payload, 3);
         assert_eq!(framed.len(), payload.len() + FRAME_HEADER);
-        assert_eq!(deframe(&framed).unwrap().as_ref(), payload);
-        // Empty payloads frame too.
-        assert_eq!(deframe(&frame(b"")).unwrap().len(), 0);
+        let (epoch, got) = deframe(&framed).unwrap();
+        assert_eq!(epoch, 3);
+        assert_eq!(got.as_ref(), payload);
+        // Empty payloads frame too, and the wildcard stamp survives.
+        let (epoch, got) = deframe(&frame(b"", EPOCH_ANY)).unwrap();
+        assert_eq!(epoch, EPOCH_ANY);
+        assert_eq!(got.len(), 0);
     }
 
     #[test]
     fn corrupted_frames_are_detected() {
         for idx in 0..32u64 {
-            let bad = frame_corrupted(b"some tensor bytes", idx);
+            let bad = frame_corrupted(b"some tensor bytes", 1, idx);
             assert!(deframe(&bad).is_none(), "corruption at index {idx} missed");
         }
         // Even an empty payload's corruption is caught (checksum bit flip).
-        assert!(deframe(&frame_corrupted(b"", 3)).is_none());
+        assert!(deframe(&frame_corrupted(b"", 0, 3)).is_none());
+    }
+
+    #[test]
+    fn a_flipped_epoch_fails_the_checksum() {
+        let mut out = frame(b"payload", 7).to_vec();
+        out[4] ^= 1; // low epoch byte
+        assert!(deframe(&Bytes::from(out)).is_none());
     }
 
     #[test]
     fn truncated_and_length_mismatched_frames_are_rejected() {
-        let framed = frame(b"abcdef");
+        let framed = frame(b"abcdef", 0);
         assert!(deframe(&framed.slice(0..4)).is_none());
         assert!(deframe(&framed.slice(0..framed.len() - 1)).is_none());
         assert!(deframe(&Bytes::new()).is_none());
@@ -362,5 +435,29 @@ mod tests {
         assert_eq!(plan.kill_threshold(2), Some(100));
         assert_eq!(plan.kill_threshold(0), None);
         assert_eq!(plan.recv_deadline(), Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn liveness_is_a_pure_window_of_the_attempt_counter() {
+        let plan = FaultPlan::seeded(3).kill_after(5, 10).revive_after(5, 14);
+        // No kill scheduled: always alive.
+        assert!(plan.rank_alive(0, 0));
+        assert!(plan.rank_alive(0, u64::MAX));
+        // Dead exactly on [kill, revive).
+        assert!(plan.rank_alive(5, 9));
+        assert!(!plan.rank_alive(5, 10));
+        assert!(!plan.rank_alive(5, 13));
+        assert!(plan.rank_alive(5, 14));
+        assert!(plan.rank_alive(5, 100));
+        // Kill without revive: dead forever.
+        let forever = FaultPlan::seeded(3).kill_after(5, 10);
+        assert!(!forever.rank_alive(5, 10));
+        assert!(!forever.rank_alive(5, u64::MAX));
+        // A revive threshold at or below the kill threshold makes the dead
+        // window `[kill, max(revive, kill))` empty: the rank never dies.
+        let odd = FaultPlan::seeded(3).kill_after(5, 10).revive_after(5, 4);
+        assert!(odd.rank_alive(5, 9));
+        assert!(odd.rank_alive(5, 10));
+        assert_eq!(odd.revive_threshold(5), Some(4));
     }
 }

@@ -19,9 +19,10 @@
 //!   distributed MoE layers run on it, so collective correctness is tested
 //!   with real data movement rather than mocks.
 //! * [`faults`] — deterministic, seeded fault injection for the fabric:
-//!   per-link drop/delay/corrupt rates, per-rank kill points, and the
-//!   CRC32 wire framing that turns bit damage into typed
-//!   [`FabricError::Corrupt`] errors. Chaos runs replay bit-identically
+//!   per-link drop/delay/corrupt rates, per-rank kill and revive points,
+//!   and the epoch-stamped CRC32 wire framing that turns bit damage into
+//!   typed [`FabricError::Corrupt`] errors and stale-membership traffic
+//!   into [`FabricError::StaleEpoch`]. Chaos runs replay bit-identically
 //!   from the seed alone.
 
 pub mod fabric;
@@ -30,8 +31,8 @@ pub mod hardware;
 pub mod memory;
 pub mod topology;
 
-pub use fabric::{Fabric, FabricError, RankHandle, WireModel};
-pub use faults::{FaultDecision, FaultPlan, LinkFaults};
+pub use fabric::{AdaptiveDeadline, Fabric, FabricError, RankHandle, WireModel};
+pub use faults::{FaultDecision, FaultPlan, LinkFaults, EPOCH_ANY};
 pub use hardware::HardwareProfile;
 pub use memory::MemoryBudget;
 pub use topology::{Rank, Topology};

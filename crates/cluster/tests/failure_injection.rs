@@ -204,3 +204,81 @@ fn handle_recovers_after_timeout() {
     });
     assert_eq!(results[1].as_ref(), b"second-try");
 }
+
+mod fault_plan_purity {
+    use std::time::Duration;
+
+    use proptest::prelude::*;
+    use schemoe_cluster::{FaultDecision, FaultPlan};
+
+    /// One observation of the plan: every link decision for a small world
+    /// plus the liveness verdict at every attempt count, tagged by key so
+    /// order of observation cannot matter.
+    type Observation = Vec<(u64, u64, u64, FaultDecision, bool)>;
+
+    fn observe(plan: &FaultPlan, keys: &[(usize, usize, u64)]) -> Observation {
+        keys.iter()
+            .map(|&(src, dst, idx)| {
+                (
+                    src as u64,
+                    dst as u64,
+                    idx,
+                    plan.decide(src, dst, idx),
+                    plan.rank_alive(src, idx),
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every fault decision — drop, delay, and corrupt via `decide`,
+        /// kill and revive via `rank_alive` — is a pure function of
+        /// `(seed, src, dst, link_idx)`. Two threads replaying independent
+        /// clones of the plan under opposite traversal orders (a forced
+        /// difference in thread interleaving) must observe bit-identical
+        /// sequences, and both must match a single-threaded replay built
+        /// fresh from the same parameters.
+        #[test]
+        fn decisions_are_pure_across_thread_interleavings(
+            seed in 0u64..1_000_000,
+            drop_p in 0.0f64..0.5,
+            corrupt_p in 0.0f64..0.4,
+            delay_p in 0.0f64..0.4,
+            kill in 0u64..48,
+            dead_window in 0u64..32,
+        ) {
+            let build = || {
+                FaultPlan::seeded(seed)
+                    .with_drop_prob(drop_p)
+                    .with_corrupt_prob(corrupt_p)
+                    .with_delay(delay_p, Duration::from_micros(10))
+                    .kill_after(2, kill)
+                    .revive_after(2, kill + dead_window)
+            };
+            let keys: Vec<(usize, usize, u64)> = (0..4usize)
+                .flat_map(|s| (0..4usize).map(move |d| (s, d)))
+                .flat_map(|(s, d)| (0..64u64).map(move |i| (s, d, i)))
+                .collect();
+
+            // Thread A walks the key space forward, thread B backward; the
+            // reversal guarantees the two threads hit every key at
+            // different points of their schedules.
+            let forward = keys.clone();
+            let mut backward = keys.clone();
+            backward.reverse();
+            let (obs_a, obs_b) = std::thread::scope(|scope| {
+                let a = scope.spawn(|| observe(&build(), &forward));
+                let b = scope.spawn(|| {
+                    let mut obs = observe(&build(), &backward);
+                    obs.reverse();
+                    obs
+                });
+                (a.join().expect("thread A"), b.join().expect("thread B"))
+            });
+            prop_assert_eq!(&obs_a, &obs_b);
+            prop_assert_eq!(&obs_a, &observe(&build(), &keys));
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use schemoe_cluster::FaultPlan;
+use schemoe_cluster::{AdaptiveDeadline, FaultPlan};
 use schemoe_compression::{Compressor, Fp16Compressor, NoCompression};
 use schemoe_models::FtConfig;
 use schemoe_moe::DistributedMoeLayer;
@@ -87,6 +87,15 @@ pub struct FaultSpec {
     pub kill_rank: Option<usize>,
     /// The kill fires once the victim has issued this many sends.
     pub kill_after_sends: u64,
+    /// Rank whose pipe reopens after death, if any — the elastic-membership
+    /// scenario: the rank re-announces itself and rejoins under a fresh
+    /// membership epoch.
+    pub revive_rank: Option<usize>,
+    /// The revival fires once the dead rank has issued this many send
+    /// *attempts* (probes while dead count), so the dead window is
+    /// `[kill_after_sends, revive_after_sends)` in the victim's own
+    /// attempt counter — pure in the plan, never in wall clock.
+    pub revive_after_sends: u64,
     /// Default receive deadline installed on every handle, in
     /// milliseconds — under faults a lost message must become a loud
     /// `Timeout`, never a hang.
@@ -104,6 +113,8 @@ impl FaultSpec {
             corrupt_prob: 0.0,
             kill_rank: None,
             kill_after_sends: 0,
+            revive_rank: None,
+            revive_after_sends: 0,
             recv_deadline_ms: 1_000,
         }
     }
@@ -134,6 +145,14 @@ impl FaultSpec {
         self
     }
 
+    /// Reopens `rank`'s pipe once it has issued `sends` send attempts
+    /// (typically `kill_after_sends` plus a dead window).
+    pub fn with_revive(mut self, rank: usize, sends: u64) -> Self {
+        self.revive_rank = Some(rank);
+        self.revive_after_sends = sends;
+        self
+    }
+
     /// Overrides the default receive deadline.
     pub fn with_recv_deadline_ms(mut self, ms: u64) -> Self {
         self.recv_deadline_ms = ms;
@@ -150,13 +169,17 @@ impl FaultSpec {
         if let Some(rank) = self.kill_rank {
             plan = plan.kill_after(rank, self.kill_after_sends);
         }
+        if let Some(rank) = self.revive_rank {
+            plan = plan.revive_after(rank, self.revive_after_sends);
+        }
         plan
     }
 }
 
 /// Recovery policy of the fault-tolerant training loop
-/// (`schemoe_models::ft`): how patiently a step is retried and how often
-/// the model is checkpointed.
+/// (`schemoe_models::ft`): how patiently a step is retried, how often the
+/// model is checkpointed, how eagerly revived ranks are re-admitted, and
+/// how straggler deadlines adapt to the observed receive-wait tail.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RecoverySpec {
     /// Transient-fault retries per step before a silent peer is presumed
@@ -166,6 +189,22 @@ pub struct RecoverySpec {
     pub backoff_ms: u64,
     /// Checkpoint cadence in committed steps.
     pub checkpoint_every: usize,
+    /// Committed-step cadence at which survivors poll for rejoin
+    /// announcements from revived ranks. `0` disables elastic rejoin.
+    pub rejoin_check_every: usize,
+    /// Adaptive straggler-deadline margin: the per-link receive deadline
+    /// stretches to `p99 × margin` of that link's observed waits, clamped
+    /// below. `0.0` (the default) keeps deadlines fixed.
+    pub deadline_margin: f64,
+    /// Lower clamp of the adapted deadline, in milliseconds.
+    pub deadline_floor_ms: u64,
+    /// Upper clamp of the adapted deadline, in milliseconds — past this a
+    /// straggler is indistinguishable from a dead rank and the vote takes
+    /// over.
+    pub deadline_ceiling_ms: u64,
+    /// Observed waits a link must accumulate before its deadline adapts;
+    /// until then the configured deadline applies unchanged.
+    pub deadline_min_samples: u64,
 }
 
 impl Default for RecoverySpec {
@@ -174,16 +213,39 @@ impl Default for RecoverySpec {
             retry_budget: 3,
             backoff_ms: 2,
             checkpoint_every: 5,
+            rejoin_check_every: 2,
+            deadline_margin: 0.0,
+            deadline_floor_ms: 100,
+            deadline_ceiling_ms: 5_000,
+            deadline_min_samples: 32,
         }
     }
 }
 
 impl RecoverySpec {
+    /// Enables adaptive straggler deadlines with the given p99 margin.
+    pub fn with_deadline_margin(mut self, margin: f64) -> Self {
+        self.deadline_margin = margin;
+        self
+    }
+
+    /// The adaptive-deadline policy this spec describes, if enabled.
+    pub fn adaptive_deadline(&self) -> Option<AdaptiveDeadline> {
+        (self.deadline_margin > 0.0).then(|| AdaptiveDeadline {
+            margin: self.deadline_margin,
+            floor: Duration::from_millis(self.deadline_floor_ms),
+            ceiling: Duration::from_millis(self.deadline_ceiling_ms),
+            min_samples: self.deadline_min_samples,
+        })
+    }
+
     /// Applies this policy to a fault-tolerant trainer configuration.
     pub fn apply(&self, mut cfg: FtConfig) -> FtConfig {
         cfg.retry_budget = self.retry_budget;
         cfg.backoff_ms = self.backoff_ms;
         cfg.checkpoint_every = self.checkpoint_every;
+        cfg.rejoin_check_every = self.rejoin_check_every;
+        cfg.adaptive_deadline = self.adaptive_deadline();
         cfg
     }
 }
@@ -391,12 +453,37 @@ mod tests {
             retry_budget: 7,
             backoff_ms: 11,
             checkpoint_every: 3,
-        };
+            rejoin_check_every: 4,
+            ..RecoverySpec::default()
+        }
+        .with_deadline_margin(1.5);
         let ft = rec.apply(schemoe_models::FtConfig::tiny(10));
         assert_eq!(ft.retry_budget, 7);
         assert_eq!(ft.backoff_ms, 11);
         assert_eq!(ft.checkpoint_every, 3);
+        assert_eq!(ft.rejoin_check_every, 4);
+        let policy = ft.adaptive_deadline.expect("margin > 0 enables the policy");
+        assert_eq!(policy.margin, 1.5);
+        assert_eq!(policy.floor, Duration::from_millis(100));
+        assert_eq!(policy.ceiling, Duration::from_millis(5_000));
+        assert_eq!(policy.min_samples, 32);
         assert_eq!(ft.steps, 10, "non-recovery fields untouched");
+
+        // The default spec keeps deadlines fixed.
+        assert_eq!(RecoverySpec::default().adaptive_deadline(), None);
+    }
+
+    #[test]
+    fn fault_spec_carries_a_revival_schedule() {
+        let spec = FaultSpec::seeded(8).with_kill(3, 100).with_revive(3, 160);
+        let plan = spec.to_plan();
+        assert_eq!(plan.kill_threshold(3), Some(100));
+        assert_eq!(plan.revive_threshold(3), Some(160));
+        // Dead exactly inside the window, alive on both sides of it.
+        assert!(plan.rank_alive(3, 99));
+        assert!(!plan.rank_alive(3, 100));
+        assert!(!plan.rank_alive(3, 159));
+        assert!(plan.rank_alive(3, 160));
     }
 
     #[test]

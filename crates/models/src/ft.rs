@@ -39,11 +39,30 @@
 //! Checkpoints are taken in memory every [`FtConfig::checkpoint_every`]
 //! committed steps; batches are a pure function of `(seed, step, rank)`,
 //! so rewinding the step counter replays identical data.
+//!
+//! # Elastic membership: rejoin
+//!
+//! A rank whose [`FaultPlan`](schemoe_cluster::FaultPlan) schedules a
+//! revival (`revive_after`) does not exit when it dies — it enters *limbo*:
+//! it burns send attempts with [`RankHandle::try_revive`] until the plan's
+//! revive point reopens its pipe (a pure function of the attempt counter,
+//! so replays are bit-identical), then announces itself to every rank on a
+//! control-plane tag. Survivors poll for announcements at a fixed step
+//! cadence ([`FtConfig::rejoin_check_every`]); on seeing one they bump the
+//! membership epoch, re-admit the rank, and the lowest live rank — the
+//! *donor* — streams the replicated parameters and their optimizer-state
+//! slots as one CRC-sealed checkpoint payload in bounded chunks. The
+//! rejoiner reassembles, **verifies the seal, and only then applies**:
+//! a transfer torn by a donor death or link damage leaves it untouched, at
+//! its old epoch, and it simply re-announces. Every membership change —
+//! burial or rejoin — advances the epoch stamped on data frames, so a rank
+//! that has not observed the transition has its traffic rejected as
+//! [`FabricError::StaleEpoch`] instead of feeding stale collectives.
 
 use std::time::Duration;
 
 use bytes::Bytes;
-use schemoe_cluster::{FabricError, RankHandle};
+use schemoe_cluster::{AdaptiveDeadline, FabricError, RankHandle};
 use schemoe_collectives::{NcclA2A, TAG_STRIDE};
 use schemoe_compression::NoCompression;
 use schemoe_moe::{allreduce_live, DistributedMoeLayer, Expert, FfExpert, TopKGate};
@@ -65,6 +84,33 @@ const ALLREDUCE_LANE: u64 = TAG_STRIDE - 4096;
 
 /// Tag offset of the vote lane; round 2 adds [`VOTE_COPIES`].
 const VOTE_LANE: u64 = TAG_STRIDE - 256;
+
+/// Control-plane tag namespaces for the rejoin protocol. They sit far above
+/// every training-step window (step tags grow from 0 by [`TAG_STRIDE`] per
+/// attempt), so rejoin traffic can never collide with step traffic.
+const ANNOUNCE_TAG: u64 = 1 << 62;
+const INVITE_TAG: u64 = (1 << 62) + 1024;
+const DECISION_TAG: u64 = (1 << 62) + 2048;
+const XFER_NS: u64 = 1 << 63;
+
+/// Bounded chunk size for rejoin state transfers: the payload is shipped in
+/// frames of at most this many bytes, so a transfer never sends one
+/// unbounded message.
+pub const TRANSFER_CHUNK: usize = 4096;
+
+/// Copies of each transfer frame. Like vote copies, redundancy makes a
+/// single dropped or damaged copy survivable; a chunk is lost only if every
+/// copy is.
+const XFER_COPIES: u64 = 2;
+
+/// Rejoin rounds a rank in limbo attempts before giving up for good.
+const MAX_REJOIN_ROUNDS: usize = 4;
+
+/// Transfer tags are scoped by the committed step of the rejoin round, so
+/// chunks left parked by a torn round can never be misread by a later one.
+fn xfer_tag(step: usize) -> u64 {
+    XFER_NS + (step as u64) * 4096
+}
 
 /// Hyperparameters and recovery policy for [`run_ft_rank`].
 #[derive(Clone, Copy, Debug)]
@@ -103,6 +149,15 @@ pub struct FtConfig {
     pub checkpoint_every: usize,
     /// Per-message deadline inside the vote protocol.
     pub vote_timeout_ms: u64,
+    /// Committed-step cadence at which survivors poll for rejoin
+    /// announcements from revivable dead ranks. `0` disables rejoin.
+    pub rejoin_check_every: usize,
+    /// Optional per-link adaptive receive-deadline policy, installed on the
+    /// rank handle at startup (see
+    /// [`AdaptiveDeadline`](schemoe_cluster::AdaptiveDeadline)): deadlines
+    /// stretch with each link's observed p99 wait instead of misclassifying
+    /// a straggler as dead.
+    pub adaptive_deadline: Option<AdaptiveDeadline>,
 }
 
 impl FtConfig {
@@ -125,12 +180,26 @@ impl FtConfig {
             backoff_ms: 1,
             checkpoint_every: 5,
             vote_timeout_ms: 500,
+            rejoin_check_every: 2,
+            adaptive_deadline: None,
         }
     }
 
     /// Overrides the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the rejoin polling cadence (`0` disables rejoin).
+    pub fn with_rejoin_check_every(mut self, every: usize) -> Self {
+        self.rejoin_check_every = every;
+        self
+    }
+
+    /// Installs an adaptive per-link receive-deadline policy.
+    pub fn with_adaptive_deadline(mut self, policy: AdaptiveDeadline) -> Self {
+        self.adaptive_deadline = Some(policy);
         self
     }
 }
@@ -140,7 +209,8 @@ impl FtConfig {
 pub struct FtReport {
     /// Loss of the last committed step (`NaN` if none committed).
     pub final_loss: f32,
-    /// Per-step committed losses; entries past a death are `NaN`.
+    /// Per-step committed losses; entries past a death are `NaN`, and a
+    /// revived rank's dead window (death through rejoin) stays `NaN`.
     pub loss_curve: Vec<f32>,
     /// `Some(step)` if this rank died (was killed, or excommunicated by
     /// the cluster vote) while working on `step`.
@@ -151,6 +221,17 @@ pub struct FtReport {
     pub retries: u64,
     /// Checkpoint restores performed after death verdicts.
     pub restores: u64,
+    /// Membership epoch this rank ended the run at.
+    pub final_epoch: u32,
+    /// Every epoch this rank entered after 0, in order — one entry per
+    /// observed membership change (burial or rejoin). Bit-identical across
+    /// same-seed replays.
+    pub epoch_transitions: Vec<u32>,
+    /// Successful rejoins this rank performed after a scheduled revival.
+    pub rejoins: u64,
+    /// State-transfer bytes this rank shipped as a donor plus bytes it
+    /// applied as a rejoiner.
+    pub transfer_bytes: u64,
 }
 
 /// The outcome of one cluster-wide vote.
@@ -248,14 +329,49 @@ fn try_step(
     Ok(loss)
 }
 
+/// Pure tally of one vote round: folds the messages actually heard into
+/// `(any_error, suspects, unheard)`. `heard[r]` is `Some((status, mask))`
+/// for a live peer whose vote arrived and `None` for one that was silent
+/// across every copy; self and already-dead entries are skipped.
+///
+/// A silent peer forces an error verdict (the attempt cannot commit) and
+/// lands in the *unheard* mask — it is NOT folded into the suspect set
+/// here. Whether silence escalates to a death suspicion is [`vote`]'s
+/// decision, made only from silence in *both* rounds: a peer that answers
+/// late is a voter, not a suspect, and must not be double-counted as both.
+fn tally_round(
+    me: usize,
+    live: &[bool],
+    status: u8,
+    suspects: u64,
+    heard: &[Option<(u8, u64)>],
+) -> (bool, u64, u64) {
+    let mut any = status != 0;
+    let mut sus = suspects;
+    let mut unheard = 0u64;
+    for (r, &alive) in live.iter().enumerate() {
+        if r == me || !alive {
+            continue;
+        }
+        match heard[r] {
+            Some((peer_status, peer_sus)) => {
+                any |= peer_status != 0;
+                sus |= peer_sus;
+            }
+            None => {
+                any = true;
+                unheard |= 1u64 << r;
+            }
+        }
+    }
+    (any, sus, unheard)
+}
+
 /// One gossip round of the vote protocol: broadcast `(status, suspects)`
 /// to every live peer ([`VOTE_COPIES`] copies), then collect each peer's
-/// message under a deadline. A peer whose every copy is missing or
-/// damaged forces an error verdict; with `suspect_unresponsive` it is
-/// also added to the suspect set (reserved for attempts past the retry
-/// budget — a voter merely stalled in a receive-deadline chain must not
-/// get evicted). Returns the unioned view, or an error if *this* rank
-/// died mid-round.
+/// message under a deadline and [`tally_round`] the result. Returns
+/// `(any_error, suspects, unheard)`, or an error if *this* rank died
+/// mid-round.
 fn vote_round(
     h: &mut RankHandle,
     live: &[bool],
@@ -263,8 +379,7 @@ fn vote_round(
     status: u8,
     suspects: u64,
     deadline: Duration,
-    suspect_unresponsive: bool,
-) -> Result<(bool, u64), FabricError> {
+) -> Result<(bool, u64, u64), FabricError> {
     let me = h.rank();
     let mut buf = [0u8; 9];
     buf[0] = status;
@@ -287,17 +402,18 @@ fn vote_round(
             }
         }
     }
-    let mut any = status != 0;
-    let mut sus = suspects;
+    let mut heard: Vec<Option<(u8, u64)>> = vec![None; live.len()];
     for (r, &alive) in live.iter().enumerate() {
         if r == me || !alive {
             continue;
         }
-        let mut heard = None;
         for c in 0..VOTE_COPIES {
             match h.recv_timeout(r, base + c, deadline) {
                 Ok(payload) if payload.len() == 9 => {
-                    heard = Some(payload);
+                    heard[r] = Some((
+                        payload[0],
+                        u64::from_le_bytes(payload[1..9].try_into().expect("9-byte vote")),
+                    ));
                     break;
                 }
                 Ok(_) => {} // malformed: treat like a corrupt copy
@@ -307,26 +423,18 @@ fn vote_round(
                 Err(_) => {} // timeout / corrupt / peer gone: try the next copy
             }
         }
-        match heard {
-            Some(p) => {
-                any |= p[0] != 0;
-                sus |= u64::from_le_bytes(p[1..9].try_into().expect("9-byte vote"));
-            }
-            None => {
-                // Unresponsive across every copy: at minimum the attempt
-                // must be retried; past the retry budget, presume death.
-                any = true;
-                if suspect_unresponsive {
-                    sus |= 1u64 << r;
-                }
-            }
-        }
     }
-    Ok((any, sus))
+    Ok(tally_round(me, live, status, suspects, &heard))
 }
 
 /// Two-round vote: round one spreads first-hand observations, round two
 /// confirms the union so every live rank lands on the same verdict.
+///
+/// Round two rebroadcasts only *evidence* — first-hand suspicions and
+/// suspicions heard from peers — never round one's unheard mask. A peer
+/// that missed its round-one copy window but answers in round two is
+/// therefore counted once, as a voter; with `escalate` (attempts past the
+/// retry budget) only a peer silent in **both** rounds is presumed dead.
 fn vote(
     h: &mut RankHandle,
     live: &[bool],
@@ -334,31 +442,438 @@ fn vote(
     status: u8,
     suspects: u64,
     deadline: Duration,
-    suspect_unresponsive: bool,
+    escalate: bool,
 ) -> Result<Verdict, FabricError> {
     let base = tag + VOTE_LANE;
-    let (a1, s1) = vote_round(
-        h,
-        live,
-        base,
-        status,
-        suspects,
-        deadline,
-        suspect_unresponsive,
-    )?;
-    let (a2, s2) = vote_round(
-        h,
-        live,
-        base + VOTE_COPIES,
-        u8::from(a1),
-        s1,
-        deadline,
-        suspect_unresponsive,
-    )?;
+    let (a1, s1, u1) = vote_round(h, live, base, status, suspects, deadline)?;
+    let (a2, s2, u2) = vote_round(h, live, base + VOTE_COPIES, u8::from(a1), s1, deadline)?;
+    let mut suspects = s2;
+    if escalate {
+        suspects |= u1 & u2;
+    }
     Ok(Verdict {
         any_error: a2,
-        suspects: s2,
+        suspects,
     })
+}
+
+/// Flags each parameter of [`visit_all`]'s fixed order as replicated
+/// (`true`) or rank-local (`false`). The optimizer's velocity slots follow
+/// the same order, so the flags select both the weights and the optimizer
+/// state that a rejoin transfer must carry.
+fn replicated_flags(
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+) -> Vec<bool> {
+    let mut flags = Vec::new();
+    embed.visit_params(&mut |_| flags.push(true));
+    moe.visit_params(&mut |p| flags.push(p.name.starts_with("gate.")));
+    head.visit_params(&mut |_| flags.push(true));
+    flags
+}
+
+/// Serializes the donor's replicated parameters **and** their optimizer
+/// velocity slots as one CRC-sealed checkpoint payload — exactly what a
+/// rejoining rank needs to continue the replicated trajectory bit-for-bit.
+/// Expert parameters are rank-local and excluded (the rejoiner's own expert
+/// survived in its thread; it simply did not train while dead).
+pub fn replicated_state_payload(
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+) -> Vec<u8> {
+    opt.ensure_state(&mut |f| visit_all(embed, moe, head, f));
+    let flags = replicated_flags(embed, moe, head);
+    checkpoint::save(&mut |f| {
+        visit_replicated(embed, moe, head, f);
+        let mut i = 0usize;
+        opt.visit_state(&mut |p| {
+            if flags[i] {
+                f(p);
+            }
+            i += 1;
+        });
+    })
+}
+
+/// Applies a payload produced by [`replicated_state_payload`] to this
+/// rank's replicated modules and optimizer state. Callers must have
+/// verified the seal first (see [`receive_state`]); a mismatch here is a
+/// protocol bug, not a link fault.
+pub fn apply_replicated_state(
+    payload: &[u8],
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+) -> Result<(), checkpoint::CheckpointError> {
+    opt.ensure_state(&mut |f| visit_all(embed, moe, head, f));
+    let flags = replicated_flags(embed, moe, head);
+    checkpoint::load(payload, &mut |f| {
+        visit_replicated(embed, moe, head, f);
+        let mut i = 0usize;
+        opt.visit_state(&mut |p| {
+            if flags[i] {
+                f(p);
+            }
+            i += 1;
+        });
+    })
+}
+
+/// Streams a sealed state payload to `to` in bounded chunks: a 16-byte
+/// header `[total_bytes u64][n_chunks u64]` on `tag`, then chunk `i` on
+/// `tag + 1 + i`, each frame sent [`XFER_COPIES`] times on the
+/// control-plane path (transfers cross an epoch boundary by construction).
+/// Returns the byte count shipped (header + payload, one copy).
+///
+/// Only a self-death aborts the stream — link faults are covered by the
+/// duplicate copies and the receiver's seal check.
+pub fn stream_state(
+    h: &mut RankHandle,
+    to: usize,
+    tag: u64,
+    payload: &[u8],
+) -> Result<u64, FabricError> {
+    let me = h.rank();
+    let nchunks = payload.len().div_ceil(TRANSFER_CHUNK);
+    assert!(nchunks < 4094, "transfer exceeds its tag window");
+    let mut hdr = [0u8; 16];
+    hdr[..8].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    hdr[8..].copy_from_slice(&(nchunks as u64).to_le_bytes());
+    let mut frames: Vec<(u64, Bytes)> = vec![(tag, Bytes::copy_from_slice(&hdr))];
+    for (i, chunk) in payload.chunks(TRANSFER_CHUNK).enumerate() {
+        frames.push((tag + 1 + i as u64, Bytes::copy_from_slice(chunk)));
+    }
+    for (t, msg) in frames {
+        for _ in 0..XFER_COPIES {
+            match h.send_control(to, t, msg.clone()) {
+                Ok(()) => {}
+                Err(FabricError::Disconnected { peer }) if peer == me => {
+                    return Err(FabricError::Disconnected { peer })
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    Ok(16 + payload.len() as u64)
+}
+
+/// Receives a state transfer streamed by [`stream_state`]:
+/// **parse, verify, then let the caller apply**. The reassembled payload is
+/// returned only after its length matches the header and its checkpoint
+/// seal verifies — a transfer torn by a donor death, a dropped chunk, or
+/// link damage yields an error and leaves no partial state anywhere.
+pub fn receive_state(
+    h: &mut RankHandle,
+    from: usize,
+    tag: u64,
+    deadline: Duration,
+) -> Result<Vec<u8>, FabricError> {
+    let me = h.rank();
+    let recv_frame = |h: &mut RankHandle, t: u64| -> Result<Option<Bytes>, FabricError> {
+        for _ in 0..XFER_COPIES {
+            match h.recv_timeout(from, t, deadline) {
+                Ok(m) => return Ok(Some(m)),
+                Err(FabricError::Disconnected { peer }) if peer == me => {
+                    return Err(FabricError::Disconnected { peer })
+                }
+                Err(_) => {} // timeout / damaged copy: try the next one
+            }
+        }
+        Ok(None)
+    };
+    let hdr = match recv_frame(h, tag)? {
+        Some(m) if m.len() == 16 => m,
+        _ => return Err(FabricError::Corrupt { peer: from, tag }),
+    };
+    let total = u64::from_le_bytes(hdr[..8].try_into().expect("16-byte header")) as usize;
+    let nchunks = u64::from_le_bytes(hdr[8..].try_into().expect("16-byte header")) as usize;
+    // A damaged header that slipped through CRC cannot be allowed to drive
+    // an unbounded allocation or a bogus chunk walk.
+    if total > (1 << 28) || nchunks != total.div_ceil(TRANSFER_CHUNK) {
+        return Err(FabricError::Corrupt { peer: from, tag });
+    }
+    let mut buf = Vec::with_capacity(total);
+    for i in 0..nchunks {
+        let t = tag + 1 + i as u64;
+        match recv_frame(h, t)? {
+            Some(m) => buf.extend_from_slice(&m),
+            None => return Err(FabricError::Corrupt { peer: from, tag: t }),
+        }
+    }
+    if buf.len() != total || checkpoint::verify(&buf).is_err() {
+        return Err(FabricError::Corrupt { peer: from, tag });
+    }
+    Ok(buf)
+}
+
+/// The re-admission ticket survivors send a rejoining rank: where to resume
+/// (`step`, `tag`), the membership epoch after the rejoin bump, who streams
+/// state, and the post-admission live set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Invite {
+    step: usize,
+    tag: u64,
+    epoch: u32,
+    donor: usize,
+    live: u64,
+}
+
+impl Invite {
+    fn encode(&self) -> Bytes {
+        let mut b = [0u8; 32];
+        b[..8].copy_from_slice(&(self.step as u64).to_le_bytes());
+        b[8..16].copy_from_slice(&self.tag.to_le_bytes());
+        b[16..20].copy_from_slice(&self.epoch.to_le_bytes());
+        b[20..24].copy_from_slice(&(self.donor as u32).to_le_bytes());
+        b[24..32].copy_from_slice(&self.live.to_le_bytes());
+        Bytes::copy_from_slice(&b)
+    }
+
+    fn decode(b: &[u8]) -> Option<Invite> {
+        if b.len() != 32 {
+            return None;
+        }
+        Some(Invite {
+            step: u64::from_le_bytes(b[..8].try_into().ok()?) as usize,
+            tag: u64::from_le_bytes(b[8..16].try_into().ok()?),
+            epoch: u32::from_le_bytes(b[16..20].try_into().ok()?),
+            donor: u32::from_le_bytes(b[20..24].try_into().ok()?) as usize,
+            live: u64::from_le_bytes(b[24..32].try_into().ok()?),
+        })
+    }
+}
+
+/// Where a successfully rejoined rank resumes training.
+struct RejoinPoint {
+    step: usize,
+    tag: u64,
+}
+
+/// The dead rank's half of the rejoin protocol. Returns `Some` once state
+/// has been verified and applied (the caller resumes training at the
+/// returned point), `None` if this rank has no scheduled revival or every
+/// rejoin round failed.
+///
+/// The revival spin burns send attempts via [`RankHandle::try_revive`], so
+/// the probe count — like every other decision on this path — is a pure
+/// function of the fault plan, never of wall clock.
+#[allow(clippy::too_many_arguments)]
+fn limbo_rejoin(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    live: &mut [bool],
+    epoch_transitions: &mut Vec<u32>,
+    transfer_bytes: &mut u64,
+) -> Option<RejoinPoint> {
+    if cfg.rejoin_check_every == 0 {
+        return None;
+    }
+    h.fault_plan()?.revive_threshold(h.rank())?;
+    let mut probes = 0u64;
+    while !h.try_revive() {
+        probes += 1;
+        if probes > 1_000_000 {
+            return None; // the scheduled revival never fires; stay dead
+        }
+    }
+    let me = h.rank();
+    let p = h.world_size();
+    let vote_dl = Duration::from_millis(cfg.vote_timeout_ms);
+    // Survivors only notice the announcement after burying us (a vote) and
+    // reaching a rejoin quantum, so the first wait is generous.
+    let long_dl = Duration::from_millis(cfg.vote_timeout_ms * 32);
+    for _round in 0..MAX_REJOIN_ROUNDS {
+        let msg = Bytes::copy_from_slice(&[me as u8]);
+        for r in 0..p {
+            if r == me {
+                continue;
+            }
+            for _ in 0..VOTE_COPIES {
+                let _ = h.send_control(r, ANNOUNCE_TAG, msg.clone());
+            }
+        }
+        // Collect invites from whoever answers; the max-step one wins, so a
+        // stale copy from an earlier torn round can never be re-actioned.
+        let mut best: Option<Invite> = None;
+        let mut waited_long = false;
+        for r in 0..p {
+            if r == me {
+                continue;
+            }
+            let mut dl = if best.is_some() || waited_long {
+                vote_dl
+            } else {
+                waited_long = true;
+                long_dl
+            };
+            while let Ok(m) = h.recv_timeout(r, INVITE_TAG, dl) {
+                dl = Duration::from_millis(50); // drain parked duplicates
+                if let Some(inv) = Invite::decode(&m) {
+                    if best.is_none_or(|b| inv.step > b.step) {
+                        best = Some(inv);
+                    }
+                }
+            }
+        }
+        let Some(inv) = best else { continue };
+        match receive_state(h, inv.donor, xfer_tag(inv.step), vote_dl * 4) {
+            Ok(payload) => {
+                apply_replicated_state(&payload, embed, moe, head, opt)
+                    .expect("a verified transfer payload must apply");
+                *transfer_bytes += payload.len() as u64 + 16;
+                h.set_epoch(inv.epoch);
+                h.mark_peer_reachable(h.rank());
+                epoch_transitions.push(inv.epoch);
+                for (r, slot) in live.iter_mut().enumerate() {
+                    *slot = inv.live & (1u64 << r) != 0;
+                    if *slot {
+                        moe.mark_rank_alive(r);
+                    } else {
+                        moe.mark_rank_dead(r);
+                    }
+                }
+                return Some(RejoinPoint {
+                    step: inv.step,
+                    tag: inv.tag,
+                });
+            }
+            // Torn transfer: nothing was applied and our epoch is
+            // unchanged. Announce again; survivors will re-bury us if we
+            // stay silent too long, which re-opens the next round.
+            Err(_) => continue,
+        }
+    }
+    None
+}
+
+/// The survivors' half of the rejoin protocol, run at a fixed committed-step
+/// cadence. The lowest live rank — the *coordinator*, which is also the
+/// donor — drains the announcement queues of revivable dead ranks and
+/// broadcasts its admission decision so every survivor applies the same
+/// membership change; it then streams state to each admitted rank. Returns
+/// `true` if membership changed (callers must refresh their checkpoint so a
+/// later rewind lands every rank on the same step).
+#[allow(clippy::too_many_arguments)]
+fn try_rejoin_peers(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    live: &mut [bool],
+    epoch_transitions: &mut Vec<u32>,
+    transfer_bytes: &mut u64,
+    step: usize,
+    tag: u64,
+) -> bool {
+    let me = h.rank();
+    let p = h.world_size();
+    let candidates: Vec<usize> = {
+        let Some(plan) = h.fault_plan() else {
+            return false; // no fault plan: rejoin costs nothing
+        };
+        (0..p)
+            .filter(|&r| !live[r] && plan.revive_threshold(r).is_some())
+            .collect()
+    };
+    if candidates.is_empty() {
+        return false;
+    }
+    let coordinator = (0..p).find(|&r| live[r]).expect("caller is live");
+    let vote_dl = Duration::from_millis(cfg.vote_timeout_ms);
+    // Decision frames are scoped by quantum so a leftover copy from an
+    // earlier check can never be mistaken for this one's.
+    let quantum = (step / cfg.rejoin_check_every) as u64;
+    let decision_base = DECISION_TAG + quantum * 64;
+    let mut mask = 0u64;
+    if me == coordinator {
+        for &r in &candidates {
+            let mut announced = false;
+            while let Ok(m) = h.recv_timeout(r, ANNOUNCE_TAG, Duration::from_millis(50)) {
+                announced |= m.len() == 1 && m[0] as usize == r;
+            }
+            if announced {
+                mask |= 1u64 << r;
+            }
+        }
+        let msg = Bytes::copy_from_slice(&mask.to_le_bytes());
+        for r in 0..p {
+            if r == me || !live[r] {
+                continue;
+            }
+            for c in 0..VOTE_COPIES {
+                let _ = h.send_control(r, decision_base + c, msg.clone());
+            }
+        }
+    } else {
+        for c in 0..VOTE_COPIES {
+            match h.recv_timeout(coordinator, decision_base + c, vote_dl) {
+                Ok(m) if m.len() == 8 => {
+                    mask = u64::from_le_bytes(m[..8].try_into().expect("8-byte decision"));
+                    break;
+                }
+                _ => {} // damaged or late copy: try the next
+            }
+        }
+    }
+    if mask == 0 {
+        return false;
+    }
+    // Admit every announced rank first — one epoch bump each — so the
+    // invites carry the final membership.
+    let mut admitted: Vec<usize> = Vec::new();
+    for r in 0..p {
+        if mask & (1u64 << r) != 0 && !live[r] {
+            let e = h.advance_epoch();
+            epoch_transitions.push(e);
+            live[r] = true;
+            moe.mark_rank_alive(r);
+            h.mark_peer_reachable(r);
+            admitted.push(r);
+        }
+    }
+    if admitted.is_empty() {
+        return false;
+    }
+    let bitmap = live
+        .iter()
+        .enumerate()
+        .fold(0u64, |m, (r, &a)| if a { m | (1u64 << r) } else { m });
+    let invite = Invite {
+        step,
+        tag,
+        epoch: h.epoch(),
+        donor: coordinator,
+        live: bitmap,
+    };
+    // Every survivor sends the invite (redundancy against drops); only the
+    // donor streams state.
+    for &r in &admitted {
+        let msg = invite.encode();
+        for _ in 0..VOTE_COPIES {
+            let _ = h.send_control(r, INVITE_TAG, msg.clone());
+        }
+        if me == coordinator {
+            if let Ok(sent) = stream_state(
+                h,
+                r,
+                xfer_tag(step),
+                &replicated_state_payload(embed, moe, head, opt),
+            ) {
+                *transfer_bytes += sent;
+            }
+        }
+    }
+    true
 }
 
 /// Runs the fault-tolerant training loop on one rank. See the module docs
@@ -400,34 +915,71 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
     let markov = RegimeMarkov::new(cfg.vocab, cfg.regimes, &mut seeded(cfg.seed ^ 0xDA7A));
     let mut opt = Sgd::new(cfg.lr);
 
+    if let Some(policy) = cfg.adaptive_deadline {
+        h.set_adaptive_deadline(Some(policy));
+    }
+
     let mut live = vec![true; p];
     let mut tag: u64 = 0;
     let mut step = 0usize;
     let mut loss_curve = vec![f32::NAN; cfg.steps];
     let mut retries = 0u64;
     let mut restores = 0u64;
+    let mut rejoins = 0u64;
+    let mut transfer_bytes = 0u64;
+    let mut epoch_transitions: Vec<u32> = Vec::new();
     let vote_dl = Duration::from_millis(cfg.vote_timeout_ms);
 
     let mut ckpt = checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
     let mut ckpt_step = 0usize;
 
-    let report = |live: &[bool], curve: Vec<f32>, died: Option<usize>, retries, restores| {
-        let last = curve.iter().rev().find(|l| !l.is_nan()).copied();
-        FtReport {
-            final_loss: last.unwrap_or(f32::NAN),
-            loss_curve: curve,
-            died_at_step: died,
-            dead_ranks: (0..p).filter(|&r| !live[r]).collect(),
-            retries,
-            restores,
-        }
-    };
+    // Every path that observes this rank's death funnels through here: a
+    // rank with a scheduled revival rejoins and resumes at the invited
+    // step; every other death ends the run with a report.
+    macro_rules! die_or_rejoin {
+        ($lbl:lifetime) => {
+            match limbo_rejoin(
+                h,
+                cfg,
+                &mut embed,
+                &mut moe,
+                &mut head,
+                &mut opt,
+                &mut live,
+                &mut epoch_transitions,
+                &mut transfer_bytes,
+            ) {
+                Some(pt) => {
+                    rejoins += 1;
+                    step = pt.step;
+                    tag = pt.tag;
+                    ckpt =
+                        checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
+                    ckpt_step = step;
+                    continue $lbl;
+                }
+                None => {
+                    return finish(
+                        &live,
+                        loss_curve,
+                        Some(step),
+                        retries,
+                        restores,
+                        h.epoch(),
+                        epoch_transitions,
+                        rejoins,
+                        transfer_bytes,
+                    );
+                }
+            }
+        };
+    }
 
     'train: while step < cfg.steps {
         let mut attempt = 0u32;
         loop {
             if h.is_dead() {
-                return report(&live, loss_curve, Some(step), retries, restores);
+                die_or_rejoin!('train);
             }
             visit_all(&mut embed, &mut moe, &mut head, &mut |prm| prm.zero_grad());
             let step_tag = tag;
@@ -437,7 +989,7 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                 h, cfg, &markov, &mut embed, &mut moe, &mut head, &mut ce, &live, step, step_tag,
             );
             if h.is_dead() {
-                return report(&live, loss_curve, Some(step), retries, restores);
+                die_or_rejoin!('train);
             }
             // First-hand evidence: a disconnected peer is dead; timeouts
             // and corruption are transient until the retry budget is
@@ -461,13 +1013,15 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
             let verdict = match vote(h, &live, step_tag, status, suspects, vote_dl, escalate) {
                 Ok(v) => v,
                 // Only a self-death escapes the vote.
-                Err(_) => return report(&live, loss_curve, Some(step), retries, restores),
+                Err(_) => die_or_rejoin!('train),
             };
 
             if verdict.suspects & (1u64 << me) != 0 {
                 // The cluster has given up on this rank (e.g. our outbound
-                // links are black holes). Exit rather than split-brain.
-                return report(&live, loss_curve, Some(step), retries, restores);
+                // links are black holes). Exit rather than split-brain —
+                // unless the plan schedules a revival, in which case rejoin
+                // under a fresh epoch is the sanctioned way back in.
+                die_or_rejoin!('train);
             }
             let newly_dead: Vec<usize> = (0..p)
                 .filter(|&r| live[r] && verdict.suspects & (1u64 << r) != 0)
@@ -478,6 +1032,11 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                 for &r in &newly_dead {
                     live[r] = false;
                     moe.mark_rank_dead(r);
+                    // One membership transition per burial: traffic from
+                    // anyone still assuming the old membership is rejected
+                    // as stale rather than fed into collectives.
+                    let e = h.advance_epoch();
+                    epoch_transitions.push(e);
                 }
                 checkpoint::load(&ckpt, &mut |f| {
                     visit_all(&mut embed, &mut moe, &mut head, f)
@@ -506,11 +1065,72 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                 ckpt = checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
                 ckpt_step = step;
             }
+            // Rejoin quantum: poll for announcements from revivable dead
+            // ranks. Membership changed → refresh the checkpoint so a later
+            // rewind lands every rank (including the rejoiner) on this step.
+            if cfg.rejoin_check_every != 0
+                && step < cfg.steps
+                && step.is_multiple_of(cfg.rejoin_check_every)
+                && try_rejoin_peers(
+                    h,
+                    cfg,
+                    &mut embed,
+                    &mut moe,
+                    &mut head,
+                    &mut opt,
+                    &mut live,
+                    &mut epoch_transitions,
+                    &mut transfer_bytes,
+                    step,
+                    tag,
+                )
+            {
+                ckpt = checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
+                ckpt_step = step;
+            }
             break;
         }
     }
 
-    report(&live, loss_curve, None, retries, restores)
+    finish(
+        &live,
+        loss_curve,
+        None,
+        retries,
+        restores,
+        h.epoch(),
+        epoch_transitions,
+        rejoins,
+        transfer_bytes,
+    )
+}
+
+/// Assembles the final [`FtReport`] for one rank.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    live: &[bool],
+    curve: Vec<f32>,
+    died: Option<usize>,
+    retries: u64,
+    restores: u64,
+    final_epoch: u32,
+    epoch_transitions: Vec<u32>,
+    rejoins: u64,
+    transfer_bytes: u64,
+) -> FtReport {
+    let last = curve.iter().rev().find(|l| !l.is_nan()).copied();
+    FtReport {
+        final_loss: last.unwrap_or(f32::NAN),
+        loss_curve: curve,
+        died_at_step: died,
+        dead_ranks: (0..live.len()).filter(|&r| !live[r]).collect(),
+        retries,
+        restores,
+        final_epoch,
+        epoch_transitions,
+        rejoins,
+        transfer_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -569,6 +1189,66 @@ mod tests {
     }
 
     #[test]
+    fn a_late_voter_is_not_double_counted_as_suspect() {
+        // The tally that used to be wrong: rank 2 misses its round-one copy
+        // window (all copies delayed past the deadline) but answers in
+        // round two. It must end up a voter, never a suspect.
+        let me = 0usize;
+        let live = vec![true; 4];
+        let mut heard1: Vec<Option<(u8, u64)>> = vec![Some((0, 0)); 4];
+        heard1[2] = None;
+        let (a1, s1, u1) = tally_round(me, &live, 0, 0, &heard1);
+        assert!(a1, "an unheard peer must force an error verdict");
+        assert_eq!(s1, 0, "silence alone is not a suspicion");
+        assert_eq!(u1, 0b100);
+
+        // Round two: everyone (including the late rank 2) echoes the union.
+        let heard2: Vec<Option<(u8, u64)>> = vec![Some((u8::from(a1), s1)); 4];
+        let (a2, s2, u2) = tally_round(me, &live, u8::from(a1), s1, &heard2);
+        assert!(a2);
+        assert_eq!(u2, 0);
+        assert_eq!(
+            s2 | (u1 & u2),
+            0,
+            "a peer heard in round two is a voter, not a suspect, even past \
+             the retry budget"
+        );
+
+        // Silence in *both* rounds is what escalation means.
+        let (_, s2b, u2b) = tally_round(me, &live, u8::from(a1), s1, &heard1);
+        assert_eq!(s2b, 0);
+        assert_eq!(
+            s2b | (u1 & u2b),
+            0b100,
+            "a peer silent in both rounds is presumed dead under escalation"
+        );
+    }
+
+    #[test]
+    fn tally_skips_self_and_buried_ranks() {
+        let live = vec![true, false, true, true];
+        // Nothing heard at all: only live peers (2, 3) count as unheard.
+        let heard: Vec<Option<(u8, u64)>> = vec![None; 4];
+        let (any, sus, unheard) = tally_round(0, &live, 0, 0, &heard);
+        assert!(any);
+        assert_eq!(sus, 0);
+        assert_eq!(unheard, 0b1100);
+    }
+
+    #[test]
+    fn invites_round_trip_through_the_wire_encoding() {
+        let inv = Invite {
+            step: 17,
+            tag: 99 * TAG_STRIDE,
+            epoch: 3,
+            donor: 2,
+            live: 0b1011_0111,
+        };
+        assert_eq!(Invite::decode(&inv.encode()), Some(inv));
+        assert_eq!(Invite::decode(&[0u8; 31]), None, "short frames rejected");
+    }
+
+    #[test]
     fn a_killed_rank_is_detected_and_training_completes_degraded() {
         let cfg = FtConfig::tiny(8);
         // Rank 3 dies after 40 sends — mid-epoch, after the first
@@ -594,6 +1274,83 @@ mod tests {
                 rep.loss_curve.iter().all(|l| l.is_finite()),
                 "every step must commit after recovery"
             );
+        }
+    }
+
+    #[test]
+    fn a_revived_rank_rejoins_and_the_cluster_ends_at_full_strength() {
+        let cfg = FtConfig::tiny(10).with_seed(9);
+        // Rank 1 dies after 60 sends and its pipe reopens 40 send-attempts
+        // later; survivors bury it, then re-admit it at a rejoin quantum.
+        let plan = FaultPlan::seeded(5)
+            .kill_after(1, 60)
+            .revive_after(1, 100)
+            .with_recv_deadline(Duration::from_millis(300));
+        let reports =
+            Fabric::run_with_faults(Topology::new(2, 2), plan, |mut h| run_ft_rank(&mut h, &cfg));
+        for (r, rep) in reports.iter().enumerate() {
+            assert_eq!(rep.died_at_step, None, "rank {r} must finish the run");
+            assert!(
+                rep.dead_ranks.is_empty(),
+                "rank {r} must end with everyone live, got {:?}",
+                rep.dead_ranks
+            );
+            assert!(rep.final_loss.is_finite());
+        }
+        assert_eq!(reports[1].rejoins, 1, "rank 1 must rejoin exactly once");
+        assert!(
+            reports[1].transfer_bytes > 0,
+            "the rejoiner must account the state it applied"
+        );
+        let donors: u64 = reports
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| *r != 1)
+            .map(|(_, rep)| rep.transfer_bytes)
+            .sum();
+        assert!(donors > 0, "some survivor must have streamed state");
+        // Membership epochs converge: one bump for the burial, one for the
+        // rejoin, identical everywhere.
+        for (r, rep) in reports.iter().enumerate() {
+            assert_eq!(
+                rep.final_epoch, 2,
+                "rank {r} final epoch {} (transitions {:?})",
+                rep.final_epoch, rep.epoch_transitions
+            );
+        }
+        for r in [0usize, 2, 3] {
+            assert_eq!(
+                reports[r].epoch_transitions,
+                vec![1, 2],
+                "survivor {r} must observe burial then rejoin"
+            );
+        }
+        assert_eq!(
+            reports[1].epoch_transitions,
+            vec![2],
+            "the rejoiner adopts the post-rejoin epoch it was invited into"
+        );
+    }
+
+    #[test]
+    fn rejoin_epoch_transitions_replay_bit_identically() {
+        let cfg = FtConfig::tiny(10).with_seed(9);
+        let run = || {
+            let plan = FaultPlan::seeded(5)
+                .kill_after(1, 60)
+                .revive_after(1, 100)
+                .with_recv_deadline(Duration::from_millis(300));
+            Fabric::run_with_faults(Topology::new(2, 2), plan, |mut h| run_ft_rank(&mut h, &cfg))
+        };
+        let (a, b) = (run(), run());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.epoch_transitions, rb.epoch_transitions);
+            assert_eq!(ra.final_epoch, rb.final_epoch);
+            assert_eq!(ra.rejoins, rb.rejoins);
+            assert_eq!(ra.transfer_bytes, rb.transfer_bytes);
+            // Bitwise so the rejoiner's NaN gap entries compare equal too.
+            let bits = |c: &[f32]| c.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&ra.loss_curve), bits(&rb.loss_curve));
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Expert-parallel MoE execution over the rank fabric.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
@@ -11,7 +12,7 @@ use schemoe_collectives::{
 };
 use schemoe_compression::Compressor;
 use schemoe_obs as obs;
-use schemoe_scheduler::executor::{run_overlapped, ExecTask, Worker};
+use schemoe_scheduler::executor::{run_overlapped_cancellable, ExecTask, Worker};
 use schemoe_tensor::nn::Param;
 use schemoe_tensor::Tensor;
 
@@ -143,11 +144,22 @@ impl DistributedMoeLayer {
 
     /// Declares `rank` dead: its experts leave the routing table (the gate
     /// renormalizes over survivors) and every exchange skips it. The next
-    /// forward runs in degraded mode — serially, with a quality warning
-    /// recorded on the `degraded` span and counter — instead of hanging on
-    /// the dead peer.
+    /// forward runs in degraded mode — with a quality warning recorded on
+    /// the `degraded` span and counter — instead of hanging on the dead
+    /// peer. With at least two live ranks the overlapped (r > 1) pipeline
+    /// keeps running over the survivors; only a world shrunk to one live
+    /// rank falls back to the serial path.
     pub fn mark_rank_dead(&mut self, rank: usize) {
         self.dead_ranks.insert(rank);
+    }
+
+    /// The inverse of [`mark_rank_dead`](Self::mark_rank_dead): `rank` has
+    /// rejoined (its state was restored by the rejoin protocol), so its
+    /// experts re-enter the routing table, the gate's normalization expands
+    /// back over them, exchanges include it again, and — once the dead set
+    /// is empty — the forward leaves degraded mode entirely.
+    pub fn mark_rank_alive(&mut self, rank: usize) {
+        self.dead_ranks.remove(&rank);
     }
 
     /// The ranks currently declared dead, ascending.
@@ -285,15 +297,20 @@ impl DistributedMoeLayer {
     /// serial or overlapped implementation per the configured
     /// [`partition_degree`](Self::partition_degree); both produce
     /// bit-identical outputs.
+    ///
+    /// Degraded mode does not force the serial path: the per-chunk
+    /// exchanges are already direct tagged sends, so as long as at least
+    /// two ranks are live the overlapped pipeline simply routes around the
+    /// dead peers. Only a world shrunk to a single live rank (where there
+    /// is no communication left to overlap) falls back to serial.
     pub fn forward(
         &mut self,
         h: &mut RankHandle,
         x: &Tensor,
         tag_base: u64,
     ) -> Result<Tensor, FabricError> {
-        if self.partition_degree <= 1 || self.is_degraded() {
-            // Degraded mode always runs serially: the overlapped pipeline's
-            // structured exchanges assume a full-world schedule.
+        let live = h.world_size() - self.dead_ranks.len();
+        if self.partition_degree <= 1 || live < 2 {
             self.forward_serial(h, x, tag_base)
         } else {
             self.forward_overlapped(h, x, tag_base)
@@ -518,7 +535,11 @@ impl DistributedMoeLayer {
     /// The per-chunk exchanges are direct tagged sends at
     /// `chunk_tag(tag_base, lane, c)` — with `r` exchanges in flight per
     /// lane, structured A2A algorithms (which assume exclusive tag windows
-    /// and whole-layer payloads) do not apply.
+    /// and whole-layer payloads) do not apply. That is also why degraded
+    /// mode composes with overlap: each per-chunk exchange independently
+    /// skips dead peers ([`exchange_live`](Self::exchange_live)) and
+    /// substitutes zero-row placeholders, while the masked gate guarantees
+    /// no rows were routed to a dead rank's experts in the first place.
     fn forward_overlapped(
         &mut self,
         h: &mut RankHandle,
@@ -531,15 +552,37 @@ impl DistributedMoeLayer {
         let n = x.dims()[0];
         let epr = self.experts_per_rank;
         let timeout = self.recv_timeout;
+        // Degraded mode: record the quality warning (span + counter) and
+        // route around the dead ranks' experts, exactly as the serial path.
+        let _degraded_span = self.is_degraded().then(|| {
+            obs::counters_for_rank(h.rank()).add_degraded_step();
+            obs::span(
+                "degraded",
+                format!("degraded step ({} dead)", self.dead_ranks.len()),
+            )
+        });
         let decision = {
             let _g = obs::span("gate", "gate");
-            self.gate.forward(x)
+            if self.is_degraded() {
+                let mask = self.dead_expert_mask(p);
+                self.gate.forward_masked(x, Some(&mask))
+            } else {
+                self.gate.forward(x)
+            }
         };
         let decision_ref = &decision;
 
         // Field split: pipeline closures share the compressor immutably
         // while the expert list is handed to the compute stages mutably.
         let compressor: &dyn Compressor = self.compressor.as_ref();
+        let dead = &self.dead_ranks;
+        // With dead peers, every per-chunk exchange swaps their inbound
+        // chunks for this encoding of zero rows per local expert.
+        let placeholder = (!self.dead_ranks.is_empty()).then(|| {
+            let empty = vec![Tensor::zeros(&[0, m]); epr];
+            Self::encode_chunk(compressor, &empty, m)
+        });
+        let placeholder = placeholder.as_ref();
         let experts = Mutex::new(&mut self.local_experts);
         let handle = Mutex::new(h);
 
@@ -559,8 +602,11 @@ impl DistributedMoeLayer {
             (0..r).map(|_| Mutex::new(None)).collect();
         let chunk_returned: Vec<Mutex<Option<Vec<Vec<Tensor>>>>> =
             (0..r).map(|_| Mutex::new(None)).collect();
-        // First fabric error wins; later tasks short-circuit on it.
+        // First fabric error wins; later tasks short-circuit on it, and the
+        // cancel flag tells the executor to skip queued lanes outright —
+        // one dead peer must cost one receive deadline, not one per lane.
         let error: Mutex<Option<FabricError>> = Mutex::new(None);
+        let cancel = AtomicBool::new(false);
 
         // Task indices: C1ᶜ = c, A2A1ᶜ = r+c, (D1·E·C2)ᶜ = 2r+c,
         // A2A2ᶜ = 3r+c, D2ᶜ = 4r+c.
@@ -599,6 +645,7 @@ impl DistributedMoeLayer {
             let dispatched = &dispatched[c];
             let handle = &handle;
             let error = &error;
+            let cancel = &cancel;
             tasks.push(ExecTask {
                 worker: Worker::Comm,
                 deps: vec![c],
@@ -608,10 +655,17 @@ impl DistributedMoeLayer {
                         return;
                     };
                     let tag = chunk_tag(tag_base, lanes::LANE_DISPATCH, c);
-                    match Self::exchange(&mut handle.lock(), chunks, tag, timeout) {
+                    let result = match placeholder {
+                        Some(ph) => {
+                            Self::exchange_live(&mut handle.lock(), chunks, tag, dead, ph, timeout)
+                        }
+                        None => Self::exchange(&mut handle.lock(), chunks, tag, timeout),
+                    };
+                    match result {
                         Ok(got) => *dispatched.lock() = Some(got),
                         Err(e) => {
                             error.lock().get_or_insert(e);
+                            cancel.store(true, Ordering::Release);
                         }
                     }
                 }),
@@ -686,6 +740,7 @@ impl DistributedMoeLayer {
             let combined = &combined[c];
             let handle = &handle;
             let error = &error;
+            let cancel = &cancel;
             tasks.push(ExecTask {
                 worker: Worker::Comm,
                 deps: vec![2 * r + c],
@@ -695,10 +750,17 @@ impl DistributedMoeLayer {
                         return;
                     };
                     let tag = chunk_tag(tag_base, lanes::LANE_COMBINE, c);
-                    match Self::exchange(&mut handle.lock(), chunks, tag, timeout) {
+                    let result = match placeholder {
+                        Some(ph) => {
+                            Self::exchange_live(&mut handle.lock(), chunks, tag, dead, ph, timeout)
+                        }
+                        None => Self::exchange(&mut handle.lock(), chunks, tag, timeout),
+                    };
+                    match result {
                         Ok(got) => *combined.lock() = Some(got),
                         Err(e) => {
                             error.lock().get_or_insert(e);
+                            cancel.store(true, Ordering::Release);
                         }
                     }
                 }),
@@ -723,7 +785,7 @@ impl DistributedMoeLayer {
                 }),
             });
         }
-        let exec_result = run_overlapped(tasks);
+        let exec_result = run_overlapped_cancellable(tasks, &cancel);
 
         // A comm lane that failed records its typed error in the mailbox
         // and the dependent tasks skip; prefer that over the executor's
@@ -1368,10 +1430,10 @@ mod tests {
     }
 
     #[test]
-    fn degraded_mode_forces_the_serial_path_and_still_completes() {
-        // A layer configured for overlapped execution falls back to the
-        // serial degraded path when a rank dies (the structured pipeline
-        // assumes a full world).
+    fn a_single_live_rank_falls_back_to_the_serial_path_and_still_completes() {
+        // With only one rank left alive there is no communication to
+        // overlap, so a layer configured for overlapped execution falls
+        // back to the serial degraded path and still completes.
         let topo = Topology::new(1, 2);
         let n_local = 5;
         let dead = 1usize;
@@ -1400,6 +1462,184 @@ mod tests {
         let y = outs[0].as_ref().unwrap();
         assert!(y.all_finite());
         assert!(y.data().iter().any(|&v| v.abs() > 1e-6));
+    }
+
+    /// Per-rank (forward, dx, grads) for a degraded run at the given
+    /// partition degree: `dead` never joins, survivors mark it dead.
+    #[allow(clippy::type_complexity)]
+    fn degraded_run(
+        topo: Topology,
+        dead: usize,
+        degree: usize,
+        x_global: &Tensor,
+        n_local: usize,
+    ) -> Vec<Option<(Tensor, Tensor, Vec<Vec<f32>>)>> {
+        let p = topo.world_size();
+        Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            if me == dead {
+                return None;
+            }
+            let gate = make_gate(p, 2, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            )
+            .with_partition_degree(degree)
+            .with_recv_timeout(std::time::Duration::from_secs(30));
+            layer.mark_rank_dead(dead);
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = layer.forward(&mut h, &x, 0).unwrap();
+            let dx = layer.backward(&mut h, &y).unwrap();
+            let mut grads = Vec::new();
+            layer.visit_params(&mut |prm| grads.push(prm.grad.data().to_vec()));
+            Some((y, dx, grads))
+        })
+    }
+
+    #[test]
+    fn degraded_overlapped_forward_matches_degraded_serial_bit_for_bit() {
+        // Satellite of the elastic-membership work: losing a rank must not
+        // cost the overlap. With three live peers the overlapped pipeline
+        // keeps running (masked gate + live-aware per-chunk exchanges) and
+        // reproduces the degraded serial path exactly.
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        let n_local = 6;
+        let dead = 3usize;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(43));
+        let serial = degraded_run(topo, dead, 1, &x_global, n_local);
+        for degree in [2, 4] {
+            let overlapped = degraded_run(topo, dead, degree, &x_global, n_local);
+            for me in 0..p {
+                if me == dead {
+                    assert!(overlapped[me].is_none());
+                    continue;
+                }
+                let (ys, dxs, gs) = serial[me].as_ref().unwrap();
+                let (yo, dxo, go) = overlapped[me].as_ref().unwrap();
+                assert_eq!(
+                    yo.max_abs_diff(ys).unwrap(),
+                    0.0,
+                    "degree {degree} rank {me} forward diverged"
+                );
+                assert_eq!(
+                    dxo.max_abs_diff(dxs).unwrap(),
+                    0.0,
+                    "degree {degree} rank {me} dx diverged"
+                );
+                assert_eq!(go, gs, "degree {degree} rank {me} param grads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_steps_with_live_peers_still_overlap() {
+        // Regression for the old `is_degraded() → forward_serial` fallback:
+        // a degraded step with live peers must still run the chunked
+        // pipeline. Partition degree 17 is unique in this test binary, so
+        // the `A1[c16]` span can only come from this run.
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        let n_local = 6;
+        let dead = 2usize;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(44));
+        obs::enable();
+        let degraded_deltas = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            if me == dead {
+                return 0;
+            }
+            let before = obs::counters_for_rank(me).snapshot().degraded_steps;
+            let gate = make_gate(p, 2, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            )
+            .with_partition_degree(17)
+            .with_recv_timeout(std::time::Duration::from_secs(30));
+            layer.mark_rank_dead(dead);
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = layer.forward(&mut h, &x, 0).unwrap();
+            assert!(y.all_finite());
+            obs::counters_for_rank(me).snapshot().degraded_steps - before
+        });
+        let trace = obs::take();
+        obs::disable();
+        for (r, delta) in degraded_deltas.iter().enumerate() {
+            if r != dead {
+                assert!(*delta >= 1, "rank {r} did not record a degraded step");
+            }
+        }
+        let has = |name: &str| trace.spans.iter().any(|s| s.name == name);
+        assert!(
+            has("A1[c16]") && has("A2[c16]"),
+            "degraded run did not produce per-chunk overlap spans"
+        );
+        assert!(
+            trace.spans.iter().any(|s| s.cat == "degraded"),
+            "degraded run did not record the degraded span"
+        );
+    }
+
+    #[test]
+    fn mark_rank_alive_restores_full_capacity_bit_for_bit() {
+        // Kill rank 1, run a degraded step, revive it, and check the next
+        // step is indistinguishable from one that never degraded: the gate
+        // expands back over the returned experts and the overlapped path
+        // re-engages.
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        let n_local = 5;
+        let dead = 1usize;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(45));
+        let outs = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            let gate = make_gate(p, 2, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            )
+            .with_partition_degree(2)
+            .with_recv_timeout(std::time::Duration::from_secs(30));
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            // Step 0: full world, baseline output.
+            let baseline = layer.forward(&mut h, &x, 0).unwrap();
+            // Step 1: rank 1 is out; survivors run degraded.
+            if me != dead {
+                layer.mark_rank_dead(dead);
+                assert!(layer.is_degraded());
+                layer.forward(&mut h, &x, TAG_STRIDE).unwrap();
+                layer.mark_rank_alive(dead);
+                assert!(!layer.is_degraded());
+            }
+            // Step 2: the revived rank is back; full-capacity output must
+            // match the baseline exactly.
+            let after = layer.forward(&mut h, &x, 2 * TAG_STRIDE).unwrap();
+            (baseline, after)
+        });
+        for (r, (baseline, after)) in outs.iter().enumerate() {
+            assert_eq!(
+                after.max_abs_diff(baseline).unwrap(),
+                0.0,
+                "rank {r} post-rejoin output differs from the never-degraded baseline"
+            );
+        }
     }
 
     #[test]

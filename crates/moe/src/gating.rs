@@ -529,6 +529,23 @@ mod tests {
     }
 
     #[test]
+    fn unmasking_restores_the_unmasked_decision_exactly() {
+        // Re-expansion after a rank rejoin: masking is purely per-call
+        // state, so a gate that routed around a dead expert produces the
+        // original full-world decision — same assignments, same
+        // renormalized weights — as soon as the mask is lifted.
+        let x = rng::uniform(&[16, 8], 1.0, &mut seeded(35));
+        let mut survivor = gate(2, 4.0);
+        let masked = survivor.forward_masked(&x, Some(&[false, false, true, false]));
+        assert_eq!(masked.expert_slots[2].len(), 0);
+        let expanded = survivor.forward_masked(&x, None);
+        let mut fresh = gate(2, 4.0);
+        let want = fresh.forward(&x);
+        assert_eq!(expanded.assignments, want.assignments);
+        assert_eq!(expanded.expert_slots, want.expert_slots);
+    }
+
+    #[test]
     fn next_best_overflow_reroutes_instead_of_dropping() {
         // Tight capacity: Drop loses assignments, NextBest finds room.
         let x = rng::uniform(&[32, 8], 1.0, &mut seeded(21));

@@ -50,7 +50,9 @@ pub mod counters;
 pub mod json;
 pub mod recorder;
 
-pub use counters::{counters_for_rank, reset_counters, CounterSnapshot, RankCounters};
+pub use counters::{
+    counters_for_rank, reset_counters, CounterSnapshot, RankCounters, WaitHistogram,
+};
 pub use recorder::{
     disable, enable, enabled, set_thread_name, set_thread_rank, span, span_sized, take,
     thread_rank, FuncTrace, SpanGuard, SpanRecord,

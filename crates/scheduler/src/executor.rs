@@ -8,6 +8,7 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -130,6 +131,26 @@ impl DoneBoard {
 /// still marked complete so neither worker blocks on a dependency), and
 /// the error is returned after both workers join.
 pub fn run_overlapped(tasks: Vec<ExecTask<'_>>) -> Result<(), ExecError> {
+    run_overlapped_cancellable(tasks, &AtomicBool::new(false))
+}
+
+/// Like [`run_overlapped`], but the submitter's task closures can call the
+/// rest of the pipeline off by setting `cancel`.
+///
+/// Once the flag is set, every not-yet-started task is skipped — still
+/// marked complete, so neither worker ever blocks on a dependency — and
+/// both workers join promptly. This is how the fault-tolerant MoE forward
+/// bounds a degraded step: the first lane that hits a dead peer records
+/// its typed error and cancels the remaining comm lanes, instead of
+/// letting each of them burn a full receive deadline against a peer that
+/// is already known to be gone. Cancellation is cooperative and racy by
+/// design — a task already running is never interrupted — and a cancelled
+/// pipeline returns `Ok`; the submitter reports its own reason for the
+/// cancel (the executor has no channel to carry it).
+pub fn run_overlapped_cancellable(
+    tasks: Vec<ExecTask<'_>>,
+    cancel: &AtomicBool,
+) -> Result<(), ExecError> {
     let n = tasks.len();
     let board = Arc::new(DoneBoard {
         done: Mutex::new(vec![false; n]),
@@ -149,7 +170,7 @@ pub fn run_overlapped(tasks: Vec<ExecTask<'_>>) -> Result<(), ExecError> {
     let drain = |worker: Worker, queue: Vec<Queued<'_>>| {
         for (idx, deps, span, run) in queue {
             board.wait_for(&deps);
-            if failure.lock().is_none() {
+            if failure.lock().is_none() && !cancel.load(Ordering::Acquire) {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_task(span, run))) {
                     let mut slot = failure.lock();
                     if slot.is_none() {
@@ -333,6 +354,54 @@ mod tests {
         let err = run_overlapped(tasks).unwrap_err();
         assert_eq!(err.worker, Worker::Compute);
         assert!(err.detail.contains("expert kernel died"));
+    }
+
+    #[test]
+    fn cancel_skips_the_remaining_tasks_without_wedging_either_worker() {
+        // Task 1 (comm) cancels the pipeline; task 2 (compute, dependent on
+        // a comm task that never produces) must be skipped — not run, not
+        // hung on the dependency — and the run still returns Ok: cancelling
+        // is the submitter's verdict, not the executor's.
+        let cancel = AtomicBool::new(false);
+        let ran_after = Arc::new(AtomicUsize::new(0));
+        let tasks = vec![
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                span: None,
+                run: Box::new(|| {}),
+            },
+            ExecTask {
+                worker: Worker::Comm,
+                deps: vec![0],
+                span: None,
+                run: Box::new(|| cancel.store(true, Ordering::Release)),
+            },
+            ExecTask {
+                worker: Worker::Comm,
+                deps: vec![1],
+                span: None,
+                run: {
+                    let c = Arc::clone(&ran_after);
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                },
+            },
+            ExecTask {
+                worker: Worker::Compute,
+                deps: vec![2],
+                span: None,
+                run: {
+                    let c = Arc::clone(&ran_after);
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                },
+            },
+        ];
+        run_overlapped_cancellable(tasks, &cancel).unwrap();
+        assert_eq!(ran_after.load(Ordering::SeqCst), 0, "cancelled task ran");
     }
 
     #[test]

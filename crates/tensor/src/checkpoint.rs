@@ -101,12 +101,12 @@ pub fn save(visit: &mut ParamVisitor<'_>) -> Vec<u8> {
     out
 }
 
-/// Restores a checkpoint into the parameters yielded by `visit`.
-///
-/// Parameters must appear in the same order with the same names and shapes
-/// as at save time (visitor order is deterministic for every model in this
-/// workspace). Gradients are zeroed on restore.
-pub fn load(payload: &[u8], visit: &mut ParamVisitor<'_>) -> Result<(), CheckpointError> {
+/// One parsed checkpoint entry: `(name, dims, data)`.
+type Entry = (String, Vec<usize>, Vec<f32>);
+
+/// Parses a checkpoint's entries and verifies its CRC seal, without
+/// touching any model. The shared front half of [`load`] and [`verify`].
+fn parse(payload: &[u8]) -> Result<Vec<Entry>, CheckpointError> {
     if payload.len() < 4 {
         return Err(CheckpointError::Truncated);
     }
@@ -119,7 +119,7 @@ pub fn load(payload: &[u8], visit: &mut ParamVisitor<'_>) -> Result<(), Checkpoi
         return Err(CheckpointError::BadHeader);
     }
     let count = cursor.u32()? as usize;
-    let mut entries: Vec<(String, Vec<usize>, Vec<f32>)> = Vec::with_capacity(count);
+    let mut entries: Vec<Entry> = Vec::with_capacity(count);
     for _ in 0..count {
         let name_len = cursor.u32()? as usize;
         let name = String::from_utf8(cursor.take(name_len)?.to_vec())
@@ -147,7 +147,27 @@ pub fn load(payload: &[u8], visit: &mut ParamVisitor<'_>) -> Result<(), Checkpoi
     if stored != computed {
         return Err(CheckpointError::Corrupt { stored, computed });
     }
+    Ok(entries)
+}
 
+/// Checks that `payload` is a structurally valid, CRC-sealed checkpoint
+/// without applying it to anything.
+///
+/// The rejoin protocol's parse-then-verify-then-apply discipline hangs on
+/// this: a rank receiving state over the fabric verifies the assembled
+/// payload *before* its first weight is overwritten, so a torn or damaged
+/// transfer rolls back to exactly the pre-transfer state.
+pub fn verify(payload: &[u8]) -> Result<(), CheckpointError> {
+    parse(payload).map(|_| ())
+}
+
+/// Restores a checkpoint into the parameters yielded by `visit`.
+///
+/// Parameters must appear in the same order with the same names and shapes
+/// as at save time (visitor order is deterministic for every model in this
+/// workspace). Gradients are zeroed on restore.
+pub fn load(payload: &[u8], visit: &mut ParamVisitor<'_>) -> Result<(), CheckpointError> {
+    let entries = parse(payload)?;
     let mut idx = 0usize;
     let mut error: Option<CheckpointError> = None;
     visit(&mut |p: &mut Param| {
@@ -364,6 +384,21 @@ mod tests {
             v
         };
         assert_eq!(before, after, "a corrupt load must leave the model intact");
+    }
+
+    #[test]
+    fn verify_checks_the_seal_without_touching_a_model() {
+        let mut model = Linear::new(3, 3, &mut seeded(12));
+        let clean = save(&mut |f| model.visit_params(f));
+        verify(&clean).unwrap();
+        for pos in 0..clean.len() {
+            let mut damaged = clean.clone();
+            damaged[pos] ^= 0x40;
+            assert!(verify(&damaged).is_err(), "flip at {pos} slipped through");
+        }
+        let mut torn = clean.clone();
+        torn.truncate(clean.len() / 2);
+        assert!(verify(&torn).is_err());
     }
 
     #[test]

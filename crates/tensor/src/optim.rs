@@ -54,6 +54,35 @@ impl Sgd {
         self.step_params(&mut |f| module.visit_params(f));
     }
 
+    /// Materializes one velocity slot per parameter yielded by `visit`
+    /// without applying any update, so the optimizer's state can be
+    /// visited (or restored from a peer's) before the first step.
+    pub fn ensure_state(&mut self, visit: &mut ParamWalker<'_>) {
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        visit(&mut |p: &mut Param| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.dims()));
+            }
+            idx += 1;
+        });
+    }
+
+    /// Walks the optimizer's per-parameter state — the momentum velocity
+    /// tensors — as pseudo-parameters named `opt.v{i}`, in step order.
+    ///
+    /// This is how fault-tolerant training ships optimizer state alongside
+    /// model weights during a rank rejoin: the velocities ride the same
+    /// sealed checkpoint format as real parameters. Mutations made by the
+    /// callback to `value` are written back to the velocity.
+    pub fn visit_state(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for (i, v) in self.velocity.iter_mut().enumerate() {
+            let mut p = Param::new(format!("opt.v{i}"), v.clone());
+            f(&mut p);
+            *v = p.value;
+        }
+    }
+
     /// Like [`Self::step`], but over an arbitrary parameter visitor — for
     /// models (whole networks, embeddings) that are not themselves
     /// [`Module`]s.
@@ -242,6 +271,62 @@ mod tests {
         let after = &lin.weight().value;
         let delta = after.max_abs_diff(&before).unwrap();
         assert!(delta <= 1.0 + 1e-5, "update magnitude {delta} exceeds clip");
+    }
+
+    #[test]
+    fn sgd_state_transfer_reproduces_the_donor_trajectory() {
+        // The rejoin scenario: a fresh optimizer that receives a stepped
+        // donor's velocity through visit_state continues bit-identically.
+        let mut rng = rng::seeded(44);
+        let mut donor_model = Linear::new(3, 3, &mut rng);
+        let mut donor = Sgd::new(0.1).with_momentum(0.9);
+        let x = rng::uniform(&[4, 3], 1.0, &mut rng);
+        for _ in 0..3 {
+            let y = donor_model.forward(&x);
+            donor_model.backward(&y);
+            donor.step(&mut donor_model);
+        }
+
+        // Ship weights and velocity, as the rejoin protocol does.
+        let mut weights = Vec::new();
+        donor_model.visit_params(&mut |p| weights.push(p.value.clone()));
+        let mut velocity = Vec::new();
+        donor.visit_state(&mut |p| {
+            assert!(p.name.starts_with("opt.v"), "state name {}", p.name);
+            velocity.push(p.value.clone());
+        });
+        assert!(!velocity.is_empty());
+
+        let mut rejoiner_model = Linear::new(3, 3, &mut rng::seeded(45));
+        let mut wi = 0;
+        rejoiner_model.visit_params(&mut |p| {
+            p.value = weights[wi].clone();
+            wi += 1;
+        });
+        let mut rejoiner = Sgd::new(0.1).with_momentum(0.9);
+        // Without ensure_state the fresh optimizer has no slots to fill.
+        rejoiner.ensure_state(&mut |f| rejoiner_model.visit_params(f));
+        let mut vi = 0;
+        rejoiner.visit_state(&mut |p| {
+            p.value = velocity[vi].clone();
+            vi += 1;
+        });
+        assert_eq!(vi, velocity.len());
+
+        // One more step on each side must agree exactly.
+        for (model, opt) in [
+            (&mut donor_model, &mut donor),
+            (&mut rejoiner_model, &mut rejoiner),
+        ] {
+            let y = model.forward(&x);
+            model.backward(&y);
+            opt.step(model);
+        }
+        let mut donor_after = Vec::new();
+        donor_model.visit_params(&mut |p| donor_after.push(p.value.data().to_vec()));
+        let mut rejoiner_after = Vec::new();
+        rejoiner_model.visit_params(&mut |p| rejoiner_after.push(p.value.data().to_vec()));
+        assert_eq!(donor_after, rejoiner_after);
     }
 
     #[test]

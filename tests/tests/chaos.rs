@@ -18,9 +18,17 @@
 //! inherently a property of the host scheduler, not of the seed. That
 //! phase asserts recovery and integrity counters, not bit-replay.
 //!
+//! A final pair of runs exercises **elastic membership**: the same kill
+//! with a scheduled revival 200 send attempts later. The victim announces
+//! itself, survivors re-admit it under a fresh membership epoch, the donor
+//! streams replicated state, and the cluster ends at full capacity with
+//! every rank on the same epoch — within 5% of the fault-free loss, and
+//! bit-identical (epoch transitions, counters, loss curves) on replay.
+//!
 //! Everything lives in ONE `#[test]`: the obs counter registry is
-//! process-global, so the runs (clean, chaos, replay, lossy) must not
-//! interleave with each other or with other tests in this binary.
+//! process-global, so the runs (clean, chaos, replay, lossy, revive,
+//! revive-replay) must not interleave with each other or with other tests
+//! in this binary.
 //!
 //! `CHAOS_SEED` selects the campaign seed (default 1); CI sweeps several.
 
@@ -38,6 +46,10 @@ const KILLED: usize = 5;
 /// Fires around halfway through the epoch (after the first checkpoint
 /// window, well before the last step).
 const KILL_AFTER_SENDS: u64 = 900;
+/// The revive phase reopens the victim's pipe this many send attempts
+/// after the kill: late enough that survivors have buried it and run
+/// degraded steps, early enough that it rejoins and trains to the end.
+const REVIVE_DELTA: u64 = 200;
 
 fn chaos_seed() -> u64 {
     std::env::var("CHAOS_SEED")
@@ -104,7 +116,7 @@ fn killed_rank_mid_epoch_recovers_and_replays_bit_identically() {
         scenario();
         let _ = tx.send(());
     });
-    match rx.recv_timeout(Duration::from_secs(300)) {
+    match rx.recv_timeout(Duration::from_secs(480)) {
         Ok(()) => {}
         Err(mpsc::RecvTimeoutError::Timeout) => panic!("chaos scenario hung past the watchdog"),
         Err(mpsc::RecvTimeoutError::Disconnected) => panic!("chaos scenario panicked"),
@@ -214,4 +226,89 @@ fn scenario() {
         retries >= 1,
         "corrupted frames must surface as step retries"
     );
+
+    // --- Run 5: kill-then-revive — elastic membership end to end. The
+    // --- same kill, but the victim's pipe reopens 200 send attempts
+    // --- later: it must announce, get re-admitted under a fresh epoch,
+    // --- receive the donor's state, and train to the end.
+    obs::enable();
+    obs::reset_counters();
+    let revive_spec = campaign().with_revive(KILLED, KILL_AFTER_SENDS + REVIVE_DELTA);
+    let revived = run_world(cfg, revive_spec, Topology::new(2, 4));
+    let revive_counters = deterministic_counters(WORLD);
+    let _ = obs::take();
+
+    for (r, rep) in revived.iter().enumerate() {
+        assert_eq!(rep.died_at_step, None, "rank {r} must end the run alive");
+        assert!(
+            rep.dead_ranks.is_empty(),
+            "rank {r} must end at full capacity, believes {:?} dead",
+            rep.dead_ranks
+        );
+        assert!(rep.final_loss.is_finite());
+    }
+    assert_eq!(
+        revived[KILLED].rejoins, 1,
+        "the revived rank must rejoin exactly once"
+    );
+    assert!(
+        revived[KILLED].transfer_bytes > 0,
+        "the rejoiner must apply a state transfer"
+    );
+    let donor_bytes: u64 = revived
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| *r != KILLED)
+        .map(|(_, rep)| rep.transfer_bytes)
+        .sum();
+    assert!(donor_bytes > 0, "some survivor must donate state");
+    // Membership converges: every rank ends at the same epoch, and at
+    // least two transitions happened (burial, then rejoin).
+    let final_epoch = revived[0].final_epoch;
+    assert!(final_epoch >= 2, "burial + rejoin must both bump the epoch");
+    for (r, rep) in revived.iter().enumerate() {
+        assert_eq!(
+            rep.final_epoch, final_epoch,
+            "rank {r} ends at epoch {} but rank 0 at {final_epoch} \
+             (transitions {:?})",
+            rep.final_epoch, rep.epoch_transitions
+        );
+    }
+    // Rejoin must cost less accuracy than staying degraded: within 5% of
+    // the fault-free final loss.
+    let revive_loss = survivor_mean_loss(&revived);
+    assert!(
+        (revive_loss - clean_loss).abs() <= 0.05 * clean_loss,
+        "revive loss {revive_loss} strays more than 5% from fault-free {clean_loss}"
+    );
+
+    // --- Run 6: the revive campaign replayed — epoch transitions,
+    // --- recovery counters, and loss curves are pure in the seed.
+    obs::reset_counters();
+    let revive_replay = run_world(cfg, revive_spec, Topology::new(2, 4));
+    let revive_counters_replay = deterministic_counters(WORLD);
+    let _ = obs::take();
+    obs::disable();
+
+    assert_eq!(
+        revive_counters, revive_counters_replay,
+        "the revive campaign must inject the same fault sequence"
+    );
+    for (r, (a, b)) in revived.iter().zip(revive_replay.iter()).enumerate() {
+        assert_eq!(
+            a.epoch_transitions, b.epoch_transitions,
+            "rank {r} epoch transitions are not bit-identical"
+        );
+        assert_eq!(a.final_epoch, b.final_epoch, "rank {r} final epoch differs");
+        assert_eq!(a.rejoins, b.rejoins, "rank {r} rejoin count differs");
+        assert_eq!(
+            a.transfer_bytes, b.transfer_bytes,
+            "rank {r} transfer bytes differ"
+        );
+        assert_eq!(a.retries, b.retries, "rank {r} retry count differs");
+        assert_eq!(a.restores, b.restores, "rank {r} restore count differs");
+        let bits_a: Vec<u32> = a.loss_curve.iter().map(|l| l.to_bits()).collect();
+        let bits_b: Vec<u32> = b.loss_curve.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "rank {r} loss curve is not bit-identical");
+    }
 }

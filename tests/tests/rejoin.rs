@@ -1,0 +1,164 @@
+//! Torn state transfers: the rejoin protocol's parse-then-verify-then-apply
+//! discipline under donor death and link damage.
+//!
+//! These tests drive [`schemoe_models::ft::stream_state`] /
+//! [`receive_state`](schemoe_models::ft::receive_state) directly — the same
+//! functions the elastic-membership rejoin path uses — and assert the
+//! failure contract: a transfer torn by a donor killed mid-stream, or
+//! damaged by a fully corrupting link, leaves the rejoiner's weights
+//! bit-for-bit untouched and its membership epoch unchanged. Nothing is
+//! applied until the reassembled payload's checkpoint seal verifies.
+
+use std::time::Duration;
+
+use schemoe_cluster::{Fabric, FaultPlan, LinkFaults, Topology};
+use schemoe_collectives::NcclA2A;
+use schemoe_compression::NoCompression;
+use schemoe_models::ft::{
+    apply_replicated_state, receive_state, replicated_state_payload, stream_state,
+};
+use schemoe_moe::{DistributedMoeLayer, Expert, FfExpert, TopKGate};
+use schemoe_tensor::checkpoint;
+use schemoe_tensor::nn::{Embedding, Linear, Module};
+use schemoe_tensor::optim::Sgd;
+use schemoe_tensor::rng::seeded;
+
+const VOCAB: usize = 16;
+const DIM: usize = 16;
+const HIDDEN: usize = 32;
+const XFER_TAG: u64 = 1 << 40;
+
+/// The model triple + optimizer of one rank, shaped like the FT trainer's
+/// but seeded per rank so donor and rejoiner start with different weights.
+fn rank_state(seed: u64, world: usize) -> (Embedding, DistributedMoeLayer, Linear, Sgd) {
+    let embed = Embedding::new(VOCAB, DIM, &mut seeded(seed ^ 0xE3BED));
+    let gate = TopKGate::new(DIM, world, 2, 2.0, &mut seeded(seed ^ 0x6A7E));
+    let expert: Box<dyn Expert> = Box::new(FfExpert::new(DIM, HIDDEN, &mut seeded(seed ^ 0xE8)));
+    let moe = DistributedMoeLayer::new(
+        gate,
+        vec![expert],
+        Box::new(NoCompression),
+        Box::new(NcclA2A),
+    );
+    let head = Linear::new(DIM, VOCAB, &mut seeded(seed ^ 0x4EAD));
+    (embed, moe, head, Sgd::new(0.1))
+}
+
+/// Serializes every parameter (replicated and expert) for bit-exact
+/// comparison.
+fn full_snapshot(
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+) -> Vec<u8> {
+    checkpoint::save(&mut |f| {
+        embed.visit_params(f);
+        moe.visit_params(f);
+        head.visit_params(f);
+    })
+}
+
+#[test]
+fn a_donor_killed_mid_stream_leaves_the_rejoiner_untouched() {
+    // The donor dies after 3 sends: past the header copies, inside the
+    // chunk stream — the canonical torn transfer.
+    let plan = FaultPlan::seeded(21)
+        .kill_after(0, 3)
+        .with_recv_deadline(Duration::from_millis(200));
+    let results = Fabric::run_with_faults(Topology::new(1, 2), plan, |mut h| {
+        let (mut embed, mut moe, mut head, mut opt) = rank_state(100 + h.rank() as u64, 2);
+        if h.rank() == 0 {
+            // Donor half: the stream must fail loudly with its own death,
+            // never complete silently.
+            let payload = replicated_state_payload(&mut embed, &mut moe, &mut head, &mut opt);
+            assert!(payload.len() > 3 * 1024, "payload too small to tear");
+            stream_state(&mut h, 1, XFER_TAG, &payload).is_err()
+        } else {
+            let before = full_snapshot(&mut embed, &mut moe, &mut head);
+            let epoch_before = h.epoch();
+            let got = receive_state(&mut h, 0, XFER_TAG, Duration::from_millis(300));
+            assert!(got.is_err(), "a torn transfer must not verify");
+            // Rollback contract: receive failed, so nothing was applied —
+            // weights bit-identical, epoch unchanged.
+            let after = full_snapshot(&mut embed, &mut moe, &mut head);
+            assert_eq!(before, after, "partial state leaked into the model");
+            assert_eq!(h.epoch(), epoch_before, "epoch must not move on failure");
+            true
+        }
+    });
+    assert!(results[0], "the donor must observe its mid-stream death");
+    assert!(results[1]);
+}
+
+#[test]
+fn a_fully_corrupting_link_cannot_install_partial_state() {
+    // Every frame on the donor -> rejoiner link is bit-flipped, so every
+    // copy of every chunk fails the wire CRC. The reassembly must fail
+    // before verification ever sees a payload.
+    let plan = FaultPlan::seeded(22)
+        .with_link(
+            0,
+            1,
+            LinkFaults {
+                corrupt_prob: 1.0,
+                ..LinkFaults::default()
+            },
+        )
+        .with_recv_deadline(Duration::from_millis(200));
+    let results = Fabric::run_with_faults(Topology::new(1, 2), plan, |mut h| {
+        let (mut embed, mut moe, mut head, mut opt) = rank_state(200 + h.rank() as u64, 2);
+        if h.rank() == 0 {
+            let payload = replicated_state_payload(&mut embed, &mut moe, &mut head, &mut opt);
+            // The link eats the frames after sending; the donor survives.
+            stream_state(&mut h, 1, XFER_TAG, &payload).is_ok()
+        } else {
+            let before = full_snapshot(&mut embed, &mut moe, &mut head);
+            let got = receive_state(&mut h, 0, XFER_TAG, Duration::from_millis(300));
+            assert!(got.is_err(), "corrupted chunks must not reassemble");
+            let after = full_snapshot(&mut embed, &mut moe, &mut head);
+            assert_eq!(before, after, "partial state leaked into the model");
+            true
+        }
+    });
+    assert!(results[0], "a corrupting link must not kill the donor");
+    assert!(results[1]);
+}
+
+#[test]
+fn an_intact_transfer_applies_atomically_and_matches_the_donor() {
+    // Control case: same protocol, healthy wire. The rejoiner's replicated
+    // parameters become bit-identical to the donor's; its expert — never
+    // part of the transfer — keeps its own weights.
+    let plan = FaultPlan::seeded(23).with_recv_deadline(Duration::from_millis(500));
+    let results = Fabric::run_with_faults(Topology::new(1, 2), plan, |mut h| {
+        let (mut embed, mut moe, mut head, mut opt) = rank_state(300 + h.rank() as u64, 2);
+        if h.rank() == 0 {
+            let payload = replicated_state_payload(&mut embed, &mut moe, &mut head, &mut opt);
+            stream_state(&mut h, 1, XFER_TAG, &payload).expect("healthy stream");
+            payload
+        } else {
+            let mut expert_before = Vec::new();
+            moe.visit_params(&mut |p| {
+                if !p.name.starts_with("gate.") {
+                    expert_before.extend_from_slice(p.value.data());
+                }
+            });
+            let payload =
+                receive_state(&mut h, 0, XFER_TAG, Duration::from_secs(2)).expect("verified");
+            apply_replicated_state(&payload, &mut embed, &mut moe, &mut head, &mut opt)
+                .expect("verified payload applies");
+            let mut expert_after = Vec::new();
+            moe.visit_params(&mut |p| {
+                if !p.name.starts_with("gate.") {
+                    expert_after.extend_from_slice(p.value.data());
+                }
+            });
+            assert_eq!(expert_before, expert_after, "experts are rank-local");
+            payload
+        }
+    });
+    // The rejoiner received the donor's exact sealed payload, so its
+    // replicated state now equals the donor's bit for bit.
+    assert_eq!(results[0], results[1]);
+    assert!(!results[0].is_empty());
+}
