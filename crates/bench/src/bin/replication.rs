@@ -1,0 +1,189 @@
+//! Buddy-replication benchmark: what does keeping every expert's warm
+//! replica cost, and what does it buy at failover?
+//!
+//! Three phases over the 8-rank fault-tolerant trainer:
+//!
+//! 1. **Steady-state overhead** — fault-free runs at `K = 0` vs `K = 8`,
+//!    best-of-N wall time each. Replication streams delta frames to the
+//!    buddy through the overlap executor, so the gate demands the cost
+//!    stays under 10% of baseline step time. The loss curves must also
+//!    stay bit-identical: replication is observability, not arithmetic.
+//! 2. **Failover staleness** — kill the victim mid-epoch and report how
+//!    many committed steps the activated replica lagged behind (bounded
+//!    by the quantum `K`).
+//! 3. **Handback** — revive the victim and report the bytes the buddy
+//!    streamed back when returning the hosted expert.
+//!
+//! Emits machine-readable `BENCH_*` lines and a `BENCH_replication.json`
+//! report that CI archives next to the recovery report.
+//!
+//! `CHAOS_SEED` (or the first CLI argument) selects the campaign seed.
+
+use std::time::{Duration, Instant};
+
+use schemoe::prelude::*;
+use schemoe_models::{run_ft_rank, FtConfig, FtReport};
+
+const WORLD: usize = 8;
+/// Steady-state phase: long enough to amortize thread spawn and hit
+/// eleven replication quanta at `K = 8`.
+const OVERHEAD_STEPS: usize = 96;
+/// Failover phases reuse the chaos-campaign shape.
+const FAULT_STEPS: usize = 20;
+const K: usize = 8;
+const REPS: usize = 5;
+const KILLED: usize = 5;
+const BUDDY: usize = (KILLED + 1) % WORLD;
+const KILL_AFTER_SENDS: u64 = 900;
+const REVIVE_DELTA: u64 = 200;
+/// The steady-state gate: replication must cost under 10% of step time.
+const OVERHEAD_GATE_PCT: f64 = 10.0;
+
+fn seed() -> u64 {
+    std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("CHAOS_SEED").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn ft_config(steps: usize, interval: usize) -> FtConfig {
+    let mut cfg = ReplicaSpec::every(interval).apply(FtConfig::tiny(steps).with_seed(40));
+    cfg.vote_timeout_ms = 400;
+    cfg
+}
+
+fn run_world(cfg: FtConfig, spec: Option<FaultSpec>) -> Vec<FtReport> {
+    let topo = Topology::new(2, 4);
+    match spec {
+        Some(spec) => {
+            let plan = ScheMoeConfig::serial()
+                .with_faults(spec)
+                .fault_plan()
+                .expect("campaign configured");
+            Fabric::run_with_faults(topo, plan, move |mut h| run_ft_rank(&mut h, &cfg))
+        }
+        None => Fabric::run(topo, move |mut h| run_ft_rank(&mut h, &cfg)),
+    }
+}
+
+/// Best-of-N wall time for two fault-free worlds, measured back to back
+/// in each rep so machine-load drift hits both configurations alike.
+/// Returns the best times and the last reports for the bit-identity
+/// check.
+#[allow(clippy::type_complexity)]
+fn time_worlds(
+    cfg_a: FtConfig,
+    cfg_b: FtConfig,
+) -> (Duration, Duration, Vec<FtReport>, Vec<FtReport>) {
+    let mut best_a = Duration::MAX;
+    let mut best_b = Duration::MAX;
+    let mut reports_a = Vec::new();
+    let mut reports_b = Vec::new();
+    for _ in 0..REPS {
+        let start = Instant::now();
+        reports_a = run_world(cfg_a, None);
+        best_a = best_a.min(start.elapsed());
+        let start = Instant::now();
+        reports_b = run_world(cfg_b, None);
+        best_b = best_b.min(start.elapsed());
+    }
+    (best_a, best_b, reports_a, reports_b)
+}
+
+fn main() {
+    let seed = seed();
+    println!(
+        "replication: {WORLD} ranks, quantum K={K}, overhead over {OVERHEAD_STEPS} steps \
+         (best of {REPS}), kill rank {KILLED} after {KILL_AFTER_SENDS} sends, seed {seed}\n"
+    );
+
+    // --- Phase 1: steady-state overhead, K = 0 vs K = 8. ---
+    let (t_base, t_repl, base, repl) =
+        time_worlds(ft_config(OVERHEAD_STEPS, 0), ft_config(OVERHEAD_STEPS, K));
+
+    for (r, (a, b)) in base.iter().zip(repl.iter()).enumerate() {
+        let bits_a: Vec<u32> = a.loss_curve.iter().map(|l| l.to_bits()).collect();
+        let bits_b: Vec<u32> = b.loss_curve.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(
+            bits_a, bits_b,
+            "rank {r}: replication must not perturb the loss curve"
+        );
+    }
+    let quanta: u64 = repl.iter().map(|r| r.replica_quanta).sum();
+    let replica_bytes: u64 = repl.iter().map(|r| r.replica_bytes).sum();
+    assert!(quanta > 0, "the replicated run must have streamed frames");
+    let overhead_pct = (t_repl.as_secs_f64() - t_base.as_secs_f64()) / t_base.as_secs_f64() * 100.0;
+    let step_base_ms = t_base.as_secs_f64() * 1e3 / OVERHEAD_STEPS as f64;
+    let step_repl_ms = t_repl.as_secs_f64() * 1e3 / OVERHEAD_STEPS as f64;
+    println!(
+        "steady state: {step_base_ms:.3} ms/step bare, {step_repl_ms:.3} ms/step replicated \
+         ({overhead_pct:+.2}%), {quanta} quanta / {replica_bytes} B streamed"
+    );
+
+    // --- Phase 2: failover staleness under the kill campaign. ---
+    let spec = FaultSpec::seeded(seed)
+        .with_kill(KILLED, KILL_AFTER_SENDS)
+        .with_recv_deadline_ms(800);
+    let killed = run_world(ft_config(FAULT_STEPS, K), Some(spec));
+    let died_at = killed[KILLED]
+        .died_at_step
+        .expect("the victim must observe its own death");
+    assert_eq!(
+        killed[BUDDY].failover_activations, 1,
+        "the buddy must activate the replica exactly once"
+    );
+    let staleness = killed[BUDDY].failover_staleness_steps[0];
+    assert!(
+        staleness <= K as u64,
+        "staleness {staleness} exceeds quantum {K}"
+    );
+    println!(
+        "failover: rank {KILLED} died at step {died_at}, buddy {BUDDY} activated a replica \
+         {staleness} steps stale (quantum {K})"
+    );
+
+    // --- Phase 3: handback bytes on revive. ---
+    let spec = FaultSpec::seeded(seed)
+        .with_kill(KILLED, KILL_AFTER_SENDS)
+        .with_revive(KILLED, KILL_AFTER_SENDS + REVIVE_DELTA)
+        .with_recv_deadline_ms(800);
+    let revived = run_world(ft_config(FAULT_STEPS, K), Some(spec));
+    assert_eq!(revived[KILLED].rejoins, 1, "the victim must rejoin once");
+    assert_eq!(
+        revived[BUDDY].handbacks, 1,
+        "the buddy must hand the expert back exactly once"
+    );
+    let host_handback = revived[BUDDY].handback_bytes;
+    let rejoiner_handback = revived[KILLED].handback_bytes;
+    assert!(host_handback > 0 && rejoiner_handback > 0);
+    println!("handback: host streamed {host_handback} B, rejoiner applied {rejoiner_handback} B");
+
+    println!("\nBENCH_REPLICATION_OVERHEAD_PCT={overhead_pct:.2}");
+    println!("BENCH_REPLICATION_QUANTA={quanta}");
+    println!("BENCH_REPLICATION_BYTES={replica_bytes}");
+    println!("BENCH_REPLICATION_STALENESS_STEPS={staleness}");
+    println!("BENCH_REPLICATION_HANDBACK_BYTES={host_handback}");
+
+    assert!(
+        overhead_pct < OVERHEAD_GATE_PCT,
+        "steady-state replication overhead {overhead_pct:.2}% breaches the \
+         {OVERHEAD_GATE_PCT}% gate"
+    );
+
+    let report = format!(
+        "{{\"bench\":\"replication\",\"seed\":{seed},\"ranks\":{WORLD},\
+         \"quantum\":{K},\"reps\":{REPS},\
+         \"overhead\":{{\"steps\":{OVERHEAD_STEPS},\"base_ms_per_step\":{step_base_ms:.4},\
+         \"replicated_ms_per_step\":{step_repl_ms:.4},\"pct\":{overhead_pct:.4},\
+         \"gate_pct\":{OVERHEAD_GATE_PCT},\"quanta\":{quanta},\"bytes\":{replica_bytes}}},\
+         \"failover\":{{\"steps\":{FAULT_STEPS},\"killed_rank\":{KILLED},\
+         \"kill_after_sends\":{KILL_AFTER_SENDS},\"died_at_step\":{died_at},\
+         \"staleness_steps\":{staleness}}},\
+         \"handback\":{{\"host_bytes\":{host_handback},\
+         \"rejoiner_bytes\":{rejoiner_handback}}}}}\n"
+    );
+    let path = "BENCH_replication.json";
+    std::fs::write(path, &report).expect("write BENCH_replication.json");
+    println!("BENCH_JSON={path}");
+}

@@ -581,10 +581,7 @@ impl RankHandle {
         // signal a crashed thread's dropped channel gives — instead of
         // stalling out the full deadline and skewing the caller against
         // its peers.
-        let poll = self
-            .faults
-            .is_some()
-            .then(|| Duration::from_millis(5).min(timeout));
+        let poll = self.faults.as_ref().map(|p| p.board_poll().min(timeout));
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -1070,6 +1067,50 @@ mod tests {
         assert_eq!(results[0][0], FabricError::Disconnected { peer: 0 });
         assert_eq!(results[0][1], FabricError::Disconnected { peer: 0 });
         assert_eq!(results[1][0], FabricError::Disconnected { peer: 0 });
+    }
+
+    #[test]
+    fn a_custom_board_poll_slice_is_honored() {
+        // Same scenario as above, but the plan stretches the liveness-board
+        // poll slice to 800 ms: rank 0's death is already posted when rank 1
+        // starts waiting, yet the board is only consulted when a slice
+        // drains, so the Disconnected cannot surface before the first slice
+        // expires — proving the configured slice (not the 5 ms default)
+        // governs the wait.
+        let plan = FaultPlan::seeded(14)
+            .kill_after(0, 2)
+            .with_recv_deadline(Duration::from_secs(3))
+            .with_board_poll(Duration::from_millis(800));
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_faults(topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 0, Bytes::from_static(b"a")).unwrap();
+                h.send(1, 1, Bytes::from_static(b"b")).unwrap();
+                h.send(1, 2, Bytes::from_static(b"c")).unwrap_err();
+                assert!(h.is_dead());
+                h.barrier();
+                h.barrier(); // hold the channel open while rank 1 waits
+                None
+            } else {
+                h.recv(0, 0).unwrap();
+                h.recv(0, 1).unwrap();
+                h.barrier();
+                let t0 = Instant::now();
+                let err = h.recv(0, 2).unwrap_err();
+                let waited = t0.elapsed();
+                h.barrier();
+                assert!(
+                    waited >= Duration::from_millis(700),
+                    "an 800 ms slice must not notice the death early (waited {waited:?})"
+                );
+                assert!(
+                    waited < Duration::from_millis(2500),
+                    "the death must still cut the 3 s deadline short (waited {waited:?})"
+                );
+                Some(err)
+            }
+        });
+        assert_eq!(results[1], Some(FabricError::Disconnected { peer: 0 }));
     }
 
     #[test]

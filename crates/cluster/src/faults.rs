@@ -81,6 +81,7 @@ pub struct FaultPlan {
     kills: HashMap<Rank, u64>,
     revives: HashMap<Rank, u64>,
     recv_deadline: Option<Duration>,
+    board_poll: Option<Duration>,
 }
 
 impl FaultPlan {
@@ -152,6 +153,20 @@ impl FaultPlan {
     /// The configured default receive deadline, if any.
     pub fn recv_deadline(&self) -> Option<Duration> {
         self.recv_deadline
+    }
+
+    /// Overrides the liveness-board poll slice: how often a deadlined
+    /// receive interrupts its wait to check whether the awaited peer has
+    /// posted its own death on the shared board. Smaller slices notice a
+    /// death faster at the cost of more wakeups; the default is 5 ms.
+    pub fn with_board_poll(mut self, slice: Duration) -> Self {
+        self.board_poll = Some(slice);
+        self
+    }
+
+    /// The liveness-board poll slice receives wait between death checks.
+    pub fn board_poll(&self) -> Duration {
+        self.board_poll.unwrap_or(Duration::from_millis(5))
     }
 
     /// The send count after which `rank` dies, if a kill is scheduled.
@@ -435,6 +450,13 @@ mod tests {
         assert_eq!(plan.kill_threshold(2), Some(100));
         assert_eq!(plan.kill_threshold(0), None);
         assert_eq!(plan.recv_deadline(), Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn board_poll_defaults_to_five_ms_and_overrides() {
+        assert_eq!(FaultPlan::seeded(1).board_poll(), Duration::from_millis(5));
+        let plan = FaultPlan::seeded(1).with_board_poll(Duration::from_millis(250));
+        assert_eq!(plan.board_poll(), Duration::from_millis(250));
     }
 
     #[test]

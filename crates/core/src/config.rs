@@ -100,6 +100,11 @@ pub struct FaultSpec {
     /// milliseconds — under faults a lost message must become a loud
     /// `Timeout`, never a hang.
     pub recv_deadline_ms: u64,
+    /// Liveness-board poll slice, in milliseconds: how often a deadlined
+    /// receive interrupts its wait to check whether the awaited peer has
+    /// posted its own death. Smaller slices fail faster against a
+    /// provably-dead peer at the cost of more wakeups.
+    pub board_poll_ms: u64,
 }
 
 impl FaultSpec {
@@ -116,6 +121,7 @@ impl FaultSpec {
             revive_rank: None,
             revive_after_sends: 0,
             recv_deadline_ms: 1_000,
+            board_poll_ms: 5,
         }
     }
 
@@ -159,13 +165,20 @@ impl FaultSpec {
         self
     }
 
+    /// Overrides the liveness-board poll slice.
+    pub fn with_board_poll_ms(mut self, ms: u64) -> Self {
+        self.board_poll_ms = ms;
+        self
+    }
+
     /// Materializes the runtime [`FaultPlan`] this spec describes.
     pub fn to_plan(&self) -> FaultPlan {
         let mut plan = FaultPlan::seeded(self.seed)
             .with_drop_prob(self.drop_prob)
             .with_delay(self.delay_prob, Duration::from_millis(self.delay_ms))
             .with_corrupt_prob(self.corrupt_prob)
-            .with_recv_deadline(Duration::from_millis(self.recv_deadline_ms));
+            .with_recv_deadline(Duration::from_millis(self.recv_deadline_ms))
+            .with_board_poll(Duration::from_millis(self.board_poll_ms));
         if let Some(rank) = self.kill_rank {
             plan = plan.kill_after(rank, self.kill_after_sends);
         }
@@ -173,6 +186,34 @@ impl FaultSpec {
             plan = plan.revive_after(rank, self.revive_after_sends);
         }
         plan
+    }
+}
+
+/// Buddy-replication policy: how often each rank streams its expert state
+/// (weights + optimizer velocity) to its ring buddy at `(rank + 1) mod n`.
+///
+/// Replication trades bandwidth for staleness: with `interval == K` the
+/// buddy's warm copy lags the live expert by at most `K` committed steps,
+/// which is exactly the training the cluster loses when a rank dies and
+/// its buddy activates the replica. `interval == 0` disables replication
+/// (the PR 3 behaviour: a dead rank's expert is an expert-shaped hole
+/// until rejoin).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaSpec {
+    /// Replication quantum in committed steps; `0` disables.
+    pub interval: usize,
+}
+
+impl ReplicaSpec {
+    /// Replicate every `interval` committed steps.
+    pub fn every(interval: usize) -> Self {
+        ReplicaSpec { interval }
+    }
+
+    /// Applies this policy to a fault-tolerant trainer configuration.
+    pub fn apply(&self, mut cfg: FtConfig) -> FtConfig {
+        cfg.replica_interval = self.interval;
+        cfg
     }
 }
 
@@ -471,6 +512,24 @@ mod tests {
 
         // The default spec keeps deadlines fixed.
         assert_eq!(RecoverySpec::default().adaptive_deadline(), None);
+    }
+
+    #[test]
+    fn replica_spec_applies_to_an_ft_config() {
+        let ft = ReplicaSpec::every(8).apply(schemoe_models::FtConfig::tiny(10));
+        assert_eq!(ft.replica_interval, 8);
+        // Replication is opt-in: the default spec and the default config
+        // both leave it disabled.
+        assert_eq!(ReplicaSpec::default().interval, 0);
+        assert_eq!(schemoe_models::FtConfig::tiny(10).replica_interval, 0);
+    }
+
+    #[test]
+    fn fault_spec_threads_the_board_poll_slice() {
+        let spec = FaultSpec::seeded(4);
+        assert_eq!(spec.board_poll_ms, 5, "default slice unchanged");
+        let plan = spec.with_board_poll_ms(250).to_plan();
+        assert_eq!(plan.board_poll(), Duration::from_millis(250));
     }
 
     #[test]

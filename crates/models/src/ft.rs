@@ -58,18 +58,42 @@
 //! burial or rejoin — advances the epoch stamped on data frames, so a rank
 //! that has not observed the transition has its traffic rejected as
 //! [`FabricError::StaleEpoch`] instead of feeding stale collectives.
+//!
+//! # Buddy replication and hot failover
+//!
+//! With [`FtConfig::replica_interval`] `K > 0`, every `K` committed steps
+//! each rank streams its expert weights **and** optimizer velocity to the
+//! buddy at `(rank + 1) mod n` as one CRC-sealed, delta-encoded frame
+//! (see [`schemoe_moe::DeltaEncoder`]), scheduled on the two-worker
+//! overlap executor so the encode overlaps the inbound frame from this
+//! rank's own ward. When a rank is buried, its buddy *activates* the
+//! replica: every survivor installs a failover route in the MoE layer,
+//! the buddy rebuilds the dead rank's expert (replica if one arrived,
+//! deterministic re-init otherwise) and hosts it, and the gate keeps the
+//! full expert set — a death costs at most `K` steps of expert staleness
+//! instead of an expert-shaped hole in the model. On rejoin the invite
+//! names the host, which streams the hosted expert (trained while its
+//! owner was dead) back on a dedicated handback lane; the rejoiner
+//! applies it, routes clear, and full ownership resumes.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use bytes::Bytes;
 use schemoe_cluster::{AdaptiveDeadline, FabricError, RankHandle};
 use schemoe_collectives::{NcclA2A, TAG_STRIDE};
 use schemoe_compression::NoCompression;
-use schemoe_moe::{allreduce_live, DistributedMoeLayer, Expert, FfExpert, TopKGate};
+use schemoe_moe::{
+    allreduce_live, DeltaEncoder, DistributedMoeLayer, Expert, FfExpert, ReplicaStore, TopKGate,
+};
+use schemoe_scheduler::executor::{run_overlapped_cancellable, ExecTask, Worker};
 use schemoe_tensor::checkpoint;
 use schemoe_tensor::nn::{Embedding, Linear, Module, Param, SoftmaxCrossEntropy};
 use schemoe_tensor::optim::Sgd;
 use schemoe_tensor::rng::seeded;
+use schemoe_tensor::Tensor;
 
 use crate::data::RegimeMarkov;
 
@@ -110,6 +134,28 @@ const MAX_REJOIN_ROUNDS: usize = 4;
 /// chunks left parked by a torn round can never be misread by a later one.
 fn xfer_tag(step: usize) -> u64 {
     XFER_NS + (step as u64) * 4096
+}
+
+/// Tag namespace for buddy-replication frames. It sits far above the
+/// rejoin control plane (`(1 << 62) + small`) and far below the transfer
+/// namespace (`1 << 63`), so replica frames can never collide with step,
+/// vote, or rejoin traffic.
+const REPLICA_NS: u64 = (1 << 62) + (1 << 32);
+
+/// Tag namespace for rejoin handback streams (the hosted expert returning
+/// to its revived owner). Disjoint from [`XFER_NS`]'s chunk windows.
+const HANDBACK_NS: u64 = (1 << 63) + (1 << 62);
+
+/// Replica frames are scoped by the committed step of their quantum, so a
+/// frame parked by a late sender can never be misread by a later quantum.
+fn replica_tag(step: usize) -> u64 {
+    REPLICA_NS + (step as u64) * 8
+}
+
+/// Handback streams are scoped by the committed step of the rejoin round,
+/// mirroring [`xfer_tag`].
+fn handback_tag(step: usize) -> u64 {
+    HANDBACK_NS + (step as u64) * 4096
 }
 
 /// Hyperparameters and recovery policy for [`run_ft_rank`].
@@ -158,6 +204,12 @@ pub struct FtConfig {
     /// stretch with each link's observed p99 wait instead of misclassifying
     /// a straggler as dead.
     pub adaptive_deadline: Option<AdaptiveDeadline>,
+    /// Buddy-replication quantum in committed steps: every `K` steps each
+    /// rank streams its expert weights + optimizer velocity to the buddy
+    /// at `(rank + 1) mod n`, so a death costs at most `K` steps of expert
+    /// staleness instead of an expert-shaped hole. `0` disables
+    /// replication (the reroute-only behaviour).
+    pub replica_interval: usize,
 }
 
 impl FtConfig {
@@ -182,6 +234,7 @@ impl FtConfig {
             vote_timeout_ms: 500,
             rejoin_check_every: 2,
             adaptive_deadline: None,
+            replica_interval: 0,
         }
     }
 
@@ -200,6 +253,12 @@ impl FtConfig {
     /// Installs an adaptive per-link receive-deadline policy.
     pub fn with_adaptive_deadline(mut self, policy: AdaptiveDeadline) -> Self {
         self.adaptive_deadline = Some(policy);
+        self
+    }
+
+    /// Sets the buddy-replication quantum (`0` disables replication).
+    pub fn with_replica_interval(mut self, interval: usize) -> Self {
+        self.replica_interval = interval;
         self
     }
 }
@@ -232,6 +291,32 @@ pub struct FtReport {
     /// State-transfer bytes this rank shipped as a donor plus bytes it
     /// applied as a rejoiner.
     pub transfer_bytes: u64,
+    /// Replica quanta this rank successfully streamed to its buddy.
+    pub replica_quanta: u64,
+    /// Replica frame bytes this rank streamed to its buddy.
+    pub replica_bytes: u64,
+    /// Failover activations this rank performed as a buddy (hosting a dead
+    /// rank's expert).
+    pub failover_activations: u64,
+    /// Hosted experts this rank streamed back to their revived owners.
+    pub handbacks: u64,
+    /// Handback bytes: shipped as a host plus applied as a rejoiner.
+    pub handback_bytes: u64,
+    /// Per-activation replica staleness in committed steps (how far behind
+    /// the live trajectory the activated replica was).
+    pub failover_staleness_steps: Vec<u64>,
+}
+
+/// Replication bookkeeping one rank accumulates over a run; folded into the
+/// [`FtReport`] at the end.
+#[derive(Clone, Debug, Default)]
+struct ReplicaStats {
+    quanta: u64,
+    bytes: u64,
+    activations: u64,
+    handbacks: u64,
+    handback_bytes: u64,
+    staleness: Vec<u64>,
 }
 
 /// The outcome of one cluster-wide vote.
@@ -523,6 +608,117 @@ pub fn apply_replicated_state(
     })
 }
 
+/// Global indices (in [`visit_all`]'s fixed order, which the optimizer's
+/// velocity slots mirror) of the rank-local expert parameters. Identical on
+/// every rank — the model structure is — so a host can rebuild a ward's
+/// velocity slot names without ever holding the ward's optimizer.
+fn expert_velocity_indices(
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+) -> Vec<usize> {
+    replicated_flags(embed, moe, head)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &replicated)| !replicated)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Serializes this rank's expert weights **and** their optimizer velocity
+/// slots as one CRC-sealed checkpoint payload — the replica a buddy needs
+/// to continue the expert's trajectory with at most a quantum of staleness.
+/// The complement of [`replicated_state_payload`].
+pub fn expert_state_payload(
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+) -> Vec<u8> {
+    opt.ensure_state(&mut |f| visit_all(embed, moe, head, f));
+    let flags = replicated_flags(embed, moe, head);
+    checkpoint::save(&mut |f| {
+        moe.visit_params(&mut |p| {
+            if !p.name.starts_with("gate.") {
+                f(p);
+            }
+        });
+        let mut i = 0usize;
+        opt.visit_state(&mut |p| {
+            if !flags[i] {
+                f(p);
+            }
+            i += 1;
+        });
+    })
+}
+
+/// Applies a payload produced by [`expert_state_payload`] (or a host's
+/// [`hosted_replica_payload`] of the same expert) to this rank's own expert
+/// and its velocity slots. Callers must have verified the seal first.
+pub fn apply_own_expert_state(
+    payload: &[u8],
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+) -> Result<(), checkpoint::CheckpointError> {
+    opt.ensure_state(&mut |f| visit_all(embed, moe, head, f));
+    let flags = replicated_flags(embed, moe, head);
+    checkpoint::load(payload, &mut |f| {
+        moe.visit_params(&mut |p| {
+            if !p.name.starts_with("gate.") {
+                f(p);
+            }
+        });
+        let mut i = 0usize;
+        opt.visit_state(&mut |p| {
+            if !flags[i] {
+                f(p);
+            }
+            i += 1;
+        });
+    })
+}
+
+/// Serializes a hosted expert and the host-side velocity the buddy trained
+/// it with, in the exact layout of [`expert_state_payload`] — velocity
+/// entries are named by the *global* slot indices (`vel_indices`) so the
+/// revived owner's strict positional load accepts the frame.
+fn hosted_replica_payload(
+    moe: &mut DistributedMoeLayer,
+    dead: usize,
+    vel: &[Tensor],
+    vel_indices: &[usize],
+) -> Vec<u8> {
+    checkpoint::save(&mut |f| {
+        moe.visit_hosted_params(dead, f);
+        for (k, &i) in vel_indices.iter().enumerate() {
+            let mut p = Param::new(format!("opt.v{i}"), vel[k].clone());
+            f(&mut p);
+        }
+    })
+}
+
+/// Applies a verified replica frame payload to the hosted copy of `dead`'s
+/// expert and the host-side velocity vector.
+fn apply_hosted_replica(
+    payload: &[u8],
+    moe: &mut DistributedMoeLayer,
+    dead: usize,
+    vel: &mut [Tensor],
+    vel_indices: &[usize],
+) -> Result<(), checkpoint::CheckpointError> {
+    checkpoint::load(payload, &mut |f| {
+        moe.visit_hosted_params(dead, f);
+        for (k, &i) in vel_indices.iter().enumerate() {
+            let mut p = Param::new(format!("opt.v{i}"), vel[k].clone());
+            f(&mut p);
+            vel[k] = p.value;
+        }
+    })
+}
+
 /// Streams a sealed state payload to `to` in bounded chunks: a 16-byte
 /// header `[total_bytes u64][n_chunks u64]` on `tag`, then chunk `i` on
 /// `tag + 1 + i`, each frame sent [`XFER_COPIES`] times on the
@@ -610,31 +806,168 @@ pub fn receive_state(
     Ok(buf)
 }
 
+/// One buddy-replication quantum. Each rank streams its expert frame to the
+/// buddy at `(rank + 1) mod n` and absorbs the frame from its ward at
+/// `(rank - 1) mod n`, scheduled on the two-worker overlap executor: the
+/// send is queued before the receive and every rank follows the same
+/// schedule, so the ring cannot deadlock — the receive deadline bounds the
+/// wait even when a ward died between the vote and this quantum.
+///
+/// A skipped send (dead buddy) or failed send breaks the delta chain, so
+/// the encoder is reset and the next frame the buddy sees is a full
+/// resync. A missed or damaged inbound frame is simply dropped: the store
+/// keeps its previous replica and later deltas are rejected until the
+/// ward's periodic full frame re-anchors the chain.
+#[allow(clippy::too_many_arguments)]
+fn replicate_quantum(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    live: &[bool],
+    enc: &mut DeltaEncoder,
+    store: &mut ReplicaStore,
+    repl: &mut ReplicaStats,
+    step: usize,
+) {
+    let me = h.rank();
+    let p = h.world_size();
+    let buddy = (me + 1) % p;
+    let ward = (me + p - 1) % p;
+    let send_to_buddy = buddy != me && live[buddy];
+    let recv_from_ward = ward != me && live[ward];
+    if !send_to_buddy {
+        enc.reset();
+    }
+    if !send_to_buddy && !recv_from_ward {
+        return;
+    }
+    let deadline = Duration::from_millis(cfg.vote_timeout_ms);
+    let tag = replica_tag(step);
+    let quantum = step as u64;
+    let out_frame: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+    let in_frame: Mutex<Option<Bytes>> = Mutex::new(None);
+    let sent: Mutex<Option<(bool, usize)>> = Mutex::new(None);
+    let handle = Mutex::new(&mut *h);
+    let cancel = AtomicBool::new(false);
+    let tasks: Vec<ExecTask<'_>> = vec![
+        ExecTask {
+            worker: Worker::Compute,
+            deps: vec![],
+            span: Some(("replication", format!("encode@{step}"))),
+            run: Box::new(|| {
+                if send_to_buddy {
+                    let payload = expert_state_payload(embed, moe, head, opt);
+                    *out_frame.lock().expect("mailbox") = Some(enc.encode(&payload, quantum));
+                }
+            }),
+        },
+        ExecTask {
+            worker: Worker::Comm,
+            deps: vec![0],
+            span: Some(("replication", format!("send@{step}"))),
+            run: Box::new(|| {
+                if let Some(frame) = out_frame.lock().expect("mailbox").take() {
+                    let n = frame.len();
+                    let ok = handle
+                        .lock()
+                        .expect("handle")
+                        .send(buddy, tag, Bytes::from(frame))
+                        .is_ok();
+                    *sent.lock().expect("mailbox") = Some((ok, n));
+                }
+            }),
+        },
+        ExecTask {
+            worker: Worker::Comm,
+            deps: vec![],
+            span: Some(("replication", format!("recv@{step}"))),
+            run: Box::new(|| {
+                if recv_from_ward {
+                    if let Ok(m) = handle
+                        .lock()
+                        .expect("handle")
+                        .recv_timeout(ward, tag, deadline)
+                    {
+                        *in_frame.lock().expect("mailbox") = Some(m);
+                    }
+                }
+            }),
+        },
+        ExecTask {
+            worker: Worker::Compute,
+            deps: vec![2],
+            span: Some(("replication", format!("apply@{step}"))),
+            run: Box::new(|| {
+                if let Some(m) = in_frame.lock().expect("mailbox").take() {
+                    // A damaged or out-of-chain frame leaves the store
+                    // untouched; the ward's next full frame re-anchors it.
+                    let _ = store.apply(&m);
+                }
+            }),
+        },
+    ];
+    if run_overlapped_cancellable(tasks, &cancel).is_err() {
+        enc.reset();
+        return;
+    }
+    match sent.into_inner().ok().flatten() {
+        Some((true, n)) => {
+            repl.quanta += 1;
+            repl.bytes += n as u64;
+            schemoe_obs::counters_for_rank(me).add_replica_sent(n);
+        }
+        Some((false, _)) => enc.reset(),
+        None => {}
+    }
+}
+
 /// The re-admission ticket survivors send a rejoining rank: where to resume
 /// (`step`, `tag`), the membership epoch after the rejoin bump, who streams
-/// state, and the post-admission live set.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// state, which host (if any) streams the hosted expert back, and the
+/// post-admission live set and failover routes.
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Invite {
     step: usize,
     tag: u64,
     epoch: u32,
     donor: usize,
     live: u64,
+    /// Failover host that will stream the hosted expert back on the
+    /// handback lane, encoded as `host + 1`; `0` means no handback (the
+    /// rejoiner resumes from its checkpoint-stale own expert).
+    handback: u32,
+    /// Failover routes still active after this admission, as
+    /// `(dead, host)` rank pairs — the rejoiner must install them to agree
+    /// with the survivors' routing.
+    routes: Vec<(u8, u8)>,
 }
 
 impl Invite {
     fn encode(&self) -> Bytes {
-        let mut b = [0u8; 32];
-        b[..8].copy_from_slice(&(self.step as u64).to_le_bytes());
-        b[8..16].copy_from_slice(&self.tag.to_le_bytes());
-        b[16..20].copy_from_slice(&self.epoch.to_le_bytes());
-        b[20..24].copy_from_slice(&(self.donor as u32).to_le_bytes());
-        b[24..32].copy_from_slice(&self.live.to_le_bytes());
-        Bytes::copy_from_slice(&b)
+        let mut b = Vec::with_capacity(40 + 2 * self.routes.len());
+        b.extend_from_slice(&(self.step as u64).to_le_bytes());
+        b.extend_from_slice(&self.tag.to_le_bytes());
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.extend_from_slice(&(self.donor as u32).to_le_bytes());
+        b.extend_from_slice(&self.live.to_le_bytes());
+        b.extend_from_slice(&self.handback.to_le_bytes());
+        b.extend_from_slice(&(self.routes.len() as u32).to_le_bytes());
+        for &(d, host) in &self.routes {
+            b.push(d);
+            b.push(host);
+        }
+        Bytes::from(b)
     }
 
     fn decode(b: &[u8]) -> Option<Invite> {
-        if b.len() != 32 {
+        if b.len() < 40 {
+            return None;
+        }
+        let n = u32::from_le_bytes(b[36..40].try_into().ok()?) as usize;
+        if b.len() != 40 + 2 * n {
             return None;
         }
         Some(Invite {
@@ -643,6 +976,8 @@ impl Invite {
             epoch: u32::from_le_bytes(b[16..20].try_into().ok()?),
             donor: u32::from_le_bytes(b[20..24].try_into().ok()?) as usize,
             live: u64::from_le_bytes(b[24..32].try_into().ok()?),
+            handback: u32::from_le_bytes(b[32..36].try_into().ok()?),
+            routes: (0..n).map(|i| (b[40 + 2 * i], b[41 + 2 * i])).collect(),
         })
     }
 }
@@ -672,6 +1007,7 @@ fn limbo_rejoin(
     live: &mut [bool],
     epoch_transitions: &mut Vec<u32>,
     transfer_bytes: &mut u64,
+    repl: &mut ReplicaStats,
 ) -> Option<RejoinPoint> {
     if cfg.rejoin_check_every == 0 {
         return None;
@@ -717,7 +1053,7 @@ fn limbo_rejoin(
             while let Ok(m) = h.recv_timeout(r, INVITE_TAG, dl) {
                 dl = Duration::from_millis(50); // drain parked duplicates
                 if let Some(inv) = Invite::decode(&m) {
-                    if best.is_none_or(|b| inv.step > b.step) {
+                    if best.as_ref().is_none_or(|b| inv.step > b.step) {
                         best = Some(inv);
                     }
                 }
@@ -738,6 +1074,24 @@ fn limbo_rejoin(
                         moe.mark_rank_alive(r);
                     } else {
                         moe.mark_rank_dead(r);
+                    }
+                }
+                // Adopt the survivors' failover routing (set after the
+                // live-flag loop: mark_rank_dead prunes routes hosted by
+                // dead ranks, which would drop freshly installed entries).
+                moe.clear_failover_routes();
+                for &(d, host) in &inv.routes {
+                    moe.set_failover_route(d as usize, host as usize);
+                }
+                // The host streams the hosted expert — trained while this
+                // rank was dead — back on the handback lane. A torn
+                // handback falls back to the checkpoint-stale own expert.
+                if inv.handback != 0 {
+                    let host = (inv.handback - 1) as usize;
+                    if let Ok(hb) = receive_state(h, host, handback_tag(inv.step), vote_dl * 4) {
+                        apply_own_expert_state(&hb, embed, moe, head, opt)
+                            .expect("a verified handback payload must apply");
+                        repl.handback_bytes += hb.len() as u64 + 16;
                     }
                 }
                 return Some(RejoinPoint {
@@ -772,6 +1126,9 @@ fn try_rejoin_peers(
     live: &mut [bool],
     epoch_transitions: &mut Vec<u32>,
     transfer_bytes: &mut u64,
+    hosted_vel: &mut BTreeMap<usize, Vec<Tensor>>,
+    vel_indices: &[usize],
+    repl: &mut ReplicaStats,
     step: usize,
     tag: u64,
 ) -> bool {
@@ -828,6 +1185,22 @@ fn try_rejoin_peers(
     if mask == 0 {
         return false;
     }
+    // Capture handback material before admission tears the routes down:
+    // which host serves each admitted rank's expert, and (on the host) the
+    // hosted weights + velocity serialized in the owner's own layout.
+    let mut handback_host: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut handback_payloads: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+    for r in 0..p {
+        if mask & (1u64 << r) != 0 && !live[r] {
+            if let Some(host) = moe.failover_host_of(r) {
+                handback_host.insert(r, host);
+                if me == host {
+                    let vel = hosted_vel.get(&r).expect("hosted expert without velocity");
+                    handback_payloads.insert(r, hosted_replica_payload(moe, r, vel, vel_indices));
+                }
+            }
+        }
+    }
     // Admit every announced rank first — one epoch bump each — so the
     // invites carry the final membership.
     let mut admitted: Vec<usize> = Vec::new();
@@ -838,6 +1211,7 @@ fn try_rejoin_peers(
             live[r] = true;
             moe.mark_rank_alive(r);
             h.mark_peer_reachable(r);
+            hosted_vel.remove(&r);
             admitted.push(r);
         }
     }
@@ -848,16 +1222,24 @@ fn try_rejoin_peers(
         .iter()
         .enumerate()
         .fold(0u64, |m, (r, &a)| if a { m | (1u64 << r) } else { m });
-    let invite = Invite {
-        step,
-        tag,
-        epoch: h.epoch(),
-        donor: coordinator,
-        live: bitmap,
-    };
+    let routes: Vec<(u8, u8)> = moe
+        .failover_routes()
+        .into_iter()
+        .map(|(d, host)| (d as u8, host as u8))
+        .collect();
     // Every survivor sends the invite (redundancy against drops); only the
-    // donor streams state.
+    // donor streams replicated state, and only the host streams the
+    // hosted expert back.
     for &r in &admitted {
+        let invite = Invite {
+            step,
+            tag,
+            epoch: h.epoch(),
+            donor: coordinator,
+            live: bitmap,
+            handback: handback_host.get(&r).map_or(0, |&host| host as u32 + 1),
+            routes: routes.clone(),
+        };
         let msg = invite.encode();
         for _ in 0..VOTE_COPIES {
             let _ = h.send_control(r, INVITE_TAG, msg.clone());
@@ -870,6 +1252,13 @@ fn try_rejoin_peers(
                 &replicated_state_payload(embed, moe, head, opt),
             ) {
                 *transfer_bytes += sent;
+            }
+        }
+        if let Some(payload) = handback_payloads.get(&r) {
+            if let Ok(sent) = stream_state(h, r, handback_tag(step), payload) {
+                repl.handbacks += 1;
+                repl.handback_bytes += sent;
+                schemoe_obs::counters_for_rank(me).add_handback();
             }
         }
     }
@@ -915,6 +1304,16 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
     let markov = RegimeMarkov::new(cfg.vocab, cfg.regimes, &mut seeded(cfg.seed ^ 0xDA7A));
     let mut opt = Sgd::new(cfg.lr);
 
+    // Buddy-replication state: the delta encoder for frames this rank
+    // streams to its buddy, the store holding the ward's latest verified
+    // replica, and (while hosting) the velocity this rank trains each
+    // hosted expert with. `vel_indices` is rank-independent.
+    let vel_indices = expert_velocity_indices(&mut embed, &mut moe, &mut head);
+    let mut replica_enc = DeltaEncoder::new();
+    let mut replica_store = ReplicaStore::new();
+    let mut hosted_vel: BTreeMap<usize, Vec<Tensor>> = BTreeMap::new();
+    let mut repl = ReplicaStats::default();
+
     if let Some(policy) = cfg.adaptive_deadline {
         h.set_adaptive_deadline(Some(policy));
     }
@@ -948,11 +1347,17 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                 &mut live,
                 &mut epoch_transitions,
                 &mut transfer_bytes,
+                &mut repl,
             ) {
                 Some(pt) => {
                     rejoins += 1;
                     step = pt.step;
                     tag = pt.tag;
+                    // Anything this rank hosted or replicated before dying
+                    // is stale; start the chains over.
+                    hosted_vel.clear();
+                    replica_enc.reset();
+                    replica_store.clear();
                     ckpt =
                         checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
                     ckpt_step = step;
@@ -969,6 +1374,7 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                         epoch_transitions,
                         rejoins,
                         transfer_bytes,
+                        repl.clone(),
                     );
                 }
             }
@@ -982,6 +1388,9 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                 die_or_rejoin!('train);
             }
             visit_all(&mut embed, &mut moe, &mut head, &mut |prm| prm.zero_grad());
+            for r in moe.hosted_dead_ranks() {
+                moe.visit_hosted_params(r, &mut |prm| prm.zero_grad());
+            }
             let step_tag = tag;
             tag += TAG_STRIDE;
 
@@ -1043,6 +1452,48 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                 })
                 .expect("in-memory checkpoint must restore");
                 restores += 1;
+                // Failover activation: each buried rank's buddy takes over
+                // its expert so the gate keeps the full expert set. Every
+                // survivor installs the route; the buddy rebuilds the
+                // expert (verified replica if one arrived, deterministic
+                // re-init otherwise) and hosts it from here on. If the
+                // buddy died in the same verdict the ward is orphaned and
+                // stays masked — the reroute-only fallback.
+                if cfg.replica_interval != 0 {
+                    for &r in &newly_dead {
+                        let buddy = (r + 1) % p;
+                        if buddy == r || !live[buddy] {
+                            continue;
+                        }
+                        moe.set_failover_route(r, buddy);
+                        if me != buddy {
+                            continue;
+                        }
+                        let ward: Box<dyn Expert> = Box::new(FfExpert::new(
+                            cfg.model_dim,
+                            cfg.hidden_dim,
+                            &mut seeded(cfg.seed ^ 0xE8_0000 ^ r as u64),
+                        ));
+                        moe.install_hosted_experts(r, vec![ward]);
+                        let mut vel: Vec<Tensor> = Vec::new();
+                        moe.visit_hosted_params(r, &mut |prm| {
+                            vel.push(Tensor::zeros(prm.value.dims()));
+                        });
+                        if let Some((q, payload)) = replica_store.replica() {
+                            let payload = payload.to_vec();
+                            apply_hosted_replica(&payload, &mut moe, r, &mut vel, &vel_indices)
+                                .expect("a CRC-verified replica must apply");
+                            repl.staleness.push((step as u64).saturating_sub(q));
+                        } else {
+                            // No frame ever arrived: the re-init is as
+                            // stale as the whole run so far.
+                            repl.staleness.push(step as u64);
+                        }
+                        hosted_vel.insert(r, vel);
+                        repl.activations += 1;
+                        schemoe_obs::counters_for_rank(me).add_failover_activation();
+                    }
+                }
                 step = ckpt_step;
                 continue 'train;
             }
@@ -1059,11 +1510,51 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
             // All-OK verdict: commit the step everywhere.
             let loss = outcome.expect("all-OK verdict implies a local success");
             opt.step_params(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
+            // Hosted experts step under the same SGD rule (momentum 0:
+            // velocity is the last gradient), hand-rolled because the
+            // optimizer's slot order must not shift when hosting starts
+            // or stops mid-run.
+            for r in moe.hosted_dead_ranks() {
+                let vel = hosted_vel
+                    .get_mut(&r)
+                    .expect("hosted expert without velocity");
+                let lr = cfg.lr;
+                let mut k = 0usize;
+                moe.visit_hosted_params(r, &mut |prm| {
+                    vel[k] = prm.grad.clone();
+                    for (w, &g) in prm.value.data_mut().iter_mut().zip(prm.grad.data()) {
+                        *w -= lr * g;
+                    }
+                    prm.zero_grad();
+                    k += 1;
+                });
+            }
             loss_curve[step] = loss;
             step += 1;
             if step.is_multiple_of(cfg.checkpoint_every) || step == cfg.steps {
                 ckpt = checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
                 ckpt_step = step;
+            }
+            // Replication quantum: stream this rank's expert frame to the
+            // buddy and absorb the ward's. Every live rank reaches this at
+            // the same committed step, so the ring schedule agrees.
+            if cfg.replica_interval != 0
+                && step.is_multiple_of(cfg.replica_interval)
+                && step < cfg.steps
+            {
+                replicate_quantum(
+                    h,
+                    cfg,
+                    &mut embed,
+                    &mut moe,
+                    &mut head,
+                    &mut opt,
+                    &live,
+                    &mut replica_enc,
+                    &mut replica_store,
+                    &mut repl,
+                    step,
+                );
             }
             // Rejoin quantum: poll for announcements from revivable dead
             // ranks. Membership changed → refresh the checkpoint so a later
@@ -1081,6 +1572,9 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                     &mut live,
                     &mut epoch_transitions,
                     &mut transfer_bytes,
+                    &mut hosted_vel,
+                    &vel_indices,
+                    &mut repl,
                     step,
                     tag,
                 )
@@ -1102,6 +1596,7 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
         epoch_transitions,
         rejoins,
         transfer_bytes,
+        repl,
     )
 }
 
@@ -1117,6 +1612,7 @@ fn finish(
     epoch_transitions: Vec<u32>,
     rejoins: u64,
     transfer_bytes: u64,
+    repl: ReplicaStats,
 ) -> FtReport {
     let last = curve.iter().rev().find(|l| !l.is_nan()).copied();
     FtReport {
@@ -1130,6 +1626,12 @@ fn finish(
         epoch_transitions,
         rejoins,
         transfer_bytes,
+        replica_quanta: repl.quanta,
+        replica_bytes: repl.bytes,
+        failover_activations: repl.activations,
+        handbacks: repl.handbacks,
+        handback_bytes: repl.handback_bytes,
+        failover_staleness_steps: repl.staleness,
     }
 }
 
@@ -1243,9 +1745,127 @@ mod tests {
             epoch: 3,
             donor: 2,
             live: 0b1011_0111,
+            handback: 3,
+            routes: vec![(5, 6), (2, 3)],
         };
-        assert_eq!(Invite::decode(&inv.encode()), Some(inv));
+        assert_eq!(Invite::decode(&inv.encode()), Some(inv.clone()));
+        let bare = Invite {
+            handback: 0,
+            routes: Vec::new(),
+            ..inv.clone()
+        };
+        assert_eq!(Invite::decode(&bare.encode()), Some(bare));
         assert_eq!(Invite::decode(&[0u8; 31]), None, "short frames rejected");
+        let mut torn = inv.encode().to_vec();
+        torn.pop();
+        assert_eq!(
+            Invite::decode(&torn),
+            None,
+            "a truncated route list is rejected"
+        );
+    }
+
+    /// Builds one rank's model triple off-fabric (visit/serialize paths
+    /// need no handle), seeded exactly as [`run_ft_rank`] seeds rank `me`.
+    fn build_rank(cfg: &FtConfig, me: u64) -> (Embedding, DistributedMoeLayer, Linear, Sgd) {
+        let embed = Embedding::new(cfg.vocab, cfg.model_dim, &mut seeded(cfg.seed ^ 0xE3BED));
+        let gate = TopKGate::new(
+            cfg.model_dim,
+            4,
+            cfg.k,
+            cfg.capacity_factor,
+            &mut seeded(cfg.seed ^ 0x6A7E),
+        );
+        let expert: Box<dyn Expert> = Box::new(FfExpert::new(
+            cfg.model_dim,
+            cfg.hidden_dim,
+            &mut seeded(cfg.seed ^ 0xE8_0000 ^ me),
+        ));
+        let moe = DistributedMoeLayer::new(
+            gate,
+            vec![expert],
+            Box::new(NoCompression),
+            Box::new(NcclA2A),
+        );
+        let head = Linear::new(cfg.model_dim, cfg.vocab, &mut seeded(cfg.seed ^ 0x4EAD));
+        (embed, moe, head, Sgd::new(cfg.lr))
+    }
+
+    #[test]
+    fn expert_payloads_round_trip_and_match_the_hosted_layout() {
+        let cfg = FtConfig::tiny(4);
+        let (mut embed, mut moe, mut head, mut opt) = build_rank(&cfg, 1);
+        let originals: Vec<Vec<f32>> = {
+            let mut v = Vec::new();
+            moe.visit_params(&mut |p| {
+                if !p.name.starts_with("gate.") {
+                    v.push(p.value.data().to_vec());
+                }
+            });
+            v
+        };
+        let payload = expert_state_payload(&mut embed, &mut moe, &mut head, &mut opt);
+
+        // Damage the expert, then restore it from its own payload.
+        moe.visit_params(&mut |p| {
+            if !p.name.starts_with("gate.") {
+                for w in p.value.data_mut() {
+                    *w *= 2.0;
+                }
+            }
+        });
+        apply_own_expert_state(&payload, &mut embed, &mut moe, &mut head, &mut opt)
+            .expect("own payload must apply");
+
+        // A host's handback frame for the same expert uses the identical
+        // layout, so the owner's strict positional load accepts it too.
+        let (mut h_embed, mut h_moe, mut h_head, _) = build_rank(&cfg, 2);
+        let vel_indices = expert_velocity_indices(&mut h_embed, &mut h_moe, &mut h_head);
+        let ward: Box<dyn Expert> = Box::new(FfExpert::new(
+            cfg.model_dim,
+            cfg.hidden_dim,
+            &mut seeded(cfg.seed ^ 0xE8_0000 ^ 1),
+        ));
+        h_moe.set_failover_route(1, 2);
+        h_moe.install_hosted_experts(1, vec![ward]);
+        let mut vel = Vec::new();
+        h_moe.visit_hosted_params(1, &mut |p| vel.push(Tensor::zeros(p.value.dims())));
+        apply_hosted_replica(&payload, &mut h_moe, 1, &mut vel, &vel_indices)
+            .expect("the owner's payload must apply to the hosted copy");
+        let handback = hosted_replica_payload(&mut h_moe, 1, &vel, &vel_indices);
+        apply_own_expert_state(&handback, &mut embed, &mut moe, &mut head, &mut opt)
+            .expect("the handback must apply to the owner");
+
+        let mut i = 0usize;
+        moe.visit_params(&mut |p| {
+            if !p.name.starts_with("gate.") {
+                assert_eq!(p.value.data(), &originals[i][..], "param {i} restored");
+                i += 1;
+            }
+        });
+    }
+
+    #[test]
+    fn fault_free_replication_is_invisible_to_training() {
+        let base = FtConfig::tiny(8).with_seed(21);
+        let with = base.with_replica_interval(2);
+        let a = Fabric::run(Topology::new(2, 2), |mut h| run_ft_rank(&mut h, &base));
+        let b = Fabric::run(Topology::new(2, 2), |mut h| run_ft_rank(&mut h, &with));
+        let bits = |c: &[f32]| c.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(
+                bits(&ra.loss_curve),
+                bits(&rb.loss_curve),
+                "replication must not perturb the training trajectory"
+            );
+            assert_eq!(ra.replica_quanta, 0);
+            // Quanta fire at committed steps 2, 4, and 6 (8 is the last
+            // step and skipped).
+            assert_eq!(rb.replica_quanta, 3);
+            assert!(rb.replica_bytes > 0);
+            assert_eq!(rb.failover_activations, 0);
+            assert_eq!(rb.handbacks, 0);
+        }
     }
 
     #[test]

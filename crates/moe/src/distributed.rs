@@ -1,6 +1,6 @@
 //! Expert-parallel MoE execution over the rank fabric.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -53,12 +53,23 @@ pub struct DistributedMoeLayer {
     /// Ranks declared dead mid-training: their experts are masked out of
     /// routing and all exchanges skip them (degraded mode).
     dead_ranks: BTreeSet<usize>,
+    /// Hot-failover routing: dead rank → live host currently serving its
+    /// experts from a buddy replica. Every live rank must hold the same
+    /// table so the hosted exchanges agree on who speaks for whom; a dead
+    /// rank with a route keeps its experts in the routing table.
+    failover_hosts: BTreeMap<usize, usize>,
+    /// The expert bodies this rank serves on behalf of dead wards (the
+    /// host side of `failover_hosts`), keyed by the dead rank.
+    hosted_experts: BTreeMap<usize, Vec<Box<dyn Expert>>>,
 }
 
 struct Cache {
     decision: GateDecision,
     /// Per local expert, per src rank: row count received.
     recv_counts: Vec<Vec<usize>>,
+    /// Per hosted dead rank, per its local expert, per src rank: row count
+    /// received on the hosted dispatch lane (host side of failover).
+    hosted_recv_counts: BTreeMap<usize, Vec<Vec<usize>>>,
     /// Per global expert this rank dispatched to: the returned output rows
     /// in this rank's slot order.
     returned_outputs: Vec<Tensor>,
@@ -97,6 +108,8 @@ impl DistributedMoeLayer {
             partition_degree: 1,
             recv_timeout: None,
             dead_ranks: BTreeSet::new(),
+            failover_hosts: BTreeMap::new(),
+            hosted_experts: BTreeMap::new(),
         }
     }
 
@@ -151,6 +164,9 @@ impl DistributedMoeLayer {
     /// rank falls back to the serial path.
     pub fn mark_rank_dead(&mut self, rank: usize) {
         self.dead_ranks.insert(rank);
+        // A dying host orphans its wards: their routes vanish and the gate
+        // masks their experts out again until a new host takes over.
+        self.failover_hosts.retain(|_, host| *host != rank);
     }
 
     /// The inverse of [`mark_rank_dead`](Self::mark_rank_dead): `rank` has
@@ -160,6 +176,77 @@ impl DistributedMoeLayer {
     /// is empty — the forward leaves degraded mode entirely.
     pub fn mark_rank_alive(&mut self, rank: usize) {
         self.dead_ranks.remove(&rank);
+        self.failover_hosts.remove(&rank);
+        self.hosted_experts.remove(&rank);
+    }
+
+    /// Installs a failover route: live rank `host` serves the experts of
+    /// dead rank `dead` from its buddy replica, so `dead`'s experts stay
+    /// in the routing table instead of being masked out. Every live rank
+    /// must install the same route for the hosted exchanges to line up;
+    /// only the host itself also calls
+    /// [`install_hosted_experts`](Self::install_hosted_experts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dead == host`.
+    pub fn set_failover_route(&mut self, dead: usize, host: usize) {
+        assert_ne!(dead, host, "a rank cannot host its own failover");
+        self.failover_hosts.insert(dead, host);
+    }
+
+    /// Hands this rank the expert bodies it will serve for dead rank
+    /// `dead` (typically rebuilt from the buddy replica).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expert count differs from `experts_per_rank`.
+    pub fn install_hosted_experts(&mut self, dead: usize, experts: Vec<Box<dyn Expert>>) {
+        assert_eq!(
+            experts.len(),
+            self.experts_per_rank,
+            "hosted expert count must match experts_per_rank"
+        );
+        self.hosted_experts.insert(dead, experts);
+    }
+
+    /// The live rank currently serving `dead`'s experts, if routed.
+    pub fn failover_host_of(&self, dead: usize) -> Option<usize> {
+        self.failover_hosts.get(&dead).copied()
+    }
+
+    /// All `(dead, host)` failover routes, ascending by dead rank.
+    pub fn failover_routes(&self) -> Vec<(usize, usize)> {
+        self.failover_hosts.iter().map(|(&d, &h)| (d, h)).collect()
+    }
+
+    /// Drops every failover route and hosted expert (used when the dead
+    /// rank rejoins and takes its experts back).
+    pub fn clear_failover_routes(&mut self) {
+        self.failover_hosts.clear();
+        self.hosted_experts.clear();
+    }
+
+    /// True when any failover route is active.
+    pub fn has_failover(&self) -> bool {
+        !self.failover_hosts.is_empty()
+    }
+
+    /// The dead ranks whose experts this rank is hosting, ascending.
+    pub fn hosted_dead_ranks(&self) -> Vec<usize> {
+        self.hosted_experts.keys().copied().collect()
+    }
+
+    /// Visits the parameters of the experts hosted for dead rank `dead`
+    /// (no-op when this rank does not host it). Kept separate from
+    /// [`visit_params`](Self::visit_params) so optimizer state indexed by
+    /// visit order is not shifted by transient hosted experts.
+    pub fn visit_hosted_params(&mut self, dead: usize, f: &mut dyn FnMut(&mut Param)) {
+        if let Some(wards) = self.hosted_experts.get_mut(&dead) {
+            for e in wards {
+                e.visit_params(f);
+            }
+        }
     }
 
     /// The ranks currently declared dead, ascending.
@@ -173,11 +260,25 @@ impl DistributedMoeLayer {
     }
 
     /// The routing mask for the current dead set: `mask[e]` is true when
-    /// expert `e` lives on a dead rank.
+    /// expert `e` lives on a dead rank *without* a failover route. A
+    /// routed dead rank's experts keep serving tokens through their host,
+    /// so they stay in the routing table.
     fn dead_expert_mask(&self, world_size: usize) -> Vec<bool> {
         (0..world_size * self.experts_per_rank)
-            .map(|e| self.dead_ranks.contains(&self.owner_of(e)))
+            .map(|e| {
+                let owner = self.owner_of(e);
+                self.dead_ranks.contains(&owner) && !self.failover_hosts.contains_key(&owner)
+            })
             .collect()
+    }
+
+    /// Tag for the hosted leg of a lane: the traffic dead rank `dead`
+    /// would have carried on `lane_tag`, redirected to its failover host.
+    /// Offsets `1..=world` stay clear of the lane tags themselves (spaced
+    /// `TAG_STRIDE / 4` apart) and of the overlapped path's chunk tags
+    /// (failover forces the serial path).
+    fn hosted_tag(lane_tag: u64, dead: usize) -> u64 {
+        lane_tag + 1 + dead as u64
     }
 
     /// Direct exchange among live ranks only: sends go to live peers, dead
@@ -310,7 +411,10 @@ impl DistributedMoeLayer {
         tag_base: u64,
     ) -> Result<Tensor, FabricError> {
         let live = h.world_size() - self.dead_ranks.len();
-        if self.partition_degree <= 1 || live < 2 {
+        if self.partition_degree <= 1 || live < 2 || self.has_failover() {
+            // Failover hosting speaks the serial path's hosted side lanes;
+            // the overlapped pipeline does not carry them, so any active
+            // route forces serial until handback.
             self.forward_serial(h, x, tag_base)
         } else {
             self.forward_overlapped(h, x, tag_base)
@@ -369,6 +473,15 @@ impl DistributedMoeLayer {
             chunks
         };
         let dispatch_tag = tag_base;
+        let combine_tag = tag_base + TAG_STRIDE / 4;
+        // Hosted dispatch: the chunk routed to a dead-but-routed rank's
+        // experts goes to its failover host instead. Sends precede every
+        // receive on all ranks (channels are buffered), so the extra lane
+        // cannot deadlock the exchange below.
+        let routes = self.failover_routes();
+        for &(j, host) in &routes {
+            h.send(host, Self::hosted_tag(dispatch_tag, j), chunks[j].clone())?;
+        }
         let sent_bytes: usize = chunks.iter().map(Bytes::len).sum();
         let received = {
             let _s = obs::span_sized("a2a", "A1", sent_bytes as f64);
@@ -415,6 +528,64 @@ impl DistributedMoeLayer {
         }
         drop(d1);
 
+        // Failover host phase: serve the dead wards' experts from the
+        // buddy replica. Every live rank (self included) shipped this rank
+        // its chunk for ward `j` on the hosted dispatch lane; concatenate
+        // src-major exactly as the ward itself would have, run the hosted
+        // experts, and ship each live src its slice back on the hosted
+        // combine lane.
+        let mut hosted_recv_counts: BTreeMap<usize, Vec<Vec<usize>>> = BTreeMap::new();
+        for (&j, wards) in self.hosted_experts.iter_mut() {
+            let _s = obs::span("expert", format!("E[host r{j}]"));
+            let mut decoded: Vec<Vec<Tensor>> = Vec::with_capacity(p);
+            for src in 0..p {
+                if self.dead_ranks.contains(&src) {
+                    decoded.push(vec![Tensor::zeros(&[0, m]); epr]);
+                } else {
+                    let chunk = match self.recv_timeout {
+                        Some(t) => h.recv_timeout(src, Self::hosted_tag(dispatch_tag, j), t)?,
+                        None => h.recv(src, Self::hosted_tag(dispatch_tag, j))?,
+                    };
+                    decoded.push(Self::decode_chunk(&*self.compressor, &chunk, epr, m));
+                }
+            }
+            let mut counts = vec![Vec::with_capacity(p); epr];
+            let mut outputs = Vec::with_capacity(epr);
+            for le in 0..epr {
+                let total: usize = decoded.iter().map(|d| d[le].dims()[0]).sum();
+                let mut input = Tensor::zeros(&[total, m]);
+                let mut off = 0;
+                for src_rows in decoded.iter().map(|d| &d[le]) {
+                    for r in 0..src_rows.dims()[0] {
+                        input.row_mut(off + r).copy_from_slice(src_rows.row(r));
+                    }
+                    off += src_rows.dims()[0];
+                }
+                for d in &decoded {
+                    counts[le].push(d[le].dims()[0]);
+                }
+                outputs.push(wards[le].forward(&input));
+            }
+            for src in 0..p {
+                if self.dead_ranks.contains(&src) {
+                    continue;
+                }
+                let mut per_expert = Vec::with_capacity(epr);
+                for le in 0..epr {
+                    let before: usize = counts[le][..src].iter().sum();
+                    let count = counts[le][src];
+                    let mut rows = Tensor::zeros(&[count, m]);
+                    for r in 0..count {
+                        rows.row_mut(r).copy_from_slice(outputs[le].row(before + r));
+                    }
+                    per_expert.push(rows);
+                }
+                let chunk = Self::encode_chunk(&*self.compressor, &per_expert, m);
+                h.send(src, Self::hosted_tag(combine_tag, j), chunk)?;
+            }
+            hosted_recv_counts.insert(j, counts);
+        }
+
         // Local expert computation.
         let expert_rows: usize = expert_inputs.iter().map(|t| t.dims()[0]).sum();
         let expert_outputs: Vec<Tensor> = {
@@ -447,7 +618,6 @@ impl DistributedMoeLayer {
             }
             back_chunks
         };
-        let combine_tag = tag_base + TAG_STRIDE / 4;
         let back_bytes: usize = back_chunks.iter().map(Bytes::len).sum();
         let returned = {
             let _s = obs::span_sized("a2a", "A2", back_bytes as f64);
@@ -467,6 +637,17 @@ impl DistributedMoeLayer {
             }
         };
 
+        // Hosted combine: collect the routed dead owners' outputs from
+        // their hosts; they replace the zero-row placeholders below.
+        let mut hosted_returns: BTreeMap<usize, Bytes> = BTreeMap::new();
+        for &(j, host) in &routes {
+            let chunk = match self.recv_timeout {
+                Some(t) => h.recv_timeout(host, Self::hosted_tag(combine_tag, j), t)?,
+                None => h.recv(host, Self::hosted_tag(combine_tag, j))?,
+            };
+            hosted_returns.insert(j, chunk);
+        }
+
         // Combine: the chunk from rank r holds outputs for the experts r
         // owns, in this rank's slot order.
         let d2 = obs::span_sized(
@@ -477,7 +658,8 @@ impl DistributedMoeLayer {
         let mut y = Tensor::zeros(&[n, m]);
         let mut returned_outputs: Vec<Tensor> = Vec::with_capacity(p * epr);
         for owner in 0..p {
-            let outs = Self::decode_chunk(self.compressor.as_ref(), &returned[owner], epr, m);
+            let chunk = hosted_returns.get(&owner).unwrap_or(&returned[owner]);
+            let outs = Self::decode_chunk(self.compressor.as_ref(), chunk, epr, m);
             for (le, rows) in outs.into_iter().enumerate() {
                 let e = owner * epr + le;
                 let slots = &decision.expert_slots[e];
@@ -496,6 +678,7 @@ impl DistributedMoeLayer {
         self.cache = Some(Cache {
             decision,
             recv_counts,
+            hosted_recv_counts,
             returned_outputs,
             expert_inputs: None,
             n,
@@ -868,6 +1051,7 @@ impl DistributedMoeLayer {
         self.cache = Some(Cache {
             decision,
             recv_counts,
+            hosted_recv_counts: BTreeMap::new(),
             returned_outputs,
             expert_inputs: Some(expert_inputs),
             n,
@@ -932,6 +1116,13 @@ impl DistributedMoeLayer {
 
         drop(c1b);
         let bwd1_tag = cache.tag_base + TAG_STRIDE / 2;
+        let bwd2_tag = cache.tag_base + 3 * TAG_STRIDE / 4;
+        // Hosted backward dispatch: output grads for a routed dead owner's
+        // experts go to its failover host, mirroring the forward.
+        let routes = self.failover_routes();
+        for &(j, host) in &routes {
+            h.send(host, Self::hosted_tag(bwd1_tag, j), grad_chunks[j].clone())?;
+        }
         let grad_bytes: usize = grad_chunks.iter().map(Bytes::len).sum();
         let received = {
             let _s = obs::span_sized("a2a", "A1b", grad_bytes as f64);
@@ -950,6 +1141,63 @@ impl DistributedMoeLayer {
                 self.a2a.all_to_all(h, grad_chunks, bwd1_tag)?
             }
         };
+
+        // Failover host phase (backward): differentiate the hosted wards'
+        // experts on the survivors' output grads and return the input
+        // grads, mirroring the forward's hosted lanes.
+        for (&j, wards) in self.hosted_experts.iter_mut() {
+            let _s = obs::span("expert", format!("Eb[host r{j}]"));
+            let counts = cache
+                .hosted_recv_counts
+                .get(&j)
+                .expect("hosted backward without hosted forward");
+            let mut decoded: Vec<Vec<Tensor>> = Vec::with_capacity(p);
+            for src in 0..p {
+                if self.dead_ranks.contains(&src) {
+                    decoded.push(vec![Tensor::zeros(&[0, m]); epr]);
+                } else {
+                    let chunk = match self.recv_timeout {
+                        Some(t) => h.recv_timeout(src, Self::hosted_tag(bwd1_tag, j), t)?,
+                        None => h.recv(src, Self::hosted_tag(bwd1_tag, j))?,
+                    };
+                    decoded.push(Self::decode_raw(&chunk, epr, m));
+                }
+            }
+            let mut dins = Vec::with_capacity(epr);
+            for le in 0..epr {
+                let total: usize = counts[le].iter().sum();
+                let mut dout = Tensor::zeros(&[total, m]);
+                let mut off = 0;
+                for d in &decoded {
+                    let rows = &d[le];
+                    for r in 0..rows.dims()[0] {
+                        dout.row_mut(off + r).copy_from_slice(rows.row(r));
+                    }
+                    off += rows.dims()[0];
+                }
+                dins.push(wards[le].backward(&dout));
+            }
+            for src in 0..p {
+                if self.dead_ranks.contains(&src) {
+                    continue;
+                }
+                let mut per_expert = Vec::with_capacity(epr);
+                for le in 0..epr {
+                    let before: usize = counts[le][..src].iter().sum();
+                    let count = counts[le][src];
+                    let mut rows = Tensor::zeros(&[count, m]);
+                    for r in 0..count {
+                        rows.row_mut(r).copy_from_slice(dins[le].row(before + r));
+                    }
+                    per_expert.push(rows);
+                }
+                h.send(
+                    src,
+                    Self::hosted_tag(bwd2_tag, j),
+                    Self::encode_raw(&per_expert),
+                )?;
+            }
+        }
 
         // Expert backward on concatenated output grads.
         let eb = obs::span("expert", "Eb");
@@ -997,7 +1245,6 @@ impl DistributedMoeLayer {
             back.push(Self::encode_raw(&per_expert));
         }
         drop(c2b);
-        let bwd2_tag = cache.tag_base + 3 * TAG_STRIDE / 4;
         let back_bytes: usize = back.iter().map(Bytes::len).sum();
         let returned = {
             let _s = obs::span_sized("a2a", "A2b", back_bytes as f64);
@@ -1017,11 +1264,23 @@ impl DistributedMoeLayer {
             }
         };
 
+        // Hosted backward combine: input grads for tokens served by a
+        // failover host come back on the hosted lane.
+        let mut hosted_dins: BTreeMap<usize, Bytes> = BTreeMap::new();
+        for &(j, host) in &routes {
+            let chunk = match self.recv_timeout {
+                Some(t) => h.recv_timeout(host, Self::hosted_tag(bwd2_tag, j), t)?,
+                None => h.recv(host, Self::hosted_tag(bwd2_tag, j))?,
+            };
+            hosted_dins.insert(j, chunk);
+        }
+
         // Dispatch backward: scatter token gradients.
         let d2b = obs::span("decode", "D2b");
         let mut dx = Tensor::zeros(&[cache.n, m]);
         for owner in 0..p {
-            let outs = Self::decode_raw(&returned[owner], epr, m);
+            let chunk = hosted_dins.get(&owner).unwrap_or(&returned[owner]);
+            let outs = Self::decode_raw(chunk, epr, m);
             for (le, rows) in outs.into_iter().enumerate() {
                 let e = owner * epr + le;
                 let slots = &cache.decision.expert_slots[e];
@@ -1640,6 +1899,205 @@ mod tests {
                 "rank {r} post-rejoin output differs from the never-degraded baseline"
             );
         }
+    }
+
+    /// Per-rank (y, dx, expert grads) for a no-deaths run — the reference
+    /// the failover path must reproduce. `empty_rank` contributes a
+    /// zero-token batch: that is exactly the world a failover step sees
+    /// (the dead rank's shard is gone, but its expert keeps serving), so
+    /// comparing against it checks expert fidelity without conflating the
+    /// vanished tokens.
+    #[allow(clippy::type_complexity)]
+    fn full_capacity_run(
+        topo: Topology,
+        x_global: &Tensor,
+        n_local: usize,
+        empty_rank: Option<usize>,
+    ) -> Vec<(Tensor, Tensor, Vec<Vec<f32>>)> {
+        let p = topo.world_size();
+        Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            let gate = make_gate(p, 2, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            );
+            let rows = if empty_rank == Some(me) { 0 } else { n_local };
+            let mut x = Tensor::zeros(&[rows, M]);
+            for r in 0..rows {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = layer.forward(&mut h, &x, 0).unwrap();
+            let dx = layer.backward(&mut h, &y).unwrap();
+            let mut expert_grads = Vec::new();
+            layer.visit_params(&mut |prm| {
+                if !prm.name.starts_with("gate") {
+                    expert_grads.push(prm.grad.data().to_vec());
+                }
+            });
+            (y, dx, expert_grads)
+        })
+    }
+
+    #[test]
+    fn a_failover_host_serves_the_dead_ranks_expert_bit_for_bit() {
+        // Rank 1 of 4 dies but rank 2 holds a fresh replica of its expert
+        // and a failover route is installed everywhere. Because no expert
+        // leaves the routing table and the hosted replica is bit-identical,
+        // every survivor's forward, dx, and the hosted expert's gradients
+        // must equal the never-degraded full-capacity run exactly.
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        let n_local = 6;
+        let (dead, host) = (1usize, 2usize);
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(51));
+        let baseline = full_capacity_run(topo, &x_global, n_local, Some(dead));
+        let failover = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            if me == dead {
+                return None;
+            }
+            let gate = make_gate(p, 2, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            )
+            .with_recv_timeout(std::time::Duration::from_secs(20));
+            layer.mark_rank_dead(dead);
+            layer.set_failover_route(dead, host);
+            if me == host {
+                layer.install_hosted_experts(dead, vec![make_expert(dead)]);
+                assert_eq!(layer.hosted_dead_ranks(), vec![dead]);
+            }
+            assert!(layer.has_failover());
+            assert_eq!(layer.failover_host_of(dead), Some(host));
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = layer.forward(&mut h, &x, 0).unwrap();
+            let dx = layer.backward(&mut h, &y).unwrap();
+            let mut hosted_grads = Vec::new();
+            layer.visit_hosted_params(dead, &mut |prm| {
+                hosted_grads.push(prm.grad.data().to_vec());
+            });
+            Some((y, dx, hosted_grads))
+        });
+        for me in 0..p {
+            if me == dead {
+                assert!(failover[me].is_none());
+                continue;
+            }
+            let (y, dx, hosted_grads) = failover[me].as_ref().unwrap();
+            let (by, bdx, _) = &baseline[me];
+            assert_eq!(
+                y.max_abs_diff(by).unwrap(),
+                0.0,
+                "rank {me} failover forward diverged from full capacity"
+            );
+            assert_eq!(
+                dx.max_abs_diff(bdx).unwrap(),
+                0.0,
+                "rank {me} failover dx diverged from full capacity"
+            );
+            if me == host {
+                // The hosted expert's gradients are exactly what the dead
+                // rank would have computed for its own expert.
+                assert_eq!(
+                    hosted_grads, &baseline[dead].2,
+                    "hosted expert grads diverged from the dead rank's own"
+                );
+            } else {
+                assert!(hosted_grads.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn an_orphaned_expert_reroutes_while_routed_experts_keep_serving() {
+        // Double fault: ranks 1 and 3 are both dead, but only rank 1 has a
+        // failover route (to rank 2). Rank 3's expert is orphaned and must
+        // fall back to the masked reroute, while rank 1's keeps serving
+        // through its host — the step completes with finite outputs.
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        let n_local = 6;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(52));
+        let outs = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            if me == 1 || me == 3 {
+                return None;
+            }
+            let gate = make_gate(p, 2, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            )
+            .with_recv_timeout(std::time::Duration::from_secs(20));
+            layer.mark_rank_dead(1);
+            layer.mark_rank_dead(3);
+            layer.set_failover_route(1, 2);
+            if me == 2 {
+                layer.install_hosted_experts(1, vec![make_expert(1)]);
+            }
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = layer.forward(&mut h, &x, 0).unwrap();
+            let dx = layer.backward(&mut h, &y).unwrap();
+            let mut hosted_nonzero = false;
+            layer.visit_hosted_params(1, &mut |prm| {
+                hosted_nonzero |= prm.grad.data().iter().any(|&g| g != 0.0);
+            });
+            Some((y, dx, hosted_nonzero))
+        });
+        for (r, out) in outs.iter().enumerate() {
+            if r == 1 || r == 3 {
+                assert!(out.is_none());
+                continue;
+            }
+            let (y, dx, hosted_nonzero) = out.as_ref().unwrap();
+            assert!(y.all_finite(), "rank {r} non-finite output");
+            assert!(dx.all_finite(), "rank {r} non-finite grads");
+            assert!(
+                y.data().iter().any(|&v| v.abs() > 1e-6),
+                "rank {r} output is all zeros"
+            );
+            if r == 2 {
+                assert!(hosted_nonzero, "hosted expert saw no gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn a_dying_host_orphans_its_wards_and_rejoin_clears_routes() {
+        let mut layer = DistributedMoeLayer::new(
+            make_gate(4, 2, 8.0),
+            vec![make_expert(0)],
+            Box::new(NoCompression),
+            Box::new(NcclA2A),
+        );
+        layer.mark_rank_dead(1);
+        layer.set_failover_route(1, 2);
+        assert_eq!(layer.failover_routes(), vec![(1, 2)]);
+        // The host dies too: the ward's route is dropped, so its expert
+        // is masked again (orphaned).
+        layer.mark_rank_dead(2);
+        assert!(!layer.has_failover());
+        assert_eq!(layer.failover_host_of(1), None);
+        // Rejoin clears a rank's own route and hosted entry.
+        layer.set_failover_route(1, 3);
+        layer.install_hosted_experts(1, vec![make_expert(1)]);
+        layer.mark_rank_alive(1);
+        assert!(!layer.has_failover());
+        assert!(layer.hosted_dead_ranks().is_empty());
     }
 
     #[test]

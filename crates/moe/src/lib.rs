@@ -22,12 +22,14 @@ pub mod distributed;
 pub mod expert;
 pub mod gating;
 pub mod layer;
+pub mod replication;
 pub mod routing;
 
 pub use distributed::{allreduce_inplace, allreduce_live, DistributedMoeLayer};
 pub use expert::{Expert, FfExpert};
 pub use gating::{GateDecision, OverflowPolicy, TopKGate};
 pub use layer::MoeLayer;
+pub use replication::{DeltaEncoder, ReplicaError, ReplicaStore, REPLICA_CHUNK};
 pub use routing::{
     balance_stats, BalanceStats, ExpertChoiceRouter, RandomRouter, Router, TokenChoiceRouter,
 };

@@ -83,6 +83,23 @@ impl ChromeTraceBuilder {
         self.events.push(e);
     }
 
+    /// Adds one counter (`"ph":"C"`) event: a named set of numeric series
+    /// sampled at `ts_us`, rendered by Perfetto as stacked counter tracks.
+    pub fn counter_event(&mut self, pid: u64, name: &str, ts_us: f64, args: &[(&str, f64)]) {
+        let mut e = format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"name\":\"{}\",\"ts\":{ts_us:.3},\"args\":{{",
+            escape(name)
+        );
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                e.push(',');
+            }
+            let _ = write!(e, "\"{}\":{}", escape(k), fmt_num(*v));
+        }
+        e.push_str("}}");
+        self.events.push(e);
+    }
+
     /// Closes and returns the JSON document.
     pub fn finish(self) -> String {
         let mut out = String::from("[\n");
@@ -153,6 +170,24 @@ mod tests {
                 .and_then(|a| a.get("size"))
                 .and_then(|s| s.as_f64()),
             Some(64.0)
+        );
+    }
+
+    #[test]
+    fn counter_events_parse_with_their_series() {
+        let mut b = ChromeTraceBuilder::new();
+        b.counter_event(2, "replication", 42.0, &[("replica_quanta", 3.0)]);
+        let json = b.finish();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let e = &v.as_array().expect("array")[0];
+        assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("C"));
+        assert_eq!(e.get("pid").and_then(|p| p.as_f64()), Some(2.0));
+        assert_eq!(e.get("name").and_then(|n| n.as_str()), Some("replication"));
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("replica_quanta"))
+                .and_then(|q| q.as_f64()),
+            Some(3.0)
         );
     }
 

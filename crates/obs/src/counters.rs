@@ -25,6 +25,10 @@ pub struct RankCounters {
     degraded_steps: AtomicU64,
     invalid_ranks: AtomicU64,
     stale_epochs: AtomicU64,
+    replica_bytes_sent: AtomicU64,
+    replica_quanta: AtomicU64,
+    failover_activations: AtomicU64,
+    handbacks: AtomicU64,
 }
 
 impl RankCounters {
@@ -112,6 +116,34 @@ impl RankCounters {
         }
     }
 
+    /// Counts one replication frame of `bytes` shipped to the ring buddy.
+    #[inline]
+    pub fn add_replica_sent(&self, bytes: usize) {
+        if crate::enabled() {
+            self.replica_bytes_sent
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.replica_quanta.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one failover activation: this rank began hosting a dead
+    /// ward's expert from its stored replica.
+    #[inline]
+    pub fn add_failover_activation(&self) {
+        if crate::enabled() {
+            self.failover_activations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one handback: a hosted expert's state streamed back to its
+    /// rejoined owner.
+    #[inline]
+    pub fn add_handback(&self) {
+        if crate::enabled() {
+            self.handbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of the totals.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -127,6 +159,10 @@ impl RankCounters {
             degraded_steps: self.degraded_steps.load(Ordering::Relaxed),
             invalid_ranks: self.invalid_ranks.load(Ordering::Relaxed),
             stale_epochs: self.stale_epochs.load(Ordering::Relaxed),
+            replica_bytes_sent: self.replica_bytes_sent.load(Ordering::Relaxed),
+            replica_quanta: self.replica_quanta.load(Ordering::Relaxed),
+            failover_activations: self.failover_activations.load(Ordering::Relaxed),
+            handbacks: self.handbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -142,6 +178,10 @@ impl RankCounters {
         self.degraded_steps.store(0, Ordering::Relaxed);
         self.invalid_ranks.store(0, Ordering::Relaxed);
         self.stale_epochs.store(0, Ordering::Relaxed);
+        self.replica_bytes_sent.store(0, Ordering::Relaxed);
+        self.replica_quanta.store(0, Ordering::Relaxed);
+        self.failover_activations.store(0, Ordering::Relaxed);
+        self.handbacks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -172,6 +212,14 @@ pub struct CounterSnapshot {
     pub invalid_ranks: u64,
     /// Received frames rejected for carrying a stale membership epoch.
     pub stale_epochs: u64,
+    /// Replication payload bytes shipped to the ring buddy.
+    pub replica_bytes_sent: u64,
+    /// Replication quanta (frames) shipped to the ring buddy.
+    pub replica_quanta: u64,
+    /// Failover activations: hosted experts brought up from a replica.
+    pub failover_activations: u64,
+    /// Hosted-expert handbacks streamed to rejoined owners.
+    pub handbacks: u64,
 }
 
 /// The counter block for `rank`, creating it on first request.
@@ -193,6 +241,10 @@ pub fn counters_for_rank(rank: usize) -> Arc<RankCounters> {
         degraded_steps: AtomicU64::new(0),
         invalid_ranks: AtomicU64::new(0),
         stale_epochs: AtomicU64::new(0),
+        replica_bytes_sent: AtomicU64::new(0),
+        replica_quanta: AtomicU64::new(0),
+        failover_activations: AtomicU64::new(0),
+        handbacks: AtomicU64::new(0),
     });
     reg.push(Arc::clone(&c));
     c
@@ -307,6 +359,9 @@ mod tests {
         c.add_degraded_step();
         c.add_invalid_rank();
         c.add_stale_epoch();
+        c.add_replica_sent(64);
+        c.add_failover_activation();
+        c.add_handback();
         crate::disable();
         let s = c.snapshot();
         assert_eq!(s.bytes_sent, 100);
@@ -320,7 +375,12 @@ mod tests {
         assert_eq!(s.degraded_steps, 1);
         assert_eq!(s.invalid_ranks, 1);
         assert_eq!(s.stale_epochs, 1);
+        assert_eq!(s.replica_bytes_sent, 64);
+        assert_eq!(s.replica_quanta, 1);
+        assert_eq!(s.failover_activations, 1);
+        assert_eq!(s.handbacks, 1);
         c.reset();
+        assert_eq!(c.snapshot().replica_bytes_sent, 0);
         assert_eq!(c.snapshot().bytes_sent, 0);
     }
 

@@ -331,6 +331,49 @@ impl FuncTrace {
                 if s.size != 0.0 { args } else { &[] },
             );
         }
+        // Per-rank counter totals as counter tracks, sampled at the end of
+        // the trace so they read as the interval's final tally.
+        let end_us = self
+            .spans
+            .iter()
+            .map(|s| s.start_us + s.dur_us)
+            .fold(0.0f64, f64::max);
+        for c in &self.counters {
+            b.counter_event(
+                c.rank as u64,
+                "fabric",
+                end_us,
+                &[
+                    ("bytes_sent", c.bytes_sent as f64),
+                    ("bytes_recv", c.bytes_recv as f64),
+                    ("msgs_sent", c.msgs_sent as f64),
+                ],
+            );
+            b.counter_event(
+                c.rank as u64,
+                "resilience",
+                end_us,
+                &[
+                    ("timeouts", c.timeouts as f64),
+                    ("faults_injected", c.faults_injected as f64),
+                    ("corrupt_frames", c.corrupt_frames as f64),
+                    ("retries", c.retries as f64),
+                    ("degraded_steps", c.degraded_steps as f64),
+                    ("stale_epochs", c.stale_epochs as f64),
+                ],
+            );
+            b.counter_event(
+                c.rank as u64,
+                "replication",
+                end_us,
+                &[
+                    ("replica_bytes_sent", c.replica_bytes_sent as f64),
+                    ("replica_quanta", c.replica_quanta as f64),
+                    ("failover_activations", c.failover_activations as f64),
+                    ("handbacks", c.handbacks as f64),
+                ],
+            );
+        }
         b.finish()
     }
 }
@@ -454,6 +497,41 @@ mod tests {
         assert_eq!(x.get("pid").and_then(|p| p.as_f64()), Some(1.0));
         assert_eq!(x.get("cat").and_then(|c| c.as_str()), Some("a2a"));
         assert_eq!(x.get("name").and_then(|n| n.as_str()), Some("A1\"quoted\""));
+    }
+
+    #[test]
+    fn chrome_export_carries_per_rank_counter_tracks() {
+        let _g = locked();
+        enable();
+        crate::counters::counters_for_rank(7).add_replica_sent(128);
+        set_thread_rank(7);
+        {
+            let _s = span("step", "s0");
+        }
+        let t = take();
+        disable();
+        let json = t.to_chrome_trace();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let events = v.as_array().expect("array");
+        let c = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                    && e.get("name").and_then(|n| n.as_str()) == Some("replication")
+                    && e.get("pid").and_then(|p| p.as_f64()) == Some(7.0)
+            })
+            .expect("rank 7 replication counter track");
+        let args = c.get("args").expect("args");
+        assert_eq!(
+            args.get("replica_bytes_sent").and_then(|b| b.as_f64()),
+            Some(128.0)
+        );
+        assert_eq!(
+            args.get("replica_quanta").and_then(|q| q.as_f64()),
+            Some(1.0)
+        );
+        assert!(args.get("failover_activations").is_some());
+        assert!(args.get("handbacks").is_some());
     }
 
     #[test]

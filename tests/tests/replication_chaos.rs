@@ -1,0 +1,338 @@
+//! Seeded chaos for buddy replication + hot failover: kill a rank whose
+//! expert has a warm replica, keep serving its tokens through the buddy,
+//! replay bit-identically, hand the expert back on rejoin, and survive a
+//! double fault (rank **and** buddy) by falling back to degraded
+//! rerouting.
+//!
+//! The scenario extends `chaos.rs` (which exercises the reroute-only
+//! recovery path) with `ReplicaSpec { interval: K }` installed:
+//!
+//! 1. **Reroute-only baseline** — the kill campaign at `K = 0`. The dead
+//!    rank's expert is an expert-shaped hole until the end of the run.
+//! 2. **Hot failover** — the same campaign at `K > 0`. The buddy must
+//!    activate the replica in the same step-attempt that buries the
+//!    victim, the staleness must be at most `K` committed steps, and the
+//!    survivors' end-of-run loss must beat the baseline strictly: the
+//!    cluster kept the full expert set.
+//! 3. **Replay** — the kill-only campaign is pure in the seed, so loss
+//!    curves, replica counters, and staleness replay bit-identically.
+//! 4. **Revive + handback** — the victim rejoins; the buddy streams the
+//!    hosted expert (trained while the owner was dead) back and
+//!    deactivates. The handback is asserted on both ends.
+//! 5. **Double fault** — victim and buddy die in the same epoch. The
+//!    orphaned expert falls back to degraded rerouting (no panic, finite
+//!    loss) and both ranks still rejoin.
+//!
+//! Everything lives in ONE `#[test]`: the obs counter registry is
+//! process-global, so the runs must not interleave with each other.
+//! (`chaos.rs` runs in its own process — integration-test binaries are
+//! separate processes — so the two suites cannot collide.)
+//!
+//! `CHAOS_SEED` selects the campaign seed (default 1); CI sweeps several.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use schemoe::prelude::*;
+use schemoe_models::{run_ft_rank, FtConfig, FtReport};
+use schemoe_obs as obs;
+
+const WORLD: usize = 8;
+const STEPS: usize = 112;
+const KILLED: usize = 5;
+/// The buddy ring places rank 5's replica on rank 6.
+const BUDDY: usize = (KILLED + 1) % WORLD;
+/// Replication quantum: the activated replica may lag by at most K steps.
+const K: usize = 4;
+/// The loss-comparison kill lands LATE (around step 105 of 112): a
+/// well-trained expert dies and the run ends inside the disruption
+/// window, so end-of-run loss measures what hot failover actually buys —
+/// the buddy keeps serving a trained expert while the reroute-only
+/// baseline is left with an expert-shaped hole and no time to re-learn
+/// around it. (Over a long post-death horizon the two trajectories
+/// re-mix and the comparison degenerates into capacity-vs-data noise.)
+const KILL_AFTER_SENDS: u64 = 9000;
+/// The revive and double-fault phases kill EARLY instead, leaving most
+/// of the run for the announce/invite/decision rejoin handshake and the
+/// handback to complete.
+const EARLY_KILL_AFTER_SENDS: u64 = 900;
+/// The second kill of the double-fault phase: close enough to the first
+/// that the buddy dies in the same epoch of the run.
+const BUDDY_KILL_AFTER_SENDS: u64 = 950;
+/// Revivals reopen a victim's pipe this many send attempts after its kill.
+const REVIVE_DELTA: u64 = 200;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn ft_config(interval: usize) -> FtConfig {
+    let mut cfg = ReplicaSpec::every(interval).apply(FtConfig::tiny(STEPS).with_seed(40));
+    // Deadlines are orders of magnitude above in-process delivery time, so
+    // timing noise cannot change which receives expire (replay determinism
+    // depends on that): only messages that were *never sent* time out.
+    cfg.vote_timeout_ms = 400;
+    // A hotter learning rate makes the late-killed expert genuinely
+    // trained by the time it dies, so losing it costs the baseline
+    // something measurable.
+    cfg.lr = 0.3;
+    cfg
+}
+
+fn campaign() -> FaultSpec {
+    FaultSpec::seeded(chaos_seed())
+        .with_kill(KILLED, KILL_AFTER_SENDS)
+        .with_recv_deadline_ms(800)
+}
+
+fn run_world(cfg: FtConfig, spec: FaultSpec) -> Vec<FtReport> {
+    let plan = ScheMoeConfig::serial()
+        .with_faults(spec)
+        .fault_plan()
+        .expect("campaign configured");
+    run_plan(cfg, plan)
+}
+
+fn run_plan(cfg: FtConfig, plan: FaultPlan) -> Vec<FtReport> {
+    Fabric::run_with_faults(Topology::new(2, 4), plan, move |mut h| {
+        run_ft_rank(&mut h, &cfg)
+    })
+}
+
+fn survivor_mean_loss(reports: &[FtReport]) -> f32 {
+    let survivors: Vec<&FtReport> = reports
+        .iter()
+        .filter(|r| r.died_at_step.is_none())
+        .collect();
+    assert!(!survivors.is_empty(), "every rank died");
+    survivors.iter().map(|r| r.final_loss).sum::<f32>() / survivors.len() as f32
+}
+
+/// The deterministic slice of a rank's counters, extended with the
+/// replication family: frames, activations, and handbacks are pure
+/// functions of the fault lottery and the training control flow.
+#[allow(clippy::type_complexity)]
+fn deterministic_counters(world: usize) -> Vec<(u64, u64, u64, u64, u64, u64, u64)> {
+    (0..world)
+        .map(|r| {
+            let s = obs::counters_for_rank(r).snapshot();
+            (
+                s.faults_injected,
+                s.retries,
+                s.degraded_steps,
+                s.replica_quanta,
+                s.replica_bytes_sent,
+                s.failover_activations,
+                s.handbacks,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn replicated_expert_survives_its_ranks_death_and_replays_bit_identically() {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        scenario();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(480)) {
+        Ok(()) => {}
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("replication scenario hung past the watchdog")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => panic!("replication scenario panicked"),
+    }
+}
+
+fn scenario() {
+    // --- Run 1: the reroute-only baseline (K = 0) under the kill. The
+    // --- buried rank's expert is a hole for the rest of the run.
+    let baseline = run_world(ft_config(0), campaign());
+    assert!(baseline[KILLED].died_at_step.is_some());
+    for rep in &baseline {
+        assert_eq!(rep.failover_activations, 0, "K = 0 must never activate");
+        assert_eq!(rep.replica_quanta, 0, "K = 0 must never replicate");
+    }
+    let baseline_loss = survivor_mean_loss(&baseline);
+
+    // --- Run 2: the same campaign with replication on. ---
+    obs::enable();
+    obs::reset_counters();
+    let failover = run_world(ft_config(K), campaign());
+    let first_counters = deterministic_counters(WORLD);
+    let trace = obs::take();
+
+    let died_at = failover[KILLED]
+        .died_at_step
+        .expect("the killed rank must observe its own death");
+    assert!(
+        died_at > K && died_at < STEPS - 1,
+        "kill should land mid-epoch after a replication quantum, died at step {died_at}"
+    );
+    for (r, rep) in failover.iter().enumerate() {
+        if r == KILLED {
+            continue;
+        }
+        assert_eq!(rep.died_at_step, None, "rank {r} must survive");
+        assert_eq!(
+            rep.dead_ranks,
+            vec![KILLED],
+            "rank {r} must bury rank {KILLED}"
+        );
+        assert!(
+            rep.replica_quanta > 0,
+            "rank {r} must have streamed replica frames"
+        );
+        assert!(rep.replica_bytes > 0, "rank {r} must account replica bytes");
+        assert!(
+            rep.loss_curve.iter().all(|l| l.is_finite()),
+            "rank {r} must commit every step"
+        );
+    }
+    // The buddy activated the replica in the same step-attempt that buried
+    // the victim: exactly one activation, staleness bounded by the quantum.
+    assert_eq!(
+        failover[BUDDY].failover_activations, 1,
+        "rank {BUDDY} must activate its ward's replica exactly once"
+    );
+    assert_eq!(failover[BUDDY].failover_staleness_steps.len(), 1);
+    let staleness = failover[BUDDY].failover_staleness_steps[0];
+    assert!(
+        staleness <= K as u64,
+        "activated replica lags {staleness} steps, quantum allows at most {K}"
+    );
+    // The obs counter registry saw the same story (satellite: counters are
+    // surfaced in the chrome trace and asserted here).
+    let buddy_counters = obs::counters_for_rank(BUDDY).snapshot();
+    assert_eq!(buddy_counters.failover_activations, 1);
+    assert!(buddy_counters.replica_quanta > 0);
+    assert!(buddy_counters.replica_bytes_sent > 0);
+    let chrome = trace.to_chrome_trace();
+    assert!(
+        chrome.contains("\"replication\""),
+        "the chrome trace must carry the replication counter track"
+    );
+
+    // Full expert capacity must beat the expert-shaped hole: strictly
+    // better end-of-run loss than the reroute-only baseline.
+    let failover_loss = survivor_mean_loss(&failover);
+    assert!(
+        failover_loss < baseline_loss,
+        "failover loss {failover_loss} must beat reroute-only {baseline_loss}"
+    );
+
+    // --- Run 3: identical campaign — the replay. Kill-only campaigns are
+    // --- pure in the seed through replicate -> failover.
+    obs::reset_counters();
+    let replay = run_world(ft_config(K), campaign());
+    let second_counters = deterministic_counters(WORLD);
+    let _ = obs::take();
+
+    assert_eq!(
+        first_counters, second_counters,
+        "the same seed must replay the same replication story"
+    );
+    for (r, (a, b)) in failover.iter().zip(replay.iter()).enumerate() {
+        assert_eq!(
+            a.died_at_step, b.died_at_step,
+            "rank {r} death step differs"
+        );
+        assert_eq!(a.retries, b.retries, "rank {r} retry count differs");
+        assert_eq!(a.restores, b.restores, "rank {r} restore count differs");
+        assert_eq!(
+            a.replica_quanta, b.replica_quanta,
+            "rank {r} replica quanta differ"
+        );
+        assert_eq!(
+            a.replica_bytes, b.replica_bytes,
+            "rank {r} replica bytes differ"
+        );
+        assert_eq!(
+            a.failover_staleness_steps, b.failover_staleness_steps,
+            "rank {r} staleness differs"
+        );
+        let bits_a: Vec<u32> = a.loss_curve.iter().map(|l| l.to_bits()).collect();
+        let bits_b: Vec<u32> = b.loss_curve.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "rank {r} loss curve is not bit-identical");
+    }
+
+    // --- Run 4: revive + handback. The victim rejoins; the buddy streams
+    // --- the hosted expert back and deactivates. The kill lands early so
+    // --- the rejoin handshake has most of the run to complete.
+    obs::reset_counters();
+    let revive_spec = FaultSpec::seeded(chaos_seed())
+        .with_kill(KILLED, EARLY_KILL_AFTER_SENDS)
+        .with_revive(KILLED, EARLY_KILL_AFTER_SENDS + REVIVE_DELTA)
+        .with_recv_deadline_ms(800);
+    let revived = run_world(ft_config(K), revive_spec);
+    let _ = obs::take();
+
+    for (r, rep) in revived.iter().enumerate() {
+        assert_eq!(rep.died_at_step, None, "rank {r} must end the run alive");
+        assert!(
+            rep.dead_ranks.is_empty(),
+            "rank {r} must end at full capacity, believes {:?} dead",
+            rep.dead_ranks
+        );
+        assert!(rep.final_loss.is_finite());
+    }
+    assert_eq!(revived[KILLED].rejoins, 1, "the victim must rejoin once");
+    assert_eq!(
+        revived[BUDDY].handbacks, 1,
+        "the buddy must stream the hosted expert back exactly once"
+    );
+    assert!(
+        revived[BUDDY].handback_bytes > 0,
+        "the host must account handback bytes"
+    );
+    assert!(
+        revived[KILLED].handback_bytes > 0,
+        "the rejoiner must account the handback it applied"
+    );
+    assert_eq!(
+        obs::counters_for_rank(BUDDY).snapshot().handbacks,
+        1,
+        "the obs registry must see the handback"
+    );
+    // The staleness bound is what makes the handback meaningful: the
+    // expert the owner gets back diverges from a fault-free trajectory by
+    // at most the replica's K-step lag, never by the whole dead window.
+    for &s in &revived[BUDDY].failover_staleness_steps {
+        assert!(s <= K as u64, "staleness {s} exceeds quantum {K}");
+    }
+    obs::disable();
+
+    // --- Run 5: double fault — the victim AND its buddy die in the same
+    // --- epoch. The orphaned expert falls back to degraded rerouting (no
+    // --- panic, finite loss), and both ranks still rejoin.
+    let double_plan = FaultPlan::seeded(chaos_seed())
+        .kill_after(KILLED, EARLY_KILL_AFTER_SENDS)
+        .kill_after(BUDDY, BUDDY_KILL_AFTER_SENDS)
+        .revive_after(KILLED, EARLY_KILL_AFTER_SENDS + REVIVE_DELTA)
+        .revive_after(BUDDY, BUDDY_KILL_AFTER_SENDS + REVIVE_DELTA)
+        .with_recv_deadline(Duration::from_millis(800));
+    let double = run_plan(ft_config(K), double_plan);
+    for (r, rep) in double.iter().enumerate() {
+        assert_eq!(
+            rep.died_at_step, None,
+            "rank {r} must end the double-fault run alive"
+        );
+        assert!(
+            rep.dead_ranks.is_empty(),
+            "rank {r} must end at full capacity, believes {:?} dead",
+            rep.dead_ranks
+        );
+        assert!(
+            rep.loss_curve.iter().all(|l| l.is_nan() || l.is_finite()),
+            "rank {r} committed a non-finite loss"
+        );
+        assert!(rep.final_loss.is_finite(), "rank {r} final loss not finite");
+    }
+    assert_eq!(double[KILLED].rejoins, 1, "the victim must rejoin");
+    assert_eq!(double[BUDDY].rejoins, 1, "the buddy must rejoin");
+}
