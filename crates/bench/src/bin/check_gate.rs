@@ -1,30 +1,48 @@
-//! CI performance gate over `BENCH_overlap.json`.
+//! CI performance gates over the benchmark JSON reports.
 //!
-//! Reads the report `overlap_forward` writes and fails (non-zero exit)
-//! unless the pipelined forward at the gated degree beats the serial path
-//! by the required factor. Usage:
+//! Two modes, selected by the first argument:
 //!
-//! ```bash
-//! cargo run --release -p schemoe-bench --bin check_gate -- \
-//!     [path] [degree] [min-speedup]
-//! ```
+//! * default — reads the report `overlap_forward` writes and fails
+//!   (non-zero exit) unless the pipelined forward at the gated degree
+//!   beats the serial path by the required factor:
 //!
-//! Defaults: `BENCH_overlap.json`, degree 4, 1.2x. The parse uses the
-//! workspace's own strict JSON reader, so a malformed report also fails
-//! the gate instead of sneaking past it.
+//!   ```bash
+//!   cargo run --release -p schemoe-bench --bin check_gate -- \
+//!       [path] [degree] [min-speedup]
+//!   ```
+//!
+//!   Defaults: `BENCH_overlap.json`, degree 4, 1.2x.
+//!
+//! * `--fullstep` — reads the report `fullstep` writes and enforces the
+//!   whole-step contract: the best degree beats serial by the best-floor,
+//!   *every* candidate degree holds at least the per-degree floor (the
+//!   r=8 regression gate — overlap must never lose to serial), and the
+//!   online chooser picked the measured oracle degree:
+//!
+//!   ```bash
+//!   cargo run --release -p schemoe-bench --bin check_gate -- \
+//!       --fullstep [path] [best-floor] [per-degree-floor]
+//!   ```
+//!
+//!   Defaults: `BENCH_fullstep.json`, 1.6x, 1.0x.
+//!
+//! Both modes parse with the workspace's own strict JSON reader, so a
+//! malformed report also fails the gate instead of sneaking past it.
 
 use schemoe_obs::json::{self, Json};
 
-fn main() {
-    let mut args = std::env::args().skip(1);
+fn load(path: &str, producer: &str) -> Json {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run {producer} first)"));
+    json::parse(&raw).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"))
+}
+
+fn forward_gate(mut args: impl Iterator<Item = String>) {
     let path = args.next().unwrap_or_else(|| "BENCH_overlap.json".into());
     let degree: f64 = args.next().map_or(4.0, |a| a.parse().expect("degree"));
     let floor: f64 = args.next().map_or(1.2, |a| a.parse().expect("min speedup"));
 
-    let raw = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run overlap_forward first)"));
-    let doc = json::parse(&raw).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
-
+    let doc = load(&path, "overlap_forward");
     let degrees = doc
         .get("degrees")
         .and_then(Json::as_array)
@@ -52,4 +70,77 @@ fn main() {
         std::process::exit(1);
     }
     println!("PASS");
+}
+
+fn fullstep_gate(mut args: impl Iterator<Item = String>) {
+    let path = args.next().unwrap_or_else(|| "BENCH_fullstep.json".into());
+    let best_floor: f64 = args.next().map_or(1.6, |a| a.parse().expect("best floor"));
+    let each_floor: f64 = args
+        .next()
+        .map_or(1.0, |a| a.parse().expect("per-degree floor"));
+
+    let doc = load(&path, "fullstep");
+    let degrees = doc
+        .get("degrees")
+        .and_then(Json::as_array)
+        .expect("report has a degrees array");
+    let mut failed = false;
+    let mut best = f64::NEG_INFINITY;
+    for entry in degrees {
+        let r = entry.get("r").and_then(Json::as_f64).expect("degree has r");
+        if r <= 1.0 {
+            continue;
+        }
+        let speedup = entry
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .expect("degree entry has a speedup");
+        let ok = speedup >= each_floor;
+        println!(
+            "fullstep gate: r={r} -> {speedup:.3}x (per-degree floor {each_floor:.2}x) {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            eprintln!(
+                "FAIL: degree {r} loses to the serial step ({speedup:.3}x < {each_floor:.2}x)"
+            );
+            failed = true;
+        }
+        best = best.max(speedup);
+    }
+    assert!(best.is_finite(), "report has no overlapped degrees");
+    println!("fullstep gate: best {best:.3}x (best floor {best_floor:.2}x)");
+    if best < best_floor {
+        eprintln!("FAIL: best speedup {best:.3}x is below the {best_floor:.2}x floor");
+        failed = true;
+    }
+
+    let chosen = doc
+        .get("chosen_r")
+        .and_then(Json::as_f64)
+        .expect("report has chosen_r");
+    let oracle = doc
+        .get("oracle_r")
+        .and_then(Json::as_f64)
+        .expect("report has oracle_r");
+    println!("fullstep gate: online chooser r={chosen} vs measured oracle r={oracle}");
+    if chosen != oracle {
+        eprintln!("FAIL: online chooser picked r={chosen}, oracle is r={oracle}");
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--fullstep") {
+        args.next();
+        fullstep_gate(args);
+    } else {
+        forward_gate(args);
+    }
 }

@@ -80,8 +80,12 @@ fn main() {
     let mut profiler = Profiler::new();
     let ingested = profiler.ingest_trace(&trace);
     assert!(ingested > 0, "no stage spans reached the profiler");
-    let a1_pred = profiler.predict(TaskKind::AllToAll1, 64e3);
-    let e_pred = profiler.predict(TaskKind::Expert, 256.0);
+    let a1_pred = profiler
+        .predict(TaskKind::AllToAll1, 64e3)
+        .expect("A1 spans sampled");
+    let e_pred = profiler
+        .predict(TaskKind::Expert, 256.0)
+        .expect("E spans sampled");
 
     let cats = trace.cats();
     for needed in [

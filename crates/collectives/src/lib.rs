@@ -101,12 +101,28 @@ fn coll_span(alg: &str, tag: u64, chunks: &[Bytes]) -> schemoe_obs::SpanGuard {
     )
 }
 
+/// Hard ceiling on the pipeline partition degree `r`.
+///
+/// A lane is `TAG_STRIDE / 4` tags wide and the serial path's hosted
+/// failover legs occupy `lane + 1 + rank` (ranks ≤ 64), so 4096 chunks per
+/// lane leaves both schemes collision-free with orders of magnitude to
+/// spare. Configuration layers cap degrees here at construction so a
+/// misconfigured degree fails loudly instead of silently colliding tags
+/// across lanes in a release build.
+pub const MAX_PARTITION_DEGREE: usize = 4096;
+
 /// The tag for chunk `chunk` of the exchange in `lane`, under `tag_base`.
 ///
-/// `chunk` must stay far below `TAG_STRIDE / 4` (the lane width); the
-/// pipeline degrees in use (≤ 64) are nowhere near it.
+/// # Panics
+///
+/// Panics (in every build profile) if `chunk` would overflow its lane —
+/// a collision here silently crosses gradient and activation traffic, so
+/// the guard must not compile away in release builds.
 pub fn chunk_tag(tag_base: u64, lane: u64, chunk: usize) -> u64 {
-    debug_assert!((chunk as u64) < TAG_STRIDE / 4, "chunk overflows its lane");
+    assert!(
+        chunk < MAX_PARTITION_DEGREE && (chunk as u64) < TAG_STRIDE / 4,
+        "chunk {chunk} overflows its lane (max degree {MAX_PARTITION_DEGREE})"
+    );
     tag_base + lane + chunk as u64
 }
 

@@ -3,17 +3,34 @@
 //! The paper's Profiler measures each task type on the running cluster,
 //! fits performance models, and lets the Scheduler pick execution
 //! parameters from *predictions* instead of re-measuring every
-//! configuration. [`AdaptiveScheMoe`] does exactly that: a calibration
-//! phase records task timings at a handful of probe sizes, per-kind
-//! linear models are fitted, and from then on the partition degree `r` is
-//! chosen from model predictions alone — no simulation of candidate
-//! degrees at decision time.
+//! configuration. [`AdaptiveScheMoe`] does exactly that, in two modes:
+//!
+//! * **Calibrated**: a calibration phase records task timings at a
+//!   handful of probe sizes, per-kind linear models are fitted, and from
+//!   then on the partition degree `r` is chosen from model predictions
+//!   alone — no simulation of candidate degrees at decision time.
+//! * **Online**: spans measured during the run itself are ingested per
+//!   step ([`observe_step`](AdaptiveScheMoe::observe_step)); after a
+//!   warm-up that cycles through the candidate degrees (so every kind is
+//!   sampled at ≥ 2 sizes and the linear models become identifiable),
+//!   [`choose_degree_online`](AdaptiveScheMoe::choose_degree_online)
+//!   re-picks `r` each step from the fitted models over the *whole*
+//!   training step — forward and backward pipelines.
+//!
+//! Two invariants guard the known r=8 regression: an unmeasured task kind
+//! is *unknown*, never free (missing coverage keeps the current degree or
+//! falls back to serial, it cannot justify more pipelining), and `r = 1`
+//! is always in the candidate set, so an overlapped degree is only chosen
+//! when the model says it strictly beats serial.
+
+use std::collections::HashMap;
 
 use schemoe_cluster::{HardwareProfile, Topology};
 use schemoe_collectives::{AllToAll, PipeA2A};
 use schemoe_netsim::SimTime;
+use schemoe_obs::FuncTrace;
 use schemoe_scheduler::schedules::optsche;
-use schemoe_scheduler::{MoeLayerCosts, Profiler, TaskKind, TaskSet};
+use schemoe_scheduler::{span_kind, MoeLayerCosts, Profiler, TaskKind, TaskSet};
 
 use crate::config::LayerShape;
 
@@ -23,20 +40,85 @@ pub struct AdaptiveScheMoe {
     compression_ratio: f64,
     degrees: Vec<usize>,
     calibrated: bool,
+    /// Degree in force until the online models take over (and the
+    /// fallback whenever coverage is missing).
+    configured: usize,
+    /// Steps to observe before trusting the online models.
+    warmup_steps: usize,
+    /// Steps ingested via [`Self::observe_step`].
+    steps_seen: usize,
+    /// Per-kind full-step size (sum of that kind's span sizes within one
+    /// step — degree-invariant: `r` chunks of `S/r` sum to `S`).
+    full_sizes: HashMap<TaskKind, f64>,
+    /// Pipeline granularity of the overlapped backward, when it differs
+    /// from the forward degree. The functional layer's backward chunks
+    /// per *source rank*, so any `r > 1` runs the same backward pipeline;
+    /// `None` falls back to chunking the backward by `r` (the purely
+    /// simulated regime).
+    backward_chunks: Option<usize>,
 }
 
 impl AdaptiveScheMoe {
-    /// Creates an uncalibrated instance (ZFP ratio, degrees {1, 2, 4, 8}).
+    /// Creates an uncalibrated instance (ZFP ratio, degrees {1, 2, 4, 8},
+    /// warm-up of one step per candidate degree).
     pub fn new() -> Self {
+        let degrees = vec![1, 2, 4, 8];
         AdaptiveScheMoe {
             profiler: Profiler::new(),
             compression_ratio: 4.0,
-            degrees: vec![1, 2, 4, 8],
+            warmup_steps: degrees.len(),
+            degrees,
             calibrated: false,
+            configured: 1,
+            steps_seen: 0,
+            full_sizes: HashMap::new(),
+            backward_chunks: None,
         }
     }
 
-    /// Whether [`Self::calibrate`] has run.
+    /// Declares the overlapped backward's pipeline granularity (the world
+    /// size: one chunk per source rank). With this set, every `r > 1`
+    /// candidate is modelled with the same per-source backward pipeline
+    /// and only the forward half varies with `r` — matching what the
+    /// functional layer actually executes.
+    pub fn set_backward_chunks(&mut self, chunks: usize) {
+        self.backward_chunks = Some(chunks.max(1));
+    }
+
+    /// Overrides the candidate degree set (1 is always added back at
+    /// decision time — the never-lose-to-serial clamp is not optional).
+    pub fn with_degrees(mut self, degrees: Vec<usize>) -> Self {
+        assert!(!degrees.is_empty(), "at least one candidate degree");
+        self.warmup_steps = degrees.len().max(2);
+        self.degrees = degrees;
+        self
+    }
+
+    /// Overrides the warm-up length (in observed steps).
+    pub fn with_warmup(mut self, steps: usize) -> Self {
+        self.warmup_steps = steps;
+        self
+    }
+
+    /// Sets the degree used during warm-up and whenever model coverage is
+    /// missing.
+    pub fn set_configured_degree(&mut self, r: usize) {
+        self.configured = r;
+    }
+
+    /// The candidate degrees, with serial guaranteed present, ascending.
+    fn candidates(&self) -> Vec<usize> {
+        let mut cands = self.degrees.clone();
+        if !cands.contains(&1) {
+            cands.push(1);
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        cands
+    }
+
+    /// Whether [`Self::calibrate`] has run (or measured samples have been
+    /// recorded).
     pub fn is_calibrated(&self) -> bool {
         self.calibrated
     }
@@ -46,10 +128,25 @@ impl AdaptiveScheMoe {
         &self.profiler
     }
 
+    /// Records one externally measured `(size, time)` sample for `kind`
+    /// and marks the instance calibrated. This is the measured-data
+    /// entry point tests and custom calibration harnesses use; bulk
+    /// ingestion from a trace goes through [`Self::observe_step`].
+    pub fn record_sample(&mut self, kind: TaskKind, size: f64, t: SimTime) {
+        self.profiler.record(kind, size, t);
+        self.calibrated = true;
+    }
+
     /// Runs the profiling phase: times every task kind at several probe
     /// sizes on the target cluster (here: the simulator standing in for
     /// the wall clock, exactly as the real system's profiler stands in
     /// front of CUDA events) and records the samples.
+    ///
+    /// The combine half (`C2`/`A2`/`D2`) is recorded independently of the
+    /// dispatch half, and the backward kinds independently of the forward
+    /// ones: gradient A2As travel uncompressed (raw activation bytes on
+    /// the wire) and the expert backward runs the dX+dW pair (2× the
+    /// forward GEMMs).
     pub fn calibrate(&mut self, topo: &Topology, hw: &HardwareProfile) {
         let probe_tokens = [512usize, 2048, 8192, 32768];
         let (m, h) = (1024usize, 4096usize);
@@ -61,68 +158,276 @@ impl AdaptiveScheMoe {
                 compression_ratio: self.compression_ratio,
             };
             let tasks = costs.task_set(topo, hw, &PipeA2A::new(), 1);
-            // Record (size, measured time) per kind; sizes use the same
-            // units the predictor will query with.
-            self.profiler.record(
-                TaskKind::Compress1,
-                costs.a2a_bytes() as f64,
-                tasks.duration(TaskKind::Compress1, 0),
-            );
-            self.profiler.record(
-                TaskKind::Decompress1,
-                costs.a2a_bytes() as f64,
-                tasks.duration(TaskKind::Decompress1, 0),
-            );
-            self.profiler.record(
-                TaskKind::AllToAll1,
-                costs.wire_bytes() as f64,
-                tasks.duration(TaskKind::AllToAll1, 0),
-            );
-            self.profiler.record(
-                TaskKind::Expert,
-                costs.expert_flops() as f64,
-                tasks.duration(TaskKind::Expert, 0),
-            );
+            // Gradient exchanges skip the codec, so their wire time is the
+            // uncompressed A2A's.
+            let raw = MoeLayerCosts {
+                compression_ratio: 1.0,
+                ..costs
+            };
+            let raw_tasks = raw.task_set(topo, hw, &PipeA2A::new(), 1);
+            let bytes = costs.a2a_bytes() as f64;
+            let wire = costs.wire_bytes() as f64;
+            let flops = costs.expert_flops() as f64;
+            // Forward, dispatch and combine sides each from their own
+            // task durations.
+            for (kind, size) in [
+                (TaskKind::Compress1, bytes),
+                (TaskKind::AllToAll1, wire),
+                (TaskKind::Decompress1, bytes),
+                (TaskKind::Expert, flops),
+                (TaskKind::Compress2, bytes),
+                (TaskKind::AllToAll2, wire),
+                (TaskKind::Decompress2, bytes),
+            ] {
+                self.profiler.record(kind, size, tasks.duration(kind, 0));
+            }
+            // Backward: raw-wire A2As, 2× expert, codec-free grad builds
+            // costed like the forward encode/decode of the same bytes.
+            let raw_a2a = raw_tasks.duration(TaskKind::AllToAll1, 0);
+            for (kind, size, t) in [
+                (
+                    TaskKind::BwdCompress1,
+                    bytes,
+                    tasks.duration(TaskKind::Compress1, 0),
+                ),
+                (TaskKind::BwdAllToAll1, bytes, raw_a2a),
+                (
+                    TaskKind::BwdDecompress1,
+                    bytes,
+                    tasks.duration(TaskKind::Decompress1, 0),
+                ),
+                (
+                    TaskKind::BwdExpert,
+                    flops,
+                    tasks.duration(TaskKind::Expert, 0) * 2.0,
+                ),
+                (
+                    TaskKind::BwdCompress2,
+                    bytes,
+                    tasks.duration(TaskKind::Compress2, 0),
+                ),
+                (TaskKind::BwdAllToAll2, bytes, raw_a2a),
+                (
+                    TaskKind::BwdDecompress2,
+                    bytes,
+                    tasks.duration(TaskKind::Decompress2, 0),
+                ),
+            ] {
+                self.profiler.record(kind, size, t);
+            }
         }
         self.calibrated = true;
     }
 
-    /// Predicts the full task set for `shape` at degree `r` from the
-    /// fitted models — no simulator involved.
+    /// Predicts the forward task set for `shape` at degree `r` from the
+    /// fitted models — no simulator involved. Each of the seven stages is
+    /// predicted from its own model (the combine half is *not* mirrored
+    /// from the dispatch half). Returns `None` if any stage lacks model
+    /// coverage: an unmeasured stage must not be priced as free.
     ///
     /// # Panics
     ///
-    /// Panics if called before [`Self::calibrate`].
-    pub fn predict_task_set(&self, shape: &LayerShape, r: usize) -> TaskSet {
+    /// Panics if called before [`Self::calibrate`] (or any sample
+    /// recording).
+    pub fn predict_task_set(&self, shape: &LayerShape, r: usize) -> Option<TaskSet> {
         assert!(self.calibrated, "calibrate() must run before predictions");
         let costs = shape.costs(self.compression_ratio);
         let chunk_bytes = costs.a2a_bytes() as f64 / r as f64;
         let chunk_wire = costs.wire_bytes() as f64 / r as f64;
         let chunk_flops = costs.expert_flops() as f64 / r as f64;
-        TaskSet::uniform(
+        let p = &self.profiler;
+        Some(TaskSet::per_stage(
             r,
-            self.profiler.predict(TaskKind::Compress1, chunk_bytes),
-            self.profiler.predict(TaskKind::AllToAll1, chunk_wire),
-            self.profiler.predict(TaskKind::Decompress1, chunk_bytes),
-            self.profiler.predict(TaskKind::Expert, chunk_flops),
+            [
+                p.predict(TaskKind::Compress1, chunk_bytes)?,
+                p.predict(TaskKind::AllToAll1, chunk_wire)?,
+                p.predict(TaskKind::Decompress1, chunk_bytes)?,
+                p.predict(TaskKind::Expert, chunk_flops)?,
+                p.predict(TaskKind::Compress2, chunk_bytes)?,
+                p.predict(TaskKind::AllToAll2, chunk_wire)?,
+                p.predict(TaskKind::Decompress2, chunk_bytes)?,
+            ],
+        ))
+    }
+
+    /// Predicts the backward task set for `shape` at degree `r`. Gradient
+    /// payloads travel uncompressed, so every byte-sized stage is queried
+    /// at raw activation bytes. `None` on missing coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::calibrate`] (or any sample
+    /// recording).
+    pub fn predict_backward_task_set(&self, shape: &LayerShape, r: usize) -> Option<TaskSet> {
+        assert!(self.calibrated, "calibrate() must run before predictions");
+        let costs = shape.costs(self.compression_ratio);
+        let chunk_bytes = costs.a2a_bytes() as f64 / r as f64;
+        let chunk_flops = costs.expert_flops() as f64 / r as f64;
+        let p = &self.profiler;
+        Some(TaskSet::per_stage(
+            r,
+            [
+                p.predict(TaskKind::BwdCompress1, chunk_bytes)?,
+                p.predict(TaskKind::BwdAllToAll1, chunk_bytes)?,
+                p.predict(TaskKind::BwdDecompress1, chunk_bytes)?,
+                p.predict(TaskKind::BwdExpert, chunk_flops)?,
+                p.predict(TaskKind::BwdCompress2, chunk_bytes)?,
+                p.predict(TaskKind::BwdAllToAll2, chunk_bytes)?,
+                p.predict(TaskKind::BwdDecompress2, chunk_bytes)?,
+            ],
+        ))
+    }
+
+    /// Predicted whole-step (forward + backward) makespan under OptSche at
+    /// degree `r`. `None` on missing coverage for any stage of either
+    /// pass.
+    pub fn predict_step_makespan(&self, shape: &LayerShape, r: usize) -> Option<SimTime> {
+        let fwd = self.predict_task_set(shape, r)?;
+        let bwd = self.predict_backward_task_set(shape, r)?;
+        let sched = optsche(r);
+        Some(
+            sched.makespan(&fwd).expect("optsche is valid")
+                + sched.makespan(&bwd).expect("optsche is valid"),
         )
     }
 
     /// Chooses the partition degree from model predictions alone.
     ///
+    /// `r = 1` is always among the candidates and wins ties, so the
+    /// decision never trades a measured serial time for a predicted
+    /// overlap gain of zero; candidates whose makespan cannot be fully
+    /// predicted (missing kind coverage) are treated as unknown and
+    /// skipped, and with no predictable candidate at all the choice is
+    /// serial.
+    ///
     /// # Panics
     ///
-    /// Panics if called before [`Self::calibrate`].
+    /// Panics if called before [`Self::calibrate`] (or any sample
+    /// recording).
     pub fn choose_degree(&self, shape: &LayerShape) -> usize {
         let mut best: Option<(usize, SimTime)> = None;
-        for &r in &self.degrees {
-            let tasks = self.predict_task_set(shape, r);
+        for r in self.candidates() {
+            let Some(tasks) = self.predict_task_set(shape, r) else {
+                continue;
+            };
             let m = optsche(r).makespan(&tasks).expect("valid");
             if best.is_none_or(|(_, bm)| m < bm) {
                 best = Some((r, m));
             }
         }
-        best.expect("non-empty degree set").0
+        best.map_or(1, |(r, _)| r)
+    }
+
+    /// Ingests one training step's measured trace: every stage span feeds
+    /// the per-kind models, and per-kind full-step sizes (the sum of a
+    /// kind's span sizes within the step, which is degree-invariant) are
+    /// remembered for online degree decisions. Returns the number of
+    /// samples ingested.
+    pub fn observe_step(&mut self, trace: &FuncTrace) -> usize {
+        let n = self.profiler.ingest_trace(trace);
+        let mut sums: HashMap<TaskKind, f64> = HashMap::new();
+        for s in &trace.spans {
+            if let Some(kind) = span_kind(&s.name) {
+                *sums.entry(kind).or_insert(0.0) += s.size;
+            }
+        }
+        for (kind, total) in sums {
+            self.full_sizes.insert(kind, total);
+        }
+        self.steps_seen += 1;
+        if n > 0 {
+            self.calibrated = true;
+        }
+        n
+    }
+
+    /// Steps observed so far via [`Self::observe_step`].
+    pub fn steps_seen(&self) -> usize {
+        self.steps_seen
+    }
+
+    /// Whether the online loop is still warming up.
+    pub fn in_warmup(&self) -> bool {
+        self.steps_seen < self.warmup_steps
+    }
+
+    /// The degree to *run* step `step` at: during warm-up, cycle through
+    /// the candidate degrees (one step each) so every task kind is
+    /// sampled at ≥ 2 distinct chunk sizes and the linear models become
+    /// identifiable; afterwards, whatever the online chooser picked.
+    pub fn warmup_degree(&self, step: usize) -> usize {
+        let cands = self.candidates();
+        cands[step % cands.len()]
+    }
+
+    /// Re-chooses the degree from spans ingested during the run.
+    ///
+    /// During warm-up — or whenever any stage of the whole-step pipeline
+    /// lacks model coverage — this returns the configured degree
+    /// unchanged: an unmeasured stage is unknown, not free, so it can
+    /// never push the decision toward more pipelining (the bug that made
+    /// `choose_degree` over-pipeline to r=8). Otherwise it is the argmin
+    /// of the predicted forward+backward OptSche makespans over the
+    /// candidates, with serial always present and winning ties.
+    pub fn choose_degree_online(&self) -> usize {
+        if self.in_warmup() {
+            return self.configured;
+        }
+        let mut best: Option<(usize, SimTime)> = None;
+        for r in self.candidates() {
+            let Some(m) = self.predict_online_step(r) else {
+                return self.configured;
+            };
+            if best.is_none_or(|(_, bm)| m < bm) {
+                best = Some((r, m));
+            }
+        }
+        best.map_or(self.configured, |(r, _)| r)
+    }
+
+    /// Predicted whole-step makespan at degree `r` from the observed
+    /// full-step sizes. `None` if any of the 14 stages lacks either an
+    /// observed size or model coverage.
+    pub fn predict_online_step(&self, r: usize) -> Option<SimTime> {
+        let pred = |kind: TaskKind, chunks: usize| -> Option<SimTime> {
+            let full = self.full_sizes.get(&kind).copied()?;
+            self.profiler.predict(kind, full / chunks as f64)
+        };
+        let fwd = TaskSet::per_stage(
+            r,
+            [
+                pred(TaskKind::Compress1, r)?,
+                pred(TaskKind::AllToAll1, r)?,
+                pred(TaskKind::Decompress1, r)?,
+                pred(TaskKind::Expert, r)?,
+                pred(TaskKind::Compress2, r)?,
+                pred(TaskKind::AllToAll2, r)?,
+                pred(TaskKind::Decompress2, r)?,
+            ],
+        );
+        // The backward pipelines per source rank, not per forward chunk:
+        // serial at r = 1, the fixed per-source pipeline at any r > 1.
+        let rb = if r <= 1 {
+            1
+        } else {
+            self.backward_chunks.unwrap_or(r)
+        };
+        let bwd = TaskSet::per_stage(
+            rb,
+            [
+                pred(TaskKind::BwdCompress1, rb)?,
+                pred(TaskKind::BwdAllToAll1, rb)?,
+                pred(TaskKind::BwdDecompress1, rb)?,
+                pred(TaskKind::BwdExpert, rb)?,
+                pred(TaskKind::BwdCompress2, rb)?,
+                pred(TaskKind::BwdAllToAll2, rb)?,
+                pred(TaskKind::BwdDecompress2, rb)?,
+            ],
+        );
+        Some(
+            optsche(r).makespan(&fwd).expect("optsche is valid")
+                + optsche(rb).makespan(&bwd).expect("optsche is valid"),
+        )
     }
 
     /// The oracle decision: pick the degree by actually simulating every
@@ -136,7 +441,7 @@ impl AdaptiveScheMoe {
     ) -> usize {
         let costs = shape.costs(self.compression_ratio);
         let mut best: Option<(usize, SimTime)> = None;
-        for &r in &self.degrees {
+        for r in self.candidates() {
             let tasks = costs.task_set(topo, hw, &PipeA2A::new(), r);
             let m = optsche(r).makespan(&tasks).expect("valid");
             if best.is_none_or(|(_, bm)| m < bm) {
@@ -205,7 +510,7 @@ mod tests {
         let mut sys = AdaptiveScheMoe::new();
         sys.calibrate(&topo, &hw);
         for shape in shapes() {
-            let predicted = sys.predict_task_set(&shape, 2);
+            let predicted = sys.predict_task_set(&shape, 2).expect("full coverage");
             let actual = shape.costs(4.0).task_set(&topo, &hw, &PipeA2A::new(), 2);
             for kind in [TaskKind::AllToAll1, TaskKind::Expert] {
                 let p = predicted.duration(kind, 0).as_secs();
@@ -248,7 +553,19 @@ mod tests {
         let (topo, hw) = env();
         let mut sys = AdaptiveScheMoe::new();
         sys.calibrate(&topo, &hw);
-        for kind in [TaskKind::Compress1, TaskKind::AllToAll1, TaskKind::Expert] {
+        for kind in [
+            TaskKind::Compress1,
+            TaskKind::AllToAll1,
+            TaskKind::Expert,
+            TaskKind::Compress2,
+            TaskKind::AllToAll2,
+            TaskKind::Decompress2,
+            TaskKind::BwdCompress1,
+            TaskKind::BwdAllToAll1,
+            TaskKind::BwdExpert,
+            TaskKind::BwdAllToAll2,
+            TaskKind::BwdDecompress2,
+        ] {
             assert!(
                 sys.profiler().sample_count(kind) >= 4,
                 "{kind:?} undersampled"
@@ -258,5 +575,189 @@ mod tests {
                 "{kind:?} unidentifiable"
             );
         }
+    }
+
+    /// Regression for the zero-cost fallback: with `Compress1` never
+    /// sampled and the comm stages dominant, the old code priced the
+    /// missing kind at zero, so overlap looked free and `choose_degree`
+    /// flipped to the maximum degree (the r=8 regression). Missing
+    /// coverage must instead disqualify the candidate — every candidate
+    /// here — and the decision must fall back to serial.
+    #[test]
+    fn missing_kind_pins_choice_to_serial_not_max_r() {
+        let mut sys = AdaptiveScheMoe::new();
+        // Comm-heavy models for everything except Compress1, which stays
+        // unsampled.
+        for (kind, per_byte) in [
+            (TaskKind::AllToAll1, 1e-8),
+            (TaskKind::Decompress1, 1e-11),
+            (TaskKind::Compress2, 1e-11),
+            (TaskKind::AllToAll2, 1e-8),
+            (TaskKind::Decompress2, 1e-11),
+        ] {
+            for &size in &[1e6, 4e6] {
+                sys.record_sample(kind, size, SimTime::from_secs(size * per_byte));
+            }
+        }
+        for &flops in &[1e9, 4e9] {
+            sys.record_sample(TaskKind::Expert, flops, SimTime::from_secs(flops * 1e-12));
+        }
+        assert!(sys.profiler().covers(TaskKind::AllToAll1));
+        assert!(!sys.profiler().covers(TaskKind::Compress1));
+        let shape = shapes()[0];
+        assert!(
+            sys.predict_task_set(&shape, 8).is_none(),
+            "missing kind must void the prediction"
+        );
+        assert_eq!(
+            sys.choose_degree(&shape),
+            1,
+            "unmeasured stage must not buy more pipelining"
+        );
+    }
+
+    /// The combine half must be predicted from its own samples, not
+    /// mirrored from the dispatch half (top-k fan-in makes the two differ
+    /// in practice).
+    #[test]
+    fn combine_half_is_modelled_independently() {
+        let mut sys = AdaptiveScheMoe::new();
+        let dispatch = 1e-9; // s/byte
+        let combine = 3e-9; // combine side 3× slower
+        for &size in &[1e6, 4e6] {
+            for kind in [TaskKind::Compress1, TaskKind::Decompress1] {
+                sys.record_sample(kind, size, SimTime::from_secs(size * dispatch));
+            }
+            for kind in [TaskKind::Compress2, TaskKind::Decompress2] {
+                sys.record_sample(kind, size, SimTime::from_secs(size * combine));
+            }
+            for kind in [TaskKind::AllToAll1, TaskKind::AllToAll2] {
+                sys.record_sample(kind, size, SimTime::from_secs(size * 5e-9));
+            }
+        }
+        for &flops in &[1e9, 4e9] {
+            sys.record_sample(TaskKind::Expert, flops, SimTime::from_secs(flops * 1e-12));
+        }
+        let ts = sys.predict_task_set(&shapes()[0], 2).expect("covered");
+        let c1 = ts.duration(TaskKind::Compress1, 0).as_secs();
+        let c2 = ts.duration(TaskKind::Compress2, 0).as_secs();
+        assert!(
+            (c2 / c1 - 3.0).abs() < 0.1,
+            "combine compress must track its own 3× model, got C1={c1} C2={c2}"
+        );
+    }
+
+    /// The never-lose-to-serial clamp: when the per-task intercept (fixed
+    /// per-chunk overhead) dominates, splitting into more chunks adds
+    /// overhead faster than overlap can hide it — predicted overlap gain
+    /// is negative and the choice must be serial.
+    #[test]
+    fn negative_overlap_gain_pins_choice_to_serial() {
+        let mut sys = AdaptiveScheMoe::new().with_degrees(vec![2, 4, 8]);
+        // Every stage costs 10 ms fixed + a negligible size term: at
+        // degree r the pipeline pays ~r× the fixed cost per stage while
+        // the overlappable part is tiny.
+        for kind in TaskKind::ALL {
+            for &size in &[1e6, 4e6] {
+                sys.record_sample(kind, size, SimTime::from_secs(10e-3 + size * 1e-15));
+            }
+        }
+        let choice = sys.choose_degree(&shapes()[0]);
+        assert_eq!(
+            choice, 1,
+            "overhead-dominated pipeline must fall back to serial even \
+             when 1 is not in the configured degree set"
+        );
+    }
+
+    #[test]
+    fn online_loop_warms_up_then_follows_the_models() {
+        let mut sys = AdaptiveScheMoe::new().with_warmup(2);
+        sys.set_configured_degree(4);
+        assert!(sys.in_warmup());
+        assert_eq!(
+            sys.choose_degree_online(),
+            4,
+            "warm-up keeps the configured degree"
+        );
+        // Warm-up cycles candidates so sizes differ across steps.
+        assert_eq!(sys.warmup_degree(0), 1);
+        assert_ne!(sys.warmup_degree(1), sys.warmup_degree(0));
+
+        // Two synthetic steps, observed at degrees 1 and 2: comm-bound
+        // full step (A2As dwarf compute), so overlap should win.
+        let mk = |name: &str, size: f64, dur_us: f64| schemoe_obs::SpanRecord {
+            cat: "stage",
+            name: name.to_string(),
+            rank: 0,
+            thread: "t".to_string(),
+            start_us: 0.0,
+            dur_us,
+            size,
+            depth: 0,
+        };
+        let step_at = |r: usize| {
+            let mut spans = Vec::new();
+            let full_bytes = 8e6;
+            let full_flops = 1e9;
+            for c in 0..r {
+                let b = full_bytes / r as f64;
+                let f = full_flops / r as f64;
+                // Comm: 1 ms/MB; compute: ~0.01 ms/MB — heavily comm-bound.
+                for stem in ["C1", "D1", "C2", "D2", "C1b", "D1b", "C2b", "D2b"] {
+                    spans.push(mk(&format!("{stem}[c{c}]"), b, b * 1e-5));
+                }
+                for stem in ["A1", "A2", "A1b", "A2b"] {
+                    spans.push(mk(&format!("{stem}[c{c}]"), b, b * 1e-3));
+                }
+                for stem in ["E", "Eb"] {
+                    spans.push(mk(&format!("{stem}[c{c}]"), f, f * 1e-5));
+                }
+            }
+            FuncTrace {
+                spans,
+                counters: Vec::new(),
+            }
+        };
+        assert!(sys.observe_step(&step_at(1)) > 0);
+        assert!(sys.observe_step(&step_at(2)) > 0);
+        assert!(!sys.in_warmup());
+        let chosen = sys.choose_degree_online();
+        assert!(
+            chosen > 1,
+            "comm-bound step must choose an overlapped degree, got {chosen}"
+        );
+        assert_eq!(sys.steps_seen(), 2);
+    }
+
+    #[test]
+    fn online_loop_without_backward_coverage_keeps_configured_degree() {
+        let mut sys = AdaptiveScheMoe::new().with_warmup(1);
+        sys.set_configured_degree(2);
+        let mk = |name: &str, size: f64| schemoe_obs::SpanRecord {
+            cat: "stage",
+            name: name.to_string(),
+            rank: 0,
+            thread: "t".to_string(),
+            start_us: 0.0,
+            dur_us: 1_000.0,
+            size,
+            depth: 0,
+        };
+        // Forward-only spans: the backward half of the step is unmeasured.
+        let trace = FuncTrace {
+            spans: ["C1", "A1", "D1", "E", "C2", "A2", "D2"]
+                .iter()
+                .map(|stem| mk(stem, 1e6))
+                .collect(),
+            counters: Vec::new(),
+        };
+        sys.observe_step(&trace);
+        assert!(!sys.in_warmup());
+        assert_eq!(
+            sys.choose_degree_online(),
+            2,
+            "missing backward coverage must keep the configured degree, not re-decide"
+        );
     }
 }

@@ -333,7 +333,21 @@ impl ScheMoeConfig {
     }
 
     /// Pipelined execution at degree `r` with a 30 s liveness deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds
+    /// [`MAX_PARTITION_DEGREE`](schemoe_collectives::MAX_PARTITION_DEGREE):
+    /// past that the per-chunk tags would overflow their lane and collide
+    /// with another lane's traffic, so the bound is enforced at
+    /// construction instead of at the first collective call.
     pub fn overlapped(r: usize) -> Self {
+        assert!(
+            r <= schemoe_collectives::MAX_PARTITION_DEGREE,
+            "partition degree {r} exceeds MAX_PARTITION_DEGREE \
+             ({}); larger degrees would collide chunk tags across lanes",
+            schemoe_collectives::MAX_PARTITION_DEGREE
+        );
         ScheMoeConfig {
             partition_degree: r,
             recv_timeout_ms: Some(30_000),
@@ -451,6 +465,13 @@ mod tests {
     /// `Serialize` impl is exercised through a debug formatter comparison.
     fn serde_json_like(s: &LayerShape) -> String {
         format!("{s:?}")
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PARTITION_DEGREE")]
+    fn overlapped_caps_the_partition_degree() {
+        // One past the lane capacity must fail loudly at construction.
+        ScheMoeConfig::overlapped(schemoe_collectives::MAX_PARTITION_DEGREE + 1);
     }
 
     #[test]

@@ -86,7 +86,8 @@ use schemoe_cluster::{AdaptiveDeadline, FabricError, RankHandle};
 use schemoe_collectives::{NcclA2A, TAG_STRIDE};
 use schemoe_compression::NoCompression;
 use schemoe_moe::{
-    allreduce_live, DeltaEncoder, DistributedMoeLayer, Expert, FfExpert, ReplicaStore, TopKGate,
+    allreduce_live, DeltaEncoder, DistributedMoeLayer, Expert, FfExpert, GradAllreduce,
+    ReplicaStore, TopKGate,
 };
 use schemoe_scheduler::executor::{run_overlapped_cancellable, ExecTask, Worker};
 use schemoe_tensor::checkpoint;
@@ -103,8 +104,10 @@ use crate::data::RegimeMarkov;
 pub const VOTE_COPIES: u64 = 4;
 
 /// Tag offset (from the end of an attempt's tag window) of the gradient
-/// allreduce.
-const ALLREDUCE_LANE: u64 = TAG_STRIDE - 4096;
+/// allreduce. The step uses two disjoint allreduce lanes (`allreduce_live`
+/// occupies two tags per call): `+ 0` for gradients folded into the MoE
+/// backward task graph, `+ 2` for those that only exist after it.
+pub const ALLREDUCE_LANE: u64 = TAG_STRIDE - 4096;
 
 /// Tag offset of the vote lane; round 2 adds [`VOTE_COPIES`].
 const VOTE_LANE: u64 = TAG_STRIDE - 256;
@@ -210,6 +213,11 @@ pub struct FtConfig {
     /// staleness instead of an expert-shaped hole. `0` disables
     /// replication (the reroute-only behaviour).
     pub replica_interval: usize,
+    /// Partition degree `r` of the MoE layer's overlapped pipeline.
+    /// `1` runs the serial path; higher degrees chunk the all-to-alls and
+    /// overlap them with compute in both forward and backward. The loss
+    /// trajectory is bit-identical at every degree.
+    pub partition_degree: usize,
 }
 
 impl FtConfig {
@@ -235,6 +243,7 @@ impl FtConfig {
             rejoin_check_every: 2,
             adaptive_deadline: None,
             replica_interval: 0,
+            partition_degree: 1,
         }
     }
 
@@ -259,6 +268,12 @@ impl FtConfig {
     /// Sets the buddy-replication quantum (`0` disables replication).
     pub fn with_replica_interval(mut self, interval: usize) -> Self {
         self.replica_interval = interval;
+        self
+    }
+
+    /// Sets the MoE partition degree (`1` = serial, no overlap).
+    pub fn with_partition_degree(mut self, degree: usize) -> Self {
+        self.partition_degree = degree.max(1);
         self
     }
 }
@@ -393,24 +408,53 @@ fn try_step(
     let loss = ce.forward(&logits, &targets);
     let dlogits = ce.backward();
     let dhid = head.backward(&dlogits);
-    let dx = moe.backward(h, &dhid)?;
+
+    // Split replicated-gradient allreduce. The head's gradients are final
+    // before the MoE backward starts, so their reduction is folded into
+    // the backward task graph and overlaps the backward all-to-alls on the
+    // comm worker. Embedding and gate gradients only exist afterwards and
+    // are reduced on a second, disjoint lane (`allreduce_live` uses two
+    // tags per call). Per-element sums are unchanged, so the loss curve is
+    // bit-identical to the old single fused allreduce.
+    let mut head_flat: Vec<f32> = Vec::new();
+    head.visit_params(&mut |p| head_flat.extend_from_slice(p.grad.data()));
+    let dx = moe.backward_with_allreduce(
+        h,
+        &dhid,
+        Some(GradAllreduce {
+            values: &mut head_flat,
+            tag: tag + ALLREDUCE_LANE,
+            live,
+        }),
+    )?;
     embed.backward(&dx);
 
-    // Average the replicated gradients over the live ranks.
     let mut flat: Vec<f32> = Vec::new();
-    visit_replicated(embed, moe, head, &mut |p| {
-        flat.extend_from_slice(p.grad.data());
+    embed.visit_params(&mut |p| flat.extend_from_slice(p.grad.data()));
+    moe.visit_params(&mut |p| {
+        if p.name.starts_with("gate.") {
+            flat.extend_from_slice(p.grad.data());
+        }
     });
-    allreduce_live(h, &mut flat, tag + ALLREDUCE_LANE, live)?;
+    allreduce_live(h, &mut flat, tag + ALLREDUCE_LANE + 2, live)?;
+
     let scale = 1.0 / live.iter().filter(|&&a| a).count() as f32;
-    let mut off = 0usize;
-    visit_replicated(embed, moe, head, &mut |p| {
+    let write_back = |p: &mut Param, src: &[f32], off: &mut usize| {
         let n = p.grad.numel();
-        for (g, &r) in p.grad.data_mut().iter_mut().zip(&flat[off..off + n]) {
+        for (g, &r) in p.grad.data_mut().iter_mut().zip(&src[*off..*off + n]) {
             *g = r * scale;
         }
-        off += n;
+        *off += n;
+    };
+    let mut off = 0usize;
+    embed.visit_params(&mut |p| write_back(p, &flat, &mut off));
+    moe.visit_params(&mut |p| {
+        if p.name.starts_with("gate.") {
+            write_back(p, &flat, &mut off);
+        }
     });
+    let mut hoff = 0usize;
+    head.visit_params(&mut |p| write_back(p, &head_flat, &mut hoff));
     Ok(loss)
 }
 
@@ -1298,6 +1342,7 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
         Box::new(NoCompression),
         Box::new(NcclA2A),
     )
+    .with_partition_degree(cfg.partition_degree.max(1))
     .with_recv_timeout(Duration::from_millis(cfg.vote_timeout_ms.max(100) * 4));
     let mut head = Linear::new(cfg.model_dim, cfg.vocab, &mut seeded(cfg.seed ^ 0x4EAD));
     let mut ce = SoftmaxCrossEntropy::new();
@@ -1666,6 +1711,30 @@ mod tests {
         let first = reports.iter().map(|r| r.loss_curve[0]).sum::<f32>() / 4.0;
         let last = mean_final_loss(&reports);
         assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn overlapped_training_reproduces_the_serial_loss_curve_bit_for_bit() {
+        // The whole-step pipeline (overlapped forward + backward with the
+        // head-grad allreduce folded into the backward graph) must not
+        // change a single bit of the training trajectory.
+        let run = |degree: usize| {
+            let cfg = FtConfig::tiny(6).with_partition_degree(degree);
+            Fabric::run(Topology::new(2, 2), |mut h| run_ft_rank(&mut h, &cfg))
+        };
+        let serial = run(1);
+        for degree in [2, 4] {
+            let overlapped = run(degree);
+            for (r, (s, o)) in serial.iter().zip(&overlapped).enumerate() {
+                assert_eq!(o.died_at_step, None);
+                let same = s
+                    .loss_curve
+                    .iter()
+                    .zip(&o.loss_curve)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "degree {degree} rank {r} loss curve diverged");
+            }
+        }
     }
 
     #[test]

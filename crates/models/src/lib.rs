@@ -27,5 +27,5 @@ pub use block::{FfnKind, TransformerBlock};
 pub use data::{CopyTranslation, RegimeMarkov};
 pub use ft::{run_ft_rank, FtConfig, FtReport};
 pub use lm::{LmConfig, TinyMoeLm};
-pub use trainer::{TrainReport, Trainer};
+pub use trainer::{distributed_full_step, TrainReport, Trainer};
 pub use zoo::MoeModelConfig;

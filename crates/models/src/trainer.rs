@@ -1,12 +1,50 @@
 //! Training loops and metrics for the convergence experiments.
 
 use rand::rngs::SmallRng;
+use schemoe_cluster::{FabricError, RankHandle};
+use schemoe_moe::{DistributedMoeLayer, GradAllreduce};
 use schemoe_obs as obs;
 use schemoe_tensor::optim::Adam;
 use schemoe_tensor::rng::seeded;
+use schemoe_tensor::Tensor;
 
 use crate::data::{CopyTranslation, RegimeMarkov};
+use crate::ft::ALLREDUCE_LANE;
 use crate::lm::TinyMoeLm;
+
+/// One whole distributed training step on an expert-parallel MoE layer:
+/// forward, then backward with the replicated-gradient allreduce folded
+/// into the backward task graph. At partition degrees > 1 both passes run
+/// the chunked pipeline and the allreduce overlaps the backward
+/// all-to-alls on the communication worker; at degree 1 everything runs
+/// serially. The result is bit-identical at every degree.
+///
+/// The upstream gradient is the forward output itself (the `loss =
+/// ½‖y‖²` convention the bit-identity tests and benchmarks use), so the
+/// step is self-contained. `replicated` stands in for replicated-module
+/// gradients: it must hold final values at call time and holds the
+/// live-rank sum on return, reduced on the [`ALLREDUCE_LANE`] of this
+/// step's tag window. Returns `(y, dx)`.
+pub fn distributed_full_step(
+    h: &mut RankHandle,
+    layer: &mut DistributedMoeLayer,
+    x: &Tensor,
+    tag: u64,
+    replicated: &mut [f32],
+    live: &[bool],
+) -> Result<(Tensor, Tensor), FabricError> {
+    let y = layer.forward(h, x, tag)?;
+    let dx = layer.backward_with_allreduce(
+        h,
+        &y,
+        Some(GradAllreduce {
+            values: replicated,
+            tag: tag + ALLREDUCE_LANE,
+            live,
+        }),
+    )?;
+    Ok((y, dx))
+}
 
 /// Metrics from one training run.
 #[derive(Clone, Debug)]
@@ -152,6 +190,65 @@ impl Trainer {
 mod tests {
     use super::*;
     use crate::lm::LmConfig;
+    use schemoe_cluster::{Fabric, Topology};
+    use schemoe_collectives::NcclA2A;
+    use schemoe_compression::NoCompression;
+    use schemoe_moe::{Expert, FfExpert, TopKGate};
+    use schemoe_tensor::rng;
+
+    #[test]
+    fn full_step_is_bit_identical_across_degrees() {
+        let topo = Topology::new(1, 2);
+        let p = topo.world_size();
+        let (m, n_local) = (6, 5);
+        let x_global = rng::uniform(&[n_local * p, m], 0.7, &mut seeded(31));
+        let run = |degree: usize| {
+            Fabric::run(topo, |mut h| {
+                let me = h.rank();
+                let gate = TopKGate::new(m, p, 2, 8.0, &mut seeded(555));
+                let experts: Vec<Box<dyn Expert>> = vec![Box::new(FfExpert::new(
+                    m,
+                    10,
+                    &mut seeded(1000 + me as u64),
+                ))];
+                let mut layer = DistributedMoeLayer::new(
+                    gate,
+                    experts,
+                    Box::new(NoCompression),
+                    Box::new(NcclA2A),
+                )
+                .with_partition_degree(degree);
+                let mut x = schemoe_tensor::Tensor::zeros(&[n_local, m]);
+                for r in 0..n_local {
+                    x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+                }
+                let live = vec![true; p];
+                let mut replicated: Vec<f32> = (0..16).map(|i| (me * 16 + i) as f32).collect();
+                let (y, dx) =
+                    distributed_full_step(&mut h, &mut layer, &x, 0, &mut replicated, &live)
+                        .unwrap();
+                (y, dx, replicated)
+            })
+        };
+        let serial = run(1);
+        let overlapped = run(4);
+        for me in 0..p {
+            assert_eq!(
+                overlapped[me].0.max_abs_diff(&serial[me].0).unwrap(),
+                0.0,
+                "rank {me} forward diverged"
+            );
+            assert_eq!(
+                overlapped[me].1.max_abs_diff(&serial[me].1).unwrap(),
+                0.0,
+                "rank {me} dx diverged"
+            );
+            assert_eq!(
+                overlapped[me].2, serial[me].2,
+                "rank {me} reduced values diverged"
+            );
+        }
+    }
 
     #[test]
     fn markov_training_beats_uniform() {

@@ -1,0 +1,109 @@
+//! Property: the whole overlapped training step is bit-identical to the
+//! serial step.
+//!
+//! `distributed_full_step` runs the pipelined forward, the pipelined
+//! backward, and the replicated-parameter allreduce folded into the
+//! backward task graph. Whatever the topology, partition degree, codec,
+//! or liveness (healthy, or degraded with one dead rank), every live
+//! rank's forward output, input gradients, parameter gradients, and
+//! reduced replicated values must equal the serial step's bit for bit.
+
+use proptest::prelude::*;
+use schemoe_cluster::{Fabric, Topology};
+use schemoe_collectives::NcclA2A;
+use schemoe_compression::{Compressor, Fp16Compressor, NoCompression};
+use schemoe_models::distributed_full_step;
+use schemoe_moe::{DistributedMoeLayer, Expert, FfExpert, TopKGate};
+use schemoe_tensor::rng::{self, seeded};
+use schemoe_tensor::Tensor;
+
+const M: usize = 6;
+const H: usize = 8;
+const REPLICATED: usize = 16;
+
+type StepOut = Option<(Tensor, Tensor, Vec<f32>, Vec<Vec<f32>>)>;
+
+#[allow(clippy::too_many_arguments)]
+fn run_step(
+    topo: Topology,
+    dead: Option<usize>,
+    degree: usize,
+    k: usize,
+    codec_idx: usize,
+    x_global: &Tensor,
+    n_local: usize,
+) -> Vec<StepOut> {
+    let p = topo.world_size();
+    let live: Vec<bool> = (0..p).map(|r| Some(r) != dead).collect();
+    Fabric::run(topo, move |mut h| {
+        let me = h.rank();
+        if Some(me) == dead {
+            return None;
+        }
+        let gate = TopKGate::new(M, p, k, 8.0, &mut seeded(777));
+        let experts: Vec<Box<dyn Expert>> =
+            vec![Box::new(FfExpert::new(M, H, &mut seeded(2000 + me as u64)))];
+        let codec: Box<dyn Compressor> = match codec_idx {
+            0 => Box::new(NoCompression),
+            _ => Box::new(Fp16Compressor),
+        };
+        let mut layer = DistributedMoeLayer::new(gate, experts, codec, Box::new(NcclA2A))
+            .with_partition_degree(degree)
+            .with_recv_timeout(std::time::Duration::from_secs(30));
+        if let Some(d) = dead {
+            layer.mark_rank_dead(d);
+        }
+        let mut x = Tensor::zeros(&[n_local, M]);
+        for r in 0..n_local {
+            x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+        }
+        let mut replicated: Vec<f32> = (0..REPLICATED)
+            .map(|i| ((me * REPLICATED + i) % 23) as f32 * 0.5)
+            .collect();
+        let (y, dx) =
+            distributed_full_step(&mut h, &mut layer, &x, 0, &mut replicated, &live).unwrap();
+        let mut grads = Vec::new();
+        layer.visit_params(&mut |prm| grads.push(prm.grad.data().to_vec()));
+        Some((y, dx, replicated, grads))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn overlapped_full_step_bit_identical_to_serial(
+        nodes in 1usize..3,
+        gpus in 1usize..3,
+        n_local in 1usize..6,
+        k_raw in 1usize..3,
+        degree in 2usize..9,
+        codec_idx in 0usize..2,
+        kill in 0usize..4,
+        seed in 0u64..200,
+    ) {
+        let topo = Topology::new(nodes, gpus);
+        let p = topo.world_size();
+        let k = k_raw.min(p);
+        // kill == 0 keeps everyone alive; otherwise one rank dies and the
+        // step must still agree with the degraded serial step.
+        let dead = (kill > 0 && p > 1).then(|| (kill - 1) % p);
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(seed));
+        let serial = run_step(topo, dead, 1, k, codec_idx, &x_global, n_local);
+        let overlapped = run_step(topo, dead, degree, k, codec_idx, &x_global, n_local);
+        for me in 0..p {
+            if Some(me) == dead {
+                prop_assert!(overlapped[me].is_none());
+                continue;
+            }
+            let (ys, dxs, reds, gs) = serial[me].as_ref().unwrap();
+            let (yo, dxo, redo, go) = overlapped[me].as_ref().unwrap();
+            let ydiff = yo.max_abs_diff(ys).unwrap();
+            prop_assert!(ydiff == 0.0, "rank {} forward diverged by {}", me, ydiff);
+            let dxdiff = dxo.max_abs_diff(dxs).unwrap();
+            prop_assert!(dxdiff == 0.0, "rank {} input grads diverged by {}", me, dxdiff);
+            prop_assert_eq!(redo, reds, "rank {} reduced values diverged", me);
+            prop_assert_eq!(go, gs, "rank {} param grads diverged", me);
+        }
+    }
+}

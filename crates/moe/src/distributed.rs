@@ -8,7 +8,8 @@ use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use schemoe_cluster::{FabricError, RankHandle};
 use schemoe_collectives::{
-    chunk_tag, lanes, reference_all_to_all, reference_all_to_all_timeout, AllToAll, TAG_STRIDE,
+    chunk_tag, lanes, reference_all_to_all, reference_all_to_all_timeout, AllToAll,
+    MAX_PARTITION_DEGREE, TAG_STRIDE,
 };
 use schemoe_compression::Compressor;
 use schemoe_obs as obs;
@@ -70,15 +71,41 @@ struct Cache {
     /// Per hosted dead rank, per its local expert, per src rank: row count
     /// received on the hosted dispatch lane (host side of failover).
     hosted_recv_counts: BTreeMap<usize, Vec<Vec<usize>>>,
+    /// Per hosted dead rank, per its local expert: the src-major input
+    /// rows, for the same per-(expert, source) recompute grouping the
+    /// rank itself would have used.
+    hosted_inputs: BTreeMap<usize, Vec<Tensor>>,
     /// Per global expert this rank dispatched to: the returned output rows
     /// in this rank's slot order.
     returned_outputs: Vec<Tensor>,
-    /// Per local expert: the serial-order (src-major) input rows. Only set
-    /// by the overlapped forward, whose experts last saw a single chunk;
-    /// backward recomputes activations from these before differentiating.
+    /// Per local expert: the serial-order (src-major) input rows. Set by
+    /// both forwards; the backward recomputes each (expert, source)
+    /// group's activations from these before differentiating it, which is
+    /// what makes the weight-gradient accumulation order — and therefore
+    /// the grads — independent of the partition degree.
     expert_inputs: Option<Vec<Tensor>>,
     n: usize,
     tag_base: u64,
+}
+
+/// A replicated-parameter gradient allreduce to fold into the MoE
+/// backward's task graph
+/// ([`backward_with_allreduce`](DistributedMoeLayer::backward_with_allreduce)).
+///
+/// The referenced gradients must already be final when the backward is
+/// submitted (e.g. the LM head's grads, produced before the MoE backward
+/// starts); the reduction then rides the comm worker concurrently with
+/// the backward's compute stages instead of serializing after the step.
+/// The result is bit-identical to calling
+/// [`allreduce_live`] separately: the same elementwise sums in the same
+/// gather order, only overlapped in wall clock.
+pub struct GradAllreduce<'a> {
+    /// The flattened gradients to sum elementwise across live ranks.
+    pub values: &'a mut [f32],
+    /// Base tag of the reduction (uses `tag` and `tag + 1`).
+    pub tag: u64,
+    /// Live mask over the world, as [`allreduce_live`] expects.
+    pub live: &'a [bool],
 }
 
 impl DistributedMoeLayer {
@@ -120,9 +147,15 @@ impl DistributedMoeLayer {
     ///
     /// # Panics
     ///
-    /// Panics if `degree` is zero.
+    /// Panics if `degree` is zero or exceeds [`MAX_PARTITION_DEGREE`]
+    /// (past which per-chunk tags would overflow their lane and collide
+    /// with another lane's traffic).
     pub fn with_partition_degree(mut self, degree: usize) -> Self {
         assert!(degree >= 1, "partition degree must be at least 1");
+        assert!(
+            degree <= MAX_PARTITION_DEGREE,
+            "partition degree {degree} exceeds MAX_PARTITION_DEGREE ({MAX_PARTITION_DEGREE})"
+        );
         self.partition_degree = degree;
         self
     }
@@ -535,6 +568,7 @@ impl DistributedMoeLayer {
         // experts, and ship each live src its slice back on the hosted
         // combine lane.
         let mut hosted_recv_counts: BTreeMap<usize, Vec<Vec<usize>>> = BTreeMap::new();
+        let mut hosted_inputs: BTreeMap<usize, Vec<Tensor>> = BTreeMap::new();
         for (&j, wards) in self.hosted_experts.iter_mut() {
             let _s = obs::span("expert", format!("E[host r{j}]"));
             let mut decoded: Vec<Vec<Tensor>> = Vec::with_capacity(p);
@@ -551,6 +585,7 @@ impl DistributedMoeLayer {
             }
             let mut counts = vec![Vec::with_capacity(p); epr];
             let mut outputs = Vec::with_capacity(epr);
+            let mut ward_inputs = Vec::with_capacity(epr);
             for le in 0..epr {
                 let total: usize = decoded.iter().map(|d| d[le].dims()[0]).sum();
                 let mut input = Tensor::zeros(&[total, m]);
@@ -565,7 +600,9 @@ impl DistributedMoeLayer {
                     counts[le].push(d[le].dims()[0]);
                 }
                 outputs.push(wards[le].forward(&input));
+                ward_inputs.push(input);
             }
+            hosted_inputs.insert(j, ward_inputs);
             for src in 0..p {
                 if self.dead_ranks.contains(&src) {
                     continue;
@@ -679,8 +716,9 @@ impl DistributedMoeLayer {
             decision,
             recv_counts,
             hosted_recv_counts,
+            hosted_inputs,
             returned_outputs,
-            expert_inputs: None,
+            expert_inputs: Some(expert_inputs),
             n,
             tag_base,
         });
@@ -800,11 +838,16 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Compute,
                 deps: vec![],
-                span: Some(("encode", format!("C1[c{c}]"))),
+                span: None,
                 run: Box::new(move || {
                     if error.lock().is_some() {
                         return;
                     }
+                    let _s = obs::span_sized(
+                        "encode",
+                        format!("C1[c{c}]"),
+                        (n * m * 4) as f64 / r as f64,
+                    );
                     let mut chunks = Vec::with_capacity(p);
                     for dst in 0..p {
                         let mut per_expert = Vec::with_capacity(epr);
@@ -832,11 +875,13 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Comm,
                 deps: vec![c],
-                span: Some(("a2a", format!("A1[c{c}]"))),
+                span: None,
                 run: Box::new(move || {
                     let Some(chunks) = to_dispatch.lock().take() else {
                         return;
                     };
+                    let bytes: usize = chunks.iter().map(Bytes::len).sum();
+                    let _s = obs::span_sized("a2a", format!("A1[c{c}]"), bytes as f64);
                     let tag = chunk_tag(tag_base, lanes::LANE_DISPATCH, c);
                     let result = match placeholder {
                         Some(ph) => {
@@ -927,11 +972,13 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Comm,
                 deps: vec![2 * r + c],
-                span: Some(("a2a", format!("A2[c{c}]"))),
+                span: None,
                 run: Box::new(move || {
                     let Some(chunks) = to_combine.lock().take() else {
                         return;
                     };
+                    let bytes: usize = chunks.iter().map(Bytes::len).sum();
+                    let _s = obs::span_sized("a2a", format!("A2[c{c}]"), bytes as f64);
                     let tag = chunk_tag(tag_base, lanes::LANE_COMBINE, c);
                     let result = match placeholder {
                         Some(ph) => {
@@ -955,11 +1002,13 @@ impl DistributedMoeLayer {
             tasks.push(ExecTask {
                 worker: Worker::Compute,
                 deps: vec![3 * r + c],
-                span: Some(("decode", format!("D2[c{c}]"))),
+                span: None,
                 run: Box::new(move || {
                     let Some(returned) = combined.lock().take() else {
                         return;
                     };
+                    let bytes: usize = returned.iter().map(Bytes::len).sum();
+                    let _s = obs::span_sized("decode", format!("D2[c{c}]"), bytes as f64);
                     let decoded: Vec<Vec<Tensor>> = returned
                         .iter()
                         .map(|ch| Self::decode_chunk(compressor, ch, epr, m))
@@ -1052,6 +1101,7 @@ impl DistributedMoeLayer {
             decision,
             recv_counts,
             hosted_recv_counts: BTreeMap::new(),
+            hosted_inputs: BTreeMap::new(),
             returned_outputs,
             expert_inputs: Some(expert_inputs),
             n,
@@ -1062,10 +1112,52 @@ impl DistributedMoeLayer {
 
     /// Expert-parallel backward: two more (gradient) all-to-alls.
     ///
+    /// Dispatches to the serial or overlapped implementation under the
+    /// same condition as [`forward`](Self::forward); both produce
+    /// bit-identical gradients.
+    ///
     /// # Panics
     ///
     /// Panics if called without a cached forward.
     pub fn backward(&mut self, h: &mut RankHandle, dy: &Tensor) -> Result<Tensor, FabricError> {
+        self.backward_with_allreduce(h, dy, None)
+    }
+
+    /// [`backward`](Self::backward), optionally folding a replicated-
+    /// parameter gradient allreduce into the same submitted task graph.
+    ///
+    /// On the overlapped path the reduction is the comm worker's first
+    /// task, so it runs concurrently with the backward's compute stages
+    /// (the combine-gradient build); on the serial path it simply runs
+    /// first. Every rank must agree on whether an allreduce is attached —
+    /// the dispatch condition itself (degree, live count, failover) is
+    /// replicated state, so the path choice always agrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a cached forward.
+    pub fn backward_with_allreduce(
+        &mut self,
+        h: &mut RankHandle,
+        dy: &Tensor,
+        allreduce: Option<GradAllreduce<'_>>,
+    ) -> Result<Tensor, FabricError> {
+        let live = h.world_size() - self.dead_ranks.len();
+        if self.partition_degree <= 1 || live < 2 || self.has_failover() {
+            // Same ordering the overlapped graph gives the reduction:
+            // before the backward's exchanges.
+            if let Some(ar) = allreduce {
+                allreduce_live(h, ar.values, ar.tag, ar.live)?;
+            }
+            self.backward_serial(h, dy)
+        } else {
+            self.backward_overlapped(h, dy, allreduce)
+        }
+    }
+
+    /// The serial reference backward: one gradient dispatch A2A, all
+    /// expert backwards, one gradient return A2A, no overlap.
+    fn backward_serial(&mut self, h: &mut RankHandle, dy: &Tensor) -> Result<Tensor, FabricError> {
         let cache = self
             .cache
             .take()
@@ -1078,7 +1170,7 @@ impl DistributedMoeLayer {
         // Combine backward: per admitted slot, grad of the expert output
         // and of the combine weight. Backward spans use `*b` names so the
         // profiler's forward-stage models never ingest them.
-        let c1b = obs::span("encode", "C1b");
+        let c1b = obs::span_sized("encode", "C1b", (cache.n * m * 4) as f64);
         let mut d_weights: Vec<Vec<f32>> = vec![Vec::new(); cache.n];
         let mut grad_chunks = Vec::with_capacity(p);
         for owner in 0..p {
@@ -1163,19 +1255,37 @@ impl DistributedMoeLayer {
                     decoded.push(Self::decode_raw(&chunk, epr, m));
                 }
             }
-            let mut dins = Vec::with_capacity(epr);
-            for le in 0..epr {
-                let total: usize = counts[le].iter().sum();
-                let mut dout = Tensor::zeros(&[total, m]);
-                let mut off = 0;
-                for d in &decoded {
-                    let rows = &d[le];
-                    for r in 0..rows.dims()[0] {
-                        dout.row_mut(off + r).copy_from_slice(rows.row(r));
+            // Same canonical per-(expert, source) grouping the ward itself
+            // would have used, so the hosted expert's weight grads stay
+            // bit-identical to the dead rank's own.
+            let ward_inputs = cache
+                .hosted_inputs
+                .get(&j)
+                .expect("hosted backward without hosted forward");
+            let mut dins: Vec<Tensor> = (0..epr)
+                .map(|le| {
+                    let total: usize = counts[le].iter().sum();
+                    Tensor::zeros(&[total, m])
+                })
+                .collect();
+            for src in 0..p {
+                for le in 0..epr {
+                    let count = counts[le][src];
+                    if count == 0 {
+                        continue;
                     }
-                    off += rows.dims()[0];
+                    let before: usize = counts[le][..src].iter().sum();
+                    let mut xin = Tensor::zeros(&[count, m]);
+                    for row in 0..count {
+                        xin.row_mut(row)
+                            .copy_from_slice(ward_inputs[le].row(before + row));
+                    }
+                    let _ = wards[le].forward(&xin);
+                    let din = wards[le].backward(&decoded[src][le]);
+                    for row in 0..count {
+                        dins[le].row_mut(before + row).copy_from_slice(din.row(row));
+                    }
                 }
-                dins.push(wards[le].backward(&dout));
             }
             for src in 0..p {
                 if self.dead_ranks.contains(&src) {
@@ -1199,36 +1309,70 @@ impl DistributedMoeLayer {
             }
         }
 
-        // Expert backward on concatenated output grads.
-        let eb = obs::span("expert", "Eb");
-        let mut din_per_expert = Vec::with_capacity(epr);
+        // Decode the received output grads (its own `D1b` span so the
+        // profiler models the gradient decode independently of the expert
+        // backward), then differentiate the experts on the concatenation.
+        let recv_grad_bytes: usize = received.iter().map(Bytes::len).sum();
+        let d1b = obs::span_sized("decode", "D1b", recv_grad_bytes as f64);
         let decoded: Vec<Vec<Tensor>> = received
             .iter()
             .map(|c| Self::decode_raw(c, epr, m))
             .collect();
-        for le in 0..epr {
-            let total: usize = cache.recv_counts[le].iter().sum();
-            let mut dout = Tensor::zeros(&[total, m]);
-            let mut off = 0;
-            for d in &decoded {
-                let rows = &d[le];
-                for r in 0..rows.dims()[0] {
-                    dout.row_mut(off + r).copy_from_slice(rows.row(r));
+        drop(d1b);
+        let dout_rows: usize = cache
+            .recv_counts
+            .iter()
+            .map(|c| c.iter().sum::<usize>())
+            .sum();
+        let eb = obs::span_sized("expert", "Eb", dout_rows as f64);
+        // Canonical expert backward: one recompute+backward per non-empty
+        // (expert, source) group, sources ascending. The overlapped
+        // backward makes exactly the same sequence of expert calls (its
+        // per-source tasks run in ascending order on one worker), so the
+        // weight-gradient accumulation order — and with it every gradient
+        // — is identical at any partition degree by construction. A
+        // whole-batch backward here would fuse the sources into one GEMM
+        // and change the floating-point grouping.
+        let inputs = cache
+            .expert_inputs
+            .as_ref()
+            .expect("forward caches expert inputs");
+        let mut din_per_expert: Vec<Tensor> = (0..epr)
+            .map(|le| {
+                let total: usize = cache.recv_counts[le].iter().sum();
+                Tensor::zeros(&[total, m])
+            })
+            .collect();
+        for src in 0..p {
+            for le in 0..epr {
+                let count = cache.recv_counts[le][src];
+                assert_eq!(
+                    decoded[src][le].dims()[0],
+                    count,
+                    "gradient framing mismatch"
+                );
+                if count == 0 {
+                    continue;
                 }
-                off += rows.dims()[0];
+                let before: usize = cache.recv_counts[le][..src].iter().sum();
+                let mut xin = Tensor::zeros(&[count, m]);
+                for row in 0..count {
+                    xin.row_mut(row)
+                        .copy_from_slice(inputs[le].row(before + row));
+                }
+                let _ = self.local_experts[le].forward(&xin);
+                let din = self.local_experts[le].backward(&decoded[src][le]);
+                for row in 0..count {
+                    din_per_expert[le]
+                        .row_mut(before + row)
+                        .copy_from_slice(din.row(row));
+                }
             }
-            if let Some(inputs) = &cache.expert_inputs {
-                // Overlapped forward: the expert's activation cache holds
-                // only its final chunk. Recompute on the serial-order batch
-                // so this backward differentiates the full forward.
-                let _ = self.local_experts[le].forward(&inputs[le]);
-            }
-            din_per_expert.push(self.local_experts[le].backward(&dout));
         }
 
         drop(eb);
         // Ship input grads back to the token owners.
-        let c2b = obs::span("encode", "C2b");
+        let c2b = obs::span_sized("encode", "C2b", (dout_rows * m * 4) as f64);
         let mut back = Vec::with_capacity(p);
         for src in 0..p {
             let mut per_expert = Vec::with_capacity(epr);
@@ -1276,7 +1420,11 @@ impl DistributedMoeLayer {
         }
 
         // Dispatch backward: scatter token gradients.
-        let d2b = obs::span("decode", "D2b");
+        let d2b = obs::span_sized(
+            "decode",
+            "D2b",
+            returned.iter().map(Bytes::len).sum::<usize>() as f64,
+        );
         let mut dx = Tensor::zeros(&[cache.n, m]);
         for owner in 0..p {
             let chunk = hosted_dins.get(&owner).unwrap_or(&returned[owner]);
@@ -1294,6 +1442,488 @@ impl DistributedMoeLayer {
             }
         }
         drop(d2b);
+        let dx_gate = {
+            let _g = obs::span("gate", "gateb");
+            self.gate.backward(&d_weights)
+        };
+        dx.add_assign(&dx_gate).expect("same shape");
+        Ok(dx)
+    }
+
+    /// ScheMoE's pipelined backward: gradients flow per *peer* through
+    /// the two-worker overlap executor, so source rank `j`'s expert
+    /// backward hides the exchanges of sources `> j`, with an optional
+    /// replicated-parameter allreduce as the comm worker's first task.
+    ///
+    /// Task graph (compute worker order, then comm worker order; `p`
+    /// ranks, `q` live peers):
+    ///
+    /// ```text
+    /// compute: C1b⁰..C1bᵖ⁻¹  dW  (D1b·Eb·C2b)⁰..(D1b·Eb·C2b)ᵖ⁻¹  D2b⁰..D2bᵖ⁻¹
+    /// comm   : S1¹..S1ᑫ  R1¹..R1ᑫ  [AR]  S2¹..S2ᑫ  R2¹..R2ᑫ
+    /// ```
+    ///
+    /// Unlike the forward, whose chunking follows `partition_degree`, the
+    /// backward pipelines at per-source granularity: the canonical expert
+    /// backward is one recompute+backward per non-empty (expert, source)
+    /// group in ascending source order — exactly the serial backward's
+    /// grouping — so the weight-gradient accumulation order is identical
+    /// at every degree and the grads stay bit-identical while source
+    /// `j`'s expert backward overlaps the remaining exchanges. The comm
+    /// queue issues every send of a lane before any receive of it, and
+    /// sends depend only on local compute, so the order is deadlock-free
+    /// by construction. This rank's own chunks loop back through the
+    /// mailboxes (still encode/decode round-tripped, exactly like the
+    /// serial exchange's self-chunk) without touching the wire.
+    ///
+    /// The allreduce sits *between* the grad exchange (S1/R1) and the
+    /// return exchange (S2/R2): putting it any earlier would stall every
+    /// peer's expert-backward chain behind it, while between the lanes it
+    /// fills exactly the window where the comm worker would otherwise sit
+    /// idle waiting for expert backwards to produce return traffic.
+    fn backward_overlapped(
+        &mut self,
+        h: &mut RankHandle,
+        dy: &Tensor,
+        allreduce: Option<GradAllreduce<'_>>,
+    ) -> Result<Tensor, FabricError> {
+        let cache = self
+            .cache
+            .take()
+            .expect("distributed backward without forward");
+        let p = h.world_size();
+        let me = h.rank();
+        let m = dy.dims()[1];
+        let epr = self.experts_per_rank;
+        let n = cache.n;
+        let timeout = self.recv_timeout;
+        assert_eq!(dy.dims()[0], n, "gradient row count mismatch");
+        let _degraded_span = self.is_degraded().then(|| {
+            obs::counters_for_rank(h.rank()).add_degraded_step();
+            obs::span(
+                "degraded",
+                format!("degraded step ({} dead)", self.dead_ranks.len()),
+            )
+        });
+
+        let tag_base = cache.tag_base;
+        let decision = &cache.decision;
+        let recv_counts = &cache.recv_counts;
+        let returned_outputs = &cache.returned_outputs;
+        let inputs = cache
+            .expert_inputs
+            .as_ref()
+            .expect("forward caches expert inputs");
+        let dead = &self.dead_ranks;
+        let experts = Mutex::new(&mut self.local_experts);
+        let handle = Mutex::new(h);
+
+        // Live peers in ascending order; dead sources contribute zero-row
+        // groups locally and never touch the wire.
+        let others: Vec<usize> = (0..p).filter(|&j| j != me && !dead.contains(&j)).collect();
+        let q = others.len();
+        // Position of peer j in `others` (receive-task index lookup).
+        let pos = |j: usize| others.iter().position(|&o| o == j).expect("live peer");
+
+        // Mailboxes between stages, one per source/owner rank (single
+        // producer, single consumer, ordered by the executor's edges).
+        let mailbox = |count: usize| -> Vec<Mutex<Option<Bytes>>> {
+            (0..count).map(|_| Mutex::new(None)).collect()
+        };
+        // C1b[j] → S1/D1b[me]: encoded output grads for owner j's experts.
+        let grad_chunks = mailbox(p);
+        // R1[j] → D1b[j]: encoded output grads received from source j.
+        let grad_recv = mailbox(p);
+        // D1b[j] → Eb[j]: decoded output grads `[le]` from source j.
+        let grads_decoded: Vec<Mutex<Option<Vec<Tensor>>>> =
+            (0..p).map(|_| Mutex::new(None)).collect();
+        // Eb[j] → C2b[j]: input grads `[le]` for source j's rows.
+        let din_rows: Vec<Mutex<Option<Vec<Tensor>>>> = (0..p).map(|_| Mutex::new(None)).collect();
+        // C2b[j] → S2/D2b[me]: encoded input grads for source j.
+        let back_chunks = mailbox(p);
+        // R2[j] → D2b[j]: encoded input grads returned by owner j.
+        let ret_recv = mailbox(p);
+        // D2b[j] → scatter: decoded input grads `[le]` from owner j.
+        let dins_decoded: Vec<Mutex<Option<Vec<Tensor>>>> =
+            (0..p).map(|_| Mutex::new(None)).collect();
+        let d_weights_box: Mutex<Option<Vec<Vec<f32>>>> = Mutex::new(None);
+        let error: Mutex<Option<FabricError>> = Mutex::new(None);
+        let cancel = AtomicBool::new(false);
+
+        // Task indices (base = 1 with an attached allreduce, else 0):
+        // C1bʲ = j, dW = p, S1ᵏ = p+1+k, R1ᵏ = p+1+q+k, AR = p+1+2q,
+        // then with t0 = p+1+2q+base:
+        // D1bʲ = t0+3j, Ebʲ = t0+3j+1, C2bʲ = t0+3j+2,
+        // S2ᵏ = t0+3p+k, R2ᵏ = t0+3p+q+k, D2bʲ = t0+3p+2q+j.
+        let base = usize::from(allreduce.is_some());
+        let t0 = p + 1 + 2 * q + base;
+        let mut tasks: Vec<ExecTask<'_>> = Vec::with_capacity(base + 4 * p + 4 * q + 1);
+        // C1b: per-owner combine-gradient build + raw encode. Identical
+        // per-slot arithmetic to the serial build, merely split by owner
+        // so owner j's send can start while owner j+1's grads still build.
+        for j in 0..p {
+            let grad_chunks = &grad_chunks[j];
+            let error = &error;
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                span: None,
+                run: Box::new(move || {
+                    if error.lock().is_some() {
+                        return;
+                    }
+                    let _s = obs::span_sized(
+                        "encode",
+                        format!("C1b[o{j}]"),
+                        (n * m * 4) as f64 / p as f64,
+                    );
+                    let mut per_expert = Vec::with_capacity(epr);
+                    for le in 0..epr {
+                        let slots = &decision.expert_slots[j * epr + le];
+                        let mut rows = Tensor::zeros(&[slots.len(), m]);
+                        for (s, &(t, w)) in slots.iter().enumerate() {
+                            let dyrow = dy.row(t);
+                            let drow = rows.row_mut(s);
+                            for i in 0..m {
+                                drow[i] = w * dyrow[i];
+                            }
+                        }
+                        per_expert.push(rows);
+                    }
+                    *grad_chunks.lock() = Some(Self::encode_raw(&per_expert));
+                }),
+            });
+        }
+        // dW: whole-batch combine-weight gradients, in the serial path's
+        // per-token assignment order. Pushed after the C1b encodes so the
+        // comm lanes start as early as possible.
+        {
+            let d_weights_box = &d_weights_box;
+            let error = &error;
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: vec![],
+                span: Some(("encode", "dW".to_string())),
+                run: Box::new(move || {
+                    if error.lock().is_some() {
+                        return;
+                    }
+                    let mut d_weights: Vec<Vec<f32>> = vec![Vec::new(); n];
+                    for (t, assigns) in decision.assignments.iter().enumerate() {
+                        for &(e, _) in assigns {
+                            let s = decision.expert_slots[e]
+                                .iter()
+                                .position(|&(tt, _)| tt == t)
+                                .expect("assignment implies slot");
+                            let owner = e / epr;
+                            let le = e % epr;
+                            let rows = &returned_outputs[owner * epr + le];
+                            let dyrow = dy.row(t);
+                            let orow = rows.row(s);
+                            d_weights[t]
+                                .push(dyrow.iter().zip(orow.iter()).map(|(a, b)| a * b).sum());
+                        }
+                    }
+                    *d_weights_box.lock() = Some(d_weights);
+                }),
+            });
+        }
+        // S1: per-peer output-grad send on the backward grad lane, as soon
+        // as that peer's C1b is encoded. Tags are receiver-indexed:
+        // message i→j travels on `chunk_tag(.., LANE_BWD_GRAD, j)`.
+        for &j in &others {
+            let grad_chunks = &grad_chunks[j];
+            let handle = &handle;
+            let error = &error;
+            let cancel = &cancel;
+            tasks.push(ExecTask {
+                worker: Worker::Comm,
+                deps: vec![j],
+                span: None,
+                run: Box::new(move || {
+                    let Some(chunk) = grad_chunks.lock().take() else {
+                        return;
+                    };
+                    let _s = obs::span_sized("a2a", format!("A1b[p{j}]"), chunk.len() as f64);
+                    let tag = chunk_tag(tag_base, lanes::LANE_BWD_GRAD, j);
+                    if let Err(e) = handle.lock().send(j, tag, chunk) {
+                        error.lock().get_or_insert(e);
+                        cancel.store(true, Ordering::Release);
+                    }
+                }),
+            });
+        }
+        // R1: per-peer output-grad receive, sources ascending, after every
+        // send (sends depend only on local compute, so this order cannot
+        // deadlock). The `A1bw` wait spans are deliberately outside the
+        // profiler's stem set: blocked-receive time measures peer skew,
+        // not wire cost, and must not pollute the A1b model.
+        for &j in &others {
+            let grad_recv = &grad_recv[j];
+            let handle = &handle;
+            let error = &error;
+            let cancel = &cancel;
+            tasks.push(ExecTask {
+                worker: Worker::Comm,
+                deps: vec![],
+                span: Some(("a2a", format!("A1bw[p{j}]"))),
+                run: Box::new(move || {
+                    if error.lock().is_some() {
+                        return;
+                    }
+                    let tag = chunk_tag(tag_base, lanes::LANE_BWD_GRAD, me);
+                    let result = {
+                        let mut hh = handle.lock();
+                        match timeout {
+                            Some(t) => hh.recv_timeout(j, tag, t),
+                            None => hh.recv(j, tag),
+                        }
+                    };
+                    match result {
+                        Ok(got) => *grad_recv.lock() = Some(got),
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                            cancel.store(true, Ordering::Release);
+                        }
+                    }
+                }),
+            });
+        }
+        // AR: the replicated-parameter allreduce, queued once the grad
+        // exchange is through so it rides under the expert-backward chain
+        // — the longest stretch where the comm worker has nothing to move.
+        if let Some(ar) = allreduce {
+            let handle = &handle;
+            let error = &error;
+            let cancel = &cancel;
+            tasks.push(ExecTask {
+                worker: Worker::Comm,
+                deps: vec![],
+                span: Some(("coll", "allreduce[replicated]".to_string())),
+                run: Box::new(move || {
+                    if error.lock().is_some() {
+                        return;
+                    }
+                    if let Err(e) = allreduce_live(&mut handle.lock(), ar.values, ar.tag, ar.live) {
+                        error.lock().get_or_insert(e);
+                        cancel.store(true, Ordering::Release);
+                    }
+                }),
+            });
+        }
+        // Per source j ascending: D1b[j] decodes j's output grads, Eb[j]
+        // recomputes and differentiates each local expert's (expert, j)
+        // group — the canonical grouping the serial backward also uses —
+        // and C2b[j] encodes the input grads straight back for j. Source
+        // j's expert backward thus overlaps every later source's traffic.
+        for j in 0..p {
+            let is_dead = dead.contains(&j);
+            let d1b_deps = if j == me {
+                vec![j]
+            } else if is_dead {
+                vec![]
+            } else {
+                vec![p + 1 + q + pos(j)]
+            };
+            let src_box = if j == me {
+                &grad_chunks[j]
+            } else {
+                &grad_recv[j]
+            };
+            let grads_decoded = &grads_decoded[j];
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: d1b_deps,
+                span: None,
+                run: Box::new(move || {
+                    let decoded = if is_dead {
+                        // A dead source routed nothing here: zero rows per
+                        // expert, exactly the serial placeholder's decode.
+                        vec![Tensor::zeros(&[0, m]); epr]
+                    } else {
+                        let Some(ch) = src_box.lock().take() else {
+                            return;
+                        };
+                        let _s = obs::span_sized("decode", format!("D1b[s{j}]"), ch.len() as f64);
+                        Self::decode_raw(&ch, epr, m)
+                    };
+                    *grads_decoded.lock() = Some(decoded);
+                }),
+            });
+            let din_rows = &din_rows[j];
+            let experts = &experts;
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: vec![t0 + 3 * j],
+                span: None,
+                run: Box::new(move || {
+                    let Some(grads) = grads_decoded.lock().take() else {
+                        return;
+                    };
+                    let rows_j: usize = (0..epr).map(|le| recv_counts[le][j]).sum();
+                    let _s = obs::span_sized("expert", format!("Eb[s{j}]"), rows_j as f64);
+                    let mut experts_guard = experts.lock();
+                    let mut dins = Vec::with_capacity(epr);
+                    for le in 0..epr {
+                        let count = recv_counts[le][j];
+                        assert_eq!(grads[le].dims()[0], count, "gradient framing mismatch");
+                        if count == 0 {
+                            dins.push(Tensor::zeros(&[0, m]));
+                            continue;
+                        }
+                        let before: usize = recv_counts[le][..j].iter().sum();
+                        let mut xin = Tensor::zeros(&[count, m]);
+                        for row in 0..count {
+                            xin.row_mut(row)
+                                .copy_from_slice(inputs[le].row(before + row));
+                        }
+                        let _ = experts_guard[le].forward(&xin);
+                        dins.push(experts_guard[le].backward(&grads[le]));
+                    }
+                    *din_rows.lock() = Some(dins);
+                }),
+            });
+            let back_chunks = &back_chunks[j];
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: vec![t0 + 3 * j + 1],
+                span: None,
+                run: Box::new(move || {
+                    let Some(dins) = din_rows.lock().take() else {
+                        return;
+                    };
+                    let rows_j: usize = dins.iter().map(|t| t.dims()[0]).sum();
+                    let _s =
+                        obs::span_sized("encode", format!("C2b[s{j}]"), (rows_j * m * 4) as f64);
+                    *back_chunks.lock() = Some(Self::encode_raw(&dins));
+                }),
+            });
+        }
+        // S2: per-peer input-grad send back to its source on the backward
+        // return lane, as soon as that source's C2b is encoded.
+        for &j in &others {
+            let back_chunks = &back_chunks[j];
+            let handle = &handle;
+            let error = &error;
+            let cancel = &cancel;
+            tasks.push(ExecTask {
+                worker: Worker::Comm,
+                deps: vec![t0 + 3 * j + 2],
+                span: None,
+                run: Box::new(move || {
+                    let Some(chunk) = back_chunks.lock().take() else {
+                        return;
+                    };
+                    let _s = obs::span_sized("a2a", format!("A2b[p{j}]"), chunk.len() as f64);
+                    let tag = chunk_tag(tag_base, lanes::LANE_BWD_RETURN, j);
+                    if let Err(e) = handle.lock().send(j, tag, chunk) {
+                        error.lock().get_or_insert(e);
+                        cancel.store(true, Ordering::Release);
+                    }
+                }),
+            });
+        }
+        // R2: per-peer returned input grads, owners ascending, after every
+        // send (same no-deadlock argument as R1).
+        for &j in &others {
+            let ret_recv = &ret_recv[j];
+            let handle = &handle;
+            let error = &error;
+            let cancel = &cancel;
+            tasks.push(ExecTask {
+                worker: Worker::Comm,
+                deps: vec![],
+                span: Some(("a2a", format!("A2bw[p{j}]"))),
+                run: Box::new(move || {
+                    if error.lock().is_some() {
+                        return;
+                    }
+                    let tag = chunk_tag(tag_base, lanes::LANE_BWD_RETURN, me);
+                    let result = {
+                        let mut hh = handle.lock();
+                        match timeout {
+                            Some(t) => hh.recv_timeout(j, tag, t),
+                            None => hh.recv(j, tag),
+                        }
+                    };
+                    match result {
+                        Ok(got) => *ret_recv.lock() = Some(got),
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                            cancel.store(true, Ordering::Release);
+                        }
+                    }
+                }),
+            });
+        }
+        // D2b: per-owner input-grad decode.
+        for j in 0..p {
+            let is_dead = dead.contains(&j);
+            let d2b_deps = if j == me {
+                vec![t0 + 3 * j + 2]
+            } else if is_dead {
+                vec![]
+            } else {
+                vec![t0 + 3 * p + q + pos(j)]
+            };
+            let src_box = if j == me {
+                &back_chunks[j]
+            } else {
+                &ret_recv[j]
+            };
+            let dins_decoded = &dins_decoded[j];
+            tasks.push(ExecTask {
+                worker: Worker::Compute,
+                deps: d2b_deps,
+                span: None,
+                run: Box::new(move || {
+                    let decoded = if is_dead {
+                        // The masked gate routed no slots to a dead owner's
+                        // experts, so its contribution is zero rows.
+                        vec![Tensor::zeros(&[0, m]); epr]
+                    } else {
+                        let Some(ch) = src_box.lock().take() else {
+                            return;
+                        };
+                        let _s = obs::span_sized("decode", format!("D2b[o{j}]"), ch.len() as f64);
+                        Self::decode_raw(&ch, epr, m)
+                    };
+                    *dins_decoded.lock() = Some(decoded);
+                }),
+            });
+        }
+        let exec_result = run_overlapped_cancellable(tasks, &cancel);
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        if let Err(e) = exec_result {
+            return Err(FabricError::Worker {
+                detail: e.to_string(),
+            });
+        }
+        let dins_decoded: Vec<Vec<Tensor>> = dins_decoded
+            .into_iter()
+            .map(|mx| mx.into_inner().expect("pipeline completed"))
+            .collect();
+        let d_weights = d_weights_box.into_inner().expect("pipeline completed");
+
+        // Scatter, exactly as the serial loop: each owner returned its
+        // full slot-order rows in one piece, accumulated owner-major.
+        let mut dx = Tensor::zeros(&[n, m]);
+        for owner in 0..p {
+            for (le, rows) in dins_decoded[owner].iter().enumerate() {
+                let e = owner * epr + le;
+                let slots = &cache.decision.expert_slots[e];
+                assert_eq!(rows.dims()[0], slots.len(), "input-grad framing mismatch");
+                for (s, &(t, _)) in slots.iter().enumerate() {
+                    let drow = rows.row(s);
+                    let xrow = dx.row_mut(t);
+                    for i in 0..m {
+                        xrow[i] += drow[i];
+                    }
+                }
+            }
+        }
         let dx_gate = {
             let _g = obs::span("gate", "gateb");
             self.gate.backward(&d_weights)
@@ -1600,6 +2230,75 @@ mod tests {
                 overlapped[me].1, serial[me].1,
                 "rank {me} param grads diverged"
             );
+        }
+    }
+
+    #[test]
+    fn allreduce_folded_into_the_backward_graph_matches_a_separate_call() {
+        // Submitting the replicated-parameter allreduce as part of the
+        // backward task graph must change nothing numerically: the reduced
+        // values equal a standalone `allreduce_live`, and dx / param grads
+        // equal a plain `backward`. Degree 1 covers the serial fallback
+        // (which runs the allreduce first), degree 4 the pipelined graph.
+        let topo = Topology::new(1, 2);
+        let p = topo.world_size();
+        let n_local = 5;
+        let x_global = rng::uniform(&[n_local * p, M], 0.7, &mut seeded(24));
+        let run = |degree: usize, folded: bool| {
+            Fabric::run(topo, |mut h| {
+                let me = h.rank();
+                let gate = make_gate(p, 2, 8.0);
+                let mut layer = DistributedMoeLayer::new(
+                    gate,
+                    vec![make_expert(me)],
+                    Box::new(NoCompression),
+                    Box::new(NcclA2A),
+                )
+                .with_partition_degree(degree);
+                let mut x = Tensor::zeros(&[n_local, M]);
+                for r in 0..n_local {
+                    x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+                }
+                let y = layer.forward(&mut h, &x, 0).unwrap();
+                let live = vec![true; p];
+                let mut values: Vec<f32> = (0..8).map(|i| (me * 8 + i) as f32 * 0.5).collect();
+                let dx = if folded {
+                    layer
+                        .backward_with_allreduce(
+                            &mut h,
+                            &y,
+                            Some(GradAllreduce {
+                                values: &mut values,
+                                tag: 9_000_000,
+                                live: &live,
+                            }),
+                        )
+                        .unwrap()
+                } else {
+                    let dx = layer.backward(&mut h, &y).unwrap();
+                    allreduce_live(&mut h, &mut values, 9_000_000, &live).unwrap();
+                    dx
+                };
+                let mut grads = Vec::new();
+                layer.visit_params(&mut |prm| grads.push(prm.grad.data().to_vec()));
+                (dx, grads, values)
+            })
+        };
+        for degree in [1, 4] {
+            let folded = run(degree, true);
+            let separate = run(degree, false);
+            for me in 0..p {
+                let diff = folded[me].0.max_abs_diff(&separate[me].0).unwrap();
+                assert_eq!(diff, 0.0, "degree {degree} rank {me} dx diverged");
+                assert_eq!(
+                    folded[me].1, separate[me].1,
+                    "degree {degree} rank {me} param grads diverged"
+                );
+                assert_eq!(
+                    folded[me].2, separate[me].2,
+                    "degree {degree} rank {me} allreduced values diverged"
+                );
+            }
         }
     }
 

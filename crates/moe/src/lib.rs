@@ -25,7 +25,7 @@ pub mod layer;
 pub mod replication;
 pub mod routing;
 
-pub use distributed::{allreduce_inplace, allreduce_live, DistributedMoeLayer};
+pub use distributed::{allreduce_inplace, allreduce_live, DistributedMoeLayer, GradAllreduce};
 pub use expert::{Expert, FfExpert};
 pub use gating::{GateDecision, OverflowPolicy, TopKGate};
 pub use layer::MoeLayer;

@@ -13,8 +13,9 @@ use crate::task::TaskKind;
 /// The MoE pipeline names its stage spans `"C1"`, `"A1[c3]"`, etc. — the
 /// stage mnemonic, optionally followed by a bracketed chunk index. The part
 /// before `'['` identifies the kind; backward-pass spans use distinct
-/// mnemonics (`"A1b"`) so they never feed the forward models.
-fn span_kind(name: &str) -> Option<TaskKind> {
+/// mnemonics (`"A1b"`) and feed the backward kinds, never the forward
+/// models.
+pub fn span_kind(name: &str) -> Option<TaskKind> {
     let stem = name.split('[').next().unwrap_or(name);
     match stem {
         "C1" => Some(TaskKind::Compress1),
@@ -24,6 +25,13 @@ fn span_kind(name: &str) -> Option<TaskKind> {
         "C2" => Some(TaskKind::Compress2),
         "A2" => Some(TaskKind::AllToAll2),
         "D2" => Some(TaskKind::Decompress2),
+        "C1b" => Some(TaskKind::BwdCompress1),
+        "A1b" => Some(TaskKind::BwdAllToAll1),
+        "D1b" => Some(TaskKind::BwdDecompress1),
+        "Eb" => Some(TaskKind::BwdExpert),
+        "C2b" => Some(TaskKind::BwdCompress2),
+        "A2b" => Some(TaskKind::BwdAllToAll2),
+        "D2b" => Some(TaskKind::BwdDecompress2),
         _ => None,
     }
 }
@@ -58,6 +66,19 @@ impl Profiler {
         self.samples.get(&kind).map_or(0, Vec::len)
     }
 
+    /// Whether `kind` has at least one sample (so [`predict`](Self::predict)
+    /// returns `Some`).
+    pub fn covers(&self, kind: TaskKind) -> bool {
+        self.sample_count(kind) > 0
+    }
+
+    /// The kinds in `kinds` that have no samples yet — the coverage gap a
+    /// caller must close (or refuse to decide on) before trusting a
+    /// makespan comparison.
+    pub fn missing_kinds(&self, kinds: &[TaskKind]) -> Vec<TaskKind> {
+        kinds.iter().copied().filter(|&k| !self.covers(k)).collect()
+    }
+
     /// Feeds every stage span of a measured trace into the models.
     ///
     /// This is the measured-side closing of the paper's profiling loop: the
@@ -86,17 +107,22 @@ impl Profiler {
     /// Predicts the duration of a task of `kind` at `size`.
     ///
     /// Falls back to the mean of recorded samples when the model is
-    /// unidentifiable (all samples at one size), and to zero with no data.
-    pub fn predict(&self, kind: TaskKind, size: f64) -> SimTime {
+    /// unidentifiable (all samples at one size). Returns `None` when the
+    /// kind has no samples at all: an unmeasured stage is *unknown*, not
+    /// free, and callers comparing makespans must treat missing coverage as
+    /// "cannot decide" rather than zero cost (the old zero-cost fallback
+    /// made `choose_degree` over-pipeline whenever one kind was unsampled).
+    pub fn predict(&self, kind: TaskKind, size: f64) -> Option<SimTime> {
         if let Some(m) = self.model(kind) {
-            return m.predict(size);
+            return Some(m.predict(size));
         }
-        match self.samples.get(&kind) {
-            Some(s) if !s.is_empty() => {
-                SimTime::from_secs(s.iter().map(|p| p.1).sum::<f64>() / s.len() as f64)
-            }
-            _ => SimTime::ZERO,
+        let s = self.samples.get(&kind)?;
+        if s.is_empty() {
+            return None;
         }
+        Some(SimTime::from_secs(
+            s.iter().map(|p| p.1).sum::<f64>() / s.len() as f64,
+        ))
     }
 }
 
@@ -119,7 +145,7 @@ mod tests {
         let m = p.model(TaskKind::AllToAll1).unwrap();
         assert!((m.a - 1e-4).abs() < 1e-7);
         assert!((m.b - 1e-9).abs() < 1e-12);
-        let pred = p.predict(TaskKind::AllToAll1, 20e6);
+        let pred = p.predict(TaskKind::AllToAll1, 20e6).unwrap();
         assert!((pred.as_secs() - (1e-4 + 0.02)).abs() < 1e-6);
     }
 
@@ -129,13 +155,34 @@ mod tests {
         p.record(TaskKind::Expert, 100.0, SimTime::from_ms(2.0));
         p.record(TaskKind::Expert, 100.0, SimTime::from_ms(4.0));
         assert!(p.model(TaskKind::Expert).is_none());
-        assert_eq!(p.predict(TaskKind::Expert, 100.0), SimTime::from_ms(3.0));
+        assert_eq!(
+            p.predict(TaskKind::Expert, 100.0),
+            Some(SimTime::from_ms(3.0))
+        );
     }
 
     #[test]
-    fn unknown_kind_predicts_zero() {
+    fn unknown_kind_predicts_none_not_zero() {
         let p = Profiler::new();
-        assert_eq!(p.predict(TaskKind::Compress1, 1e6), SimTime::ZERO);
+        assert_eq!(p.predict(TaskKind::Compress1, 1e6), None);
+        assert!(!p.covers(TaskKind::Compress1));
+        assert_eq!(
+            p.missing_kinds(&TaskKind::ALL),
+            TaskKind::ALL.to_vec(),
+            "everything is missing on an empty profiler"
+        );
+    }
+
+    #[test]
+    fn coverage_tracks_recorded_kinds() {
+        let mut p = Profiler::new();
+        for k in TaskKind::ALL {
+            if k != TaskKind::AllToAll2 {
+                p.record(k, 1.0, SimTime::from_ms(1.0));
+            }
+        }
+        assert_eq!(p.missing_kinds(&TaskKind::ALL), vec![TaskKind::AllToAll2]);
+        assert!(p.covers(TaskKind::Compress1));
     }
 
     #[test]
@@ -155,19 +202,29 @@ mod tests {
                 mk("A1[c0]", 1e6, 1_000.0),
                 mk("A1[c1]", 2e6, 2_000.0),
                 mk("E[c0]", 5e5, 700.0),
-                // Not stage mnemonics: fabric send, backward A2A.
+                // Not a stage mnemonic: fabric send.
                 mk("send->3", 1e6, 50.0),
+                // Backward A2A feeds the backward kind, not the forward one.
                 mk("A1b[c0]", 1e6, 900.0),
             ],
             counters: Vec::new(),
         };
         let mut p = Profiler::new();
-        assert_eq!(p.ingest_trace(&trace), 3);
+        assert_eq!(p.ingest_trace(&trace), 4);
         assert_eq!(p.sample_count(TaskKind::AllToAll1), 2);
+        assert_eq!(p.sample_count(TaskKind::BwdAllToAll1), 1);
         assert_eq!(p.sample_count(TaskKind::Expert), 1);
         // Two distinct A1 sizes identify a model: 1 ms per MB, no offset.
-        let pred = p.predict(TaskKind::AllToAll1, 4e6);
+        let pred = p.predict(TaskKind::AllToAll1, 4e6).unwrap();
         assert!((pred.as_secs() - 4e-3).abs() < 1e-9, "{pred:?}");
+    }
+
+    #[test]
+    fn backward_spans_never_feed_forward_models() {
+        let mut p = Profiler::new();
+        p.record(TaskKind::BwdAllToAll1, 1e6, SimTime::from_ms(9.0));
+        assert_eq!(p.sample_count(TaskKind::AllToAll1), 0);
+        assert_eq!(p.predict(TaskKind::AllToAll1, 1e6), None);
     }
 
     #[test]

@@ -2,7 +2,14 @@
 
 use schemoe_netsim::SimTime;
 
-/// The seven task types of one MoE layer pass (paper Eq. 3).
+/// The seven task types of one MoE layer pass (paper Eq. 3), plus their
+/// backward-pass mirrors (paper §2.3: the dependency between A2A and
+/// expert tasks is reversed, but the task taxonomy is the same shape).
+///
+/// Forward kinds and backward kinds are modelled independently: a
+/// gradient exchange travels uncompressed and the expert backward runs
+/// the dX+dW pair, so their durations share nothing with the forward
+/// stages beyond the pipeline structure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TaskKind {
     /// First data compression `C1` (before dispatch).
@@ -19,10 +26,27 @@ pub enum TaskKind {
     AllToAll2,
     /// Second decompression `D2` (after combine).
     Decompress2,
+    /// Backward: combine-gradient build + encode `C1b`.
+    BwdCompress1,
+    /// Backward: output-gradient all-to-all `A1b` (lane `LANE_BWD_GRAD`).
+    BwdAllToAll1,
+    /// Backward: gradient decode `D1b`.
+    BwdDecompress1,
+    /// Backward: expert dX+dW computation `Eb`.
+    BwdExpert,
+    /// Backward: input-gradient build + encode `C2b`.
+    BwdCompress2,
+    /// Backward: input-gradient all-to-all `A2b` (lane `LANE_BWD_RETURN`).
+    BwdAllToAll2,
+    /// Backward: input-gradient decode + scatter `D2b`.
+    BwdDecompress2,
 }
 
 impl TaskKind {
-    /// All kinds in data-dependency order.
+    /// All *forward* kinds in data-dependency order. ([`TaskSet`] and the
+    /// schedule zoo are defined over this seven-kind pipeline; backward
+    /// durations are mapped onto the same positions by
+    /// [`crate::backward`].)
     pub const ALL: [TaskKind; 7] = [
         TaskKind::Compress1,
         TaskKind::AllToAll1,
@@ -33,7 +57,7 @@ impl TaskKind {
         TaskKind::Decompress2,
     ];
 
-    /// Computing-task kinds only, in dependency order.
+    /// Forward computing-task kinds only, in dependency order.
     pub const COMPUTE: [TaskKind; 5] = [
         TaskKind::Compress1,
         TaskKind::Decompress1,
@@ -42,24 +66,65 @@ impl TaskKind {
         TaskKind::Decompress2,
     ];
 
+    /// The backward-pass kinds in data-dependency order, mirroring
+    /// [`Self::ALL`] position by position.
+    pub const BACKWARD: [TaskKind; 7] = [
+        TaskKind::BwdCompress1,
+        TaskKind::BwdAllToAll1,
+        TaskKind::BwdDecompress1,
+        TaskKind::BwdExpert,
+        TaskKind::BwdCompress2,
+        TaskKind::BwdAllToAll2,
+        TaskKind::BwdDecompress2,
+    ];
+
     /// Whether the task occupies the network (a CommTask).
     pub fn is_comm(self) -> bool {
-        matches!(self, TaskKind::AllToAll1 | TaskKind::AllToAll2)
+        matches!(
+            self,
+            TaskKind::AllToAll1
+                | TaskKind::AllToAll2
+                | TaskKind::BwdAllToAll1
+                | TaskKind::BwdAllToAll2
+        )
     }
 
-    /// The immediately preceding kind in the per-chunk dependency chain,
-    /// or `None` for `C1`.
-    pub fn predecessor(self) -> Option<TaskKind> {
-        let all = TaskKind::ALL;
-        let pos = all.iter().position(|&k| k == self).expect("kind in ALL");
-        if pos == 0 {
-            None
-        } else {
-            Some(all[pos - 1])
+    /// Whether this is a backward-pass kind.
+    pub fn is_backward(self) -> bool {
+        TaskKind::BACKWARD.contains(&self)
+    }
+
+    /// The forward kind occupying the same pipeline position as this
+    /// backward kind (identity for forward kinds). This is how backward
+    /// durations are laid into a [`TaskSet`], whose positions are the
+    /// forward pipeline's.
+    pub fn forward_position(self) -> TaskKind {
+        match TaskKind::BACKWARD.iter().position(|&k| k == self) {
+            Some(pos) => TaskKind::ALL[pos],
+            None => self,
         }
     }
 
-    /// Short label (`C1`, `A1`, ...).
+    /// The immediately preceding kind in the per-chunk dependency chain,
+    /// or `None` for the chain head (`C1` / `C1b`).
+    pub fn predecessor(self) -> Option<TaskKind> {
+        let chain: &[TaskKind] = if self.is_backward() {
+            &TaskKind::BACKWARD
+        } else {
+            &TaskKind::ALL
+        };
+        let pos = chain
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in chain");
+        if pos == 0 {
+            None
+        } else {
+            Some(chain[pos - 1])
+        }
+    }
+
+    /// Short label (`C1`, `A1`, ..., `C1b`, `A1b`, ...).
     pub fn label(self) -> &'static str {
         match self {
             TaskKind::Compress1 => "C1",
@@ -69,6 +134,13 @@ impl TaskKind {
             TaskKind::Compress2 => "C2",
             TaskKind::AllToAll2 => "A2",
             TaskKind::Decompress2 => "D2",
+            TaskKind::BwdCompress1 => "C1b",
+            TaskKind::BwdAllToAll1 => "A1b",
+            TaskKind::BwdDecompress1 => "D1b",
+            TaskKind::BwdExpert => "Eb",
+            TaskKind::BwdCompress2 => "C2b",
+            TaskKind::BwdAllToAll2 => "A2b",
+            TaskKind::BwdDecompress2 => "D2b",
         }
     }
 }
@@ -78,6 +150,12 @@ impl TaskKind {
 /// Chunks are equal-size partitions of the input (the paper's setting), so
 /// one duration per kind suffices; per-chunk overrides are available for
 /// experiments with non-uniform splits.
+///
+/// Positions are the *forward* pipeline's; a backward pass is represented
+/// by a second `TaskSet` holding backward durations in the same positions
+/// (see [`crate::backward`]). Backward [`TaskKind`]s are accepted by
+/// [`duration`](Self::duration) / [`set_duration`](Self::set_duration) and
+/// map onto their mirrored position.
 #[derive(Clone, Debug)]
 pub struct TaskSet {
     r: usize,
@@ -86,7 +164,9 @@ pub struct TaskSet {
 }
 
 impl TaskSet {
-    /// Creates a set with `r` chunks, every chunk of a kind equal.
+    /// Creates a set with `r` chunks, every chunk of a kind equal, and the
+    /// combine half mirroring the dispatch half (`C2 = C1`, `A2 = A1`,
+    /// `D2 = D1`) — the paper's symmetric-payload setting.
     ///
     /// # Panics
     ///
@@ -98,19 +178,27 @@ impl TaskSet {
         decompress: SimTime,
         expert: SimTime,
     ) -> Self {
+        Self::per_stage(
+            r,
+            [compress, a2a, decompress, expert, compress, a2a, decompress],
+        )
+    }
+
+    /// Creates a set with `r` chunks from seven independent per-stage
+    /// durations in [`TaskKind::ALL`] order (`C1, A1, D1, E, C2, A2, D2`).
+    ///
+    /// Unlike [`uniform`](Self::uniform) this does not mirror the dispatch
+    /// half onto the combine half, so top-k fan-in asymmetry (combine
+    /// bytes ≠ dispatch bytes) is representable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn per_stage(r: usize, stages: [SimTime; 7]) -> Self {
         assert!(r > 0, "at least one chunk required");
-        let per_kind = |t: SimTime| vec![t; r];
         TaskSet {
             r,
-            durations: vec![
-                per_kind(compress),
-                per_kind(a2a),
-                per_kind(decompress),
-                per_kind(expert),
-                per_kind(compress),
-                per_kind(a2a),
-                per_kind(decompress),
-            ],
+            durations: stages.iter().map(|&t| vec![t; r]).collect(),
         }
     }
 
@@ -119,24 +207,32 @@ impl TaskSet {
         self.r
     }
 
-    /// Duration of `(kind, chunk)`.
+    fn pos(kind: TaskKind) -> usize {
+        let fwd = kind.forward_position();
+        TaskKind::ALL
+            .iter()
+            .position(|&k| k == fwd)
+            .expect("forward_position lands in ALL")
+    }
+
+    /// Duration of `(kind, chunk)`. Backward kinds address the mirrored
+    /// forward position.
     ///
     /// # Panics
     ///
     /// Panics if `chunk >= r`.
     pub fn duration(&self, kind: TaskKind, chunk: usize) -> SimTime {
-        let pos = TaskKind::ALL.iter().position(|&k| k == kind).expect("kind");
-        self.durations[pos][chunk]
+        self.durations[Self::pos(kind)][chunk]
     }
 
-    /// Overrides the duration of one `(kind, chunk)` task.
+    /// Overrides the duration of one `(kind, chunk)` task. Backward kinds
+    /// address the mirrored forward position.
     ///
     /// # Panics
     ///
     /// Panics if `chunk >= r`.
     pub fn set_duration(&mut self, kind: TaskKind, chunk: usize, t: SimTime) {
-        let pos = TaskKind::ALL.iter().position(|&k| k == kind).expect("kind");
-        self.durations[pos][chunk] = t;
+        self.durations[Self::pos(kind)][chunk] = t;
     }
 
     /// Sum of all task durations (the no-overlap time, Eq. 10).

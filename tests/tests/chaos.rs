@@ -204,8 +204,12 @@ fn scenario() {
     let mut lossy_cfg = FtConfig::tiny(8).with_seed(41);
     lossy_cfg.vote_timeout_ms = 400;
     lossy_cfg.retry_budget = 6; // a live rank must never be evicted for lag
+                                // 0.8% per frame: calibrated so that on every CI seed at least one
+                                // corruption lands on step-critical traffic (A2A / allreduce frames,
+                                // which abort the attempt and retry) rather than only on traffic the
+                                // protocol absorbs without a retry (redundant vote copies).
     let lossy_spec = FaultSpec::seeded(chaos_seed() ^ 0xC0_FFEE)
-        .with_corrupt(0.002)
+        .with_corrupt(0.008)
         .with_recv_deadline_ms(800);
     let lossy = run_world(lossy_cfg, lossy_spec, Topology::new(2, 2));
     let lossy_counters = deterministic_counters(4);

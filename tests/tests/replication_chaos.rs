@@ -52,7 +52,12 @@ const K: usize = 4;
 /// baseline is left with an expert-shaped hole and no time to re-learn
 /// around it. (Over a long post-death horizon the two trajectories
 /// re-mix and the comparison degenerates into capacity-vs-data noise.)
-const KILL_AFTER_SENDS: u64 = 9000;
+///
+/// The count is calibrated against the victim's per-step send
+/// composition (A2A chunks + the two allreduce lanes + vote copies), so
+/// it must be re-tuned whenever the wire protocol changes the number of
+/// frames a step emits.
+const KILL_AFTER_SENDS: u64 = 9200;
 /// The revive and double-fault phases kill EARLY instead, leaving most
 /// of the run for the announce/invite/decision rejoin handshake and the
 /// handback to complete.
