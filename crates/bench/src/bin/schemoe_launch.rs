@@ -1,0 +1,673 @@
+//! Multi-process launcher for the fault-tolerant trainer.
+//!
+//! `schemoe-launch` spawns one OS process per rank, wires them together
+//! over a real transport, and runs [`run_ft_rank`] in each — the same
+//! trainer the in-process chaos tests drive, now with real process
+//! boundaries: a `--kill-rank` is a genuine `SIGKILL`, the peers see a
+//! socket reset (TCP) or a vanished pid (shared memory) instead of a
+//! simulated kill latch, and `--respawn` brings the victim back as a
+//! fresh process that rejoins through the same announce/invite protocol
+//! a simulated revival uses.
+//!
+//! ```text
+//! schemoe-launch --transport tcp --ranks 4 --steps 40
+//! schemoe-launch --transport tcp --ranks 4 --steps 60 \
+//!     --kill-rank 2 --kill-after-ms 800 --respawn --trace-dir traces/
+//! ```
+//!
+//! Transports: `tcp` (rank 0 hosts the rendezvous; workers dial it),
+//! `shm` (a session directory of ring files under `/dev/shm`), and
+//! `channel` (single process, rank threads — no kill support, kept for
+//! apples-to-apples output). Every worker prints one parseable
+//! `SCHEMOE_REPORT` line; the launcher parses them all and exits
+//! non-zero unless the run proves what it was asked to prove: fault-free
+//! completion, degraded completion after a kill, and a successful rejoin
+//! after a respawn.
+//!
+//! With `--trace-dir` each worker records its run with the span recorder
+//! and writes `trace-rank<N>.json` in Trace Event Format (load at
+//! <https://ui.perfetto.dev>).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use schemoe_cluster::{transport, Fabric, RankHandle, Topology, Transport};
+use schemoe_models::{run_ft_rank, FtConfig, FtReport};
+use schemoe_obs as obs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = if args.first().map(String::as_str) == Some("worker") {
+        worker_main(&args[1..])
+    } else {
+        launcher_main(&args)
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: schemoe-launch [--transport tcp|shm|channel] [--ranks N] [--steps S] \
+         [--seed S] [--replica-interval K] [--kill-rank R] [--kill-after-ms MS] \
+         [--respawn] [--respawn-after-ms MS] [--trace-dir DIR]"
+    );
+    std::process::exit(64);
+}
+
+/// Pops the value of a `--flag VALUE` pair, parsing it with `FromStr`.
+fn take_value<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    let Some(v) = it.next() else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {v:?} for {flag}");
+        usage();
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker mode: one rank in one process.
+// ---------------------------------------------------------------------------
+
+struct WorkerOpts {
+    rank: usize,
+    world: usize,
+    steps: usize,
+    seed: u64,
+    replica_interval: usize,
+    rejoin: bool,
+    rendezvous: Option<String>,
+    shm_dir: Option<PathBuf>,
+    trace: Option<PathBuf>,
+}
+
+fn worker_main(args: &[String]) -> i32 {
+    let mut o = WorkerOpts {
+        rank: usize::MAX,
+        world: 0,
+        steps: 20,
+        seed: 7,
+        replica_interval: 2,
+        rejoin: false,
+        rendezvous: None,
+        shm_dir: None,
+        trace: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rank" => o.rank = take_value(&mut it, a),
+            "--world" => o.world = take_value(&mut it, a),
+            "--steps" => o.steps = take_value(&mut it, a),
+            "--seed" => o.seed = take_value(&mut it, a),
+            "--replica-interval" => o.replica_interval = take_value(&mut it, a),
+            "--rejoin" => o.rejoin = true,
+            "--rendezvous" => o.rendezvous = Some(take_value(&mut it, a)),
+            "--shm-dir" => o.shm_dir = Some(take_value::<String>(&mut it, a).into()),
+            "--trace" => o.trace = Some(take_value::<String>(&mut it, a).into()),
+            _ => usage(),
+        }
+    }
+    if o.rank >= o.world || o.world == 0 {
+        usage();
+    }
+
+    let endpoint: Box<dyn Transport> = if let Some(dir) = &o.shm_dir {
+        #[cfg(unix)]
+        {
+            Box::new(transport::shm::ShmBootstrap::new(dir.clone(), o.rank, o.world).attach())
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            eprintln!("shm transport requires a unix host");
+            return 64;
+        }
+    } else {
+        // Rank 0 hosts the rendezvous for the life of its process
+        // (persistent: late rejoiners are answered with the current map)
+        // and hands the address to the launcher over stdout.
+        let rendezvous = match (&o.rendezvous, o.rank) {
+            (Some(addr), _) => addr.clone(),
+            (None, 0) => {
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind rendezvous");
+                let addr = listener.local_addr().expect("rendezvous addr").to_string();
+                println!("SCHEMOE_RENDEZVOUS {addr}");
+                std::io::stdout().flush().expect("flush rendezvous line");
+                let world = o.world;
+                thread::spawn(move || transport::tcp::serve_rendezvous(listener, world, true));
+                addr
+            }
+            (None, _) => {
+                eprintln!("non-zero tcp workers need --rendezvous");
+                return 64;
+            }
+        };
+        Box::new(transport::tcp::TcpBootstrap::new(rendezvous, o.rank, o.world).connect())
+    };
+
+    let mut h = RankHandle::attach(Topology::new(1, o.world), o.rank, endpoint, None);
+    let mut cfg = FtConfig::tiny(o.steps)
+        .with_seed(o.seed)
+        .with_replica_interval(o.replica_interval);
+    if o.rejoin {
+        cfg = cfg.with_rejoin();
+    }
+    // A SIGKILLed peer abandons its step mid-exchange; without a receive
+    // deadline a survivor blocks on that abandoned step forever, misses
+    // the burial vote, and the cluster splits. The chaos tests get this
+    // deadline from their fault plan — a real-process worker must install
+    // the equivalent on the handle itself.
+    h.set_recv_deadline(Some(Duration::from_millis(
+        cfg.vote_timeout_ms.max(100) * 4,
+    )));
+
+    if o.trace.is_some() {
+        obs::reset_counters();
+        let _ = obs::take();
+        obs::enable();
+    }
+    let report = run_ft_rank(&mut h, &cfg);
+    if let Some(path) = &o.trace {
+        let trace = obs::take();
+        obs::disable();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_trace()) {
+            eprintln!("rank {}: failed to write trace {path:?}: {e}", o.rank);
+        }
+    }
+    println!("{}", report_line(o.rank, &report));
+    std::io::stdout().flush().expect("flush report line");
+    i32::from(report.died_at_step.is_some()) * 2
+}
+
+fn report_line(rank: usize, r: &FtReport) -> String {
+    let died = r
+        .died_at_step
+        .map_or_else(|| "-".to_string(), |s| s.to_string());
+    let dead = if r.dead_ranks.is_empty() {
+        "-".to_string()
+    } else {
+        r.dead_ranks
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "SCHEMOE_REPORT rank={rank} died={died} dead={dead} rejoins={} restores={} \
+         retries={} epoch={} loss={}",
+        r.rejoins, r.restores, r.retries, r.final_epoch, r.final_loss
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Launcher mode: spawn, kill, respawn, assert.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct LaunchOpts {
+    transport: String,
+    ranks: usize,
+    steps: usize,
+    seed: u64,
+    replica_interval: usize,
+    kill_rank: Option<usize>,
+    kill_after_ms: u64,
+    respawn: bool,
+    respawn_after_ms: u64,
+    trace_dir: Option<PathBuf>,
+}
+
+/// One `SCHEMOE_REPORT` line, parsed back into numbers.
+#[derive(Debug)]
+struct ParsedReport {
+    rank: usize,
+    died: Option<usize>,
+    dead: Vec<usize>,
+    rejoins: u64,
+    restores: u64,
+}
+
+fn parse_report(line: &str) -> Option<ParsedReport> {
+    let mut rank = None;
+    let mut died = None;
+    let mut dead = Vec::new();
+    let mut rejoins = 0;
+    let mut restores = 0;
+    for field in line.split_whitespace().skip(1) {
+        let (key, val) = field.split_once('=')?;
+        match key {
+            "rank" => rank = Some(val.parse().ok()?),
+            "died" if val != "-" => died = Some(val.parse().ok()?),
+            "dead" if val != "-" => {
+                dead = val
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .ok()?;
+            }
+            "rejoins" => rejoins = val.parse().ok()?,
+            "restores" => restores = val.parse().ok()?,
+            _ => {}
+        }
+    }
+    Some(ParsedReport {
+        rank: rank?,
+        died,
+        dead,
+        rejoins,
+        restores,
+    })
+}
+
+/// A spawned worker plus the thread forwarding its output.
+struct Worker {
+    rank: usize,
+    child: Child,
+    forwarder: JoinHandle<()>,
+}
+
+fn launcher_main(args: &[String]) -> i32 {
+    let mut o = LaunchOpts {
+        transport: "tcp".to_string(),
+        ranks: 4,
+        steps: 20,
+        seed: 7,
+        replica_interval: 2,
+        kill_rank: None,
+        kill_after_ms: 800,
+        respawn: false,
+        respawn_after_ms: 400,
+        trace_dir: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--transport" => o.transport = take_value(&mut it, a),
+            "--ranks" => o.ranks = take_value(&mut it, a),
+            "--steps" => o.steps = take_value(&mut it, a),
+            "--seed" => o.seed = take_value(&mut it, a),
+            "--replica-interval" => o.replica_interval = take_value(&mut it, a),
+            "--kill-rank" => o.kill_rank = Some(take_value(&mut it, a)),
+            "--kill-after-ms" => o.kill_after_ms = take_value(&mut it, a),
+            "--respawn" => o.respawn = true,
+            "--respawn-after-ms" => o.respawn_after_ms = take_value(&mut it, a),
+            "--trace-dir" => o.trace_dir = Some(take_value::<String>(&mut it, a).into()),
+            _ => usage(),
+        }
+    }
+    if o.ranks == 0 || o.ranks > 64 {
+        eprintln!("--ranks must be 1..=64");
+        return 64;
+    }
+    if let Some(k) = o.kill_rank {
+        if k >= o.ranks {
+            eprintln!("--kill-rank out of range");
+            return 64;
+        }
+        if k == 0 && o.transport == "tcp" {
+            eprintln!("rank 0 hosts the tcp rendezvous and cannot be the kill victim");
+            return 64;
+        }
+    }
+    if let Some(dir) = &o.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --trace-dir {dir:?}: {e}");
+            return 64;
+        }
+    }
+    match o.transport.as_str() {
+        "channel" => launch_in_process(&o),
+        "tcp" | "shm" => launch_processes(&o),
+        other => {
+            eprintln!("unknown transport {other:?}");
+            usage()
+        }
+    }
+}
+
+/// Channel mode: the classic in-process fabric, one thread per rank.
+fn launch_in_process(o: &LaunchOpts) -> i32 {
+    if o.kill_rank.is_some() {
+        eprintln!("--kill-rank needs a multi-process transport (tcp or shm)");
+        return 64;
+    }
+    let cfg = FtConfig::tiny(o.steps)
+        .with_seed(o.seed)
+        .with_replica_interval(o.replica_interval);
+    let reports = Fabric::run(Topology::new(1, o.ranks), |mut h| run_ft_rank(&mut h, &cfg));
+    for (rank, r) in reports.iter().enumerate() {
+        println!("{}", report_line(rank, r));
+    }
+    let ok = reports.iter().all(|r| r.died_at_step.is_none());
+    println!(
+        "SCHEMOE_LAUNCH {} transport=channel ranks={} steps={}",
+        if ok { "OK" } else { "FAIL" },
+        o.ranks,
+        o.steps
+    );
+    i32::from(!ok)
+}
+
+fn worker_command(o: &LaunchOpts, rank: usize, session: &WorkerSession, rejoin: bool) -> Command {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut cmd = Command::new(exe);
+    cmd.arg("worker")
+        .arg("--rank")
+        .arg(rank.to_string())
+        .arg("--world")
+        .arg(o.ranks.to_string())
+        .arg("--steps")
+        .arg(o.steps.to_string())
+        .arg("--seed")
+        .arg(o.seed.to_string())
+        .arg("--replica-interval")
+        .arg(o.replica_interval.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    match session {
+        WorkerSession::Tcp { rendezvous } => {
+            // Rank 0 binds and prints the rendezvous itself.
+            if rank != 0 {
+                cmd.arg("--rendezvous")
+                    .arg(rendezvous.as_deref().expect("rendezvous known"));
+            }
+        }
+        WorkerSession::Shm { dir } => {
+            cmd.arg("--shm-dir").arg(dir);
+        }
+    }
+    if rejoin {
+        cmd.arg("--rejoin");
+    }
+    if let Some(dir) = &o.trace_dir {
+        let suffix = if rejoin { "-rejoin" } else { "" };
+        cmd.arg("--trace")
+            .arg(dir.join(format!("trace-rank{rank}{suffix}.json")));
+    }
+    cmd
+}
+
+enum WorkerSession {
+    Tcp { rendezvous: Option<String> },
+    Shm { dir: PathBuf },
+}
+
+/// Spawns a worker, wiring a forwarder thread that prefixes its stdout
+/// lines and captures `SCHEMOE_*` control lines into `reports`.
+fn spawn_worker(
+    mut cmd: Command,
+    rank: usize,
+    reports: &Arc<Mutex<Vec<ParsedReport>>>,
+    rendezvous_slot: Option<&Arc<Mutex<Option<String>>>>,
+) -> std::io::Result<Worker> {
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let reports = Arc::clone(reports);
+    let rendezvous_slot = rendezvous_slot.map(Arc::clone);
+    let forwarder = thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if let Some(addr) = line.strip_prefix("SCHEMOE_RENDEZVOUS ") {
+                if let Some(slot) = &rendezvous_slot {
+                    *slot.lock().expect("rendezvous slot") = Some(addr.to_string());
+                }
+            } else if line.starts_with("SCHEMOE_REPORT ") {
+                if let Some(parsed) = parse_report(&line) {
+                    reports.lock().expect("report list").push(parsed);
+                }
+            }
+            println!("[rank {rank}] {line}");
+        }
+    });
+    Ok(Worker {
+        rank,
+        child,
+        forwarder,
+    })
+}
+
+fn launch_processes(o: &LaunchOpts) -> i32 {
+    let reports: Arc<Mutex<Vec<ParsedReport>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Session setup + rank 0, whose stdout announces the tcp rendezvous.
+    let rendezvous_slot = Arc::new(Mutex::new(None::<String>));
+    let (mut session, _shm_guard) = match o.transport.as_str() {
+        "tcp" => (
+            WorkerSession::Tcp { rendezvous: None },
+            None::<tempdir::TempDir>,
+        ),
+        "shm" => {
+            #[cfg(unix)]
+            {
+                let dir = transport::shm::session_base().join(format!(
+                    "schemoe-launch-{}-{}",
+                    std::process::id(),
+                    o.seed
+                ));
+                if let Err(e) = transport::shm::init_session(&dir, o.ranks) {
+                    eprintln!("cannot initialise shm session {dir:?}: {e}");
+                    return 1;
+                }
+                (
+                    WorkerSession::Shm { dir: dir.clone() },
+                    Some(tempdir::TempDir(dir)),
+                )
+            }
+            #[cfg(not(unix))]
+            {
+                eprintln!("shm transport requires a unix host");
+                return 64;
+            }
+        }
+        _ => unreachable!("validated in launcher_main"),
+    };
+
+    let rank0 = match spawn_worker(
+        worker_command(o, 0, &session, false),
+        0,
+        &reports,
+        Some(&rendezvous_slot),
+    ) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("failed to spawn rank 0: {e}");
+            return 1;
+        }
+    };
+    if matches!(session, WorkerSession::Tcp { .. }) {
+        // Wait for rank 0 to print its rendezvous address.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(addr) = rendezvous_slot.lock().expect("rendezvous slot").clone() {
+                session = WorkerSession::Tcp {
+                    rendezvous: Some(addr),
+                };
+                break;
+            }
+            if std::time::Instant::now() > deadline {
+                eprintln!("rank 0 never announced a rendezvous address");
+                return 1;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    let mut workers = vec![rank0];
+    for rank in 1..o.ranks {
+        match spawn_worker(
+            worker_command(o, rank, &session, false),
+            rank,
+            &reports,
+            None,
+        ) {
+            Ok(w) => workers.push(w),
+            Err(e) => {
+                eprintln!("failed to spawn rank {rank}: {e}");
+                for w in &mut workers {
+                    let _ = w.child.kill();
+                }
+                return 1;
+            }
+        }
+    }
+
+    // The fault schedule: a real SIGKILL, then (optionally) a fresh
+    // process claiming the victim's rank back.
+    let mut killed: Option<usize> = None;
+    if let Some(victim) = o.kill_rank {
+        thread::sleep(Duration::from_millis(o.kill_after_ms));
+        let w = &mut workers[victim];
+        if w.child.try_wait().expect("probe victim").is_some() {
+            eprintln!("kill victim rank {victim} exited before the kill fired");
+            return 1;
+        }
+        w.child.kill().expect("SIGKILL victim");
+        let _ = w.child.wait();
+        println!("[launch] killed rank {victim} after {} ms", o.kill_after_ms);
+        killed = Some(victim);
+        if o.respawn {
+            thread::sleep(Duration::from_millis(o.respawn_after_ms));
+            match spawn_worker(
+                worker_command(o, victim, &session, true),
+                victim,
+                &reports,
+                None,
+            ) {
+                Ok(w) => {
+                    println!("[launch] respawned rank {victim} with --rejoin");
+                    workers.push(w);
+                }
+                Err(e) => {
+                    eprintln!("failed to respawn rank {victim}: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+
+    // Reap everything; the killed incarnation was already waited on.
+    let mut failures = Vec::new();
+    for w in workers {
+        let Worker {
+            rank,
+            mut child,
+            forwarder,
+        } = w;
+        if killed == Some(rank) {
+            // The killed incarnation was already reaped after the SIGKILL;
+            // its respawn sits later in the list and is waited on when its
+            // own entry comes up.
+            killed = None;
+            let _ = forwarder.join();
+            continue;
+        }
+        let status: ExitStatus = match child.wait() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("wait for rank {rank} failed: {e}");
+                return 1;
+            }
+        };
+        let _ = forwarder.join();
+        if !status.success() {
+            failures.push((rank, status));
+        }
+    }
+    for (rank, status) in &failures {
+        eprintln!("[launch] rank {rank} exited with {status}");
+    }
+
+    let reports = reports.lock().expect("report list");
+    let verdict = assess(o, o.kill_rank, &reports, &failures);
+    println!(
+        "SCHEMOE_LAUNCH {} transport={} ranks={} steps={} reports={}",
+        if verdict.is_ok() { "OK" } else { "FAIL" },
+        o.transport,
+        o.ranks,
+        o.steps,
+        reports.len()
+    );
+    match verdict {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("[launch] {msg}");
+            1
+        }
+    }
+}
+
+/// Decides whether the run proved what it was asked to prove.
+fn assess(
+    o: &LaunchOpts,
+    victim: Option<usize>,
+    reports: &[ParsedReport],
+    failures: &[(usize, ExitStatus)],
+) -> Result<(), String> {
+    if !failures.is_empty() {
+        return Err(format!("{} worker(s) exited non-zero", failures.len()));
+    }
+    let expected = if victim.is_some() && !o.respawn {
+        o.ranks - 1
+    } else {
+        o.ranks
+    };
+    if reports.len() != expected {
+        return Err(format!(
+            "expected {expected} reports, saw {}",
+            reports.len()
+        ));
+    }
+    for r in reports {
+        if let Some(step) = r.died {
+            return Err(format!("rank {} reported death at step {step}", r.rank));
+        }
+    }
+    let Some(victim) = victim else {
+        return Ok(());
+    };
+    // Degraded completion: some survivor observed the death and restored.
+    let survivors: Vec<&ParsedReport> = reports.iter().filter(|r| r.rank != victim).collect();
+    if !survivors.iter().any(|r| r.restores > 0) {
+        return Err("no survivor restored a checkpoint after the kill".to_string());
+    }
+    if o.respawn {
+        let Some(rejoined) = reports.iter().find(|r| r.rank == victim) else {
+            return Err(format!("no report from the respawned rank {victim}"));
+        };
+        if rejoined.rejoins == 0 {
+            return Err(format!("respawned rank {victim} never rejoined"));
+        }
+        if survivors.iter().any(|r| r.dead.contains(&victim)) {
+            return Err(format!(
+                "a survivor still believes rank {victim} is dead after the rejoin"
+            ));
+        }
+    } else if !survivors.iter().all(|r| r.dead.contains(&victim)) {
+        return Err(format!(
+            "not every survivor buried the killed rank {victim}"
+        ));
+    }
+    Ok(())
+}
+
+/// Just enough of a temp-dir guard for the shm session files.
+#[cfg(unix)]
+mod tempdir {
+    pub struct TempDir(pub std::path::PathBuf);
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+#[cfg(not(unix))]
+mod tempdir {
+    pub struct TempDir(pub std::path::PathBuf);
+}

@@ -1,27 +1,32 @@
-//! In-process message-passing fabric: ranks are threads, links are channels.
+//! The message-passing fabric: ranks over an interchangeable transport.
 //!
 //! The fabric is the *functional* interconnect of ScheMoE-RS. Every rank of
-//! a [`Topology`] runs as a thread holding a [`RankHandle`]; point-to-point
-//! messages are [`Bytes`] payloads over unbounded crossbeam channels, one
-//! per ordered pair of ranks, so sends never block and any tag-matched
-//! receive order is safe. Collectives and the distributed MoE layer are
+//! a [`Topology`] holds a [`RankHandle`]; point-to-point messages are
+//! [`Bytes`] payloads carried by a [`Transport`] backend — in-process
+//! channels by default, shared-memory rings or TCP streams when selected
+//! (see [`TransportKind`]). Collectives and the distributed MoE layer are
 //! built purely from [`RankHandle::send`] / [`RankHandle::recv`] /
 //! [`RankHandle::barrier`], mirroring how the real system builds A2A out of
 //! NCCL send/recv pairs.
+//!
+//! The handle owns every fabric *semantic* — tag demultiplexing with
+//! out-of-order parking, CRC/epoch framing, the seeded fault lottery,
+//! liveness deadlines, and traffic counters — so those behaviors are
+//! identical on every backend and a chaos replay's fault sequence does not
+//! depend on what carries the bytes.
 
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use schemoe_obs as obs;
 
 use crate::faults::{self, FaultDecision, FaultPlan};
 use crate::topology::{Rank, Topology};
+use crate::transport::{self, RawRecvError, Transport, TransportKind};
 
 /// Errors surfaced by fabric communication.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,11 +116,6 @@ impl fmt::Display for FabricError {
 
 impl std::error::Error for FabricError {}
 
-struct Msg {
-    tag: u64,
-    payload: Bytes,
-}
-
 /// A wall-clock cost model for cross-rank transfers.
 ///
 /// When installed via [`Fabric::run_with_wire`], every send to a *different*
@@ -169,11 +169,10 @@ pub struct AdaptiveDeadline {
 pub struct RankHandle {
     rank: Rank,
     topology: Topology,
-    senders: Vec<Sender<Msg>>,
-    receivers: Vec<Receiver<Msg>>,
+    /// The backend carrying raw `(tag, payload)` records between ranks.
+    transport: Box<dyn Transport>,
     /// Out-of-order messages parked until a matching tag is requested.
     pending: HashMap<(Rank, u64), Vec<Bytes>>,
-    barrier: Arc<Barrier>,
     /// Optional wall-clock charge applied to cross-rank sends.
     wire: Option<WireModel>,
     /// This rank's traffic counters (no-ops while the recorder is off).
@@ -190,17 +189,17 @@ pub struct RankHandle {
     /// Cached liveness: latched when a scheduled `kill_after` fires and
     /// cleared only by an explicit [`try_revive`](Self::try_revive) probe —
     /// crossing the revive threshold alone never silently reopens the pipe.
+    ///
+    /// The cluster-wide liveness board lives on the transport: a rank
+    /// posts its own death there when its kill latches, so peers' receives
+    /// can fail fast with `Disconnected` instead of burning their full
+    /// deadline on a peer that will provably never send again — the
+    /// analogue of a connection reset after a process crash. The board
+    /// entry is cleared only when the rejoin protocol re-admits the rank
+    /// ([`mark_peer_reachable`](Self::mark_peer_reachable)); a
+    /// revived-but-not-yet-readmitted rank is still unreachable as far as
+    /// collective traffic is concerned.
     dead: Cell<bool>,
-    /// Cluster-wide liveness board, one flag per rank, shared by every
-    /// handle of the run. A rank posts its own death here when its kill
-    /// latches, so peers' receives can fail fast with `Disconnected`
-    /// instead of burning their full deadline on a peer that will provably
-    /// never send again — the in-process analogue of a connection reset
-    /// after a process crash. The flag is cleared only when the rejoin
-    /// protocol re-admits the rank ([`mark_peer_reachable`]
-    /// (Self::mark_peer_reachable)); a revived-but-not-yet-readmitted rank
-    /// is still unreachable as far as collective traffic is concerned.
-    dead_board: Arc<Vec<AtomicBool>>,
     /// Default liveness deadline applied to plain `recv` calls.
     deadline: Cell<Option<Duration>>,
     /// This rank's current membership epoch, stamped on every outgoing
@@ -283,6 +282,22 @@ impl RankHandle {
         self.adaptive.set(policy);
     }
 
+    /// The currently installed deadline adaptation policy. Long-lived
+    /// callers (the FT trainer) snapshot this so they can restore the
+    /// handle's deadline state on exit instead of leaking their policy
+    /// into whatever runs on the handle next.
+    pub fn adaptive_deadline(&self) -> Option<AdaptiveDeadline> {
+        self.adaptive.get()
+    }
+
+    /// True when a buried peer can physically come back — as a respawned
+    /// OS process dialing back in — without a fault plan scheduling its
+    /// revival. The rejoin protocol polls announcements from *all* dead
+    /// ranks on such transports rather than only plan-scheduled revivals.
+    pub fn reconnectable(&self) -> bool {
+        self.transport.reconnectable()
+    }
+
     /// The liveness deadline a plain `recv` from `peer` will use right now:
     /// the adapted per-link value when an [`AdaptiveDeadline`] policy is
     /// installed and the link has enough samples, otherwise the static
@@ -342,8 +357,8 @@ impl RankHandle {
     /// not answer data-plane traffic, and peers' receives from it should
     /// keep failing fast rather than stalling out their deadlines.
     pub fn mark_peer_reachable(&self, peer: Rank) {
-        if peer < self.dead_board.len() {
-            self.dead_board[peer].store(false, Ordering::Release);
+        if peer < self.world_size() {
+            self.transport.clear_death(peer);
         }
     }
 
@@ -356,11 +371,19 @@ impl RankHandle {
         }
     }
 
+    /// True when payloads travel CRC/epoch-framed: always on real-wire
+    /// transports (damage is physically possible), and on the channel
+    /// backend exactly when a fault plan is installed — so channel runs
+    /// without a plan stay byte-identical to the pre-trait fabric.
+    fn framed(&self) -> bool {
+        self.faults.is_some() || self.transport.always_framed()
+    }
+
     /// Delivers a wire payload to the caller: strips and validates the CRC
-    /// frame when a fault plan is installed, rejects frames from a stale
-    /// membership epoch, and records receive counters.
+    /// frame when framing is on, rejects frames from a stale membership
+    /// epoch, and records receive counters.
     fn unpack(&self, from: Rank, tag: u64, payload: Bytes) -> Result<Bytes, FabricError> {
-        if self.faults.is_none() {
+        if !self.framed() {
             self.counters.add_recv(payload.len());
             return Ok(payload);
         }
@@ -428,7 +451,7 @@ impl RankHandle {
                     // The kill itself is the injected fault; later denied
                     // attempts are consequences, not new injections.
                     self.dead.set(true);
-                    self.dead_board[self.rank].store(true, Ordering::Release);
+                    self.transport.post_death(self.rank);
                     self.counters.add_fault_injected();
                 }
                 return Err(FabricError::Disconnected { peer: self.rank });
@@ -457,7 +480,17 @@ impl RankHandle {
         // Fault decisions apply uniformly to every link — self-sends
         // included — so the fault counters stay consistent across paths.
         let payload = match &self.faults {
-            None => payload,
+            None => {
+                if self.transport.always_framed() {
+                    // Real wires get the `[len][epoch][crc32]` frame even
+                    // without a fault plan: bit damage and stale-epoch
+                    // traffic are physically possible there.
+                    let epoch = stamp.unwrap_or_else(|| self.epoch.get());
+                    faults::frame(&payload, epoch)
+                } else {
+                    payload
+                }
+            }
             Some(plan) => {
                 let idx = self.send_seq[to].get();
                 self.send_seq[to].set(idx + 1);
@@ -482,8 +515,8 @@ impl RankHandle {
                 }
             }
         };
-        self.senders[to]
-            .send(Msg { tag, payload })
+        self.transport
+            .send_raw(to, tag, payload)
             .map_err(|_| FabricError::Disconnected { peer: to })
     }
 
@@ -522,10 +555,14 @@ impl RankHandle {
         }
         let wait_start = (obs::enabled() || self.faults.is_some()).then(Instant::now);
         loop {
-            let msg = self.receivers[from]
-                .recv()
+            // A blocking raw receive only fails when the link is closed
+            // and drained — the transport contract never surfaces
+            // `Timeout` without a deadline.
+            let (msg_tag, payload) = self
+                .transport
+                .recv_raw(from, None)
                 .map_err(|_| FabricError::Disconnected { peer: from })?;
-            if msg.tag == tag {
+            if msg_tag == tag {
                 if let Some(t0) = wait_start {
                     let waited = t0.elapsed();
                     self.counters.add_recv_wait(waited);
@@ -533,12 +570,12 @@ impl RankHandle {
                         self.wait_hist[from].record(waited);
                     }
                 }
-                return self.unpack(from, tag, msg.payload);
+                return self.unpack(from, tag, payload);
             }
             self.pending
-                .entry((from, msg.tag))
+                .entry((from, msg_tag))
                 .or_default()
-                .push(msg.payload);
+                .push(payload);
         }
     }
 
@@ -593,8 +630,8 @@ impl RankHandle {
                 });
             }
             let slice = poll.map_or(remaining, |p| p.min(remaining));
-            match self.receivers[from].recv_timeout(slice) {
-                Ok(msg) if msg.tag == tag => {
+            match self.transport.recv_raw(from, Some(slice)) {
+                Ok((msg_tag, payload)) if msg_tag == tag => {
                     if let Some(t0) = wait_start {
                         let waited = t0.elapsed();
                         self.counters.add_recv_wait(waited);
@@ -602,20 +639,20 @@ impl RankHandle {
                             self.wait_hist[from].record(waited);
                         }
                     }
-                    return self.unpack(from, tag, msg.payload);
+                    return self.unpack(from, tag, payload);
                 }
-                Ok(msg) => {
+                Ok((msg_tag, payload)) => {
                     self.pending
-                        .entry((from, msg.tag))
+                        .entry((from, msg_tag))
                         .or_default()
-                        .push(msg.payload);
+                        .push(payload);
                 }
-                Err(RecvTimeoutError::Timeout) => {
+                Err(RawRecvError::Timeout) => {
                     // The slice drained nothing: anything the peer sent
                     // before latching dead has already been delivered or
                     // parked, so a posted death means no frame will ever
                     // arrive on this link again.
-                    if from != self.rank && self.dead_board[from].load(Ordering::Acquire) {
+                    if from != self.rank && self.transport.peer_dead(from) {
                         return Err(FabricError::Disconnected { peer: from });
                     }
                     if poll.is_none() {
@@ -627,7 +664,7 @@ impl RankHandle {
                         });
                     }
                 }
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(RawRecvError::Disconnected) => {
                     return Err(FabricError::Disconnected { peer: from });
                 }
             }
@@ -636,7 +673,52 @@ impl RankHandle {
 
     /// Blocks until every rank has reached the same barrier call.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.transport.barrier();
+    }
+
+    /// Attaches a rank to the fabric over an already-established
+    /// transport endpoint — the entry point for multi-process workers,
+    /// where each OS process builds its own endpoint (see
+    /// [`crate::transport::TransportBootstrap`]) instead of receiving
+    /// one from [`Fabric::run`].
+    pub fn attach(
+        topology: Topology,
+        rank: Rank,
+        transport: Box<dyn Transport>,
+        plan: Option<FaultPlan>,
+    ) -> RankHandle {
+        assert_eq!(
+            transport.world_size(),
+            topology.world_size(),
+            "transport world size must match the topology"
+        );
+        RankHandle::from_parts(topology, rank, transport, None, plan.map(Arc::new))
+    }
+
+    fn from_parts(
+        topology: Topology,
+        rank: Rank,
+        transport: Box<dyn Transport>,
+        wire: Option<WireModel>,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> RankHandle {
+        let p = topology.world_size();
+        RankHandle {
+            rank,
+            topology,
+            transport,
+            pending: HashMap::new(),
+            wire,
+            counters: obs::counters_for_rank(rank),
+            send_seq: (0..p).map(|_| Cell::new(0)).collect(),
+            sends_total: Cell::new(0),
+            dead: Cell::new(false),
+            deadline: Cell::new(plan.as_ref().and_then(|pl| pl.recv_deadline())),
+            epoch: Cell::new(0),
+            adaptive: Cell::new(None),
+            wait_hist: (0..p).map(|_| obs::WaitHistogram::new()).collect(),
+            faults: plan,
+        }
     }
 }
 
@@ -645,7 +727,9 @@ pub struct Fabric;
 
 impl Fabric {
     /// Runs `f` once per rank on its own thread and collects the results in
-    /// rank order.
+    /// rank order. The transport backend comes from the `SCHEMOE_TRANSPORT`
+    /// environment variable (default: in-process channels), which is how CI
+    /// runs the whole suite over every backend.
     ///
     /// # Panics
     ///
@@ -655,7 +739,16 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(topology, None, None, f)
+        Self::run_inner(TransportKind::from_env(), topology, None, None, f)
+    }
+
+    /// Like [`run`](Self::run), but on an explicit transport backend.
+    pub fn run_on<T, F>(kind: TransportKind, topology: Topology, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankHandle) -> T + Sync,
+    {
+        Self::run_inner(kind, topology, None, None, f)
     }
 
     /// Like [`run`](Self::run), but installs a [`WireModel`] so cross-rank
@@ -667,7 +760,7 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(topology, Some(wire), None, f)
+        Self::run_inner(TransportKind::from_env(), topology, Some(wire), None, f)
     }
 
     /// Like [`run`](Self::run), but installs a seeded [`FaultPlan`]: every
@@ -680,10 +773,33 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(topology, None, Some(Arc::new(plan)), f)
+        Self::run_inner(
+            TransportKind::from_env(),
+            topology,
+            None,
+            Some(Arc::new(plan)),
+            f,
+        )
+    }
+
+    /// Like [`run_with_faults`](Self::run_with_faults), but on an explicit
+    /// transport backend (the conformance suite drives every backend
+    /// through identical fault scenarios this way).
+    pub fn run_with_faults_on<T, F>(
+        kind: TransportKind,
+        topology: Topology,
+        plan: FaultPlan,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankHandle) -> T + Sync,
+    {
+        Self::run_inner(kind, topology, None, Some(Arc::new(plan)), f)
     }
 
     fn run_inner<T, F>(
+        kind: TransportKind,
         topology: Topology,
         wire: Option<WireModel>,
         plan: Option<Arc<FaultPlan>>,
@@ -694,54 +810,25 @@ impl Fabric {
         F: Fn(RankHandle) -> T + Sync,
     {
         let p = topology.world_size();
-        // channel[i][j]: endpoint pair carrying messages from i to j.
-        let mut senders: Vec<Vec<Option<Sender<Msg>>>> = Vec::with_capacity(p);
-        let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect::<Vec<_>>())
-            .collect();
-        for i in 0..p {
-            let mut row = Vec::with_capacity(p);
-            for j in 0..p {
-                let (tx, rx) = unbounded();
-                row.push(Some(tx));
-                receivers[j][i] = Some(rx);
-            }
-            senders.push(row);
-        }
-        let barrier = Arc::new(Barrier::new(p));
-        let dead_board = Arc::new((0..p).map(|_| AtomicBool::new(false)).collect::<Vec<_>>());
-        let mut handles: Vec<RankHandle> = Vec::with_capacity(p);
-        for (rank, (sender_row, receiver_row)) in senders.into_iter().zip(receivers).enumerate() {
-            handles.push(RankHandle {
-                rank,
-                topology,
-                senders: sender_row.into_iter().map(|s| s.expect("filled")).collect(),
-                receivers: receiver_row
-                    .into_iter()
-                    .map(|r| r.expect("filled"))
-                    .collect(),
-                pending: HashMap::new(),
-                barrier: Arc::clone(&barrier),
-                wire,
-                counters: obs::counters_for_rank(rank),
-                faults: plan.clone(),
-                send_seq: (0..p).map(|_| Cell::new(0)).collect(),
-                sends_total: Cell::new(0),
-                dead: Cell::new(false),
-                dead_board: Arc::clone(&dead_board),
-                deadline: Cell::new(plan.as_ref().and_then(|pl| pl.recv_deadline())),
-                epoch: Cell::new(0),
-                adaptive: Cell::new(None),
-                wait_hist: (0..p).map(|_| obs::WaitHistogram::new()).collect(),
-            });
-        }
-
+        let bootstraps = transport::mesh(kind, p);
         let f = &f;
+        let plan = &plan;
         std::thread::scope(|scope| {
-            let joins: Vec<_> = handles
+            let joins: Vec<_> = bootstraps
                 .into_iter()
-                .map(|h| {
+                .enumerate()
+                .map(|(rank, bootstrap)| {
                     scope.spawn(move || {
+                        // Shm and tcp endpoints finish their handshakes
+                        // here, on the rank's own thread — a tcp endpoint
+                        // blocks in rendezvous until all ranks register.
+                        let h = RankHandle::from_parts(
+                            topology,
+                            rank,
+                            bootstrap.establish(),
+                            wire,
+                            plan.clone(),
+                        );
                         if obs::enabled() {
                             // Attribute this thread's spans to its rank so
                             // exported traces group by process = rank.

@@ -30,9 +30,11 @@ pub mod faults;
 pub mod hardware;
 pub mod memory;
 pub mod topology;
+pub mod transport;
 
 pub use fabric::{AdaptiveDeadline, Fabric, FabricError, RankHandle, WireModel};
 pub use faults::{FaultDecision, FaultPlan, LinkFaults, EPOCH_ANY};
 pub use hardware::HardwareProfile;
 pub use memory::MemoryBudget;
 pub use topology::{Rank, Topology};
+pub use transport::{Transport, TransportBootstrap, TransportKind};

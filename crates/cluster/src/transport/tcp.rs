@@ -1,0 +1,571 @@
+//! TCP transport: one framed stream per directed link, rank 0 hosting
+//! rendezvous.
+//!
+//! Bootstrap is a two-step handshake. Every rank binds a data listener
+//! on an ephemeral port, dials the rendezvous address, and sends one
+//! line — `JOIN <rank> <host:port>` — then blocks until the service
+//! replies `MAP <addr0> <addr1> ...` with the full rank→address map,
+//! which it does the moment all ranks have registered. A persistent
+//! rendezvous (the multi-process launcher's mode) keeps serving after
+//! the initial map so a respawned rank can re-register under a fresh
+//! port and learn the survivors' addresses.
+//!
+//! Data connections are made lazily: the first send to a peer dials its
+//! data listener and opens with a `HELLO` record carrying the sender's
+//! rank and listener address (which also teaches the acceptor a
+//! rejoiner's new address). Each record on the wire is
+//! `[tag u64-le][len u32-le][payload]`; the payload is exactly the
+//! fabric's `[len][epoch][crc32]` frame, verbatim. A reader thread per
+//! incoming connection demultiplexes records into per-source queues;
+//! when its stream closes — the peer dropped its endpoint, exited, or
+//! was SIGKILLed — the reader posts the source dead on the local
+//! liveness board, turning real socket death into the same typed
+//! fast-fail a latched `kill_after` gives in-process.
+//!
+//! Tags at the top of the [`RESERVED_TAG_BASE`] range carry transport
+//! control: death notices (propagating the simulated-kill board between
+//! processes) and the rank-0-coordinated barrier (`ARRIVE`/`RELEASE`).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use super::{LinkClosed, RawRecvError, Transport, RESERVED_TAG_BASE};
+use crate::topology::Rank;
+
+/// Control tags (all within the reserved range).
+const CTRL_DEATH: u64 = u64::MAX;
+const CTRL_ARRIVE: u64 = u64::MAX - 1;
+const CTRL_RELEASE: u64 = u64::MAX - 2;
+const CTRL_HELLO: u64 = u64::MAX - 3;
+
+/// Receive poll slice: how often a blocked receive re-checks the local
+/// liveness board so a posted death cuts the wait short.
+const RECV_POLL: Duration = Duration::from_millis(5);
+
+/// Sanity cap on record payloads (a damaged length prefix must not
+/// allocate the moon).
+const MAX_RECORD: u32 = 1 << 30;
+
+struct Msg {
+    tag: u64,
+    payload: Bytes,
+}
+
+/// State shared between the endpoint, its acceptor, and reader threads.
+struct Shared {
+    world: usize,
+    /// Local liveness board: protocol state, fed by `post_death` (local
+    /// latches and peers' `CTRL_DEATH` notices), cleared on re-admission.
+    /// Consulted only through [`Transport::peer_dead`] so the fabric's
+    /// `board_poll` slicing governs when a posted death is noticed —
+    /// exactly as on the channel backend.
+    dead: Vec<AtomicBool>,
+    /// Socket state: the incoming stream from this rank closed (EOF,
+    /// reset, or torn record). The tcp analogue of a dropped channel
+    /// sender; cleared when a fresh `HELLO` re-establishes the link.
+    closed: Vec<AtomicBool>,
+    /// Per-source connection generation, bumped on every `HELLO`. A
+    /// reader thread only gets to mark its source `closed` at EOF if its
+    /// generation is still current; without this, a killed process's
+    /// lingering stream can EOF *after* its respawned successor's `HELLO`
+    /// cleared the flag, permanently wedging the link as closed.
+    /// Transitions are serialized under the `addrs` lock.
+    conn_gen: Vec<AtomicU64>,
+    /// Per-source inbox senders; readers fetch their clone here so a
+    /// rejoiner's fresh connection feeds the same queue.
+    inbox_tx: Vec<Sender<Msg>>,
+    /// Barrier arrivals, collected by rank 0.
+    arrive_tx: Sender<(Rank, u64)>,
+    /// Barrier releases, awaited by ranks != 0.
+    release_tx: Sender<u64>,
+    /// Rank → data-listener address, updated by `HELLO` records.
+    addrs: Mutex<Vec<String>>,
+    /// Set by `Drop` so the acceptor exits on its wake-up connection.
+    shutdown: AtomicBool,
+}
+
+/// A rendezvous to dial as one rank.
+pub struct TcpBootstrap {
+    rendezvous: String,
+    rank: Rank,
+    world: usize,
+    reconnectable: bool,
+}
+
+impl TcpBootstrap {
+    /// A bootstrap for a worker process dialing `rendezvous`.
+    /// `reconnectable` marks sessions whose dead ranks may return as
+    /// respawned processes (the launcher's mode).
+    pub fn new(rendezvous: impl Into<String>, rank: Rank, world: usize) -> Self {
+        TcpBootstrap {
+            rendezvous: rendezvous.into(),
+            rank,
+            world,
+            reconnectable: true,
+        }
+    }
+
+    /// Registers with rendezvous and stands up the endpoint.
+    pub fn connect(self) -> TcpTransport {
+        TcpTransport::connect(self).expect("tcp transport bootstrap")
+    }
+}
+
+/// Spawns an in-process rendezvous service for `world` ranks and
+/// returns one bootstrap per rank. The service thread exits after the
+/// initial map broadcast.
+pub fn mesh(world: usize) -> Vec<TcpBootstrap> {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind rendezvous");
+    let addr = listener.local_addr().expect("rendezvous addr").to_string();
+    std::thread::spawn(move || serve_rendezvous(listener, world, false));
+    (0..world)
+        .map(|rank| TcpBootstrap {
+            rendezvous: addr.clone(),
+            rank,
+            world,
+            reconnectable: false,
+        })
+        .collect()
+}
+
+/// Runs the rendezvous service: collects `JOIN <rank> <addr>` lines
+/// until all `world` ranks have registered, then sends every waiter the
+/// full `MAP`. In `persistent` mode the service keeps accepting after
+/// the initial broadcast, answering late (re)joining ranks immediately
+/// with the current map — run it on a thread for the life of rank 0's
+/// process.
+pub fn serve_rendezvous(listener: TcpListener, world: usize, persistent: bool) {
+    let mut addrs: Vec<Option<String>> = vec![None; world];
+    let mut waiting: Vec<TcpStream> = Vec::new();
+    let mut initial_served = false;
+    for conn in listener.incoming() {
+        let Ok(conn) = conn else { continue };
+        let mut reader = BufReader::new(conn.try_clone().expect("clone rendezvous conn"));
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_err() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some("JOIN"), Some(rank), Some(addr)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let Ok(rank) = rank.parse::<usize>() else {
+            continue;
+        };
+        if rank >= world {
+            continue;
+        }
+        addrs[rank] = Some(addr.to_string());
+        if initial_served {
+            let _ = reply_map(conn, &addrs);
+            continue;
+        }
+        waiting.push(conn);
+        if addrs.iter().all(Option::is_some) {
+            for c in waiting.drain(..) {
+                let _ = reply_map(c, &addrs);
+            }
+            initial_served = true;
+            if !persistent {
+                return;
+            }
+        }
+    }
+}
+
+fn reply_map(mut conn: TcpStream, addrs: &[Option<String>]) -> std::io::Result<()> {
+    let mut line = String::from("MAP");
+    for a in addrs {
+        line.push(' ');
+        line.push_str(a.as_deref().unwrap_or("?"));
+    }
+    line.push('\n');
+    conn.write_all(line.as_bytes())
+}
+
+fn write_record(stream: &mut TcpStream, tag: u64, payload: &[u8]) -> std::io::Result<()> {
+    let mut header = [0u8; 12];
+    header[..8].copy_from_slice(&tag.to_le_bytes());
+    header[8..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    stream.write_all(&header)?;
+    stream.write_all(payload)
+}
+
+fn read_record(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u64, Vec<u8>)> {
+    let mut header = [0u8; 12];
+    reader.read_exact(&mut header)?;
+    let tag = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(header[8..].try_into().expect("4 bytes"));
+    if len > MAX_RECORD {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "record length out of range",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+/// Demultiplexes one incoming connection. `src` becomes known from the
+/// leading `HELLO`; every subsequent record routes by tag.
+fn run_reader(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    let mut src: Option<Rank> = None;
+    let mut my_gen = 0u64;
+    while let Ok((tag, payload)) = read_record(&mut reader) {
+        match tag {
+            CTRL_HELLO => {
+                let Some((r, addr)) = decode_hello(&payload) else {
+                    return;
+                };
+                if r >= shared.world {
+                    return;
+                }
+                {
+                    let mut addrs = shared.addrs.lock();
+                    my_gen = shared.conn_gen[r].fetch_add(1, Ordering::AcqRel) + 1;
+                    addrs[r] = addr;
+                    shared.closed[r].store(false, Ordering::Release);
+                }
+                src = Some(r);
+            }
+            CTRL_DEATH => {
+                if let Some(&r) = payload.first() {
+                    let r = r as usize;
+                    if r < shared.world {
+                        shared.dead[r].store(true, Ordering::Release);
+                    }
+                }
+            }
+            CTRL_ARRIVE | CTRL_RELEASE => {
+                let Some(s) = src else { return };
+                let gen = u64::from_le_bytes(payload.as_slice().try_into().unwrap_or([0; 8]));
+                if tag == CTRL_ARRIVE {
+                    let _ = shared.arrive_tx.send((s, gen));
+                } else {
+                    let _ = shared.release_tx.send(gen);
+                }
+            }
+            _ => {
+                let Some(s) = src else { return };
+                let _ = shared.inbox_tx[s].send(Msg {
+                    tag,
+                    payload: Bytes::from(payload),
+                });
+            }
+        }
+    }
+    // The stream closed: the peer dropped its endpoint, exited, or was
+    // killed. Anything it sent is already queued, so marking the link
+    // closed means drained receives fail typed instead of stalling
+    // deadlines — the socket-reset analogue of a dropped channel. Only
+    // the *current* connection may do this: a killed process's stream
+    // can EOF after its respawned successor already said `HELLO`, and
+    // that stale reader must not re-close the fresh link.
+    if let Some(s) = src {
+        let _addrs = shared.addrs.lock();
+        if shared.conn_gen[s].load(Ordering::Acquire) == my_gen {
+            shared.closed[s].store(true, Ordering::Release);
+        }
+    }
+}
+
+fn encode_hello(rank: Rank, addr: &str) -> Vec<u8> {
+    let mut v = rank.to_le_bytes().to_vec();
+    v.extend_from_slice(addr.as_bytes());
+    v
+}
+
+fn decode_hello(payload: &[u8]) -> Option<(Rank, String)> {
+    let rank_bytes: [u8; 8] = payload.get(..8)?.try_into().ok()?;
+    let addr = String::from_utf8(payload.get(8..)?.to_vec()).ok()?;
+    Some((usize::from_le_bytes(rank_bytes), addr))
+}
+
+/// One rank's endpoint into a TCP mesh.
+pub struct TcpTransport {
+    rank: Rank,
+    world: usize,
+    reconnectable: bool,
+    listen_addr: String,
+    /// Lazily-dialed outgoing streams, one per peer.
+    out: Vec<Mutex<Option<TcpStream>>>,
+    inbox_rx: Vec<Receiver<Msg>>,
+    arrive_rx: Receiver<(Rank, u64)>,
+    release_rx: Receiver<u64>,
+    barrier_gen: Cell<u64>,
+    /// Arrivals from barrier generations ahead of this endpoint's.
+    early_arrivals: Cell<HashMap<u64, usize>>,
+    shared: Arc<Shared>,
+}
+
+impl TcpTransport {
+    fn connect(b: TcpBootstrap) -> std::io::Result<TcpTransport> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let listen_addr = listener.local_addr()?.to_string();
+
+        // Register and learn the full rank → address map.
+        let mut rendezvous = TcpStream::connect(&b.rendezvous)?;
+        rendezvous.write_all(format!("JOIN {} {}\n", b.rank, listen_addr).as_bytes())?;
+        let mut line = String::new();
+        BufReader::new(rendezvous).read_line(&mut line)?;
+        let addrs: Vec<String> = line
+            .split_whitespace()
+            .skip(1)
+            .map(str::to_string)
+            .collect();
+        if addrs.len() != b.world {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "rendezvous map has {} entries, want {}",
+                    addrs.len(),
+                    b.world
+                ),
+            ));
+        }
+
+        let mut inbox_tx = Vec::with_capacity(b.world);
+        let mut inbox_rx = Vec::with_capacity(b.world);
+        for _ in 0..b.world {
+            let (tx, rx) = unbounded();
+            inbox_tx.push(tx);
+            inbox_rx.push(rx);
+        }
+        let (arrive_tx, arrive_rx) = unbounded();
+        let (release_tx, release_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            world: b.world,
+            dead: (0..b.world).map(|_| AtomicBool::new(false)).collect(),
+            closed: (0..b.world).map(|_| AtomicBool::new(false)).collect(),
+            conn_gen: (0..b.world).map(|_| AtomicU64::new(0)).collect(),
+            inbox_tx,
+            arrive_tx,
+            release_tx,
+            addrs: Mutex::new(addrs),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let acceptor_shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if acceptor_shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let Ok(conn) = conn else { continue };
+                let reader_shared = Arc::clone(&acceptor_shared);
+                std::thread::spawn(move || run_reader(conn, reader_shared));
+            }
+        });
+
+        let t = TcpTransport {
+            rank: b.rank,
+            world: b.world,
+            reconnectable: b.reconnectable,
+            listen_addr,
+            out: (0..b.world).map(|_| Mutex::new(None)).collect(),
+            inbox_rx,
+            arrive_rx,
+            release_rx,
+            barrier_gen: Cell::new(0),
+            early_arrivals: Cell::new(HashMap::new()),
+            shared,
+        };
+        // Dial the full mesh eagerly: one stream per directed link from
+        // the start, so a peer that exits without ever sending still
+        // closes an established stream — its EOF is what turns into the
+        // typed `Disconnected` a dropped channel gives in-process.
+        for r in 0..t.world {
+            if r != t.rank {
+                let mut slot = t.out[r].lock();
+                if slot.is_none() {
+                    *slot = t.dial(r).ok();
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// The address this endpoint's data listener is bound to.
+    pub fn listen_addr(&self) -> &str {
+        &self.listen_addr
+    }
+
+    fn dial(&self, to: Rank) -> std::io::Result<TcpStream> {
+        let addr = self.shared.addrs.lock()[to].clone();
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_record(
+            &mut stream,
+            CTRL_HELLO,
+            &encode_hello(self.rank, &self.listen_addr),
+        )?;
+        Ok(stream)
+    }
+
+    /// Writes one record to `to`, dialing or re-dialing as needed. A
+    /// record that fails mid-write is retried whole on a fresh stream
+    /// (the torn half died with the old socket).
+    fn write_to(&self, to: Rank, tag: u64, payload: &[u8]) -> Result<(), LinkClosed> {
+        let mut slot = self.out[to].lock();
+        for attempt in 0..2 {
+            if slot.is_none() {
+                match self.dial(to) {
+                    Ok(s) => *slot = Some(s),
+                    Err(_) => return Err(LinkClosed),
+                }
+            }
+            let stream = slot.as_mut().expect("dialed above");
+            match write_record(stream, tag, payload) {
+                Ok(()) => return Ok(()),
+                Err(_) if attempt == 0 => *slot = None,
+                Err(_) => return Err(LinkClosed),
+            }
+        }
+        Err(LinkClosed)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn send_raw(&self, to: Rank, tag: u64, payload: Bytes) -> Result<(), LinkClosed> {
+        debug_assert!(tag < RESERVED_TAG_BASE, "fabric tag in reserved range");
+        if to == self.rank {
+            // Loop self-sends back locally, as the channel mesh does.
+            return self.shared.inbox_tx[to]
+                .send(Msg { tag, payload })
+                .map_err(|_| LinkClosed);
+        }
+        self.write_to(to, tag, &payload)
+    }
+
+    fn recv_raw(
+        &self,
+        from: Rank,
+        timeout: Option<Duration>,
+    ) -> Result<(u64, Bytes), RawRecvError> {
+        let rx = &self.inbox_rx[from];
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let slice = match deadline {
+                None => RECV_POLL,
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(RawRecvError::Timeout);
+                    }
+                    RECV_POLL.min(remaining)
+                }
+            };
+            match rx.recv_timeout(slice) {
+                Ok(msg) => return Ok((msg.tag, msg.payload)),
+                Err(RecvTimeoutError::Disconnected) => return Err(RawRecvError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => {
+                    if from != self.rank && self.shared.closed[from].load(Ordering::Acquire) {
+                        // Drained and posted dead: re-check the queue
+                        // once (a record may have landed between the
+                        // slice expiring and the board read), then give
+                        // the typed fast-fail.
+                        match rx.try_recv() {
+                            Some(msg) => return Ok((msg.tag, msg.payload)),
+                            None => return Err(RawRecvError::Disconnected),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn barrier(&self) {
+        let gen = self.barrier_gen.get() + 1;
+        self.barrier_gen.set(gen);
+        if self.world == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            let mut early = self.early_arrivals.take();
+            let mut arrived = 1 + early.remove(&gen).unwrap_or(0);
+            while arrived < self.world {
+                let (_, g) = self.arrive_rx.recv().expect("arrive channel open");
+                if g == gen {
+                    arrived += 1;
+                } else {
+                    *early.entry(g).or_insert(0) += 1;
+                }
+            }
+            self.early_arrivals.set(early);
+            for r in 1..self.world {
+                let _ = self.write_to(r, CTRL_RELEASE, &gen.to_le_bytes());
+            }
+        } else {
+            let _ = self.write_to(0, CTRL_ARRIVE, &gen.to_le_bytes());
+            loop {
+                let g = self.release_rx.recv().expect("release channel open");
+                if g >= gen {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn post_death(&self, rank: Rank) {
+        if rank >= self.world {
+            return;
+        }
+        self.shared.dead[rank].store(true, Ordering::Release);
+        if rank == self.rank {
+            // A simulated kill latched locally: tell every peer's board,
+            // the cross-process analogue of the shared atomic flag.
+            for r in 0..self.world {
+                if r != self.rank {
+                    let _ = self.write_to(r, CTRL_DEATH, &[rank as u8]);
+                }
+            }
+        }
+    }
+
+    fn peer_dead(&self, rank: Rank) -> bool {
+        rank < self.world && self.shared.dead[rank].load(Ordering::Acquire)
+    }
+
+    fn clear_death(&self, rank: Rank) {
+        if rank < self.world {
+            self.shared.dead[rank].store(false, Ordering::Release);
+        }
+    }
+
+    fn always_framed(&self) -> bool {
+        true
+    }
+
+    fn reconnectable(&self) -> bool {
+        self.reconnectable
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Close every outgoing stream (peers' readers see EOF), then
+        // poke our own listener so the acceptor observes the flag.
+        for slot in &self.out {
+            *slot.lock() = None;
+        }
+        let _ = TcpStream::connect(&self.listen_addr);
+    }
+}

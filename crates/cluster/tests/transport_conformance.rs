@@ -1,0 +1,283 @@
+//! Loopback conformance suite for the [`Transport`] trait.
+//!
+//! Every property here runs against all three backends from one
+//! parameterized harness: the channel reference, the shared-memory ring
+//! backend, and the TCP backend. The properties are the semantic floor a
+//! backend must clear before the fault-tolerance protocols can trust it:
+//! FIFO per `(src, dst, tag)`, out-of-order parking across tags, stale
+//! membership-epoch rejection, corrupt-frame surfacing, deadline expiry
+//! on silent-but-live peers, typed disconnection on peer exit, and
+//! barrier synchronization.
+//!
+//! [`Transport`]: schemoe_cluster::Transport
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use schemoe_cluster::{Fabric, FabricError, FaultPlan, Topology, TransportKind};
+
+/// Backends under test. The shm backend only exists on unix hosts.
+fn kinds() -> Vec<TransportKind> {
+    if cfg!(unix) {
+        TransportKind::ALL.to_vec()
+    } else {
+        vec![TransportKind::Channel, TransportKind::Tcp]
+    }
+}
+
+/// Per-(src, dst, tag) FIFO: interleaved sends on two tags arrive in
+/// send order within each tag, on every link of a 4-rank mesh.
+#[test]
+fn ordering_is_fifo_per_source_and_tag() {
+    for kind in kinds() {
+        let topo = Topology::new(2, 2);
+        let results = Fabric::run_on(kind, topo, |mut h| {
+            let p = h.world_size();
+            for dst in 0..p {
+                for i in 0u8..8 {
+                    let tag = u64::from(i % 2);
+                    h.send(dst, tag, Bytes::copy_from_slice(&[i])).unwrap();
+                }
+            }
+            let mut got = Vec::new();
+            for src in 0..p {
+                for tag in 0..2u64 {
+                    for _ in 0..4 {
+                        got.push(h.recv(src, tag).unwrap()[0]);
+                    }
+                }
+            }
+            got
+        });
+        for (rank, got) in results.iter().enumerate() {
+            // From every source: evens in order on tag 0, odds on tag 1.
+            let want: [u8; 8] = [0, 2, 4, 6, 1, 3, 5, 7];
+            for (src_block, chunk) in got.chunks(8).enumerate() {
+                assert_eq!(
+                    chunk,
+                    &want[..],
+                    "{}: rank {rank} saw wrong order from source {src_block}",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// Mismatched tags arriving mid-wait are parked, not lost or reordered.
+#[test]
+fn mismatched_tags_park_until_requested() {
+    for kind in kinds() {
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_on(kind, topo, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 9, Bytes::from_static(b"later")).unwrap();
+                h.send(1, 8, Bytes::from_static(b"now")).unwrap();
+                Vec::new()
+            } else {
+                let now = h.recv_timeout(0, 8, Duration::from_secs(10)).unwrap();
+                let later = h.recv_timeout(0, 9, Duration::from_secs(10)).unwrap();
+                vec![now, later]
+            }
+        });
+        assert_eq!(results[1][0].as_ref(), b"now", "{}", kind.label());
+        assert_eq!(results[1][1].as_ref(), b"later", "{}", kind.label());
+    }
+}
+
+/// A frame stamped with an older membership epoch is rejected as
+/// `StaleEpoch`; control-plane frames bypass the check.
+#[test]
+fn stale_epochs_are_rejected_on_every_backend() {
+    for kind in kinds() {
+        let plan = FaultPlan::seeded(31);
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_faults_on(kind, topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 1, Bytes::from_static(b"old world")).unwrap();
+                h.send_control(1, 2, Bytes::from_static(b"invite")).unwrap();
+                h.barrier();
+                None
+            } else {
+                h.advance_epoch();
+                let stale = h.recv(0, 1).unwrap_err();
+                let control = h.recv(0, 2).unwrap();
+                assert_eq!(control.as_ref(), b"invite");
+                h.barrier();
+                Some(stale)
+            }
+        });
+        assert_eq!(
+            results[1],
+            Some(FabricError::StaleEpoch {
+                peer: 0,
+                tag: 1,
+                frame_epoch: 0,
+                local_epoch: 1,
+            }),
+            "{}",
+            kind.label()
+        );
+    }
+}
+
+/// An injected bit flip surfaces as a typed `Corrupt` error — the CRC
+/// frame is validated on every backend, not just the channel one.
+#[test]
+fn corrupt_frames_surface_typed() {
+    for kind in kinds() {
+        let plan = FaultPlan::seeded(32).with_corrupt_prob(1.0);
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_faults_on(kind, topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 2, Bytes::from_static(b"tensor row")).unwrap();
+                h.barrier();
+                None
+            } else {
+                let err = h.recv(0, 2).unwrap_err();
+                h.barrier();
+                Some(err)
+            }
+        });
+        assert_eq!(
+            results[1],
+            Some(FabricError::Corrupt { peer: 0, tag: 2 }),
+            "{}",
+            kind.label()
+        );
+    }
+}
+
+/// A live-but-silent peer turns into `Timeout` at the deadline — not a
+/// hang, and not a premature failure.
+#[test]
+fn deadlines_expire_on_silent_peers() {
+    for kind in kinds() {
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_on(kind, topo, |mut h| {
+            if h.rank() == 0 {
+                h.barrier();
+                None
+            } else {
+                let t0 = Instant::now();
+                let err = h.recv_timeout(0, 1, Duration::from_millis(80)).unwrap_err();
+                let waited = t0.elapsed();
+                h.barrier();
+                assert!(
+                    waited >= Duration::from_millis(80),
+                    "{}: gave up early ({waited:?})",
+                    kind.label()
+                );
+                assert!(
+                    waited < Duration::from_secs(10),
+                    "{}: deadline overshot ({waited:?})",
+                    kind.label()
+                );
+                Some(err)
+            }
+        });
+        assert!(
+            matches!(
+                results[1],
+                Some(FabricError::Timeout {
+                    peer: 0,
+                    tag: 1,
+                    ..
+                })
+            ),
+            "{}: {:?}",
+            kind.label(),
+            results[1]
+        );
+    }
+}
+
+/// A peer that exits drains what it already sent, then fails typed with
+/// `Disconnected` — never a hang, never lost buffered data.
+#[test]
+fn peer_exit_drains_then_disconnects() {
+    for kind in kinds() {
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_on(kind, topo, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 7, Bytes::from_static(b"parting gift")).unwrap();
+                Vec::new()
+            } else {
+                let first = h.recv(0, 7);
+                let second = h.recv(0, 7);
+                vec![first, second]
+            }
+        });
+        assert_eq!(
+            results[1][0].as_ref().unwrap().as_ref(),
+            b"parting gift",
+            "{}",
+            kind.label()
+        );
+        assert_eq!(
+            results[1][1],
+            Err(FabricError::Disconnected { peer: 0 }),
+            "{}",
+            kind.label()
+        );
+    }
+}
+
+/// The barrier synchronizes all ranks on every backend.
+#[test]
+fn barrier_synchronizes_every_backend() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    for kind in kinds() {
+        let topo = Topology::new(1, 4);
+        let counter = AtomicUsize::new(0);
+        Fabric::run_on(kind, topo, |h| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            h.barrier();
+            assert_eq!(counter.load(Ordering::SeqCst), 4, "{}", kind.label());
+            h.barrier();
+        });
+        counter.store(0, Ordering::SeqCst);
+    }
+}
+
+/// A simulated kill latches, posts on the liveness board, and peers'
+/// deadline-sliced receives fail fast with `Disconnected` — the chaos
+/// machinery is transport-agnostic.
+#[test]
+fn kill_latch_fails_peers_fast_on_every_backend() {
+    for kind in kinds() {
+        let plan = FaultPlan::seeded(33)
+            .kill_after(0, 1)
+            .with_recv_deadline(Duration::from_secs(5));
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_faults_on(kind, topo, plan, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 0, Bytes::from_static(b"a")).unwrap();
+                let err = h.send(1, 1, Bytes::from_static(b"b")).unwrap_err();
+                assert!(h.is_dead());
+                h.barrier();
+                h.barrier(); // hold the endpoint open while rank 1 probes
+                Some(err)
+            } else {
+                h.recv(0, 0).unwrap();
+                h.barrier();
+                let t0 = Instant::now();
+                let err = h.recv(0, 1).unwrap_err();
+                let waited = t0.elapsed();
+                h.barrier();
+                assert!(
+                    waited < Duration::from_millis(1500),
+                    "{}: fast-fail took {waited:?}",
+                    kind.label()
+                );
+                Some(err)
+            }
+        });
+        assert_eq!(
+            results[1],
+            Some(FabricError::Disconnected { peer: 0 }),
+            "{}",
+            kind.label()
+        );
+    }
+}

@@ -218,6 +218,12 @@ pub struct FtConfig {
     /// overlap them with compute in both forward and backward. The loss
     /// trajectory is bit-identical at every degree.
     pub partition_degree: usize,
+    /// Start in limbo: skip step 0 and enter the rejoin announce loop
+    /// immediately. This is the entry point for a *fresh process* joining
+    /// an already-running cluster (a respawned worker on a reconnectable
+    /// transport); the rank trains only after an invite installs the
+    /// survivors' state.
+    pub rejoin: bool,
 }
 
 impl FtConfig {
@@ -244,6 +250,7 @@ impl FtConfig {
             adaptive_deadline: None,
             replica_interval: 0,
             partition_degree: 1,
+            rejoin: false,
         }
     }
 
@@ -256,6 +263,14 @@ impl FtConfig {
     /// Overrides the rejoin polling cadence (`0` disables rejoin).
     pub fn with_rejoin_check_every(mut self, every: usize) -> Self {
         self.rejoin_check_every = every;
+        self
+    }
+
+    /// Starts this rank in limbo: it announces itself and waits for an
+    /// invite instead of training from step 0. Used by respawned worker
+    /// processes joining a running cluster over a reconnectable transport.
+    pub fn with_rejoin(mut self) -> Self {
+        self.rejoin = true;
         self
     }
 
@@ -1039,7 +1054,10 @@ struct RejoinPoint {
 ///
 /// The revival spin burns send attempts via [`RankHandle::try_revive`], so
 /// the probe count — like every other decision on this path — is a pure
-/// function of the fault plan, never of wall clock.
+/// function of the fault plan, never of wall clock. On a reconnectable
+/// transport with no fault plan there is nothing to wait for: the code is
+/// running, so the process is alive — it goes straight to the announce
+/// loop (the respawned-worker path).
 #[allow(clippy::too_many_arguments)]
 fn limbo_rejoin(
     h: &mut RankHandle,
@@ -1056,14 +1074,49 @@ fn limbo_rejoin(
     if cfg.rejoin_check_every == 0 {
         return None;
     }
-    h.fault_plan()?.revive_threshold(h.rank())?;
-    let mut probes = 0u64;
-    while !h.try_revive() {
-        probes += 1;
-        if probes > 1_000_000 {
-            return None; // the scheduled revival never fires; stay dead
+    if !(h.reconnectable() && h.fault_plan().is_none()) {
+        h.fault_plan()?.revive_threshold(h.rank())?;
+        let mut probes = 0u64;
+        while !h.try_revive() {
+            probes += 1;
+            if probes > 1_000_000 {
+                return None; // the scheduled revival never fires; stay dead
+            }
         }
     }
+    announce_and_rejoin(
+        h,
+        cfg,
+        embed,
+        moe,
+        head,
+        opt,
+        live,
+        epoch_transitions,
+        transfer_bytes,
+        repl,
+    )
+}
+
+/// The announce → invite → state-transfer loop of a rejoining rank,
+/// shared by the simulated-revival path ([`limbo_rejoin`]) and a fresh
+/// process started with [`FtConfig::rejoin`]. Announces to every peer,
+/// takes the max-step invite, applies the streamed state under the
+/// invite's epoch and live mask, and receives the hosted-expert handback
+/// if one is due.
+#[allow(clippy::too_many_arguments)]
+fn announce_and_rejoin(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    live: &mut [bool],
+    epoch_transitions: &mut Vec<u32>,
+    transfer_bytes: &mut u64,
+    repl: &mut ReplicaStats,
+) -> Option<RejoinPoint> {
     let me = h.rank();
     let p = h.world_size();
     let vote_dl = Duration::from_millis(cfg.vote_timeout_ms);
@@ -1116,6 +1169,15 @@ fn limbo_rejoin(
                     *slot = inv.live & (1u64 << r) != 0;
                     if *slot {
                         moe.mark_rank_alive(r);
+                        // The invite's live mask is the authoritative
+                        // membership: deaths and re-admissions that
+                        // happened while this rank was in limbo never
+                        // reached its local liveness board (on process
+                        // transports the board is per-endpoint, not
+                        // shared), so reset the board to match. On the
+                        // shared-board channel backend these entries are
+                        // already clear and this is a no-op.
+                        h.mark_peer_reachable(r);
                     } else {
                         moe.mark_rank_dead(r);
                     }
@@ -1178,14 +1240,21 @@ fn try_rejoin_peers(
 ) -> bool {
     let me = h.rank();
     let p = h.world_size();
-    let candidates: Vec<usize> = {
-        let Some(plan) = h.fault_plan() else {
-            return false; // no fault plan: rejoin costs nothing
-        };
-        (0..p)
-            .filter(|&r| !live[r] && plan.revive_threshold(r).is_some())
-            .collect()
-    };
+    // A dead rank is a rejoin candidate if the fault plan schedules its
+    // revival (the simulated path) or the transport can re-establish a
+    // link to a fresh process claiming its rank (the real-process path).
+    let reconnectable = h.reconnectable();
+    if h.fault_plan().is_none() && !reconnectable {
+        return false; // neither path can bring anyone back: rejoin costs nothing
+    }
+    let candidates: Vec<usize> = (0..p)
+        .filter(|&r| {
+            !live[r]
+                && (reconnectable
+                    || h.fault_plan()
+                        .is_some_and(|plan| plan.revive_threshold(r).is_some()))
+        })
+        .collect();
     if candidates.is_empty() {
         return false;
     }
@@ -1312,12 +1381,27 @@ fn try_rejoin_peers(
 /// Runs the fault-tolerant training loop on one rank. See the module docs
 /// for the protocol; call inside `Fabric::run` or `Fabric::run_with_faults`.
 ///
+/// Deadline hygiene: the run may install [`FtConfig::adaptive_deadline`]
+/// on the handle, and historically never uninstalled it — whatever ran
+/// next on the same handle inherited the policy (and any receive-deadline
+/// override) from the previous run. Both are snapshotted on entry and
+/// restored before this returns.
+///
 /// # Panics
 ///
 /// Panics if the world is larger than 64 ranks (the vote bitmask width) or
 /// if an in-memory checkpoint fails to restore (it was produced by this
 /// very process, so damage indicates a bug, not a fault).
 pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
+    let saved_deadline = h.recv_deadline();
+    let saved_adaptive = h.adaptive_deadline();
+    let report = run_ft_rank_inner(h, cfg);
+    h.set_adaptive_deadline(saved_adaptive);
+    h.set_recv_deadline(saved_deadline);
+    report
+}
+
+fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
     let me = h.rank();
     let p = h.world_size();
     assert!(p <= 64, "vote bitmask supports at most 64 ranks");
@@ -1426,7 +1510,14 @@ pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
         };
     }
 
+    // A fresh process joining a running cluster starts in limbo: announce,
+    // wait for an invite, and only then train — from the invited step, not
+    // step 0.
+    let mut start_in_limbo = cfg.rejoin;
     'train: while step < cfg.steps {
+        if std::mem::take(&mut start_in_limbo) {
+            die_or_rejoin!('train);
+        }
         let mut attempt = 0u32;
         loop {
             if h.is_dead() {
@@ -2041,5 +2132,35 @@ mod tests {
             let bits = |c: &[f32]| c.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&ra.loss_curve), bits(&rb.loss_curve));
         }
+    }
+
+    #[test]
+    fn back_to_back_runs_do_not_inherit_deadline_state() {
+        // Regression: a run that installed an adaptive deadline policy
+        // never uninstalled it, so a second run (or a later test sharing
+        // the fabric handle) silently inherited the previous run's
+        // stretched deadlines. Both the policy and the static receive
+        // deadline must come back to their entry values.
+        let plan = FaultPlan::seeded(91).with_recv_deadline(Duration::from_secs(2));
+        let policy = AdaptiveDeadline {
+            margin: 4.0,
+            floor: Duration::from_secs(2),
+            ceiling: Duration::from_secs(8),
+            min_samples: 1,
+        };
+        let adaptive_cfg = FtConfig::tiny(3).with_adaptive_deadline(policy);
+        let plain_cfg = FtConfig::tiny(3);
+        Fabric::run_with_faults(Topology::new(1, 2), plan, |mut h| {
+            let entry_deadline = h.recv_deadline();
+            assert_eq!(entry_deadline, Some(Duration::from_secs(2)));
+            let first = run_ft_rank(&mut h, &adaptive_cfg);
+            assert_eq!(first.died_at_step, None);
+            assert_eq!(h.adaptive_deadline(), None, "adaptive policy leaked");
+            assert_eq!(h.recv_deadline(), entry_deadline, "static deadline leaked");
+            let second = run_ft_rank(&mut h, &plain_cfg);
+            assert_eq!(second.died_at_step, None);
+            assert_eq!(h.adaptive_deadline(), None);
+            assert_eq!(h.recv_deadline(), entry_deadline);
+        });
     }
 }
