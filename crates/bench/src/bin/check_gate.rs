@@ -26,7 +26,20 @@
 //!
 //!   Defaults: `BENCH_fullstep.json`, 1.6x, 1.0x.
 //!
-//! Both modes parse with the workspace's own strict JSON reader, so a
+//! * `--partition` — reads the report the `partition` campaign writes
+//!   and enforces the quorum contract per scenario: enough ranks parked,
+//!   the rejoin count lands in its bracket, final epochs agree, nobody
+//!   ends dead or buried, the seeded replay matched, and the loss gap
+//!   against fault-free stays under the ceiling:
+//!
+//!   ```bash
+//!   cargo run --release -p schemoe-bench --bin check_gate -- \
+//!       --partition [path] [max-loss-gap]
+//!   ```
+//!
+//!   Defaults: `BENCH_partition.json`, 0.05.
+//!
+//! Every mode parses with the workspace's own strict JSON reader, so a
 //! malformed report also fails the gate instead of sneaking past it.
 
 use schemoe_obs::json::{self, Json};
@@ -135,12 +148,87 @@ fn fullstep_gate(mut args: impl Iterator<Item = String>) {
     println!("PASS");
 }
 
+fn partition_gate(mut args: impl Iterator<Item = String>) {
+    let path = args.next().unwrap_or_else(|| "BENCH_partition.json".into());
+    let max_gap: f64 = args
+        .next()
+        .map_or(0.05, |a| a.parse().expect("max loss gap"));
+
+    let doc = load(&path, "partition");
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .expect("report has a scenarios array");
+    assert!(!scenarios.is_empty(), "report has no scenarios");
+    let mut failed = false;
+    for s in scenarios {
+        let name = s.get("name").and_then(Json::as_str).expect("scenario name");
+        let num = |key: &str| -> f64 {
+            s.get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("scenario {name} lacks {key}"))
+        };
+        let flag = |key: &str| -> bool {
+            match s.get(key) {
+                Some(Json::Bool(b)) => *b,
+                _ => panic!("scenario {name} lacks boolean {key}"),
+            }
+        };
+        let parked = num("parked_ranks");
+        let rejoined = num("rejoined_ranks");
+        let loss_gap = num("loss_gap");
+        let mut bad = Vec::new();
+        if parked < num("min_parked") {
+            bad.push(format!("only {parked} ranks parked"));
+        }
+        if rejoined < num("min_rejoined") || rejoined > num("max_rejoined") {
+            bad.push(format!("{rejoined} ranks rejoined"));
+        }
+        if !flag("epochs_equal") {
+            bad.push("final epochs diverged".to_string());
+        }
+        if !flag("converged") {
+            bad.push("a rank ended dead or with peers still buried".to_string());
+        }
+        if !flag("replay_ok") {
+            bad.push("the seeded campaign did not replay".to_string());
+        }
+        if loss_gap > max_gap {
+            bad.push(format!(
+                "loss gap {:.2}% exceeds {:.2}%",
+                loss_gap * 100.0,
+                max_gap * 100.0
+            ));
+        }
+        println!(
+            "partition gate: {name} parked={parked} rejoined={rejoined} \
+             loss_gap={:.2}% replay={} {}",
+            loss_gap * 100.0,
+            s.get("replay").and_then(Json::as_str).unwrap_or("?"),
+            if bad.is_empty() { "ok" } else { "FAIL" }
+        );
+        for b in &bad {
+            eprintln!("FAIL: {name}: {b}");
+        }
+        failed |= !bad.is_empty();
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
-    if args.peek().map(String::as_str) == Some("--fullstep") {
-        args.next();
-        fullstep_gate(args);
-    } else {
-        forward_gate(args);
+    match args.peek().map(String::as_str) {
+        Some("--fullstep") => {
+            args.next();
+            fullstep_gate(args);
+        }
+        Some("--partition") => {
+            args.next();
+            partition_gate(args);
+        }
+        _ => forward_gate(args),
     }
 }

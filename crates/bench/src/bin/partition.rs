@@ -1,0 +1,246 @@
+//! Partition-tolerance chaos campaign: seeded network partitions over
+//! the in-process fabric, replayed to prove the quorum contract.
+//!
+//! Three scenarios over an 8-rank world, each a [`ChaosPlan`] of index
+//! windows (no wall clock — every link darkens and heals on the same
+//! send counts in every run):
+//!
+//! * **5/3 split** — the majority side assembles a burial quorum,
+//!   buries the unreachable three, and continues degraded; the minority
+//!   cannot reach quorum, parks, and rejoins through the announce/invite
+//!   protocol once the windows close. Post-heal every rank holds one
+//!   epoch and the mean loss lands within a few percent of fault-free.
+//! * **4/4 tie** — neither side has a majority, so *both* park and
+//!   nothing is ever buried: the epoch never moves and the committed
+//!   trajectory is bit-identical to a fault-free run — the partition
+//!   cost staleness, never divergence.
+//! * **Asymmetric link** — one directed link (3 → 5) goes dark while
+//!   every other direction delivers. The quorum excommunicates the mute
+//!   rank on the accusation, and it returns through a rejoin.
+//!
+//! Every chaos scenario runs twice. The tie must replay **bitwise**
+//! (full loss curves); the membership scenarios replay to identical
+//! structural outcomes (who parked, who rejoined, who survived) — their
+//! burial batching rides wall-clock vote timeouts, so step-level timing
+//! is not pinned. Emits `BENCH_partition.json` for `check_gate
+//! --partition`. `CHAOS_SEED` (or the first CLI argument) shifts the
+//! campaign seeds.
+
+use std::time::Duration;
+
+use schemoe_cluster::{ChaosPlan, Fabric, FaultPlan, Topology, TransportKind};
+use schemoe_models::{run_ft_rank, FtConfig, FtReport};
+
+const WORLD: usize = 8;
+
+fn seed() -> u64 {
+    std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("CHAOS_SEED").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn topo() -> Topology {
+    Topology::new(2, 4)
+}
+
+/// Quorum-tuned config: a two-attempt escalation with 50 ms votes keeps
+/// the campaign fast without changing the protocol under test.
+fn cfg_for(steps: usize, model_seed: u64) -> FtConfig {
+    FtConfig {
+        retry_budget: 1,
+        vote_timeout_ms: 50,
+        ..FtConfig::tiny(steps).with_seed(model_seed)
+    }
+}
+
+fn run_clean(cfg: &FtConfig) -> Vec<FtReport> {
+    Fabric::run_on(TransportKind::Channel, topo(), |mut h| {
+        run_ft_rank(&mut h, cfg)
+    })
+}
+
+fn run_chaos(cfg: &FtConfig, chaos: &ChaosPlan) -> Vec<FtReport> {
+    // Blackholed links are pure silence; the deadline turns that into
+    // the typed timeouts the liveness vote feeds on.
+    let plan = FaultPlan::seeded(chaos.seed()).with_recv_deadline(Duration::from_millis(300));
+    Fabric::run_with_chaos_on(
+        TransportKind::Channel,
+        topo(),
+        chaos.clone(),
+        Some(plan),
+        |mut h| run_ft_rank(&mut h, cfg),
+    )
+}
+
+/// Structural outcome of one run: who died, who stayed buried, who
+/// rejoined — and optionally who parked, excluded where park-vs-die is
+/// a legitimate race (the asymmetric scenario).
+fn structural_digest(
+    reports: &[FtReport],
+    include_parks: bool,
+) -> Vec<(Option<usize>, Vec<usize>, u64, bool)> {
+    reports
+        .iter()
+        .map(|r| {
+            (
+                r.died_at_step,
+                r.dead_ranks.clone(),
+                r.rejoins,
+                include_parks && r.parks > 0,
+            )
+        })
+        .collect()
+}
+
+fn mean_final_loss(reports: &[FtReport]) -> f64 {
+    let finite: Vec<f64> = reports
+        .iter()
+        .map(|r| f64::from(r.final_loss))
+        .filter(|l| l.is_finite())
+        .collect();
+    assert!(!finite.is_empty(), "no rank finished with a finite loss");
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+struct Outcome {
+    name: &'static str,
+    steps: usize,
+    parked: usize,
+    rejoined: usize,
+    min_parked: usize,
+    min_rejoined: usize,
+    max_rejoined: usize,
+    epochs_equal: bool,
+    converged: bool,
+    final_epoch: u32,
+    replay: &'static str,
+    replay_ok: bool,
+    loss_gap: f64,
+}
+
+impl Outcome {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"steps\":{},\"parked_ranks\":{},\"rejoined_ranks\":{},\
+             \"min_parked\":{},\"min_rejoined\":{},\"max_rejoined\":{},\"epochs_equal\":{},\
+             \"converged\":{},\"final_epoch\":{},\"replay\":\"{}\",\"replay_ok\":{},\
+             \"loss_gap\":{:.6}}}",
+            self.name,
+            self.steps,
+            self.parked,
+            self.rejoined,
+            self.min_parked,
+            self.min_rejoined,
+            self.max_rejoined,
+            self.epochs_equal,
+            self.converged,
+            self.final_epoch,
+            self.replay,
+            self.replay_ok,
+            self.loss_gap,
+        )
+    }
+}
+
+/// Runs one chaos scenario twice plus its fault-free baseline and folds
+/// the outcome into gate-checkable facts. `min_rejoined..=max_rejoined`
+/// brackets the rank count allowed to travel the rejoin path — an
+/// asymmetric link may excommunicate either endpoint, so its bracket is
+/// wider than one.
+fn scenario(
+    name: &'static str,
+    cfg: &FtConfig,
+    chaos: &ChaosPlan,
+    min_parked: usize,
+    (min_rejoined, max_rejoined): (usize, usize),
+    bitwise: bool,
+) -> Outcome {
+    let clean = run_clean(cfg);
+    let first = run_chaos(cfg, chaos);
+    let second = run_chaos(cfg, chaos);
+
+    let replay_ok = if bitwise {
+        let curves = |rs: &[FtReport]| -> Vec<Vec<f32>> {
+            rs.iter().map(|r| r.loss_curve.clone()).collect()
+        };
+        curves(&first) == curves(&second)
+            && structural_digest(&first, true) == structural_digest(&second, true)
+            && curves(&first) == curves(&clean)
+    } else {
+        structural_digest(&first, min_parked > 0) == structural_digest(&second, min_parked > 0)
+    };
+
+    let parked = first.iter().filter(|r| r.parks > 0).count();
+    let rejoined = first.iter().filter(|r| r.rejoins > 0).count();
+    let epochs_equal = first.iter().all(|r| r.final_epoch == first[0].final_epoch);
+    let converged = first
+        .iter()
+        .all(|r| r.died_at_step.is_none() && r.dead_ranks.is_empty());
+    let clean_loss = mean_final_loss(&clean);
+    let loss_gap = (mean_final_loss(&first) - clean_loss).abs() / clean_loss;
+
+    let out = Outcome {
+        name,
+        steps: cfg.steps,
+        parked,
+        rejoined,
+        min_parked,
+        min_rejoined,
+        max_rejoined,
+        epochs_equal,
+        converged,
+        final_epoch: first[0].final_epoch,
+        replay: if bitwise { "bitwise" } else { "structural" },
+        replay_ok,
+        loss_gap,
+    };
+    println!(
+        "{name}: parked {parked} (>= {min_parked}), rejoined {rejoined} \
+         (in {min_rejoined}..={max_rejoined}), epoch {} equal={epochs_equal}, \
+         converged={converged}, replay[{}] ok={replay_ok}, loss gap {:.2}%",
+        out.final_epoch,
+        out.replay,
+        loss_gap * 100.0,
+    );
+    out
+}
+
+fn main() {
+    let seed = seed();
+    println!("partition campaign: {WORLD} ranks, chaos seed base {seed}\n");
+
+    let split = {
+        let cfg = cfg_for(220, 34);
+        let chaos = ChaosPlan::seeded(78 + seed).partition(&[0, 1, 2, 3, 4], &[5, 6, 7], 0, 36);
+        scenario("split_5_3", &cfg, &chaos, 3, (3, 3), false)
+    };
+    let tie = {
+        let cfg = cfg_for(8, 33);
+        let chaos = ChaosPlan::seeded(77 + seed).partition(&[0, 1, 2, 3], &[4, 5, 6, 7], 0, 60);
+        scenario("tie_4_4", &cfg, &chaos, WORLD, (0, 0), true)
+    };
+    let asym = {
+        let cfg = cfg_for(200, 35);
+        let chaos = ChaosPlan::seeded(79 + seed).blackhole_window(3, 5, 0, 24);
+        // Either endpoint of the dark link may be excommunicated — the
+        // mute sender always, its starved receiver when the abort
+        // cascade reaches it first.
+        scenario("asym_link", &cfg, &chaos, 0, (1, 2), false)
+    };
+
+    println!("\nBENCH_PARTITION_SPLIT_LOSS_GAP={:.4}", split.loss_gap);
+    println!("BENCH_PARTITION_TIE_REPLAY_OK={}", tie.replay_ok);
+    println!("BENCH_PARTITION_ASYM_REJOINED={}", asym.rejoined);
+
+    let report = format!(
+        "{{\"bench\":\"partition\",\"seed\":{seed},\"ranks\":{WORLD},\"scenarios\":[{},{},{}]}}\n",
+        split.json(),
+        tie.json(),
+        asym.json(),
+    );
+    let path = "BENCH_partition.json";
+    std::fs::write(path, &report).expect("write BENCH_partition.json");
+    println!("BENCH_JSON={path}");
+}

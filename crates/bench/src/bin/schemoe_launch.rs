@@ -36,7 +36,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use schemoe_cluster::{transport, Fabric, RankHandle, Topology, Transport};
+use schemoe_cluster::{
+    transport, ChaosPlan, ChaosTransport, Fabric, RankHandle, Topology, Transport, TransportKind,
+};
 use schemoe_models::{run_ft_rank, FtConfig, FtReport};
 use schemoe_obs as obs;
 
@@ -54,9 +56,64 @@ fn usage() -> ! {
     eprintln!(
         "usage: schemoe-launch [--transport tcp|shm|channel] [--ranks N] [--steps S] \
          [--seed S] [--replica-interval K] [--kill-rank R] [--kill-after-ms MS] \
-         [--respawn] [--respawn-after-ms MS] [--trace-dir DIR]"
+         [--respawn] [--respawn-after-ms MS] [--partition LO-HI,LO-HI] \
+         [--heal-after-ms MS] [--chaos-seed S] [--vote-timeout-ms MS] \
+         [--retry-budget N] [--trace-dir DIR]"
     );
     std::process::exit(64);
+}
+
+/// Parses a `--partition` spec — two comma-separated rank groups, each a
+/// `LO-HI` range or a single rank — and checks the groups are disjoint
+/// and cover every rank exactly once.
+fn parse_partition(spec: &str, world: usize) -> Result<(Vec<usize>, Vec<usize>), String> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for part in spec.split(',') {
+        let (lo, hi) = match part.split_once('-') {
+            Some((l, h)) => (
+                l.parse::<usize>().map_err(|_| format!("bad rank {l:?}"))?,
+                h.parse::<usize>().map_err(|_| format!("bad rank {h:?}"))?,
+            ),
+            None => {
+                let r = part
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad rank {part:?}"))?;
+                (r, r)
+            }
+        };
+        if lo > hi {
+            return Err(format!("empty range {part:?}"));
+        }
+        groups.push((lo..=hi).collect());
+    }
+    if groups.len() != 2 {
+        return Err("a partition needs exactly two groups".to_string());
+    }
+    let mut seen = vec![false; world];
+    for &r in groups.iter().flatten() {
+        if r >= world {
+            return Err(format!("rank {r} is outside the {world}-rank world"));
+        }
+        if seen[r] {
+            return Err(format!("rank {r} appears in both groups"));
+        }
+        seen[r] = true;
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err("the two groups must cover every rank".to_string());
+    }
+    let b = groups.pop().expect("two groups");
+    let a = groups.pop().expect("two groups");
+    Ok((a, b))
+}
+
+/// The wall-clock partition plan every rank of a `--partition` run wraps
+/// its endpoint in: all cross-group links are dark from the first send
+/// until the heal deadline lifts every fault at once.
+fn partition_plan(chaos_seed: u64, a: &[usize], b: &[usize], heal_after_ms: u64) -> ChaosPlan {
+    ChaosPlan::seeded(chaos_seed)
+        .partition(a, b, 0, u64::MAX)
+        .heal_after(Duration::from_millis(heal_after_ms))
 }
 
 /// Pops the value of a `--flag VALUE` pair, parsing it with `FromStr`.
@@ -85,6 +142,11 @@ struct WorkerOpts {
     rendezvous: Option<String>,
     shm_dir: Option<PathBuf>,
     trace: Option<PathBuf>,
+    partition: Option<String>,
+    heal_after_ms: u64,
+    chaos_seed: u64,
+    vote_timeout_ms: u64,
+    retry_budget: u32,
 }
 
 fn worker_main(args: &[String]) -> i32 {
@@ -98,6 +160,11 @@ fn worker_main(args: &[String]) -> i32 {
         rendezvous: None,
         shm_dir: None,
         trace: None,
+        partition: None,
+        heal_after_ms: 2000,
+        chaos_seed: 7,
+        vote_timeout_ms: 500,
+        retry_budget: 3,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -111,6 +178,11 @@ fn worker_main(args: &[String]) -> i32 {
             "--rendezvous" => o.rendezvous = Some(take_value(&mut it, a)),
             "--shm-dir" => o.shm_dir = Some(take_value::<String>(&mut it, a).into()),
             "--trace" => o.trace = Some(take_value::<String>(&mut it, a).into()),
+            "--partition" => o.partition = Some(take_value(&mut it, a)),
+            "--heal-after-ms" => o.heal_after_ms = take_value(&mut it, a),
+            "--chaos-seed" => o.chaos_seed = take_value(&mut it, a),
+            "--vote-timeout-ms" => o.vote_timeout_ms = take_value(&mut it, a),
+            "--retry-budget" => o.retry_budget = take_value(&mut it, a),
             _ => usage(),
         }
     }
@@ -149,13 +221,38 @@ fn worker_main(args: &[String]) -> i32 {
                 return 64;
             }
         };
-        Box::new(transport::tcp::TcpBootstrap::new(rendezvous, o.rank, o.world).connect())
+        match transport::tcp::TcpBootstrap::new(rendezvous, o.rank, o.world).connect() {
+            Ok(t) => Box::new(t),
+            Err(e) => {
+                eprintln!("rank {}: tcp bootstrap failed: {e}", o.rank);
+                return 69; // EX_UNAVAILABLE: the cluster never formed
+            }
+        }
+    };
+
+    // A `--partition` run wraps the endpoint in the chaos decorator so
+    // the *network* misbehaves beneath a perfectly healthy process: all
+    // cross-group sends vanish until the wall-clock heal lifts them.
+    let endpoint: Box<dyn Transport> = if let Some(spec) = &o.partition {
+        let (a, b) = match parse_partition(spec, o.world) {
+            Ok(groups) => groups,
+            Err(e) => {
+                eprintln!("rank {}: bad --partition: {e}", o.rank);
+                return 64;
+            }
+        };
+        let plan = partition_plan(o.chaos_seed, &a, &b, o.heal_after_ms);
+        Box::new(ChaosTransport::new(endpoint, o.rank, Arc::new(plan)))
+    } else {
+        endpoint
     };
 
     let mut h = RankHandle::attach(Topology::new(1, o.world), o.rank, endpoint, None);
     let mut cfg = FtConfig::tiny(o.steps)
         .with_seed(o.seed)
         .with_replica_interval(o.replica_interval);
+    cfg.vote_timeout_ms = o.vote_timeout_ms;
+    cfg.retry_budget = o.retry_budget;
     if o.rejoin {
         cfg = cfg.with_rejoin();
     }
@@ -201,8 +298,8 @@ fn report_line(rank: usize, r: &FtReport) -> String {
     };
     format!(
         "SCHEMOE_REPORT rank={rank} died={died} dead={dead} rejoins={} restores={} \
-         retries={} epoch={} loss={}",
-        r.rejoins, r.restores, r.retries, r.final_epoch, r.final_loss
+         retries={} epoch={} loss={} parks={}",
+        r.rejoins, r.restores, r.retries, r.final_epoch, r.final_loss, r.parks
     )
 }
 
@@ -221,6 +318,11 @@ struct LaunchOpts {
     kill_after_ms: u64,
     respawn: bool,
     respawn_after_ms: u64,
+    partition: Option<String>,
+    heal_after_ms: u64,
+    chaos_seed: u64,
+    vote_timeout_ms: u64,
+    retry_budget: u32,
     trace_dir: Option<PathBuf>,
 }
 
@@ -232,6 +334,8 @@ struct ParsedReport {
     dead: Vec<usize>,
     rejoins: u64,
     restores: u64,
+    epoch: u64,
+    parks: u64,
 }
 
 fn parse_report(line: &str) -> Option<ParsedReport> {
@@ -240,6 +344,8 @@ fn parse_report(line: &str) -> Option<ParsedReport> {
     let mut dead = Vec::new();
     let mut rejoins = 0;
     let mut restores = 0;
+    let mut epoch = 0;
+    let mut parks = 0;
     for field in line.split_whitespace().skip(1) {
         let (key, val) = field.split_once('=')?;
         match key {
@@ -254,6 +360,8 @@ fn parse_report(line: &str) -> Option<ParsedReport> {
             }
             "rejoins" => rejoins = val.parse().ok()?,
             "restores" => restores = val.parse().ok()?,
+            "epoch" => epoch = val.parse().ok()?,
+            "parks" => parks = val.parse().ok()?,
             _ => {}
         }
     }
@@ -263,6 +371,8 @@ fn parse_report(line: &str) -> Option<ParsedReport> {
         dead,
         rejoins,
         restores,
+        epoch,
+        parks,
     })
 }
 
@@ -284,6 +394,11 @@ fn launcher_main(args: &[String]) -> i32 {
         kill_after_ms: 800,
         respawn: false,
         respawn_after_ms: 400,
+        partition: None,
+        heal_after_ms: 2000,
+        chaos_seed: 7,
+        vote_timeout_ms: 500,
+        retry_budget: 3,
         trace_dir: None,
     };
     let mut it = args.iter();
@@ -298,6 +413,11 @@ fn launcher_main(args: &[String]) -> i32 {
             "--kill-after-ms" => o.kill_after_ms = take_value(&mut it, a),
             "--respawn" => o.respawn = true,
             "--respawn-after-ms" => o.respawn_after_ms = take_value(&mut it, a),
+            "--partition" => o.partition = Some(take_value(&mut it, a)),
+            "--heal-after-ms" => o.heal_after_ms = take_value(&mut it, a),
+            "--chaos-seed" => o.chaos_seed = take_value(&mut it, a),
+            "--vote-timeout-ms" => o.vote_timeout_ms = take_value(&mut it, a),
+            "--retry-budget" => o.retry_budget = take_value(&mut it, a),
             "--trace-dir" => o.trace_dir = Some(take_value::<String>(&mut it, a).into()),
             _ => usage(),
         }
@@ -305,6 +425,16 @@ fn launcher_main(args: &[String]) -> i32 {
     if o.ranks == 0 || o.ranks > 64 {
         eprintln!("--ranks must be 1..=64");
         return 64;
+    }
+    if let Some(spec) = &o.partition {
+        if o.kill_rank.is_some() {
+            eprintln!("--partition and --kill-rank are separate scenarios");
+            return 64;
+        }
+        if let Err(e) = parse_partition(spec, o.ranks) {
+            eprintln!("bad --partition: {e}");
+            return 64;
+        }
     }
     if let Some(k) = o.kill_rank {
         if k >= o.ranks {
@@ -338,21 +468,56 @@ fn launch_in_process(o: &LaunchOpts) -> i32 {
         eprintln!("--kill-rank needs a multi-process transport (tcp or shm)");
         return 64;
     }
-    let cfg = FtConfig::tiny(o.steps)
+    let mut cfg = FtConfig::tiny(o.steps)
         .with_seed(o.seed)
         .with_replica_interval(o.replica_interval);
-    let reports = Fabric::run(Topology::new(1, o.ranks), |mut h| run_ft_rank(&mut h, &cfg));
+    cfg.vote_timeout_ms = o.vote_timeout_ms;
+    cfg.retry_budget = o.retry_budget;
+    let topo = Topology::new(1, o.ranks);
+    let reports = if let Some(spec) = &o.partition {
+        let (a, b) = parse_partition(spec, o.ranks).expect("validated in launcher_main");
+        let chaos = partition_plan(o.chaos_seed, &a, &b, o.heal_after_ms);
+        Fabric::run_with_chaos_on(TransportKind::Channel, topo, chaos, None, |mut h| {
+            // Blackholed links look like pure silence; a deadline turns
+            // that silence into the timeouts the liveness vote feeds on.
+            h.set_recv_deadline(Some(Duration::from_millis(
+                cfg.vote_timeout_ms.max(100) * 4,
+            )));
+            run_ft_rank(&mut h, &cfg)
+        })
+    } else {
+        Fabric::run(topo, |mut h| run_ft_rank(&mut h, &cfg))
+    };
     for (rank, r) in reports.iter().enumerate() {
         println!("{}", report_line(rank, r));
     }
-    let ok = reports.iter().all(|r| r.died_at_step.is_none());
+    let parsed: Vec<ParsedReport> = reports
+        .iter()
+        .enumerate()
+        .map(|(rank, r)| ParsedReport {
+            rank,
+            died: r.died_at_step,
+            dead: r.dead_ranks.clone(),
+            rejoins: r.rejoins,
+            restores: r.restores,
+            epoch: u64::from(r.final_epoch),
+            parks: r.parks,
+        })
+        .collect();
+    let verdict = assess(o, None, &parsed, &[]);
     println!(
         "SCHEMOE_LAUNCH {} transport=channel ranks={} steps={}",
-        if ok { "OK" } else { "FAIL" },
+        if verdict.is_ok() { "OK" } else { "FAIL" },
         o.ranks,
         o.steps
     );
-    i32::from(!ok)
+    match verdict {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("[launch] {msg}");
+            1
+        }
+    }
 }
 
 fn worker_command(o: &LaunchOpts, rank: usize, session: &WorkerSession, rejoin: bool) -> Command {
@@ -369,8 +534,20 @@ fn worker_command(o: &LaunchOpts, rank: usize, session: &WorkerSession, rejoin: 
         .arg(o.seed.to_string())
         .arg("--replica-interval")
         .arg(o.replica_interval.to_string())
+        .arg("--vote-timeout-ms")
+        .arg(o.vote_timeout_ms.to_string())
+        .arg("--retry-budget")
+        .arg(o.retry_budget.to_string())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit());
+    if let Some(spec) = &o.partition {
+        cmd.arg("--partition")
+            .arg(spec)
+            .arg("--heal-after-ms")
+            .arg(o.heal_after_ms.to_string())
+            .arg("--chaos-seed")
+            .arg(o.chaos_seed.to_string());
+    }
     match session {
         WorkerSession::Tcp { rendezvous } => {
             // Rank 0 binds and prints the rendezvous itself.
@@ -629,6 +806,9 @@ fn assess(
             return Err(format!("rank {} reported death at step {step}", r.rank));
         }
     }
+    if let Some(spec) = &o.partition {
+        return assess_partition(spec, o.ranks, reports);
+    }
     let Some(victim) = victim else {
         return Ok(());
     };
@@ -653,6 +833,71 @@ fn assess(
         return Err(format!(
             "not every survivor buried the killed rank {victim}"
         ));
+    }
+    Ok(())
+}
+
+/// Decides whether a `--partition` run proved the quorum contract: the
+/// majority side continues degraded and the minority parks then rejoins,
+/// or — on a tie — both sides park and resume with no membership change;
+/// either way every rank converges to one epoch with no one left buried.
+fn assess_partition(spec: &str, ranks: usize, reports: &[ParsedReport]) -> Result<(), String> {
+    let (a, b) = parse_partition(spec, ranks).expect("validated in launcher_main");
+    let by_rank = |rank: usize| -> Result<&ParsedReport, String> {
+        reports
+            .iter()
+            .find(|r| r.rank == rank)
+            .ok_or_else(|| format!("no report from rank {rank}"))
+    };
+    let epoch0 = by_rank(0)?.epoch;
+    for r in reports {
+        if r.epoch != epoch0 {
+            return Err(format!(
+                "rank {} ended on epoch {}, rank 0 on {epoch0} — membership diverged",
+                r.rank, r.epoch
+            ));
+        }
+        if !r.dead.is_empty() {
+            return Err(format!(
+                "rank {} still believes {:?} dead after the heal",
+                r.rank, r.dead
+            ));
+        }
+    }
+    if a.len() == b.len() {
+        // A tie has no majority: both sides must park, and nothing may
+        // be buried — the epoch never moves.
+        for r in reports {
+            if r.parks == 0 {
+                return Err(format!("tied rank {} never parked", r.rank));
+            }
+            if r.rejoins != 0 {
+                return Err(format!(
+                    "tied rank {} rejoined — something was buried",
+                    r.rank
+                ));
+            }
+        }
+        if epoch0 != 0 {
+            return Err(format!("a tied partition moved the epoch to {epoch0}"));
+        }
+        return Ok(());
+    }
+    let (majority, minority) = if a.len() > b.len() { (a, b) } else { (b, a) };
+    for &rank in &minority {
+        let r = by_rank(rank)?;
+        if r.parks == 0 {
+            return Err(format!("minority rank {rank} never parked"));
+        }
+        if r.rejoins == 0 {
+            return Err(format!("minority rank {rank} never rejoined"));
+        }
+    }
+    if !majority
+        .iter()
+        .any(|&rank| by_rank(rank).map(|r| r.restores > 0).unwrap_or(false))
+    {
+        return Err("no majority rank restored a checkpoint after burying the minority".into());
     }
     Ok(())
 }

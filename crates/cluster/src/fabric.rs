@@ -26,7 +26,7 @@ use schemoe_obs as obs;
 
 use crate::faults::{self, FaultDecision, FaultPlan};
 use crate::topology::{Rank, Topology};
-use crate::transport::{self, RawRecvError, Transport, TransportKind};
+use crate::transport::{self, ChaosPlan, ChaosTransport, RawRecvError, Transport, TransportKind};
 
 /// Errors surfaced by fabric communication.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -739,7 +739,7 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(TransportKind::from_env(), topology, None, None, f)
+        Self::run_inner(TransportKind::from_env(), topology, None, None, None, f)
     }
 
     /// Like [`run`](Self::run), but on an explicit transport backend.
@@ -748,7 +748,7 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(kind, topology, None, None, f)
+        Self::run_inner(kind, topology, None, None, None, f)
     }
 
     /// Like [`run`](Self::run), but installs a [`WireModel`] so cross-rank
@@ -760,7 +760,14 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(TransportKind::from_env(), topology, Some(wire), None, f)
+        Self::run_inner(
+            TransportKind::from_env(),
+            topology,
+            Some(wire),
+            None,
+            None,
+            f,
+        )
     }
 
     /// Like [`run`](Self::run), but installs a seeded [`FaultPlan`]: every
@@ -778,6 +785,7 @@ impl Fabric {
             topology,
             None,
             Some(Arc::new(plan)),
+            None,
             f,
         )
     }
@@ -795,7 +803,36 @@ impl Fabric {
         T: Send,
         F: Fn(RankHandle) -> T + Sync,
     {
-        Self::run_inner(kind, topology, None, Some(Arc::new(plan)), f)
+        Self::run_inner(kind, topology, None, Some(Arc::new(plan)), None, f)
+    }
+
+    /// Like [`run_with_faults_on`](Self::run_with_faults_on), but
+    /// additionally wraps every rank's endpoint in a [`ChaosPlan`]: the
+    /// network itself misbehaves (partitions, flaps, refusals, shaping)
+    /// beneath whatever frame-level faults `plan` injects. Both plans
+    /// are seeded and pure, so the combined campaign replays
+    /// bit-identically. Pass `plan: None` only when the closure installs
+    /// its own receive deadlines — blackholed links surface as timeouts,
+    /// and an undeadlined `recv` would hang instead.
+    pub fn run_with_chaos_on<T, F>(
+        kind: TransportKind,
+        topology: Topology,
+        chaos: ChaosPlan,
+        plan: Option<FaultPlan>,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RankHandle) -> T + Sync,
+    {
+        Self::run_inner(
+            kind,
+            topology,
+            None,
+            plan.map(Arc::new),
+            Some(Arc::new(chaos)),
+            f,
+        )
     }
 
     fn run_inner<T, F>(
@@ -803,6 +840,7 @@ impl Fabric {
         topology: Topology,
         wire: Option<WireModel>,
         plan: Option<Arc<FaultPlan>>,
+        chaos: Option<Arc<ChaosPlan>>,
         f: F,
     ) -> Vec<T>
     where
@@ -813,6 +851,7 @@ impl Fabric {
         let bootstraps = transport::mesh(kind, p);
         let f = &f;
         let plan = &plan;
+        let chaos = &chaos;
         std::thread::scope(|scope| {
             let joins: Vec<_> = bootstraps
                 .into_iter()
@@ -822,13 +861,13 @@ impl Fabric {
                         // Shm and tcp endpoints finish their handshakes
                         // here, on the rank's own thread — a tcp endpoint
                         // blocks in rendezvous until all ranks register.
-                        let h = RankHandle::from_parts(
-                            topology,
-                            rank,
-                            bootstrap.establish(),
-                            wire,
-                            plan.clone(),
-                        );
+                        let endpoint = bootstrap.establish();
+                        let endpoint: Box<dyn Transport> = match chaos {
+                            Some(c) => Box::new(ChaosTransport::new(endpoint, rank, Arc::clone(c))),
+                            None => endpoint,
+                        };
+                        let h =
+                            RankHandle::from_parts(topology, rank, endpoint, wire, plan.clone());
                         if obs::enabled() {
                             // Attribute this thread's spans to its rank so
                             // exported traces group by process = rank.

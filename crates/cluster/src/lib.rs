@@ -37,4 +37,7 @@ pub use faults::{FaultDecision, FaultPlan, LinkFaults, EPOCH_ANY};
 pub use hardware::HardwareProfile;
 pub use memory::MemoryBudget;
 pub use topology::{Rank, Topology};
-pub use transport::{Transport, TransportBootstrap, TransportKind};
+pub use transport::{
+    ChaosDecision, ChaosLink, ChaosPlan, ChaosTransport, Transport, TransportBootstrap,
+    TransportKind,
+};

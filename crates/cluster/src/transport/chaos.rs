@@ -1,0 +1,531 @@
+//! Network chaos at the transport boundary: a decorator that injects
+//! seeded, replayable *socket-level* faults into any [`Transport`].
+//!
+//! The frame-level [`FaultPlan`](crate::faults::FaultPlan) models damage
+//! to individual messages — drops, bit flips, stalls — but it cannot
+//! express the failure class real networks are actually made of: the
+//! *link* misbehaving. A [`ChaosPlan`] describes exactly that vocabulary:
+//!
+//! * **Blackholes** — a directed link silently eats every send for an
+//!   index window. Two opposing windows make a symmetric partition
+//!   ([`partition`](ChaosPlan::partition)); a single window makes an
+//!   **asymmetric** one (A→B delivers while B→A vanishes), the failure
+//!   mode that splits gossip protocols worst.
+//! * **Flaps** — the link *closes*: sends fail typed with [`LinkClosed`]
+//!   for the window, and on entry the decorator tears down the physical
+//!   stream ([`Transport::reset_link`]) so a real TCP peer observes EOF
+//!   and the post-window recovery travels a genuinely fresh connection
+//!   (new `HELLO`, bumped generation).
+//! * **Refusals** — dialing fails: sends error typed for the window but
+//!   the existing stream is left alone, modelling a peer whose listener
+//!   is up-and-refusing rather than gone.
+//! * **Shaping** — per-link fixed latency and bandwidth ceilings charge
+//!   wall-clock on delivered sends, and a per-link loss probability
+//!   drops individual records by seeded lottery.
+//!
+//! # Determinism
+//!
+//! Every decision is a pure function of `(seed, src, dst, per-link
+//! outbound index, fault kind)` — the same splitmix64 discipline as
+//! [`crate::faults`], no RNG state and no wall clock — so a chaos
+//! campaign replays bit-identically from nothing but its seed. The one
+//! deliberate exception is [`heal_after`](ChaosPlan::heal_after): a
+//! wall-clock switch that ends *all* chaos after a duration, used by the
+//! multi-process launcher where rank processes have no shared send
+//! counter to key a deterministic heal on. Deterministic campaigns use
+//! index windows and leave it unset.
+//!
+//! Faults are applied on the *sender's* side only: the decorator never
+//! touches `recv_raw`, so a blackholed link looks to the receiver like
+//! pure silence — exactly what its liveness deadline is for.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use super::{LinkClosed, RawRecvError, Transport};
+use crate::topology::Rank;
+
+/// Shaping parameters of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChaosLink {
+    /// Probability an individual delivered send silently vanishes.
+    pub loss_prob: f64,
+    /// Fixed latency charged to every delivered send (the sender
+    /// blocks, modelling propagation delay).
+    pub latency: Duration,
+    /// Bandwidth ceiling in bytes/second; delivered sends additionally
+    /// block for `len / bytes_per_sec`. `None` means unshaped.
+    pub bytes_per_sec: Option<u64>,
+}
+
+/// What the plan decided for one concrete send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosDecision {
+    /// Deliver (possibly shaped — see [`ChaosPlan::shaping_delay`]).
+    Deliver,
+    /// Silently discard; the sender believes the send succeeded.
+    Blackhole,
+    /// Fail typed with [`LinkClosed`] and tear down the physical stream
+    /// on window entry, so the peer observes EOF.
+    FlapClose,
+    /// Fail typed with [`LinkClosed`], stream left intact (a refused
+    /// dial, not a torn link).
+    Refuse,
+}
+
+/// A seeded, replayable description of how the *network* misbehaves.
+///
+/// Windows are half-open index ranges `[start, end)` over the directed
+/// link's outbound send counter — the n-th send from `src` to `dst`
+/// meets the same fate in every run.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    seed: u64,
+    blackholes: HashMap<(Rank, Rank), Vec<(u64, u64)>>,
+    flaps: HashMap<(Rank, Rank), Vec<(u64, u64)>>,
+    refusals: HashMap<(Rank, Rank), Vec<(u64, u64)>>,
+    links: HashMap<(Rank, Rank), ChaosLink>,
+    heal_after: Option<Duration>,
+}
+
+impl ChaosPlan {
+    /// A plan with the given replay seed and no chaos configured yet.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            ..ChaosPlan::default()
+        }
+    }
+
+    /// The replay seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Blackholes the directed link `src -> dst` for sends with index in
+    /// `[start, end)`. The opposite direction is untouched — this is the
+    /// asymmetric-partition primitive.
+    pub fn blackhole_window(mut self, src: Rank, dst: Rank, start: u64, end: u64) -> Self {
+        self.blackholes
+            .entry((src, dst))
+            .or_default()
+            .push((start, end));
+        self
+    }
+
+    /// Symmetric partition: blackholes *both* directions of every
+    /// cross-group link between `a` and `b` for the index window
+    /// `[start, end)`. Traffic within each group is untouched.
+    pub fn partition(mut self, a: &[Rank], b: &[Rank], start: u64, end: u64) -> Self {
+        for &x in a {
+            for &y in b {
+                self.blackholes
+                    .entry((x, y))
+                    .or_default()
+                    .push((start, end));
+                self.blackholes
+                    .entry((y, x))
+                    .or_default()
+                    .push((start, end));
+            }
+        }
+        self
+    }
+
+    /// Flaps the directed link: sends in `[start, end)` fail with
+    /// [`LinkClosed`], and the underlying stream is torn down on window
+    /// entry so a connection-oriented backend re-handshakes after.
+    pub fn flap_window(mut self, src: Rank, dst: Rank, start: u64, end: u64) -> Self {
+        self.flaps.entry((src, dst)).or_default().push((start, end));
+        self
+    }
+
+    /// Refuses the directed link: sends in `[start, end)` fail with
+    /// [`LinkClosed`] but the existing stream is left alone.
+    pub fn refuse_window(mut self, src: Rank, dst: Rank, start: u64, end: u64) -> Self {
+        self.refusals
+            .entry((src, dst))
+            .or_default()
+            .push((start, end));
+        self
+    }
+
+    /// Sets the loss/latency/bandwidth shaping of one directed link.
+    pub fn with_link(mut self, src: Rank, dst: Rank, link: ChaosLink) -> Self {
+        self.links.insert((src, dst), link);
+        self
+    }
+
+    /// Wall-clock heal: all chaos ends `after` the decorator's
+    /// construction. **Not deterministic** — launcher-only; seeded
+    /// campaigns should close their windows by index instead.
+    pub fn heal_after(mut self, after: Duration) -> Self {
+        self.heal_after = Some(after);
+        self
+    }
+
+    /// The configured wall-clock heal, if any.
+    pub fn heal_deadline(&self) -> Option<Duration> {
+        self.heal_after
+    }
+
+    fn in_window(
+        windows: &HashMap<(Rank, Rank), Vec<(u64, u64)>>,
+        key: (Rank, Rank),
+        idx: u64,
+    ) -> bool {
+        windows
+            .get(&key)
+            .is_some_and(|ws| ws.iter().any(|&(s, e)| idx >= s && idx < e))
+    }
+
+    /// True when `idx` is the first index of some flap window on the
+    /// link — the one send that tears the physical stream down.
+    fn flap_entry(&self, src: Rank, dst: Rank, idx: u64) -> bool {
+        self.flaps
+            .get(&(src, dst))
+            .is_some_and(|ws| ws.iter().any(|&(s, e)| idx == s && s < e))
+    }
+
+    /// Decides the fate of the `idx`-th send on `src -> dst`. Pure in
+    /// `(plan, src, dst, idx)`. Precedence: flap > refuse > blackhole >
+    /// loss lottery.
+    pub fn decide(&self, src: Rank, dst: Rank, idx: u64) -> ChaosDecision {
+        let key = (src, dst);
+        if Self::in_window(&self.flaps, key, idx) {
+            return ChaosDecision::FlapClose;
+        }
+        if Self::in_window(&self.refusals, key, idx) {
+            return ChaosDecision::Refuse;
+        }
+        if Self::in_window(&self.blackholes, key, idx) {
+            return ChaosDecision::Blackhole;
+        }
+        if let Some(link) = self.links.get(&key) {
+            if link.loss_prob > 0.0 && self.roll(src, dst, idx) < link.loss_prob {
+                return ChaosDecision::Blackhole;
+            }
+        }
+        ChaosDecision::Deliver
+    }
+
+    /// The shaping stall charged to a delivered send of `len` bytes on
+    /// `src -> dst` (fixed latency plus bandwidth serialization).
+    pub fn shaping_delay(&self, src: Rank, dst: Rank, len: usize) -> Duration {
+        let Some(link) = self.links.get(&(src, dst)) else {
+            return Duration::ZERO;
+        };
+        let bw = link.bytes_per_sec.map_or(Duration::ZERO, |bps| {
+            Duration::from_secs_f64(len as f64 / bps.max(1) as f64)
+        });
+        link.latency + bw
+    }
+
+    /// A uniform roll in `[0, 1)` keyed by the send identity — the same
+    /// splitmix64 finalizer discipline as the frame-level fault plan,
+    /// with a distinct kind lane so the two lotteries never correlate.
+    fn roll(&self, src: Rank, dst: Rank, idx: u64) -> f64 {
+        let key = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((src as u64) << 48)
+            .wrapping_add((dst as u64) << 32)
+            .wrapping_add(idx.wrapping_mul(4).wrapping_add(3));
+        let h = splitmix64(key);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The splitmix64 finalizer (duplicated from `faults` to keep this
+/// module free-standing; both must stay bit-identical).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Wraps any transport endpoint in a [`ChaosPlan`].
+///
+/// One decorator per rank, wrapping that rank's endpoint; faults apply
+/// to *outbound* sends only, keyed by a per-destination send counter, so
+/// the two directions of a link are independent (asymmetric partitions
+/// fall out for free). Everything else — receives, the barrier, the
+/// liveness board — delegates untouched.
+pub struct ChaosTransport {
+    inner: Box<dyn Transport>,
+    rank: Rank,
+    plan: Arc<ChaosPlan>,
+    /// Per-destination outbound send index.
+    counters: Vec<AtomicU64>,
+    /// Construction instant, anchoring the wall-clock heal.
+    start: Instant,
+}
+
+impl ChaosTransport {
+    /// Wraps `inner` (rank `rank`'s endpoint) in `plan`.
+    pub fn new(inner: Box<dyn Transport>, rank: Rank, plan: Arc<ChaosPlan>) -> Self {
+        let world = inner.world_size();
+        ChaosTransport {
+            inner,
+            rank,
+            plan,
+            counters: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            start: Instant::now(),
+        }
+    }
+
+    fn healed(&self) -> bool {
+        self.plan
+            .heal_deadline()
+            .is_some_and(|d| self.start.elapsed() >= d)
+    }
+}
+
+impl Transport for ChaosTransport {
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+
+    fn send_raw(&self, to: Rank, tag: u64, payload: Bytes) -> Result<(), LinkClosed> {
+        let idx = self.counters[to].fetch_add(1, Ordering::Relaxed);
+        if to == self.rank || self.healed() {
+            return self.inner.send_raw(to, tag, payload);
+        }
+        match self.plan.decide(self.rank, to, idx) {
+            ChaosDecision::Deliver => {
+                let stall = self.plan.shaping_delay(self.rank, to, payload.len());
+                if !stall.is_zero() {
+                    std::thread::sleep(stall);
+                }
+                self.inner.send_raw(to, tag, payload)
+            }
+            ChaosDecision::Blackhole => Ok(()),
+            ChaosDecision::FlapClose => {
+                if self.plan.flap_entry(self.rank, to, idx) {
+                    self.inner.reset_link(to);
+                }
+                Err(LinkClosed)
+            }
+            ChaosDecision::Refuse => Err(LinkClosed),
+        }
+    }
+
+    fn recv_raw(
+        &self,
+        from: Rank,
+        timeout: Option<Duration>,
+    ) -> Result<(u64, Bytes), RawRecvError> {
+        self.inner.recv_raw(from, timeout)
+    }
+
+    fn barrier(&self) {
+        self.inner.barrier();
+    }
+
+    fn post_death(&self, rank: Rank) {
+        self.inner.post_death(rank);
+    }
+
+    fn peer_dead(&self, rank: Rank) -> bool {
+        self.inner.peer_dead(rank)
+    }
+
+    fn clear_death(&self, rank: Rank) {
+        self.inner.clear_death(rank)
+    }
+
+    fn always_framed(&self) -> bool {
+        self.inner.always_framed()
+    }
+
+    fn reconnectable(&self) -> bool {
+        // A chaos-excommunicated rank is never physically gone — its
+        // process (or thread) is alive behind a misbehaving link — so
+        // survivors must poll for its announce and it may rejoin without
+        // a fault plan scheduling a revival.
+        true
+    }
+
+    fn reset_link(&self, to: Rank) {
+        self.inner.reset_link(to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::channel;
+
+    #[test]
+    fn decisions_are_pure_in_the_key() {
+        let plan = ChaosPlan::seeded(11)
+            .blackhole_window(0, 1, 5, 10)
+            .flap_window(1, 0, 3, 6)
+            .refuse_window(2, 3, 0, 4)
+            .with_link(
+                0,
+                2,
+                ChaosLink {
+                    loss_prob: 0.4,
+                    ..ChaosLink::default()
+                },
+            );
+        for src in 0..4 {
+            for dst in 0..4 {
+                for idx in 0..64 {
+                    assert_eq!(
+                        plan.decide(src, dst, idx),
+                        plan.decide(src, dst, idx),
+                        "decision not stable for ({src},{dst},{idx})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_are_half_open_and_directional() {
+        let plan = ChaosPlan::seeded(1).blackhole_window(0, 1, 5, 10);
+        assert_eq!(plan.decide(0, 1, 4), ChaosDecision::Deliver);
+        assert_eq!(plan.decide(0, 1, 5), ChaosDecision::Blackhole);
+        assert_eq!(plan.decide(0, 1, 9), ChaosDecision::Blackhole);
+        assert_eq!(plan.decide(0, 1, 10), ChaosDecision::Deliver);
+        // The reverse direction never saw a window.
+        assert_eq!(plan.decide(1, 0, 7), ChaosDecision::Deliver);
+    }
+
+    #[test]
+    fn partition_blackholes_exactly_the_cross_links() {
+        let plan = ChaosPlan::seeded(2).partition(&[0, 1], &[2, 3], 0, 100);
+        for (src, dst) in [(0, 2), (0, 3), (1, 2), (1, 3)] {
+            assert_eq!(plan.decide(src, dst, 50), ChaosDecision::Blackhole);
+            assert_eq!(plan.decide(dst, src, 50), ChaosDecision::Blackhole);
+        }
+        // Intra-group links are untouched.
+        for (src, dst) in [(0, 1), (1, 0), (2, 3), (3, 2)] {
+            assert_eq!(plan.decide(src, dst, 50), ChaosDecision::Deliver);
+        }
+    }
+
+    #[test]
+    fn flap_takes_precedence_and_marks_its_entry() {
+        let plan = ChaosPlan::seeded(3)
+            .flap_window(0, 1, 5, 8)
+            .blackhole_window(0, 1, 0, 100);
+        assert_eq!(plan.decide(0, 1, 6), ChaosDecision::FlapClose);
+        assert!(plan.flap_entry(0, 1, 5));
+        assert!(!plan.flap_entry(0, 1, 6));
+        assert_eq!(plan.decide(0, 1, 4), ChaosDecision::Blackhole);
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured_and_seed_dependent() {
+        let link = ChaosLink {
+            loss_prob: 0.25,
+            ..ChaosLink::default()
+        };
+        let plan = ChaosPlan::seeded(7).with_link(0, 1, link);
+        let n = 10_000u64;
+        let dropped = (0..n)
+            .filter(|&i| plan.decide(0, 1, i) == ChaosDecision::Blackhole)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "loss rate {rate} far from 0.25");
+        let other = ChaosPlan::seeded(8).with_link(0, 1, link);
+        let seq =
+            |p: &ChaosPlan| -> Vec<ChaosDecision> { (0..256).map(|i| p.decide(0, 1, i)).collect() };
+        assert_ne!(seq(&plan), seq(&other));
+    }
+
+    #[test]
+    fn shaping_charges_latency_plus_bandwidth() {
+        let plan = ChaosPlan::seeded(4).with_link(
+            0,
+            1,
+            ChaosLink {
+                latency: Duration::from_millis(2),
+                bytes_per_sec: Some(1_000_000),
+                ..ChaosLink::default()
+            },
+        );
+        // 1000 bytes at 1 MB/s = 1 ms, plus 2 ms latency.
+        assert_eq!(plan.shaping_delay(0, 1, 1000), Duration::from_millis(3));
+        assert_eq!(plan.shaping_delay(1, 0, 1000), Duration::ZERO);
+    }
+
+    #[test]
+    fn decorator_blackholes_sends_inside_the_window_only() {
+        let mesh = channel::mesh(2);
+        let mut it = mesh.into_iter();
+        let a = ChaosTransport::new(
+            Box::new(it.next().unwrap()),
+            0,
+            Arc::new(ChaosPlan::seeded(5).blackhole_window(0, 1, 1, 3)),
+        );
+        let b = it.next().unwrap();
+        for i in 0..4u64 {
+            a.send_raw(1, 7, Bytes::from(vec![i as u8])).unwrap();
+        }
+        // Indices 1 and 2 vanished; 0 and 3 arrive in order.
+        let (_, p0) = b.recv_raw(0, Some(Duration::from_secs(1))).unwrap();
+        let (_, p3) = b.recv_raw(0, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(p0.as_ref(), &[0]);
+        assert_eq!(p3.as_ref(), &[3]);
+        assert_eq!(
+            b.recv_raw(0, Some(Duration::from_millis(20))),
+            Err(RawRecvError::Timeout)
+        );
+    }
+
+    #[test]
+    fn decorator_fails_typed_during_flap_and_refusal_windows() {
+        let mesh = channel::mesh(2);
+        let mut it = mesh.into_iter();
+        let a = ChaosTransport::new(
+            Box::new(it.next().unwrap()),
+            0,
+            Arc::new(
+                ChaosPlan::seeded(6)
+                    .flap_window(0, 1, 0, 2)
+                    .refuse_window(0, 1, 2, 4),
+            ),
+        );
+        let b = it.next().unwrap();
+        for _ in 0..4 {
+            assert_eq!(a.send_raw(1, 7, Bytes::from_static(b"x")), Err(LinkClosed));
+        }
+        a.send_raw(1, 7, Bytes::from_static(b"ok")).unwrap();
+        let (_, p) = b.recv_raw(0, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(p.as_ref(), b"ok");
+    }
+
+    #[test]
+    fn self_sends_and_healed_plans_bypass_chaos() {
+        let mesh = channel::mesh(2);
+        let mut it = mesh.into_iter();
+        let a = ChaosTransport::new(
+            Box::new(it.next().unwrap()),
+            0,
+            Arc::new(
+                ChaosPlan::seeded(9)
+                    .blackhole_window(0, 0, 0, 100)
+                    .blackhole_window(0, 1, 0, 100)
+                    .heal_after(Duration::ZERO),
+            ),
+        );
+        let b = it.next().unwrap();
+        // heal_after(0) means every fault is already over.
+        a.send_raw(1, 7, Bytes::from_static(b"healed")).unwrap();
+        let (_, p) = b.recv_raw(0, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(p.as_ref(), b"healed");
+        // Self-sends never consult the plan at all.
+        a.send_raw(0, 7, Bytes::from_static(b"me")).unwrap();
+        let (_, p) = a.recv_raw(0, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(p.as_ref(), b"me");
+    }
+}

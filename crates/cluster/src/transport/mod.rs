@@ -30,14 +30,16 @@ use bytes::Bytes;
 use crate::topology::Rank;
 
 pub mod channel;
+pub mod chaos;
 #[cfg(unix)]
 pub mod shm;
 pub mod tcp;
 
 pub use channel::ChannelTransport;
+pub use chaos::{ChaosDecision, ChaosLink, ChaosPlan, ChaosTransport};
 #[cfg(unix)]
 pub use shm::ShmTransport;
-pub use tcp::TcpTransport;
+pub use tcp::{BootstrapError, TcpTransport};
 
 /// Which backend carries fabric traffic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,6 +158,13 @@ pub trait Transport: Send {
     /// OS process dialing in through rendezvous — without a fault plan
     /// scheduling its revival. Gates the survivors' rejoin polling.
     fn reconnectable(&self) -> bool;
+
+    /// Tears down the physical stream to `to`, if the backend has one,
+    /// so the peer observes EOF and the next send re-handshakes on a
+    /// fresh connection. The chaos decorator calls this on flap-window
+    /// entry; backends without per-link connections (channels, shared
+    /// memory) have nothing to tear and keep the default no-op.
+    fn reset_link(&self, _to: Rank) {}
 }
 
 /// Lowest tag value reserved for transport-internal control records.
@@ -185,7 +194,10 @@ impl TransportBootstrap {
             TransportBootstrap::Channel(t) => Box::new(t),
             #[cfg(unix)]
             TransportBootstrap::Shm(b) => Box::new(b.attach()),
-            TransportBootstrap::Tcp(b) => Box::new(b.connect()),
+            TransportBootstrap::Tcp(b) => Box::new(
+                b.connect()
+                    .unwrap_or_else(|e| panic!("tcp transport bootstrap: {e}")),
+            ),
         }
     }
 }

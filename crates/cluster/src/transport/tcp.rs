@@ -28,8 +28,10 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,6 +41,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use super::{LinkClosed, RawRecvError, Transport, RESERVED_TAG_BASE};
+use crate::faults::splitmix64;
 use crate::topology::Rank;
 
 /// Control tags (all within the reserved range).
@@ -54,6 +57,107 @@ const RECV_POLL: Duration = Duration::from_millis(5);
 /// Sanity cap on record payloads (a damaged length prefix must not
 /// allocate the moon).
 const MAX_RECORD: u32 = 1 << 30;
+
+/// Dial schedule for lazy *data* connections: quick, because a send to
+/// a genuinely dead peer must fail fast enough not to stall the
+/// cluster, but with enough retry to ride out a peer whose listener is
+/// mid-rebind (a respawning rank).
+const DATA_DIAL_ATTEMPTS: u32 = 3;
+const DATA_DIAL_BASE: Duration = Duration::from_millis(5);
+const DATA_DIAL_CAP: Duration = Duration::from_millis(40);
+
+/// Dial schedule for the *rendezvous* bootstrap: patient, because at
+/// cluster start the rendezvous process may simply not have bound yet,
+/// and a respawned worker may race a restarting rendezvous.
+const RENDEZVOUS_DIAL_ATTEMPTS: u32 = 8;
+const RENDEZVOUS_DIAL_BASE: Duration = Duration::from_millis(50);
+const RENDEZVOUS_DIAL_CAP: Duration = Duration::from_secs(2);
+
+/// The backoff stall before retry `attempt + 1`: exponential from
+/// `base`, capped at `cap`, with splitmix64 jitter in `[half, full]` so
+/// a thundering herd of redialing ranks decorrelates. Pure in
+/// `(attempt, base, cap, seed)`.
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, seed: u64) -> Duration {
+    let exp = base
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(cap)
+        .max(Duration::from_micros(1));
+    let frac = (splitmix64(seed.wrapping_add(attempt as u64)) >> 11) as f64 / (1u64 << 53) as f64;
+    exp.div_f64(2.0) + exp.div_f64(2.0).mul_f64(frac)
+}
+
+/// Dials `addr` with bounded exponential backoff. Returns the last
+/// connect error once `attempts` are exhausted.
+fn dial_with_backoff(
+    addr: &str,
+    attempts: u32,
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < attempts {
+                    std::thread::sleep(backoff_delay(attempt, base, cap, seed));
+                }
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// Why standing up a TCP endpoint failed — typed, so a worker process
+/// can report (and a launcher can distinguish) a dead rendezvous from a
+/// local bind failure instead of dying on a bare `expect`.
+#[derive(Debug)]
+pub enum BootstrapError {
+    /// Binding the local data listener failed.
+    Bind(std::io::Error),
+    /// The rendezvous address never accepted, even after backoff.
+    Rendezvous {
+        /// The address that was dialed.
+        addr: String,
+        /// How many connect attempts were made.
+        attempts: u32,
+        /// The final attempt's error.
+        last: std::io::Error,
+    },
+    /// The rendezvous accepted but the JOIN/MAP exchange failed.
+    Handshake(std::io::Error),
+    /// The MAP reply did not cover the expected world.
+    BadMap {
+        /// Entries received.
+        got: usize,
+        /// Entries required (the world size).
+        want: usize,
+    },
+}
+
+impl fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootstrapError::Bind(e) => write!(f, "binding data listener: {e}"),
+            BootstrapError::Rendezvous {
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "rendezvous {addr} unreachable after {attempts} attempts: {last}"
+            ),
+            BootstrapError::Handshake(e) => write!(f, "rendezvous handshake: {e}"),
+            BootstrapError::BadMap { got, want } => {
+                write!(f, "rendezvous map has {got} entries, want {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}
 
 struct Msg {
     tag: u64,
@@ -99,6 +203,7 @@ pub struct TcpBootstrap {
     rank: Rank,
     world: usize,
     reconnectable: bool,
+    rendezvous_attempts: u32,
 }
 
 impl TcpBootstrap {
@@ -111,12 +216,20 @@ impl TcpBootstrap {
             rank,
             world,
             reconnectable: true,
+            rendezvous_attempts: RENDEZVOUS_DIAL_ATTEMPTS,
         }
     }
 
+    /// Overrides the rendezvous dial budget (tests shrink it so a dead
+    /// address fails in milliseconds instead of seconds).
+    pub fn with_rendezvous_attempts(mut self, attempts: u32) -> Self {
+        self.rendezvous_attempts = attempts.max(1);
+        self
+    }
+
     /// Registers with rendezvous and stands up the endpoint.
-    pub fn connect(self) -> TcpTransport {
-        TcpTransport::connect(self).expect("tcp transport bootstrap")
+    pub fn connect(self) -> Result<TcpTransport, BootstrapError> {
+        TcpTransport::connect(self)
     }
 }
 
@@ -133,6 +246,7 @@ pub fn mesh(world: usize) -> Vec<TcpBootstrap> {
             rank,
             world,
             reconnectable: false,
+            rendezvous_attempts: RENDEZVOUS_DIAL_ATTEMPTS,
         })
         .collect()
 }
@@ -144,9 +258,31 @@ pub fn mesh(world: usize) -> Vec<TcpBootstrap> {
 /// with the current map — run it on a thread for the life of rank 0's
 /// process.
 pub fn serve_rendezvous(listener: TcpListener, world: usize, persistent: bool) {
-    let mut addrs: Vec<Option<String>> = vec![None; world];
+    serve_rendezvous_with_store(listener, world, persistent, None)
+}
+
+/// [`serve_rendezvous`] with an optional on-disk rank→addr store.
+///
+/// Every accepted JOIN is persisted (atomic tmp + rename, one `RANK
+/// ADDR` line per registered rank), and a service started over an
+/// existing store begins *pre-filled*: a restarted rendezvous process
+/// immediately serves the surviving map to rejoiners instead of
+/// wedging on ranks that will never re-register — this is what removes
+/// the rank-0 rendezvous as a single point of failure.
+pub fn serve_rendezvous_with_store(
+    listener: TcpListener,
+    world: usize,
+    persistent: bool,
+    store: Option<PathBuf>,
+) {
+    let mut addrs: Vec<Option<String>> = store
+        .as_deref()
+        .map(|p| load_store(p, world))
+        .unwrap_or_else(|| vec![None; world]);
     let mut waiting: Vec<TcpStream> = Vec::new();
-    let mut initial_served = false;
+    // A store that already covers the world means the initial broadcast
+    // happened in a previous incarnation: answer every join immediately.
+    let mut initial_served = addrs.iter().all(Option::is_some);
     for conn in listener.incoming() {
         let Ok(conn) = conn else { continue };
         let mut reader = BufReader::new(conn.try_clone().expect("clone rendezvous conn"));
@@ -166,6 +302,9 @@ pub fn serve_rendezvous(listener: TcpListener, world: usize, persistent: bool) {
             continue;
         }
         addrs[rank] = Some(addr.to_string());
+        if let Some(path) = store.as_deref() {
+            persist_store(path, &addrs);
+        }
         if initial_served {
             let _ = reply_map(conn, &addrs);
             continue;
@@ -180,6 +319,44 @@ pub fn serve_rendezvous(listener: TcpListener, world: usize, persistent: bool) {
                 return;
             }
         }
+    }
+}
+
+/// Reads a rank→addr store written by [`persist_store`]. Unknown ranks
+/// and damaged lines are skipped, so a torn or stale file degrades to a
+/// partial (or empty) prefill rather than an error.
+fn load_store(path: &Path, world: usize) -> Vec<Option<String>> {
+    let mut addrs = vec![None; world];
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return addrs;
+    };
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let (Some(rank), Some(addr)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if let Ok(r) = rank.parse::<usize>() {
+            if r < world {
+                addrs[r] = Some(addr.to_string());
+            }
+        }
+    }
+    addrs
+}
+
+/// Atomically replaces the store with the current map (write to a
+/// sibling tmp file, then rename — a crashed rendezvous never leaves a
+/// half-written store behind).
+fn persist_store(path: &Path, addrs: &[Option<String>]) {
+    let mut text = String::new();
+    for (r, a) in addrs.iter().enumerate() {
+        if let Some(a) = a {
+            text.push_str(&format!("{r} {a}\n"));
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
     }
 }
 
@@ -312,29 +489,46 @@ pub struct TcpTransport {
 }
 
 impl TcpTransport {
-    fn connect(b: TcpBootstrap) -> std::io::Result<TcpTransport> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let listen_addr = listener.local_addr()?.to_string();
+    fn connect(b: TcpBootstrap) -> Result<TcpTransport, BootstrapError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(BootstrapError::Bind)?;
+        let listen_addr = listener
+            .local_addr()
+            .map_err(BootstrapError::Bind)?
+            .to_string();
 
-        // Register and learn the full rank → address map.
-        let mut rendezvous = TcpStream::connect(&b.rendezvous)?;
-        rendezvous.write_all(format!("JOIN {} {}\n", b.rank, listen_addr).as_bytes())?;
+        // Register and learn the full rank → address map. The rendezvous
+        // process may still be binding (cluster start) or restarting
+        // (rejoin after rank-0 respawn), so dial with patient backoff
+        // and surface exhaustion as a typed error, not a panic.
+        let mut rendezvous = dial_with_backoff(
+            &b.rendezvous,
+            b.rendezvous_attempts,
+            RENDEZVOUS_DIAL_BASE,
+            RENDEZVOUS_DIAL_CAP,
+            b.rank as u64,
+        )
+        .map_err(|last| BootstrapError::Rendezvous {
+            addr: b.rendezvous.clone(),
+            attempts: b.rendezvous_attempts,
+            last,
+        })?;
+        rendezvous
+            .write_all(format!("JOIN {} {}\n", b.rank, listen_addr).as_bytes())
+            .map_err(BootstrapError::Handshake)?;
         let mut line = String::new();
-        BufReader::new(rendezvous).read_line(&mut line)?;
+        BufReader::new(rendezvous)
+            .read_line(&mut line)
+            .map_err(BootstrapError::Handshake)?;
         let addrs: Vec<String> = line
             .split_whitespace()
             .skip(1)
             .map(str::to_string)
             .collect();
         if addrs.len() != b.world {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!(
-                    "rendezvous map has {} entries, want {}",
-                    addrs.len(),
-                    b.world
-                ),
-            ));
+            return Err(BootstrapError::BadMap {
+                got: addrs.len(),
+                want: b.world,
+            });
         }
 
         let mut inbox_tx = Vec::with_capacity(b.world);
@@ -405,7 +599,16 @@ impl TcpTransport {
 
     fn dial(&self, to: Rank) -> std::io::Result<TcpStream> {
         let addr = self.shared.addrs.lock()[to].clone();
-        let mut stream = TcpStream::connect(addr)?;
+        // Quick bounded backoff: enough to ride out a peer mid-rebind
+        // (a respawning rank re-binding its listener), fast enough that
+        // a genuinely dead peer fails typed in tens of milliseconds.
+        let mut stream = dial_with_backoff(
+            &addr,
+            DATA_DIAL_ATTEMPTS,
+            DATA_DIAL_BASE,
+            DATA_DIAL_CAP,
+            ((self.rank as u64) << 32) | to as u64,
+        )?;
         stream.set_nodelay(true)?;
         write_record(
             &mut stream,
@@ -556,6 +759,16 @@ impl Transport for TcpTransport {
     fn reconnectable(&self) -> bool {
         self.reconnectable
     }
+
+    fn reset_link(&self, to: Rank) {
+        // Drop the outbound stream: the peer's reader observes a real
+        // EOF, and the next send re-dials and re-HELLOs on a fresh
+        // connection (bumping the peer's generation) — a genuine link
+        // flap, not a simulated one.
+        if to < self.world && to != self.rank {
+            *self.out[to].lock() = None;
+        }
+    }
 }
 
 impl Drop for TcpTransport {
@@ -567,5 +780,156 @@ impl Drop for TcpTransport {
             *slot.lock() = None;
         }
         let _ = TcpStream::connect(&self.listen_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_delays_grow_exponentially_within_jitter_bounds() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(2);
+        let mut prev_nominal = Duration::ZERO;
+        for attempt in 0..8 {
+            let nominal = base.saturating_mul(1u32 << attempt).min(cap);
+            let d = backoff_delay(attempt, base, cap, 42);
+            assert!(
+                d >= nominal.div_f64(2.0) && d <= nominal,
+                "attempt {attempt}: delay {d:?} outside [half, full] of {nominal:?}"
+            );
+            assert!(nominal >= prev_nominal, "schedule must be monotone");
+            prev_nominal = nominal;
+        }
+        // Pure in the key: same attempt + seed, same delay.
+        assert_eq!(
+            backoff_delay(3, base, cap, 9),
+            backoff_delay(3, base, cap, 9)
+        );
+        assert_ne!(
+            backoff_delay(3, base, cap, 9),
+            backoff_delay(3, base, cap, 10)
+        );
+    }
+
+    #[test]
+    fn dead_rendezvous_fails_typed_not_panicking() {
+        // A listener bound then dropped: the port actively refuses.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = match TcpBootstrap::new(dead.clone(), 0, 2)
+            .with_rendezvous_attempts(2)
+            .connect()
+        {
+            Ok(_) => panic!("dead rendezvous must fail"),
+            Err(e) => e,
+        };
+        match err {
+            BootstrapError::Rendezvous { addr, attempts, .. } => {
+                assert_eq!(addr, dead);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("want Rendezvous error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dial_backoff_rides_out_a_late_binding_listener() {
+        // Reserve a port, free it, and rebind it only after a delay —
+        // the first connect attempts refuse, a later one lands.
+        let (addr, listener) = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            (l.local_addr().unwrap(), l)
+        };
+        drop(listener);
+        let addr_str = addr.to_string();
+        let rebind = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let l = TcpListener::bind(addr).expect("rebind reserved port");
+            let _ = l.accept();
+        });
+        let got = dial_with_backoff(
+            &addr_str,
+            6,
+            Duration::from_millis(20),
+            Duration::from_millis(200),
+            7,
+        );
+        assert!(got.is_ok(), "backoff dial should land once bound: {got:?}");
+        rebind.join().unwrap();
+    }
+
+    #[test]
+    fn rendezvous_store_round_trips_and_prefills_a_restart() {
+        let dir = std::env::temp_dir().join(format!("schemoe-rdv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("rendezvous.map");
+        let _ = std::fs::remove_file(&store);
+
+        // First incarnation: both ranks join, map is broadcast and
+        // persisted, service exits (non-persistent).
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let rdv1 = l1.local_addr().unwrap().to_string();
+        let s1 = store.clone();
+        let serve1 =
+            std::thread::spawn(move || serve_rendezvous_with_store(l1, 2, false, Some(s1)));
+        let join = |rdv: String, rank: usize, addr: &str| -> String {
+            let mut c = TcpStream::connect(&rdv).unwrap();
+            c.write_all(format!("JOIN {rank} {addr}\n").as_bytes())
+                .unwrap();
+            let mut line = String::new();
+            BufReader::new(c).read_line(&mut line).unwrap();
+            line
+        };
+        let j0 = std::thread::spawn({
+            let rdv = rdv1.clone();
+            move || join(rdv, 0, "10.0.0.1:5000")
+        });
+        let map1 = join(rdv1, 1, "10.0.0.2:5001");
+        assert_eq!(map1.trim(), "MAP 10.0.0.1:5000 10.0.0.2:5001");
+        j0.join().unwrap();
+        serve1.join().unwrap();
+        assert_eq!(
+            load_store(&store, 2),
+            vec![
+                Some("10.0.0.1:5000".to_string()),
+                Some("10.0.0.2:5001".to_string())
+            ]
+        );
+
+        // Second incarnation over the same store: pre-filled, so a
+        // single rejoiner is answered immediately with the full map
+        // (its own entry updated to the fresh address).
+        let l2 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let rdv2 = l2.local_addr().unwrap().to_string();
+        let s2 = store.clone();
+        std::thread::spawn(move || serve_rendezvous_with_store(l2, 2, true, Some(s2)));
+        let map2 = join(rdv2, 1, "10.0.0.2:6001");
+        assert_eq!(map2.trim(), "MAP 10.0.0.1:5000 10.0.0.2:6001");
+        assert_eq!(
+            load_store(&store, 2),
+            vec![
+                Some("10.0.0.1:5000".to_string()),
+                Some("10.0.0.2:6001".to_string())
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_stores_degrade_to_partial_prefill() {
+        let dir = std::env::temp_dir().join(format!("schemoe-rdv-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("rendezvous.map");
+        std::fs::write(&store, "0 1.2.3.4:1\ngarbage\n9 out.of:range\n1\n").unwrap();
+        assert_eq!(
+            load_store(&store, 2),
+            vec![Some("1.2.3.4:1".to_string()), None]
+        );
+        assert_eq!(load_store(&dir.join("missing.map"), 2), vec![None, None]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,7 +14,7 @@
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use schemoe_cluster::{Fabric, FabricError, FaultPlan, Topology, TransportKind};
+use schemoe_cluster::{ChaosPlan, Fabric, FabricError, FaultPlan, Topology, TransportKind};
 
 /// Backends under test. The shm backend only exists on unix hosts.
 fn kinds() -> Vec<TransportKind> {
@@ -277,6 +277,161 @@ fn kill_latch_fails_peers_fast_on_every_backend() {
             results[1],
             Some(FabricError::Disconnected { peer: 0 }),
             "{}",
+            kind.label()
+        );
+    }
+}
+
+/// A link flap fails sends typed for the window, tears the physical
+/// stream down at window entry (a TCP peer observes EOF and the
+/// recovery re-handshakes with a fresh `HELLO`), and traffic delivered
+/// before the flap survives while post-flap traffic resumes cleanly.
+#[test]
+fn link_flaps_fail_typed_then_recover_on_every_backend() {
+    for kind in kinds() {
+        // Outbound sends 1 and 2 on the 0 -> 1 link flap; 0 and 3 pass.
+        let chaos = ChaosPlan::seeded(41).flap_window(0, 1, 1, 3);
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_chaos_on(kind, topo, chaos, None, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 5, Bytes::from_static(b"before")).unwrap();
+                h.barrier(); // rank 1 drains "before" ahead of the teardown
+                let e1 = h.send(1, 5, Bytes::from_static(b"flapped")).unwrap_err();
+                let e2 = h.send(1, 5, Bytes::from_static(b"flapped")).unwrap_err();
+                h.send(1, 5, Bytes::from_static(b"after")).unwrap();
+                h.barrier();
+                vec![Ok(e1), Ok(e2)]
+            } else {
+                let before = h.recv_timeout(0, 5, Duration::from_secs(10));
+                h.barrier();
+                let after = h.recv_timeout(0, 5, Duration::from_secs(10));
+                h.barrier();
+                vec![Err(before), Err(after)]
+            }
+        });
+        for err in &results[0] {
+            assert_eq!(
+                *err,
+                Ok(FabricError::Disconnected { peer: 1 }),
+                "{}: flapped send must fail typed",
+                kind.label()
+            );
+        }
+        let got: Vec<_> = results[1]
+            .iter()
+            .map(|r| match r {
+                Err(Ok(b)) => b.as_ref().to_vec(),
+                other => panic!("{}: unexpected recv result {other:?}", kind.label()),
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![b"before".to_vec(), b"after".to_vec()],
+            "{}: pre-flap data must survive and post-flap traffic resume",
+            kind.label()
+        );
+    }
+}
+
+/// An asymmetric blackhole eats one direction only: the muted sender's
+/// sends report success but never arrive (the receiver sees pure
+/// silence and a typed `Timeout`), the reverse direction still
+/// delivers, and the link recovers when the window closes.
+#[test]
+fn asymmetric_loss_silences_one_direction_only() {
+    for kind in kinds() {
+        // The first two outbound sends on 0 -> 1 vanish; 1 -> 0 is clean.
+        let chaos = ChaosPlan::seeded(42).blackhole_window(0, 1, 0, 2);
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_chaos_on(kind, topo, chaos, None, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 6, Bytes::from_static(b"eaten")).unwrap();
+                h.send(1, 6, Bytes::from_static(b"eaten too")).unwrap();
+                let reply = h.recv_timeout(1, 6, Duration::from_secs(10)).unwrap();
+                assert_eq!(
+                    reply.as_ref(),
+                    b"reply",
+                    "{}: the reverse direction must deliver",
+                    kind.label()
+                );
+                h.barrier();
+                h.send(1, 6, Bytes::from_static(b"recovered")).unwrap();
+                h.barrier();
+                None
+            } else {
+                let silent = h
+                    .recv_timeout(0, 6, Duration::from_millis(200))
+                    .unwrap_err();
+                h.send(0, 6, Bytes::from_static(b"reply")).unwrap();
+                h.barrier();
+                let healed = h.recv_timeout(0, 6, Duration::from_secs(10)).unwrap();
+                assert_eq!(
+                    healed.as_ref(),
+                    b"recovered",
+                    "{}: the link must deliver once the window closes",
+                    kind.label()
+                );
+                h.barrier();
+                Some(silent)
+            }
+        });
+        assert!(
+            matches!(
+                results[1],
+                Some(FabricError::Timeout {
+                    peer: 0,
+                    tag: 6,
+                    ..
+                })
+            ),
+            "{}: a blackholed direction must look like silence, got {:?}",
+            kind.label(),
+            results[1]
+        );
+    }
+}
+
+/// A refused link fails sends typed while leaving the existing stream
+/// intact — the peer observes nothing — and a caller that simply
+/// retries gets through once the refusal window closes, the
+/// connect-with-retry contract every backend must honour.
+#[test]
+fn refused_links_recover_through_retry_on_every_backend() {
+    for kind in kinds() {
+        // The first two outbound sends on 0 -> 1 are refused dials.
+        let chaos = ChaosPlan::seeded(43).refuse_window(0, 1, 0, 2);
+        let topo = Topology::new(1, 2);
+        let results = Fabric::run_with_chaos_on(kind, topo, chaos, None, |mut h| {
+            if h.rank() == 0 {
+                let mut refusals = 0usize;
+                loop {
+                    match h.send(1, 4, Bytes::from_static(b"through")) {
+                        Ok(()) => break,
+                        Err(FabricError::Disconnected { peer: 1 }) => refusals += 1,
+                        Err(other) => {
+                            panic!("{}: refusal surfaced as {other:?}", kind.label())
+                        }
+                    }
+                    assert!(refusals <= 8, "{}: retry never got through", kind.label());
+                }
+                h.barrier();
+                refusals
+            } else {
+                let msg = h.recv_timeout(0, 4, Duration::from_secs(10)).unwrap();
+                assert_eq!(
+                    msg.as_ref(),
+                    b"through",
+                    "{}: the retried send must deliver",
+                    kind.label()
+                );
+                h.barrier();
+                0
+            }
+        });
+        assert_eq!(
+            results[0],
+            2,
+            "{}: exactly the windowed dials are refused",
             kind.label()
         );
     }

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use schemoe_cluster::{AdaptiveDeadline, FaultPlan};
 use schemoe_compression::{Compressor, Fp16Compressor, NoCompression};
-use schemoe_models::FtConfig;
+use schemoe_models::{DomainMap, FtConfig};
 use schemoe_moe::DistributedMoeLayer;
 use serde::{Deserialize, Serialize};
 
@@ -202,17 +202,34 @@ impl FaultSpec {
 pub struct ReplicaSpec {
     /// Replication quantum in committed steps; `0` disables.
     pub interval: usize,
+    /// Optional per-rank failure-domain labels (rack, host, power feed).
+    /// When present, each rank's buddy becomes the next rank in a
+    /// *different* domain (`schemoe_models::buddy_of`), so losing one
+    /// whole domain never takes an expert together with its replica.
+    /// `None` keeps the plain `(rank + 1) mod n` ring.
+    pub domains: Option<DomainMap>,
 }
 
 impl ReplicaSpec {
     /// Replicate every `interval` committed steps.
     pub fn every(interval: usize) -> Self {
-        ReplicaSpec { interval }
+        ReplicaSpec {
+            interval,
+            domains: None,
+        }
+    }
+
+    /// Steers buddy placement with per-rank failure-domain labels (one
+    /// label per rank, up to 16 domains, up to 64 ranks).
+    pub fn with_domains(mut self, labels: &[u8]) -> Self {
+        self.domains = Some(DomainMap::from_labels(labels));
+        self
     }
 
     /// Applies this policy to a fault-tolerant trainer configuration.
     pub fn apply(&self, mut cfg: FtConfig) -> FtConfig {
         cfg.replica_interval = self.interval;
+        cfg.replica_domains = self.domains;
         cfg
     }
 }
@@ -539,10 +556,30 @@ mod tests {
     fn replica_spec_applies_to_an_ft_config() {
         let ft = ReplicaSpec::every(8).apply(schemoe_models::FtConfig::tiny(10));
         assert_eq!(ft.replica_interval, 8);
+        assert_eq!(ft.replica_domains, None, "domain steering is opt-in");
         // Replication is opt-in: the default spec and the default config
         // both leave it disabled.
         assert_eq!(ReplicaSpec::default().interval, 0);
         assert_eq!(schemoe_models::FtConfig::tiny(10).replica_interval, 0);
+    }
+
+    #[test]
+    fn replica_spec_threads_failure_domains_into_buddy_placement() {
+        let ft = ReplicaSpec::every(4)
+            .with_domains(&[0, 0, 1, 1])
+            .apply(schemoe_models::FtConfig::tiny(10));
+        let domains = ft.replica_domains.expect("domains must thread through");
+        // The buddy of every rank crosses the domain boundary: losing all
+        // of domain 0 (ranks 0 and 1) leaves both of its experts' replicas
+        // in domain 1, and vice versa.
+        for rank in 0..4 {
+            let buddy = schemoe_models::buddy_of(rank, 4, Some(&domains));
+            assert_ne!(
+                domains.label(rank),
+                domains.label(buddy),
+                "rank {rank} must replicate into another domain"
+            );
+        }
     }
 
     #[test]

@@ -131,7 +131,20 @@ pub const TRANSFER_CHUNK: usize = 4096;
 const XFER_COPIES: u64 = 2;
 
 /// Rejoin rounds a rank in limbo attempts before giving up for good.
-const MAX_REJOIN_ROUNDS: usize = 4;
+const MAX_REJOIN_ROUNDS: usize = 8;
+
+/// Control-plane tag a parked rank pings on, looking for other parked
+/// ranks across a partition (see [`park_until_heal`]).
+const PARK_TAG: u64 = (1 << 62) + 3072;
+
+/// Control-plane tag the lowest parked rank broadcasts the common resume
+/// point on once the parked set reassembles a majority.
+const RESUME_TAG: u64 = (1 << 62) + 4096;
+
+/// Park rounds a quorum-less rank waits for the cluster to heal before
+/// giving up for good. Each round re-announces, re-pings, and polls for
+/// invites and resumes, so the bound is on patience, not correctness.
+const MAX_PARK_ROUNDS: usize = 256;
 
 /// Transfer tags are scoped by the committed step of the rejoin round, so
 /// chunks left parked by a torn round can never be misread by a later one.
@@ -159,6 +172,61 @@ fn replica_tag(step: usize) -> u64 {
 /// mirroring [`xfer_tag`].
 fn handback_tag(step: usize) -> u64 {
     HANDBACK_NS + (step as u64) * 4096
+}
+
+/// Failure-domain labels for up to 64 ranks — one 4-bit label per rank
+/// (16 domains), packed into four words so the map stays `Copy` like the
+/// [`FtConfig`] that carries it. Two ranks with the same label share a
+/// failure domain (a host, a rack, a power feed) and are expected to die
+/// together; buddy placement routes replicas across domains so a single
+/// domain loss never takes an expert and its replica at once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DomainMap {
+    words: [u64; 4],
+}
+
+impl DomainMap {
+    /// Builds a map from one label per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics past 64 ranks or a label ≥ 16 (the packing width).
+    pub fn from_labels(labels: &[u8]) -> DomainMap {
+        assert!(labels.len() <= 64, "domain maps cover at most 64 ranks");
+        let mut words = [0u64; 4];
+        for (r, &l) in labels.iter().enumerate() {
+            assert!(l < 16, "domain labels are 4-bit (got {l})");
+            words[r / 16] |= u64::from(l) << ((r % 16) * 4);
+        }
+        DomainMap { words }
+    }
+
+    /// The domain label of `rank` (0 for ranks past the labelled prefix).
+    pub fn label(&self, rank: usize) -> u8 {
+        ((self.words[rank / 16] >> ((rank % 16) * 4)) & 0xF) as u8
+    }
+}
+
+/// The replication buddy of `rank` in an `n`-rank world: the next rank
+/// (scanning forward, wrapping) in a *different* failure domain when a
+/// domain map is given, falling back to the plain ring neighbour
+/// `(rank + 1) % n` when no map is set or every rank shares one domain.
+/// Pure and identical on every rank, so survivors agree on failover hosts
+/// without any coordination.
+pub fn buddy_of(rank: usize, n: usize, domains: Option<&DomainMap>) -> usize {
+    if n == 0 {
+        return rank;
+    }
+    if let Some(d) = domains {
+        let mine = d.label(rank);
+        for i in 1..n {
+            let c = (rank + i) % n;
+            if d.label(c) != mine {
+                return c;
+            }
+        }
+    }
+    (rank + 1) % n
 }
 
 /// Hyperparameters and recovery policy for [`run_ft_rank`].
@@ -213,6 +281,11 @@ pub struct FtConfig {
     /// staleness instead of an expert-shaped hole. `0` disables
     /// replication (the reroute-only behaviour).
     pub replica_interval: usize,
+    /// Optional failure-domain labels steering buddy placement: each
+    /// rank's buddy becomes the next rank in a *different* domain (see
+    /// [`buddy_of`]), so losing one domain never takes an expert and its
+    /// replica together. `None` keeps the plain `(rank + 1) mod n` ring.
+    pub replica_domains: Option<DomainMap>,
     /// Partition degree `r` of the MoE layer's overlapped pipeline.
     /// `1` runs the serial path; higher degrees chunk the all-to-alls and
     /// overlap them with compute in both forward and backward. The loss
@@ -249,6 +322,7 @@ impl FtConfig {
             rejoin_check_every: 2,
             adaptive_deadline: None,
             replica_interval: 0,
+            replica_domains: None,
             partition_degree: 1,
             rejoin: false,
         }
@@ -286,6 +360,12 @@ impl FtConfig {
         self
     }
 
+    /// Installs failure-domain labels for buddy placement.
+    pub fn with_replica_domains(mut self, domains: DomainMap) -> Self {
+        self.replica_domains = Some(domains);
+        self
+    }
+
     /// Sets the MoE partition degree (`1` = serial, no overlap).
     pub fn with_partition_degree(mut self, degree: usize) -> Self {
         self.partition_degree = degree.max(1);
@@ -318,6 +398,11 @@ pub struct FtReport {
     pub epoch_transitions: Vec<u32>,
     /// Successful rejoins this rank performed after a scheduled revival.
     pub rejoins: u64,
+    /// Times this rank parked: it could not assemble a voting majority
+    /// (`floor(live/2) + 1`) against silence-only suspicions, so it
+    /// stopped stepping and waited for the partition to heal instead of
+    /// burying the unreachable side.
+    pub parks: u64,
     /// State-transfer bytes this rank shipped as a donor plus bytes it
     /// applied as a rejoiner.
     pub transfer_bytes: u64,
@@ -355,6 +440,12 @@ struct Verdict {
     any_error: bool,
     /// Bitmask of ranks the cluster now considers dead.
     suspects: u64,
+    /// Subset of `suspects` backed by first-hand disconnection evidence —
+    /// a closed link or a posted death — rather than silence. A confirmed
+    /// death is buried regardless of quorum (a crashed rank cannot be on
+    /// the other side of a partition); silence-only suspicions can bury
+    /// a peer only while the remaining voters still form a majority.
+    confirmed: u64,
 }
 
 /// Visits every parameter of the model triple in a fixed order (the order
@@ -474,33 +565,39 @@ fn try_step(
 }
 
 /// Pure tally of one vote round: folds the messages actually heard into
-/// `(any_error, suspects, unheard)`. `heard[r]` is `Some((status, mask))`
-/// for a live peer whose vote arrived and `None` for one that was silent
-/// across every copy; self and already-dead entries are skipped.
+/// `(any_error, suspects, confirmed, unheard)`. `heard[r]` is
+/// `Some((status, suspects, confirmed))` for a live peer whose vote
+/// arrived and `None` for one that was silent across every copy; self and
+/// already-dead entries are skipped.
 ///
 /// A silent peer forces an error verdict (the attempt cannot commit) and
 /// lands in the *unheard* mask — it is NOT folded into the suspect set
 /// here. Whether silence escalates to a death suspicion is [`vote`]'s
 /// decision, made only from silence in *both* rounds: a peer that answers
 /// late is a voter, not a suspect, and must not be double-counted as both.
+/// The confirmed mask gossips separately so every voter learns which
+/// suspicions carry first-hand disconnection evidence (see [`Verdict`]).
 fn tally_round(
     me: usize,
     live: &[bool],
     status: u8,
     suspects: u64,
-    heard: &[Option<(u8, u64)>],
-) -> (bool, u64, u64) {
+    confirmed: u64,
+    heard: &[Option<(u8, u64, u64)>],
+) -> (bool, u64, u64, u64) {
     let mut any = status != 0;
     let mut sus = suspects;
+    let mut conf = confirmed;
     let mut unheard = 0u64;
     for (r, &alive) in live.iter().enumerate() {
         if r == me || !alive {
             continue;
         }
         match heard[r] {
-            Some((peer_status, peer_sus)) => {
+            Some((peer_status, peer_sus, peer_conf)) => {
                 any |= peer_status != 0;
                 sus |= peer_sus;
+                conf |= peer_conf;
             }
             None => {
                 any = true;
@@ -508,26 +605,29 @@ fn tally_round(
             }
         }
     }
-    (any, sus, unheard)
+    (any, sus, conf, unheard)
 }
 
-/// One gossip round of the vote protocol: broadcast `(status, suspects)`
-/// to every live peer ([`VOTE_COPIES`] copies), then collect each peer's
-/// message under a deadline and [`tally_round`] the result. Returns
-/// `(any_error, suspects, unheard)`, or an error if *this* rank died
-/// mid-round.
+/// One gossip round of the vote protocol: broadcast
+/// `(status, suspects, confirmed)` to every live peer ([`VOTE_COPIES`]
+/// copies), then collect each peer's message under a deadline and
+/// [`tally_round`] the result. Returns
+/// `(any_error, suspects, confirmed, unheard)`, or an error if *this*
+/// rank died mid-round.
 fn vote_round(
     h: &mut RankHandle,
     live: &[bool],
     base: u64,
     status: u8,
     suspects: u64,
+    confirmed: u64,
     deadline: Duration,
-) -> Result<(bool, u64, u64), FabricError> {
+) -> Result<(bool, u64, u64, u64), FabricError> {
     let me = h.rank();
-    let mut buf = [0u8; 9];
+    let mut buf = [0u8; 17];
     buf[0] = status;
     buf[1..9].copy_from_slice(&suspects.to_le_bytes());
+    buf[9..17].copy_from_slice(&confirmed.to_le_bytes());
     let msg = Bytes::copy_from_slice(&buf);
     for (r, &alive) in live.iter().enumerate() {
         if r == me || !alive {
@@ -546,17 +646,18 @@ fn vote_round(
             }
         }
     }
-    let mut heard: Vec<Option<(u8, u64)>> = vec![None; live.len()];
+    let mut heard: Vec<Option<(u8, u64, u64)>> = vec![None; live.len()];
     for (r, &alive) in live.iter().enumerate() {
         if r == me || !alive {
             continue;
         }
         for c in 0..VOTE_COPIES {
             match h.recv_timeout(r, base + c, deadline) {
-                Ok(payload) if payload.len() == 9 => {
+                Ok(payload) if payload.len() == 17 => {
                     heard[r] = Some((
                         payload[0],
-                        u64::from_le_bytes(payload[1..9].try_into().expect("9-byte vote")),
+                        u64::from_le_bytes(payload[1..9].try_into().expect("17-byte vote")),
+                        u64::from_le_bytes(payload[9..17].try_into().expect("17-byte vote")),
                     ));
                     break;
                 }
@@ -568,7 +669,7 @@ fn vote_round(
             }
         }
     }
-    Ok(tally_round(me, live, status, suspects, &heard))
+    Ok(tally_round(me, live, status, suspects, confirmed, &heard))
 }
 
 /// Two-round vote: round one spreads first-hand observations, round two
@@ -579,25 +680,31 @@ fn vote_round(
 /// that missed its round-one copy window but answers in round two is
 /// therefore counted once, as a voter; with `escalate` (attempts past the
 /// retry budget) only a peer silent in **both** rounds is presumed dead.
+#[allow(clippy::too_many_arguments)]
 fn vote(
     h: &mut RankHandle,
     live: &[bool],
     tag: u64,
     status: u8,
     suspects: u64,
+    confirmed: u64,
     deadline: Duration,
     escalate: bool,
 ) -> Result<Verdict, FabricError> {
     let base = tag + VOTE_LANE;
-    let (a1, s1, u1) = vote_round(h, live, base, status, suspects, deadline)?;
-    let (a2, s2, u2) = vote_round(h, live, base + VOTE_COPIES, u8::from(a1), s1, deadline)?;
+    let (a1, s1, c1, u1) = vote_round(h, live, base, status, suspects, confirmed, deadline)?;
+    let (a2, s2, c2, u2) = vote_round(h, live, base + VOTE_COPIES, u8::from(a1), s1, c1, deadline)?;
     let mut suspects = s2;
     if escalate {
+        // Escalated silence is *presumed* death, never confirmed: it is
+        // exactly the evidence class a partition forges, so it stays
+        // subject to the majority-quorum rule at burial time.
         suspects |= u1 & u2;
     }
     Ok(Verdict {
         any_error: a2,
         suspects,
+        confirmed: c2,
     })
 }
 
@@ -865,12 +972,15 @@ pub fn receive_state(
     Ok(buf)
 }
 
-/// One buddy-replication quantum. Each rank streams its expert frame to the
-/// buddy at `(rank + 1) mod n` and absorbs the frame from its ward at
-/// `(rank - 1) mod n`, scheduled on the two-worker overlap executor: the
-/// send is queued before the receive and every rank follows the same
-/// schedule, so the ring cannot deadlock — the receive deadline bounds the
-/// wait even when a ward died between the vote and this quantum.
+/// One buddy-replication quantum. Each rank streams its expert frame to
+/// [`buddy_of`]`(rank)` and absorbs a frame from every *ward* — each rank
+/// whose buddy it is — scheduled on the two-worker overlap executor: the
+/// send is queued before the receives and every rank follows the same
+/// schedule, so the exchange cannot deadlock — the receive deadline bounds
+/// the wait even when a ward died between the vote and this quantum.
+/// Without a domain map the buddy graph is the plain ring and each rank
+/// has exactly one ward; domain-aware placement can assign several wards
+/// to one rank (it is not a permutation), hence the per-ward store map.
 ///
 /// A skipped send (dead buddy) or failed send breaks the delta chain, so
 /// the encoder is reset and the next frame the buddy sees is a full
@@ -887,31 +997,34 @@ fn replicate_quantum(
     opt: &mut Sgd,
     live: &[bool],
     enc: &mut DeltaEncoder,
-    store: &mut ReplicaStore,
+    stores: &mut BTreeMap<usize, ReplicaStore>,
     repl: &mut ReplicaStats,
     step: usize,
 ) {
     let me = h.rank();
     let p = h.world_size();
-    let buddy = (me + 1) % p;
-    let ward = (me + p - 1) % p;
+    let domains = cfg.replica_domains;
+    let buddy = buddy_of(me, p, domains.as_ref());
+    let wards: Vec<usize> = (0..p)
+        .filter(|&r| r != me && live[r] && buddy_of(r, p, domains.as_ref()) == me)
+        .collect();
     let send_to_buddy = buddy != me && live[buddy];
-    let recv_from_ward = ward != me && live[ward];
     if !send_to_buddy {
         enc.reset();
     }
-    if !send_to_buddy && !recv_from_ward {
+    if !send_to_buddy && wards.is_empty() {
         return;
     }
     let deadline = Duration::from_millis(cfg.vote_timeout_ms);
     let tag = replica_tag(step);
     let quantum = step as u64;
     let out_frame: Mutex<Option<Vec<u8>>> = Mutex::new(None);
-    let in_frame: Mutex<Option<Bytes>> = Mutex::new(None);
+    let in_frames: Vec<Mutex<Option<Bytes>>> = wards.iter().map(|_| Mutex::new(None)).collect();
     let sent: Mutex<Option<(bool, usize)>> = Mutex::new(None);
     let handle = Mutex::new(&mut *h);
+    let stores_mx = Mutex::new(&mut *stores);
     let cancel = AtomicBool::new(false);
-    let tasks: Vec<ExecTask<'_>> = vec![
+    let mut tasks: Vec<ExecTask<'_>> = vec![
         ExecTask {
             worker: Worker::Compute,
             deps: vec![],
@@ -939,35 +1052,44 @@ fn replicate_quantum(
                 }
             }),
         },
-        ExecTask {
+    ];
+    for (k, &ward) in wards.iter().enumerate() {
+        let in_frame = &in_frames[k];
+        let handle = &handle;
+        let stores_mx = &stores_mx;
+        let recv_idx = tasks.len();
+        tasks.push(ExecTask {
             worker: Worker::Comm,
             deps: vec![],
-            span: Some(("replication", format!("recv@{step}"))),
-            run: Box::new(|| {
-                if recv_from_ward {
-                    if let Ok(m) = handle
-                        .lock()
-                        .expect("handle")
-                        .recv_timeout(ward, tag, deadline)
-                    {
-                        *in_frame.lock().expect("mailbox") = Some(m);
-                    }
+            span: Some(("replication", format!("recv{ward}@{step}"))),
+            run: Box::new(move || {
+                if let Ok(m) = handle
+                    .lock()
+                    .expect("handle")
+                    .recv_timeout(ward, tag, deadline)
+                {
+                    *in_frame.lock().expect("mailbox") = Some(m);
                 }
             }),
-        },
-        ExecTask {
+        });
+        tasks.push(ExecTask {
             worker: Worker::Compute,
-            deps: vec![2],
-            span: Some(("replication", format!("apply@{step}"))),
-            run: Box::new(|| {
+            deps: vec![recv_idx],
+            span: Some(("replication", format!("apply{ward}@{step}"))),
+            run: Box::new(move || {
                 if let Some(m) = in_frame.lock().expect("mailbox").take() {
                     // A damaged or out-of-chain frame leaves the store
                     // untouched; the ward's next full frame re-anchors it.
-                    let _ = store.apply(&m);
+                    let _ = stores_mx
+                        .lock()
+                        .expect("stores")
+                        .entry(ward)
+                        .or_default()
+                        .apply(&m);
                 }
             }),
-        },
-    ];
+        });
+    }
     if run_overlapped_cancellable(tasks, &cancel).is_err() {
         enc.reset();
         return;
@@ -1074,8 +1196,15 @@ fn limbo_rejoin(
     if cfg.rejoin_check_every == 0 {
         return None;
     }
-    if !(h.reconnectable() && h.fault_plan().is_none()) {
-        h.fault_plan()?.revive_threshold(h.rank())?;
+    // Two ways back in: a fault plan that schedules this rank's revival
+    // (the simulated path — spin until the pipe reopens) or a
+    // reconnectable transport (the code is running, so the process is
+    // alive: announce directly, even when a fault plan or chaos plan was
+    // installed only for deadlines or link faults). Neither → stay dead.
+    let scheduled = h
+        .fault_plan()
+        .is_some_and(|plan| plan.revive_threshold(h.rank()).is_some());
+    if scheduled {
         let mut probes = 0u64;
         while !h.try_revive() {
             probes += 1;
@@ -1083,6 +1212,8 @@ fn limbo_rejoin(
                 return None; // the scheduled revival never fires; stay dead
             }
         }
+    } else if !h.reconnectable() {
+        return None;
     }
     announce_and_rejoin(
         h,
@@ -1157,61 +1288,299 @@ fn announce_and_rejoin(
             }
         }
         let Some(inv) = best else { continue };
-        match receive_state(h, inv.donor, xfer_tag(inv.step), vote_dl * 4) {
-            Ok(payload) => {
-                apply_replicated_state(&payload, embed, moe, head, opt)
-                    .expect("a verified transfer payload must apply");
-                *transfer_bytes += payload.len() as u64 + 16;
-                h.set_epoch(inv.epoch);
-                h.mark_peer_reachable(h.rank());
-                epoch_transitions.push(inv.epoch);
-                for (r, slot) in live.iter_mut().enumerate() {
-                    *slot = inv.live & (1u64 << r) != 0;
-                    if *slot {
-                        moe.mark_rank_alive(r);
-                        // The invite's live mask is the authoritative
-                        // membership: deaths and re-admissions that
-                        // happened while this rank was in limbo never
-                        // reached its local liveness board (on process
-                        // transports the board is per-endpoint, not
-                        // shared), so reset the board to match. On the
-                        // shared-board channel backend these entries are
-                        // already clear and this is a no-op.
-                        h.mark_peer_reachable(r);
-                    } else {
-                        moe.mark_rank_dead(r);
-                    }
-                }
-                // Adopt the survivors' failover routing (set after the
-                // live-flag loop: mark_rank_dead prunes routes hosted by
-                // dead ranks, which would drop freshly installed entries).
-                moe.clear_failover_routes();
-                for &(d, host) in &inv.routes {
-                    moe.set_failover_route(d as usize, host as usize);
-                }
-                // The host streams the hosted expert — trained while this
-                // rank was dead — back on the handback lane. A torn
-                // handback falls back to the checkpoint-stale own expert.
-                if inv.handback != 0 {
-                    let host = (inv.handback - 1) as usize;
-                    if let Ok(hb) = receive_state(h, host, handback_tag(inv.step), vote_dl * 4) {
-                        apply_own_expert_state(&hb, embed, moe, head, opt)
-                            .expect("a verified handback payload must apply");
-                        repl.handback_bytes += hb.len() as u64 + 16;
-                    }
-                }
-                return Some(RejoinPoint {
-                    step: inv.step,
-                    tag: inv.tag,
-                });
-            }
+        match apply_invite(
+            h,
+            cfg,
+            &inv,
+            embed,
+            moe,
+            head,
+            opt,
+            live,
+            epoch_transitions,
+            transfer_bytes,
+            repl,
+        ) {
+            Some(pt) => return Some(pt),
             // Torn transfer: nothing was applied and our epoch is
             // unchanged. Announce again; survivors will re-bury us if we
             // stay silent too long, which re-opens the next round.
-            Err(_) => continue,
+            None => continue,
         }
     }
     None
+}
+
+/// Applies one accepted invite: receives and verifies the donor's state
+/// stream, adopts the invite's epoch / live mask / failover routes, and
+/// receives the hosted-expert handback if one is due. Shared by the
+/// announce loop ([`announce_and_rejoin`]) and a parked rank re-admitted
+/// by a quorate other side ([`park_until_heal`]). Returns `None` when the
+/// transfer was torn — nothing was applied and the caller's epoch is
+/// unchanged, so it can simply announce again.
+#[allow(clippy::too_many_arguments)]
+fn apply_invite(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    inv: &Invite,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    live: &mut [bool],
+    epoch_transitions: &mut Vec<u32>,
+    transfer_bytes: &mut u64,
+    repl: &mut ReplicaStats,
+) -> Option<RejoinPoint> {
+    let vote_dl = Duration::from_millis(cfg.vote_timeout_ms);
+    let payload = receive_state(h, inv.donor, xfer_tag(inv.step), vote_dl * 4).ok()?;
+    apply_replicated_state(&payload, embed, moe, head, opt)
+        .expect("a verified transfer payload must apply");
+    *transfer_bytes += payload.len() as u64 + 16;
+    h.set_epoch(inv.epoch);
+    h.mark_peer_reachable(h.rank());
+    epoch_transitions.push(inv.epoch);
+    for (r, slot) in live.iter_mut().enumerate() {
+        *slot = inv.live & (1u64 << r) != 0;
+        if *slot {
+            moe.mark_rank_alive(r);
+            // The invite's live mask is the authoritative membership:
+            // deaths and re-admissions that happened while this rank was
+            // in limbo never reached its local liveness board (on process
+            // transports the board is per-endpoint, not shared), so reset
+            // the board to match. On the shared-board channel backend
+            // these entries are already clear and this is a no-op.
+            h.mark_peer_reachable(r);
+        } else {
+            moe.mark_rank_dead(r);
+        }
+    }
+    // Adopt the survivors' failover routing (set after the live-flag
+    // loop: mark_rank_dead prunes routes hosted by dead ranks, which
+    // would drop freshly installed entries).
+    moe.clear_failover_routes();
+    for &(d, host) in &inv.routes {
+        moe.set_failover_route(d as usize, host as usize);
+    }
+    // The host streams the hosted expert — trained while this rank was
+    // dead — back on the handback lane. A torn handback falls back to
+    // the checkpoint-stale own expert.
+    if inv.handback != 0 {
+        let host = (inv.handback - 1) as usize;
+        if let Ok(hb) = receive_state(h, host, handback_tag(inv.step), vote_dl * 4) {
+            apply_own_expert_state(&hb, embed, moe, head, opt)
+                .expect("a verified handback payload must apply");
+            repl.handback_bytes += hb.len() as u64 + 16;
+        }
+    }
+    Some(RejoinPoint {
+        step: inv.step,
+        tag: inv.tag,
+    })
+}
+
+/// Outcome of a parked rank's wait for the cluster to heal.
+enum ParkOutcome {
+    /// The parked set reassembled a voting majority on its own (a tied or
+    /// multi-way partition healed): resume stepping at `step` under a
+    /// fresh `tag` window. No epoch bump and no restore — nothing
+    /// committed anywhere while parked, because commits require a
+    /// unanimous vote the partition made impossible.
+    Resumed { step: usize, tag: u64 },
+    /// A quorate other side buried this rank, heard its announce, and
+    /// re-admitted it through the normal invite / state-transfer path.
+    Rejoined(RejoinPoint),
+    /// The cluster never healed within the round budget.
+    Dead,
+}
+
+/// A rank that cannot assemble a voting majority *parks*: it stops
+/// stepping — a minority that buried the unreachable majority would fork
+/// the replicated trajectory — but keeps answering control-plane traffic.
+/// Each round it ANNOUNCEs (so a quorate side's coordinator can re-admit
+/// it), pings [`PARK_TAG`] (so fellow parked ranks can find each other
+/// across a healing partition), and polls for INVITE and [`RESUME_TAG`]
+/// messages. Once the parked set itself reaches a majority of the
+/// effective world (every configured rank not buried on confirmed crash
+/// evidence) — a tie healing, or parked minorities merging — the lowest
+/// parked rank picks a tag window beyond every parked rank's and
+/// broadcasts the common resume point. A partition therefore costs
+/// staleness, never divergence.
+///
+/// Only pings that agree on this rank's `(epoch, step)` count toward the
+/// resume quorum: a rank whose membership history diverged before parking
+/// (it buried a confirmed death the other side never saw) must come back
+/// through the invite path instead of a bare resume.
+#[allow(clippy::too_many_arguments)]
+fn park_until_heal(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    live: &mut [bool],
+    epoch_transitions: &mut Vec<u32>,
+    transfer_bytes: &mut u64,
+    repl: &mut ReplicaStats,
+    step: usize,
+    tag: u64,
+    effective_world: usize,
+) -> ParkOutcome {
+    let me = h.rank();
+    let p = h.world_size();
+    let majority = effective_world / 2 + 1;
+    // Latest matching (same epoch, same step) park ping per rank: the tag
+    // each parked peer has reached, for the coordinator's resume pick.
+    let mut parked: Vec<Option<u64>> = vec![None; p];
+    let ping_dl = Duration::from_millis(50);
+    for _round in 0..MAX_PARK_ROUNDS {
+        // Announce + ping every rank, every round. The sends double as
+        // liveness traffic and carry each link's fault windows toward
+        // their heal points on index-driven chaos plans.
+        let announce = Bytes::copy_from_slice(&[me as u8]);
+        let mut ping = [0u8; 21];
+        ping[0] = me as u8;
+        ping[1..5].copy_from_slice(&h.epoch().to_le_bytes());
+        ping[5..13].copy_from_slice(&(step as u64).to_le_bytes());
+        ping[13..21].copy_from_slice(&tag.to_le_bytes());
+        let ping_msg = Bytes::copy_from_slice(&ping);
+        for r in 0..p {
+            if r == me {
+                continue;
+            }
+            for _ in 0..VOTE_COPIES {
+                let _ = h.send_control(r, ANNOUNCE_TAG, announce.clone());
+                let _ = h.send_control(r, PARK_TAG, ping_msg.clone());
+            }
+        }
+        // A quorate other side may have buried us and answered the
+        // announce: take the freshest invite and try to apply it. A torn
+        // transfer applies nothing; keep parking and re-announce.
+        let mut best: Option<Invite> = None;
+        for r in 0..p {
+            if r == me {
+                continue;
+            }
+            let mut dl = ping_dl;
+            while let Ok(m) = h.recv_timeout(r, INVITE_TAG, dl) {
+                dl = Duration::from_millis(10);
+                if let Some(inv) = Invite::decode(&m) {
+                    if best.as_ref().is_none_or(|b| inv.step > b.step) {
+                        best = Some(inv);
+                    }
+                }
+            }
+        }
+        if let Some(inv) = best {
+            if let Some(pt) = apply_invite(
+                h,
+                cfg,
+                &inv,
+                embed,
+                moe,
+                head,
+                opt,
+                live,
+                epoch_transitions,
+                transfer_bytes,
+                repl,
+            ) {
+                drain_park_traffic(h);
+                return ParkOutcome::Rejoined(pt);
+            }
+        }
+        // Collect fellow parked ranks.
+        for r in 0..p {
+            if r == me {
+                continue;
+            }
+            while let Ok(m) = h.recv_timeout(r, PARK_TAG, ping_dl) {
+                if m.len() == 21 && m[0] as usize == r {
+                    let e = u32::from_le_bytes(m[1..5].try_into().expect("21-byte ping"));
+                    let s = u64::from_le_bytes(m[5..13].try_into().expect("21-byte ping"));
+                    let t = u64::from_le_bytes(m[13..21].try_into().expect("21-byte ping"));
+                    if e == h.epoch() && s as usize == step {
+                        parked[r] = Some(t);
+                    }
+                }
+            }
+        }
+        // A RESUME from the coordinator: adopt its resume point.
+        for r in 0..p {
+            if r == me {
+                continue;
+            }
+            if let Ok(m) = h.recv_timeout(r, RESUME_TAG, Duration::from_millis(10)) {
+                if m.len() == 16 {
+                    let s = u64::from_le_bytes(m[..8].try_into().expect("16-byte resume"));
+                    let t = u64::from_le_bytes(m[8..16].try_into().expect("16-byte resume"));
+                    // Only a resume for *this* park point with a tag beyond
+                    // ours counts: redundant copies of an earlier cycle's
+                    // broadcast (or a resume meant for a parked set whose
+                    // history diverged from ours) are dropped, and the
+                    // divergent rank comes back through the invite path.
+                    if s as usize == step && t > tag {
+                        drain_park_traffic(h);
+                        return ParkOutcome::Resumed {
+                            step: s as usize,
+                            tag: t,
+                        };
+                    }
+                }
+            }
+        }
+        // Enough parked ranks to vote again? The lowest parked rank
+        // coordinates; everyone else keeps looping until its RESUME
+        // arrives. The resume tag clears every parked rank's window so
+        // post-resume traffic can never collide with pre-park leftovers.
+        let heard = parked.iter().filter(|t| t.is_some()).count();
+        if 1 + heard >= majority {
+            let lowest = (0..p)
+                .find(|&r| r == me || parked[r].is_some())
+                .expect("this rank is parked");
+            if lowest == me {
+                let max_tag = parked.iter().flatten().copied().fold(tag, u64::max);
+                let resume_tag = max_tag + TAG_STRIDE;
+                let mut buf = [0u8; 16];
+                buf[..8].copy_from_slice(&(step as u64).to_le_bytes());
+                buf[8..].copy_from_slice(&resume_tag.to_le_bytes());
+                let msg = Bytes::copy_from_slice(&buf);
+                for r in 0..p {
+                    if r == me {
+                        continue;
+                    }
+                    for _ in 0..VOTE_COPIES {
+                        let _ = h.send_control(r, RESUME_TAG, msg.clone());
+                    }
+                }
+                drain_park_traffic(h);
+                return ParkOutcome::Resumed {
+                    step,
+                    tag: resume_tag,
+                };
+            }
+        }
+    }
+    ParkOutcome::Dead
+}
+
+/// Discards queued park-era control traffic (announces and pings from
+/// fellow parked — still live — ranks) on the way out of a park. Without
+/// this, a stale ANNOUNCE from a rank that parked and resumed would sit in
+/// the coordinator's queue and could be mistaken for a rejoin announcement
+/// if that rank genuinely died later. A discarded message costs nothing:
+/// both the park loop and the limbo announce loop re-send every round.
+fn drain_park_traffic(h: &mut RankHandle) {
+    let p = h.world_size();
+    let dl = Duration::from_millis(1);
+    for r in 0..p {
+        if r == h.rank() {
+            continue;
+        }
+        while h.recv_timeout(r, ANNOUNCE_TAG, dl).is_ok() {}
+        while h.recv_timeout(r, PARK_TAG, dl).is_ok() {}
+    }
 }
 
 /// The survivors' half of the rejoin protocol, run at a fixed committed-step
@@ -1434,12 +1803,13 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
     let mut opt = Sgd::new(cfg.lr);
 
     // Buddy-replication state: the delta encoder for frames this rank
-    // streams to its buddy, the store holding the ward's latest verified
-    // replica, and (while hosting) the velocity this rank trains each
+    // streams to its buddy, a store per ward holding that ward's latest
+    // verified replica (domain-aware placement can give one rank several
+    // wards), and (while hosting) the velocity this rank trains each
     // hosted expert with. `vel_indices` is rank-independent.
     let vel_indices = expert_velocity_indices(&mut embed, &mut moe, &mut head);
     let mut replica_enc = DeltaEncoder::new();
-    let mut replica_store = ReplicaStore::new();
+    let mut replica_stores: BTreeMap<usize, ReplicaStore> = BTreeMap::new();
     let mut hosted_vel: BTreeMap<usize, Vec<Tensor>> = BTreeMap::new();
     let mut repl = ReplicaStats::default();
 
@@ -1454,6 +1824,10 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
     let mut retries = 0u64;
     let mut restores = 0u64;
     let mut rejoins = 0u64;
+    let mut parks = 0u64;
+    // Ranks buried on first-hand disconnection evidence: provably crashed,
+    // so they shrink the quorum base. Silence-buried ranks do not.
+    let mut confirmed_gone: u64 = 0;
     let mut transfer_bytes = 0u64;
     let mut epoch_transitions: Vec<u32> = Vec::new();
     let vote_dl = Duration::from_millis(cfg.vote_timeout_ms);
@@ -1486,7 +1860,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                     // is stale; start the chains over.
                     hosted_vel.clear();
                     replica_enc.reset();
-                    replica_store.clear();
+                    replica_stores.clear();
                     ckpt =
                         checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
                     ckpt_step = step;
@@ -1502,6 +1876,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                         h.epoch(),
                         epoch_transitions,
                         rejoins,
+                        parks,
                         transfer_bytes,
                         repl.clone(),
                     );
@@ -1536,17 +1911,23 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
             if h.is_dead() {
                 die_or_rejoin!('train);
             }
-            // First-hand evidence: a disconnected peer is dead; timeouts
-            // and corruption are transient until the retry budget is
-            // spent, after which a *silent* peer is presumed dead (a
-            // killed rank that never exits looks like a pure timeout).
-            // Corruption never escalates — it implicates the link, not
-            // the peer's liveness, and a flaky link must not get a live
-            // rank excommunicated.
-            let (status, mut suspects): (u8, u64) = match &outcome {
-                Ok(_) => (0, 0),
-                Err(FabricError::Disconnected { peer }) if *peer != me => (1, 1u64 << *peer),
-                Err(_) => (1, 0),
+            // First-hand evidence: a disconnected peer is dead — and
+            // *confirmed* dead, because a closed link or posted death is
+            // something a partition cannot forge. Timeouts and corruption
+            // are transient until the retry budget is spent, after which
+            // a *silent* peer is presumed dead (a killed rank that never
+            // exits looks like a pure timeout) — but only presumed:
+            // silence is exactly what an unreachable-but-alive peer looks
+            // like, so those suspicions stay unconfirmed and face the
+            // quorum rule at burial. Corruption never escalates — it
+            // implicates the link, not the peer's liveness, and a flaky
+            // link must not get a live rank excommunicated.
+            let (status, mut suspects, confirmed): (u8, u64, u64) = match &outcome {
+                Ok(_) => (0, 0, 0),
+                Err(FabricError::Disconnected { peer }) if *peer != me => {
+                    (1, 1u64 << *peer, 1u64 << *peer)
+                }
+                Err(_) => (1, 0, 0),
             };
             if attempt >= cfg.retry_budget {
                 if let Err(FabricError::Timeout { peer, .. }) = &outcome {
@@ -1555,82 +1936,172 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
             }
 
             let escalate = attempt >= cfg.retry_budget;
-            let verdict = match vote(h, &live, step_tag, status, suspects, vote_dl, escalate) {
+            let verdict = match vote(
+                h, &live, step_tag, status, suspects, confirmed, vote_dl, escalate,
+            ) {
                 Ok(v) => v,
                 // Only a self-death escapes the vote.
                 Err(_) => die_or_rejoin!('train),
             };
 
-            if verdict.suspects & (1u64 << me) != 0 {
-                // The cluster has given up on this rank (e.g. our outbound
-                // links are black holes). Exit rather than split-brain —
-                // unless the plan schedules a revival, in which case rejoin
-                // under a fresh epoch is the sanctioned way back in.
-                die_or_rejoin!('train);
-            }
-            let newly_dead: Vec<usize> = (0..p)
+            let suspected: Vec<usize> = (0..p)
                 .filter(|&r| live[r] && verdict.suspects & (1u64 << r) != 0)
                 .collect();
-            if !newly_dead.is_empty() {
-                let _span = schemoe_obs::enabled()
-                    .then(|| schemoe_obs::span("ft", format!("restore after {newly_dead:?} died")));
-                for &r in &newly_dead {
-                    live[r] = false;
-                    moe.mark_rank_dead(r);
-                    // One membership transition per burial: traffic from
-                    // anyone still assuming the old membership is rejected
-                    // as stale rather than fed into collectives.
-                    let e = h.advance_epoch();
-                    epoch_transitions.push(e);
+            if !suspected.is_empty() {
+                // Majority-quorum rule. Confirmed deaths (first-hand
+                // disconnection evidence, gossiped through the vote) are
+                // buried unconditionally — a crashed rank is not on the
+                // other side of a partition. Silence-only suspicions may
+                // be buried only if the voters left after those burials
+                // would still form a majority of the *effective world*:
+                // every configured rank except those buried on confirmed
+                // evidence. Silence-buried ranks keep counting against the
+                // base — they may be alive and stepping across a partition
+                // — so sequential escalations can never erode the quorum
+                // down to a minority's say-so: at most one side of any
+                // split ever holds `floor(world/2) + 1`, and a partition
+                // costs staleness, never divergence. A side that fails
+                // the test buries nothing silent and parks instead.
+                let (confirmed_dead, silent): (Vec<usize>, Vec<usize>) = suspected
+                    .iter()
+                    .partition(|&&r| verdict.confirmed & (1u64 << r) != 0);
+                let dead_mask = (0..p).fold(0u64, |m, r| if live[r] { m } else { m | (1u64 << r) });
+                confirmed_gone &= dead_mask; // re-admitted ranks count again
+                confirmed_gone |= confirmed_dead.iter().fold(0u64, |m, &r| m | (1u64 << r));
+                let effective_world = p - confirmed_gone.count_ones() as usize;
+                let live_now = live.iter().filter(|&&a| a).count();
+                let has_quorum =
+                    silent.is_empty() || live_now - suspected.len() > effective_world / 2;
+                let newly_dead: Vec<usize> = if has_quorum {
+                    suspected
+                } else {
+                    confirmed_dead
+                };
+                if newly_dead.contains(&me) {
+                    // The cluster has given up on this rank (e.g. our
+                    // outbound links are black holes) *and* the accusation
+                    // carries quorum (or first-hand evidence). Exit rather
+                    // than split-brain — unless the plan schedules a
+                    // revival, in which case rejoin under a fresh epoch is
+                    // the sanctioned way back in. An accusation that lacks
+                    // quorum does not reach here: we park with everyone
+                    // else instead of dying on a minority's say-so.
+                    die_or_rejoin!('train);
                 }
-                checkpoint::load(&ckpt, &mut |f| {
-                    visit_all(&mut embed, &mut moe, &mut head, f)
-                })
-                .expect("in-memory checkpoint must restore");
-                restores += 1;
-                // Failover activation: each buried rank's buddy takes over
-                // its expert so the gate keeps the full expert set. Every
-                // survivor installs the route; the buddy rebuilds the
-                // expert (verified replica if one arrived, deterministic
-                // re-init otherwise) and hosts it from here on. If the
-                // buddy died in the same verdict the ward is orphaned and
-                // stays masked — the reroute-only fallback.
-                if cfg.replica_interval != 0 {
+                if !newly_dead.is_empty() {
+                    let _span = schemoe_obs::enabled().then(|| {
+                        schemoe_obs::span("ft", format!("restore after {newly_dead:?} died"))
+                    });
                     for &r in &newly_dead {
-                        let buddy = (r + 1) % p;
-                        if buddy == r || !live[buddy] {
-                            continue;
+                        live[r] = false;
+                        moe.mark_rank_dead(r);
+                        // One membership transition per burial: traffic from
+                        // anyone still assuming the old membership is rejected
+                        // as stale rather than fed into collectives.
+                        let e = h.advance_epoch();
+                        epoch_transitions.push(e);
+                    }
+                    checkpoint::load(&ckpt, &mut |f| {
+                        visit_all(&mut embed, &mut moe, &mut head, f)
+                    })
+                    .expect("in-memory checkpoint must restore");
+                    restores += 1;
+                    // Failover activation: each buried rank's buddy takes over
+                    // its expert so the gate keeps the full expert set. Every
+                    // survivor installs the route; the buddy rebuilds the
+                    // expert (verified replica if one arrived, deterministic
+                    // re-init otherwise) and hosts it from here on. If the
+                    // buddy died in the same verdict the ward is orphaned and
+                    // stays masked — the reroute-only fallback.
+                    if cfg.replica_interval != 0 {
+                        for &r in &newly_dead {
+                            let buddy = buddy_of(r, p, cfg.replica_domains.as_ref());
+                            if buddy == r || !live[buddy] {
+                                continue;
+                            }
+                            moe.set_failover_route(r, buddy);
+                            if me != buddy {
+                                continue;
+                            }
+                            let ward: Box<dyn Expert> = Box::new(FfExpert::new(
+                                cfg.model_dim,
+                                cfg.hidden_dim,
+                                &mut seeded(cfg.seed ^ 0xE8_0000 ^ r as u64),
+                            ));
+                            moe.install_hosted_experts(r, vec![ward]);
+                            let mut vel: Vec<Tensor> = Vec::new();
+                            moe.visit_hosted_params(r, &mut |prm| {
+                                vel.push(Tensor::zeros(prm.value.dims()));
+                            });
+                            if let Some((q, payload)) =
+                                replica_stores.get(&r).and_then(|s| s.replica())
+                            {
+                                let payload = payload.to_vec();
+                                apply_hosted_replica(&payload, &mut moe, r, &mut vel, &vel_indices)
+                                    .expect("a CRC-verified replica must apply");
+                                repl.staleness.push((step as u64).saturating_sub(q));
+                            } else {
+                                // No frame ever arrived: the re-init is as
+                                // stale as the whole run so far.
+                                repl.staleness.push(step as u64);
+                            }
+                            hosted_vel.insert(r, vel);
+                            repl.activations += 1;
+                            schemoe_obs::counters_for_rank(me).add_failover_activation();
                         }
-                        moe.set_failover_route(r, buddy);
-                        if me != buddy {
-                            continue;
+                    }
+                    step = ckpt_step;
+                }
+                if !has_quorum {
+                    parks += 1;
+                    match park_until_heal(
+                        h,
+                        cfg,
+                        &mut embed,
+                        &mut moe,
+                        &mut head,
+                        &mut opt,
+                        &mut live,
+                        &mut epoch_transitions,
+                        &mut transfer_bytes,
+                        &mut repl,
+                        step,
+                        tag,
+                        effective_world,
+                    ) {
+                        ParkOutcome::Resumed { step: s, tag: t } => {
+                            step = s;
+                            tag = t;
                         }
-                        let ward: Box<dyn Expert> = Box::new(FfExpert::new(
-                            cfg.model_dim,
-                            cfg.hidden_dim,
-                            &mut seeded(cfg.seed ^ 0xE8_0000 ^ r as u64),
-                        ));
-                        moe.install_hosted_experts(r, vec![ward]);
-                        let mut vel: Vec<Tensor> = Vec::new();
-                        moe.visit_hosted_params(r, &mut |prm| {
-                            vel.push(Tensor::zeros(prm.value.dims()));
-                        });
-                        if let Some((q, payload)) = replica_store.replica() {
-                            let payload = payload.to_vec();
-                            apply_hosted_replica(&payload, &mut moe, r, &mut vel, &vel_indices)
-                                .expect("a CRC-verified replica must apply");
-                            repl.staleness.push((step as u64).saturating_sub(q));
-                        } else {
-                            // No frame ever arrived: the re-init is as
-                            // stale as the whole run so far.
-                            repl.staleness.push(step as u64);
+                        ParkOutcome::Rejoined(pt) => {
+                            rejoins += 1;
+                            step = pt.step;
+                            tag = pt.tag;
+                            hosted_vel.clear();
+                            replica_enc.reset();
+                            replica_stores.clear();
+                            ckpt = checkpoint::save(&mut |f| {
+                                visit_all(&mut embed, &mut moe, &mut head, f)
+                            });
+                            ckpt_step = step;
                         }
-                        hosted_vel.insert(r, vel);
-                        repl.activations += 1;
-                        schemoe_obs::counters_for_rank(me).add_failover_activation();
+                        ParkOutcome::Dead => {
+                            return finish(
+                                &live,
+                                loss_curve,
+                                Some(step),
+                                retries,
+                                restores,
+                                h.epoch(),
+                                epoch_transitions,
+                                rejoins,
+                                parks,
+                                transfer_bytes,
+                                repl,
+                            );
+                        }
                     }
                 }
-                step = ckpt_step;
                 continue 'train;
             }
             if verdict.any_error {
@@ -1687,7 +2158,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                     &mut opt,
                     &live,
                     &mut replica_enc,
-                    &mut replica_store,
+                    &mut replica_stores,
                     &mut repl,
                     step,
                 );
@@ -1731,6 +2202,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
         h.epoch(),
         epoch_transitions,
         rejoins,
+        parks,
         transfer_bytes,
         repl,
     )
@@ -1747,6 +2219,7 @@ fn finish(
     final_epoch: u32,
     epoch_transitions: Vec<u32>,
     rejoins: u64,
+    parks: u64,
     transfer_bytes: u64,
     repl: ReplicaStats,
 ) -> FtReport {
@@ -1761,6 +2234,7 @@ fn finish(
         final_epoch,
         epoch_transitions,
         rejoins,
+        parks,
         transfer_bytes,
         replica_quanta: repl.quanta,
         replica_bytes: repl.bytes,
@@ -1774,7 +2248,7 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use schemoe_cluster::{Fabric, FaultPlan, Topology};
+    use schemoe_cluster::{ChaosPlan, Fabric, FaultPlan, Topology, TransportKind};
 
     fn mean_final_loss(reports: &[FtReport]) -> f32 {
         let survivors: Vec<&FtReport> = reports
@@ -1857,16 +2331,17 @@ mod tests {
         // round two. It must end up a voter, never a suspect.
         let me = 0usize;
         let live = vec![true; 4];
-        let mut heard1: Vec<Option<(u8, u64)>> = vec![Some((0, 0)); 4];
+        let mut heard1: Vec<Option<(u8, u64, u64)>> = vec![Some((0, 0, 0)); 4];
         heard1[2] = None;
-        let (a1, s1, u1) = tally_round(me, &live, 0, 0, &heard1);
+        let (a1, s1, c1, u1) = tally_round(me, &live, 0, 0, 0, &heard1);
         assert!(a1, "an unheard peer must force an error verdict");
         assert_eq!(s1, 0, "silence alone is not a suspicion");
+        assert_eq!(c1, 0);
         assert_eq!(u1, 0b100);
 
         // Round two: everyone (including the late rank 2) echoes the union.
-        let heard2: Vec<Option<(u8, u64)>> = vec![Some((u8::from(a1), s1)); 4];
-        let (a2, s2, u2) = tally_round(me, &live, u8::from(a1), s1, &heard2);
+        let heard2: Vec<Option<(u8, u64, u64)>> = vec![Some((u8::from(a1), s1, c1)); 4];
+        let (a2, s2, _, u2) = tally_round(me, &live, u8::from(a1), s1, c1, &heard2);
         assert!(a2);
         assert_eq!(u2, 0);
         assert_eq!(
@@ -1877,12 +2352,17 @@ mod tests {
         );
 
         // Silence in *both* rounds is what escalation means.
-        let (_, s2b, u2b) = tally_round(me, &live, u8::from(a1), s1, &heard1);
+        let (_, s2b, c2b, u2b) = tally_round(me, &live, u8::from(a1), s1, c1, &heard1);
         assert_eq!(s2b, 0);
         assert_eq!(
             s2b | (u1 & u2b),
             0b100,
             "a peer silent in both rounds is presumed dead under escalation"
+        );
+        assert_eq!(
+            c2b, 0,
+            "escalated silence is presumed, never confirmed: it must face \
+             the quorum rule at burial"
         );
     }
 
@@ -1890,11 +2370,30 @@ mod tests {
     fn tally_skips_self_and_buried_ranks() {
         let live = vec![true, false, true, true];
         // Nothing heard at all: only live peers (2, 3) count as unheard.
-        let heard: Vec<Option<(u8, u64)>> = vec![None; 4];
-        let (any, sus, unheard) = tally_round(0, &live, 0, 0, &heard);
+        let heard: Vec<Option<(u8, u64, u64)>> = vec![None; 4];
+        let (any, sus, conf, unheard) = tally_round(0, &live, 0, 0, 0, &heard);
         assert!(any);
         assert_eq!(sus, 0);
+        assert_eq!(conf, 0);
         assert_eq!(unheard, 0b1100);
+    }
+
+    #[test]
+    fn tally_gossips_confirmed_evidence_alongside_suspicions() {
+        // Rank 1 saw rank 3's link close first-hand; rank 0 only heard
+        // about it. Both the suspicion and its confirmed flag must reach
+        // rank 0's tally so it buries 3 without a quorum fight.
+        let live = vec![true, true, true, true];
+        let mut heard: Vec<Option<(u8, u64, u64)>> = vec![Some((0, 0, 0)); 4];
+        heard[1] = Some((1, 0b1000, 0b1000));
+        let (any, sus, conf, unheard) = tally_round(0, &live, 0, 0, 0, &heard);
+        assert!(any);
+        assert_eq!(sus, 0b1000);
+        assert_eq!(
+            conf, 0b1000,
+            "first-hand evidence gossips with the suspicion"
+        );
+        assert_eq!(unheard, 0);
     }
 
     #[test]
@@ -2162,5 +2661,221 @@ mod tests {
             assert_eq!(h.adaptive_deadline(), None);
             assert_eq!(h.recv_deadline(), entry_deadline);
         });
+    }
+
+    #[test]
+    fn buddy_placement_crosses_failure_domains() {
+        // Two experts per domain: every buddy lands in the other domain.
+        let d = DomainMap::from_labels(&[0, 0, 1, 1]);
+        assert_eq!(buddy_of(0, 4, Some(&d)), 2);
+        assert_eq!(buddy_of(1, 4, Some(&d)), 2);
+        assert_eq!(buddy_of(2, 4, Some(&d)), 0);
+        assert_eq!(buddy_of(3, 4, Some(&d)), 0);
+        // Whenever a second domain exists at all, an expert and its replica
+        // are never co-domained — a single-domain loss cannot take both.
+        let labels = [0u8, 1, 0, 1, 2, 2, 0, 1];
+        let d = DomainMap::from_labels(&labels);
+        for r in 0..labels.len() {
+            let b = buddy_of(r, labels.len(), Some(&d));
+            assert_ne!(r, b);
+            assert_ne!(
+                labels[r], labels[b],
+                "rank {r} would replicate inside its own failure domain"
+            );
+        }
+        // A degenerate single-domain world falls back to the plain ring.
+        let d = DomainMap::from_labels(&[5, 5, 5]);
+        for r in 0..3 {
+            assert_eq!(buddy_of(r, 3, Some(&d)), (r + 1) % 3);
+        }
+        // So does an unlabelled one.
+        assert_eq!(buddy_of(2, 4, None), 3);
+        assert_eq!(buddy_of(3, 4, None), 0);
+    }
+
+    #[test]
+    fn losing_a_whole_failure_domain_fails_over_to_the_other_domain() {
+        // Ranks 0 and 1 share domain 0; ranks 2 and 3 share domain 1.
+        // Domain-aware placement replicates both domain-0 experts across
+        // the domain boundary (the buddy of 0 and of 1 is rank 2), so
+        // killing all of domain 0 loses no expert: rank 2 activates both
+        // wards and training completes with the full expert set routed.
+        let cfg = FtConfig::tiny(10)
+            .with_seed(21)
+            .with_replica_interval(2)
+            .with_replica_domains(DomainMap::from_labels(&[0, 0, 1, 1]));
+        let plan = FaultPlan::seeded(5)
+            .kill_after(0, 60)
+            .kill_after(1, 64)
+            .with_recv_deadline(Duration::from_millis(300));
+        let reports =
+            Fabric::run_with_faults(Topology::new(2, 2), plan, |mut h| run_ft_rank(&mut h, &cfg));
+        for r in [2usize, 3] {
+            assert_eq!(reports[r].died_at_step, None, "rank {r} must survive");
+            assert_eq!(reports[r].dead_ranks, vec![0, 1]);
+            assert!(reports[r].final_loss.is_finite());
+            assert!(reports[r].loss_curve.iter().all(|l| l.is_finite()));
+        }
+        assert_eq!(
+            reports[2].failover_activations, 2,
+            "the cross-domain buddy must host both domain-0 experts"
+        );
+        assert_eq!(reports[3].failover_activations, 0);
+    }
+
+    #[test]
+    fn a_tied_partition_parks_both_sides_and_resumes_without_divergence() {
+        // A 2|2 split: neither side can assemble floor(4/2)+1 = 3 votes
+        // against its silent half, so both sides park instead of burying
+        // each other. The park pings themselves carry the chaos windows to
+        // their heal indices; once pings cross, the lowest parked rank
+        // broadcasts a common resume point and training continues with
+        // nobody buried and nothing diverged.
+        let cfg = FtConfig {
+            retry_budget: 1,
+            vote_timeout_ms: 50,
+            ..FtConfig::tiny(8).with_seed(33)
+        };
+        let chaos = ChaosPlan::seeded(77).partition(&[0, 1], &[2, 3], 0, 60);
+        let plan = FaultPlan::seeded(77).with_recv_deadline(Duration::from_millis(300));
+        let parked = Fabric::run_with_chaos_on(
+            TransportKind::Channel,
+            Topology::new(2, 2),
+            chaos,
+            Some(plan),
+            |mut h| run_ft_rank(&mut h, &cfg),
+        );
+        let clean = Fabric::run(Topology::new(2, 2), |mut h| run_ft_rank(&mut h, &cfg));
+        for (r, rep) in parked.iter().enumerate() {
+            assert_eq!(rep.died_at_step, None, "rank {r} must survive the tie");
+            assert!(
+                rep.dead_ranks.is_empty(),
+                "a tie must bury nobody, rank {r} buried {:?}",
+                rep.dead_ranks
+            );
+            assert!(rep.parks >= 1, "rank {r} must park at least once");
+            assert_eq!(rep.rejoins, 0, "a parked tie resumes, it does not rejoin");
+            assert_eq!(rep.restores, 0, "no burial, no checkpoint rewind");
+            assert_eq!(rep.final_epoch, 0, "no burial, no epoch bump");
+            assert_eq!(rep.loss_curve.len(), 8);
+        }
+        // A partition costs staleness, never divergence: the committed
+        // trajectory is bit-identical to the fault-free run's.
+        let bits = |curve: &[f32]| curve.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+        for (r, (pr, cr)) in parked.iter().zip(&clean).enumerate() {
+            assert_eq!(
+                bits(&pr.loss_curve),
+                bits(&cr.loss_curve),
+                "rank {r} committed a diverged trajectory"
+            );
+        }
+    }
+
+    #[test]
+    fn a_partitioned_minority_parks_and_rejoins_through_an_invite() {
+        // A 3|1 split: the majority holds quorum (4 - 1 silent = 3 >= 3),
+        // buries rank 3, rewinds, and continues degraded. Rank 3 sees
+        // three silent peers — 4 - 3 = 1 < 3 — so it parks rather than
+        // burying the (actually healthy) majority. Its park announces
+        // carry its outbound links to their heal indices; the majority's
+        // re-invites carry the reverse direction; the first intact invite
+        // plus state stream re-admits it.
+        let cfg = FtConfig {
+            retry_budget: 1,
+            vote_timeout_ms: 50,
+            ..FtConfig::tiny(220).with_seed(34)
+        };
+        let chaos = ChaosPlan::seeded(78).partition(&[0, 1, 2], &[3], 0, 36);
+        let plan = FaultPlan::seeded(78).with_recv_deadline(Duration::from_millis(300));
+        let reports = Fabric::run_with_chaos_on(
+            TransportKind::Channel,
+            Topology::new(2, 2),
+            chaos,
+            Some(plan),
+            |mut h| run_ft_rank(&mut h, &cfg),
+        );
+        for r in [0usize, 1, 2] {
+            assert_eq!(reports[r].died_at_step, None, "majority rank {r} died");
+            assert_eq!(reports[r].parks, 0, "the quorate side must never park");
+            assert!(
+                reports[r].restores >= 1,
+                "rank {r} must rewind after burying the minority"
+            );
+            assert!(
+                reports[r].dead_ranks.is_empty(),
+                "rank {r} must re-admit the minority, still buried: {:?}",
+                reports[r].dead_ranks
+            );
+            assert!(reports[r].final_loss.is_finite());
+        }
+        let minority = &reports[3];
+        assert_eq!(minority.died_at_step, None);
+        assert!(minority.parks >= 1, "the minority side must park");
+        assert_eq!(
+            minority.rejoins, 1,
+            "the parked rank must come back through the invite path"
+        );
+        assert_eq!(minority.restores, 0, "a parked rank buries nobody");
+        assert!(minority.dead_ranks.is_empty());
+        let epoch = reports[0].final_epoch;
+        assert!(epoch >= 2, "one burial plus one rejoin, got {epoch}");
+        for (r, rep) in reports.iter().enumerate() {
+            assert_eq!(
+                rep.final_epoch, epoch,
+                "rank {r} must converge to the one surviving membership"
+            );
+        }
+    }
+
+    #[test]
+    fn an_asymmetric_link_loss_excommunicates_the_mute_rank_and_it_rejoins() {
+        // Rank 3's outbound links go dark while its inbound stays clean —
+        // the one-way loss a dying NIC produces. The other three hear
+        // nothing from it and bury it under a 3-of-4 quorum, then keep
+        // training degraded. Rank 3 hears the verdict against itself on
+        // its still-working inbound; whether it accepts the accusation
+        // outright or parks first (its own aborted collectives give it
+        // first-hand suspicions too, which can cost the accusation quorum
+        // from its local view), it must never bury the majority — and once
+        // its links heal it comes back through the invite path.
+        let cfg = FtConfig {
+            retry_budget: 1,
+            vote_timeout_ms: 50,
+            ..FtConfig::tiny(200).with_seed(35)
+        };
+        let chaos = ChaosPlan::seeded(79)
+            .blackhole_window(3, 0, 0, 24)
+            .blackhole_window(3, 1, 0, 24)
+            .blackhole_window(3, 2, 0, 24);
+        let plan = FaultPlan::seeded(79).with_recv_deadline(Duration::from_millis(300));
+        let reports = Fabric::run_with_chaos_on(
+            TransportKind::Channel,
+            Topology::new(2, 2),
+            chaos,
+            Some(plan),
+            |mut h| run_ft_rank(&mut h, &cfg),
+        );
+        for r in [0usize, 1, 2] {
+            assert_eq!(reports[r].died_at_step, None, "rank {r} died");
+            assert!(
+                reports[r].restores >= 1,
+                "rank {r} must rewind after the burial"
+            );
+            assert_eq!(reports[r].parks, 0);
+            assert!(
+                reports[r].dead_ranks.is_empty(),
+                "rank {r} must re-admit rank 3, still buried: {:?}",
+                reports[r].dead_ranks
+            );
+            assert!(reports[r].final_loss.is_finite());
+        }
+        assert_eq!(reports[3].rejoins, 1, "rank 3 must rejoin after the heal");
+        assert_eq!(reports[3].restores, 0, "the mute rank must bury nobody");
+        assert_eq!(reports[3].died_at_step, None);
+        let epoch = reports[0].final_epoch;
+        assert!(epoch >= 2);
+        for (r, rep) in reports.iter().enumerate() {
+            assert_eq!(rep.final_epoch, epoch, "rank {r} epoch diverged");
+        }
     }
 }
