@@ -39,6 +39,21 @@
 //!
 //!   Defaults: `BENCH_partition.json`, 0.05.
 //!
+//! * `--durability` — reads the report the `durability` campaign writes
+//!   and enforces the crash-recovery contract: the asynchronous snapshot
+//!   lane costs under the overhead ceiling, every resume (fault-free,
+//!   both ChaosFs seeds including the crash-before-rename window, and
+//!   the corrupted-shard buddy rebuild) lands within the loss-gap
+//!   ceiling, at least one buddy reconstruction happened, and retention
+//!   actually collected an old generation:
+//!
+//!   ```bash
+//!   cargo run --release -p schemoe-bench --bin check_gate -- \
+//!       --durability [path] [max-overhead] [max-loss-gap]
+//!   ```
+//!
+//!   Defaults: `BENCH_durability.json`, 0.10, 0.05.
+//!
 //! Every mode parses with the workspace's own strict JSON reader, so a
 //! malformed report also fails the gate instead of sneaking past it.
 
@@ -218,6 +233,115 @@ fn partition_gate(mut args: impl Iterator<Item = String>) {
     println!("PASS");
 }
 
+fn durability_gate(mut args: impl Iterator<Item = String>) {
+    let path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_durability.json".into());
+    let max_overhead: f64 = args
+        .next()
+        .map_or(0.10, |a| a.parse().expect("max overhead"));
+    let max_gap: f64 = args
+        .next()
+        .map_or(0.05, |a| a.parse().expect("max loss gap"));
+
+    let doc = load(&path, "durability");
+    let num = |key: &str| -> f64 {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("report lacks {key}"))
+    };
+    let mut failed = false;
+
+    let overhead = num("overhead");
+    println!(
+        "durability gate: snapshot overhead {:.2}% (ceiling {:.2}%)",
+        overhead * 100.0,
+        max_overhead * 100.0
+    );
+    if overhead >= max_overhead {
+        eprintln!(
+            "FAIL: the snapshot lane costs {:.2}% per step",
+            overhead * 100.0
+        );
+        failed = true;
+    }
+
+    let loss_gap = num("loss_gap");
+    println!(
+        "durability gate: resume at step {} -> {:.2}% loss gap (ceiling {:.2}%)",
+        num("resumed_step"),
+        loss_gap * 100.0,
+        max_gap * 100.0
+    );
+    if loss_gap > max_gap {
+        eprintln!("FAIL: resume drifted {:.2}%", loss_gap * 100.0);
+        failed = true;
+    }
+
+    let seeds = doc
+        .get("seeds")
+        .and_then(Json::as_array)
+        .expect("report has a seeds array");
+    assert!(seeds.len() >= 2, "need at least two ChaosFs seed verdicts");
+    let mut saw_crash_window = false;
+    for s in seeds {
+        let seed = s.get("seed").and_then(Json::as_f64).expect("seed id");
+        let gap = s
+            .get("loss_gap")
+            .and_then(Json::as_f64)
+            .expect("seed loss_gap");
+        let window = matches!(s.get("crash_window"), Some(Json::Bool(true)));
+        let ok = matches!(s.get("ok"), Some(Json::Bool(true))) && gap <= max_gap;
+        saw_crash_window |= window;
+        println!(
+            "durability gate: chaosfs seed {seed}{} -> {:.2}% gap {}",
+            if window { " (crash window)" } else { "" },
+            gap * 100.0,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            eprintln!("FAIL: chaosfs seed {seed} did not recover cleanly");
+            failed = true;
+        }
+    }
+    if !saw_crash_window {
+        eprintln!("FAIL: no seed exercised a crash-before-rename window");
+        failed = true;
+    }
+
+    let recon = doc
+        .get("reconstruction")
+        .expect("report has reconstruction");
+    let rebuilds = recon
+        .get("reconstructions")
+        .and_then(Json::as_f64)
+        .expect("reconstruction count");
+    let recon_gap = recon
+        .get("loss_gap")
+        .and_then(Json::as_f64)
+        .expect("reconstruction loss_gap");
+    println!(
+        "durability gate: {rebuilds} buddy rebuild(s), {:.2}% gap",
+        recon_gap * 100.0
+    );
+    if rebuilds < 1.0 || recon_gap > max_gap {
+        eprintln!("FAIL: the corrupted shard was not rebuilt from its buddy");
+        failed = true;
+    }
+
+    let gc = num("gc_removed");
+    println!("durability gate: {gc} old generation(s) collected");
+    if gc < 1.0 {
+        eprintln!("FAIL: retention never collected an old generation");
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     match args.peek().map(String::as_str) {
@@ -228,6 +352,10 @@ fn main() {
         Some("--partition") => {
             args.next();
             partition_gate(args);
+        }
+        Some("--durability") => {
+            args.next();
+            durability_gate(args);
         }
         _ => forward_gate(args),
     }

@@ -1,0 +1,313 @@
+//! Durable crash-recovery benchmark: measure what the snapshot lane
+//! costs in steady state and prove what it buys back after a crash.
+//!
+//! Five campaigns over the in-process channel fabric, 4 ranks each:
+//!
+//! 1. **Overhead** — the same fault-free run with and without the
+//!    asynchronous snapshot lane (one generation every 4 steps); the
+//!    per-step overhead must stay under 10% because shard encode rides
+//!    the compute worker and the durable write rides the comm worker.
+//! 2. **Crash / resume** — a run truncated at half the step budget (the
+//!    in-process stand-in for SIGKILLing every rank), then a `--resume`
+//!    style restart that must land within 5% of the uninterrupted final
+//!    loss. The trainer is deterministic in f32, so the gap is zero.
+//! 3. **ChaosFs seeds** — the same cycle under seeded storage faults
+//!    (torn writes, bitrot, crash-before-rename), one seed with a
+//!    guaranteed crash-before-rename window: interrupted generations
+//!    must be invisible and resume falls back to an older complete one.
+//! 4. **Buddy reconstruction** — a shard of the newest generation is
+//!    bitrotted on disk between the crash and the resume; the victim
+//!    rank must rebuild its expert from the replica embedded in its
+//!    buddy's shard instead of abandoning the generation.
+//! 5. **Retention** — the truncated run commits more generations than
+//!    `keep`, so the coordinator must have garbage-collected.
+//!
+//! Emits machine-readable `BENCH_*` lines and `BENCH_durability.json`
+//! for `check_gate --durability`.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use schemoe::prelude::*;
+use schemoe_cluster::storage::ChaosFsPlan;
+use schemoe_models::{run_ft_rank_durable, FtConfig, FtReport, SnapshotCfg};
+use schemoe_tensor::snapshot;
+
+const WORLD: usize = 4;
+const STEPS: usize = 40;
+const CRASH_STEPS: usize = 20;
+const INTERVAL: usize = 4;
+const KEEP: usize = 2;
+const TIMING_TRIALS: usize = 3;
+
+fn base_cfg(steps: usize) -> FtConfig {
+    FtConfig::tiny(steps).with_seed(40).with_replica_interval(2)
+}
+
+/// The overhead campaign's model: scaled up from `tiny` so a step does a
+/// realistic amount of compute relative to the snapshot lane's fixed
+/// per-generation fsync cost. The recovery campaigns keep `tiny` — they
+/// prove correctness, not cost, and rerun the trajectory many times.
+fn overhead_cfg(steps: usize) -> FtConfig {
+    let mut cfg = base_cfg(steps);
+    cfg.model_dim = 32;
+    cfg.hidden_dim = 64;
+    cfg.seqs_per_rank = 16;
+    cfg.seq_len = 32;
+    cfg
+}
+
+fn run_world(cfg: FtConfig, snap: Option<SnapshotCfg>) -> Vec<FtReport> {
+    let topo = Topology::new(1, WORLD);
+    Fabric::run(topo, move |mut h| {
+        run_ft_rank_durable(&mut h, &cfg, snap.as_ref())
+    })
+}
+
+fn mean_loss(reports: &[FtReport]) -> f32 {
+    assert!(
+        reports.iter().all(|r| r.died_at_step.is_none()),
+        "a rank died in a fault-free-network campaign"
+    );
+    reports.iter().map(|r| r.final_loss).sum::<f32>() / reports.len() as f32
+}
+
+fn rel_gap(a: f32, b: f32) -> f64 {
+    f64::from((a - b).abs()) / f64::from(b.abs().max(f32::EPSILON))
+}
+
+/// A fresh per-scenario snapshot directory under the system temp dir —
+/// no tempdir crate in the workspace, so name by pid and clean by hand.
+fn snap_dir(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("schemoe-durability-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The agreed resume point across a world's reports, asserted identical.
+fn resumed_step(reports: &[FtReport]) -> usize {
+    let first = reports[0]
+        .resumed_at_step
+        .expect("rank 0 resumed from a snapshot");
+    for r in reports {
+        assert_eq!(
+            r.resumed_at_step,
+            Some(first),
+            "ranks disagree on the resume generation"
+        );
+    }
+    first
+}
+
+/// Wall-clock of the fastest of [`TIMING_TRIALS`] identical runs.
+fn best_of(mut run: impl FnMut() -> Vec<FtReport>) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMING_TRIALS {
+        let t0 = Instant::now();
+        let reports = run();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(reports.iter().all(|r| r.died_at_step.is_none()));
+        best = best.min(ms);
+    }
+    best
+}
+
+/// One crash/resume cycle: a truncated run persisting into `dir`, then
+/// a full-length resume from whatever it committed. Returns the resume
+/// reports plus the truncated run's total GC count.
+fn crash_and_resume(dir: &Path, chaos: Option<Arc<ChaosFsPlan>>) -> (Vec<FtReport>, u64) {
+    let mut crash_snap = SnapshotCfg::new(dir, INTERVAL).with_keep(KEEP);
+    if let Some(plan) = &chaos {
+        crash_snap = crash_snap.with_chaos(Arc::clone(plan));
+    }
+    let truncated = run_world(base_cfg(CRASH_STEPS), Some(crash_snap));
+    let gc: u64 = truncated.iter().map(|r| r.snapshot_gc).sum();
+    let committed: u64 = truncated.iter().map(|r| r.snapshot_generations).sum();
+    assert!(
+        committed > 0,
+        "the truncated run committed no generation — nothing to resume from"
+    );
+
+    let mut resume_snap = SnapshotCfg::new(dir, INTERVAL)
+        .with_keep(KEEP)
+        .with_resume();
+    if let Some(plan) = &chaos {
+        resume_snap = resume_snap.with_chaos(Arc::clone(plan));
+    }
+    let resumed = run_world(base_cfg(STEPS), Some(resume_snap));
+    (resumed, gc)
+}
+
+/// Flips one byte in the middle of `rank`'s shard of the newest
+/// committed generation in `dir`; returns that generation.
+fn corrupt_newest_shard(dir: &Path, rank: usize) -> u64 {
+    let newest = std::fs::read_dir(dir)
+        .expect("snapshot dir")
+        .flatten()
+        .filter_map(|e| snapshot::manifest_generation(&e.file_name().to_string_lossy()))
+        .max()
+        .expect("at least one committed generation");
+    let path = dir.join(snapshot::shard_file_name(newest, rank));
+    let mut bytes = std::fs::read(&path).expect("read victim shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("write corrupted shard");
+    newest
+}
+
+fn main() {
+    println!(
+        "durability: {WORLD} ranks, {STEPS} steps (crash at {CRASH_STEPS}), \
+         snapshot every {INTERVAL} steps, keep {KEEP}\n"
+    );
+
+    // Campaign 1: steady-state overhead of the snapshot lane.
+    let base_ms = best_of(|| run_world(overhead_cfg(STEPS), None));
+    let overhead_dirs: Vec<PathBuf> = (0..TIMING_TRIALS)
+        .map(|i| snap_dir(&format!("overhead{i}")))
+        .collect();
+    let mut trial = 0;
+    let snap_ms = best_of(|| {
+        let dir = &overhead_dirs[trial % TIMING_TRIALS];
+        let _ = std::fs::remove_dir_all(dir);
+        trial += 1;
+        run_world(
+            overhead_cfg(STEPS),
+            Some(SnapshotCfg::new(dir, INTERVAL).with_keep(KEEP)),
+        )
+    });
+    for dir in &overhead_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let overhead = ((snap_ms - base_ms) / base_ms).max(0.0);
+    println!(
+        "overhead: {base_ms:.1} ms bare vs {snap_ms:.1} ms snapshotting \
+         -> {:.2}% per step",
+        overhead * 100.0
+    );
+
+    // The uninterrupted reference trajectory.
+    let clean = run_world(base_cfg(STEPS), None);
+    let clean_loss = mean_loss(&clean);
+    println!("uninterrupted mean final loss: {clean_loss:.4}");
+
+    // Campaign 2: fault-free crash/resume cycle.
+    let dir = snap_dir("resume");
+    let (resumed, gc_removed) = crash_and_resume(&dir, None);
+    let resume_loss = mean_loss(&resumed);
+    let resume_step = resumed_step(&resumed);
+    let loss_gap = rel_gap(resume_loss, clean_loss);
+    let restore_ms = resumed.iter().map(|r| r.restore_ms).sum::<f64>() / resumed.len() as f64;
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "resume: restarted at step {resume_step}, final loss {resume_loss:.4} \
+         ({:.2}% from uninterrupted), restore {restore_ms:.2} ms, gc removed {gc_removed}",
+        loss_gap * 100.0
+    );
+    assert!(
+        gc_removed > 0,
+        "the truncated run never garbage-collected an old generation"
+    );
+
+    // Campaign 3: the same cycle under seeded storage chaos. Seed 23
+    // additionally pins a crash-before-rename window onto the
+    // coordinator's second manifest rename (its rename sequence is
+    // shard g1, manifest g1, shard g2, manifest g2, ...), so one
+    // generation is guaranteed to die between tmp and rename.
+    let mut seed_results = Vec::new();
+    for &(seed, crash_window) in &[(11u64, false), (23u64, true)] {
+        let mut plan = ChaosFsPlan::seeded(seed)
+            .with_write_probs(0.05, 0.0, 0.05)
+            .with_crash_rename_prob(0.05);
+        if crash_window {
+            plan = plan.crash_rename_window(3, 4);
+        }
+        let dir = snap_dir(&format!("chaos{seed}"));
+        let (resumed, _) = crash_and_resume(&dir, Some(Arc::new(plan)));
+        let loss = mean_loss(&resumed);
+        let step = resumed_step(&resumed);
+        let gap = rel_gap(loss, clean_loss);
+        let ok = gap <= 0.05;
+        let _ = std::fs::remove_dir_all(&dir);
+        println!(
+            "chaosfs seed {seed}{}: resumed at step {step}, loss {loss:.4} \
+             ({:.2}% gap) {}",
+            if crash_window {
+                " (crash-before-rename window)"
+            } else {
+                ""
+            },
+            gap * 100.0,
+            if ok { "ok" } else { "FAIL" }
+        );
+        assert!(ok, "chaosfs seed {seed} resume drifted {:.2}%", gap * 100.0);
+        seed_results.push((seed, crash_window, step, gap));
+    }
+
+    // Campaign 4: bitrot a shard between crash and resume — the victim
+    // rank must rebuild from its buddy's embedded replica.
+    const VICTIM: usize = 1;
+    let dir = snap_dir("reconstruct");
+    let crash_snap = SnapshotCfg::new(&dir, INTERVAL).with_keep(KEEP);
+    let truncated = run_world(base_cfg(CRASH_STEPS), Some(crash_snap));
+    assert!(truncated.iter().all(|r| r.died_at_step.is_none()));
+    let corrupted_gen = corrupt_newest_shard(&dir, VICTIM);
+    let resume_snap = SnapshotCfg::new(&dir, INTERVAL)
+        .with_keep(KEEP)
+        .with_resume();
+    let rebuilt = run_world(base_cfg(STEPS), Some(resume_snap));
+    let rebuilt_step = resumed_step(&rebuilt);
+    let rebuilt_gap = rel_gap(mean_loss(&rebuilt), clean_loss);
+    let reconstructions = rebuilt[VICTIM].snapshot_reconstructions;
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "reconstruction: corrupted gen {corrupted_gen} shard of rank {VICTIM}, \
+         resumed at step {rebuilt_step} with {reconstructions} buddy rebuild(s), \
+         {:.2}% gap",
+        rebuilt_gap * 100.0
+    );
+    assert!(
+        reconstructions >= 1,
+        "the corrupted rank never rebuilt from its buddy's replica"
+    );
+    assert!(
+        rebuilt_gap <= 0.05,
+        "reconstruction resume drifted {:.2}%",
+        rebuilt_gap * 100.0
+    );
+
+    println!("\nBENCH_DURABILITY_OVERHEAD={overhead:.4}");
+    println!("BENCH_DURABILITY_LOSS_GAP={loss_gap:.4}");
+    println!("BENCH_DURABILITY_RESTORE_MS={restore_ms:.2}");
+    println!("BENCH_DURABILITY_RECONSTRUCTIONS={reconstructions}");
+    println!("BENCH_DURABILITY_GC={gc_removed}");
+
+    let seeds_json: Vec<String> = seed_results
+        .iter()
+        .map(|(seed, window, step, gap)| {
+            format!(
+                "{{\"seed\":{seed},\"crash_window\":{window},\
+                 \"resumed_step\":{step},\"loss_gap\":{gap:.6},\"ok\":true}}"
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\"bench\":\"durability\",\"ranks\":{WORLD},\"steps\":{STEPS},\
+         \"crash_steps\":{CRASH_STEPS},\"interval\":{INTERVAL},\"keep\":{KEEP},\
+         \"base_ms\":{base_ms:.3},\"snapshot_ms\":{snap_ms:.3},\
+         \"overhead\":{overhead:.6},\
+         \"clean_loss\":{clean_loss:.6},\"resume_loss\":{resume_loss:.6},\
+         \"loss_gap\":{loss_gap:.6},\"resumed_step\":{resume_step},\
+         \"restore_ms\":{restore_ms:.3},\"gc_removed\":{gc_removed},\
+         \"reconstruction\":{{\"corrupted_generation\":{corrupted_gen},\
+         \"resumed_step\":{rebuilt_step},\"reconstructions\":{reconstructions},\
+         \"loss_gap\":{rebuilt_gap:.6}}},\
+         \"seeds\":[{}]}}\n",
+        seeds_json.join(",")
+    );
+    let path = "BENCH_durability.json";
+    std::fs::write(path, &report).expect("write BENCH_durability.json");
+    println!("BENCH_JSON={path}");
+}

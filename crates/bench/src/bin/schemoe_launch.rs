@@ -15,14 +15,24 @@
 //!     --kill-rank 2 --kill-after-ms 800 --respawn --trace-dir traces/
 //! ```
 //!
-//! Transports: `tcp` (rank 0 hosts the rendezvous; workers dial it),
-//! `shm` (a session directory of ring files under `/dev/shm`), and
-//! `channel` (single process, rank threads — no kill support, kept for
+//! Transports: `tcp` (the *launcher* hosts the rendezvous — killing any
+//! rank, including rank 0, leaves the cluster formable), `shm` (a
+//! session directory of ring files under `/dev/shm`), and `channel`
+//! (single process, rank threads — no kill support, kept for
 //! apples-to-apples output). Every worker prints one parseable
 //! `SCHEMOE_REPORT` line; the launcher parses them all and exits
 //! non-zero unless the run proves what it was asked to prove: fault-free
 //! completion, degraded completion after a kill, and a successful rejoin
 //! after a respawn.
+//!
+//! With `--snapshot-dir` every rank persists generation-numbered shards
+//! through the durable snapshot lane (`--snapshot-interval` steps apart,
+//! GC keeping `--snapshot-keep` complete generations), and `--resume`
+//! cold-restarts the whole job from the newest complete generation —
+//! pair it with `--kill-all-after-ms` (SIGKILL every rank mid-run, exit
+//! reporting `SCHEMOE_LAUNCH KILLED`) to drive a crash/recovery cycle
+//! from CI. `--chaosfs-seed` injects seeded storage faults (torn
+//! writes, bitrot, crash-before-rename) beneath the snapshot writers.
 //!
 //! With `--trace-dir` each worker records its run with the span recorder
 //! and writes `trace-rank<N>.json` in Trace Event Format (load at
@@ -36,10 +46,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use schemoe_cluster::storage::ChaosFsPlan;
 use schemoe_cluster::{
     transport, ChaosPlan, ChaosTransport, Fabric, RankHandle, Topology, Transport, TransportKind,
 };
-use schemoe_models::{run_ft_rank, FtConfig, FtReport};
+use schemoe_models::{run_ft_rank_durable, FtConfig, FtReport, SnapshotCfg};
 use schemoe_obs as obs;
 
 fn main() {
@@ -56,11 +67,23 @@ fn usage() -> ! {
     eprintln!(
         "usage: schemoe-launch [--transport tcp|shm|channel] [--ranks N] [--steps S] \
          [--seed S] [--replica-interval K] [--kill-rank R] [--kill-after-ms MS] \
-         [--respawn] [--respawn-after-ms MS] [--partition LO-HI,LO-HI] \
-         [--heal-after-ms MS] [--chaos-seed S] [--vote-timeout-ms MS] \
-         [--retry-budget N] [--trace-dir DIR]"
+         [--respawn] [--respawn-after-ms MS] [--kill-all-after-ms MS] \
+         [--partition LO-HI,LO-HI] [--heal-after-ms MS] [--chaos-seed S] \
+         [--vote-timeout-ms MS] [--retry-budget N] [--trace-dir DIR] \
+         [--snapshot-dir DIR] [--snapshot-interval K] [--snapshot-keep N] \
+         [--resume] [--chaosfs-seed S]"
     );
     std::process::exit(64);
+}
+
+/// The storage-fault plan a non-zero `--chaosfs-seed` installs beneath
+/// every rank's snapshot writes: rare seeded torn writes, silent bitrot,
+/// and crash-before-rename — frequent enough to exercise the fallback
+/// paths over a run, rare enough that generations still commit.
+fn chaosfs_plan(seed: u64) -> ChaosFsPlan {
+    ChaosFsPlan::seeded(seed)
+        .with_write_probs(0.05, 0.0, 0.05)
+        .with_crash_rename_prob(0.05)
 }
 
 /// Parses a `--partition` spec — two comma-separated rank groups, each a
@@ -147,6 +170,11 @@ struct WorkerOpts {
     chaos_seed: u64,
     vote_timeout_ms: u64,
     retry_budget: u32,
+    snapshot_dir: Option<PathBuf>,
+    snapshot_interval: usize,
+    snapshot_keep: usize,
+    resume: bool,
+    chaosfs_seed: u64,
 }
 
 fn worker_main(args: &[String]) -> i32 {
@@ -165,6 +193,11 @@ fn worker_main(args: &[String]) -> i32 {
         chaos_seed: 7,
         vote_timeout_ms: 500,
         retry_budget: 3,
+        snapshot_dir: None,
+        snapshot_interval: 4,
+        snapshot_keep: 2,
+        resume: false,
+        chaosfs_seed: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -183,6 +216,11 @@ fn worker_main(args: &[String]) -> i32 {
             "--chaos-seed" => o.chaos_seed = take_value(&mut it, a),
             "--vote-timeout-ms" => o.vote_timeout_ms = take_value(&mut it, a),
             "--retry-budget" => o.retry_budget = take_value(&mut it, a),
+            "--snapshot-dir" => o.snapshot_dir = Some(take_value::<String>(&mut it, a).into()),
+            "--snapshot-interval" => o.snapshot_interval = take_value(&mut it, a),
+            "--snapshot-keep" => o.snapshot_keep = take_value(&mut it, a),
+            "--resume" => o.resume = true,
+            "--chaosfs-seed" => o.chaosfs_seed = take_value(&mut it, a),
             _ => usage(),
         }
     }
@@ -202,24 +240,12 @@ fn worker_main(args: &[String]) -> i32 {
             return 64;
         }
     } else {
-        // Rank 0 hosts the rendezvous for the life of its process
-        // (persistent: late rejoiners are answered with the current map)
-        // and hands the address to the launcher over stdout.
-        let rendezvous = match (&o.rendezvous, o.rank) {
-            (Some(addr), _) => addr.clone(),
-            (None, 0) => {
-                let listener = TcpListener::bind("127.0.0.1:0").expect("bind rendezvous");
-                let addr = listener.local_addr().expect("rendezvous addr").to_string();
-                println!("SCHEMOE_RENDEZVOUS {addr}");
-                std::io::stdout().flush().expect("flush rendezvous line");
-                let world = o.world;
-                thread::spawn(move || transport::tcp::serve_rendezvous(listener, world, true));
-                addr
-            }
-            (None, _) => {
-                eprintln!("non-zero tcp workers need --rendezvous");
-                return 64;
-            }
+        // The launcher hosts the rendezvous (persistent: late rejoiners
+        // are answered with the current map) — every tcp worker,
+        // including rank 0, dials it. No rank is a bootstrap SPOF.
+        let Some(rendezvous) = o.rendezvous.clone() else {
+            eprintln!("tcp workers need --rendezvous (the launcher hosts the rendezvous)");
+            return 64;
         };
         match transport::tcp::TcpBootstrap::new(rendezvous, o.rank, o.world).connect() {
             Ok(t) => Box::new(t),
@@ -265,12 +291,23 @@ fn worker_main(args: &[String]) -> i32 {
         cfg.vote_timeout_ms.max(100) * 4,
     )));
 
+    let snap = o.snapshot_dir.as_ref().map(|dir| {
+        let mut s = SnapshotCfg::new(dir, o.snapshot_interval).with_keep(o.snapshot_keep);
+        if o.resume {
+            s = s.with_resume();
+        }
+        if o.chaosfs_seed != 0 {
+            s = s.with_chaos(Arc::new(chaosfs_plan(o.chaosfs_seed)));
+        }
+        s
+    });
+
     if o.trace.is_some() {
         obs::reset_counters();
         let _ = obs::take();
         obs::enable();
     }
-    let report = run_ft_rank(&mut h, &cfg);
+    let report = run_ft_rank_durable(&mut h, &cfg, snap.as_ref());
     if let Some(path) = &o.trace {
         let trace = obs::take();
         obs::disable();
@@ -296,10 +333,20 @@ fn report_line(rank: usize, r: &FtReport) -> String {
             .collect::<Vec<_>>()
             .join(",")
     };
+    let resumed = r
+        .resumed_at_step
+        .map_or_else(|| "-".to_string(), |s| s.to_string());
     format!(
         "SCHEMOE_REPORT rank={rank} died={died} dead={dead} rejoins={} restores={} \
-         retries={} epoch={} loss={} parks={}",
-        r.rejoins, r.restores, r.retries, r.final_epoch, r.final_loss, r.parks
+         retries={} epoch={} loss={} parks={} resumed={resumed} snapgens={} snapshards={}",
+        r.rejoins,
+        r.restores,
+        r.retries,
+        r.final_epoch,
+        r.final_loss,
+        r.parks,
+        r.snapshot_generations,
+        r.snapshot_shards
     )
 }
 
@@ -318,12 +365,18 @@ struct LaunchOpts {
     kill_after_ms: u64,
     respawn: bool,
     respawn_after_ms: u64,
+    kill_all_after_ms: Option<u64>,
     partition: Option<String>,
     heal_after_ms: u64,
     chaos_seed: u64,
     vote_timeout_ms: u64,
     retry_budget: u32,
     trace_dir: Option<PathBuf>,
+    snapshot_dir: Option<PathBuf>,
+    snapshot_interval: usize,
+    snapshot_keep: usize,
+    resume: bool,
+    chaosfs_seed: u64,
 }
 
 /// One `SCHEMOE_REPORT` line, parsed back into numbers.
@@ -336,6 +389,7 @@ struct ParsedReport {
     restores: u64,
     epoch: u64,
     parks: u64,
+    resumed: Option<usize>,
 }
 
 fn parse_report(line: &str) -> Option<ParsedReport> {
@@ -346,6 +400,7 @@ fn parse_report(line: &str) -> Option<ParsedReport> {
     let mut restores = 0;
     let mut epoch = 0;
     let mut parks = 0;
+    let mut resumed = None;
     for field in line.split_whitespace().skip(1) {
         let (key, val) = field.split_once('=')?;
         match key {
@@ -362,6 +417,7 @@ fn parse_report(line: &str) -> Option<ParsedReport> {
             "restores" => restores = val.parse().ok()?,
             "epoch" => epoch = val.parse().ok()?,
             "parks" => parks = val.parse().ok()?,
+            "resumed" if val != "-" => resumed = Some(val.parse().ok()?),
             _ => {}
         }
     }
@@ -373,6 +429,7 @@ fn parse_report(line: &str) -> Option<ParsedReport> {
         restores,
         epoch,
         parks,
+        resumed,
     })
 }
 
@@ -394,12 +451,18 @@ fn launcher_main(args: &[String]) -> i32 {
         kill_after_ms: 800,
         respawn: false,
         respawn_after_ms: 400,
+        kill_all_after_ms: None,
         partition: None,
         heal_after_ms: 2000,
         chaos_seed: 7,
         vote_timeout_ms: 500,
         retry_budget: 3,
         trace_dir: None,
+        snapshot_dir: None,
+        snapshot_interval: 4,
+        snapshot_keep: 2,
+        resume: false,
+        chaosfs_seed: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -413,12 +476,18 @@ fn launcher_main(args: &[String]) -> i32 {
             "--kill-after-ms" => o.kill_after_ms = take_value(&mut it, a),
             "--respawn" => o.respawn = true,
             "--respawn-after-ms" => o.respawn_after_ms = take_value(&mut it, a),
+            "--kill-all-after-ms" => o.kill_all_after_ms = Some(take_value(&mut it, a)),
             "--partition" => o.partition = Some(take_value(&mut it, a)),
             "--heal-after-ms" => o.heal_after_ms = take_value(&mut it, a),
             "--chaos-seed" => o.chaos_seed = take_value(&mut it, a),
             "--vote-timeout-ms" => o.vote_timeout_ms = take_value(&mut it, a),
             "--retry-budget" => o.retry_budget = take_value(&mut it, a),
             "--trace-dir" => o.trace_dir = Some(take_value::<String>(&mut it, a).into()),
+            "--snapshot-dir" => o.snapshot_dir = Some(take_value::<String>(&mut it, a).into()),
+            "--snapshot-interval" => o.snapshot_interval = take_value(&mut it, a),
+            "--snapshot-keep" => o.snapshot_keep = take_value(&mut it, a),
+            "--resume" => o.resume = true,
+            "--chaosfs-seed" => o.chaosfs_seed = take_value(&mut it, a),
             _ => usage(),
         }
     }
@@ -436,15 +505,27 @@ fn launcher_main(args: &[String]) -> i32 {
             return 64;
         }
     }
+    if o.kill_all_after_ms.is_some() {
+        if o.kill_rank.is_some() || o.partition.is_some() {
+            eprintln!("--kill-all-after-ms is its own scenario (no --kill-rank/--partition)");
+            return 64;
+        }
+        if o.transport == "channel" {
+            eprintln!("--kill-all-after-ms needs a multi-process transport (tcp or shm)");
+            return 64;
+        }
+    }
+    // Any rank may be the kill victim: the launcher hosts the tcp
+    // rendezvous, so killing rank 0 no longer takes the bootstrap down.
     if let Some(k) = o.kill_rank {
         if k >= o.ranks {
             eprintln!("--kill-rank out of range");
             return 64;
         }
-        if k == 0 && o.transport == "tcp" {
-            eprintln!("rank 0 hosts the tcp rendezvous and cannot be the kill victim");
-            return 64;
-        }
+    }
+    if o.snapshot_dir.is_none() && (o.resume || o.chaosfs_seed != 0) {
+        eprintln!("--resume/--chaosfs-seed need --snapshot-dir");
+        return 64;
     }
     if let Some(dir) = &o.trace_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -473,6 +554,16 @@ fn launch_in_process(o: &LaunchOpts) -> i32 {
         .with_replica_interval(o.replica_interval);
     cfg.vote_timeout_ms = o.vote_timeout_ms;
     cfg.retry_budget = o.retry_budget;
+    let snap = o.snapshot_dir.as_ref().map(|dir| {
+        let mut s = SnapshotCfg::new(dir, o.snapshot_interval).with_keep(o.snapshot_keep);
+        if o.resume {
+            s = s.with_resume();
+        }
+        if o.chaosfs_seed != 0 {
+            s = s.with_chaos(Arc::new(chaosfs_plan(o.chaosfs_seed)));
+        }
+        s
+    });
     let topo = Topology::new(1, o.ranks);
     let reports = if let Some(spec) = &o.partition {
         let (a, b) = parse_partition(spec, o.ranks).expect("validated in launcher_main");
@@ -483,10 +574,12 @@ fn launch_in_process(o: &LaunchOpts) -> i32 {
             h.set_recv_deadline(Some(Duration::from_millis(
                 cfg.vote_timeout_ms.max(100) * 4,
             )));
-            run_ft_rank(&mut h, &cfg)
+            run_ft_rank_durable(&mut h, &cfg, snap.as_ref())
         })
     } else {
-        Fabric::run(topo, |mut h| run_ft_rank(&mut h, &cfg))
+        Fabric::run(topo, |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, snap.as_ref())
+        })
     };
     for (rank, r) in reports.iter().enumerate() {
         println!("{}", report_line(rank, r));
@@ -502,6 +595,7 @@ fn launch_in_process(o: &LaunchOpts) -> i32 {
             restores: r.restores,
             epoch: u64::from(r.final_epoch),
             parks: r.parks,
+            resumed: r.resumed_at_step,
         })
         .collect();
     let verdict = assess(o, None, &parsed, &[]);
@@ -550,11 +644,7 @@ fn worker_command(o: &LaunchOpts, rank: usize, session: &WorkerSession, rejoin: 
     }
     match session {
         WorkerSession::Tcp { rendezvous } => {
-            // Rank 0 binds and prints the rendezvous itself.
-            if rank != 0 {
-                cmd.arg("--rendezvous")
-                    .arg(rendezvous.as_deref().expect("rendezvous known"));
-            }
+            cmd.arg("--rendezvous").arg(rendezvous);
         }
         WorkerSession::Shm { dir } => {
             cmd.arg("--shm-dir").arg(dir);
@@ -562,6 +652,22 @@ fn worker_command(o: &LaunchOpts, rank: usize, session: &WorkerSession, rejoin: 
     }
     if rejoin {
         cmd.arg("--rejoin");
+    }
+    if let Some(dir) = &o.snapshot_dir {
+        cmd.arg("--snapshot-dir")
+            .arg(dir)
+            .arg("--snapshot-interval")
+            .arg(o.snapshot_interval.to_string())
+            .arg("--snapshot-keep")
+            .arg(o.snapshot_keep.to_string());
+        // A respawned mid-run worker rejoins the live cluster through
+        // announce/invite; only an initial spawn restores from disk.
+        if o.resume && !rejoin {
+            cmd.arg("--resume");
+        }
+        if o.chaosfs_seed != 0 {
+            cmd.arg("--chaosfs-seed").arg(o.chaosfs_seed.to_string());
+        }
     }
     if let Some(dir) = &o.trace_dir {
         let suffix = if rejoin { "-rejoin" } else { "" };
@@ -572,30 +678,24 @@ fn worker_command(o: &LaunchOpts, rank: usize, session: &WorkerSession, rejoin: 
 }
 
 enum WorkerSession {
-    Tcp { rendezvous: Option<String> },
+    Tcp { rendezvous: String },
     Shm { dir: PathBuf },
 }
 
 /// Spawns a worker, wiring a forwarder thread that prefixes its stdout
-/// lines and captures `SCHEMOE_*` control lines into `reports`.
+/// lines and captures `SCHEMOE_REPORT` lines into `reports`.
 fn spawn_worker(
     mut cmd: Command,
     rank: usize,
     reports: &Arc<Mutex<Vec<ParsedReport>>>,
-    rendezvous_slot: Option<&Arc<Mutex<Option<String>>>>,
 ) -> std::io::Result<Worker> {
     let mut child = cmd.spawn()?;
     let stdout = child.stdout.take().expect("stdout was piped");
     let reports = Arc::clone(reports);
-    let rendezvous_slot = rendezvous_slot.map(Arc::clone);
     let forwarder = thread::spawn(move || {
         for line in BufReader::new(stdout).lines() {
             let Ok(line) = line else { break };
-            if let Some(addr) = line.strip_prefix("SCHEMOE_RENDEZVOUS ") {
-                if let Some(slot) = &rendezvous_slot {
-                    *slot.lock().expect("rendezvous slot") = Some(addr.to_string());
-                }
-            } else if line.starts_with("SCHEMOE_REPORT ") {
+            if line.starts_with("SCHEMOE_REPORT ") {
                 if let Some(parsed) = parse_report(&line) {
                     reports.lock().expect("report list").push(parsed);
                 }
@@ -613,13 +713,33 @@ fn spawn_worker(
 fn launch_processes(o: &LaunchOpts) -> i32 {
     let reports: Arc<Mutex<Vec<ParsedReport>>> = Arc::new(Mutex::new(Vec::new()));
 
-    // Session setup + rank 0, whose stdout announces the tcp rendezvous.
-    let rendezvous_slot = Arc::new(Mutex::new(None::<String>));
-    let (mut session, _shm_guard) = match o.transport.as_str() {
-        "tcp" => (
-            WorkerSession::Tcp { rendezvous: None },
-            None::<tempdir::TempDir>,
-        ),
+    // Session setup. For tcp the *launcher* hosts the rendezvous — it
+    // outlives every worker, so killing any rank (rank 0 included)
+    // leaves the bootstrap standing. With a snapshot dir the rank→addr
+    // map is persisted beside the snapshots through the same durable
+    // write-tmp → fsync → rename helper; any stale store from a previous
+    // incarnation is cleared first (addresses are per-process).
+    let (session, _shm_guard) = match o.transport.as_str() {
+        "tcp" => {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind rendezvous");
+            let addr = listener.local_addr().expect("rendezvous addr").to_string();
+            let store = o.snapshot_dir.as_ref().map(|d| d.join("rendezvous.store"));
+            if let Some(path) = &store {
+                if let Some(parent) = path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                let _ = std::fs::remove_file(path);
+            }
+            let world = o.ranks;
+            thread::spawn(move || {
+                transport::tcp::serve_rendezvous_with_store(listener, world, true, store);
+            });
+            println!("[launch] rendezvous at {addr}");
+            (
+                WorkerSession::Tcp { rendezvous: addr },
+                None::<tempdir::TempDir>,
+            )
+        }
         "shm" => {
             #[cfg(unix)]
             {
@@ -646,44 +766,9 @@ fn launch_processes(o: &LaunchOpts) -> i32 {
         _ => unreachable!("validated in launcher_main"),
     };
 
-    let rank0 = match spawn_worker(
-        worker_command(o, 0, &session, false),
-        0,
-        &reports,
-        Some(&rendezvous_slot),
-    ) {
-        Ok(w) => w,
-        Err(e) => {
-            eprintln!("failed to spawn rank 0: {e}");
-            return 1;
-        }
-    };
-    if matches!(session, WorkerSession::Tcp { .. }) {
-        // Wait for rank 0 to print its rendezvous address.
-        let deadline = std::time::Instant::now() + Duration::from_secs(30);
-        loop {
-            if let Some(addr) = rendezvous_slot.lock().expect("rendezvous slot").clone() {
-                session = WorkerSession::Tcp {
-                    rendezvous: Some(addr),
-                };
-                break;
-            }
-            if std::time::Instant::now() > deadline {
-                eprintln!("rank 0 never announced a rendezvous address");
-                return 1;
-            }
-            thread::sleep(Duration::from_millis(10));
-        }
-    }
-
-    let mut workers = vec![rank0];
-    for rank in 1..o.ranks {
-        match spawn_worker(
-            worker_command(o, rank, &session, false),
-            rank,
-            &reports,
-            None,
-        ) {
+    let mut workers: Vec<Worker> = Vec::new();
+    for rank in 0..o.ranks {
+        match spawn_worker(worker_command(o, rank, &session, false), rank, &reports) {
             Ok(w) => workers.push(w),
             Err(e) => {
                 eprintln!("failed to spawn rank {rank}: {e}");
@@ -693,6 +778,40 @@ fn launch_processes(o: &LaunchOpts) -> i32 {
                 return 1;
             }
         }
+    }
+
+    // Whole-job crash: SIGKILL every rank mid-run and stop — the point
+    // is what a later `--resume` launch recovers from the snapshot dir.
+    if let Some(after_ms) = o.kill_all_after_ms {
+        thread::sleep(Duration::from_millis(after_ms));
+        let mut still_running = 0usize;
+        for w in &mut workers {
+            if w.child.try_wait().expect("probe worker").is_none() {
+                still_running += 1;
+            }
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+        for w in workers {
+            let _ = w.forwarder.join();
+        }
+        println!(
+            "[launch] killed all {} ranks after {after_ms} ms ({still_running} were still running)",
+            o.ranks
+        );
+        if still_running == 0 {
+            eprintln!("[launch] every rank finished before the kill-all fired — nothing to resume");
+            println!(
+                "SCHEMOE_LAUNCH FAIL transport={} ranks={} steps={}",
+                o.transport, o.ranks, o.steps
+            );
+            return 1;
+        }
+        println!(
+            "SCHEMOE_LAUNCH KILLED transport={} ranks={} steps={}",
+            o.transport, o.ranks, o.steps
+        );
+        return 0;
     }
 
     // The fault schedule: a real SIGKILL, then (optionally) a fresh
@@ -711,12 +830,7 @@ fn launch_processes(o: &LaunchOpts) -> i32 {
         killed = Some(victim);
         if o.respawn {
             thread::sleep(Duration::from_millis(o.respawn_after_ms));
-            match spawn_worker(
-                worker_command(o, victim, &session, true),
-                victim,
-                &reports,
-                None,
-            ) {
+            match spawn_worker(worker_command(o, victim, &session, true), victim, &reports) {
                 Ok(w) => {
                     println!("[launch] respawned rank {victim} with --rejoin");
                     workers.push(w);
@@ -804,6 +918,33 @@ fn assess(
     for r in reports {
         if let Some(step) = r.died {
             return Err(format!("rank {} reported death at step {step}", r.rank));
+        }
+    }
+    // Resume is all-or-nothing: every rank scans the same snapshot dir
+    // and must pick the same committed generation — a split answer means
+    // the deterministic restore diverged.
+    if let Some(first) = reports.first() {
+        if let Some(r) = reports.iter().find(|r| r.resumed != first.resumed) {
+            return Err(format!(
+                "ranks disagree on the resume point: rank {} saw {:?}, rank {} saw {:?}",
+                first.rank, first.resumed, r.rank, r.resumed
+            ));
+        }
+    }
+    if o.resume {
+        let has_manifest = o.snapshot_dir.as_ref().is_some_and(|dir| {
+            std::fs::read_dir(dir).is_ok_and(|entries| {
+                entries.flatten().any(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    name.starts_with("manifest-") && name.ends_with(".smmf")
+                })
+            })
+        });
+        if has_manifest && reports.iter().any(|r| r.resumed.is_none()) {
+            return Err(
+                "--resume found a committed manifest but a rank restarted from scratch".to_string(),
+            );
         }
     }
     if let Some(spec) = &o.partition {

@@ -29,6 +29,7 @@ pub mod fabric;
 pub mod faults;
 pub mod hardware;
 pub mod memory;
+pub mod storage;
 pub mod topology;
 pub mod transport;
 
@@ -36,6 +37,7 @@ pub use fabric::{AdaptiveDeadline, Fabric, FabricError, RankHandle, WireModel};
 pub use faults::{FaultDecision, FaultPlan, LinkFaults, EPOCH_ANY};
 pub use hardware::HardwareProfile;
 pub use memory::MemoryBudget;
+pub use storage::{write_atomic, ChaosFs, ChaosFsPlan, RealFs, RenameFate, StorageFs, WriteFate};
 pub use topology::{Rank, Topology};
 pub use transport::{
     ChaosDecision, ChaosLink, ChaosPlan, ChaosTransport, Transport, TransportBootstrap,

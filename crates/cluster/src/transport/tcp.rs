@@ -344,9 +344,10 @@ fn load_store(path: &Path, world: usize) -> Vec<Option<String>> {
     addrs
 }
 
-/// Atomically replaces the store with the current map (write to a
-/// sibling tmp file, then rename — a crashed rendezvous never leaves a
-/// half-written store behind).
+/// Atomically replaces the store with the current map through the
+/// shared durable-commit helper (write-tmp → fsync → rename → fsync
+/// parent) — a crashed rendezvous never leaves a half-written store
+/// behind, and a committed one survives power loss.
 fn persist_store(path: &Path, addrs: &[Option<String>]) {
     let mut text = String::new();
     for (r, a) in addrs.iter().enumerate() {
@@ -354,10 +355,7 @@ fn persist_store(path: &Path, addrs: &[Option<String>]) {
             text.push_str(&format!("{r} {a}\n"));
         }
     }
-    let tmp = path.with_extension("tmp");
-    if std::fs::write(&tmp, text).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
-    }
+    let _ = crate::storage::write_atomic(&crate::storage::RealFs, path, text.as_bytes());
 }
 
 fn reply_map(mut conn: TcpStream, addrs: &[Option<String>]) -> std::io::Result<()> {

@@ -77,11 +77,13 @@
 //! applies it, routes clear, and full ownership resumes.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use schemoe_cluster::storage::{write_atomic, ChaosFs, ChaosFsPlan, RealFs, StorageFs};
 use schemoe_cluster::{AdaptiveDeadline, FabricError, RankHandle};
 use schemoe_collectives::{NcclA2A, TAG_STRIDE};
 use schemoe_compression::NoCompression;
@@ -94,6 +96,7 @@ use schemoe_tensor::checkpoint;
 use schemoe_tensor::nn::{Embedding, Linear, Module, Param, SoftmaxCrossEntropy};
 use schemoe_tensor::optim::Sgd;
 use schemoe_tensor::rng::seeded;
+use schemoe_tensor::snapshot::{self, Manifest, ManifestEntry, Shard, ShardReplica};
 use schemoe_tensor::Tensor;
 
 use crate::data::RegimeMarkov;
@@ -172,6 +175,18 @@ fn replica_tag(step: usize) -> u64 {
 /// mirroring [`xfer_tag`].
 fn handback_tag(step: usize) -> u64 {
     HANDBACK_NS + (step as u64) * 4096
+}
+
+/// Tag namespace for durable-snapshot acks: each rank tells the
+/// coordinator its shard reached disk. Sits above [`REPLICA_NS`]'s
+/// step-scoped windows (steps are small) and below [`HANDBACK_NS`], so
+/// snapshot control traffic can never collide with any other lane.
+const SNAPSHOT_NS: u64 = (1 << 62) + (2u64 << 32);
+
+/// Ack frames are scoped by generation, so a straggler's ack for a
+/// failed generation can never be mistaken for the next one's.
+fn snapshot_ack_tag(generation: u64) -> u64 {
+    SNAPSHOT_NS + generation * 8
 }
 
 /// Failure-domain labels for up to 64 ranks — one 4-bit label per rank
@@ -373,6 +388,63 @@ impl FtConfig {
     }
 }
 
+/// Durable-snapshot policy for [`run_ft_rank_durable`]. Kept apart from
+/// the `Copy` [`FtConfig`] because it owns a path and an optional fault
+/// plan.
+///
+/// All ranks of a job must point at the same `dir` (the launcher passes
+/// one `--snapshot-dir` to every worker). A generation is *committed*
+/// only once the coordinator has renamed its manifest into place; shards
+/// without a manifest are invisible to [`resume`](Self::with_resume).
+#[derive(Clone, Debug)]
+pub struct SnapshotCfg {
+    /// Shared directory holding shard and manifest files.
+    pub dir: PathBuf,
+    /// Commit a generation every `interval` committed steps (`0` disables
+    /// writes; resume still works against an existing directory).
+    pub interval: usize,
+    /// Complete generations retained by GC; clamped to at least 1 so the
+    /// newest complete generation is never deleted.
+    pub keep: usize,
+    /// Restore from the newest fully-restorable generation before
+    /// training (cold start if the directory holds none).
+    pub resume: bool,
+    /// Optional seeded storage-fault plan injected beneath every
+    /// snapshot write of this rank (salt = rank).
+    pub chaos: Option<Arc<ChaosFsPlan>>,
+}
+
+impl SnapshotCfg {
+    /// Snapshot into `dir` every `interval` steps with default retention.
+    pub fn new(dir: impl Into<PathBuf>, interval: usize) -> Self {
+        Self {
+            dir: dir.into(),
+            interval,
+            keep: 2,
+            resume: false,
+            chaos: None,
+        }
+    }
+
+    /// Overrides how many complete generations GC retains.
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+
+    /// Restores from the newest fully-restorable generation at startup.
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Injects a seeded [`ChaosFsPlan`] beneath this rank's writes.
+    pub fn with_chaos(mut self, plan: Arc<ChaosFsPlan>) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+}
+
 /// What one rank experienced over a fault-tolerant training run.
 #[derive(Clone, Debug)]
 pub struct FtReport {
@@ -420,6 +492,23 @@ pub struct FtReport {
     /// Per-activation replica staleness in committed steps (how far behind
     /// the live trajectory the activated replica was).
     pub failover_staleness_steps: Vec<u64>,
+    /// Snapshot shards this rank wrote durably (tmp + fsync + rename).
+    pub snapshot_shards: u64,
+    /// Bytes of shard payload this rank wrote durably.
+    pub snapshot_bytes: u64,
+    /// Generations this rank committed as coordinator (manifest renamed
+    /// into place after every live rank acked durable).
+    pub snapshot_generations: u64,
+    /// Old complete generations this rank garbage-collected.
+    pub snapshot_gc: u64,
+    /// `Some(step)` if this rank restored from a snapshot at startup.
+    pub resumed_at_step: Option<usize>,
+    /// Restores that rebuilt this rank's expert from a buddy's on-disk
+    /// replica because its own shard was missing or corrupt.
+    pub snapshot_reconstructions: u64,
+    /// Wall-clock milliseconds the startup restore scan + apply took
+    /// (0.0 when resume was not requested).
+    pub restore_ms: f64,
 }
 
 /// Replication bookkeeping one rank accumulates over a run; folded into the
@@ -432,6 +521,19 @@ struct ReplicaStats {
     handbacks: u64,
     handback_bytes: u64,
     staleness: Vec<u64>,
+}
+
+/// Durable-snapshot bookkeeping one rank accumulates over a run; folded
+/// into the [`FtReport`] at the end.
+#[derive(Clone, Debug, Default)]
+struct SnapStats {
+    shards: u64,
+    bytes: u64,
+    generations: u64,
+    gc: u64,
+    reconstructions: u64,
+    resumed_at: Option<usize>,
+    restore_ms: f64,
 }
 
 /// The outcome of one cluster-wide vote.
@@ -1105,6 +1207,392 @@ fn replicate_quantum(
     }
 }
 
+/// One durable-snapshot quantum, scheduled on the two-worker overlap
+/// executor so the fsync'd write rides the comm worker while compute is
+/// free: every live rank encodes its shard (replicated modules + own
+/// expert + hosted/stored replicas + step/seed) on the compute worker,
+/// writes it via write-tmp → fsync → rename on the comm worker, and acks
+/// `[generation, len, crc]` to the coordinator (lowest live rank). The
+/// coordinator overlaps ack collection with its own encode, then commits
+/// the generation by atomically writing a manifest listing every acked
+/// shard — only after *all* live ranks acked durable — and runs
+/// retention GC. Any failure (torn write, ENOSPC, missing ack) simply
+/// leaves the generation uncommitted: training continues and resume
+/// falls back to the previous complete generation.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_quantum(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    s: &SnapshotCfg,
+    fs: &dyn StorageFs,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    live: &[bool],
+    stores: &BTreeMap<usize, ReplicaStore>,
+    hosted_vel: &BTreeMap<usize, Vec<Tensor>>,
+    vel_indices: &[usize],
+    snap: &mut SnapStats,
+    step: usize,
+    generation: u64,
+) {
+    let me = h.rank();
+    let p = h.world_size();
+    let Some(coordinator) = (0..p).find(|&r| live[r]) else {
+        return;
+    };
+    let peers: Vec<usize> = (0..p).filter(|&r| live[r] && r != coordinator).collect();
+    let deadline = Duration::from_millis(cfg.vote_timeout_ms.max(100) * 2);
+    let tag = snapshot_ack_tag(generation);
+    let shard_path = s.dir.join(snapshot::shard_file_name(generation, me));
+
+    let encoded: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+    // `(len, crc)` of this rank's shard once it is durable on disk.
+    let wrote: Mutex<Option<(u32, u32)>> = Mutex::new(None);
+    let acks: Mutex<BTreeMap<usize, (u32, u32)>> = Mutex::new(BTreeMap::new());
+    // Generations GC'd, present only once the manifest rename committed.
+    let committed: Mutex<Option<u64>> = Mutex::new(None);
+    let handle = Mutex::new(&mut *h);
+    let cancel = AtomicBool::new(false);
+
+    let mut tasks: Vec<ExecTask<'_>> = vec![
+        ExecTask {
+            worker: Worker::Compute,
+            deps: vec![],
+            span: Some(("durability", format!("encode-g{generation}@{step}"))),
+            run: Box::new(|| {
+                let mut replicas: Vec<ShardReplica> = stores
+                    .iter()
+                    .filter_map(|(&ward, st)| {
+                        st.replica().map(|(q, payload)| ShardReplica {
+                            ward: ward as u32,
+                            quantum: q,
+                            payload: payload.to_vec(),
+                        })
+                    })
+                    .collect();
+                // A hosted expert keeps training after failover, so its
+                // live state supersedes whatever stored frame it was
+                // activated from.
+                for r in moe.hosted_dead_ranks() {
+                    let Some(vel) = hosted_vel.get(&r) else {
+                        continue;
+                    };
+                    let payload = hosted_replica_payload(moe, r, vel, vel_indices);
+                    match replicas.iter_mut().find(|rep| rep.ward == r as u32) {
+                        Some(rep) => {
+                            rep.quantum = step as u64;
+                            rep.payload = payload;
+                        }
+                        None => replicas.push(ShardReplica {
+                            ward: r as u32,
+                            quantum: step as u64,
+                            payload,
+                        }),
+                    }
+                }
+                let shard = Shard {
+                    generation,
+                    rank: me as u32,
+                    world: p as u32,
+                    step: step as u64,
+                    seed: cfg.seed,
+                    replicated: replicated_state_payload(embed, moe, head, opt),
+                    expert: expert_state_payload(embed, moe, head, opt),
+                    replicas,
+                };
+                *encoded.lock().expect("mailbox") = Some(shard.encode());
+            }),
+        },
+        ExecTask {
+            worker: Worker::Comm,
+            deps: vec![0],
+            span: Some(("durability", format!("write-g{generation}@{step}"))),
+            run: Box::new(|| {
+                if let Some(bytes) = encoded.lock().expect("mailbox").take() {
+                    if write_atomic(fs, &shard_path, &bytes).is_ok() {
+                        let len = bytes.len() as u32;
+                        let crc = checkpoint::crc32(&bytes);
+                        *wrote.lock().expect("mailbox") = Some((len, crc));
+                        if me != coordinator {
+                            // Durable-ack frame: [generation u64][len u32][crc u32].
+                            let mut ack = [0u8; 16];
+                            ack[..8].copy_from_slice(&generation.to_le_bytes());
+                            ack[8..12].copy_from_slice(&len.to_le_bytes());
+                            ack[12..].copy_from_slice(&crc.to_le_bytes());
+                            let msg = Bytes::copy_from_slice(&ack);
+                            for _ in 0..VOTE_COPIES {
+                                let _ = handle.lock().expect("handle").send_control(
+                                    coordinator,
+                                    tag,
+                                    msg.clone(),
+                                );
+                            }
+                        }
+                    }
+                }
+            }),
+        },
+    ];
+    if me == coordinator {
+        let handle = &handle;
+        let acks_ref = &acks;
+        let wrote_ref = &wrote;
+        let committed_ref = &committed;
+        let peers_ref = &peers;
+        let collect_idx = tasks.len();
+        tasks.push(ExecTask {
+            worker: Worker::Comm,
+            deps: vec![],
+            span: Some(("durability", format!("collect-g{generation}@{step}"))),
+            run: Box::new(move || {
+                for &r in peers_ref {
+                    for _ in 0..VOTE_COPIES {
+                        match handle
+                            .lock()
+                            .expect("handle")
+                            .recv_timeout(r, tag, deadline)
+                        {
+                            Ok(m) if m.len() == 16 => {
+                                let g = u64::from_le_bytes(m[..8].try_into().expect("16-byte ack"));
+                                if g == generation {
+                                    let len = u32::from_le_bytes(
+                                        m[8..12].try_into().expect("16-byte ack"),
+                                    );
+                                    let crc = u32::from_le_bytes(
+                                        m[12..].try_into().expect("16-byte ack"),
+                                    );
+                                    acks_ref.lock().expect("mailbox").insert(r, (len, crc));
+                                    break;
+                                }
+                                // A straggler ack from a failed generation:
+                                // keep draining copies.
+                            }
+                            Ok(_) => {}      // damaged copy: try the next one
+                            Err(_) => break, // silent peer: shard not durable in time
+                        }
+                    }
+                }
+            }),
+        });
+        tasks.push(ExecTask {
+            worker: Worker::Comm,
+            deps: vec![1, collect_idx],
+            span: Some(("durability", format!("commit-g{generation}@{step}"))),
+            run: Box::new(move || {
+                // The manifest's existence IS the commit: write it only
+                // once our own shard and every peer's shard are durable.
+                let Some((own_len, own_crc)) = *wrote_ref.lock().expect("mailbox") else {
+                    return;
+                };
+                let acks = acks_ref.lock().expect("mailbox");
+                if peers_ref.iter().any(|r| !acks.contains_key(r)) {
+                    return;
+                }
+                let mut entries: Vec<ManifestEntry> = Vec::with_capacity(peers_ref.len() + 1);
+                entries.push(ManifestEntry {
+                    rank: me as u32,
+                    name: snapshot::shard_file_name(generation, me),
+                    len: own_len,
+                    crc: own_crc,
+                });
+                for &r in peers_ref {
+                    let (len, crc) = acks[&r];
+                    entries.push(ManifestEntry {
+                        rank: r as u32,
+                        name: snapshot::shard_file_name(generation, r),
+                        len,
+                        crc,
+                    });
+                }
+                entries.sort_by_key(|e| e.rank);
+                let man = Manifest {
+                    generation,
+                    world: p as u32,
+                    step: step as u64,
+                    seed: cfg.seed,
+                    shards: entries,
+                };
+                let mpath = s.dir.join(snapshot::manifest_file_name(generation));
+                if write_atomic(fs, &mpath, &man.encode()).is_ok() {
+                    let removed = gc_generations(fs, &s.dir, s.keep);
+                    *committed_ref.lock().expect("mailbox") = Some(removed);
+                }
+            }),
+        });
+    }
+    if run_overlapped_cancellable(tasks, &cancel).is_err() {
+        return;
+    }
+    if let Some((len, _)) = wrote.into_inner().ok().flatten() {
+        snap.shards += 1;
+        snap.bytes += u64::from(len);
+        schemoe_obs::counters_for_rank(me).add_snapshot_write(len as usize);
+    }
+    if let Some(removed) = committed.into_inner().ok().flatten() {
+        snap.generations += 1;
+        snap.gc += removed;
+        let counters = schemoe_obs::counters_for_rank(me);
+        counters.add_snapshot_generation();
+        for _ in 0..removed {
+            counters.add_snapshot_gc();
+        }
+    }
+}
+
+/// Restores this rank's state from the newest generation *every* rank
+/// can restore from. All ranks scan the same directory (no concurrent
+/// writers at startup) and apply the same deterministic rule, so they
+/// agree on the resume step without exchanging a message. A rank is
+/// restorable at a generation if its own shard is bit-exact per the
+/// manifest, or any valid shard embeds a buddy replica of it. Payloads
+/// are CRC-verified *before* any state is touched — a failure at any
+/// point falls back to the next older generation, never a half-applied
+/// model. Returns `(step, generation)` on success.
+#[allow(clippy::too_many_arguments)]
+fn resume_from_disk(
+    fs: &dyn StorageFs,
+    s: &SnapshotCfg,
+    cfg: &FtConfig,
+    me: usize,
+    p: usize,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    snap: &mut SnapStats,
+) -> Option<(usize, u64)> {
+    let entries = fs.list(&s.dir).ok()?;
+    let mut gens: Vec<u64> = entries
+        .iter()
+        .filter_map(|path| path.file_name().and_then(|n| n.to_str()))
+        .filter_map(snapshot::manifest_generation)
+        .collect();
+    gens.sort_unstable();
+    for &g in gens.iter().rev() {
+        let Ok(mbytes) = fs.read(&s.dir.join(snapshot::manifest_file_name(g))) else {
+            continue;
+        };
+        let Ok(man) = Manifest::decode(&mbytes) else {
+            continue;
+        };
+        // A manifest from a different run shape or seed is not ours to
+        // resume, and one at or past the configured horizon would end
+        // the run without committing a step.
+        if man.world != p as u32 || man.seed != cfg.seed || man.step as usize >= cfg.steps {
+            continue;
+        }
+        // Parse + verify every listed shard; a torn, truncated, or
+        // bit-rotted one simply drops out and may be covered by a buddy
+        // replica embedded in a surviving shard.
+        let mut shards: Vec<Option<Shard>> = (0..p).map(|_| None).collect();
+        for e in &man.shards {
+            let r = e.rank as usize;
+            if r >= p {
+                continue;
+            }
+            let Ok(bytes) = fs.read(&s.dir.join(&e.name)) else {
+                continue;
+            };
+            if !Manifest::entry_matches(e, &bytes) {
+                continue;
+            }
+            let Ok(sh) = Shard::decode(&bytes) else {
+                continue;
+            };
+            if sh.generation == man.generation
+                && sh.world == man.world
+                && sh.step == man.step
+                && sh.seed == man.seed
+                && sh.rank == e.rank
+            {
+                shards[r] = Some(sh);
+            }
+        }
+        let covered = |r: usize| {
+            shards[r].is_some()
+                || shards.iter().flatten().any(|sh| {
+                    sh.replicas
+                        .iter()
+                        .any(|rep| rep.ward == r as u32 && !rep.payload.is_empty())
+                })
+        };
+        if shards.iter().flatten().next().is_none() || !(0..p).all(covered) {
+            continue;
+        }
+        let (replicated, expert, reconstructed) = match &shards[me] {
+            Some(sh) => (sh.replicated.clone(), sh.expert.clone(), false),
+            None => {
+                // Buddy-shard reconstruction: the replicated half is
+                // identical across ranks at a committed step, so any
+                // valid shard donates it; the expert comes from the
+                // replica a surviving shard embeds for this rank.
+                let donor = shards.iter().flatten().next()?;
+                let rep = shards
+                    .iter()
+                    .flatten()
+                    .flat_map(|sh| sh.replicas.iter())
+                    .find(|rep| rep.ward == me as u32)?;
+                (donor.replicated.clone(), rep.payload.clone(), true)
+            }
+        };
+        if checkpoint::verify(&replicated).is_err() || checkpoint::verify(&expert).is_err() {
+            continue;
+        }
+        // After the seals verify, a mismatch means the operator resumed
+        // with a different model shape under the same seed — a config
+        // error, not a storage fault. Refuse loudly rather than train on
+        // a half-applied model.
+        apply_replicated_state(&replicated, embed, moe, head, opt)
+            .expect("verified snapshot payload must match the configured model");
+        apply_own_expert_state(&expert, embed, moe, head, opt)
+            .expect("verified snapshot payload must match the configured model");
+        if reconstructed {
+            snap.reconstructions += 1;
+            schemoe_obs::counters_for_rank(me).add_snapshot_reconstruction();
+        }
+        return Some((man.step as usize, man.generation));
+    }
+    None
+}
+
+/// Retention GC: deletes complete generations beyond the newest `keep`
+/// (clamped to 1, so the last complete generation is never deleted).
+/// The manifest goes first — a crash mid-GC leaves orphan shards that
+/// resume cannot see, never a manifest pointing at deleted shards.
+fn gc_generations(fs: &dyn StorageFs, dir: &Path, keep: usize) -> u64 {
+    let Ok(entries) = fs.list(dir) else { return 0 };
+    let mut gens: Vec<u64> = entries
+        .iter()
+        .filter_map(|path| path.file_name().and_then(|n| n.to_str()))
+        .filter_map(snapshot::manifest_generation)
+        .collect();
+    gens.sort_unstable();
+    let keep = keep.max(1);
+    if gens.len() <= keep {
+        return 0;
+    }
+    let mut removed = 0u64;
+    for &g in &gens[..gens.len() - keep] {
+        let mpath = dir.join(snapshot::manifest_file_name(g));
+        let names: Vec<String> = fs
+            .read(&mpath)
+            .ok()
+            .and_then(|b| Manifest::decode(&b).ok())
+            .map(|m| m.shards.into_iter().map(|e| e.name).collect())
+            .unwrap_or_default();
+        if fs.remove(&mpath).is_err() {
+            continue;
+        }
+        for n in names {
+            let _ = fs.remove(&dir.join(n));
+        }
+        removed += 1;
+    }
+    removed
+}
+
 /// The re-admission ticket survivors send a rejoining rank: where to resume
 /// (`step`, `tag`), the membership epoch after the rejoin bump, who streams
 /// state, which host (if any) streams the hosted expert back, and the
@@ -1762,15 +2250,33 @@ fn try_rejoin_peers(
 /// if an in-memory checkpoint fails to restore (it was produced by this
 /// very process, so damage indicates a bug, not a fault).
 pub fn run_ft_rank(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
+    run_ft_rank_durable(h, cfg, None)
+}
+
+/// [`run_ft_rank`] with an optional durable-snapshot lane: every
+/// `snap.interval` committed steps each rank persists a CRC-sealed shard
+/// (replicated modules + own expert + optimizer slots + hosted/stored
+/// replicas + step/seed) via write-tmp → fsync → rename, and the
+/// coordinator (lowest live rank) commits a generation manifest only
+/// after every live rank has acked its shard durable. With
+/// `snap.resume`, the run first restores from the newest generation
+/// every rank can restore from — rebuilding a rank whose shard is
+/// missing or corrupt from a buddy's on-disk replica — and trains on
+/// from the snapshotted step.
+pub fn run_ft_rank_durable(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    snap: Option<&SnapshotCfg>,
+) -> FtReport {
     let saved_deadline = h.recv_deadline();
     let saved_adaptive = h.adaptive_deadline();
-    let report = run_ft_rank_inner(h, cfg);
+    let report = run_ft_rank_inner(h, cfg, snap);
     h.set_adaptive_deadline(saved_adaptive);
     h.set_recv_deadline(saved_deadline);
     report
 }
 
-fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
+fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotCfg>) -> FtReport {
     let me = h.rank();
     let p = h.world_size();
     assert!(p <= 64, "vote bitmask supports at most 64 ranks");
@@ -1835,6 +2341,52 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
     let mut ckpt = checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
     let mut ckpt_step = 0usize;
 
+    // Durable-snapshot lane: the storage stack this rank writes shards
+    // through (chaos-decorated when a fault plan is installed, salted by
+    // rank so each rank rolls its own lottery), and the generation
+    // counter. Chaos sits *beneath* the snapshot writer and *above* the
+    // real filesystem, so whatever a fault leaves on disk is exactly
+    // what a later restore observes.
+    let snap_fs: Option<Box<dyn StorageFs>> = snap.map(|s| match &s.chaos {
+        Some(plan) => {
+            Box::new(ChaosFs::new(Box::new(RealFs), plan.clone(), me as u64)) as Box<dyn StorageFs>
+        }
+        None => Box::new(RealFs) as Box<dyn StorageFs>,
+    });
+    let mut snap_stats = SnapStats::default();
+    let mut snap_gen: u64 = 0;
+    if let (Some(s), Some(fs)) = (snap, snap_fs.as_deref()) {
+        let _ = fs.create_dir_all(&s.dir);
+        if s.resume {
+            // Cold-restart bootstrap. Every rank scans the same directory
+            // (no concurrent writers at startup) and applies the same
+            // deterministic rule — newest generation from which *every*
+            // rank can restore — so all ranks agree on the resume step
+            // without exchanging a message.
+            let t0 = Instant::now();
+            if let Some((rstep, rgen)) = resume_from_disk(
+                fs,
+                s,
+                cfg,
+                me,
+                p,
+                &mut embed,
+                &mut moe,
+                &mut head,
+                &mut opt,
+                &mut snap_stats,
+            ) {
+                step = rstep;
+                snap_gen = rgen;
+                ckpt = checkpoint::save(&mut |f| visit_all(&mut embed, &mut moe, &mut head, f));
+                ckpt_step = step;
+                snap_stats.resumed_at = Some(step);
+                schemoe_obs::counters_for_rank(me).add_snapshot_restore();
+            }
+            snap_stats.restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+        }
+    }
+
     // Every path that observes this rank's death funnels through here: a
     // rank with a scheduled revival rejoins and resumes at the invited
     // step; every other death ends the run with a report.
@@ -1879,6 +2431,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                         parks,
                         transfer_bytes,
                         repl.clone(),
+                        snap_stats.clone(),
                     );
                 }
             }
@@ -2098,6 +2651,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                                 parks,
                                 transfer_bytes,
                                 repl,
+                                snap_stats,
                             );
                         }
                     }
@@ -2163,6 +2717,32 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
                     step,
                 );
             }
+            // Snapshot quantum: persist a generation-numbered shard and
+            // (on the coordinator) commit the manifest once every live
+            // rank acks durable. Runs *after* the replication quantum so
+            // the shard embeds the replicas received at this very step.
+            if let (Some(s), Some(fs)) = (snap, snap_fs.as_deref()) {
+                if s.interval != 0 && step.is_multiple_of(s.interval) && step < cfg.steps {
+                    snap_gen += 1;
+                    snapshot_quantum(
+                        h,
+                        cfg,
+                        s,
+                        fs,
+                        &mut embed,
+                        &mut moe,
+                        &mut head,
+                        &mut opt,
+                        &live,
+                        &replica_stores,
+                        &hosted_vel,
+                        &vel_indices,
+                        &mut snap_stats,
+                        step,
+                        snap_gen,
+                    );
+                }
+            }
             // Rejoin quantum: poll for announcements from revivable dead
             // ranks. Membership changed → refresh the checkpoint so a later
             // rewind lands every rank (including the rejoiner) on this step.
@@ -2205,6 +2785,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig) -> FtReport {
         parks,
         transfer_bytes,
         repl,
+        snap_stats,
     )
 }
 
@@ -2222,6 +2803,7 @@ fn finish(
     parks: u64,
     transfer_bytes: u64,
     repl: ReplicaStats,
+    snap: SnapStats,
 ) -> FtReport {
     let last = curve.iter().rev().find(|l| !l.is_nan()).copied();
     FtReport {
@@ -2242,6 +2824,13 @@ fn finish(
         handbacks: repl.handbacks,
         handback_bytes: repl.handback_bytes,
         failover_staleness_steps: repl.staleness,
+        snapshot_shards: snap.shards,
+        snapshot_bytes: snap.bytes,
+        snapshot_generations: snap.generations,
+        snapshot_gc: snap.gc,
+        resumed_at_step: snap.resumed_at,
+        snapshot_reconstructions: snap.reconstructions,
+        restore_ms: snap.restore_ms,
     }
 }
 
@@ -2877,5 +3466,156 @@ mod tests {
         for (r, rep) in reports.iter().enumerate() {
             assert_eq!(rep.final_epoch, epoch, "rank {r} epoch diverged");
         }
+    }
+
+    /// A fresh per-test snapshot directory under the system temp dir
+    /// (the workspace vendors no tempdir crate).
+    fn snap_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("schemoe-ft-snap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn snapshot_resume_replays_the_uninterrupted_run_bit_for_bit() {
+        let dir = snap_dir("resume");
+        let cfg = FtConfig::tiny(12);
+        let snap = SnapshotCfg::new(&dir, 4);
+        let full = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&snap))
+        });
+        for r in &full {
+            assert!(r.snapshot_shards >= 2, "every rank persists each quantum");
+            assert!(r.snapshot_bytes > 0);
+            assert_eq!(r.resumed_at_step, None);
+        }
+        // The coordinator committed generations at steps 4 and 8.
+        assert_eq!(full[0].snapshot_generations, 2);
+        assert!(dir.join(snapshot::manifest_file_name(1)).exists());
+        assert!(dir.join(snapshot::manifest_file_name(2)).exists());
+
+        // A cold restart resumes from step 8 and — because f32 state
+        // round-trips exactly — replays the tail bit-for-bit.
+        let rsnap = snap.clone().with_resume();
+        let resumed = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&rsnap))
+        });
+        for (i, (r, f)) in resumed.iter().zip(&full).enumerate() {
+            assert_eq!(r.resumed_at_step, Some(8), "rank {i}");
+            assert_eq!(r.snapshot_reconstructions, 0, "rank {i}");
+            assert!(r.loss_curve[..8].iter().all(|l| l.is_nan()));
+            for s in 8..12 {
+                assert_eq!(
+                    r.loss_curve[s].to_bits(),
+                    f.loss_curve[s].to_bits(),
+                    "rank {i} step {s} diverged after resume"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_crash_before_manifest_rename_never_commits_the_generation() {
+        let dir = snap_dir("crash");
+        let cfg = FtConfig::tiny(12);
+        // The coordinator's rename order is shard g1 (idx 0), manifest g1
+        // (1), shard g2 (2), manifest g2 (3): crash exactly the second
+        // manifest's rename. Non-coordinators never reach rename idx 3.
+        let plan = Arc::new(ChaosFsPlan::seeded(5).crash_rename_window(3, 4));
+        let snap = SnapshotCfg::new(&dir, 4).with_chaos(plan);
+        let chaos = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&snap))
+        });
+        // Generation 2's shards all landed, but without the manifest the
+        // generation was never committed — and the orphan tmp proves the
+        // crash hit after the write, before the rename.
+        assert_eq!(chaos[0].snapshot_generations, 1);
+        let g2_manifest = dir.join(snapshot::manifest_file_name(2));
+        assert!(dir.join(snapshot::manifest_file_name(1)).exists());
+        assert!(!g2_manifest.exists());
+        assert!(schemoe_cluster::storage::tmp_sibling(&g2_manifest).exists());
+
+        // Resume ignores the interrupted generation and replays from the
+        // last complete one (step 4), bit-for-bit.
+        let rsnap = SnapshotCfg::new(&dir, 4).with_resume();
+        let resumed = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&rsnap))
+        });
+        for (i, (r, c)) in resumed.iter().zip(&chaos).enumerate() {
+            assert_eq!(r.resumed_at_step, Some(4), "rank {i}");
+            for s in 4..12 {
+                assert_eq!(
+                    r.loss_curve[s].to_bits(),
+                    c.loss_curve[s].to_bits(),
+                    "rank {i} step {s} diverged after resume"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupt_shard_restores_from_the_buddy_replica_on_disk() {
+        let dir = snap_dir("buddy");
+        let cfg = FtConfig::tiny(12).with_replica_interval(2);
+        let snap = SnapshotCfg::new(&dir, 4);
+        let full = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&snap))
+        });
+        assert_eq!(full[0].snapshot_generations, 2);
+
+        // Silently rot one byte in rank 1's newest shard, beneath the CRC.
+        let victim = dir.join(snapshot::shard_file_name(2, 1));
+        let mut bytes = std::fs::read(&victim).expect("shard must exist");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&victim, &bytes).expect("rewrite shard");
+
+        // Rank 1 reconstructs from its buddy's embedded replica — which
+        // was streamed at the same committed step, so the tail still
+        // replays bit-for-bit on every rank.
+        let rsnap = SnapshotCfg::new(&dir, 4).with_resume();
+        let resumed = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&rsnap))
+        });
+        assert_eq!(resumed[1].snapshot_reconstructions, 1);
+        assert_eq!(resumed[0].snapshot_reconstructions, 0);
+        for (i, (r, f)) in resumed.iter().zip(&full).enumerate() {
+            assert_eq!(r.resumed_at_step, Some(8), "rank {i}");
+            for s in 8..12 {
+                assert_eq!(
+                    r.loss_curve[s].to_bits(),
+                    f.loss_curve[s].to_bits(),
+                    "rank {i} step {s} diverged after reconstruction"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_only_the_newest_complete_generations() {
+        let dir = snap_dir("gc");
+        let cfg = FtConfig::tiny(10);
+        let snap = SnapshotCfg::new(&dir, 2).with_keep(2);
+        let reports = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&snap))
+        });
+        // Generations committed at steps 2, 4, 6, 8; the oldest two GC'd.
+        assert_eq!(reports[0].snapshot_generations, 4);
+        assert_eq!(reports[0].snapshot_gc, 2);
+        let manifests = std::fs::read_dir(&dir)
+            .expect("snapshot dir")
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.starts_with("manifest-"))
+            .count();
+        assert_eq!(manifests, 2);
+        // A GC'd generation loses its shards too; the survivors keep theirs.
+        assert!(!dir.join(snapshot::shard_file_name(1, 0)).exists());
+        assert!(!dir.join(snapshot::manifest_file_name(2)).exists());
+        assert!(dir.join(snapshot::manifest_file_name(3)).exists());
+        assert!(dir.join(snapshot::shard_file_name(4, 0)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

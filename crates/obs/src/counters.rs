@@ -29,6 +29,12 @@ pub struct RankCounters {
     replica_quanta: AtomicU64,
     failover_activations: AtomicU64,
     handbacks: AtomicU64,
+    snapshot_bytes_written: AtomicU64,
+    snapshot_shards: AtomicU64,
+    snapshot_generations: AtomicU64,
+    snapshot_restores: AtomicU64,
+    snapshot_reconstructions: AtomicU64,
+    snapshot_gc_removed: AtomicU64,
 }
 
 impl RankCounters {
@@ -144,6 +150,51 @@ impl RankCounters {
         }
     }
 
+    /// Counts one durable snapshot shard of `bytes` committed to disk.
+    #[inline]
+    pub fn add_snapshot_write(&self, bytes: usize) {
+        if crate::enabled() {
+            self.snapshot_bytes_written
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.snapshot_shards.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one snapshot generation committed (manifest written by the
+    /// coordinator after all shards acked durable).
+    #[inline]
+    pub fn add_snapshot_generation(&self) {
+        if crate::enabled() {
+            self.snapshot_generations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one restore from a durable snapshot generation.
+    #[inline]
+    pub fn add_snapshot_restore(&self) {
+        if crate::enabled() {
+            self.snapshot_restores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one restore that rebuilt this rank's expert from a buddy's
+    /// on-disk replica because its own shard was missing or corrupt.
+    #[inline]
+    pub fn add_snapshot_reconstruction(&self) {
+        if crate::enabled() {
+            self.snapshot_reconstructions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one snapshot generation retired by retention GC.
+    #[inline]
+    pub fn add_snapshot_gc(&self) {
+        if crate::enabled() {
+            self.snapshot_gc_removed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of the totals.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -163,6 +214,12 @@ impl RankCounters {
             replica_quanta: self.replica_quanta.load(Ordering::Relaxed),
             failover_activations: self.failover_activations.load(Ordering::Relaxed),
             handbacks: self.handbacks.load(Ordering::Relaxed),
+            snapshot_bytes_written: self.snapshot_bytes_written.load(Ordering::Relaxed),
+            snapshot_shards: self.snapshot_shards.load(Ordering::Relaxed),
+            snapshot_generations: self.snapshot_generations.load(Ordering::Relaxed),
+            snapshot_restores: self.snapshot_restores.load(Ordering::Relaxed),
+            snapshot_reconstructions: self.snapshot_reconstructions.load(Ordering::Relaxed),
+            snapshot_gc_removed: self.snapshot_gc_removed.load(Ordering::Relaxed),
         }
     }
 
@@ -182,6 +239,12 @@ impl RankCounters {
         self.replica_quanta.store(0, Ordering::Relaxed);
         self.failover_activations.store(0, Ordering::Relaxed);
         self.handbacks.store(0, Ordering::Relaxed);
+        self.snapshot_bytes_written.store(0, Ordering::Relaxed);
+        self.snapshot_shards.store(0, Ordering::Relaxed);
+        self.snapshot_generations.store(0, Ordering::Relaxed);
+        self.snapshot_restores.store(0, Ordering::Relaxed);
+        self.snapshot_reconstructions.store(0, Ordering::Relaxed);
+        self.snapshot_gc_removed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -220,6 +283,18 @@ pub struct CounterSnapshot {
     pub failover_activations: u64,
     /// Hosted-expert handbacks streamed to rejoined owners.
     pub handbacks: u64,
+    /// Durable snapshot bytes committed to disk.
+    pub snapshot_bytes_written: u64,
+    /// Durable snapshot shards committed to disk.
+    pub snapshot_shards: u64,
+    /// Snapshot generations committed (coordinator manifests).
+    pub snapshot_generations: u64,
+    /// Restores performed from a durable snapshot generation.
+    pub snapshot_restores: u64,
+    /// Restores that rebuilt the expert from a buddy's on-disk replica.
+    pub snapshot_reconstructions: u64,
+    /// Snapshot generations retired by retention GC.
+    pub snapshot_gc_removed: u64,
 }
 
 /// The counter block for `rank`, creating it on first request.
@@ -245,6 +320,12 @@ pub fn counters_for_rank(rank: usize) -> Arc<RankCounters> {
         replica_quanta: AtomicU64::new(0),
         failover_activations: AtomicU64::new(0),
         handbacks: AtomicU64::new(0),
+        snapshot_bytes_written: AtomicU64::new(0),
+        snapshot_shards: AtomicU64::new(0),
+        snapshot_generations: AtomicU64::new(0),
+        snapshot_restores: AtomicU64::new(0),
+        snapshot_reconstructions: AtomicU64::new(0),
+        snapshot_gc_removed: AtomicU64::new(0),
     });
     reg.push(Arc::clone(&c));
     c
@@ -362,6 +443,11 @@ mod tests {
         c.add_replica_sent(64);
         c.add_failover_activation();
         c.add_handback();
+        c.add_snapshot_write(128);
+        c.add_snapshot_generation();
+        c.add_snapshot_restore();
+        c.add_snapshot_reconstruction();
+        c.add_snapshot_gc();
         crate::disable();
         let s = c.snapshot();
         assert_eq!(s.bytes_sent, 100);
@@ -379,8 +465,16 @@ mod tests {
         assert_eq!(s.replica_quanta, 1);
         assert_eq!(s.failover_activations, 1);
         assert_eq!(s.handbacks, 1);
+        assert_eq!(s.snapshot_bytes_written, 128);
+        assert_eq!(s.snapshot_shards, 1);
+        assert_eq!(s.snapshot_generations, 1);
+        assert_eq!(s.snapshot_restores, 1);
+        assert_eq!(s.snapshot_reconstructions, 1);
+        assert_eq!(s.snapshot_gc_removed, 1);
         c.reset();
         assert_eq!(c.snapshot().replica_bytes_sent, 0);
+        assert_eq!(c.snapshot().snapshot_bytes_written, 0);
+        assert_eq!(c.snapshot().snapshot_shards, 0);
         assert_eq!(c.snapshot().bytes_sent, 0);
     }
 

@@ -373,6 +373,22 @@ impl FuncTrace {
                     ("handbacks", c.handbacks as f64),
                 ],
             );
+            b.counter_event(
+                c.rank as u64,
+                "durability",
+                end_us,
+                &[
+                    ("snapshot_bytes_written", c.snapshot_bytes_written as f64),
+                    ("snapshot_shards", c.snapshot_shards as f64),
+                    ("snapshot_generations", c.snapshot_generations as f64),
+                    ("snapshot_restores", c.snapshot_restores as f64),
+                    (
+                        "snapshot_reconstructions",
+                        c.snapshot_reconstructions as f64,
+                    ),
+                    ("snapshot_gc_removed", c.snapshot_gc_removed as f64),
+                ],
+            );
         }
         b.finish()
     }
@@ -504,6 +520,8 @@ mod tests {
         let _g = locked();
         enable();
         crate::counters::counters_for_rank(7).add_replica_sent(128);
+        crate::counters::counters_for_rank(7).add_snapshot_write(256);
+        crate::counters::counters_for_rank(7).add_snapshot_generation();
         set_thread_rank(7);
         {
             let _s = span("step", "s0");
@@ -532,6 +550,26 @@ mod tests {
         );
         assert!(args.get("failover_activations").is_some());
         assert!(args.get("handbacks").is_some());
+        let d = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                    && e.get("name").and_then(|n| n.as_str()) == Some("durability")
+                    && e.get("pid").and_then(|p| p.as_f64()) == Some(7.0)
+            })
+            .expect("rank 7 durability counter track");
+        let args = d.get("args").expect("args");
+        assert_eq!(
+            args.get("snapshot_bytes_written").and_then(|b| b.as_f64()),
+            Some(256.0)
+        );
+        assert_eq!(
+            args.get("snapshot_generations").and_then(|g| g.as_f64()),
+            Some(1.0)
+        );
+        assert!(args.get("snapshot_restores").is_some());
+        assert!(args.get("snapshot_reconstructions").is_some());
+        assert!(args.get("snapshot_gc_removed").is_some());
     }
 
     #[test]

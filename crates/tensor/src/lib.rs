@@ -32,6 +32,7 @@ pub mod optim;
 pub mod rng;
 pub mod schedule_lr;
 pub mod shape;
+pub mod snapshot;
 pub mod tensor;
 
 pub use shape::Shape;

@@ -1,0 +1,513 @@
+//! Durable snapshot formats: the generation-numbered, CRC-sealed shard
+//! each rank persists and the manifest that commits a generation.
+//!
+//! This module is the *byte layout* only — pure functions from structs
+//! to sealed buffers and back, with no filesystem dependency — so the
+//! same codecs serve the training loop's snapshot writer, the restore
+//! path, and the proptest suite that attacks them with truncation and
+//! bitrot. Durability (write-tmp → fsync → rename) lives in
+//! `schemoe-cluster::storage`; the commit *rule* lives in the training
+//! loop: a manifest for generation `g` is written only after every
+//! shard of `g` has acked durable, so a reader that finds a manifest
+//! may trust the generation is complete, and an interrupted generation
+//! is never loadable because its manifest never existed.
+//!
+//! A shard carries everything one rank needs to resume: the replicated
+//! parameter payload (identical across ranks at a committed step), the
+//! rank's own expert payload, and the buddy-replica payloads it hosts
+//! for its wards. The hosted replicas are what make a *damaged* shard
+//! survivable: if rank `r`'s shard is missing or corrupt, any valid
+//! shard supplies the replicated half and the shard of `r`'s buddy
+//! supplies `r`'s expert — FoMoE's partial-replication insight applied
+//! to disk.
+//!
+//! Both codecs follow the parse-verify discipline of
+//! [`checkpoint`](crate::checkpoint): structural parse first (so short
+//! reads surface as [`CheckpointError::Truncated`]), then the trailing
+//! CRC32 seal is checked before anything is returned — a decoded value
+//! is bit-exact or it does not exist.
+
+use crate::checkpoint::{crc32, CheckpointError};
+
+const SHARD_MAGIC: &[u8; 4] = b"SMSH";
+const MANIFEST_MAGIC: &[u8; 4] = b"SMMF";
+const VERSION: u32 = 1;
+
+/// Ceiling on any embedded payload or name length, shared with the wire
+/// transfer path's paranoia: a damaged length field must not provoke a
+/// huge allocation before the CRC check gets its say.
+const MAX_SECTION: u32 = 1 << 28;
+
+/// One hosted buddy replica embedded in a shard: the latest verified
+/// expert payload of ward `ward`, as of replication quantum `quantum`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReplica {
+    /// The rank whose expert this replica restores.
+    pub ward: u32,
+    /// The replication quantum the payload is current as of.
+    pub quantum: u64,
+    /// A sealed checkpoint payload of the ward's expert state.
+    pub payload: Vec<u8>,
+}
+
+/// One rank's durable snapshot shard for one generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Monotone snapshot generation this shard belongs to.
+    pub generation: u64,
+    /// The rank that wrote the shard.
+    pub rank: u32,
+    /// World size at snapshot time.
+    pub world: u32,
+    /// The committed training step the state is exact at.
+    pub step: u64,
+    /// The job seed, so a resume refuses state from a different run.
+    pub seed: u64,
+    /// Sealed checkpoint payload of the replicated parameters
+    /// (embedding, gate, head + optimizer velocity) — identical across
+    /// ranks at a committed step.
+    pub replicated: Vec<u8>,
+    /// Sealed checkpoint payload of this rank's own expert state
+    /// (+ optimizer velocity).
+    pub expert: Vec<u8>,
+    /// Buddy replicas this rank hosts, one per ward.
+    pub replicas: Vec<ShardReplica>,
+}
+
+impl Shard {
+    /// Serializes the shard into a CRC-sealed buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SHARD_MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.world.to_le_bytes());
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.replicated.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.replicated);
+        out.extend_from_slice(&(self.expert.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.expert);
+        out.extend_from_slice(&(self.replicas.len() as u32).to_le_bytes());
+        for r in &self.replicas {
+            out.extend_from_slice(&r.ward.to_le_bytes());
+            out.extend_from_slice(&r.quantum.to_le_bytes());
+            out.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&r.payload);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and verifies a shard buffer. Returns the shard only if it
+    /// is structurally complete *and* its CRC seal matches.
+    pub fn decode(payload: &[u8]) -> Result<Shard, CheckpointError> {
+        let (body, mut cur) = open_sealed(payload, SHARD_MAGIC)?;
+        let generation = cur.u64()?;
+        let rank = cur.u32()?;
+        let world = cur.u32()?;
+        let step = cur.u64()?;
+        let seed = cur.u64()?;
+        let replicated = cur.section()?;
+        let expert = cur.section()?;
+        let nreplicas = cur.u32()?;
+        if nreplicas > MAX_SECTION {
+            return Err(CheckpointError::BadHeader);
+        }
+        let mut replicas = Vec::with_capacity(nreplicas.min(1024) as usize);
+        for _ in 0..nreplicas {
+            let ward = cur.u32()?;
+            let quantum = cur.u64()?;
+            let payload = cur.section()?;
+            replicas.push(ShardReplica {
+                ward,
+                quantum,
+                payload,
+            });
+        }
+        check_seal(body, payload)?;
+        if rank >= world {
+            return Err(CheckpointError::Mismatch {
+                detail: format!("shard rank {rank} out of range for world {world}"),
+            });
+        }
+        Ok(Shard {
+            generation,
+            rank,
+            world,
+            step,
+            seed,
+            replicated,
+            expert,
+            replicas,
+        })
+    }
+}
+
+/// One shard's entry in a manifest: enough to locate the file and to
+/// verify, before any state is touched, that what is on disk is the
+/// exact buffer whose durable ack the coordinator collected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The rank whose shard this is.
+    pub rank: u32,
+    /// Shard file name, relative to the snapshot directory.
+    pub name: String,
+    /// Exact encoded length of the shard file.
+    pub len: u32,
+    /// CRC32 of the full shard file.
+    pub crc: u32,
+}
+
+/// The commit record of one snapshot generation. Its *existence* is the
+/// commit: the coordinator writes it atomically only after every listed
+/// shard acked durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The generation this manifest commits.
+    pub generation: u64,
+    /// World size at snapshot time.
+    pub world: u32,
+    /// The committed training step the generation restores to.
+    pub step: u64,
+    /// The job seed; a resume refuses a manifest from a different run.
+    pub seed: u64,
+    /// One entry per participating rank.
+    pub shards: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Serializes the manifest into a CRC-sealed buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.world.to_le_bytes());
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for s in &self.shards {
+            out.extend_from_slice(&s.rank.to_le_bytes());
+            out.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&s.len.to_le_bytes());
+            out.extend_from_slice(&s.crc.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and verifies a manifest buffer.
+    pub fn decode(payload: &[u8]) -> Result<Manifest, CheckpointError> {
+        let (body, mut cur) = open_sealed(payload, MANIFEST_MAGIC)?;
+        let generation = cur.u64()?;
+        let world = cur.u32()?;
+        let step = cur.u64()?;
+        let seed = cur.u64()?;
+        let count = cur.u32()?;
+        if count > MAX_SECTION {
+            return Err(CheckpointError::BadHeader);
+        }
+        let mut shards = Vec::with_capacity(count.min(1024) as usize);
+        for _ in 0..count {
+            let rank = cur.u32()?;
+            let name_raw = cur.section()?;
+            let name = String::from_utf8(name_raw).map_err(|_| CheckpointError::BadHeader)?;
+            let len = cur.u32()?;
+            let crc = cur.u32()?;
+            shards.push(ManifestEntry {
+                rank,
+                name,
+                len,
+                crc,
+            });
+        }
+        check_seal(body, payload)?;
+        Ok(Manifest {
+            generation,
+            world,
+            step,
+            seed,
+            shards,
+        })
+    }
+
+    /// The manifest entry for `rank`, if it participated.
+    pub fn entry(&self, rank: u32) -> Option<&ManifestEntry> {
+        self.shards.iter().find(|s| s.rank == rank)
+    }
+
+    /// Verifies that `bytes` is exactly the shard file this entry
+    /// committed: length and whole-file CRC must both match.
+    pub fn entry_matches(entry: &ManifestEntry, bytes: &[u8]) -> bool {
+        bytes.len() == entry.len as usize && crc32(bytes) == entry.crc
+    }
+}
+
+/// Canonical shard file name for `(generation, rank)`. Zero-padded so a
+/// lexicographic directory sort is also a generation sort.
+pub fn shard_file_name(generation: u64, rank: usize) -> String {
+    format!("shard-g{generation:08}-r{rank:04}.smsh")
+}
+
+/// Canonical manifest file name for a generation.
+pub fn manifest_file_name(generation: u64) -> String {
+    format!("manifest-g{generation:08}.smmf")
+}
+
+/// Parses the generation out of a [`manifest_file_name`]-shaped file
+/// name; `None` for anything else (tmp siblings, shards, strangers).
+pub fn manifest_generation(file_name: &str) -> Option<u64> {
+    let rest = file_name.strip_prefix("manifest-g")?;
+    let digits = rest.strip_suffix(".smmf")?;
+    digits.parse().ok()
+}
+
+/// Parses `(generation, rank)` out of a [`shard_file_name`]-shaped file
+/// name.
+pub fn shard_file_parts(file_name: &str) -> Option<(u64, usize)> {
+    let rest = file_name.strip_prefix("shard-g")?;
+    let rest = rest.strip_suffix(".smsh")?;
+    let (gen, rank) = rest.split_once("-r")?;
+    Some((gen.parse().ok()?, rank.parse().ok()?))
+}
+
+/// Splits a sealed buffer into (body, cursor-past-magic-and-version),
+/// shared by both codecs.
+fn open_sealed<'a>(
+    payload: &'a [u8],
+    magic: &[u8; 4],
+) -> Result<(&'a [u8], Cursor<'a>), CheckpointError> {
+    if payload.len() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let body = &payload[..payload.len() - 4];
+    let mut cur = Cursor { buf: body, pos: 0 };
+    if cur.take(4)? != magic {
+        return Err(CheckpointError::BadHeader);
+    }
+    if cur.u32()? != VERSION {
+        return Err(CheckpointError::BadHeader);
+    }
+    Ok((body, cur))
+}
+
+/// Verifies the trailing CRC seal after a successful structural parse —
+/// the last gate before a decoded value escapes this module.
+fn check_seal(body: &[u8], payload: &[u8]) -> Result<(), CheckpointError> {
+    let seal = &payload[payload.len() - 4..];
+    let stored = u32::from_le_bytes([seal[0], seal[1], seal[2], seal[3]]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CheckpointError::Corrupt { stored, computed });
+    }
+    Ok(())
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// A length-prefixed byte section, with the length sanity-bounded
+    /// before allocation.
+    fn section(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let len = self.u32()?;
+        if len > MAX_SECTION {
+            return Err(CheckpointError::BadHeader);
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_shard() -> Shard {
+        Shard {
+            generation: 7,
+            rank: 2,
+            world: 4,
+            step: 120,
+            seed: 99,
+            replicated: vec![1, 2, 3, 4, 5],
+            expert: vec![9, 8, 7],
+            replicas: vec![
+                ShardReplica {
+                    ward: 1,
+                    quantum: 15,
+                    payload: vec![0xAA; 17],
+                },
+                ShardReplica {
+                    ward: 3,
+                    quantum: 14,
+                    payload: vec![],
+                },
+            ],
+        }
+    }
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            generation: 7,
+            world: 4,
+            step: 120,
+            seed: 99,
+            shards: (0..4)
+                .map(|r| ManifestEntry {
+                    rank: r,
+                    name: shard_file_name(7, r as usize),
+                    len: 100 + r,
+                    crc: 0xDEAD_0000 + r,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shard_and_manifest_round_trip() {
+        let s = sample_shard();
+        assert_eq!(Shard::decode(&s.encode()).unwrap(), s);
+        let m = sample_manifest();
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.entry(2).unwrap().name, shard_file_name(7, 2));
+        assert!(back.entry(9).is_none());
+    }
+
+    #[test]
+    fn file_names_parse_back_and_sort_by_generation() {
+        assert_eq!(manifest_generation(&manifest_file_name(42)), Some(42));
+        assert_eq!(manifest_generation("manifest-g00000042.smmf.tmp"), None);
+        assert_eq!(manifest_generation("shard-g00000001-r0000.smsh"), None);
+        assert_eq!(shard_file_parts(&shard_file_name(3, 11)), Some((3, 11)));
+        assert!(manifest_file_name(9) < manifest_file_name(10));
+    }
+
+    #[test]
+    fn cross_magic_decode_is_refused() {
+        let s = sample_shard();
+        assert_eq!(
+            Manifest::decode(&s.encode()).unwrap_err(),
+            CheckpointError::BadHeader
+        );
+        let m = sample_manifest();
+        assert_eq!(
+            Shard::decode(&m.encode()).unwrap_err(),
+            CheckpointError::BadHeader
+        );
+    }
+
+    #[test]
+    fn entry_matches_requires_exact_length_and_crc() {
+        let bytes = sample_shard().encode();
+        let entry = ManifestEntry {
+            rank: 2,
+            name: shard_file_name(7, 2),
+            len: bytes.len() as u32,
+            crc: crc32(&bytes),
+        };
+        assert!(Manifest::entry_matches(&entry, &bytes));
+        let mut rotted = bytes.clone();
+        rotted[10] ^= 0x40;
+        assert!(!Manifest::entry_matches(&entry, &rotted));
+        assert!(!Manifest::entry_matches(&entry, &bytes[..bytes.len() - 1]));
+    }
+
+    #[test]
+    fn shard_with_rank_out_of_world_is_refused() {
+        let mut s = sample_shard();
+        s.rank = 4;
+        assert!(matches!(
+            Shard::decode(&s.encode()).unwrap_err(),
+            CheckpointError::Mismatch { .. }
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn shard_round_trips_for_arbitrary_contents(
+            generation in 0u64..1_000_000,
+            rank in 0u32..16,
+            step in 0u64..100_000,
+            seed in 0u64..=u64::MAX,
+            replicated in proptest::collection::vec(0u8..=255, 0..256),
+            expert in proptest::collection::vec(0u8..=255, 0..256),
+            replicas in proptest::collection::vec(
+                (0u32..16, 0u64..=u64::MAX, proptest::collection::vec(0u8..=255, 0..64)),
+                0..4
+            ),
+        ) {
+            let s = Shard {
+                generation,
+                rank,
+                world: 16,
+                step,
+                seed,
+                replicated,
+                expert,
+                replicas: replicas
+                    .into_iter()
+                    .map(|(ward, quantum, payload)| ShardReplica { ward, quantum, payload })
+                    .collect(),
+            };
+            prop_assert_eq!(Shard::decode(&s.encode()).unwrap(), s);
+        }
+
+        #[test]
+        fn any_truncation_of_a_shard_is_refused(cut in 0usize..100) {
+            let bytes = sample_shard().encode();
+            let cut = cut % bytes.len();
+            prop_assert!(Shard::decode(&bytes[..cut]).is_err());
+        }
+
+        #[test]
+        fn any_byte_flip_in_a_shard_is_refused(pos in 0usize..1000, bit in 0u8..8) {
+            let mut bytes = sample_shard().encode();
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+            prop_assert!(Shard::decode(&bytes).is_err(), "flip at {} slipped through", pos);
+        }
+
+        #[test]
+        fn any_byte_flip_in_a_manifest_is_refused(pos in 0usize..1000, bit in 0u8..8) {
+            let mut bytes = sample_manifest().encode();
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+            prop_assert!(Manifest::decode(&bytes).is_err(), "flip at {} slipped through", pos);
+        }
+
+        #[test]
+        fn any_truncation_of_a_manifest_is_refused(cut in 0usize..100) {
+            let bytes = sample_manifest().encode();
+            let cut = cut % bytes.len();
+            prop_assert!(Manifest::decode(&bytes[..cut]).is_err());
+        }
+    }
+}

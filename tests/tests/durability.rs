@@ -1,0 +1,228 @@
+//! Crash-the-whole-job durability chaos: every rank persists snapshot
+//! shards through the asynchronous lane, the job "dies" (the truncated
+//! run simply ends), and a cold restart must replay the uninterrupted
+//! trajectory bit for bit — under seeded storage faults, and with a
+//! shard bitrotted on disk between the crash and the resume.
+//!
+//! 1. **Uninterrupted reference** — the full run with no snapshot lane;
+//!    its per-rank final losses are the ground truth every resumed run
+//!    is compared against *exactly* (f32 determinism, not a tolerance).
+//! 2. **Crash / resume** — a truncated snapshotting run, then a resume
+//!    of the full budget from the committed generations on disk. Every
+//!    rank must agree on the resume step and land on the reference loss.
+//! 3. **ChaosFs seeds** — the same cycle under torn writes, bitrot, and
+//!    crash-before-rename, one seed with a pinned crash window on the
+//!    coordinator's manifest rename: the interrupted generation must be
+//!    invisible and resume falls back to an older complete one.
+//! 4. **Buddy reconstruction** — a victim rank's newest shard is
+//!    corrupted on disk; the victim must rebuild its expert from the
+//!    replica embedded in its buddy's shard, not abandon the generation.
+//! 5. **Counters** — the per-rank obs counter registry must agree with
+//!    the reports: shards written everywhere, generations committed and
+//!    GC'd only by the coordinator, one restore per resumed rank, and
+//!    exactly one reconstruction on the corrupted rank.
+//!
+//! Everything lives in ONE `#[test]`: the obs counter registry is
+//! process-global, so the phases must not interleave.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use schemoe::prelude::*;
+use schemoe_cluster::storage::ChaosFsPlan;
+use schemoe_models::{run_ft_rank_durable, FtConfig, FtReport, SnapshotCfg};
+use schemoe_obs as obs;
+use schemoe_tensor::snapshot;
+
+const WORLD: usize = 4;
+const STEPS: usize = 24;
+const CRASH_STEPS: usize = 12;
+const INTERVAL: usize = 4;
+const KEEP: usize = 2;
+/// The rank whose shard gets bitrotted in the reconstruction phase.
+const VICTIM: usize = 1;
+
+fn cfg(steps: usize) -> FtConfig {
+    FtConfig::tiny(steps).with_seed(40).with_replica_interval(2)
+}
+
+fn run_world(cfg: FtConfig, snap: Option<SnapshotCfg>) -> Vec<FtReport> {
+    let topo = Topology::new(1, WORLD);
+    Fabric::run(topo, move |mut h| {
+        run_ft_rank_durable(&mut h, &cfg, snap.as_ref())
+    })
+}
+
+fn snap_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "schemoe-durability-it-{label}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Asserts every rank survived and resumed at the same step; returns it.
+fn agreed_resume_step(reports: &[FtReport]) -> usize {
+    let step = reports[0].resumed_at_step.expect("rank 0 resumed");
+    for (rank, r) in reports.iter().enumerate() {
+        assert!(r.died_at_step.is_none(), "rank {rank} died");
+        assert_eq!(
+            r.resumed_at_step,
+            Some(step),
+            "rank {rank} picked a different resume generation"
+        );
+    }
+    step
+}
+
+/// Asserts a resumed world landed exactly on the reference trajectory.
+fn assert_bit_identical(resumed: &[FtReport], reference: &[FtReport]) {
+    for (rank, (got, want)) in resumed.iter().zip(reference).enumerate() {
+        assert_eq!(
+            got.final_loss.to_bits(),
+            want.final_loss.to_bits(),
+            "rank {rank}: resumed loss {} != uninterrupted loss {}",
+            got.final_loss,
+            want.final_loss
+        );
+    }
+}
+
+/// Runs a truncated snapshotting job into `dir`, then resumes the full
+/// step budget from whatever it committed.
+fn crash_and_resume(dir: &Path, chaos: Option<Arc<ChaosFsPlan>>) -> Vec<FtReport> {
+    let mut crash_snap = SnapshotCfg::new(dir, INTERVAL).with_keep(KEEP);
+    if let Some(plan) = &chaos {
+        crash_snap = crash_snap.with_chaos(Arc::clone(plan));
+    }
+    let truncated = run_world(cfg(CRASH_STEPS), Some(crash_snap));
+    let committed: u64 = truncated.iter().map(|r| r.snapshot_generations).sum();
+    assert!(committed > 0, "no generation committed before the crash");
+
+    let mut resume_snap = SnapshotCfg::new(dir, INTERVAL)
+        .with_keep(KEEP)
+        .with_resume();
+    if let Some(plan) = &chaos {
+        resume_snap = resume_snap.with_chaos(Arc::clone(plan));
+    }
+    run_world(cfg(STEPS), Some(resume_snap))
+}
+
+#[test]
+fn whole_job_crash_recovery_under_storage_chaos() {
+    // Phase 1: the uninterrupted reference trajectory.
+    let reference = run_world(cfg(STEPS), None);
+    for (rank, r) in reference.iter().enumerate() {
+        assert!(r.died_at_step.is_none(), "reference rank {rank} died");
+        assert!(r.final_loss.is_finite());
+    }
+
+    // Phase 2: fault-free crash/resume, with counters watching.
+    obs::enable();
+    obs::reset_counters();
+    let dir = snap_dir("resume");
+    let resumed = crash_and_resume(&dir, None);
+    let step = agreed_resume_step(&resumed);
+    assert!(
+        step > 0 && step < CRASH_STEPS,
+        "resume step {step} out of range"
+    );
+    assert_bit_identical(&resumed, &reference);
+    for rank in 0..WORLD {
+        let c = obs::counters_for_rank(rank).snapshot();
+        assert!(
+            c.snapshot_shards > 0 && c.snapshot_bytes_written > 0,
+            "rank {rank} never wrote a durable shard"
+        );
+        assert_eq!(
+            c.snapshot_restores, 1,
+            "rank {rank} must restore exactly once across the cycle"
+        );
+        assert_eq!(c.snapshot_reconstructions, 0);
+        // Only the coordinator (lowest live rank) commits and collects.
+        if rank == 0 {
+            assert!(
+                c.snapshot_generations > 0,
+                "the coordinator never committed"
+            );
+            assert!(
+                c.snapshot_gc_removed > 0,
+                "retention never collected an old generation"
+            );
+        } else {
+            assert_eq!(c.snapshot_generations, 0);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 3: the same cycle under seeded storage faults. Seed 23 pins
+    // a crash-before-rename window on the coordinator's second manifest
+    // rename (its rename sequence interleaves shard g1, manifest g1,
+    // shard g2, manifest g2, ...), so one generation is guaranteed to be
+    // torn down between tmp and rename — and must stay invisible.
+    obs::reset_counters();
+    for &(seed, crash_window) in &[(11u64, false), (23u64, true)] {
+        let mut plan = ChaosFsPlan::seeded(seed)
+            .with_write_probs(0.05, 0.0, 0.05)
+            .with_crash_rename_prob(0.05);
+        if crash_window {
+            plan = plan.crash_rename_window(3, 4);
+        }
+        let dir = snap_dir(&format!("chaos{seed}"));
+        let resumed = crash_and_resume(&dir, Some(Arc::new(plan)));
+        agreed_resume_step(&resumed);
+        assert_bit_identical(&resumed, &reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Phase 4: bitrot the victim's newest shard between crash and
+    // resume; its buddy's embedded replica must cover the rebuild.
+    obs::reset_counters();
+    let dir = snap_dir("reconstruct");
+    let truncated = run_world(
+        cfg(CRASH_STEPS),
+        Some(SnapshotCfg::new(&dir, INTERVAL).with_keep(KEEP)),
+    );
+    assert!(truncated.iter().all(|r| r.died_at_step.is_none()));
+    let newest = std::fs::read_dir(&dir)
+        .expect("snapshot dir")
+        .flatten()
+        .filter_map(|e| snapshot::manifest_generation(&e.file_name().to_string_lossy()))
+        .max()
+        .expect("a committed generation");
+    let shard_path = dir.join(snapshot::shard_file_name(newest, VICTIM));
+    let mut bytes = std::fs::read(&shard_path).expect("read victim shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&shard_path, &bytes).expect("corrupt victim shard");
+
+    let resumed = run_world(
+        cfg(STEPS),
+        Some(
+            SnapshotCfg::new(&dir, INTERVAL)
+                .with_keep(KEEP)
+                .with_resume(),
+        ),
+    );
+    agreed_resume_step(&resumed);
+    assert_bit_identical(&resumed, &reference);
+    assert_eq!(
+        resumed[VICTIM].snapshot_reconstructions, 1,
+        "the corrupted rank must rebuild from its buddy's replica"
+    );
+    assert_eq!(
+        obs::counters_for_rank(VICTIM)
+            .snapshot()
+            .snapshot_reconstructions,
+        1
+    );
+    for rank in (0..WORLD).filter(|&r| r != VICTIM) {
+        assert_eq!(
+            resumed[rank].snapshot_reconstructions, 0,
+            "rank {rank} reconstructed without a corrupt shard"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    obs::disable();
+}
