@@ -54,6 +54,21 @@
 //!
 //!   Defaults: `BENCH_durability.json`, 0.10, 0.05.
 //!
+//! * `--placement` — reads the report the `placement` campaign writes
+//!   and enforces graceful degradation under skew: every seed's dynamic
+//!   run beats the static layout by the speedup floor with at least two
+//!   committed plans and one replication, the gray-rank run is demoted
+//!   and stays within the step-time ratio of the healthy baseline, and
+//!   token shedding is non-zero, under the fraction ceiling, counted by
+//!   obs, and bit-identical on the seeded replay:
+//!
+//!   ```bash
+//!   cargo run --release -p schemoe-bench --bin check_gate -- \
+//!       --placement [path] [min-speedup] [max-gray-ratio] [max-shed-fraction]
+//!   ```
+//!
+//!   Defaults: `BENCH_placement.json`, 1.15, 1.5, 0.01.
+//!
 //! Every mode parses with the workspace's own strict JSON reader, so a
 //! malformed report also fails the gate instead of sneaking past it.
 
@@ -342,6 +357,89 @@ fn durability_gate(mut args: impl Iterator<Item = String>) {
     println!("PASS");
 }
 
+fn placement_gate(mut args: impl Iterator<Item = String>) {
+    let path = args.next().unwrap_or_else(|| "BENCH_placement.json".into());
+    let min_speedup: f64 = args
+        .next()
+        .map_or(1.15, |a| a.parse().expect("min speedup"));
+    let max_gray_ratio: f64 = args
+        .next()
+        .map_or(1.5, |a| a.parse().expect("max gray ratio"));
+    let max_shed: f64 = args
+        .next()
+        .map_or(0.01, |a| a.parse().expect("max shed fraction"));
+
+    let doc = load(&path, "placement");
+    let mut failed = false;
+
+    let seeds = doc
+        .get("seeds")
+        .and_then(Json::as_array)
+        .expect("report has a seeds array");
+    assert!(seeds.len() >= 3, "need the three-seed skew suite");
+    for s in seeds {
+        let seed = s.get("seed").and_then(Json::as_f64).expect("seed id");
+        let speedup = s.get("speedup").and_then(Json::as_f64).expect("speedup");
+        let plans = s.get("plans").and_then(Json::as_f64).expect("plans");
+        let repl = s
+            .get("replications")
+            .and_then(Json::as_f64)
+            .expect("replications");
+        let shed = s
+            .get("shed_fraction")
+            .and_then(Json::as_f64)
+            .expect("shed_fraction");
+        let ok = speedup >= min_speedup && plans >= 2.0 && repl >= 1.0 && shed < max_shed;
+        println!(
+            "placement gate: seed {seed} -> {speedup:.2}x over static, \
+             {plans} plans, {repl} replications, shed {:.3}% {}",
+            shed * 100.0,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            eprintln!(
+                "FAIL: seed {seed} (need >= {min_speedup}x, >= 2 plans, \
+                 >= 1 replication, shed < {:.2}%)",
+                max_shed * 100.0
+            );
+            failed = true;
+        }
+    }
+
+    let gray = doc.get("gray").expect("report has a gray section");
+    let ratio = gray.get("ratio").and_then(Json::as_f64).expect("ratio");
+    let demotions = gray
+        .get("demotions")
+        .and_then(Json::as_f64)
+        .expect("demotions");
+    println!(
+        "placement gate: gray rank -> {ratio:.2}x of healthy steady step \
+         (ceiling {max_gray_ratio:.2}x), {demotions} demotion(s)"
+    );
+    if ratio > max_gray_ratio || demotions < 1.0 {
+        eprintln!("FAIL: the gray rank was not contained (ratio {ratio:.2}x)");
+        failed = true;
+    }
+
+    let det = doc.get("determinism").expect("report has determinism");
+    let det_ok = matches!(det.get("ok"), Some(Json::Bool(true)));
+    let shed = det.get("shed").and_then(Json::as_f64).expect("shed count");
+    let obs_ok = matches!(det.get("obs_shed_matches"), Some(Json::Bool(true)));
+    println!(
+        "placement gate: replay deterministic={det_ok}, \
+         {shed} tokens shed, obs agrees={obs_ok}"
+    );
+    if !det_ok || !obs_ok || shed < 1.0 {
+        eprintln!("FAIL: shed accounting must be non-zero, deterministic, and obs-counted");
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     match args.peek().map(String::as_str) {
@@ -356,6 +454,10 @@ fn main() {
         Some("--durability") => {
             args.next();
             durability_gate(args);
+        }
+        Some("--placement") => {
+            args.next();
+            placement_gate(args);
         }
         _ => forward_gate(args),
     }

@@ -1,0 +1,481 @@
+//! Graceful-degradation-under-skew benchmark: load-aware expert placement
+//! versus the static layout.
+//!
+//! Three scenarios over a 4-rank in-process channel fabric, forward-only
+//! so the expert-stage compute balance is the whole story:
+//!
+//! 1. **Skew throughput** (seeds 1–3) — every rank's batch is built by
+//!    rejection sampling against the seeded gate so token routing follows
+//!    a Zipf(1.8) law over the experts (~66% of assignments land on one
+//!    hot expert), with the hot set rotating two positions at mid-run and
+//!    a short overload burst right after the shift. The dynamic run re-plans
+//!    every [`QUANTUM`] steps through the same [`decide_plan`] policy the
+//!    trainer's placement controller uses — replicating the hot expert
+//!    across the idlest ranks — and must beat the static layout's
+//!    throughput by the gate margin (15%).
+//! 2. **Gray rank** — the same workload with every link touching rank 3
+//!    shaped by [`ChaosPlan::slow_rank`] (latency + 5× bandwidth cut).
+//!    Sender-side stall probes feed the gray detector, the controller
+//!    demotes rank 3 (its expert re-homes onto a healthy rank), and the
+//!    post-demotion steady-state step time must stay within 1.5× of the
+//!    healthy dynamic baseline.
+//! 3. **Shed accounting / determinism** — the overload burst exceeds the
+//!    gate capacity, so a small, bounded fraction of tokens sheds
+//!    (< 1% end to end); a seeded replay of the dynamic run must reproduce
+//!    the per-expert routed loads, the shed count, and the plan sequence
+//!    bit for bit, and the obs routing board must agree with the layer's
+//!    own accounting.
+//!
+//! Emits `BENCH_placement.json` for `check_gate --placement` plus a
+//! `trace_placement.json` chrome trace of the replay run.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use rand::Rng;
+use schemoe_cluster::{ChaosLink, ChaosPlan, Fabric, Topology, TransportKind};
+use schemoe_collectives::NcclA2A;
+use schemoe_compression::NoCompression;
+use schemoe_moe::{
+    decide_plan, DistributedMoeLayer, Expert, FfExpert, LoadReport, PolicyConfig, TopKGate,
+};
+use schemoe_obs as obs;
+use schemoe_tensor::rng::seeded;
+use schemoe_tensor::Tensor;
+
+const WORLD: usize = 4;
+const M: usize = 32;
+const H: usize = 64;
+const N_LOCAL: usize = 256;
+const K: usize = 1;
+const DEGREE: usize = 2;
+const CAP: f64 = 3.0;
+const STEPS: usize = 80;
+const QUANTUM: usize = 8;
+const SHIFT: usize = STEPS / 2;
+const BURST: usize = 3;
+const GRAY_STEPS: usize = 48;
+const POOL: usize = 4096;
+const GATE_SEED: u64 = 777;
+const PROBES: usize = 3;
+
+/// The uniform wire every scenario runs under: sender-blocking latency
+/// plus a per-link bandwidth ceiling, so a rank's egress serializes on
+/// its own thread and the hot expert's combine leg is a real bottleneck.
+const WIRE_LATENCY_US: u64 = 60;
+const WIRE_BW: u64 = 8 << 20;
+/// The gray rank's links carry 5× the wire latency — past the detector's
+/// 200µs floor and its `gray_factor ×` healthy-median bar.
+const GRAY_LATENCY_US: u64 = 5 * WIRE_LATENCY_US;
+
+/// Zipf(1.8) routing shares over the 4 expert rank-positions, plus the
+/// harder burst profile used for [`BURST`] steps right after the shift.
+const ZIPF: [f64; WORLD] = [0.663, 0.190, 0.092, 0.055];
+const BURST_SHARE: [f64; WORLD] = [0.85, 0.07, 0.05, 0.03];
+
+/// All per-rank batches for a run, indexed `[step][rank]`.
+type Batches = Arc<Vec<Vec<Tensor>>>;
+
+/// The all-pairs wire plan; with `gray` set, every link touching the last
+/// rank carries [`GRAY_LATENCY_US`] instead (bandwidth unchanged), so
+/// rank 3 looks like a gray straggler without being partitioned.
+fn wire_plan(gray: bool) -> ChaosPlan {
+    let mut plan = ChaosPlan::seeded(7);
+    for src in 0..WORLD {
+        for dst in 0..WORLD {
+            if src == dst {
+                continue;
+            }
+            let shaped = gray && (src == WORLD - 1 || dst == WORLD - 1);
+            plan = plan.with_link(
+                src,
+                dst,
+                ChaosLink {
+                    loss_prob: 0.0,
+                    latency: Duration::from_micros(if shaped {
+                        GRAY_LATENCY_US
+                    } else {
+                        WIRE_LATENCY_US
+                    }),
+                    bytes_per_sec: Some(WIRE_BW),
+                },
+            );
+        }
+    }
+    plan
+}
+
+/// Classifies a pool of candidate tokens by where the seeded gate routes
+/// them (top-1, capacity wide open), then assembles every step's batches
+/// by drawing pool rows so the realized routing follows the target share
+/// profile. The run's gate shares the classifier's weights (same seed),
+/// so the routed shares hold exactly under the tighter run capacity.
+fn build_batches(seed: u64) -> Batches {
+    let pool = schemoe_tensor::rng::uniform(&[POOL, M], 1.0, &mut seeded(9000 + seed));
+    let mut probe_gate = TopKGate::new(M, WORLD, K, 64.0, &mut seeded(GATE_SEED));
+    let decision = probe_gate.forward(&pool);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); WORLD];
+    for (t, picks) in decision.assignments.iter().enumerate() {
+        if let Some(&(e, _)) = picks.first() {
+            buckets[e].push(t);
+        }
+    }
+    for (e, b) in buckets.iter().enumerate() {
+        assert!(!b.is_empty(), "no pool token routes to expert {e}");
+    }
+
+    let mut steps = Vec::with_capacity(STEPS);
+    for step in 0..STEPS {
+        let shares: &[f64; WORLD] = if (SHIFT..SHIFT + BURST).contains(&step) {
+            &BURST_SHARE
+        } else {
+            &ZIPF
+        };
+        // The hot set shifts two positions at mid-run: rank-position i
+        // maps onto expert (i + 2) % WORLD afterwards.
+        let rotate = usize::from(step >= SHIFT) * 2;
+        let mut ranks = Vec::with_capacity(WORLD);
+        for rank in 0..WORLD {
+            let mut rng = seeded(seed ^ ((step as u64) << 20) ^ ((rank as u64) << 8));
+            let mut x = Tensor::zeros(&[N_LOCAL, M]);
+            for row in 0..N_LOCAL {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let mut pos = WORLD - 1;
+                let mut acc = 0.0;
+                for (i, share) in shares.iter().enumerate() {
+                    acc += share;
+                    if u < acc {
+                        pos = i;
+                        break;
+                    }
+                }
+                let expert = (pos + rotate) % WORLD;
+                let bucket = &buckets[expert];
+                let pick = bucket[rng.gen_range(0..bucket.len())];
+                x.row_mut(row).copy_from_slice(pool.row(pick));
+            }
+            ranks.push(x);
+        }
+        steps.push(ranks);
+    }
+    Arc::new(steps)
+}
+
+/// One rank's totals out of a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct RankOutcome {
+    loads: Vec<u64>,
+    shed: u64,
+    routed: u64,
+    plans: u64,
+    replications: u64,
+    demotions: u64,
+    version: u64,
+    wall_ms: f64,
+    step_ms: Vec<f64>,
+}
+
+/// Runs `steps` forward-only steps on one rank; with `dynamic` set, every
+/// [`QUANTUM`] steps runs the placement quantum the trainer uses: stall
+/// probes, a load-report allgather, the shared [`decide_plan`] policy, and
+/// a guest-body install + placement swap when the plan moved anything.
+#[allow(clippy::too_many_lines)]
+fn run_rank(
+    h: &mut schemoe_cluster::RankHandle,
+    batches: &Batches,
+    steps: usize,
+    dynamic: bool,
+) -> RankOutcome {
+    let me = h.rank();
+    let p = h.world_size();
+    let live = vec![true; p];
+    let gate = TopKGate::new(M, WORLD, K, CAP, &mut seeded(GATE_SEED));
+    let experts: Vec<Box<dyn Expert>> =
+        vec![Box::new(FfExpert::new(M, H, &mut seeded(2000 + me as u64)))];
+    let mut layer =
+        DistributedMoeLayer::new(gate, experts, Box::new(NoCompression), Box::new(NcclA2A))
+            .with_partition_degree(DEGREE)
+            .with_recv_timeout(Duration::from_secs(60));
+    let policy = PolicyConfig {
+        hot_factor: 1.25,
+        // Sleep-based wire latency overshoots by the kernel's timer slack
+        // (~60µs sleeps read ~130µs), which compresses the gray-to-healthy
+        // stall ratio; 2× the healthy median plus the detector's 200µs
+        // floor still separates cleanly.
+        gray_factor: 2.0,
+        min_tokens: 1,
+        ..PolicyConfig::default()
+    };
+    let mut out = RankOutcome {
+        loads: vec![0u64; WORLD],
+        ..RankOutcome::default()
+    };
+
+    let drain = |layer: &mut DistributedMoeLayer, out: &mut RankOutcome| {
+        let (loads, shed, routed, p99) = layer.take_load_stats();
+        for (acc, l) in out.loads.iter_mut().zip(&loads) {
+            *acc += l;
+        }
+        out.shed += shed;
+        out.routed += routed;
+        (loads, shed, routed, p99)
+    };
+
+    h.barrier();
+    let t0 = Instant::now();
+    for step in 0..steps {
+        let s0 = Instant::now();
+        let y = layer
+            .forward(h, &batches[step][me], (step as u64) << 16)
+            .expect("forward");
+        std::hint::black_box(y);
+        out.step_ms.push(s0.elapsed().as_secs_f64() * 1e3);
+
+        if !dynamic || (step + 1) % QUANTUM != 0 || step + 1 >= steps {
+            continue;
+        }
+        let base = (1u64 << 48) + ((step as u64) << 16);
+
+        // Sender-side stall probes: ChaosTransport sleeps the sender on a
+        // shaped link, so the best of three timed control sends reads the
+        // link's latency and a healthy in-process link reads ~0.
+        let probe = Bytes::from(vec![0u8; 64]);
+        let mut stall_p99_us = vec![0u64; p];
+        for r in (0..p).filter(|&r| r != me) {
+            let mut best = u64::MAX;
+            for _ in 0..PROBES {
+                let t = Instant::now();
+                h.send_control(r, base + 1, probe.clone()).expect("probe");
+                best = best.min(t.elapsed().as_micros() as u64);
+            }
+            stall_p99_us[r] = best;
+        }
+        if std::env::var_os("PLACEMENT_DEBUG").is_some() {
+            eprintln!("step {step} rank {me} stalls {stall_p99_us:?}");
+        }
+        for r in (0..p).filter(|&r| r != me) {
+            for _ in 0..PROBES {
+                h.recv(r, base + 1).expect("probe drain");
+            }
+        }
+
+        let (mut loads, shed, routed, service_p99_us) = drain(&mut layer, &mut out);
+        loads.resize(WORLD, 0);
+        let my = LoadReport {
+            rank: me,
+            loads,
+            shed,
+            routed,
+            service_p99_us,
+            stall_p99_us,
+        };
+
+        // Report allgather: every rank sees the identical set, so the
+        // pure policy computes the identical plan everywhere.
+        let frame = Bytes::from(my.encode());
+        for r in (0..p).filter(|&r| r != me) {
+            h.send(r, base + 2 + me as u64, frame.clone())
+                .expect("report");
+        }
+        let mut reports: Vec<Option<LoadReport>> = vec![None; p];
+        reports[me] = Some(my);
+        for r in (0..p).filter(|&r| r != me) {
+            let raw = h.recv(r, base + 2 + r as u64).expect("report recv");
+            reports[r] = Some(LoadReport::decode(&raw).expect("report frame"));
+        }
+
+        let plan = decide_plan(WORLD, 1, &live, &reports, CAP, &policy, out.version + 1);
+        let next = plan.placement;
+        let moved = layer.placement().map_or(!next.is_static(), |cur| {
+            (0..WORLD).any(|e| cur.servers(e) != next.servers(e))
+        });
+        if moved {
+            for e in 0..WORLD {
+                if e != me
+                    && next.servers(e).contains(&me)
+                    && !layer.guest_expert_ids().contains(&e)
+                {
+                    // Forward-only weights never move, so a freshly seeded
+                    // body is exactly the state transfer the trainer streams.
+                    layer.install_guest_expert(
+                        me,
+                        e,
+                        Box::new(FfExpert::new(M, H, &mut seeded(2000 + e as u64))),
+                    );
+                }
+            }
+            out.plans += 1;
+            out.replications += (0..WORLD)
+                .map(|e| next.servers(e).len().saturating_sub(1) as u64)
+                .sum::<u64>();
+            out.demotions += (0..p).filter(|&r| next.served_by(r).is_empty()).count() as u64;
+            layer.set_placement(me, next);
+        }
+        out.version += 1;
+        layer.set_capacity_factor(plan.capacity_override.unwrap_or(CAP));
+    }
+    h.barrier();
+    out.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drain(&mut layer, &mut out);
+    out
+}
+
+fn run_world(batches: &Batches, steps: usize, dynamic: bool, gray: bool) -> Vec<RankOutcome> {
+    let topo = Topology::new(1, WORLD);
+    let b = Arc::clone(batches);
+    Fabric::run_with_chaos_on(
+        TransportKind::Channel,
+        topo,
+        wire_plan(gray),
+        None,
+        move |mut h| run_rank(&mut h, &b, steps, dynamic),
+    )
+}
+
+fn tokens_per_sec(outs: &[RankOutcome], steps: usize) -> f64 {
+    let wall_s = outs.iter().map(|o| o.wall_ms).fold(0.0f64, f64::max) / 1e3;
+    (steps * WORLD * N_LOCAL) as f64 / wall_s
+}
+
+/// Mean per-step wall-clock over the post-warmup half of the run, worst
+/// rank — the steady-state figure the gray gate compares.
+fn steady_ms(outs: &[RankOutcome]) -> f64 {
+    outs.iter()
+        .map(|o| {
+            let tail = &o.step_ms[o.step_ms.len() / 2..];
+            tail.iter().sum::<f64>() / tail.len() as f64
+        })
+        .fold(0.0f64, f64::max)
+}
+
+fn shed_fraction(outs: &[RankOutcome]) -> f64 {
+    let shed: u64 = outs.iter().map(|o| o.shed).sum();
+    let routed: u64 = outs.iter().map(|o| o.routed).sum();
+    shed as f64 / (shed + routed).max(1) as f64
+}
+
+fn main() {
+    println!(
+        "placement: {WORLD} ranks, {STEPS} steps, quantum {QUANTUM}, \
+         Zipf shares {ZIPF:?} shifting at step {SHIFT}\n"
+    );
+
+    // Scenario 1: skew throughput, dynamic vs static, three seeds.
+    let mut seed_rows = Vec::new();
+    let mut batches_by_seed = Vec::new();
+    for seed in 1..=3u64 {
+        let batches = build_batches(seed);
+        let stat = run_world(&batches, STEPS, false, false);
+        let dyn_ = run_world(&batches, STEPS, true, false);
+        let st = tokens_per_sec(&stat, STEPS);
+        let dy = tokens_per_sec(&dyn_, STEPS);
+        let speedup = dy / st;
+        let frac = shed_fraction(&dyn_);
+        let plans = dyn_[0].plans;
+        let repl = dyn_[0].replications;
+        assert!(
+            dyn_.iter().all(|o| o.plans == plans),
+            "ranks disagree on the committed plan count"
+        );
+        assert!(plans >= 2, "the hot-set shift must force a re-plan");
+        assert!(repl >= 1, "the hot expert never gained a replica");
+        let total_shed: u64 = dyn_.iter().map(|o| o.shed).sum();
+        assert!(total_shed > 0, "the overload burst never shed a token");
+        println!(
+            "seed {seed}: static {st:.0} tok/s, dynamic {dy:.0} tok/s \
+             ({speedup:.2}x), {plans} plans, {repl} replications, \
+             shed {:.3}%",
+            frac * 100.0
+        );
+        seed_rows.push((seed, st, dy, speedup, plans, repl, frac));
+        batches_by_seed.push(batches);
+    }
+
+    // Scenario 2: one gray rank. The healthy baseline is the dynamic run
+    // on the same truncated workload; the shaped run must demote rank 3
+    // and settle within the gate's ratio of that baseline.
+    let gray_batches = &batches_by_seed[0];
+    let healthy = run_world(gray_batches, GRAY_STEPS, true, false);
+    let gray = run_world(gray_batches, GRAY_STEPS, true, true);
+    let healthy_ms = steady_ms(&healthy);
+    let gray_ms = steady_ms(&gray);
+    let ratio = gray_ms / healthy_ms;
+    let demotions = gray[0].demotions;
+    assert!(demotions >= 1, "the shaped rank was never demoted");
+    println!(
+        "gray: healthy steady {healthy_ms:.2} ms vs shaped {gray_ms:.2} ms \
+         ({ratio:.2}x), {demotions} demotion(s)"
+    );
+
+    // Scenario 3: seeded replay determinism, traced. The replay runs with
+    // the span recorder on and must reproduce the first dynamic run's
+    // loads, shed count, and plan sequence bit for bit; the obs routing
+    // board must agree with the layer's own shed accounting.
+    obs::reset_counters();
+    let _ = obs::take();
+    obs::enable();
+    let replay = run_world(&batches_by_seed[0], STEPS, true, false);
+    let trace = obs::take();
+    obs::disable();
+    let first = run_world(&batches_by_seed[0], STEPS, true, false);
+    let mut deterministic = true;
+    for (a, b) in replay.iter().zip(&first) {
+        deterministic &= a.loads == b.loads
+            && a.shed == b.shed
+            && a.routed == b.routed
+            && a.plans == b.plans
+            && a.version == b.version;
+    }
+    assert!(deterministic, "the seeded replay diverged");
+    let obs_shed: u64 = obs::routing_snapshots().iter().map(|s| s.shed).sum();
+    let replay_shed: u64 = replay.iter().map(|o| o.shed).sum();
+    let obs_shed_matches = obs_shed == replay_shed;
+    assert!(
+        obs_shed_matches,
+        "obs counted {obs_shed} shed tokens, the layers counted {replay_shed}"
+    );
+    let json = trace.to_chrome_trace();
+    obs::json::parse(&json).expect("chrome trace must be well-formed JSON");
+    std::fs::write("trace_placement.json", &json).expect("write trace_placement.json");
+    println!(
+        "replay: deterministic, shed {replay_shed} tokens (obs agrees), \
+         {} trace spans",
+        trace.spans.len()
+    );
+
+    let min_speedup = seed_rows.iter().map(|r| r.3).fold(f64::INFINITY, f64::min);
+    println!("\nBENCH_PLACEMENT_MIN_SPEEDUP={min_speedup:.4}");
+    println!("BENCH_PLACEMENT_GRAY_RATIO={ratio:.4}");
+    println!(
+        "BENCH_PLACEMENT_SHED_FRACTION={:.6}",
+        shed_fraction(&replay)
+    );
+
+    let seeds_json: Vec<String> = seed_rows
+        .iter()
+        .map(|(seed, st, dy, sp, plans, repl, frac)| {
+            format!(
+                "{{\"seed\":{seed},\"static_tok_s\":{st:.1},\
+                 \"dynamic_tok_s\":{dy:.1},\"speedup\":{sp:.4},\
+                 \"plans\":{plans},\"replications\":{repl},\
+                 \"shed_fraction\":{frac:.6}}}"
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\"bench\":\"placement\",\"ranks\":{WORLD},\"steps\":{STEPS},\
+         \"quantum\":{QUANTUM},\"shift\":{SHIFT},\
+         \"seeds\":[{}],\
+         \"gray\":{{\"wire_latency_us\":{WIRE_LATENCY_US},\
+         \"gray_latency_us\":{GRAY_LATENCY_US},\"healthy_steady_ms\":{healthy_ms:.3},\
+         \"gray_steady_ms\":{gray_ms:.3},\"ratio\":{ratio:.4},\
+         \"demotions\":{demotions}}},\
+         \"determinism\":{{\"ok\":{deterministic},\
+         \"shed\":{replay_shed},\"obs_shed_matches\":{obs_shed_matches}}}}}\n",
+        seeds_json.join(",")
+    );
+    let path = "BENCH_placement.json";
+    std::fs::write(path, &report).expect("write BENCH_placement.json");
+    println!("BENCH_JSON={path}");
+}

@@ -41,5 +41,5 @@ pub use storage::{write_atomic, ChaosFs, ChaosFsPlan, RealFs, RenameFate, Storag
 pub use topology::{Rank, Topology};
 pub use transport::{
     ChaosDecision, ChaosLink, ChaosPlan, ChaosTransport, Transport, TransportBootstrap,
-    TransportKind,
+    TransportKind, NOMINAL_BW,
 };

@@ -89,8 +89,15 @@ pub struct ChaosPlan {
     flaps: HashMap<(Rank, Rank), Vec<(u64, u64)>>,
     refusals: HashMap<(Rank, Rank), Vec<(u64, u64)>>,
     links: HashMap<(Rank, Rank), ChaosLink>,
+    /// Rank-wide shaping: applied to every link touching the rank (either
+    /// direction) that has no explicit `links` entry.
+    slow_ranks: HashMap<Rank, ChaosLink>,
     heal_after: Option<Duration>,
 }
+
+/// Reference bandwidth [`ChaosPlan::slow_rank`] divides by its
+/// `bw_factor`: 1 GiB/s, a healthy datacenter NIC.
+pub const NOMINAL_BW: u64 = 1 << 30;
 
 impl ChaosPlan {
     /// A plan with the given replay seed and no chaos configured yet.
@@ -160,6 +167,36 @@ impl ChaosPlan {
         self
     }
 
+    /// Gray-failure primitive: shapes **every link touching `rank`**, in
+    /// both directions, with the given fixed latency and a bandwidth
+    /// ceiling of [`NOMINAL_BW`]` / bw_factor` (`bw_factor <= 0` leaves
+    /// bandwidth unshaped). The rank stays up and correct — it is merely
+    /// slow to talk to, the classic gray failure a liveness probe misses.
+    /// Explicit [`with_link`](Self::with_link) entries take precedence on
+    /// their links.
+    pub fn slow_rank(mut self, rank: Rank, latency: Duration, bw_factor: f64) -> Self {
+        let bytes_per_sec = (bw_factor > 0.0).then(|| (NOMINAL_BW as f64 / bw_factor) as u64);
+        self.slow_ranks.insert(
+            rank,
+            ChaosLink {
+                loss_prob: 0.0,
+                latency,
+                bytes_per_sec,
+            },
+        );
+        self
+    }
+
+    /// The shaping in force on `src -> dst`: the explicit link entry if
+    /// one exists, else the rank-wide entry of whichever endpoint is
+    /// marked slow (source first).
+    fn link_for(&self, src: Rank, dst: Rank) -> Option<&ChaosLink> {
+        self.links
+            .get(&(src, dst))
+            .or_else(|| self.slow_ranks.get(&src))
+            .or_else(|| self.slow_ranks.get(&dst))
+    }
+
     /// Wall-clock heal: all chaos ends `after` the decorator's
     /// construction. **Not deterministic** — launcher-only; seeded
     /// campaigns should close their windows by index instead.
@@ -205,7 +242,7 @@ impl ChaosPlan {
         if Self::in_window(&self.blackholes, key, idx) {
             return ChaosDecision::Blackhole;
         }
-        if let Some(link) = self.links.get(&key) {
+        if let Some(link) = self.link_for(src, dst) {
             if link.loss_prob > 0.0 && self.roll(src, dst, idx) < link.loss_prob {
                 return ChaosDecision::Blackhole;
             }
@@ -216,7 +253,7 @@ impl ChaosPlan {
     /// The shaping stall charged to a delivered send of `len` bytes on
     /// `src -> dst` (fixed latency plus bandwidth serialization).
     pub fn shaping_delay(&self, src: Rank, dst: Rank, len: usize) -> Duration {
-        let Some(link) = self.links.get(&(src, dst)) else {
+        let Some(link) = self.link_for(src, dst) else {
             return Duration::ZERO;
         };
         let bw = link.bytes_per_sec.map_or(Duration::ZERO, |bps| {
@@ -456,6 +493,40 @@ mod tests {
         // 1000 bytes at 1 MB/s = 1 ms, plus 2 ms latency.
         assert_eq!(plan.shaping_delay(0, 1, 1000), Duration::from_millis(3));
         assert_eq!(plan.shaping_delay(1, 0, 1000), Duration::ZERO);
+    }
+
+    #[test]
+    fn slow_rank_shapes_every_touching_link_both_directions() {
+        let plan = ChaosPlan::seeded(12).slow_rank(2, Duration::from_millis(5), 8.0);
+        // 1 GiB/s / 8 = 128 MiB/s; 128 MiB of payload would take 1 s, so
+        // 1 MiB takes ~7.8 ms on top of the 5 ms latency.
+        let mib = 1 << 20;
+        let d_out = plan.shaping_delay(2, 0, mib);
+        let d_in = plan.shaping_delay(1, 2, mib);
+        assert_eq!(d_out, d_in);
+        assert!(d_out > Duration::from_millis(12), "got {d_out:?}");
+        // Links not touching rank 2 are unshaped.
+        assert_eq!(plan.shaping_delay(0, 1, mib), Duration::ZERO);
+        // Zero-size sends still pay the latency.
+        assert_eq!(plan.shaping_delay(0, 2, 0), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn explicit_link_entries_take_precedence_over_slow_rank() {
+        let plan = ChaosPlan::seeded(13)
+            .slow_rank(1, Duration::from_millis(10), 0.0)
+            .with_link(
+                0,
+                1,
+                ChaosLink {
+                    latency: Duration::from_millis(1),
+                    ..ChaosLink::default()
+                },
+            );
+        assert_eq!(plan.shaping_delay(0, 1, 0), Duration::from_millis(1));
+        assert_eq!(plan.shaping_delay(1, 0, 0), Duration::from_millis(10));
+        // bw_factor <= 0 leaves bandwidth unshaped: latency only.
+        assert_eq!(plan.shaping_delay(1, 0, 1 << 20), Duration::from_millis(10));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod shm;
 pub mod tcp;
 
 pub use channel::ChannelTransport;
-pub use chaos::{ChaosDecision, ChaosLink, ChaosPlan, ChaosTransport};
+pub use chaos::{ChaosDecision, ChaosLink, ChaosPlan, ChaosTransport, NOMINAL_BW};
 #[cfg(unix)]
 pub use shm::ShmTransport;
 pub use tcp::{BootstrapError, TcpTransport};

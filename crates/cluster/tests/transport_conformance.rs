@@ -391,6 +391,72 @@ fn asymmetric_loss_silences_one_direction_only() {
     }
 }
 
+/// `slow_rank` gray-failure shaping charges wall-clock on **every link
+/// touching the marked rank, in both directions**, while links between
+/// healthy ranks stay fast — on every backend. Shaping is sender-side,
+/// so the slow cost lands in the sender's own `send` call, which is what
+/// the placement controller's stall probes measure.
+#[test]
+fn slow_rank_shapes_only_its_links_on_every_backend() {
+    for kind in kinds() {
+        // 40 ms latency, no bandwidth ceiling: big enough to dominate any
+        // scheduler noise, small enough to keep the suite fast.
+        let chaos = ChaosPlan::seeded(44).slow_rank(1, Duration::from_millis(40), 0.0);
+        let topo = Topology::new(1, 3);
+        let results = Fabric::run_with_chaos_on(kind, topo, chaos, None, |mut h| {
+            let me = h.rank();
+            let timed_send = |h: &mut schemoe_cluster::RankHandle, dst: usize| {
+                let t0 = Instant::now();
+                h.send(dst, 3, Bytes::from_static(b"probe")).unwrap();
+                t0.elapsed()
+            };
+            let out = match me {
+                0 => {
+                    let to_slow = timed_send(&mut h, 1);
+                    let to_fast = timed_send(&mut h, 2);
+                    vec![to_slow, to_fast]
+                }
+                1 => {
+                    let from_slow = timed_send(&mut h, 2);
+                    vec![from_slow]
+                }
+                _ => Vec::new(),
+            };
+            // Drain so no backend tears a link down mid-send.
+            match me {
+                1 => {
+                    h.recv_timeout(0, 3, Duration::from_secs(10)).unwrap();
+                }
+                2 => {
+                    h.recv_timeout(0, 3, Duration::from_secs(10)).unwrap();
+                    h.recv_timeout(1, 3, Duration::from_secs(10)).unwrap();
+                }
+                _ => {}
+            }
+            h.barrier();
+            out
+        });
+        let to_slow = results[0][0];
+        let to_fast = results[0][1];
+        let from_slow = results[1][0];
+        assert!(
+            to_slow >= Duration::from_millis(40),
+            "{}: send toward the slow rank took {to_slow:?}",
+            kind.label()
+        );
+        assert!(
+            from_slow >= Duration::from_millis(40),
+            "{}: send from the slow rank took {from_slow:?}",
+            kind.label()
+        );
+        assert!(
+            to_fast < Duration::from_millis(40),
+            "{}: healthy link was shaped ({to_fast:?})",
+            kind.label()
+        );
+    }
+}
+
 /// A refused link fails sends typed while leaving the existing stream
 /// intact — the peer observes nothing — and a caller that simply
 /// retries gets through once the refusal window closes, the

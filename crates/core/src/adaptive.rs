@@ -717,6 +717,7 @@ mod tests {
             FuncTrace {
                 spans,
                 counters: Vec::new(),
+                routing: Vec::new(),
             }
         };
         assert!(sys.observe_step(&step_at(1)) > 0);
@@ -751,6 +752,7 @@ mod tests {
                 .map(|stem| mk(stem, 1e6))
                 .collect(),
             counters: Vec::new(),
+            routing: Vec::new(),
         };
         sys.observe_step(&trace);
         assert!(!sys.in_warmup());

@@ -88,8 +88,8 @@ use schemoe_cluster::{AdaptiveDeadline, FabricError, RankHandle};
 use schemoe_collectives::{NcclA2A, TAG_STRIDE};
 use schemoe_compression::NoCompression;
 use schemoe_moe::{
-    allreduce_live, DeltaEncoder, DistributedMoeLayer, Expert, FfExpert, GradAllreduce,
-    ReplicaStore, TopKGate,
+    allreduce_live, decide_plan, DeltaEncoder, DistributedMoeLayer, Expert, FfExpert,
+    GradAllreduce, LoadReport, Placement, PlacementPlan, PolicyConfig, ReplicaStore, TopKGate,
 };
 use schemoe_scheduler::executor::{run_overlapped_cancellable, ExecTask, Worker};
 use schemoe_tensor::checkpoint;
@@ -188,6 +188,33 @@ const SNAPSHOT_NS: u64 = (1 << 62) + (2u64 << 32);
 fn snapshot_ack_tag(generation: u64) -> u64 {
     SNAPSHOT_NS + generation * 8
 }
+
+/// Tag namespace for the placement protocol: load reports, plans, readies,
+/// decisions, stall probes, and staged expert transfers. Sits above
+/// [`SNAPSHOT_NS`]'s generation-scoped windows and below [`HANDBACK_NS`],
+/// so placement traffic can never collide with any other lane.
+const PLACEMENT_NS: u64 = (1 << 62) + (3u64 << 32);
+
+/// Placement frames are scoped by the committed step of their quantum; a
+/// 1 MiB window per quantum leaves room for per-expert transfer streams.
+fn placement_tag(step: usize) -> u64 {
+    PLACEMENT_NS + (step as u64) * (1 << 20)
+}
+
+/// Offsets inside a quantum's placement window. Report/plan/ready/decision
+/// each get an 8-tag band ([`XFER_COPIES`]/[`VOTE_COPIES`] duplicates fit
+/// well inside); probes get their own; transfers for expert `e` stream on
+/// `base + 4096 * (1 + e)` so chunk sub-tags never cross experts.
+const PL_REPORT: u64 = 0;
+const PL_PLAN: u64 = 8;
+const PL_READY: u64 = 16;
+const PL_DECISION: u64 = 24;
+const PL_PROBE: u64 = 32;
+
+/// Sender-side timed probes per peer in a placement quantum. The max of
+/// the batch stands in for the p99 link stall; chaos shaping sleeps the
+/// sender, so shaped links read high while in-process links read ~0.
+const PLACEMENT_PROBES: usize = 3;
 
 /// Failure-domain labels for up to 64 ranks — one 4-bit label per rank
 /// (16 domains), packed into four words so the map stays `Copy` like the
@@ -312,6 +339,23 @@ pub struct FtConfig {
     /// transport); the rank trains only after an invite installs the
     /// survivors' state.
     pub rejoin: bool,
+    /// Placement quantum in committed steps: every `K` steps the cluster
+    /// exchanges load reports and the coordinator may replicate hot
+    /// experts, migrate cold ones off gray ranks, and retune the shed
+    /// capacity factor. `0` disables the placement controller (the static
+    /// expert layout).
+    pub placement_interval: usize,
+    /// Replica cap per expert in a placement plan (static home included).
+    pub placement_max_replicas: usize,
+    /// An expert is *hot* when its busiest server's share exceeds this
+    /// multiple of the mean per-rank load.
+    pub placement_hot_factor: f64,
+    /// A rank is *gray* when its observed link stall exceeds this multiple
+    /// of the cluster median (and an absolute floor).
+    pub placement_gray_factor: f64,
+    /// Overload-shed capacity override is clamped to at least this
+    /// fraction of the configured capacity factor, bounding token loss.
+    pub placement_shed_floor: f64,
 }
 
 impl FtConfig {
@@ -340,6 +384,11 @@ impl FtConfig {
             replica_domains: None,
             partition_degree: 1,
             rejoin: false,
+            placement_interval: 0,
+            placement_max_replicas: 2,
+            placement_hot_factor: 1.75,
+            placement_gray_factor: 4.0,
+            placement_shed_floor: 0.5,
         }
     }
 
@@ -384,6 +433,30 @@ impl FtConfig {
     /// Sets the MoE partition degree (`1` = serial, no overlap).
     pub fn with_partition_degree(mut self, degree: usize) -> Self {
         self.partition_degree = degree.max(1);
+        self
+    }
+
+    /// Sets the placement quantum (`0` disables the controller).
+    pub fn with_placement_interval(mut self, interval: usize) -> Self {
+        self.placement_interval = interval;
+        self
+    }
+
+    /// Sets the replica cap per expert in placement plans.
+    pub fn with_placement_max_replicas(mut self, max: usize) -> Self {
+        self.placement_max_replicas = max.max(1);
+        self
+    }
+
+    /// Sets the hot-expert replication threshold.
+    pub fn with_placement_hot_factor(mut self, factor: f64) -> Self {
+        self.placement_hot_factor = factor;
+        self
+    }
+
+    /// Sets the gray-rank stall threshold multiple.
+    pub fn with_placement_gray_factor(mut self, factor: f64) -> Self {
+        self.placement_gray_factor = factor;
         self
     }
 }
@@ -509,6 +582,23 @@ pub struct FtReport {
     /// Wall-clock milliseconds the startup restore scan + apply took
     /// (0.0 when resume was not requested).
     pub restore_ms: f64,
+    /// Placement plans this rank committed (static refreshes included).
+    pub placement_plans: u64,
+    /// Expert replications committed across all plans (extra servers
+    /// beyond the first, summed per plan).
+    pub placement_replications: u64,
+    /// Experts committed to serve away from their static home.
+    pub placement_migrations: u64,
+    /// Ranks demoted to serving no experts, summed per committed plan.
+    pub placement_demotions: u64,
+    /// Bytes of expert state streamed for placement transfers (shipped as
+    /// a home plus applied as a new server).
+    pub placement_transfer_bytes: u64,
+    /// Token-to-expert assignments the gate admitted on this rank.
+    pub tokens_routed: u64,
+    /// Token-to-expert assignments shed by capacity-factor overload
+    /// protection on this rank.
+    pub tokens_shed: u64,
 }
 
 /// Replication bookkeeping one rank accumulates over a run; folded into the
@@ -534,6 +624,20 @@ struct SnapStats {
     reconstructions: u64,
     resumed_at: Option<usize>,
     restore_ms: f64,
+}
+
+/// Placement bookkeeping one rank accumulates over a run; folded into the
+/// [`FtReport`] at the end.
+#[derive(Clone, Debug, Default)]
+struct PlacementStats {
+    plans: u64,
+    replications: u64,
+    migrations: u64,
+    demotions: u64,
+    transfer_bytes: u64,
+    version: u64,
+    routed: u64,
+    shed: u64,
 }
 
 /// The outcome of one cluster-wide vote.
@@ -663,6 +767,36 @@ fn try_step(
     });
     let mut hoff = 0usize;
     head.visit_params(&mut |p| write_back(p, &head_flat, &mut hoff));
+
+    // Per-expert sync-group gradient reduce under a committed placement.
+    // Every member of `sync_group(e)` — the serving ranks plus the static
+    // home, which always stays a member so transfers can source from it —
+    // receives the *unscaled sum* of the members' partial gradients and
+    // applies the identical update. A member the router sent no tokens to
+    // contributes zeros (its body was untouched this attempt), so the sum
+    // is the full-batch gradient regardless of how tokens fanned out.
+    // Groups of one (the static layout) skip the wire entirely.
+    if let Some(pl) = moe.placement().cloned() {
+        for e in 0..pl.n_experts() {
+            let group = pl.sync_group(e);
+            if group.len() < 2 || !group.contains(&me) {
+                continue;
+            }
+            let mut mask = vec![false; live.len()];
+            for &r in &group {
+                mask[r] = true;
+            }
+            let mut flat: Vec<f32> = Vec::new();
+            moe.visit_serving_params(me, e, &mut |p| flat.extend_from_slice(p.grad.data()));
+            allreduce_live(h, &mut flat, tag + ALLREDUCE_LANE + 4 + 2 * e as u64, &mask)?;
+            let mut off = 0usize;
+            moe.visit_serving_params(me, e, &mut |p| {
+                let n = p.grad.numel();
+                p.grad.data_mut().copy_from_slice(&flat[off..off + n]);
+                off += n;
+            });
+        }
+    }
     Ok(loss)
 }
 
@@ -987,6 +1121,29 @@ fn apply_hosted_replica(
     })
 }
 
+/// Applies a verified [`expert_state_payload`] frame from expert `e`'s
+/// static home to this rank's *guest* body and a guest velocity vector —
+/// the receiving side of a placement transfer. Same layout discipline as
+/// [`apply_hosted_replica`]: velocity entries are named by the global slot
+/// indices, so the frame a home produces loads positionally.
+fn apply_guest_state(
+    payload: &[u8],
+    moe: &mut DistributedMoeLayer,
+    me: usize,
+    e: usize,
+    vel: &mut [Tensor],
+    vel_indices: &[usize],
+) -> Result<(), checkpoint::CheckpointError> {
+    checkpoint::load(payload, &mut |f| {
+        moe.visit_serving_params(me, e, f);
+        for (k, &i) in vel_indices.iter().enumerate() {
+            let mut p = Param::new(format!("opt.v{i}"), vel[k].clone());
+            f(&mut p);
+            vel[k] = p.value;
+        }
+    })
+}
+
 /// Streams a sealed state payload to `to` in bounded chunks: a 16-byte
 /// header `[total_bytes u64][n_chunks u64]` on `tag`, then chunk `i` on
 /// `tag + 1 + i`, each frame sent [`XFER_COPIES`] times on the
@@ -1246,6 +1403,10 @@ fn snapshot_quantum(
     let deadline = Duration::from_millis(cfg.vote_timeout_ms.max(100) * 2);
     let tag = snapshot_ack_tag(generation);
     let shard_path = s.dir.join(snapshot::shard_file_name(generation, me));
+    // Captured before `moe` is mutably borrowed by the encode task: the
+    // active placement rides the manifest so a resumed job restarts with
+    // the same expert layout it snapshotted under.
+    let placement_blob = moe.placement().map(|pl| pl.encode()).unwrap_or_default();
 
     let encoded: Mutex<Option<Vec<u8>>> = Mutex::new(None);
     // `(len, crc)` of this rank's shard once it is durable on disk.
@@ -1413,6 +1574,7 @@ fn snapshot_quantum(
                     step: step as u64,
                     seed: cfg.seed,
                     shards: entries,
+                    placement: placement_blob.clone(),
                 };
                 let mpath = s.dir.join(snapshot::manifest_file_name(generation));
                 if write_atomic(fs, &mpath, &man.encode()).is_ok() {
@@ -1441,6 +1603,310 @@ fn snapshot_quantum(
     }
 }
 
+/// One placement quantum: every rank probes its links and drains its
+/// routing-load accumulators into a [`LoadReport`]; the coordinator
+/// (lowest live rank) runs the deterministic policy ([`decide_plan`]) —
+/// replicate hot experts onto underloaded ranks, migrate experts off gray
+/// ranks, retune the shed capacity factor — and the plan commits through
+/// a two-phase protocol on the [`PLACEMENT_NS`] tag namespace: reports →
+/// plan → staged expert transfers (CRC-sealed [`stream_state`] frames,
+/// parse-verify-apply) → all-ranks READY → coordinator DECISION. Any
+/// failure anywhere aborts the quantum on that rank: staged guest bodies
+/// are discarded and routing stays on the old placement. A rank that
+/// dies mid-quantum tears the protocol, but the next step's vote buries
+/// it and the burial path resets *everyone* to the static layout, so a
+/// torn commit can never leave ranks routing on divergent placements for
+/// more than one attempt.
+///
+/// Stall probes time this rank's own control sends: chaos latency and
+/// bandwidth shaping sleep the *sender*, so the outbound link cost lands
+/// in the probe; healthy in-process links read ~0 µs, below the gray
+/// floor, keeping no-chaos replays plan-deterministic.
+#[allow(clippy::too_many_arguments)]
+fn placement_quantum(
+    h: &mut RankHandle,
+    cfg: &FtConfig,
+    embed: &mut Embedding,
+    moe: &mut DistributedMoeLayer,
+    head: &mut Linear,
+    opt: &mut Sgd,
+    live: &[bool],
+    guest_vel: &mut BTreeMap<usize, Vec<Tensor>>,
+    vel_indices: &[usize],
+    pstats: &mut PlacementStats,
+    step: usize,
+) {
+    let me = h.rank();
+    let p = h.world_size();
+    let epr = moe.experts_per_rank();
+    // The transfer payload is `expert_state_payload`, which carries *all*
+    // of a rank's local experts in one frame — unambiguous only at one
+    // expert per rank (the shape the FT loop always builds).
+    if epr != 1 {
+        return;
+    }
+    let n_experts = p * epr;
+    let Some(coordinator) = (0..p).find(|&r| live[r]) else {
+        return;
+    };
+    let deadline = Duration::from_millis(cfg.vote_timeout_ms.max(100) * 2);
+    let base = placement_tag(step);
+
+    // Phase 1 — stall probes, sender-side timed. Everyone probes everyone
+    // (sends are buffered, so the phase cannot deadlock), then drains the
+    // inbound probes so the step-scoped window closes clean.
+    let probe = Bytes::from(vec![0u8; 64]);
+    let mut stall_p99_us = vec![0u64; p];
+    for r in (0..p).filter(|&r| live[r] && r != me) {
+        let mut worst = 0u64;
+        for _ in 0..PLACEMENT_PROBES {
+            let t0 = Instant::now();
+            if h.send_control(r, base + PL_PROBE, probe.clone()).is_err() {
+                return;
+            }
+            worst = worst.max(t0.elapsed().as_micros() as u64);
+        }
+        stall_p99_us[r] = worst;
+    }
+    for r in (0..p).filter(|&r| live[r] && r != me) {
+        for _ in 0..PLACEMENT_PROBES {
+            let _ = h.recv_timeout(r, base + PL_PROBE, deadline);
+        }
+    }
+
+    // Phase 2 — drain this rank's routing-load accumulators.
+    let (mut loads, shed, routed, service_p99_us) = moe.take_load_stats();
+    loads.resize(n_experts, 0);
+    pstats.routed += routed;
+    pstats.shed += shed;
+    let report = LoadReport {
+        rank: me,
+        loads,
+        shed,
+        routed,
+        service_p99_us,
+        stall_p99_us,
+    };
+
+    // Phase 3 — reports to the coordinator, plan back out. The plan frame
+    // is `[1][plan]`, or a 1-byte no-plan marker when any report was
+    // missing, so peers never stall a full deadline on the no-plan path.
+    let plan: Option<PlacementPlan> = if me == coordinator {
+        let mut reports: Vec<Option<LoadReport>> = (0..p).map(|_| None).collect();
+        reports[me] = Some(report);
+        for r in (0..p).filter(|&r| live[r] && r != me) {
+            for _ in 0..XFER_COPIES {
+                match h.recv_timeout(r, base + PL_REPORT, deadline) {
+                    Ok(m) => match LoadReport::decode(&m) {
+                        Ok(rep) if rep.rank == r => {
+                            reports[r] = Some(rep);
+                            break;
+                        }
+                        _ => {} // damaged copy: try the next one
+                    },
+                    Err(_) => break, // silent peer: no report this quantum
+                }
+            }
+        }
+        let have_all = (0..p).filter(|&r| live[r]).all(|r| reports[r].is_some());
+        let decided = have_all.then(|| {
+            decide_plan(
+                n_experts,
+                epr,
+                live,
+                &reports,
+                cfg.capacity_factor,
+                &PolicyConfig {
+                    hot_factor: cfg.placement_hot_factor,
+                    gray_factor: cfg.placement_gray_factor,
+                    max_replicas: cfg.placement_max_replicas,
+                    shed_floor: cfg.placement_shed_floor,
+                    min_tokens: 1,
+                },
+                pstats.version + 1,
+            )
+        });
+        let frame = match &decided {
+            Some(plan) => {
+                let mut f = vec![1u8];
+                f.extend_from_slice(&plan.encode());
+                Bytes::from(f)
+            }
+            None => Bytes::from_static(&[0u8]),
+        };
+        for r in (0..p).filter(|&r| live[r] && r != me) {
+            for _ in 0..XFER_COPIES {
+                if h.send_control(r, base + PL_PLAN, frame.clone()).is_err() {
+                    return;
+                }
+            }
+        }
+        decided
+    } else {
+        let frame = Bytes::from(report.encode());
+        for _ in 0..XFER_COPIES {
+            if h.send_control(coordinator, base + PL_REPORT, frame.clone())
+                .is_err()
+            {
+                return;
+            }
+        }
+        let mut got = None;
+        for _ in 0..XFER_COPIES {
+            match h.recv_timeout(coordinator, base + PL_PLAN, deadline) {
+                Ok(m) if m.first() == Some(&1) => {
+                    if let Ok(plan) = PlacementPlan::decode(&m[1..]) {
+                        got = Some(plan);
+                        break;
+                    }
+                }
+                Ok(_) => break,  // explicit no-plan marker (or damage: abort)
+                Err(_) => break, // silent coordinator: abort
+            }
+        }
+        got
+    };
+    let Some(plan) = plan else {
+        // No plan this quantum: nothing was staged, nothing to abort. The
+        // coordinator's READY collection (if it decided a plan we never
+        // saw) times out and aborts there too.
+        return;
+    };
+
+    // Phase 4 — stage transfers. For each expert gaining a server outside
+    // its old sync group, the static home (always in sync — see the
+    // per-expert gradient reduce in `try_step`) streams weights +
+    // velocity; the new server installs a deterministically-seeded guest
+    // body and applies the verified payload over it.
+    let current = moe
+        .placement()
+        .cloned()
+        .unwrap_or_else(|| Placement::static_layout(n_experts, epr));
+    let next = plan.placement.clone();
+    let mut ok = true;
+    let mut staged: Vec<usize> = Vec::new();
+    'experts: for e in 0..n_experts {
+        let recvs = next.receivers_vs(&current, e);
+        if recvs.is_empty() {
+            continue;
+        }
+        let home = next.static_home(e);
+        let tag_e = base + 4096 * (1 + e as u64);
+        if me == home {
+            let payload = expert_state_payload(embed, moe, head, opt);
+            for &r in &recvs {
+                match stream_state(h, r, tag_e, &payload) {
+                    Ok(n) => {
+                        pstats.transfer_bytes += n;
+                        schemoe_obs::counters_for_rank(me).add_placement_transfer(n as usize);
+                    }
+                    Err(_) => {
+                        ok = false;
+                        break 'experts;
+                    }
+                }
+            }
+        } else if recvs.contains(&me) {
+            let mut rng = seeded(cfg.seed ^ 0xE8_0000 ^ home as u64);
+            moe.install_guest_expert(
+                me,
+                e,
+                Box::new(FfExpert::new(cfg.model_dim, cfg.hidden_dim, &mut rng)),
+            );
+            staged.push(e);
+            let mut vel: Vec<Tensor> = Vec::new();
+            moe.visit_serving_params(me, e, &mut |prm| {
+                vel.push(Tensor::zeros(prm.value.dims()));
+            });
+            match receive_state(h, home, tag_e, deadline) {
+                Ok(payload)
+                    if apply_guest_state(&payload, moe, me, e, &mut vel, vel_indices).is_ok() =>
+                {
+                    pstats.transfer_bytes += 16 + payload.len() as u64;
+                    schemoe_obs::counters_for_rank(me).add_placement_transfer(16 + payload.len());
+                    guest_vel.insert(e, vel);
+                }
+                _ => {
+                    ok = false;
+                    break 'experts;
+                }
+            }
+        }
+    }
+
+    // Phase 5 — READY / DECISION. The plan activates only if *every* rank
+    // staged cleanly; one torn transfer aborts the whole quantum so no
+    // two ranks ever route on different placements.
+    let commit = if me == coordinator {
+        let mut all_ok = ok;
+        for r in (0..p).filter(|&r| live[r] && r != me) {
+            let mut heard = false;
+            for _ in 0..VOTE_COPIES {
+                match h.recv_timeout(r, base + PL_READY, deadline) {
+                    Ok(m) if m.len() == 1 => {
+                        heard = true;
+                        all_ok &= m[0] == 1;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            all_ok &= heard;
+        }
+        let frame = Bytes::from(vec![u8::from(all_ok)]);
+        for r in (0..p).filter(|&r| live[r] && r != me) {
+            for _ in 0..VOTE_COPIES {
+                let _ = h.send_control(r, base + PL_DECISION, frame.clone());
+            }
+        }
+        all_ok
+    } else {
+        let frame = Bytes::from(vec![u8::from(ok)]);
+        for _ in 0..VOTE_COPIES {
+            let _ = h.send_control(coordinator, base + PL_READY, frame.clone());
+        }
+        let mut decision = false;
+        for _ in 0..VOTE_COPIES {
+            match h.recv_timeout(coordinator, base + PL_DECISION, deadline) {
+                Ok(m) if m.len() == 1 => {
+                    decision = m[0] == 1;
+                    break;
+                }
+                Ok(_) => {}      // damaged copy: try the next one
+                Err(_) => break, // silent coordinator: abort
+            }
+        }
+        decision
+    };
+
+    if commit {
+        let replications: u64 = (0..n_experts)
+            .map(|e| (next.servers(e).len().saturating_sub(1)) as u64)
+            .sum();
+        let migrations = (0..n_experts)
+            .filter(|&e| !next.servers(e).contains(&next.static_home(e)))
+            .count() as u64;
+        let demotions = (0..p)
+            .filter(|&r| live[r] && next.served_by(r).is_empty())
+            .count() as u64;
+        pstats.plans += 1;
+        pstats.replications += replications;
+        pstats.migrations += migrations;
+        pstats.demotions += demotions;
+        pstats.version = next.version();
+        moe.set_placement(me, next.clone());
+        moe.set_capacity_factor(plan.capacity_override.unwrap_or(cfg.capacity_factor));
+        guest_vel.retain(|&e, _| next.servers(e).contains(&me) && next.static_home(e) != me);
+        schemoe_obs::counters_for_rank(me).add_placement_plan(replications, migrations, demotions);
+    } else {
+        for e in staged {
+            moe.discard_guest_expert(e);
+            guest_vel.remove(&e);
+        }
+    }
+}
+
 /// Restores this rank's state from the newest generation *every* rank
 /// can restore from. All ranks scan the same directory (no concurrent
 /// writers at startup) and apply the same deterministic rule, so they
@@ -1462,6 +1928,8 @@ fn resume_from_disk(
     head: &mut Linear,
     opt: &mut Sgd,
     snap: &mut SnapStats,
+    guest_vel: &mut BTreeMap<usize, Vec<Tensor>>,
+    vel_indices: &[usize],
 ) -> Option<(usize, u64)> {
     let entries = fs.list(&s.dir).ok()?;
     let mut gens: Vec<u64> = entries
@@ -1551,6 +2019,55 @@ fn resume_from_disk(
         if reconstructed {
             snap.reconstructions += 1;
             schemoe_obs::counters_for_rank(me).add_snapshot_reconstruction();
+        }
+        // Rebuild the snapshotted expert placement, if one was active.
+        // Guest bodies load from the shard of each expert's static home —
+        // home stays in sync under a committed placement, so its shard
+        // carries the authoritative expert state. Requires every rank's
+        // own shard (guest state lives nowhere else); a partial directory
+        // falls back to the static layout rather than a torn placement.
+        if !man.placement.is_empty() {
+            if let Ok(pl) = Placement::decode(&man.placement) {
+                let epr = moe.experts_per_rank();
+                if pl.experts_per_rank() == epr
+                    && pl.n_experts() == p * epr
+                    && (0..p).all(|r| shards[r].is_some())
+                {
+                    let mut ok = true;
+                    for e in pl.guests_of(me) {
+                        let home = pl.static_home(e);
+                        let payload = shards[home]
+                            .as_ref()
+                            .map(|sh| sh.expert.clone())
+                            .unwrap_or_default();
+                        if checkpoint::verify(&payload).is_err() {
+                            ok = false;
+                            break;
+                        }
+                        let mut rng = seeded(cfg.seed ^ 0xE8_0000 ^ home as u64);
+                        moe.install_guest_expert(
+                            me,
+                            e,
+                            Box::new(FfExpert::new(cfg.model_dim, cfg.hidden_dim, &mut rng)),
+                        );
+                        let mut vel: Vec<Tensor> = Vec::new();
+                        moe.visit_serving_params(me, e, &mut |prm| {
+                            vel.push(Tensor::zeros(prm.value.dims()));
+                        });
+                        apply_guest_state(&payload, moe, me, e, &mut vel, vel_indices)
+                            .expect("verified snapshot payload must match the configured model");
+                        guest_vel.insert(e, vel);
+                    }
+                    if ok {
+                        moe.set_placement(me, pl);
+                    } else {
+                        for e in moe.guest_expert_ids() {
+                            moe.discard_guest_expert(e);
+                        }
+                        guest_vel.clear();
+                    }
+                }
+            }
         }
         return Some((man.step as usize, man.generation));
     }
@@ -2318,6 +2835,11 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
     let mut replica_stores: BTreeMap<usize, ReplicaStore> = BTreeMap::new();
     let mut hosted_vel: BTreeMap<usize, Vec<Tensor>> = BTreeMap::new();
     let mut repl = ReplicaStats::default();
+    // Placement-controller state: the velocity this rank trains each
+    // *guest* expert with (a replica of a hot expert, or a migrated-off
+    // gray-rank expert), and the run's placement bookkeeping.
+    let mut guest_vel: BTreeMap<usize, Vec<Tensor>> = BTreeMap::new();
+    let mut pstats = PlacementStats::default();
 
     if let Some(policy) = cfg.adaptive_deadline {
         h.set_adaptive_deadline(Some(policy));
@@ -2375,6 +2897,8 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                 &mut head,
                 &mut opt,
                 &mut snap_stats,
+                &mut guest_vel,
+                &vel_indices,
             ) {
                 step = rstep;
                 snap_gen = rgen;
@@ -2382,6 +2906,11 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                 ckpt_step = step;
                 snap_stats.resumed_at = Some(step);
                 schemoe_obs::counters_for_rank(me).add_snapshot_restore();
+                // Resume under the snapshotted placement, version included,
+                // so the next quantum's plan stamps a strictly newer epoch.
+                if let Some(pl) = moe.placement() {
+                    pstats.version = pl.version();
+                }
             }
             snap_stats.restore_ms = t0.elapsed().as_secs_f64() * 1e3;
         }
@@ -2391,7 +2920,13 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
     // rank with a scheduled revival rejoins and resumes at the invited
     // step; every other death ends the run with a report.
     macro_rules! die_or_rejoin {
-        ($lbl:lifetime) => {
+        ($lbl:lifetime) => {{
+            // Death voids any committed placement: survivors reset to the
+            // static layout through the burial path, so a rejoiner must
+            // come back static too or the cluster would route divergently.
+            moe.reset_placement();
+            moe.set_capacity_factor(cfg.capacity_factor);
+            guest_vel.clear();
             match limbo_rejoin(
                 h,
                 cfg,
@@ -2419,6 +2954,9 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                     continue $lbl;
                 }
                 None => {
+                    let (_, shed, routed, _) = moe.take_load_stats();
+                    pstats.shed += shed;
+                    pstats.routed += routed;
                     return finish(
                         &live,
                         loss_curve,
@@ -2432,10 +2970,11 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                         transfer_bytes,
                         repl.clone(),
                         snap_stats.clone(),
+                        pstats.clone(),
                     );
                 }
             }
-        };
+        }};
     }
 
     // A fresh process joining a running cluster starts in limbo: announce,
@@ -2454,6 +2993,11 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
             visit_all(&mut embed, &mut moe, &mut head, &mut |prm| prm.zero_grad());
             for r in moe.hosted_dead_ranks() {
                 moe.visit_hosted_params(r, &mut |prm| prm.zero_grad());
+            }
+            // Guest bodies too: a guest the router sends no tokens to this
+            // attempt must contribute exact zeros to its sync-group reduce.
+            for e in moe.guest_expert_ids() {
+                moe.visit_serving_params(me, e, &mut |prm| prm.zero_grad());
             }
             let step_tag = tag;
             tag += TAG_STRIDE;
@@ -2501,6 +3045,19 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                 .filter(|&r| live[r] && verdict.suspects & (1u64 << r) != 0)
                 .collect();
             if !suspected.is_empty() {
+                // A membership disturbance voids any committed placement.
+                // Every live rank computes the same verdict (the vote
+                // gossips suspicion sets), so everyone resets to the
+                // static layout together — the placement controller can
+                // re-derive a plan at the next quantum once the cluster is
+                // stable again. This also covers the mid-migration kill:
+                // a quantum torn by a death leaves some ranks on the old
+                // placement and (at worst) divergent for one attempt; the
+                // attempt fails, the verdict lands here, and routing is
+                // static everywhere before any step commits.
+                moe.reset_placement();
+                moe.set_capacity_factor(cfg.capacity_factor);
+                guest_vel.clear();
                 // Majority-quorum rule. Confirmed deaths (first-hand
                 // disconnection evidence, gossiped through the vote) are
                 // buried unconditionally — a crashed rank is not on the
@@ -2639,6 +3196,9 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                             ckpt_step = step;
                         }
                         ParkOutcome::Dead => {
+                            let (_, shed, routed, _) = moe.take_load_stats();
+                            pstats.shed += shed;
+                            pstats.routed += routed;
                             return finish(
                                 &live,
                                 loss_curve,
@@ -2652,6 +3212,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                                 transfer_bytes,
                                 repl,
                                 snap_stats,
+                                pstats,
                             );
                         }
                     }
@@ -2690,6 +3251,25 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                     k += 1;
                 });
             }
+            // Guest experts step under the same hand-rolled rule. Their
+            // gradients left `try_step` as the sync-group *sum*, identical
+            // on every group member (the static home applies the same sum
+            // through the optimizer), so replicas never drift.
+            for e in moe.guest_expert_ids() {
+                let vel = guest_vel
+                    .get_mut(&e)
+                    .expect("guest expert without velocity");
+                let lr = cfg.lr;
+                let mut k = 0usize;
+                moe.visit_serving_params(me, e, &mut |prm| {
+                    vel[k] = prm.grad.clone();
+                    for (w, &g) in prm.value.data_mut().iter_mut().zip(prm.grad.data()) {
+                        *w -= lr * g;
+                    }
+                    prm.zero_grad();
+                    k += 1;
+                });
+            }
             loss_curve[step] = loss;
             step += 1;
             if step.is_multiple_of(cfg.checkpoint_every) || step == cfg.steps {
@@ -2716,6 +3296,37 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
                     &mut repl,
                     step,
                 );
+            }
+            // Placement quantum: exchange load reports, let the
+            // coordinator replicate hot experts / migrate experts off
+            // gray ranks / retune overload shedding, and commit the plan
+            // two-phase. Gated on a fully-live cluster — placement
+            // composes with failover by *yielding* to it: any death
+            // resets routing to the static layout (see the burial path),
+            // and plans resume once membership is whole again. Runs
+            // *before* the snapshot quantum so the manifest records the
+            // placement the shards were written under.
+            if cfg.placement_interval != 0
+                && step.is_multiple_of(cfg.placement_interval)
+                && step < cfg.steps
+                && live.iter().all(|&a| a)
+            {
+                placement_quantum(
+                    h,
+                    cfg,
+                    &mut embed,
+                    &mut moe,
+                    &mut head,
+                    &mut opt,
+                    &live,
+                    &mut guest_vel,
+                    &vel_indices,
+                    &mut pstats,
+                    step,
+                );
+                if h.is_dead() {
+                    die_or_rejoin!('train);
+                }
             }
             // Snapshot quantum: persist a generation-numbered shard and
             // (on the coordinator) commit the manifest once every live
@@ -2773,6 +3384,9 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
         }
     }
 
+    let (_, shed, routed, _) = moe.take_load_stats();
+    pstats.shed += shed;
+    pstats.routed += routed;
     finish(
         &live,
         loss_curve,
@@ -2786,6 +3400,7 @@ fn run_ft_rank_inner(h: &mut RankHandle, cfg: &FtConfig, snap: Option<&SnapshotC
         transfer_bytes,
         repl,
         snap_stats,
+        pstats,
     )
 }
 
@@ -2804,6 +3419,7 @@ fn finish(
     transfer_bytes: u64,
     repl: ReplicaStats,
     snap: SnapStats,
+    pstats: PlacementStats,
 ) -> FtReport {
     let last = curve.iter().rev().find(|l| !l.is_nan()).copied();
     FtReport {
@@ -2831,6 +3447,13 @@ fn finish(
         resumed_at_step: snap.resumed_at,
         snapshot_reconstructions: snap.reconstructions,
         restore_ms: snap.restore_ms,
+        placement_plans: pstats.plans,
+        placement_replications: pstats.replications,
+        placement_migrations: pstats.migrations,
+        placement_demotions: pstats.demotions,
+        placement_transfer_bytes: pstats.transfer_bytes,
+        tokens_routed: pstats.routed,
+        tokens_shed: pstats.shed,
     }
 }
 
@@ -3617,5 +4240,218 @@ mod tests {
         assert!(dir.join(snapshot::manifest_file_name(3)).exists());
         assert!(dir.join(snapshot::shard_file_name(4, 0)).exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn placement_commits_plans_and_replays_bit_identically() {
+        // An aggressive hot threshold forces replication on the natural
+        // routing skew of the seeded gate. The run must converge, commit
+        // plans, and — the tentpole determinism claim — two same-seed
+        // runs must agree bit-for-bit on the loss curve *and* on every
+        // placement decision (no chaos, so stall probes sit under the
+        // gray floor and plans are a pure function of routed loads).
+        let cfg = FtConfig::tiny(12)
+            .with_seed(51)
+            .with_placement_interval(3)
+            .with_placement_hot_factor(1.05);
+        let run = || Fabric::run(Topology::new(2, 2), |mut h| run_ft_rank(&mut h, &cfg));
+        let a = run();
+        let b = run();
+        for (r, rep) in a.iter().enumerate() {
+            assert_eq!(rep.died_at_step, None, "rank {r} died");
+            assert!(rep.loss_curve.iter().all(|l| l.is_finite()));
+            // Quanta at steps 3, 6, 9 — every one must commit (fully
+            // live, no chaos, so the two-phase protocol cannot abort).
+            assert_eq!(rep.placement_plans, 3, "rank {r}");
+            assert!(
+                rep.placement_replications > 0,
+                "rank {r}: a 1.05x hot threshold must trigger replication"
+            );
+            assert!(rep.tokens_routed > 0, "rank {r} routed nothing");
+        }
+        let bits = |c: &[f32]| c.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+        for (r, (ra, rb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                bits(&ra.loss_curve),
+                bits(&rb.loss_curve),
+                "rank {r}: replicated routing must not perturb the trajectory"
+            );
+            assert_eq!(ra.placement_plans, rb.placement_plans, "rank {r}");
+            assert_eq!(
+                ra.placement_replications, rb.placement_replications,
+                "rank {r}"
+            );
+            assert_eq!(ra.placement_migrations, rb.placement_migrations, "rank {r}");
+            assert_eq!(ra.placement_demotions, rb.placement_demotions, "rank {r}");
+            assert_eq!(ra.tokens_shed, rb.tokens_shed, "rank {r}");
+        }
+        // Placement decisions are cluster-wide agreements: every rank
+        // reports the identical plan counters.
+        for rep in &a[1..] {
+            assert_eq!(rep.placement_plans, a[0].placement_plans);
+            assert_eq!(rep.placement_replications, a[0].placement_replications);
+        }
+    }
+
+    #[test]
+    fn placement_resets_to_static_when_a_rank_dies() {
+        // Kill a rank mid-run with the placement controller active (its
+        // quantum cadence guarantees a committed non-static placement
+        // before the death). The burial path must reset every survivor
+        // to the static layout and training must complete degraded —
+        // with replication enabled, through failover hosting too.
+        let cfg = FtConfig {
+            replica_interval: 2,
+            ..FtConfig::tiny(20)
+                .with_seed(52)
+                .with_placement_interval(2)
+                .with_placement_hot_factor(1.05)
+                .with_rejoin_check_every(0)
+        };
+        let plan = FaultPlan::seeded(52)
+            .kill_after(3, 160)
+            .with_recv_deadline(Duration::from_secs(2));
+        let reports =
+            Fabric::run_with_faults(Topology::new(2, 2), plan, |mut h| run_ft_rank(&mut h, &cfg));
+        let survivors: Vec<&FtReport> = reports
+            .iter()
+            .filter(|r| r.died_at_step.is_none())
+            .collect();
+        assert_eq!(survivors.len(), 3, "exactly rank 3 dies");
+        for rep in &survivors {
+            assert_eq!(rep.dead_ranks, vec![3]);
+            assert!(rep.restores >= 1, "survivors must rewind after the burial");
+            assert!(rep.final_loss.is_finite());
+            assert!(
+                rep.placement_plans >= 1,
+                "a plan must commit before the death"
+            );
+            // No placement quantum may run while a rank is buried: the
+            // controller is gated on a fully-live cluster, so plan
+            // counters froze at the death and stayed equal everywhere.
+            assert_eq!(rep.placement_plans, survivors[0].placement_plans);
+        }
+    }
+
+    #[test]
+    fn placement_rides_the_snapshot_manifest_across_a_cold_restart() {
+        // A durable run with the placement controller active snapshots
+        // under a committed placement; a cold restart must rebuild the
+        // same placement (guest bodies, velocities, version) from the
+        // manifest and replay the tail bit-for-bit.
+        let dir = snap_dir("placement");
+        let cfg = FtConfig::tiny(12)
+            .with_seed(53)
+            .with_placement_interval(2)
+            .with_placement_hot_factor(1.05);
+        let snap = SnapshotCfg::new(&dir, 4);
+        let full = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&snap))
+        });
+        for r in &full {
+            assert_eq!(r.died_at_step, None);
+            assert!(
+                r.placement_replications > 0,
+                "the run must train under a non-static placement"
+            );
+        }
+        // The newest manifest embeds the placement blob.
+        let man_bytes = std::fs::read(dir.join(snapshot::manifest_file_name(2))).unwrap();
+        let man = Manifest::decode(&man_bytes).unwrap();
+        assert!(
+            !man.placement.is_empty(),
+            "an active placement must ride the manifest"
+        );
+        let pl = Placement::decode(&man.placement).unwrap();
+        assert!(!pl.is_static() || pl.version() > 0);
+
+        let rsnap = snap.clone().with_resume();
+        let resumed = Fabric::run(Topology::new(2, 2), |mut h| {
+            run_ft_rank_durable(&mut h, &cfg, Some(&rsnap))
+        });
+        for (i, (r, f)) in resumed.iter().zip(&full).enumerate() {
+            assert_eq!(r.resumed_at_step, Some(8), "rank {i}");
+            for s in 8..12 {
+                assert_eq!(
+                    r.loss_curve[s].to_bits(),
+                    f.loss_curve[s].to_bits(),
+                    "rank {i} step {s}: resume under the snapshotted placement diverged"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_gray_rank_is_demoted_and_training_completes() {
+        // Rank 3 stays up and correct but every link touching it gets
+        // 2 ms of latency — the gray failure a liveness probe misses.
+        // The stall probes must read the shaping, the policy must demote
+        // rank 3 to serving nothing (its expert migrates to a healthy
+        // rank), and the run completes with nobody buried: gray handling
+        // is *degradation*, not excommunication.
+        let cfg = FtConfig::tiny(10)
+            .with_seed(54)
+            .with_placement_interval(2)
+            .with_placement_gray_factor(4.0);
+        let chaos = ChaosPlan::seeded(54).slow_rank(3, Duration::from_millis(2), 5.0);
+        let plan = FaultPlan::seeded(54).with_recv_deadline(Duration::from_secs(2));
+        let reports = Fabric::run_with_chaos_on(
+            TransportKind::Channel,
+            Topology::new(2, 2),
+            chaos,
+            Some(plan),
+            |mut h| run_ft_rank(&mut h, &cfg),
+        );
+        for (r, rep) in reports.iter().enumerate() {
+            assert_eq!(rep.died_at_step, None, "rank {r} died");
+            assert!(
+                rep.dead_ranks.is_empty(),
+                "gray handling must bury nobody, rank {r} buried {:?}",
+                rep.dead_ranks
+            );
+            assert!(rep.final_loss.is_finite());
+            assert!(
+                rep.placement_demotions > 0,
+                "rank {r}: the gray rank must be demoted at some quantum"
+            );
+            assert!(
+                rep.placement_migrations > 0,
+                "rank {r}: the gray rank's expert must migrate off it"
+            );
+        }
+    }
+
+    #[test]
+    fn a_mid_placement_kill_leaves_survivors_routing_and_completing() {
+        // Rank 2 dies while placement quanta are in flight (the kill
+        // index lands its death inside the protocol's message exchange
+        // for some seed/cadence — and wherever it lands, the guarantee
+        // is the same): survivors must abort or unwind any torn plan via
+        // the burial reset and finish training on the static layout.
+        let cfg = FtConfig::tiny(20)
+            .with_seed(55)
+            .with_placement_interval(2)
+            .with_placement_hot_factor(1.05)
+            .with_rejoin_check_every(0);
+        let plan = FaultPlan::seeded(55)
+            .kill_after(2, 90)
+            .with_recv_deadline(Duration::from_secs(2));
+        let reports =
+            Fabric::run_with_faults(Topology::new(2, 2), plan, |mut h| run_ft_rank(&mut h, &cfg));
+        let survivors: Vec<&FtReport> = reports
+            .iter()
+            .filter(|r| r.died_at_step.is_none())
+            .collect();
+        assert_eq!(survivors.len(), 3, "exactly rank 2 dies");
+        for rep in &survivors {
+            assert_eq!(rep.dead_ranks, vec![2]);
+            assert!(rep.final_loss.is_finite());
+            assert_eq!(
+                rep.loss_curve.iter().filter(|l| l.is_finite()).count(),
+                20,
+                "every step must commit despite the torn quantum"
+            );
+        }
     }
 }

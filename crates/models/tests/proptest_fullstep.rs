@@ -13,7 +13,7 @@ use schemoe_cluster::{Fabric, Topology};
 use schemoe_collectives::NcclA2A;
 use schemoe_compression::{Compressor, Fp16Compressor, NoCompression};
 use schemoe_models::distributed_full_step;
-use schemoe_moe::{DistributedMoeLayer, Expert, FfExpert, TopKGate};
+use schemoe_moe::{DistributedMoeLayer, Expert, FfExpert, Placement, TopKGate};
 use schemoe_tensor::rng::{self, seeded};
 use schemoe_tensor::Tensor;
 
@@ -68,6 +68,91 @@ fn run_step(
     })
 }
 
+/// One robustness mode per case: a non-static placement with replica
+/// fan-out and a migrated expert (0), one dead rank in degraded mode (1),
+/// or the dead rank's expert hosted on a failover buddy (2).
+type RobustOut = Option<(Tensor, Tensor, Vec<f32>, Vec<Vec<f32>>, Vec<u64>, u64, u64)>;
+
+fn run_robust_step(
+    topo: Topology,
+    mode: usize,
+    degree: usize,
+    k: usize,
+    cap: f64,
+    x_global: &Tensor,
+    n_local: usize,
+) -> Vec<RobustOut> {
+    let p = topo.world_size();
+    let dead = (mode > 0).then(|| p - 1);
+    let live: Vec<bool> = (0..p).map(|r| Some(r) != dead).collect();
+    Fabric::run(topo, move |mut h| {
+        let me = h.rank();
+        if Some(me) == dead {
+            return None;
+        }
+        let gate = TopKGate::new(M, p, k, cap, &mut seeded(777));
+        let experts: Vec<Box<dyn Expert>> =
+            vec![Box::new(FfExpert::new(M, H, &mut seeded(2000 + me as u64)))];
+        let mut layer =
+            DistributedMoeLayer::new(gate, experts, Box::new(NoCompression), Box::new(NcclA2A))
+                .with_partition_degree(degree)
+                .with_recv_timeout(std::time::Duration::from_secs(30));
+        match mode {
+            0 => {
+                // Expert 0 fans out across ranks 0 and 1; the last
+                // expert migrates off its home onto rank 0. Guest
+                // bodies mirror the home's seeding, exactly as the
+                // placement controller's state transfer reproduces.
+                let mut servers: Vec<Vec<usize>> = (0..p).map(|e| vec![e]).collect();
+                servers[0] = vec![0, 1];
+                servers[p - 1] = vec![0];
+                if me == 1 {
+                    layer.install_guest_expert(
+                        me,
+                        0,
+                        Box::new(FfExpert::new(M, H, &mut seeded(2000))),
+                    );
+                }
+                if me == 0 && p > 1 {
+                    layer.install_guest_expert(
+                        me,
+                        p - 1,
+                        Box::new(FfExpert::new(M, H, &mut seeded(2000 + (p - 1) as u64))),
+                    );
+                }
+                layer.set_placement(me, Placement::new(1, 1, servers));
+            }
+            1 => layer.mark_rank_dead(dead.unwrap()),
+            _ => {
+                let d = dead.unwrap();
+                layer.mark_rank_dead(d);
+                layer.set_failover_route(d, 0);
+                if me == 0 {
+                    let ward: Box<dyn Expert> =
+                        Box::new(FfExpert::new(M, H, &mut seeded(2000 + d as u64)));
+                    layer.install_hosted_experts(d, vec![ward]);
+                }
+            }
+        }
+        let mut x = Tensor::zeros(&[n_local, M]);
+        for r in 0..n_local {
+            x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+        }
+        let mut replicated: Vec<f32> = (0..REPLICATED)
+            .map(|i| ((me * REPLICATED + i) % 23) as f32 * 0.5)
+            .collect();
+        let (y, dx) =
+            distributed_full_step(&mut h, &mut layer, &x, 0, &mut replicated, &live).unwrap();
+        let mut grads = Vec::new();
+        layer.visit_params(&mut |prm| grads.push(prm.grad.data().to_vec()));
+        for e in layer.guest_expert_ids() {
+            layer.visit_serving_params(me, e, &mut |prm| grads.push(prm.grad.data().to_vec()));
+        }
+        let (loads, shed, routed, _p99) = layer.take_load_stats();
+        Some((y, dx, replicated, grads, loads, shed, routed))
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -104,6 +189,52 @@ proptest! {
             prop_assert!(dxdiff == 0.0, "rank {} input grads diverged by {}", me, dxdiff);
             prop_assert_eq!(redo, reds, "rank {} reduced values diverged", me);
             prop_assert_eq!(go, gs, "rank {} param grads diverged", me);
+        }
+    }
+
+    /// Property: capacity-factor shedding and replica fan-out routing are
+    /// bit-deterministic across thread interleavings (partition degrees)
+    /// and compose with one-dead-rank degraded mode and hosted-expert
+    /// failover. Outputs, gradients, reduced values, per-expert routed
+    /// loads, and shed counts must all agree bit for bit between any two
+    /// pipeline schedules of the same step.
+    #[test]
+    fn shed_and_placed_routing_bit_deterministic_across_interleavings(
+        nodes in 1usize..3,
+        gpus in 2usize..4,
+        n_local in 2usize..6,
+        k_raw in 1usize..3,
+        degree_a in 1usize..9,
+        degree_b in 1usize..9,
+        mode in 0usize..3,
+        seed in 0u64..200,
+    ) {
+        let topo = Topology::new(nodes, gpus);
+        let p = topo.world_size();
+        let k = k_raw.min(p);
+        // A tight factor forces overload shedding on odd seeds; a loose
+        // one keeps every token admitted. Both must replay identically.
+        let cap = if seed % 2 == 1 { 0.6 } else { 8.0 };
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(seed));
+        let a = run_robust_step(topo, mode, degree_a, k, cap, &x_global, n_local);
+        let b = run_robust_step(topo, mode, degree_b, k, cap, &x_global, n_local);
+        let dead = (mode > 0).then(|| p - 1);
+        for me in 0..p {
+            if Some(me) == dead {
+                prop_assert!(a[me].is_none());
+                prop_assert!(b[me].is_none());
+                continue;
+            }
+            let (ya, dxa, reda, ga, la, sheda, routeda) = a[me].as_ref().unwrap();
+            let (yb, dxb, redb, gb, lb, shedb, routedb) = b[me].as_ref().unwrap();
+            prop_assert!(ya.max_abs_diff(yb).unwrap() == 0.0, "rank {} forward diverged", me);
+            prop_assert!(dxa.max_abs_diff(dxb).unwrap() == 0.0, "rank {} input grads diverged", me);
+            prop_assert_eq!(reda, redb, "rank {} reduced values diverged", me);
+            prop_assert_eq!(ga, gb, "rank {} param grads diverged", me);
+            prop_assert_eq!(la, lb, "rank {} routed loads diverged", me);
+            prop_assert_eq!(sheda, shedb, "rank {} shed counts diverged", me);
+            prop_assert_eq!(routeda, routedb, "rank {} admitted counts diverged", me);
+            prop_assert!(*routeda > 0, "rank {} routed nothing", me);
         }
     }
 }

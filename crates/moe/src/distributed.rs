@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
@@ -19,6 +19,7 @@ use schemoe_tensor::Tensor;
 
 use crate::expert::Expert;
 use crate::gating::{GateDecision, TopKGate};
+use crate::placement::Placement;
 
 /// An expert-parallel MoE layer: every rank owns `experts_per_rank`
 /// experts and a gate replica, tokens travel through two all-to-alls.
@@ -62,6 +63,29 @@ pub struct DistributedMoeLayer {
     /// The expert bodies this rank serves on behalf of dead wards (the
     /// host side of `failover_hosts`), keyed by the dead rank.
     hosted_experts: BTreeMap<usize, Vec<Box<dyn Expert>>>,
+    /// Load-aware expert placement installed by the placement controller;
+    /// `None` (or a static table) keeps the owner-per-rank layout. A
+    /// non-static placement activates the *placed* forward/backward, which
+    /// fans each expert's slots across its replica set.
+    placement: Option<Placement>,
+    /// Guest expert bodies this rank serves for experts whose static home
+    /// is elsewhere (replicated or migrated onto this rank), keyed by
+    /// global expert id. Kept out of [`visit_params`](Self::visit_params)
+    /// so optimizer slot order never shifts when placements change.
+    guest_experts: BTreeMap<usize, Box<dyn Expert>>,
+    /// Per-global-expert routed token counts since the last
+    /// [`take_load_stats`](Self::take_load_stats) drain (placement policy
+    /// input; recorded by every forward path).
+    routing_loads: Vec<u64>,
+    /// Capacity-shed assignments since the last drain.
+    shed_tokens: u64,
+    /// Admitted assignments since the last drain.
+    routed_tokens: u64,
+    /// Per-forward local expert-stage service times (µs) since the last
+    /// drain. Only the serial and placed paths record these; the
+    /// overlapped path interleaves compute with communication, so its
+    /// expert stage has no isolated wall-clock reading.
+    service_us: Vec<u64>,
 }
 
 struct Cache {
@@ -86,6 +110,11 @@ struct Cache {
     expert_inputs: Option<Vec<Tensor>>,
     n: usize,
     tag_base: u64,
+    /// `Some(served list)` when the forward ran the placed path: the
+    /// ascending global expert ids this rank served, indexing
+    /// `recv_counts` / `expert_inputs`. Routes the backward to the placed
+    /// path with the same fan-out.
+    served: Option<Vec<usize>>,
 }
 
 /// A replicated-parameter gradient allreduce to fold into the MoE
@@ -137,6 +166,12 @@ impl DistributedMoeLayer {
             dead_ranks: BTreeSet::new(),
             failover_hosts: BTreeMap::new(),
             hosted_experts: BTreeMap::new(),
+            placement: None,
+            guest_experts: BTreeMap::new(),
+            routing_loads: Vec::new(),
+            shed_tokens: 0,
+            routed_tokens: 0,
+            service_us: Vec::new(),
         }
     }
 
@@ -181,6 +216,13 @@ impl DistributedMoeLayer {
     /// The gate replica.
     pub fn gate(&self) -> &TopKGate {
         &self.gate
+    }
+
+    /// Retunes the gate's capacity factor in place — the placement
+    /// controller's overload-shedding knob. Routing weights are untouched,
+    /// so the change affects only how many slots each expert admits.
+    pub fn set_capacity_factor(&mut self, factor: f64) {
+        self.gate.set_capacity_factor(factor);
     }
 
     /// The rank owning global expert `e`.
@@ -282,6 +324,162 @@ impl DistributedMoeLayer {
         }
     }
 
+    /// The installed placement, if any.
+    pub fn placement(&self) -> Option<&Placement> {
+        self.placement.as_ref()
+    }
+
+    /// True when a non-static placement is active: the next forward runs
+    /// the placed path (replica fan-out / migrated homes).
+    pub fn is_placed(&self) -> bool {
+        self.placement.as_ref().is_some_and(|p| !p.is_static())
+    }
+
+    /// Installs a placement for rank `me`. Guest bodies for every expert
+    /// the placement assigns to `me` away from its static home must
+    /// already be installed
+    /// ([`install_guest_expert`](Self::install_guest_expert)); guests the
+    /// new placement no longer assigns here are dropped.
+    ///
+    /// Placement composes with a fully live world only: burial, failover
+    /// and rejoin all reset to the static layout first
+    /// ([`reset_placement`](Self::reset_placement)), so the placed path
+    /// never has to reason about dead peers or hosted lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world is degraded or a failover route is active, if
+    /// the placement's shape disagrees with this layer, or if a required
+    /// guest body is missing.
+    pub fn set_placement(&mut self, me: usize, placement: Placement) {
+        assert!(
+            self.dead_ranks.is_empty() && !self.has_failover(),
+            "placement requires a fully live world; degraded mode resets to static"
+        );
+        assert_eq!(
+            placement.experts_per_rank(),
+            self.experts_per_rank,
+            "placement experts_per_rank mismatch"
+        );
+        let guests = placement.guests_of(me);
+        for &e in &guests {
+            assert!(
+                self.guest_experts.contains_key(&e),
+                "guest body for expert {e} must be installed before activation"
+            );
+        }
+        self.guest_experts.retain(|e, _| guests.contains(e));
+        self.placement = Some(placement);
+    }
+
+    /// Drops any installed placement and all guest bodies, returning the
+    /// layer to the static owner-per-rank layout. Called on every epoch
+    /// transition (burial, failover routing, rejoin admission).
+    pub fn reset_placement(&mut self) {
+        self.placement = None;
+        self.guest_experts.clear();
+    }
+
+    /// Hands this rank a guest body for global expert `e` (state streamed
+    /// from the expert's static home). Inert until a placement assigning
+    /// `e` here is activated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e`'s static home would be this-rank-local under the
+    /// current `experts_per_rank` — the local body already serves it.
+    pub fn install_guest_expert(&mut self, me: usize, e: usize, body: Box<dyn Expert>) {
+        assert_ne!(
+            e / self.experts_per_rank,
+            me,
+            "expert {e} is home on rank {me}; a guest body would shadow it"
+        );
+        self.guest_experts.insert(e, body);
+    }
+
+    /// Global expert ids with guest bodies installed, ascending.
+    pub fn guest_expert_ids(&self) -> Vec<usize> {
+        self.guest_experts.keys().copied().collect()
+    }
+
+    /// Drops a staged guest body that never made it into a committed
+    /// placement — the abort path of a placement quantum. A no-op when no
+    /// guest body for `e` is installed.
+    pub fn discard_guest_expert(&mut self, e: usize) {
+        self.guest_experts.remove(&e);
+    }
+
+    /// Visits the parameters of whichever body this rank uses to serve
+    /// global expert `e`: the local body when `me` is `e`'s static home,
+    /// the guest body when one is installed, else a no-op. The placement
+    /// controller's per-expert gradient sync walks parameters through
+    /// this, so home and guest flatten in the same order.
+    pub fn visit_serving_params(&mut self, me: usize, e: usize, f: &mut dyn FnMut(&mut Param)) {
+        if e / self.experts_per_rank == me {
+            self.local_experts[e % self.experts_per_rank].visit_params(f);
+        } else if let Some(body) = self.guest_experts.get_mut(&e) {
+            body.visit_params(f);
+        }
+    }
+
+    /// Drains the routing-load / shed / service-time accumulators gathered
+    /// since the previous drain: `(per-expert routed token counts, shed
+    /// assignments, admitted assignments, p99 expert-stage service µs)`.
+    /// Feeds the placement controller's [`LoadReport`](crate::LoadReport).
+    pub fn take_load_stats(&mut self) -> (Vec<u64>, u64, u64, u64) {
+        let loads = std::mem::take(&mut self.routing_loads);
+        let shed = std::mem::take(&mut self.shed_tokens);
+        let routed = std::mem::take(&mut self.routed_tokens);
+        let mut service = std::mem::take(&mut self.service_us);
+        let p99 = if service.is_empty() {
+            0
+        } else {
+            service.sort_unstable();
+            service[(service.len() - 1) * 99 / 100]
+        };
+        (loads, shed, routed, p99)
+    }
+
+    /// Folds a gate decision into the load accumulators and the obs
+    /// routing board (the chrome "routing" counter track).
+    fn note_decision(&mut self, rank: usize, world: usize, decision: &GateDecision) {
+        let n_experts = world * self.experts_per_rank;
+        if self.routing_loads.len() < n_experts {
+            self.routing_loads.resize(n_experts, 0);
+        }
+        let mut routed = 0u64;
+        for (e, slots) in decision.expert_slots.iter().enumerate() {
+            self.routing_loads[e] += slots.len() as u64;
+            routed += slots.len() as u64;
+        }
+        self.routed_tokens += routed;
+        self.shed_tokens += decision.dropped as u64;
+        if obs::enabled() {
+            let board = obs::routing_for_rank(rank);
+            for (e, slots) in decision.expert_slots.iter().enumerate() {
+                board.add_expert_load(e, slots.len() as u64);
+            }
+            board.add_shed(decision.dropped as u64);
+            board.add_routed(routed);
+        }
+    }
+
+    /// Records one expert-stage wall-clock sample.
+    fn note_service(&mut self, elapsed: Duration) {
+        self.service_us.push(elapsed.as_micros() as u64);
+    }
+
+    /// Rows expert `e` sends to the server at position `i` of its
+    /// `g`-replica set when its slot list has `len` entries: slot `s` goes
+    /// to position `s % g`, so position `i` receives slots `i, i+g, …`.
+    fn slot_share(len: usize, i: usize, g: usize) -> usize {
+        if len > i {
+            (len - i - 1) / g + 1
+        } else {
+            0
+        }
+    }
+
     /// The ranks currently declared dead, ascending.
     pub fn dead_ranks(&self) -> Vec<usize> {
         self.dead_ranks.iter().copied().collect()
@@ -341,6 +539,47 @@ impl DistributedMoeLayer {
                     Some(t) => h.recv_timeout(j, tag, t)?,
                     None => h.recv(j, tag)?,
                 });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Exchange for the placed step. Legs run either *toward* servers
+    /// (dispatch: every rank sends, only serving ranks receive) or *from*
+    /// servers (combine: only serving ranks send, every rank receives). A
+    /// rank serving no experts is skipped on the server-facing side —
+    /// nothing is sent to it on dispatch legs and nothing is awaited from
+    /// it on combine legs — so a demoted gray rank's slow links leave the
+    /// critical path except for the unavoidable hops carrying its own
+    /// tokens. Skipped slots decode as zero-expert placeholders.
+    fn exchange_placed(
+        h: &mut RankHandle,
+        chunks: Vec<Bytes>,
+        tag: u64,
+        to_servers: bool,
+        serves: &[bool],
+        placeholder: &Bytes,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<Bytes>, FabricError> {
+        let p = h.world_size();
+        let me = h.rank();
+        let send_all = if to_servers { true } else { serves[me] };
+        for (j, chunk) in chunks.into_iter().enumerate() {
+            let dst_wants = if to_servers { serves[j] } else { true };
+            if send_all && dst_wants {
+                h.send(j, tag, chunk)?;
+            }
+        }
+        let mut out = Vec::with_capacity(p);
+        for j in 0..p {
+            let expect = if to_servers { serves[me] } else { serves[j] };
+            if expect {
+                out.push(match timeout {
+                    Some(t) => h.recv_timeout(j, tag, t)?,
+                    None => h.recv(j, tag)?,
+                });
+            } else {
+                out.push(placeholder.clone());
             }
         }
         Ok(out)
@@ -443,6 +682,12 @@ impl DistributedMoeLayer {
         x: &Tensor,
         tag_base: u64,
     ) -> Result<Tensor, FabricError> {
+        if self.is_placed() {
+            // A non-static placement only ever coexists with a fully live,
+            // failover-free world (see `set_placement`), so the placed
+            // path dominates the degraded/failover dispatch below.
+            return self.forward_placed(h, x, tag_base);
+        }
         let live = h.world_size() - self.dead_ranks.len();
         if self.partition_degree <= 1 || live < 2 || self.has_failover() {
             // Failover hosting speaks the serial path's hosted side lanes;
@@ -484,6 +729,7 @@ impl DistributedMoeLayer {
                 self.gate.forward(x)
             }
         };
+        self.note_decision(h.rank(), p, &decision);
 
         // Build one chunk per destination rank: this rank's admitted rows
         // for each of the destination's local experts.
@@ -625,6 +871,7 @@ impl DistributedMoeLayer {
 
         // Local expert computation.
         let expert_rows: usize = expert_inputs.iter().map(|t| t.dims()[0]).sum();
+        let service_start = Instant::now();
         let expert_outputs: Vec<Tensor> = {
             let _s = obs::span_sized("expert", "E", expert_rows as f64);
             expert_inputs
@@ -633,6 +880,7 @@ impl DistributedMoeLayer {
                 .map(|(le, input)| self.local_experts[le].forward(input))
                 .collect()
         };
+        self.note_service(service_start.elapsed());
 
         // Ship outputs back: chunk for src rank = its slice of each local
         // expert's output.
@@ -721,8 +969,459 @@ impl DistributedMoeLayer {
             expert_inputs: Some(expert_inputs),
             n,
             tag_base,
+            served: None,
         });
         Ok(y)
+    }
+
+    /// The placed forward: the serial schedule with a load-aware routing
+    /// table. Each expert's admitted slots fan round-robin across its
+    /// replica set (slot `s` → server `s % g`), so a hot expert's rows
+    /// split over `g` ranks; a migrated expert's rows go to its new home.
+    ///
+    /// Bitwise properties: expert bodies are row-wise, each slot's output
+    /// row is computed from the same input row by an identical parameter
+    /// copy (the controller's per-expert gradient sync keeps home and
+    /// guests in lockstep), and the combine reassembles full slot order
+    /// before accumulating ascending-expert — so `y` is bit-identical to
+    /// the static serial forward for the same batch.
+    ///
+    /// Requires a fully live, failover-free world (`set_placement`
+    /// enforces this), so exchanges use the plain all-to-all.
+    fn forward_placed(
+        &mut self,
+        h: &mut RankHandle,
+        x: &Tensor,
+        tag_base: u64,
+    ) -> Result<Tensor, FabricError> {
+        let p = h.world_size();
+        let me = h.rank();
+        let m = x.dims()[1];
+        let n = x.dims()[0];
+        let epr = self.experts_per_rank;
+        let pl = self
+            .placement
+            .clone()
+            .expect("placed forward without placement");
+        assert_eq!(
+            pl.n_experts(),
+            p * epr,
+            "placement must cover the routing table"
+        );
+        debug_assert!(
+            self.dead_ranks.is_empty() && !self.has_failover(),
+            "placed path requires a fully live world"
+        );
+        let served_lists: Vec<Vec<usize>> = (0..p).map(|r| pl.served_by(r)).collect();
+
+        let decision = {
+            let _g = obs::span("gate", "gate");
+            self.gate.forward(x)
+        };
+        self.note_decision(me, p, &decision);
+
+        // C1: one chunk per server rank — for each expert it serves, this
+        // rank's slot share for that server's replica position.
+        let chunks = {
+            let _s = obs::span_sized("encode", "C1", (n * m * 4) as f64);
+            let mut chunks = Vec::with_capacity(p);
+            for dst in 0..p {
+                let served = &served_lists[dst];
+                let mut per_expert = Vec::with_capacity(served.len());
+                for &e in served {
+                    let srv = pl.servers(e);
+                    let g = srv.len();
+                    let i = srv.iter().position(|&r| r == dst).expect("dst serves e");
+                    let slots = &decision.expert_slots[e];
+                    let count = Self::slot_share(slots.len(), i, g);
+                    let mut rows = Tensor::zeros(&[count, m]);
+                    for (row, sidx) in (i..slots.len()).step_by(g).enumerate() {
+                        rows.row_mut(row).copy_from_slice(x.row(slots[sidx].0));
+                    }
+                    per_expert.push(rows);
+                }
+                chunks.push(Self::encode_chunk(self.compressor.as_ref(), &per_expert, m));
+            }
+            chunks
+        };
+        let dispatch_tag = tag_base;
+        let combine_tag = tag_base + TAG_STRIDE / 4;
+        let serves: Vec<bool> = served_lists.iter().map(|l| !l.is_empty()).collect();
+        let empty_chunk = Self::encode_chunk(self.compressor.as_ref(), &[], m);
+        let timeout = self.recv_timeout;
+        let sent_bytes: usize = chunks.iter().map(Bytes::len).sum();
+        let received = {
+            let _s = obs::span_sized("a2a", "A1", sent_bytes as f64);
+            Self::exchange_placed(
+                h,
+                chunks,
+                dispatch_tag,
+                true,
+                &serves,
+                &empty_chunk,
+                timeout,
+            )?
+        };
+        let recv_bytes: usize = received.iter().map(Bytes::len).sum();
+
+        // D1: concatenate per served expert, src-major — the same serial
+        // input order the backward's recompute grouping relies on.
+        let served = served_lists[me].clone();
+        let d1 = obs::span_sized("decode", "D1", recv_bytes as f64);
+        let decoded: Vec<Vec<Tensor>> = received
+            .iter()
+            .map(|c| Self::decode_chunk(self.compressor.as_ref(), c, served.len(), m))
+            .collect();
+        let mut expert_inputs = Vec::with_capacity(served.len());
+        let mut recv_counts = vec![Vec::with_capacity(p); served.len()];
+        for k in 0..served.len() {
+            let total: usize = decoded.iter().map(|d| d[k].dims()[0]).sum();
+            let mut input = Tensor::zeros(&[total, m]);
+            let mut off = 0;
+            for src_rows in decoded.iter().map(|d| &d[k]) {
+                for r in 0..src_rows.dims()[0] {
+                    input.row_mut(off + r).copy_from_slice(src_rows.row(r));
+                }
+                off += src_rows.dims()[0];
+            }
+            for d in &decoded {
+                recv_counts[k].push(d[k].dims()[0]);
+            }
+            expert_inputs.push(input);
+        }
+        drop(d1);
+
+        // E: run each served expert — the local body when this rank is the
+        // static home, the installed guest body otherwise.
+        let expert_rows: usize = expert_inputs.iter().map(|t| t.dims()[0]).sum();
+        let service_start = Instant::now();
+        let expert_outputs: Vec<Tensor> = {
+            let _s = obs::span_sized("expert", "E", expert_rows as f64);
+            served
+                .iter()
+                .zip(expert_inputs.iter())
+                .map(|(&e, input)| {
+                    if e / epr == me {
+                        self.local_experts[e % epr].forward(input)
+                    } else {
+                        self.guest_experts
+                            .get_mut(&e)
+                            .expect("guest body installed for served expert")
+                            .forward(input)
+                    }
+                })
+                .collect()
+        };
+        self.note_service(service_start.elapsed());
+
+        // C2: ship each source its slice of every served expert's output.
+        let back_chunks = {
+            let _s = obs::span_sized("encode", "C2", (expert_rows * m * 4) as f64);
+            let mut back_chunks = Vec::with_capacity(p);
+            for src in 0..p {
+                let mut per_expert = Vec::with_capacity(served.len());
+                for k in 0..served.len() {
+                    let before: usize = recv_counts[k][..src].iter().sum();
+                    let count = recv_counts[k][src];
+                    let mut rows = Tensor::zeros(&[count, m]);
+                    for r in 0..count {
+                        rows.row_mut(r)
+                            .copy_from_slice(expert_outputs[k].row(before + r));
+                    }
+                    per_expert.push(rows);
+                }
+                back_chunks.push(Self::encode_chunk(self.compressor.as_ref(), &per_expert, m));
+            }
+            back_chunks
+        };
+        let back_bytes: usize = back_chunks.iter().map(Bytes::len).sum();
+        let returned = {
+            let _s = obs::span_sized("a2a", "A2", back_bytes as f64);
+            Self::exchange_placed(
+                h,
+                back_chunks,
+                combine_tag,
+                false,
+                &serves,
+                &empty_chunk,
+                timeout,
+            )?
+        };
+
+        // D2: reassemble each expert's full slot-order rows from its
+        // servers' shares, then combine ascending-expert — exactly the
+        // serial accumulation order (a token meets each expert at most
+        // once, so per-token addition order is unchanged).
+        let d2 = obs::span_sized(
+            "decode",
+            "D2",
+            returned.iter().map(Bytes::len).sum::<usize>() as f64,
+        );
+        let outs_per_rank: Vec<Vec<Tensor>> = returned
+            .iter()
+            .enumerate()
+            .map(|(r2, c)| {
+                Self::decode_chunk(self.compressor.as_ref(), c, served_lists[r2].len(), m)
+            })
+            .collect();
+        let mut y = Tensor::zeros(&[n, m]);
+        let mut returned_outputs: Vec<Tensor> = Vec::with_capacity(p * epr);
+        for e in 0..p * epr {
+            let srv = pl.servers(e);
+            let g = srv.len();
+            let slots = &decision.expert_slots[e];
+            let mut rows = Tensor::zeros(&[slots.len(), m]);
+            for (i, &r2) in srv.iter().enumerate() {
+                let k = served_lists[r2]
+                    .iter()
+                    .position(|&se| se == e)
+                    .expect("server serves e");
+                let part = &outs_per_rank[r2][k];
+                assert_eq!(
+                    part.dims()[0],
+                    Self::slot_share(slots.len(), i, g),
+                    "combine framing mismatch"
+                );
+                for (row, sidx) in (i..slots.len()).step_by(g).enumerate() {
+                    rows.row_mut(sidx).copy_from_slice(part.row(row));
+                }
+            }
+            for (s, &(t, w)) in slots.iter().enumerate() {
+                let orow = rows.row(s);
+                let yrow = y.row_mut(t);
+                for (yj, &oj) in yrow.iter_mut().zip(orow.iter()) {
+                    *yj += w * oj;
+                }
+            }
+            returned_outputs.push(rows);
+        }
+        drop(d2);
+        self.cache = Some(Cache {
+            decision,
+            recv_counts,
+            hosted_recv_counts: BTreeMap::new(),
+            hosted_inputs: BTreeMap::new(),
+            returned_outputs,
+            expert_inputs: Some(expert_inputs),
+            n,
+            tag_base,
+            served: Some(served),
+        });
+        Ok(y)
+    }
+
+    /// The placed backward, mirroring [`forward_placed`]'s fan-out: output
+    /// grads travel to each slot's serving rank, every server
+    /// differentiates its share with the same canonical per-(expert,
+    /// source) recompute grouping as the serial path, and input grads
+    /// scatter back. `dx` and the gate grads are bit-identical to the
+    /// static serial backward (same per-token accumulation order); expert
+    /// weight grads are *partial* per server — the placement controller
+    /// sums them across each expert's sync group before stepping.
+    fn backward_placed(&mut self, h: &mut RankHandle, dy: &Tensor) -> Result<Tensor, FabricError> {
+        let cache = self
+            .cache
+            .take()
+            .expect("distributed backward without forward");
+        let served = cache
+            .served
+            .clone()
+            .expect("placed backward without placed forward");
+        let pl = self
+            .placement
+            .clone()
+            .expect("placement uninstalled between forward and backward");
+        let p = h.world_size();
+        let me = h.rank();
+        let m = dy.dims()[1];
+        let epr = self.experts_per_rank;
+        assert_eq!(dy.dims()[0], cache.n, "gradient row count mismatch");
+        debug_assert_eq!(pl.served_by(me), served, "placement changed mid-step");
+        let served_lists: Vec<Vec<usize>> = (0..p).map(|r| pl.served_by(r)).collect();
+
+        // C1b: per server, the output grads (w · dy) for its slot share of
+        // every expert it serves; plus the combine-weight grads, identical
+        // to the serial path (returned_outputs holds full slot order).
+        let c1b = obs::span_sized("encode", "C1b", (cache.n * m * 4) as f64);
+        let mut d_weights: Vec<Vec<f32>> = vec![Vec::new(); cache.n];
+        let mut grad_chunks = Vec::with_capacity(p);
+        for dst in 0..p {
+            let mut per_expert = Vec::with_capacity(served_lists[dst].len());
+            for &e in &served_lists[dst] {
+                let srv = pl.servers(e);
+                let g = srv.len();
+                let i = srv.iter().position(|&r| r == dst).expect("dst serves e");
+                let slots = &cache.decision.expert_slots[e];
+                let count = Self::slot_share(slots.len(), i, g);
+                let mut rows = Tensor::zeros(&[count, m]);
+                for (row, sidx) in (i..slots.len()).step_by(g).enumerate() {
+                    let (t, w) = slots[sidx];
+                    let dyrow = dy.row(t);
+                    let drow = rows.row_mut(row);
+                    for j in 0..m {
+                        drow[j] = w * dyrow[j];
+                    }
+                }
+                per_expert.push(rows);
+            }
+            grad_chunks.push(Self::encode_raw(&per_expert));
+        }
+        for (t, assigns) in cache.decision.assignments.iter().enumerate() {
+            for &(e, _) in assigns {
+                let s = cache.decision.expert_slots[e]
+                    .iter()
+                    .position(|&(tt, _)| tt == t)
+                    .expect("assignment implies slot");
+                let rows = &cache.returned_outputs[e];
+                let dyrow = dy.row(t);
+                let orow = rows.row(s);
+                d_weights[t].push(dyrow.iter().zip(orow.iter()).map(|(a, b)| a * b).sum());
+            }
+        }
+        drop(c1b);
+
+        let bwd1_tag = cache.tag_base + TAG_STRIDE / 2;
+        let bwd2_tag = cache.tag_base + 3 * TAG_STRIDE / 4;
+        let serves: Vec<bool> = served_lists.iter().map(|l| !l.is_empty()).collect();
+        let empty_raw = Self::encode_raw(&[]);
+        let timeout = self.recv_timeout;
+        let grad_bytes: usize = grad_chunks.iter().map(Bytes::len).sum();
+        let received = {
+            let _s = obs::span_sized("a2a", "A1b", grad_bytes as f64);
+            Self::exchange_placed(h, grad_chunks, bwd1_tag, true, &serves, &empty_raw, timeout)?
+        };
+
+        // Eb: canonical per-(expert, source) recompute + backward on the
+        // serving body, sources ascending — the same call sequence the
+        // static home would have made for these rows.
+        let recv_grad_bytes: usize = received.iter().map(Bytes::len).sum();
+        let d1b = obs::span_sized("decode", "D1b", recv_grad_bytes as f64);
+        let decoded: Vec<Vec<Tensor>> = received
+            .iter()
+            .map(|c| Self::decode_raw(c, served.len(), m))
+            .collect();
+        drop(d1b);
+        let dout_rows: usize = cache
+            .recv_counts
+            .iter()
+            .map(|c| c.iter().sum::<usize>())
+            .sum();
+        let eb = obs::span_sized("expert", "Eb", dout_rows as f64);
+        let inputs = cache
+            .expert_inputs
+            .as_ref()
+            .expect("forward caches expert inputs");
+        let mut din_per_expert: Vec<Tensor> = (0..served.len())
+            .map(|k| {
+                let total: usize = cache.recv_counts[k].iter().sum();
+                Tensor::zeros(&[total, m])
+            })
+            .collect();
+        for src in 0..p {
+            for (k, &e) in served.iter().enumerate() {
+                let count = cache.recv_counts[k][src];
+                assert_eq!(
+                    decoded[src][k].dims()[0],
+                    count,
+                    "gradient framing mismatch"
+                );
+                if count == 0 {
+                    continue;
+                }
+                let before: usize = cache.recv_counts[k][..src].iter().sum();
+                let mut xin = Tensor::zeros(&[count, m]);
+                for row in 0..count {
+                    xin.row_mut(row)
+                        .copy_from_slice(inputs[k].row(before + row));
+                }
+                let body: &mut dyn Expert = if e / epr == me {
+                    self.local_experts[e % epr].as_mut()
+                } else {
+                    self.guest_experts
+                        .get_mut(&e)
+                        .expect("guest body installed for served expert")
+                        .as_mut()
+                };
+                let _ = body.forward(&xin);
+                let din = body.backward(&decoded[src][k]);
+                for row in 0..count {
+                    din_per_expert[k]
+                        .row_mut(before + row)
+                        .copy_from_slice(din.row(row));
+                }
+            }
+        }
+        drop(eb);
+
+        // C2b: input grads back to the token owners.
+        let c2b = obs::span_sized("encode", "C2b", (dout_rows * m * 4) as f64);
+        let mut back = Vec::with_capacity(p);
+        for src in 0..p {
+            let mut per_expert = Vec::with_capacity(served.len());
+            for k in 0..served.len() {
+                let before: usize = cache.recv_counts[k][..src].iter().sum();
+                let count = cache.recv_counts[k][src];
+                let mut rows = Tensor::zeros(&[count, m]);
+                for r in 0..count {
+                    rows.row_mut(r)
+                        .copy_from_slice(din_per_expert[k].row(before + r));
+                }
+                per_expert.push(rows);
+            }
+            back.push(Self::encode_raw(&per_expert));
+        }
+        drop(c2b);
+        let back_bytes: usize = back.iter().map(Bytes::len).sum();
+        let returned = {
+            let _s = obs::span_sized("a2a", "A2b", back_bytes as f64);
+            Self::exchange_placed(h, back, bwd2_tag, false, &serves, &empty_raw, timeout)?
+        };
+
+        // D2b: scatter token grads, ascending-expert so the per-token
+        // addition order matches the serial backward bit for bit.
+        let d2b = obs::span_sized(
+            "decode",
+            "D2b",
+            returned.iter().map(Bytes::len).sum::<usize>() as f64,
+        );
+        let dins_per_rank: Vec<Vec<Tensor>> = returned
+            .iter()
+            .enumerate()
+            .map(|(r2, c)| Self::decode_raw(c, served_lists[r2].len(), m))
+            .collect();
+        let mut dx = Tensor::zeros(&[cache.n, m]);
+        for e in 0..p * epr {
+            let srv = pl.servers(e);
+            let g = srv.len();
+            let slots = &cache.decision.expert_slots[e];
+            for (i, &r2) in srv.iter().enumerate() {
+                let k = served_lists[r2]
+                    .iter()
+                    .position(|&se| se == e)
+                    .expect("server serves e");
+                let part = &dins_per_rank[r2][k];
+                assert_eq!(
+                    part.dims()[0],
+                    Self::slot_share(slots.len(), i, g),
+                    "input-grad framing mismatch"
+                );
+                for (row, sidx) in (i..slots.len()).step_by(g).enumerate() {
+                    let t = slots[sidx].0;
+                    let drow = part.row(row);
+                    let xrow = dx.row_mut(t);
+                    for j in 0..m {
+                        xrow[j] += drow[j];
+                    }
+                }
+            }
+        }
+        drop(d2b);
+        let dx_gate = {
+            let _g = obs::span("gate", "gateb");
+            self.gate.backward(&d_weights)
+        };
+        dx.add_assign(&dx_gate).expect("same shape");
+        Ok(dx)
     }
 
     /// Direct per-chunk exchange used by the overlapped pipeline, with an
@@ -791,6 +1490,7 @@ impl DistributedMoeLayer {
                 self.gate.forward(x)
             }
         };
+        self.note_decision(h.rank(), p, &decision);
         let decision_ref = &decision;
 
         // Field split: pipeline closures share the compressor immutably
@@ -1106,6 +1806,7 @@ impl DistributedMoeLayer {
             expert_inputs: Some(expert_inputs),
             n,
             tag_base,
+            served: None,
         });
         Ok(y)
     }
@@ -1142,6 +1843,14 @@ impl DistributedMoeLayer {
         dy: &Tensor,
         allreduce: Option<GradAllreduce<'_>>,
     ) -> Result<Tensor, FabricError> {
+        if self.cache.as_ref().is_some_and(|c| c.served.is_some()) {
+            // The forward ran the placed path; mirror its fan-out. The
+            // reduction keeps the serial ordering: before the exchanges.
+            if let Some(ar) = allreduce {
+                allreduce_live(h, ar.values, ar.tag, ar.live)?;
+            }
+            return self.backward_placed(h, dy);
+        }
         let live = h.world_size() - self.dead_ranks.len();
         if self.partition_degree <= 1 || live < 2 || self.has_failover() {
             // Same ordering the overlapped graph gives the reduction:
@@ -2831,5 +3540,178 @@ mod tests {
             let diff = outs[me].max_abs_diff(&want).unwrap();
             assert!(diff < 1e-5, "rank {me} diverged by {diff}");
         }
+    }
+
+    /// Runs one forward + backward on a 4-rank world (epr = 1), optionally
+    /// under the given placement (guest bodies rebuilt from the same seeds
+    /// as the homes, like a state transfer would). Returns per rank:
+    /// `(y, dx, own expert grads, guest grads by expert)`.
+    #[allow(clippy::type_complexity)]
+    fn placed_step(
+        x_global: &Tensor,
+        n_local: usize,
+        servers: Option<&[Vec<usize>]>,
+    ) -> Vec<(Tensor, Tensor, Vec<Vec<f32>>, Vec<(usize, Vec<Vec<f32>>)>)> {
+        let topo = Topology::new(2, 2);
+        let p = topo.world_size();
+        Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            let gate = make_gate(p, 2, 8.0);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            );
+            if let Some(servers) = servers {
+                let pl = Placement::new(1, 1, servers.to_vec());
+                for &e in &pl.guests_of(me) {
+                    layer.install_guest_expert(me, e, make_expert(e));
+                }
+                layer.set_placement(me, pl);
+            }
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let y = layer.forward(&mut h, &x, 0).unwrap();
+            let dx = layer.backward(&mut h, &y).unwrap();
+            let mut own = Vec::new();
+            layer.visit_serving_params(me, me, &mut |prm| own.push(prm.grad.data().to_vec()));
+            let mut guests = Vec::new();
+            for e in layer.guest_expert_ids() {
+                let mut g = Vec::new();
+                layer.visit_serving_params(me, e, &mut |prm| g.push(prm.grad.data().to_vec()));
+                guests.push((e, g));
+            }
+            (y, dx, own, guests)
+        })
+    }
+
+    #[test]
+    fn placed_fan_out_is_bit_identical_to_serial() {
+        // Expert 0 replicated on ranks {0, 2}, expert 3 migrated to rank 1.
+        // Outputs and input grads must match the static serial step bit for
+        // bit: expert bodies are row-wise and the combine reassembles the
+        // serial slot order before accumulating.
+        let p = 4;
+        let n_local = 7;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(91));
+        let servers = vec![vec![0usize, 2], vec![1], vec![2], vec![1]];
+        let serial = placed_step(&x_global, n_local, None);
+        let placed = placed_step(&x_global, n_local, Some(&servers));
+        for me in 0..p {
+            let dy = placed[me].0.max_abs_diff(&serial[me].0).unwrap();
+            assert_eq!(dy, 0.0, "rank {me} y diverged by {dy}");
+            let ddx = placed[me].1.max_abs_diff(&serial[me].1).unwrap();
+            assert_eq!(ddx, 0.0, "rank {me} dx diverged by {ddx}");
+        }
+    }
+
+    #[test]
+    fn migrated_expert_weight_grads_match_the_static_home_bitwise() {
+        // Pure migration (no replicas): the guest body receives exactly the
+        // rows the home would have, in the same src-major order, and makes
+        // the same canonical per-(expert, source) backward calls — so its
+        // weight grads equal the static home's bit for bit.
+        let p = 4;
+        let n_local = 7;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(92));
+        let servers = vec![vec![0usize], vec![3], vec![2], vec![1]];
+        let serial = placed_step(&x_global, n_local, None);
+        let placed = placed_step(&x_global, n_local, Some(&servers));
+        for (e, host) in [(1usize, 3usize), (3, 1)] {
+            let guest = &placed[host]
+                .3
+                .iter()
+                .find(|(ge, _)| *ge == e)
+                .expect("guest grads recorded")
+                .1;
+            assert_eq!(
+                guest, &serial[e].2,
+                "guest grads for expert {e} on rank {host}"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_partial_grads_sum_to_the_full_expert_grad() {
+        // A replicated expert's weight grads are partial per server; their
+        // sum must match the static full-batch grad up to float regrouping
+        // (this is what the controller's sync-group allreduce restores).
+        let p = 4;
+        let n_local = 8;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(93));
+        let servers = vec![vec![0usize, 2], vec![1], vec![2], vec![3]];
+        let serial = placed_step(&x_global, n_local, None);
+        let placed = placed_step(&x_global, n_local, Some(&servers));
+        let home = &placed[0].2;
+        let guest = &placed[2]
+            .3
+            .iter()
+            .find(|(ge, _)| *ge == 0)
+            .expect("rank 2 serves expert 0")
+            .1;
+        assert_eq!(home.len(), guest.len());
+        for (i, want) in serial[0].2.iter().enumerate() {
+            for (j, &w) in want.iter().enumerate() {
+                let got = home[i][j] + guest[i][j];
+                assert!(
+                    (got - w).abs() < 1e-4,
+                    "expert 0 grad[{i}][{j}]: {got} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_stats_accumulate_and_drain() {
+        let topo = Topology::new(1, 2);
+        let p = topo.world_size();
+        let n_local = 7;
+        let x_global = rng::uniform(&[n_local * p, M], 1.0, &mut seeded(94));
+        let outs = Fabric::run(topo, |mut h| {
+            let me = h.rank();
+            // A starved capacity factor guarantees shed assignments.
+            let gate = make_gate(p, 2, 0.05);
+            let mut layer = DistributedMoeLayer::new(
+                gate,
+                vec![make_expert(me)],
+                Box::new(NoCompression),
+                Box::new(NcclA2A),
+            );
+            let mut x = Tensor::zeros(&[n_local, M]);
+            for r in 0..n_local {
+                x.row_mut(r).copy_from_slice(x_global.row(me * n_local + r));
+            }
+            let _y = layer.forward(&mut h, &x, 0).unwrap();
+            let stats = layer.take_load_stats();
+            let drained = layer.take_load_stats();
+            (stats, drained)
+        });
+        for (me, ((loads, shed, routed, _p99), drained)) in outs.iter().enumerate() {
+            assert_eq!(loads.iter().sum::<u64>(), *routed, "rank {me}");
+            assert!(*routed > 0, "rank {me} routed nothing");
+            assert!(*shed > 0, "rank {me} shed nothing despite f=0.05");
+            assert!(
+                drained.0.is_empty() && drained.1 == 0 && drained.2 == 0 && drained.3 == 0,
+                "rank {me} drain did not reset"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "guest body")]
+    fn activating_a_placement_without_its_guest_bodies_panics() {
+        let gate = make_gate(2, 1, 8.0);
+        let mut layer = DistributedMoeLayer::new(
+            gate,
+            vec![make_expert(0)],
+            Box::new(NoCompression),
+            Box::new(NcclA2A),
+        );
+        // Expert 1 migrated onto rank 0 without a guest body installed.
+        let pl = Placement::new(1, 1, vec![vec![0], vec![0]]);
+        layer.set_placement(0, pl);
     }
 }

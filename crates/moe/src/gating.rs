@@ -123,6 +123,14 @@ impl TopKGate {
         self.capacity_factor
     }
 
+    /// Replaces the capacity factor — the placement controller's shed
+    /// knob. Takes effect on the next forward; must be positive and
+    /// finite so [`crate::expert_capacity`] stays well-defined.
+    pub fn set_capacity_factor(&mut self, f: f64) {
+        assert!(f.is_finite() && f > 0.0, "capacity factor must be positive");
+        self.capacity_factor = f;
+    }
+
     /// Routes a `[n, model_dim]` batch; returns the decision.
     ///
     /// Tokens are admitted to an expert in token order until its capacity
@@ -363,6 +371,42 @@ mod tests {
         // With f=0.5 and any imbalance, something must drop.
         assert!(d.dropped > 0, "expected drops with tight capacity");
         assert!(d.drop_rate(1) > 0.0 && d.drop_rate(1) < 1.0);
+    }
+
+    #[test]
+    fn tight_factors_never_zero_capacity_on_a_live_expert() {
+        // Fewer tokens than experts AND a sub-1.0 factor: the capacity
+        // floor must still grant every expert one slot, so a token whose
+        // top choice is an otherwise-idle expert is admitted, not shed.
+        let mut g = gate(1, 0.25);
+        let x = rng::uniform(&[2, 8], 1.0, &mut seeded(9));
+        let d = g.forward(&x);
+        assert_eq!(d.capacity, 1, "floor holds at the boundary");
+        assert!(
+            d.assignments.iter().any(|a| !a.is_empty()),
+            "at least one token must be admitted"
+        );
+        assert!(d.expert_loads().iter().all(|&l| l <= d.capacity));
+    }
+
+    #[test]
+    fn set_capacity_factor_takes_effect_next_forward() {
+        let mut g = gate(1, 10.0);
+        let x = rng::uniform(&[32, 8], 1.0, &mut seeded(2));
+        assert_eq!(g.forward(&x).dropped, 0, "generous base factor");
+        g.set_capacity_factor(0.5);
+        assert_eq!(g.capacity_factor(), 0.5);
+        let shed = g.forward(&x);
+        assert!(shed.dropped > 0, "the shed knob must bite");
+        // Restoring the base factor restores the original decision.
+        g.set_capacity_factor(10.0);
+        assert_eq!(g.forward(&x).dropped, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn set_capacity_factor_rejects_zero() {
+        gate(1, 1.0).set_capacity_factor(0.0);
     }
 
     #[test]

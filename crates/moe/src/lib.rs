@@ -22,6 +22,7 @@ pub mod distributed;
 pub mod expert;
 pub mod gating;
 pub mod layer;
+pub mod placement;
 pub mod replication;
 pub mod routing;
 
@@ -29,6 +30,9 @@ pub use distributed::{allreduce_inplace, allreduce_live, DistributedMoeLayer, Gr
 pub use expert::{Expert, FfExpert};
 pub use gating::{GateDecision, OverflowPolicy, TopKGate};
 pub use layer::MoeLayer;
+pub use placement::{
+    decide_plan, gray_ranks, LoadReport, Placement, PlacementError, PlacementPlan, PolicyConfig,
+};
 pub use replication::{DeltaEncoder, ReplicaError, ReplicaStore, REPLICA_CHUNK};
 pub use routing::{
     balance_stats, BalanceStats, ExpertChoiceRouter, RandomRouter, Router, TokenChoiceRouter,
@@ -60,5 +64,44 @@ mod tests {
     #[test]
     fn capacity_is_at_least_one() {
         assert_eq!(expert_capacity(1.0, 1, 1, 64), 1);
+    }
+
+    #[test]
+    fn capacity_with_fewer_tokens_than_experts_never_hits_zero() {
+        // Every live expert keeps a slot even when tokens << experts and
+        // the raw Eq. 1 value would floor to zero.
+        for tokens in 1..8 {
+            for experts in [8, 16, 64] {
+                assert_eq!(expert_capacity(1.0, 1, tokens, experts), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_below_one_factor_sheds_but_never_to_zero() {
+        // f < 1.0 is the shed regime: capacity shrinks proportionally...
+        assert_eq!(expert_capacity(0.5, 1, 64, 8), 4);
+        assert_eq!(expert_capacity(0.75, 2, 64, 8), 12);
+        // ...but the floor holds even for tiny factors.
+        assert_eq!(expert_capacity(0.01, 1, 8, 8), 1);
+        assert_eq!(expert_capacity(0.001, 1, 1, 1), 1);
+    }
+
+    #[test]
+    fn capacity_rounds_up_at_the_edge() {
+        // 1.0 * 1 * 65 / 8 = 8.125 -> ceil 9: the fractional slot is
+        // granted, not truncated (truncation would shed deterministically
+        // admissible tokens).
+        assert_eq!(expert_capacity(1.0, 1, 65, 8), 9);
+        // An exact integer must NOT round up further.
+        assert_eq!(expert_capacity(1.0, 1, 64, 8), 8);
+        // Capacity factors slightly under an integer boundary still ceil.
+        assert_eq!(expert_capacity(0.99, 1, 64, 8), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn capacity_rejects_zero_experts() {
+        expert_capacity(1.0, 1, 64, 0);
     }
 }

@@ -35,6 +35,11 @@ pub struct RankCounters {
     snapshot_restores: AtomicU64,
     snapshot_reconstructions: AtomicU64,
     snapshot_gc_removed: AtomicU64,
+    placement_plans: AtomicU64,
+    placement_replications: AtomicU64,
+    placement_migrations: AtomicU64,
+    placement_demotions: AtomicU64,
+    placement_transfer_bytes: AtomicU64,
 }
 
 impl RankCounters {
@@ -195,6 +200,31 @@ impl RankCounters {
         }
     }
 
+    /// Counts one committed placement plan, with its replica count (server
+    /// list entries past each expert's first), migrated-home count, and
+    /// gray demotions.
+    #[inline]
+    pub fn add_placement_plan(&self, replications: u64, migrations: u64, demotions: u64) {
+        if crate::enabled() {
+            self.placement_plans.fetch_add(1, Ordering::Relaxed);
+            self.placement_replications
+                .fetch_add(replications, Ordering::Relaxed);
+            self.placement_migrations
+                .fetch_add(migrations, Ordering::Relaxed);
+            self.placement_demotions
+                .fetch_add(demotions, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts expert-state bytes streamed for a placement transfer.
+    #[inline]
+    pub fn add_placement_transfer(&self, bytes: usize) {
+        if crate::enabled() {
+            self.placement_transfer_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of the totals.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -220,6 +250,11 @@ impl RankCounters {
             snapshot_restores: self.snapshot_restores.load(Ordering::Relaxed),
             snapshot_reconstructions: self.snapshot_reconstructions.load(Ordering::Relaxed),
             snapshot_gc_removed: self.snapshot_gc_removed.load(Ordering::Relaxed),
+            placement_plans: self.placement_plans.load(Ordering::Relaxed),
+            placement_replications: self.placement_replications.load(Ordering::Relaxed),
+            placement_migrations: self.placement_migrations.load(Ordering::Relaxed),
+            placement_demotions: self.placement_demotions.load(Ordering::Relaxed),
+            placement_transfer_bytes: self.placement_transfer_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -245,6 +280,11 @@ impl RankCounters {
         self.snapshot_restores.store(0, Ordering::Relaxed);
         self.snapshot_reconstructions.store(0, Ordering::Relaxed);
         self.snapshot_gc_removed.store(0, Ordering::Relaxed);
+        self.placement_plans.store(0, Ordering::Relaxed);
+        self.placement_replications.store(0, Ordering::Relaxed);
+        self.placement_migrations.store(0, Ordering::Relaxed);
+        self.placement_demotions.store(0, Ordering::Relaxed);
+        self.placement_transfer_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -295,6 +335,16 @@ pub struct CounterSnapshot {
     pub snapshot_reconstructions: u64,
     /// Snapshot generations retired by retention GC.
     pub snapshot_gc_removed: u64,
+    /// Placement plans committed by the load-aware controller.
+    pub placement_plans: u64,
+    /// Expert replicas added by committed placement plans.
+    pub placement_replications: u64,
+    /// Expert homes moved off their static rank by committed plans.
+    pub placement_migrations: u64,
+    /// Gray-rank demotions decided by committed plans.
+    pub placement_demotions: u64,
+    /// Expert-state bytes streamed for placement transfers.
+    pub placement_transfer_bytes: u64,
 }
 
 /// The counter block for `rank`, creating it on first request.
@@ -326,6 +376,11 @@ pub fn counters_for_rank(rank: usize) -> Arc<RankCounters> {
         snapshot_restores: AtomicU64::new(0),
         snapshot_reconstructions: AtomicU64::new(0),
         snapshot_gc_removed: AtomicU64::new(0),
+        placement_plans: AtomicU64::new(0),
+        placement_replications: AtomicU64::new(0),
+        placement_migrations: AtomicU64::new(0),
+        placement_demotions: AtomicU64::new(0),
+        placement_transfer_bytes: AtomicU64::new(0),
     });
     reg.push(Arc::clone(&c));
     c
@@ -343,11 +398,130 @@ pub fn counter_snapshots() -> Vec<CounterSnapshot> {
     snaps
 }
 
-/// Zeroes every rank's counters (start of a measured interval).
+/// Zeroes every rank's counters (start of a measured interval), routing
+/// boards included.
 pub fn reset_counters() {
     for c in REGISTRY.lock().expect("counter registry poisoned").iter() {
         c.reset();
     }
+    for b in ROUTING.lock().expect("routing registry poisoned").iter() {
+        b.reset();
+    }
+}
+
+static ROUTING: Mutex<Vec<Arc<RoutingBoard>>> = Mutex::new(Vec::new());
+
+/// Per-expert routing loads a routing board can track; experts past this
+/// index are ignored (traces stay bounded however large the layer is).
+pub const MAX_ROUTING_EXPERTS: usize = 64;
+
+/// One rank's per-expert routing tallies: tokens the gate admitted to each
+/// expert plus tokens shed at the capacity edge. Gated on the recorder
+/// switch like [`RankCounters`]; the placement policy keeps its own
+/// (always-on) accumulators inside the layer, this board only feeds the
+/// "routing" chrome counter track.
+#[derive(Debug)]
+pub struct RoutingBoard {
+    rank: usize,
+    loads: [AtomicU64; MAX_ROUTING_EXPERTS],
+    shed: AtomicU64,
+    routed: AtomicU64,
+}
+
+impl RoutingBoard {
+    /// Adds `tokens` admitted to expert `e` (ignored past the cap).
+    #[inline]
+    pub fn add_expert_load(&self, e: usize, tokens: u64) {
+        if crate::enabled() {
+            if let Some(slot) = self.loads.get(e) {
+                slot.fetch_add(tokens, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Adds `tokens` shed at the capacity edge.
+    #[inline]
+    pub fn add_shed(&self, tokens: u64) {
+        if crate::enabled() {
+            self.shed.fetch_add(tokens, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `tokens` total routed assignments.
+    #[inline]
+    pub fn add_routed(&self, tokens: u64) {
+        if crate::enabled() {
+            self.routed.fetch_add(tokens, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy, with the load vector trimmed past the last
+    /// non-zero expert.
+    pub fn snapshot(&self) -> RoutingSnapshot {
+        let mut loads: Vec<u64> = self
+            .loads
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect();
+        while loads.last() == Some(&0) {
+            loads.pop();
+        }
+        RoutingSnapshot {
+            rank: self.rank,
+            loads,
+            shed: self.shed.load(Ordering::Relaxed),
+            routed: self.routed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for l in &self.loads {
+            l.store(0, Ordering::Relaxed);
+        }
+        self.shed.store(0, Ordering::Relaxed);
+        self.routed.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value copy of one rank's routing board.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoutingSnapshot {
+    /// The rank the tallies belong to.
+    pub rank: usize,
+    /// Tokens admitted per expert, trimmed past the last non-zero entry.
+    pub loads: Vec<u64>,
+    /// Tokens shed at the capacity edge.
+    pub shed: u64,
+    /// Total routed token assignments.
+    pub routed: u64,
+}
+
+/// The routing board for `rank`, creating it on first request.
+pub fn routing_for_rank(rank: usize) -> Arc<RoutingBoard> {
+    let mut reg = ROUTING.lock().expect("routing registry poisoned");
+    if let Some(b) = reg.iter().find(|b| b.rank == rank) {
+        return Arc::clone(b);
+    }
+    let b = Arc::new(RoutingBoard {
+        rank,
+        loads: std::array::from_fn(|_| AtomicU64::new(0)),
+        shed: AtomicU64::new(0),
+        routed: AtomicU64::new(0),
+    });
+    reg.push(Arc::clone(&b));
+    b
+}
+
+/// Snapshots every rank's routing board, sorted by rank.
+pub fn routing_snapshots() -> Vec<RoutingSnapshot> {
+    let mut snaps: Vec<RoutingSnapshot> = ROUTING
+        .lock()
+        .expect("routing registry poisoned")
+        .iter()
+        .map(|b| b.snapshot())
+        .collect();
+    snaps.sort_by_key(|s| s.rank);
+    snaps
 }
 
 /// A lock-free log2-bucketed histogram of wait durations.
@@ -514,5 +688,46 @@ mod tests {
         let b = counters_for_rank(902);
         assert!(Arc::ptr_eq(&a, &b));
         assert!(counter_snapshots().iter().any(|s| s.rank == 902));
+    }
+
+    #[test]
+    fn routing_board_tracks_loads_shed_and_trims() {
+        let b = routing_for_rank(903);
+        crate::enable();
+        b.add_expert_load(0, 10);
+        b.add_expert_load(2, 5);
+        b.add_expert_load(MAX_ROUTING_EXPERTS + 7, 99); // silently ignored
+        b.add_shed(3);
+        b.add_routed(18);
+        crate::disable();
+        b.add_expert_load(0, 1_000); // gated off
+        let s = b.snapshot();
+        assert_eq!(s.rank, 903);
+        assert_eq!(s.loads, vec![10, 0, 5]);
+        assert_eq!(s.shed, 3);
+        assert_eq!(s.routed, 18);
+        assert!(routing_snapshots().iter().any(|s| s.rank == 903));
+        b.reset();
+        assert!(b.snapshot().loads.is_empty());
+        assert_eq!(b.snapshot().shed, 0);
+    }
+
+    #[test]
+    fn placement_counters_accumulate_and_reset() {
+        let c = counters_for_rank(904);
+        crate::enable();
+        c.add_placement_plan(2, 1, 1);
+        c.add_placement_plan(0, 0, 0);
+        c.add_placement_transfer(4096);
+        crate::disable();
+        let s = c.snapshot();
+        assert_eq!(s.placement_plans, 2);
+        assert_eq!(s.placement_replications, 2);
+        assert_eq!(s.placement_migrations, 1);
+        assert_eq!(s.placement_demotions, 1);
+        assert_eq!(s.placement_transfer_bytes, 4096);
+        c.reset();
+        assert_eq!(c.snapshot().placement_plans, 0);
+        assert_eq!(c.snapshot().placement_transfer_bytes, 0);
     }
 }

@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::chrome::ChromeTraceBuilder;
-use crate::counters::{counter_snapshots, CounterSnapshot};
+use crate::counters::{counter_snapshots, routing_snapshots, CounterSnapshot, RoutingSnapshot};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
@@ -222,6 +222,8 @@ pub struct FuncTrace {
     pub spans: Vec<SpanRecord>,
     /// Per-rank counter totals at [`take`] time.
     pub counters: Vec<CounterSnapshot>,
+    /// Per-rank routing tallies (expert loads, shed) at [`take`] time.
+    pub routing: Vec<RoutingSnapshot>,
 }
 
 /// Drains every thread's recorded spans into one [`FuncTrace`].
@@ -247,6 +249,7 @@ pub fn take() -> FuncTrace {
     FuncTrace {
         spans,
         counters: counter_snapshots(),
+        routing: routing_snapshots(),
     }
 }
 
@@ -389,6 +392,41 @@ impl FuncTrace {
                     ("snapshot_gc_removed", c.snapshot_gc_removed as f64),
                 ],
             );
+            b.counter_event(
+                c.rank as u64,
+                "placement",
+                end_us,
+                &[
+                    ("placement_plans", c.placement_plans as f64),
+                    ("placement_replications", c.placement_replications as f64),
+                    ("placement_migrations", c.placement_migrations as f64),
+                    ("placement_demotions", c.placement_demotions as f64),
+                    (
+                        "placement_transfer_bytes",
+                        c.placement_transfer_bytes as f64,
+                    ),
+                ],
+            );
+        }
+        // Per-expert routing load and shed as one "routing" track per rank,
+        // so Perfetto shows the hot-set shift (and the controller's
+        // response on the placement track above) on one timeline.
+        for r in &self.routing {
+            if r.loads.is_empty() && r.shed == 0 && r.routed == 0 {
+                continue;
+            }
+            let mut names: Vec<String> = (0..r.loads.len()).map(|e| format!("expert{e}")).collect();
+            names.push("shed".to_string());
+            names.push("routed".to_string());
+            let mut values: Vec<f64> = r.loads.iter().map(|&l| l as f64).collect();
+            values.push(r.shed as f64);
+            values.push(r.routed as f64);
+            let args: Vec<(&str, f64)> = names
+                .iter()
+                .map(String::as_str)
+                .zip(values.iter().copied())
+                .collect();
+            b.counter_event(r.rank as u64, "routing", end_us, &args);
         }
         b.finish()
     }
@@ -570,6 +608,57 @@ mod tests {
         assert!(args.get("snapshot_restores").is_some());
         assert!(args.get("snapshot_reconstructions").is_some());
         assert!(args.get("snapshot_gc_removed").is_some());
+    }
+
+    #[test]
+    fn chrome_export_carries_routing_and_placement_tracks() {
+        let _g = locked();
+        enable();
+        let board = crate::counters::routing_for_rank(11);
+        board.add_expert_load(0, 40);
+        board.add_expert_load(1, 10);
+        board.add_shed(2);
+        board.add_routed(52);
+        crate::counters::counters_for_rank(11).add_placement_plan(1, 0, 1);
+        set_thread_rank(11);
+        {
+            let _s = span("step", "s0");
+        }
+        let t = take();
+        disable();
+        let json = t.to_chrome_trace();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let events = v.as_array().expect("array");
+        let r = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                    && e.get("name").and_then(|n| n.as_str()) == Some("routing")
+                    && e.get("pid").and_then(|p| p.as_f64()) == Some(11.0)
+            })
+            .expect("rank 11 routing counter track");
+        let args = r.get("args").expect("args");
+        assert_eq!(args.get("expert0").and_then(|x| x.as_f64()), Some(40.0));
+        assert_eq!(args.get("expert1").and_then(|x| x.as_f64()), Some(10.0));
+        assert_eq!(args.get("shed").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(args.get("routed").and_then(|x| x.as_f64()), Some(52.0));
+        let p = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                    && e.get("name").and_then(|n| n.as_str()) == Some("placement")
+                    && e.get("pid").and_then(|p| p.as_f64()) == Some(11.0)
+            })
+            .expect("rank 11 placement counter track");
+        let args = p.get("args").expect("args");
+        assert_eq!(
+            args.get("placement_plans").and_then(|x| x.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(
+            args.get("placement_demotions").and_then(|x| x.as_f64()),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -208,6 +208,7 @@ mod tests {
                 mk("A1b[c0]", 1e6, 900.0),
             ],
             counters: Vec::new(),
+            routing: Vec::new(),
         };
         let mut p = Profiler::new();
         assert_eq!(p.ingest_trace(&trace), 4);

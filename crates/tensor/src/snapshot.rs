@@ -176,6 +176,12 @@ pub struct Manifest {
     pub seed: u64,
     /// One entry per participating rank.
     pub shards: Vec<ManifestEntry>,
+    /// Encoded expert placement active at snapshot time (an opaque
+    /// `PLMT` frame owned by the MoE layer), or empty for the static
+    /// layout. Written as an optional trailing section: decoders accept
+    /// manifests without it (older files read as static), and older
+    /// decoders skip it unread — the seal covers it either way.
+    pub placement: Vec<u8>,
 }
 
 impl Manifest {
@@ -196,6 +202,8 @@ impl Manifest {
             out.extend_from_slice(&s.len.to_le_bytes());
             out.extend_from_slice(&s.crc.to_le_bytes());
         }
+        out.extend_from_slice(&(self.placement.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.placement);
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
         out
@@ -226,6 +234,13 @@ impl Manifest {
                 crc,
             });
         }
+        // Optional trailing placement section: absent in older files,
+        // which therefore read back as the static layout.
+        let placement = if cur.pos < body.len() {
+            cur.section()?
+        } else {
+            Vec::new()
+        };
         check_seal(body, payload)?;
         Ok(Manifest {
             generation,
@@ -233,6 +248,7 @@ impl Manifest {
             step,
             seed,
             shards,
+            placement,
         })
     }
 
@@ -387,6 +403,7 @@ mod tests {
                     crc: 0xDEAD_0000 + r,
                 })
                 .collect(),
+            placement: vec![],
         }
     }
 
@@ -399,6 +416,27 @@ mod tests {
         assert_eq!(back, m);
         assert_eq!(back.entry(2).unwrap().name, shard_file_name(7, 2));
         assert!(back.entry(9).is_none());
+    }
+
+    #[test]
+    fn manifest_placement_section_round_trips_and_tolerates_absence() {
+        let mut m = sample_manifest();
+        m.placement = vec![0x50, 0x4C, 0x4D, 0x54, 7, 7, 7];
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back.placement, m.placement);
+
+        // A pre-placement manifest: same layout but no trailing section.
+        // Re-encode by hand — everything up to the shards, then the seal.
+        let plain = sample_manifest();
+        let full = plain.encode();
+        // Strip the empty placement section (4-byte length) and the old
+        // seal, then re-seal.
+        let mut old = full[..full.len() - 8].to_vec();
+        let crc = crc32(&old);
+        old.extend_from_slice(&crc.to_le_bytes());
+        let back = Manifest::decode(&old).unwrap();
+        assert!(back.placement.is_empty());
+        assert_eq!(back.shards, plain.shards);
     }
 
     #[test]

@@ -86,7 +86,7 @@ proptest! {
                 depth: i % 4,
             })
             .collect();
-        let trace = FuncTrace { spans, counters: Vec::new() };
+        let trace = FuncTrace { spans, counters: Vec::new(), routing: Vec::new() };
         let doc = trace.to_chrome_trace();
         prop_assert!(
             json::parse(&doc).is_ok(),
